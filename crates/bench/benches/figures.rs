@@ -1,0 +1,80 @@
+//! Criterion wrappers around the figure-regeneration harnesses — one
+//! bench per paper figure, run with quick virtual-time windows. Besides
+//! timing the harnesses, each iteration re-executes the complete
+//! experiment, so `cargo bench` exercises every figure end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vserve_bench::figs::{self, Windows};
+
+fn quick() -> Windows {
+    Windows::quick()
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3_software_ladder", |b| b.iter(|| figs::fig3(quick())));
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig4_model_zoo", |b| b.iter(|| figs::fig4(quick())));
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig5_concurrency_sweep", |b| b.iter(|| figs::fig5(quick())));
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig6_zero_load_breakdown", |b| b.iter(|| figs::fig6(quick())));
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig7_stage_isolation", |b| b.iter(|| figs::fig7(quick())));
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig8_energy", |b| b.iter(|| figs::fig8(quick())));
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig9_multi_gpu", |b| b.iter(|| figs::fig9(quick())));
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig11_brokers", |b| b.iter(|| figs::fig11(quick())));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig11
+);
+criterion_main!(benches);

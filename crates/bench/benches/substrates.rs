@@ -1,0 +1,138 @@
+//! Criterion microbenchmarks of the real substrates: JPEG codec, DNN
+//! kernels, message brokers, and the discrete-event engine. These ground
+//! the calibrated cost models in measured per-operation costs on the host
+//! machine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use vserve_broker::{Broker, FsyncPolicy, LogBroker, MemBroker};
+use vserve_codec::{decode, encode, EncodeOptions};
+use vserve_device::ImageSpec;
+use vserve_dnn::kernels;
+use vserve_sim::{Engine, SimDuration, SimTime};
+use vserve_tensor::{ops, Image};
+use vserve_workload::synthetic_jpeg;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let img = Image::noise(500, 375, 7); // the paper's medium resolution
+    let jpeg = encode(&img, &EncodeOptions::default());
+    g.throughput(Throughput::Elements((img.pixel_count()) as u64));
+    g.bench_function("encode_500x375", |b| {
+        b.iter(|| encode(&img, &EncodeOptions::default()))
+    });
+    g.bench_function("decode_500x375", |b| b.iter(|| decode(&jpeg).unwrap()));
+    let small = synthetic_jpeg(&ImageSpec::small(), 3);
+    g.bench_function("decode_small_60x70", |b| b.iter(|| decode(&small).unwrap()));
+    g.finish();
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut g = c.benchmark_group("preprocess");
+    let img = Image::noise(500, 375, 9);
+    g.bench_function("resize_bilinear_to_224", |b| {
+        b.iter(|| ops::resize_bilinear(&img, 224, 224))
+    });
+    g.bench_function("resize_area_to_224", |b| {
+        b.iter(|| ops::resize_area(&img, 224, 224))
+    });
+    g.bench_function("standard_preprocess_224", |b| {
+        b.iter(|| ops::standard_preprocess(&img, 224))
+    });
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+    let m = 64;
+    let a: Vec<f32> = (0..m * m).map(|i| (i % 13) as f32).collect();
+    let b_mat: Vec<f32> = (0..m * m).map(|i| (i % 7) as f32).collect();
+    g.bench_function("gemm_64", |bch| {
+        bch.iter_batched(
+            || vec![0.0f32; m * m],
+            |mut out| kernels::gemm(&a, &b_mat, &mut out, m, m, m),
+            BatchSize::SmallInput,
+        )
+    });
+    let input: Vec<f32> = (0..3 * 64 * 64).map(|i| (i % 11) as f32).collect();
+    let weight: Vec<f32> = (0..16 * 3 * 9).map(|i| (i % 5) as f32 * 0.1).collect();
+    let bias = vec![0.0f32; 16];
+    g.bench_function("conv2d_3x64x64_k3", |bch| {
+        b_iter_conv(bch, &input, &weight, &bias)
+    });
+    g.finish();
+}
+
+fn b_iter_conv(b: &mut criterion::Bencher<'_>, input: &[f32], weight: &[f32], bias: &[f32]) {
+    b.iter(|| kernels::conv2d(input, weight, bias, 3, 64, 64, 16, 3, 1, 1));
+}
+
+fn bench_brokers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("brokers");
+    let payload = vec![0xabu8; 24 * 1024]; // one face crop
+    let mem = MemBroker::new();
+    g.bench_function("mem_publish_fetch_24k", |b| {
+        b.iter(|| {
+            mem.publish("bench", &payload).unwrap();
+            mem.fetch("bench", "g", 1).unwrap()
+        })
+    });
+    let dir = std::env::temp_dir().join(format!("vserve-bench-log-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let log_nosync = LogBroker::open(&dir, FsyncPolicy::Never).unwrap();
+    g.bench_function("log_publish_fetch_24k_nosync", |b| {
+        b.iter(|| {
+            log_nosync.publish("bench", &payload).unwrap();
+            log_nosync.fetch("bench", "g", 1).unwrap()
+        })
+    });
+    let dir2 = std::env::temp_dir().join(format!("vserve-bench-log-sync-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir2).ok();
+    let log_sync = LogBroker::open(&dir2, FsyncPolicy::PerMessage).unwrap();
+    let mut gg = g;
+    gg.sample_size(10);
+    gg.bench_function("log_publish_fetch_24k_fsync", |b| {
+        b.iter(|| {
+            log_sync.publish("bench", &payload).unwrap();
+            log_sync.fetch("bench", "g", 1).unwrap()
+        })
+    });
+    gg.finish();
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
+fn bench_sim_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("engine_10k_events", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            let mut state = 0u64;
+            for i in 0..10_000u64 {
+                eng.schedule_at(
+                    SimTime::from_nanos(i * 100),
+                    Box::new(|s: &mut u64, e: &mut Engine<u64>| {
+                        *s += 1;
+                        if *s % 100 == 0 {
+                            e.schedule_in(SimDuration::from_nanos(1), Box::new(|s: &mut u64, _| *s += 1));
+                        }
+                    }),
+                );
+            }
+            eng.run(&mut state, SimTime::MAX);
+            state
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_preprocess,
+    bench_kernels,
+    bench_brokers,
+    bench_sim_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Ablations over the design choices DESIGN.md calls out.
+//!
+//! These are not paper figures; they expose *why* the reproduced shapes
+//! appear by sweeping the mechanisms the model attributes them to.
+
+use vserve::prelude::*;
+
+use crate::figs::Windows;
+use crate::table::{fmt, Table};
+
+fn base(node: NodeConfig, config: ServerConfig, concurrency: usize, w: Windows) -> Experiment {
+    Experiment {
+        node,
+        config,
+        model: ModelProfile::vit_base(),
+        mix: ImageMix::fixed(ImageSpec::medium()),
+        concurrency,
+        warmup_s: w.warmup_s,
+        measure_s: w.measure_s,
+        seed: 7,
+    }
+}
+
+/// Sweep the dynamic batcher's maximum queueing delay: the paper's Fig 3
+/// rung-5 trade (throughput vs tail latency).
+pub fn batch_delay_sweep(w: Windows) -> String {
+    let node = NodeConfig::paper_testbed();
+    let mut t = Table::new(&["max delay ms", "img/s", "p99 ms", "mean batch"]);
+    for delay_ms in [0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0] {
+        let config = ServerConfig {
+            max_queue_delay_s: delay_ms * 1e-3,
+            ..ServerConfig::optimized()
+        };
+        let r = base(node, config, 96, w).run();
+        t.row_owned(vec![
+            fmt(delay_ms, 1),
+            fmt(r.throughput, 0),
+            fmt(r.latency.p99 * 1e3, 1),
+            fmt(r.mean_batch, 1),
+        ]);
+    }
+    format!("Ablation — dynamic batching max delay (ViT-Base, medium)\n{}", t.render())
+}
+
+/// Grid over CPU preprocessing workers × instances: the paper's "quick
+/// search on server settings" (+300 img/s in Fig 3).
+pub fn worker_instance_grid(w: Windows) -> String {
+    let node = NodeConfig::paper_testbed();
+    let mut t = Table::new(&["workers", "instances", "img/s (cpu-pre)"]);
+    for workers in [2usize, 4, 8, 16, 24] {
+        for instances in [1usize, 2, 4] {
+            let config = ServerConfig {
+                preproc_workers: workers,
+                instances_per_gpu: instances,
+                ..ServerConfig::optimized_cpu_preproc()
+            };
+            let r = base(node, config, 256, w).run();
+            t.row_owned(vec![
+                workers.to_string(),
+                instances.to_string(),
+                fmt(r.throughput, 0),
+            ]);
+        }
+    }
+    format!("Ablation — preprocessing workers × model instances\n{}", t.render())
+}
+
+/// Sweep the host staging bandwidth: what moves the Fig 9 multi-GPU knee
+/// for large images.
+pub fn staging_bandwidth_sweep(w: Windows) -> String {
+    let mut t = Table::new(&["staging GB/s", "1 gpu img/s", "4 gpu img/s", "scaling"]);
+    for gbps in [2.0, 4.0, 6.0, 12.0, 24.0] {
+        let mut node1 = NodeConfig::with_gpus(1);
+        node1.cpu.staging_bytes_per_s = gbps * 1e9;
+        let mut node4 = NodeConfig::with_gpus(4);
+        node4.cpu.staging_bytes_per_s = gbps * 1e9;
+        let mk = |node: NodeConfig, c: usize| Experiment {
+            node,
+            config: ServerConfig::optimized(),
+            model: ModelProfile::vit_base(),
+            mix: ImageMix::fixed(ImageSpec::large()),
+            concurrency: c,
+            warmup_s: w.warmup_s,
+            measure_s: w.measure_s,
+            seed: 7,
+        };
+        let x1 = mk(node1, 256).run().throughput;
+        let x4 = mk(node4, 512).run().throughput;
+        t.row_owned(vec![
+            fmt(gbps, 0),
+            fmt(x1, 0),
+            fmt(x4, 0),
+            fmt(x4 / x1.max(1e-9), 2),
+        ]);
+    }
+    format!(
+        "Ablation — host staging bandwidth vs multi-GPU scaling (large images)\n{}",
+        t.render()
+    )
+}
+
+/// Sweep the GPU memory watermark: what produces the Fig 5 decline at
+/// extreme concurrency.
+pub fn memory_watermark_sweep(w: Windows) -> String {
+    let mut t = Table::new(&["watermark", "img/s @512", "img/s @4096", "decline %"]);
+    for watermark in [0.4, 0.6, 0.8, 1.0] {
+        let mut node = NodeConfig::paper_testbed();
+        node.gpu.mem_watermark = watermark;
+        let x512 = base(node, ServerConfig::optimized(), 512, w).run().throughput;
+        let x4096 = base(node, ServerConfig::optimized(), 4096, w).run().throughput;
+        t.row_owned(vec![
+            fmt(watermark, 1),
+            fmt(x512, 0),
+            fmt(x4096, 0),
+            fmt((1.0 - x4096 / x512.max(1e-9)) * 100.0, 1),
+        ]);
+    }
+    format!(
+        "Ablation — GPU memory watermark vs extreme-concurrency decline\n{}",
+        t.render()
+    )
+}
+
+/// Broker cost sensitivity: scale the disk broker's per-message cost (a
+/// stand-in for fsync policy) and watch the Fig 11 gap move.
+pub fn broker_cost_sweep(w: Windows) -> String {
+    use vserve_broker::BrokerKind;
+    let node = NodeConfig::paper_testbed();
+    let mut t = Table::new(&["broker", "faces", "frames/s"]);
+    for broker in [BrokerKind::KafkaLike, BrokerKind::RedisLike, BrokerKind::Fused] {
+        for k in [4u64, 12, 25] {
+            let r = PipelineExperiment {
+                node,
+                broker,
+                faces: FacesPerFrame::fixed(k),
+                concurrency: 64,
+                warmup_s: w.warmup_s,
+                measure_s: w.measure_s,
+                seed: 7,
+            }
+            .run();
+            t.row_owned(vec![
+                broker.to_string(),
+                k.to_string(),
+                fmt(r.frame_throughput, 0),
+            ]);
+        }
+    }
+    format!("Ablation — broker kind × faces per frame\n{}", t.render())
+}
+
+/// Runs every ablation and concatenates the reports.
+pub fn all(w: Windows) -> String {
+    [
+        batch_delay_sweep(w),
+        worker_instance_grid(w),
+        staging_bandwidth_sweep(w),
+        memory_watermark_sweep(w),
+        broker_cost_sweep(w),
+    ]
+    .join("\n")
+}

@@ -1,0 +1,4 @@
+//! Runs every design-choice ablation sweep.
+fn main() {
+    println!("{}", vserve_bench::ablations::all(vserve_bench::figs::Windows::default()));
+}

@@ -1,0 +1,17 @@
+//! Regenerates every figure in one run (the EXPERIMENTS.md source).
+fn main() {
+    use vserve_bench::figs::{self, Windows};
+    let w = Windows::default();
+    for report in [
+        figs::fig3_report(w),
+        figs::fig4_report(w),
+        figs::fig5_report(w),
+        figs::fig6_report(w),
+        figs::fig7_report(w),
+        figs::fig8_report(w),
+        figs::fig9_report(w),
+        figs::fig11_report(w),
+    ] {
+        println!("{report}");
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 7; see `vserve_bench::figs`.
+fn main() {
+    println!("{}", vserve_bench::figs::fig7_report(vserve_bench::figs::Windows::default()));
+}

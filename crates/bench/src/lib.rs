@@ -1,0 +1,17 @@
+//! Benchmark harness: regenerates every figure in the paper's evaluation.
+//!
+//! * [`figs`] — one function per paper figure (3–9, 11), each returning
+//!   structured rows plus a rendered paper-vs-measured table. Binaries
+//!   `fig3`…`fig11` print them (`cargo run -p vserve-bench --bin fig6`).
+//! * [`ablations`] — sweeps over the mechanisms behind each reproduced
+//!   shape (batch delay, worker grid, staging bandwidth, memory
+//!   watermark, broker costs).
+//! * `benches/` — criterion benchmarks of the real substrates (codec,
+//!   kernels, brokers, DES engine) and of each figure harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figs;
+pub mod table;

@@ -1,0 +1,113 @@
+//! Simulation-facing broker cost models.
+//!
+//! The discrete-event pipeline experiments (Fig 11) do not move real
+//! bytes; they charge each produce/consume the costs measured from the
+//! real brokers in this crate (see `vserve-bench`'s `broker_ops` bench)
+//! scaled to the server-class hardware of the paper's testbed.
+
+/// The three inter-stage coupling options the paper compares (§4.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BrokerKind {
+    /// Disk-backed log broker (Apache Kafka in the paper / prior work
+    /// [Richins et al.]).
+    KafkaLike,
+    /// Memory-backed broker (Redis in the paper).
+    RedisLike,
+    /// No broker: both stages fused into one process.
+    Fused,
+}
+
+impl std::fmt::Display for BrokerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BrokerKind::KafkaLike => "kafka-like",
+            BrokerKind::RedisLike => "redis-like",
+            BrokerKind::Fused => "fused",
+        })
+    }
+}
+
+/// Per-message broker costs used by the pipeline simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrokerCost {
+    /// Producer-side latency per message, seconds (serialize + append +
+    /// durability + ack).
+    pub produce_s: f64,
+    /// Consumer-side latency per message, seconds (poll + deserialize).
+    pub consume_s: f64,
+    /// Additional cost per payload byte, seconds.
+    pub per_byte_s: f64,
+    /// Maximum sustained messages/second through one broker instance
+    /// (`f64::INFINITY` for the fused path).
+    pub max_rate: f64,
+    /// Per-frame pipeline stall induced by broker-driven hand-off (poll
+    /// wake-ups, cross-process scheduling) during which the GPU idles.
+    pub pipeline_bubble_s: f64,
+}
+
+impl BrokerKind {
+    /// Calibrated cost model for this broker kind.
+    ///
+    /// Anchors: prior work measured Kafka at ≈36 % of a face-pipeline's
+    /// latency; the paper re-measures Kafka at 71 % of its (faster)
+    /// pipeline and Redis at just 6 %, with a 2.25× end-to-end throughput
+    /// gap. A fused call is a function invocation.
+    pub fn cost(self) -> BrokerCost {
+        match self {
+            BrokerKind::KafkaLike => BrokerCost {
+                produce_s: 3.2e-3, // append + fsync + broker ack
+                consume_s: 2.2e-3, // poll round + deserialize
+                per_byte_s: 4.0e-9,
+                max_rate: 4_700.0,
+                pipeline_bubble_s: 1.0e-3,
+            },
+            BrokerKind::RedisLike => BrokerCost {
+                produce_s: 60e-6, // in-memory RPUSH round trip
+                consume_s: 45e-6, // BLPOP round trip
+                per_byte_s: 0.6e-9,
+                max_rate: 160_000.0,
+                pipeline_bubble_s: 140e-6,
+            },
+            BrokerKind::Fused => BrokerCost {
+                produce_s: 1e-6,
+                consume_s: 1e-6,
+                per_byte_s: 0.0,
+                max_rate: f64::INFINITY,
+                pipeline_bubble_s: 0.0,
+            },
+        }
+    }
+
+    /// Total broker time charged to one message of `bytes` payload.
+    pub fn message_time(self, bytes: usize) -> f64 {
+        let c = self.cost();
+        c.produce_s + c.consume_s + c.per_byte_s * bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_kafka_redis_fused() {
+        let k = BrokerKind::KafkaLike.message_time(50_000);
+        let r = BrokerKind::RedisLike.message_time(50_000);
+        let f = BrokerKind::Fused.message_time(50_000);
+        assert!(k > 10.0 * r, "kafka {k} redis {r}");
+        assert!(r > f);
+    }
+
+    #[test]
+    fn kafka_millisecond_scale_redis_microsecond_scale() {
+        assert!(BrokerKind::KafkaLike.message_time(10_000) > 1e-3);
+        assert!(BrokerKind::RedisLike.message_time(10_000) < 0.3e-3);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BrokerKind::KafkaLike.to_string(), "kafka-like");
+        assert_eq!(BrokerKind::RedisLike.to_string(), "redis-like");
+        assert_eq!(BrokerKind::Fused.to_string(), "fused");
+    }
+}

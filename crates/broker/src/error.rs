@@ -1,0 +1,37 @@
+//! Broker error type.
+
+/// Errors returned by broker operations.
+#[derive(Debug)]
+pub enum BrokerError {
+    /// Underlying storage I/O failed.
+    Io(std::io::Error),
+    /// The requested topic does not exist.
+    UnknownTopic(String),
+    /// A stored record was truncated or corrupt.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::Io(e) => write!(f, "broker storage error: {e}"),
+            BrokerError::UnknownTopic(t) => write!(f, "unknown topic: {t}"),
+            BrokerError::Corrupt(what) => write!(f, "corrupt log record: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BrokerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BrokerError {
+    fn from(e: std::io::Error) -> Self {
+        BrokerError::Io(e)
+    }
+}

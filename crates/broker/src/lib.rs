@@ -1,0 +1,116 @@
+//! Message brokers for multi-DNN pipelines (§4.7 / Fig 10–11).
+//!
+//! The paper compares three ways of coupling a face detector to a face
+//! identifier: a disk-backed log broker (Apache Kafka, as in prior work),
+//! an in-memory broker (Redis), and a fused single process. This crate
+//! implements all three for real:
+//!
+//! * [`LogBroker`] — append-only segment files with an explicit
+//!   [`FsyncPolicy`], record framing, crash recovery, and consumer-group
+//!   offsets (the Kafka-like arm).
+//! * [`MemBroker`] — an in-memory topic log with blocking fetch (the
+//!   Redis-like arm).
+//! * [`BrokerKind`] / [`BrokerCost`] — calibrated per-message cost models
+//!   the discrete-event pipeline simulation charges (Fig 11).
+//!
+//! Both real brokers implement the common [`Broker`] trait used by the
+//! live pipeline example.
+//!
+//! # Examples
+//!
+//! ```
+//! use vserve_broker::{Broker, MemBroker};
+//!
+//! # fn main() -> Result<(), vserve_broker::BrokerError> {
+//! let broker = MemBroker::new();
+//! broker.publish("detections", b"face @ (10, 20)")?;
+//! let msgs = broker.fetch("detections", "identify-workers", 32)?;
+//! assert_eq!(msgs.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod error;
+mod log_broker;
+mod mem_broker;
+
+pub use cost::{BrokerCost, BrokerKind};
+pub use error::BrokerError;
+pub use log_broker::LogBroker;
+pub use mem_broker::MemBroker;
+
+use bytes::Bytes;
+
+/// Durability policy for the disk-backed [`LogBroker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record (maximum durability, maximum cost —
+    /// the configuration that makes disk brokers dominate pipeline
+    /// latency).
+    PerMessage,
+    /// `fsync` after every `n` records.
+    EveryN(usize),
+    /// Let the OS flush (fastest, weakest).
+    Never,
+}
+
+/// Common publish/fetch interface over the real brokers.
+///
+/// Implementations are thread-safe; producers and consumers may run on
+/// different threads (the live pipeline does exactly that).
+pub trait Broker: Send + Sync {
+    /// Appends `payload` to `topic`, returning its offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Io`] if durable storage fails.
+    fn publish(&self, topic: &str, payload: &[u8]) -> Result<u64, BrokerError>;
+
+    /// Fetches up to `max` unread records for consumer `group`, advancing
+    /// its cursor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownTopic`] if the topic has never been
+    /// published to, or [`BrokerError::Io`] on storage failures.
+    fn fetch(&self, topic: &str, group: &str, max: usize) -> Result<Vec<Bytes>, BrokerError>;
+
+    /// Unread records remaining for `group` on `topic`.
+    fn depth(&self, topic: &str, group: &str) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both brokers satisfy the same behavioural contract.
+    fn contract(b: &dyn Broker) {
+        assert_eq!(b.publish("c", b"one").unwrap(), 0);
+        assert_eq!(b.publish("c", b"two").unwrap(), 1);
+        assert_eq!(b.depth("c", "g"), 2);
+        let got = b.fetch("c", "g", 1).unwrap();
+        assert_eq!(got[0].as_ref(), b"one");
+        assert_eq!(b.depth("c", "g"), 1);
+        let got = b.fetch("c", "g", 5).unwrap();
+        assert_eq!(got[0].as_ref(), b"two");
+        assert_eq!(b.depth("c", "g"), 0);
+    }
+
+    #[test]
+    fn mem_broker_contract() {
+        contract(&MemBroker::new());
+    }
+
+    #[test]
+    fn log_broker_contract() {
+        let dir = std::env::temp_dir().join(format!("vserve-contract-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let b = LogBroker::open(&dir, FsyncPolicy::Never).unwrap();
+        contract(&b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,402 @@
+//! Disk-backed append-log message broker (the Kafka-like arm of §4.7).
+//!
+//! Records are framed `u32-length || payload` in per-topic segment files;
+//! durability comes from an explicit fsync policy. Consumer groups track
+//! committed offsets. This is deliberately the same storage architecture
+//! that makes Kafka durable — and the same architecture whose write/fsync
+//! path the paper identifies as the dominant multi-DNN pipeline overhead.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::{Broker, BrokerError, FsyncPolicy};
+
+struct TopicLog {
+    writer: File,
+    reader: File,
+    /// Byte position of each record, indexed by offset.
+    index: Vec<u64>,
+    /// Bytes appended so far.
+    tail: u64,
+    /// Appends since the last fsync (for [`FsyncPolicy::EveryN`]).
+    unsynced: usize,
+    /// Committed next-offset per consumer group.
+    groups: HashMap<String, u64>,
+}
+
+/// A durable, disk-backed broker rooted at a directory.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_broker::{Broker, FsyncPolicy, LogBroker};
+///
+/// # fn main() -> Result<(), vserve_broker::BrokerError> {
+/// let dir = std::env::temp_dir().join(format!("vserve-log-{}", std::process::id()));
+/// let broker = LogBroker::open(&dir, FsyncPolicy::EveryN(64))?;
+/// broker.publish("faces", b"frame-1")?;
+/// let msgs = broker.fetch("faces", "identifiers", 10)?;
+/// assert_eq!(msgs.len(), 1);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
+pub struct LogBroker {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    topics: Mutex<HashMap<String, TopicLog>>,
+}
+
+impl std::fmt::Debug for LogBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogBroker")
+            .field("dir", &self.dir)
+            .field("fsync", &self.fsync)
+            .finish()
+    }
+}
+
+impl LogBroker {
+    /// Opens (creating if needed) a broker rooted at `dir`.
+    ///
+    /// Existing topic segments in the directory are recovered: their
+    /// record index is rebuilt by scanning the framing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Io`] if the directory cannot be created or a
+    /// segment cannot be read, and [`BrokerError::Corrupt`] if a segment's
+    /// framing is damaged.
+    pub fn open(dir: impl Into<PathBuf>, fsync: FsyncPolicy) -> Result<Self, BrokerError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut topics = HashMap::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("seg") {
+                let name = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or_default()
+                    .to_owned();
+                let log = Self::recover(&path)?;
+                topics.insert(name, log);
+            }
+        }
+        Ok(LogBroker {
+            dir,
+            fsync,
+            topics: Mutex::new(topics),
+        })
+    }
+
+    fn segment_path(&self, topic: &str) -> PathBuf {
+        self.dir.join(format!("{topic}.seg"))
+    }
+
+    fn recover(path: &PathBuf) -> Result<TopicLog, BrokerError> {
+        let mut reader = File::open(path)?;
+        let mut data = Vec::new();
+        reader.read_to_end(&mut data)?;
+        let mut index = Vec::new();
+        let mut pos = 0u64;
+        while (pos as usize) < data.len() {
+            let p = pos as usize;
+            if p + 4 > data.len() {
+                return Err(BrokerError::Corrupt("truncated length header"));
+            }
+            let len = u32::from_le_bytes([data[p], data[p + 1], data[p + 2], data[p + 3]]) as u64;
+            if p as u64 + 4 + len > data.len() as u64 {
+                return Err(BrokerError::Corrupt("truncated record body"));
+            }
+            index.push(pos);
+            pos += 4 + len;
+        }
+        let writer = OpenOptions::new().append(true).open(path)?;
+        let reader = File::open(path)?;
+        Ok(TopicLog {
+            writer,
+            reader,
+            index,
+            tail: pos,
+            unsynced: 0,
+            groups: HashMap::new(),
+        })
+    }
+
+    fn topic_mut<'a>(
+        &self,
+        topics: &'a mut HashMap<String, TopicLog>,
+        topic: &str,
+    ) -> Result<&'a mut TopicLog, BrokerError> {
+        if !topics.contains_key(topic) {
+            let path = self.segment_path(topic);
+            let writer = OpenOptions::new().create(true).append(true).open(&path)?;
+            let reader = File::open(&path)?;
+            topics.insert(
+                topic.to_owned(),
+                TopicLog {
+                    writer,
+                    reader,
+                    index: Vec::new(),
+                    tail: 0,
+                    unsynced: 0,
+                    groups: HashMap::new(),
+                },
+            );
+        }
+        Ok(topics.get_mut(topic).expect("inserted above"))
+    }
+
+    /// Number of records in `topic` (0 for unknown topics).
+    pub fn len(&self, topic: &str) -> usize {
+        self.topics
+            .lock()
+            .get(topic)
+            .map_or(0, |t| t.index.len())
+    }
+
+    /// Whether `topic` holds no records.
+    pub fn is_empty(&self, topic: &str) -> bool {
+        self.len(topic) == 0
+    }
+}
+
+impl Broker for LogBroker {
+    fn publish(&self, topic: &str, payload: &[u8]) -> Result<u64, BrokerError> {
+        let mut topics = self.topics.lock();
+        let fsync = self.fsync;
+        let log = self.topic_mut(&mut topics, topic)?;
+        let offset = log.index.len() as u64;
+        let len = payload.len() as u32;
+        log.writer.write_all(&len.to_le_bytes())?;
+        log.writer.write_all(payload)?;
+        log.index.push(log.tail);
+        log.tail += 4 + u64::from(len);
+        log.unsynced += 1;
+        let must_sync = match fsync {
+            FsyncPolicy::PerMessage => true,
+            FsyncPolicy::EveryN(n) => log.unsynced >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        if must_sync {
+            log.writer.sync_data()?;
+            log.unsynced = 0;
+        }
+        Ok(offset)
+    }
+
+    fn fetch(&self, topic: &str, group: &str, max: usize) -> Result<Vec<Bytes>, BrokerError> {
+        let mut topics = self.topics.lock();
+        let log = match topics.get_mut(topic) {
+            Some(l) => l,
+            None => return Err(BrokerError::UnknownTopic(topic.to_owned())),
+        };
+        let start = *log.groups.get(group).unwrap_or(&0);
+        let end = (start as usize + max).min(log.index.len()) as u64;
+        let mut out = Vec::with_capacity((end - start) as usize);
+        for off in start..end {
+            let pos = log.index[off as usize];
+            log.reader.seek(SeekFrom::Start(pos))?;
+            let mut hdr = [0u8; 4];
+            log.reader.read_exact(&mut hdr)?;
+            let len = u32::from_le_bytes(hdr) as usize;
+            let mut buf = vec![0u8; len];
+            log.reader.read_exact(&mut buf)?;
+            out.push(Bytes::from(buf));
+        }
+        log.groups.insert(group.to_owned(), end);
+        Ok(out)
+    }
+
+    fn depth(&self, topic: &str, group: &str) -> usize {
+        self.topics.lock().get(topic).map_or(0, |log| {
+            log.index.len() - *log.groups.get(group).unwrap_or(&0) as usize
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vserve-logbroker-{}-{tag}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn publish_fetch_fifo() {
+        let dir = temp_dir("fifo");
+        let b = LogBroker::open(&dir, FsyncPolicy::Never).unwrap();
+        for i in 0..10u8 {
+            b.publish("t", &[i]).unwrap();
+        }
+        let first = b.fetch("t", "g", 4).unwrap();
+        assert_eq!(first.len(), 4);
+        assert_eq!(first[0].as_ref(), &[0]);
+        let rest = b.fetch("t", "g", 100).unwrap();
+        assert_eq!(rest.len(), 6);
+        assert_eq!(rest[5].as_ref(), &[9]);
+        assert_eq!(b.depth("t", "g"), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn independent_consumer_groups() {
+        let dir = temp_dir("groups");
+        let b = LogBroker::open(&dir, FsyncPolicy::Never).unwrap();
+        b.publish("t", b"x").unwrap();
+        assert_eq!(b.fetch("t", "g1", 10).unwrap().len(), 1);
+        assert_eq!(b.fetch("t", "g2", 10).unwrap().len(), 1);
+        assert_eq!(b.fetch("t", "g1", 10).unwrap().len(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_topic_fetch_errors() {
+        let dir = temp_dir("unknown");
+        let b = LogBroker::open(&dir, FsyncPolicy::Never).unwrap();
+        assert!(matches!(
+            b.fetch("absent", "g", 1),
+            Err(BrokerError::UnknownTopic(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_after_reopen() {
+        let dir = temp_dir("recover");
+        {
+            let b = LogBroker::open(&dir, FsyncPolicy::PerMessage).unwrap();
+            b.publish("t", b"alpha").unwrap();
+            b.publish("t", b"beta").unwrap();
+        }
+        let b = LogBroker::open(&dir, FsyncPolicy::PerMessage).unwrap();
+        assert_eq!(b.len("t"), 2);
+        let msgs = b.fetch("t", "g", 10).unwrap();
+        assert_eq!(msgs[0].as_ref(), b"alpha");
+        assert_eq!(msgs[1].as_ref(), b"beta");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_segment_detected() {
+        let dir = temp_dir("corrupt");
+        {
+            let b = LogBroker::open(&dir, FsyncPolicy::PerMessage).unwrap();
+            b.publish("t", b"payload").unwrap();
+        }
+        // Truncate mid-record.
+        let path = dir.join("t.seg");
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 2]).unwrap();
+        assert!(matches!(
+            LogBroker::open(&dir, FsyncPolicy::PerMessage),
+            Err(BrokerError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn large_payload_round_trips() {
+        let dir = temp_dir("large");
+        let b = LogBroker::open(&dir, FsyncPolicy::EveryN(8)).unwrap();
+        let payload: Vec<u8> = (0..100_000).map(|i| (i % 251) as u8).collect();
+        b.publish("big", &payload).unwrap();
+        let got = b.fetch("big", "g", 1).unwrap();
+        assert_eq!(got[0].as_ref(), payload.as_slice());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::Broker;
+    use std::sync::Arc;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vserve-logbroker2-{}-{tag}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn every_n_policy_still_round_trips() {
+        let dir = temp_dir("everyn");
+        let b = LogBroker::open(&dir, FsyncPolicy::EveryN(3)).unwrap();
+        for i in 0..10u8 {
+            b.publish("t", &[i]).unwrap();
+        }
+        let got = b.fetch("t", "g", 100).unwrap();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[9].as_ref(), &[9]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumer() {
+        let dir = temp_dir("mt");
+        let b = Arc::new(LogBroker::open(&dir, FsyncPolicy::Never).unwrap());
+        let producers: Vec<_> = (0..3)
+            .map(|p| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        b.publish("t", &(p * 1000 + i).to_le_bytes()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        let mut total = 0;
+        loop {
+            let got = b.fetch("t", "g", 7).unwrap();
+            if got.is_empty() {
+                break;
+            }
+            total += got.len();
+        }
+        assert_eq!(total, 150);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multiple_topics_are_isolated() {
+        let dir = temp_dir("topics");
+        let b = LogBroker::open(&dir, FsyncPolicy::Never).unwrap();
+        b.publish("a", b"alpha").unwrap();
+        b.publish("b", b"beta").unwrap();
+        assert_eq!(b.fetch("a", "g", 10).unwrap()[0].as_ref(), b"alpha");
+        assert_eq!(b.fetch("b", "g", 10).unwrap()[0].as_ref(), b"beta");
+        assert_eq!(b.len("a"), 1);
+        assert_eq!(b.len("b"), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let dir = temp_dir("empty");
+        let b = LogBroker::open(&dir, FsyncPolicy::PerMessage).unwrap();
+        b.publish("t", b"").unwrap();
+        let got = b.fetch("t", "g", 1).unwrap();
+        assert!(got[0].is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

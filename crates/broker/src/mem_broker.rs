@@ -1,0 +1,222 @@
+//! In-memory message broker (the Redis-like arm of §4.7).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::{Broker, BrokerError};
+
+#[derive(Default)]
+struct Topic {
+    records: Vec<Bytes>,
+    groups: HashMap<String, usize>,
+}
+
+/// A memory-backed broker: publish appends to an in-memory log, fetch
+/// advances a per-group cursor. No disk I/O on the hot path — the
+/// architectural difference that gives the paper's 125 % throughput gain
+/// over the disk-backed broker.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_broker::{Broker, MemBroker};
+///
+/// # fn main() -> Result<(), vserve_broker::BrokerError> {
+/// let broker = MemBroker::new();
+/// broker.publish("faces", b"crop-0")?;
+/// broker.publish("faces", b"crop-1")?;
+/// assert_eq!(broker.fetch("faces", "identify", 10)?.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct MemBroker {
+    topics: Mutex<HashMap<String, Topic>>,
+    published: Condvar,
+}
+
+impl std::fmt::Debug for MemBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemBroker")
+            .field("topics", &self.topics.lock().len())
+            .finish()
+    }
+}
+
+impl MemBroker {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until `topic` has unread records for `group` (or the
+    /// timeout elapses), then fetches like [`Broker::fetch`].
+    ///
+    /// # Errors
+    ///
+    /// Never errors today; the `Result` mirrors the [`Broker`] interface.
+    pub fn fetch_blocking(
+        &self,
+        topic: &str,
+        group: &str,
+        max: usize,
+        timeout: std::time::Duration,
+    ) -> Result<Vec<Bytes>, BrokerError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut topics = self.topics.lock();
+        loop {
+            let available = topics
+                .get(topic)
+                .map_or(0, |t| t.records.len() - t.groups.get(group).copied().unwrap_or(0));
+            if available > 0 {
+                return Ok(Self::take(&mut topics, topic, group, max));
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(Vec::new());
+            }
+            if self
+                .published
+                .wait_until(&mut topics, deadline)
+                .timed_out()
+            {
+                return Ok(Self::take(&mut topics, topic, group, max));
+            }
+        }
+    }
+
+    fn take(
+        topics: &mut HashMap<String, Topic>,
+        topic: &str,
+        group: &str,
+        max: usize,
+    ) -> Vec<Bytes> {
+        let t = match topics.get_mut(topic) {
+            Some(t) => t,
+            None => return Vec::new(),
+        };
+        let start = t.groups.get(group).copied().unwrap_or(0);
+        let end = (start + max).min(t.records.len());
+        let out = t.records[start..end].to_vec();
+        t.groups.insert(group.to_owned(), end);
+        out
+    }
+
+    /// Number of records ever published to `topic`.
+    pub fn len(&self, topic: &str) -> usize {
+        self.topics.lock().get(topic).map_or(0, |t| t.records.len())
+    }
+
+    /// Whether `topic` holds no records.
+    pub fn is_empty(&self, topic: &str) -> bool {
+        self.len(topic) == 0
+    }
+}
+
+impl Broker for MemBroker {
+    fn publish(&self, topic: &str, payload: &[u8]) -> Result<u64, BrokerError> {
+        let mut topics = self.topics.lock();
+        let t = topics.entry(topic.to_owned()).or_default();
+        let offset = t.records.len() as u64;
+        t.records.push(Bytes::copy_from_slice(payload));
+        self.published.notify_all();
+        Ok(offset)
+    }
+
+    fn fetch(&self, topic: &str, group: &str, max: usize) -> Result<Vec<Bytes>, BrokerError> {
+        let mut topics = self.topics.lock();
+        if !topics.contains_key(topic) {
+            return Err(BrokerError::UnknownTopic(topic.to_owned()));
+        }
+        Ok(Self::take(&mut topics, topic, group, max))
+    }
+
+    fn depth(&self, topic: &str, group: &str) -> usize {
+        self.topics.lock().get(topic).map_or(0, |t| {
+            t.records.len() - t.groups.get(group).copied().unwrap_or(0)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_per_group() {
+        let b = MemBroker::new();
+        b.publish("t", b"a").unwrap();
+        b.publish("t", b"b").unwrap();
+        let got = b.fetch("t", "g", 1).unwrap();
+        assert_eq!(got[0].as_ref(), b"a");
+        let got = b.fetch("t", "g", 1).unwrap();
+        assert_eq!(got[0].as_ref(), b"b");
+        assert!(b.fetch("t", "g", 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_topic_errors() {
+        let b = MemBroker::new();
+        assert!(matches!(
+            b.fetch("none", "g", 1),
+            Err(BrokerError::UnknownTopic(_))
+        ));
+    }
+
+    #[test]
+    fn depth_tracks_lag() {
+        let b = MemBroker::new();
+        b.publish("t", b"1").unwrap();
+        b.publish("t", b"2").unwrap();
+        assert_eq!(b.depth("t", "g"), 2);
+        b.fetch("t", "g", 1).unwrap();
+        assert_eq!(b.depth("t", "g"), 1);
+    }
+
+    #[test]
+    fn blocking_fetch_wakes_on_publish() {
+        let b = Arc::new(MemBroker::new());
+        let b2 = Arc::clone(&b);
+        let handle = std::thread::spawn(move || {
+            b2.fetch_blocking("t", "g", 10, Duration::from_secs(5)).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        b.publish("t", b"wake").unwrap();
+        let got = handle.join().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].as_ref(), b"wake");
+    }
+
+    #[test]
+    fn blocking_fetch_times_out_empty() {
+        let b = MemBroker::new();
+        let got = b
+            .fetch_blocking("t", "g", 10, Duration::from_millis(10))
+            .unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn concurrent_publishers() {
+        let b = Arc::new(MemBroker::new());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for j in 0..100u32 {
+                        b.publish("t", &(i * 1000 + j).to_le_bytes()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.len("t"), 400);
+        assert_eq!(b.fetch("t", "g", 1000).unwrap().len(), 400);
+    }
+}

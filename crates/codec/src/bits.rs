@@ -1,0 +1,203 @@
+//! Entropy-coded-segment bit I/O with JPEG byte stuffing.
+
+use crate::DecodeJpegError;
+
+/// MSB-first bit writer that stuffs a `0x00` after every literal `0xFF`
+/// byte, as required inside a JPEG entropy-coded segment.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `len` bits of `bits`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 24`.
+    pub fn put(&mut self, bits: u32, len: u32) {
+        assert!(len <= 24, "bit run too long: {len}");
+        if len == 0 {
+            return;
+        }
+        debug_assert!(bits < (1u32 << len), "bits exceed length");
+        self.acc = (self.acc << len) | (bits & ((1u32 << len) - 1));
+        self.nbits += len;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            let byte = ((self.acc >> self.nbits) & 0xff) as u8;
+            self.out.push(byte);
+            if byte == 0xff {
+                self.out.push(0x00);
+            }
+        }
+    }
+
+    /// Pads the current partial byte with `1` bits (a no-op on a byte
+    /// boundary) — required before emitting a restart marker.
+    pub fn pad_to_byte(&mut self) {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.put((1u32 << pad) - 1, pad);
+        }
+    }
+
+    /// Appends raw bytes (e.g. an RSTn marker) directly to the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with buffered bits; call
+    /// [`pad_to_byte`](Self::pad_to_byte) first.
+    pub fn put_marker(&mut self, marker: u8) {
+        assert_eq!(self.nbits, 0, "marker emitted mid-byte");
+        self.out.push(0xff);
+        self.out.push(marker);
+    }
+
+    /// Pads the final partial byte with `1` bits and returns the stuffed
+    /// entropy-coded segment.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.pad_to_byte();
+        self.out
+    }
+}
+
+/// MSB-first bit reader that removes `0xFF 0x00` stuffing and stops at any
+/// other marker.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u32,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over an entropy-coded segment.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Pulls exactly one more byte into the accumulator.
+    fn fill(&mut self) -> Result<(), DecodeJpegError> {
+        if self.pos >= self.data.len() {
+            return Err(DecodeJpegError::UnexpectedEof);
+        }
+        let byte = self.data[self.pos];
+        if byte == 0xff {
+            match self.data.get(self.pos + 1) {
+                Some(0x00) => {
+                    self.pos += 2; // stuffed 0xFF
+                }
+                _ => return Err(DecodeJpegError::UnexpectedEof), // marker: segment over
+            }
+        } else {
+            self.pos += 1;
+        }
+        self.acc = (self.acc << 8) | u32::from(byte);
+        self.nbits += 8;
+        Ok(())
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeJpegError::UnexpectedEof`] when the segment is
+    /// exhausted.
+    pub fn bit(&mut self) -> Result<u32, DecodeJpegError> {
+        if self.nbits == 0 {
+            self.fill()?;
+        }
+        self.nbits -= 1;
+        Ok((self.acc >> self.nbits) & 1)
+    }
+
+    /// Reads `len` bits MSB-first (`len` ≤ 16). `len == 0` returns 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeJpegError::UnexpectedEof`] when the segment is
+    /// exhausted.
+    pub fn bits(&mut self, len: u32) -> Result<u32, DecodeJpegError> {
+        debug_assert!(len <= 16);
+        let mut v = 0;
+        for _ in 0..len {
+            v = (v << 1) | self.bit()?;
+        }
+        Ok(v)
+    }
+
+    /// Byte offset of the next unread byte in the underlying slice.
+    pub fn byte_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn writer_pads_with_ones() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        let out = w.finish();
+        assert_eq!(out, vec![0b1011_1111]);
+    }
+
+    #[test]
+    fn writer_stuffs_ff() {
+        let mut w = BitWriter::new();
+        w.put(0xff, 8);
+        let out = w.finish();
+        assert_eq!(out, vec![0xff, 0x00]);
+    }
+
+    #[test]
+    fn reader_unstuffs_ff() {
+        let mut r = BitReader::new(&[0xff, 0x00, 0x80]);
+        assert_eq!(r.bits(8).unwrap(), 0xff);
+        assert_eq!(r.bit().unwrap(), 1);
+    }
+
+    #[test]
+    fn reader_stops_at_marker() {
+        let mut r = BitReader::new(&[0xff, 0xd9]); // EOI
+        assert!(matches!(r.bit(), Err(DecodeJpegError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn reader_eof_on_empty() {
+        let mut r = BitReader::new(&[]);
+        assert!(r.bit().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_bits(runs in prop::collection::vec((0u32..0xffff, 1u32..17), 1..200)) {
+            let mut w = BitWriter::new();
+            for &(bits, len) in &runs {
+                w.put(bits & ((1 << len) - 1), len);
+            }
+            let encoded = w.finish();
+            let mut r = BitReader::new(&encoded);
+            for &(bits, len) in &runs {
+                prop_assert_eq!(r.bits(len).unwrap(), bits & ((1 << len) - 1));
+            }
+        }
+    }
+}

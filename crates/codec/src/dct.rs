@@ -1,0 +1,129 @@
+//! 8×8 forward and inverse discrete cosine transform.
+//!
+//! Uses the separable matrix form of the orthonormal DCT-II: with
+//! `C[u][x] = c(u)/2 · cos((2x+1)uπ/16)`, the forward transform is
+//! `F = C · f · Cᵀ` and the inverse is `f = Cᵀ · F · C`. The basis is
+//! precomputed once; each block costs two 8×8 matrix products.
+
+/// Precomputed orthonormal DCT-II basis, `BASIS[u][x]`.
+fn basis() -> &'static [[f32; 8]; 8] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0f32; 8]; 8];
+        for (u, row) in b.iter_mut().enumerate() {
+            let cu = if u == 0 {
+                (1.0f64 / 2.0f64.sqrt()) / 2.0
+            } else {
+                0.5
+            };
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = (cu
+                    * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos())
+                    as f32;
+            }
+        }
+        b
+    })
+}
+
+/// Forward 8×8 DCT of a level-shifted block (raster order in, raster out).
+pub fn fdct(block: &[f32; 64]) -> [f32; 64] {
+    let c = basis();
+    // rows: tmp = f · Cᵀ  (tmp[y][u] = Σx f[y][x] C[u][x])
+    let mut tmp = [0f32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut s = 0.0;
+            for x in 0..8 {
+                s += block[y * 8 + x] * c[u][x];
+            }
+            tmp[y * 8 + u] = s;
+        }
+    }
+    // cols: F[v][u] = Σy C[v][y] tmp[y][u]
+    let mut out = [0f32; 64];
+    for v in 0..8 {
+        for u in 0..8 {
+            let mut s = 0.0;
+            for y in 0..8 {
+                s += c[v][y] * tmp[y * 8 + u];
+            }
+            out[v * 8 + u] = s;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT (raster order in, raster out).
+pub fn idct(coeffs: &[f32; 64]) -> [f32; 64] {
+    let c = basis();
+    // rows: tmp[v][x] = Σu coeffs[v][u] C[u][x]
+    let mut tmp = [0f32; 64];
+    for v in 0..8 {
+        for x in 0..8 {
+            let mut s = 0.0;
+            for u in 0..8 {
+                s += coeffs[v * 8 + u] * c[u][x];
+            }
+            tmp[v * 8 + x] = s;
+        }
+    }
+    // cols: f[y][x] = Σv C[v][y] tmp[v][x]
+    let mut out = [0f32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut s = 0.0;
+            for v in 0..8 {
+                s += c[v][y] * tmp[v * 8 + x];
+            }
+            out[y * 8 + x] = s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_block_has_only_dc() {
+        let block = [32.0f32; 64];
+        let f = fdct(&block);
+        // Orthonormal DCT of a constant c is 8c at DC (c · 8) … with this
+        // normalization DC = mean × 8.
+        assert!((f[0] - 32.0 * 8.0).abs() < 1e-3, "dc {}", f[0]);
+        for (i, &v) in f.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-3, "ac[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut block = [0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 37 + 11) % 255) as f32 - 128.0;
+        }
+        let f = fdct(&block);
+        let e_spatial: f32 = block.iter().map(|x| x * x).sum();
+        let e_freq: f32 = f.iter().map(|x| x * x).sum();
+        assert!(
+            (e_spatial - e_freq).abs() / e_spatial < 1e-4,
+            "{e_spatial} vs {e_freq}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(vals in prop::collection::vec(-128f32..128.0, 64)) {
+            let mut block = [0f32; 64];
+            block.copy_from_slice(&vals);
+            let rec = idct(&fdct(&block));
+            for (a, b) in block.iter().zip(&rec) {
+                prop_assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Baseline sequential JPEG decoder.
+
+use vserve_tensor::{Image, PixelFormat};
+
+use crate::bits::BitReader;
+use crate::dct::idct;
+use crate::huffman::{extend, HuffDecoder};
+use crate::tables::ZIGZAG;
+use crate::DecodeJpegError;
+
+#[derive(Debug, Clone, Copy)]
+struct Component {
+    id: u8,
+    h: usize,
+    v: usize,
+    tq: usize,
+    dc_table: usize,
+    ac_table: usize,
+}
+
+struct Frame {
+    width: usize,
+    height: usize,
+    components: Vec<Component>,
+}
+
+/// Parsed decoder state.
+struct Decoder {
+    quant: [Option<[u16; 64]>; 4],
+    dc_tables: [Option<HuffDecoder>; 4],
+    ac_tables: [Option<HuffDecoder>; 4],
+    frame: Option<Frame>,
+    restart_interval: usize,
+}
+
+impl Decoder {
+    fn new() -> Self {
+        Decoder {
+            quant: [None, None, None, None],
+            dc_tables: [None, None, None, None],
+            ac_tables: [None, None, None, None],
+            frame: None,
+            restart_interval: 0,
+        }
+    }
+}
+
+fn read_u16(data: &[u8], pos: usize) -> Result<u16, DecodeJpegError> {
+    if pos + 1 >= data.len() {
+        return Err(DecodeJpegError::UnexpectedEof);
+    }
+    Ok(u16::from(data[pos]) << 8 | u16::from(data[pos + 1]))
+}
+
+/// Decodes a baseline JFIF/JPEG byte stream into an [`Image`].
+///
+/// Supports 8-bit baseline sequential JPEG (SOF0) with 1 or 3 components,
+/// arbitrary sampling factors up to 2×2, optional restart intervals, and
+/// standard or custom Huffman/quantization tables.
+///
+/// # Errors
+///
+/// Returns a [`DecodeJpegError`] describing the first structural problem
+/// found: missing SOI, unsupported frame type, truncated segments,
+/// undefined tables, or corrupt entropy data.
+pub fn decode(data: &[u8]) -> Result<Image, DecodeJpegError> {
+    if data.len() < 4 || data[0] != 0xff || data[1] != 0xd8 {
+        return Err(DecodeJpegError::NotAJpeg);
+    }
+    let mut dec = Decoder::new();
+    let mut pos = 2usize;
+
+    loop {
+        // Seek to the next marker (skip fill bytes 0xFF).
+        while pos < data.len() && data[pos] != 0xff {
+            pos += 1;
+        }
+        while pos < data.len() && data[pos] == 0xff {
+            pos += 1;
+        }
+        if pos >= data.len() {
+            return Err(DecodeJpegError::UnexpectedEof);
+        }
+        let marker = data[pos];
+        pos += 1;
+        match marker {
+            0xd9 => return Err(DecodeJpegError::MissingScan), // EOI before SOS
+            0xc0 => {
+                // SOF0 baseline
+                let len = read_u16(data, pos)? as usize;
+                let seg = data
+                    .get(pos + 2..pos + len)
+                    .ok_or(DecodeJpegError::UnexpectedEof)?;
+                dec.frame = Some(parse_sof(seg)?);
+                pos += len;
+            }
+            0xc1..=0xc3 | 0xc5..=0xc7 | 0xc9..=0xcb | 0xcd..=0xcf => {
+                return Err(DecodeJpegError::UnsupportedFrame(marker));
+            }
+            0xc4 => {
+                // DHT
+                let len = read_u16(data, pos)? as usize;
+                let seg = data
+                    .get(pos + 2..pos + len)
+                    .ok_or(DecodeJpegError::UnexpectedEof)?;
+                parse_dht(seg, &mut dec)?;
+                pos += len;
+            }
+            0xdb => {
+                // DQT
+                let len = read_u16(data, pos)? as usize;
+                let seg = data
+                    .get(pos + 2..pos + len)
+                    .ok_or(DecodeJpegError::UnexpectedEof)?;
+                parse_dqt(seg, &mut dec)?;
+                pos += len;
+            }
+            0xdd => {
+                // DRI
+                let len = read_u16(data, pos)? as usize;
+                if len < 4 {
+                    return Err(DecodeJpegError::Malformed("short DRI segment"));
+                }
+                dec.restart_interval = read_u16(data, pos + 2)? as usize;
+                pos += len;
+            }
+            0xda => {
+                // SOS: parse header then decode the scan.
+                let len = read_u16(data, pos)? as usize;
+                let seg = data
+                    .get(pos + 2..pos + len)
+                    .ok_or(DecodeJpegError::UnexpectedEof)?;
+                parse_sos(seg, &mut dec)?;
+                pos += len;
+                let ecs = data.get(pos..).ok_or(DecodeJpegError::UnexpectedEof)?;
+                return decode_scan(&dec, ecs);
+            }
+            0x01 | 0xd0..=0xd7 => {} // TEM/RSTn: standalone, no length
+            _ => {
+                // Any other segment (APPn, COM, …): skip by length.
+                let len = read_u16(data, pos)? as usize;
+                if len < 2 {
+                    return Err(DecodeJpegError::Malformed("segment length < 2"));
+                }
+                pos += len;
+            }
+        }
+    }
+}
+
+fn parse_sof(seg: &[u8]) -> Result<Frame, DecodeJpegError> {
+    if seg.len() < 6 {
+        return Err(DecodeJpegError::Malformed("short SOF segment"));
+    }
+    if seg[0] != 8 {
+        return Err(DecodeJpegError::Malformed("only 8-bit precision supported"));
+    }
+    let height = usize::from(seg[1]) << 8 | usize::from(seg[2]);
+    let width = usize::from(seg[3]) << 8 | usize::from(seg[4]);
+    let ncomp = seg[5] as usize;
+    if width == 0 || height == 0 {
+        return Err(DecodeJpegError::Malformed("zero image dimension"));
+    }
+    if !(ncomp == 1 || ncomp == 3) {
+        return Err(DecodeJpegError::Malformed("only 1 or 3 components supported"));
+    }
+    if seg.len() < 6 + 3 * ncomp {
+        return Err(DecodeJpegError::Malformed("short SOF component list"));
+    }
+    let mut components = Vec::with_capacity(ncomp);
+    for c in 0..ncomp {
+        let base = 6 + 3 * c;
+        let id = seg[base];
+        let h = (seg[base + 1] >> 4) as usize;
+        let v = (seg[base + 1] & 0x0f) as usize;
+        let tq = seg[base + 2] as usize;
+        if !(1..=2).contains(&h) || !(1..=2).contains(&v) {
+            return Err(DecodeJpegError::Malformed(
+                "sampling factors above 2 not supported",
+            ));
+        }
+        if tq > 3 {
+            return Err(DecodeJpegError::Malformed("quant table id out of range"));
+        }
+        components.push(Component {
+            id,
+            h,
+            v,
+            tq,
+            dc_table: 0,
+            ac_table: 0,
+        });
+    }
+    Ok(Frame {
+        width,
+        height,
+        components,
+    })
+}
+
+fn parse_dqt(mut seg: &[u8], dec: &mut Decoder) -> Result<(), DecodeJpegError> {
+    while !seg.is_empty() {
+        let pq = seg[0] >> 4;
+        let tq = (seg[0] & 0x0f) as usize;
+        if tq > 3 {
+            return Err(DecodeJpegError::Malformed("quant table id out of range"));
+        }
+        let (table, rest) = match pq {
+            0 => {
+                if seg.len() < 65 {
+                    return Err(DecodeJpegError::Malformed("short DQT table"));
+                }
+                let mut t = [0u16; 64];
+                for (zz, &b) in seg[1..65].iter().enumerate() {
+                    t[ZIGZAG[zz]] = u16::from(b);
+                }
+                (t, &seg[65..])
+            }
+            1 => {
+                if seg.len() < 129 {
+                    return Err(DecodeJpegError::Malformed("short 16-bit DQT table"));
+                }
+                let mut t = [0u16; 64];
+                for zz in 0..64 {
+                    t[ZIGZAG[zz]] =
+                        u16::from(seg[1 + 2 * zz]) << 8 | u16::from(seg[2 + 2 * zz]);
+                }
+                (t, &seg[129..])
+            }
+            _ => return Err(DecodeJpegError::Malformed("bad DQT precision")),
+        };
+        dec.quant[tq] = Some(table);
+        seg = rest;
+    }
+    Ok(())
+}
+
+fn parse_dht(mut seg: &[u8], dec: &mut Decoder) -> Result<(), DecodeJpegError> {
+    while !seg.is_empty() {
+        if seg.len() < 17 {
+            return Err(DecodeJpegError::Malformed("short DHT header"));
+        }
+        let class = seg[0] >> 4;
+        let id = (seg[0] & 0x0f) as usize;
+        if id > 3 || class > 1 {
+            return Err(DecodeJpegError::Malformed("bad DHT class/id"));
+        }
+        let mut bits = [0u8; 16];
+        bits.copy_from_slice(&seg[1..17]);
+        let nvals: usize = bits.iter().map(|&b| b as usize).sum();
+        if seg.len() < 17 + nvals {
+            return Err(DecodeJpegError::Malformed("short DHT values"));
+        }
+        let values = seg[17..17 + nvals].to_vec();
+        let table = HuffDecoder::from_bits_values(&bits, values);
+        if class == 0 {
+            dec.dc_tables[id] = Some(table);
+        } else {
+            dec.ac_tables[id] = Some(table);
+        }
+        seg = &seg[17 + nvals..];
+    }
+    Ok(())
+}
+
+fn parse_sos(seg: &[u8], dec: &mut Decoder) -> Result<(), DecodeJpegError> {
+    let frame = dec.frame.as_mut().ok_or(DecodeJpegError::MissingScan)?;
+    if seg.is_empty() {
+        return Err(DecodeJpegError::Malformed("empty SOS segment"));
+    }
+    let ncomp = seg[0] as usize;
+    if ncomp != frame.components.len() {
+        return Err(DecodeJpegError::Malformed(
+            "interleaved scan must cover all components",
+        ));
+    }
+    if seg.len() < 1 + 2 * ncomp + 3 {
+        return Err(DecodeJpegError::Malformed("short SOS segment"));
+    }
+    for c in 0..ncomp {
+        let id = seg[1 + 2 * c];
+        let tables = seg[2 + 2 * c];
+        let comp = frame
+            .components
+            .iter_mut()
+            .find(|comp| comp.id == id)
+            .ok_or(DecodeJpegError::Malformed("SOS references unknown component"))?;
+        comp.dc_table = (tables >> 4) as usize;
+        comp.ac_table = (tables & 0x0f) as usize;
+    }
+    Ok(())
+}
+
+fn decode_scan(dec: &Decoder, ecs: &[u8]) -> Result<Image, DecodeJpegError> {
+    let frame = dec.frame.as_ref().ok_or(DecodeJpegError::MissingScan)?;
+    let max_h = frame.components.iter().map(|c| c.h).max().unwrap();
+    let max_v = frame.components.iter().map(|c| c.v).max().unwrap();
+    let mcus_x = frame.width.div_ceil(8 * max_h);
+    let mcus_y = frame.height.div_ceil(8 * max_v);
+
+    // Component planes at their native (subsampled) resolution, padded to
+    // whole MCUs.
+    let mut planes: Vec<Vec<f32>> = Vec::new();
+    let mut plane_dims: Vec<(usize, usize)> = Vec::new();
+    for c in &frame.components {
+        let pw = mcus_x * 8 * c.h;
+        let ph = mcus_y * 8 * c.v;
+        planes.push(vec![0f32; pw * ph]);
+        plane_dims.push((pw, ph));
+    }
+
+    let mut segment = ecs;
+    let mut reader = BitReader::new(segment);
+    let mut preds = vec![0i32; frame.components.len()];
+    let mut mcus_until_restart = dec.restart_interval;
+
+    for my in 0..mcus_y {
+        for mx in 0..mcus_x {
+            if dec.restart_interval > 0 && mcus_until_restart == 0 {
+                // Skip to the RSTn marker and resynchronize.
+                let consumed = reader.byte_pos();
+                let rest = &segment[consumed..];
+                let mut i = 0;
+                while i + 1 < rest.len() {
+                    if rest[i] == 0xff && (0xd0..=0xd7).contains(&rest[i + 1]) {
+                        break;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= rest.len() {
+                    return Err(DecodeJpegError::UnexpectedEof);
+                }
+                segment = &rest[i + 2..];
+                reader = BitReader::new(segment);
+                preds.fill(0);
+                mcus_until_restart = dec.restart_interval;
+            }
+            if dec.restart_interval > 0 {
+                mcus_until_restart -= 1;
+            }
+
+            for (ci, comp) in frame.components.iter().enumerate() {
+                let quant = dec.quant[comp.tq]
+                    .as_ref()
+                    .ok_or(DecodeJpegError::MissingTable("quantization"))?;
+                let dc = dec.dc_tables[comp.dc_table]
+                    .as_ref()
+                    .ok_or(DecodeJpegError::MissingTable("DC Huffman"))?;
+                let ac = dec.ac_tables[comp.ac_table]
+                    .as_ref()
+                    .ok_or(DecodeJpegError::MissingTable("AC Huffman"))?;
+
+                for by in 0..comp.v {
+                    for bx in 0..comp.h {
+                        let block =
+                            decode_block(&mut reader, dc, ac, quant, &mut preds[ci])?;
+                        let spatial = idct(&block);
+                        let (pw, _) = plane_dims[ci];
+                        let ox = (mx * comp.h + bx) * 8;
+                        let oy = (my * comp.v + by) * 8;
+                        for y in 0..8 {
+                            for x in 0..8 {
+                                planes[ci][(oy + y) * pw + ox + x] =
+                                    spatial[y * 8 + x] + 128.0;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    assemble_image(frame, &planes, &plane_dims, max_h, max_v)
+}
+
+fn decode_block(
+    reader: &mut BitReader<'_>,
+    dc: &HuffDecoder,
+    ac: &HuffDecoder,
+    quant: &[u16; 64],
+    pred: &mut i32,
+) -> Result<[f32; 64], DecodeJpegError> {
+    let mut coeffs = [0f32; 64];
+    // DC
+    let cat = u32::from(dc.decode(reader)?);
+    if cat > 11 {
+        return Err(DecodeJpegError::Malformed("DC category out of range"));
+    }
+    let diff = extend(reader.bits(cat)?, cat);
+    *pred += diff;
+    coeffs[0] = *pred as f32 * f32::from(quant[0]);
+    // AC
+    let mut zz = 1usize;
+    while zz < 64 {
+        let rs = ac.decode(reader)?;
+        let run = usize::from(rs >> 4);
+        let cat = u32::from(rs & 0x0f);
+        if cat == 0 {
+            if run == 15 {
+                zz += 16; // ZRL
+                continue;
+            }
+            break; // EOB
+        }
+        zz += run;
+        if zz >= 64 {
+            return Err(DecodeJpegError::Malformed("AC run exceeds block"));
+        }
+        let v = extend(reader.bits(cat)?, cat);
+        let raster = ZIGZAG[zz];
+        coeffs[raster] = v as f32 * f32::from(quant[raster]);
+        zz += 1;
+    }
+    Ok(coeffs)
+}
+
+fn assemble_image(
+    frame: &Frame,
+    planes: &[Vec<f32>],
+    plane_dims: &[(usize, usize)],
+    max_h: usize,
+    max_v: usize,
+) -> Result<Image, DecodeJpegError> {
+    let (w, h) = (frame.width, frame.height);
+    if frame.components.len() == 1 {
+        let (pw, _) = plane_dims[0];
+        let mut data = vec![0u8; w * h];
+        for y in 0..h {
+            for x in 0..w {
+                data[y * w + x] = planes[0][y * pw + x].round().clamp(0.0, 255.0) as u8;
+            }
+        }
+        return Image::from_raw(w, h, PixelFormat::Gray8, data)
+            .map_err(|_| DecodeJpegError::Malformed("image assembly size mismatch"));
+    }
+
+    let mut data = vec![0u8; w * h * 3];
+    for y in 0..h {
+        for x in 0..w {
+            let mut ycc = [0f32; 3];
+            for (ci, comp) in frame.components.iter().enumerate() {
+                let (pw, ph) = plane_dims[ci];
+                // Nearest-neighbour upsampling from the subsampled grid.
+                let sx = (x * comp.h / max_h).min(pw - 1);
+                let sy = (y * comp.v / max_v).min(ph - 1);
+                ycc[ci] = planes[ci][sy * pw + sx];
+            }
+            let (yv, cb, cr) = (ycc[0], ycc[1] - 128.0, ycc[2] - 128.0);
+            let r = yv + 1.402 * cr;
+            let g = yv - 0.344_136 * cb - 0.714_136 * cr;
+            let b = yv + 1.772 * cb;
+            let o = (y * w + x) * 3;
+            data[o] = r.round().clamp(0.0, 255.0) as u8;
+            data[o + 1] = g.round().clamp(0.0, 255.0) as u8;
+            data[o + 2] = b.round().clamp(0.0, 255.0) as u8;
+        }
+    }
+    Image::from_raw(w, h, PixelFormat::Rgb8, data)
+        .map_err(|_| DecodeJpegError::Malformed("image assembly size mismatch"))
+}

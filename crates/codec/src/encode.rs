@@ -1,0 +1,304 @@
+//! Baseline sequential JPEG encoder (SOI/JFIF/DQT/SOF0/DHT/SOS/EOI).
+
+use vserve_tensor::{Image, PixelFormat};
+
+use crate::bits::BitWriter;
+use crate::dct::fdct;
+use crate::huffman::{amplitude_bits, category, HuffEncoder};
+use crate::tables::{
+    scale_quant_table, AC_CHROMA, AC_LUMA, BASE_CHROMA_QUANT, BASE_LUMA_QUANT, DC_CHROMA,
+    DC_LUMA, ZIGZAG,
+};
+use crate::{EncodeOptions, Subsampling};
+
+/// A planar, possibly subsampled component.
+struct Plane {
+    w: usize,
+    h: usize,
+    data: Vec<f32>,
+}
+
+impl Plane {
+    fn sample_clamped(&self, x: isize, y: isize) -> f32 {
+        let x = x.clamp(0, self.w as isize - 1) as usize;
+        let y = y.clamp(0, self.h as isize - 1) as usize;
+        self.data[y * self.w + x]
+    }
+
+    /// Extracts the 8×8 block whose top-left pixel is `(bx·8, by·8)`,
+    /// replicating edge pixels, and level-shifts by −128.
+    fn block(&self, bx: usize, by: usize) -> [f32; 64] {
+        let mut out = [0f32; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                out[y * 8 + x] =
+                    self.sample_clamped((bx * 8 + x) as isize, (by * 8 + y) as isize) - 128.0;
+            }
+        }
+        out
+    }
+}
+
+fn rgb_to_ycbcr_planes(img: &Image) -> [Plane; 3] {
+    let (w, h) = (img.width(), img.height());
+    let mut y = vec![0f32; w * h];
+    let mut cb = vec![0f32; w * h];
+    let mut cr = vec![0f32; w * h];
+    for py in 0..h {
+        for px in 0..w {
+            let [r, g, b] = img.pixel(px, py);
+            let (r, g, b) = (f32::from(r), f32::from(g), f32::from(b));
+            let i = py * w + px;
+            y[i] = 0.299 * r + 0.587 * g + 0.114 * b;
+            cb[i] = -0.168_736 * r - 0.331_264 * g + 0.5 * b + 128.0;
+            cr[i] = 0.5 * r - 0.418_688 * g - 0.081_312 * b + 128.0;
+        }
+    }
+    [
+        Plane { w, h, data: y },
+        Plane { w, h, data: cb },
+        Plane { w, h, data: cr },
+    ]
+}
+
+/// 2×2 box downsampling (the 4:2:0 chroma path).
+fn downsample2(p: &Plane) -> Plane {
+    let w = p.w.div_ceil(2);
+    let h = p.h.div_ceil(2);
+    let mut data = vec![0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    acc += p.sample_clamped((2 * x + dx) as isize, (2 * y + dy) as isize);
+                }
+            }
+            data[y * w + x] = acc / 4.0;
+        }
+    }
+    Plane { w, h, data }
+}
+
+/// Quantizes an FDCT block into zigzag-ordered integer coefficients.
+fn quantize(freq: &[f32; 64], qtable: &[u16; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for (zz, &raster) in ZIGZAG.iter().enumerate() {
+        out[zz] = (freq[raster] / f32::from(qtable[raster])).round() as i32;
+    }
+    out
+}
+
+/// Per-component entropy-coding state.
+struct CompCoder<'a> {
+    dc: &'a HuffEncoder,
+    ac: &'a HuffEncoder,
+    qtable: &'a [u16; 64],
+    pred: i32,
+}
+
+impl CompCoder<'_> {
+    fn encode_block(&mut self, w: &mut BitWriter, plane: &Plane, bx: usize, by: usize) {
+        let freq = fdct(&plane.block(bx, by));
+        let zz = quantize(&freq, self.qtable);
+
+        let diff = zz[0] - self.pred;
+        self.pred = zz[0];
+        let cat = category(diff);
+        self.dc.encode(w, cat as u8);
+        w.put(amplitude_bits(diff, cat), cat);
+
+        let mut run = 0u32;
+        let last_nonzero = (1..64).rev().find(|&i| zz[i] != 0);
+        let end = last_nonzero.map_or(0, |i| i + 1);
+        for &coeff in zz.iter().take(end).skip(1) {
+            if coeff == 0 {
+                run += 1;
+            } else {
+                while run > 15 {
+                    self.ac.encode(w, 0xf0); // ZRL
+                    run -= 16;
+                }
+                let cat = category(coeff);
+                self.ac.encode(w, ((run << 4) | cat) as u8);
+                w.put(amplitude_bits(coeff, cat), cat);
+                run = 0;
+            }
+        }
+        if end < 64 {
+            self.ac.encode(w, 0x00); // EOB
+        }
+    }
+}
+
+fn push_marker(out: &mut Vec<u8>, marker: u8, payload: &[u8]) {
+    out.push(0xff);
+    out.push(marker);
+    let len = payload.len() + 2;
+    out.push((len >> 8) as u8);
+    out.push((len & 0xff) as u8);
+    out.extend_from_slice(payload);
+}
+
+/// Encodes an image as a baseline JFIF JPEG.
+///
+/// Gray images are written as single-component JPEGs; the subsampling
+/// option only affects RGB input.
+pub fn encode(img: &Image, opts: &EncodeOptions) -> Vec<u8> {
+    let luma_q = scale_quant_table(&BASE_LUMA_QUANT, opts.quality);
+    let chroma_q = scale_quant_table(&BASE_CHROMA_QUANT, opts.quality);
+
+    let gray = img.format() == PixelFormat::Gray8;
+    let (planes, samplings): (Vec<Plane>, Vec<(u8, u8)>) = if gray {
+        let p = Plane {
+            w: img.width(),
+            h: img.height(),
+            data: img.as_bytes().iter().map(|&b| f32::from(b)).collect(),
+        };
+        (vec![p], vec![(1, 1)])
+    } else {
+        let [y, cb, cr] = rgb_to_ycbcr_planes(img);
+        match opts.subsampling {
+            Subsampling::S444 => (vec![y, cb, cr], vec![(1, 1), (1, 1), (1, 1)]),
+            Subsampling::S420 => {
+                let cb = downsample2(&cb);
+                let cr = downsample2(&cr);
+                (vec![y, cb, cr], vec![(2, 2), (1, 1), (1, 1)])
+            }
+        }
+    };
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&[0xff, 0xd8]); // SOI
+
+    // APP0 / JFIF
+    push_marker(
+        &mut out,
+        0xe0,
+        &[
+            b'J', b'F', b'I', b'F', 0, // identifier
+            1, 1, // version 1.1
+            0, // aspect-ratio units
+            0, 1, 0, 1, // density 1×1
+            0, 0, // no thumbnail
+        ],
+    );
+
+    // DQT: both tables in one segment, zigzag order, 8-bit precision.
+    {
+        let mut payload = Vec::with_capacity(130);
+        payload.push(0x00); // Pq=0, Tq=0
+        payload.extend(ZIGZAG.iter().map(|&i| luma_q[i] as u8));
+        if !gray {
+            payload.push(0x01); // Pq=0, Tq=1
+            payload.extend(ZIGZAG.iter().map(|&i| chroma_q[i] as u8));
+        }
+        push_marker(&mut out, 0xdb, &payload);
+    }
+
+    // SOF0 (baseline).
+    {
+        let mut payload = vec![
+            8, // precision
+            (img.height() >> 8) as u8,
+            (img.height() & 0xff) as u8,
+            (img.width() >> 8) as u8,
+            (img.width() & 0xff) as u8,
+            planes.len() as u8,
+        ];
+        for (i, &(sh, sv)) in samplings.iter().enumerate() {
+            payload.push(i as u8 + 1); // component id
+            payload.push((sh << 4) | sv);
+            payload.push(u8::from(i > 0)); // quant table id
+        }
+        push_marker(&mut out, 0xc0, &payload);
+    }
+
+    // DHT: all four standard tables (two for gray).
+    {
+        let mut payload = Vec::new();
+        for (class_id, spec) in [
+            (0x00u8, &DC_LUMA),
+            (0x10u8, &AC_LUMA),
+            (0x01u8, &DC_CHROMA),
+            (0x11u8, &AC_CHROMA),
+        ] {
+            if gray && (class_id & 0x0f) == 1 {
+                continue;
+            }
+            payload.push(class_id);
+            payload.extend_from_slice(&spec.bits);
+            payload.extend_from_slice(spec.values);
+        }
+        push_marker(&mut out, 0xc4, &payload);
+    }
+
+    // DRI (optional restart interval).
+    if let Some(dri) = opts.restart_interval {
+        if dri > 0 {
+            push_marker(&mut out, 0xdd, &dri.to_be_bytes());
+        }
+    }
+
+    // SOS.
+    {
+        let mut payload = vec![planes.len() as u8];
+        for i in 0..planes.len() {
+            payload.push(i as u8 + 1);
+            payload.push(if i == 0 { 0x00 } else { 0x11 });
+        }
+        payload.extend_from_slice(&[0, 63, 0]); // full spectral band, no approx
+        push_marker(&mut out, 0xda, &payload);
+    }
+
+    // Entropy-coded segment.
+    let dc_luma = HuffEncoder::from_spec(&DC_LUMA);
+    let ac_luma = HuffEncoder::from_spec(&AC_LUMA);
+    let dc_chroma = HuffEncoder::from_spec(&DC_CHROMA);
+    let ac_chroma = HuffEncoder::from_spec(&AC_CHROMA);
+
+    let mut coders: Vec<CompCoder<'_>> = (0..planes.len())
+        .map(|i| CompCoder {
+            dc: if i == 0 { &dc_luma } else { &dc_chroma },
+            ac: if i == 0 { &ac_luma } else { &ac_chroma },
+            qtable: if i == 0 { &luma_q } else { &chroma_q },
+            pred: 0,
+        })
+        .collect();
+
+    let max_h = samplings.iter().map(|&(h, _)| h).max().unwrap() as usize;
+    let max_v = samplings.iter().map(|&(_, v)| v).max().unwrap() as usize;
+    let mcus_x = img.width().div_ceil(8 * max_h);
+    let mcus_y = img.height().div_ceil(8 * max_v);
+
+    let mut w = BitWriter::new();
+    let dri = opts.restart_interval.unwrap_or(0) as usize;
+    let mut mcus_since_restart = 0usize;
+    let mut rst_index = 0u8;
+    for my in 0..mcus_y {
+        for mx in 0..mcus_x {
+            if dri > 0 && mcus_since_restart == dri {
+                // Byte-align, emit RSTn, reset DC prediction (T.81 E.1.4).
+                w.pad_to_byte();
+                w.put_marker(0xd0 + rst_index);
+                rst_index = (rst_index + 1) % 8;
+                for coder in &mut coders {
+                    coder.pred = 0;
+                }
+                mcus_since_restart = 0;
+            }
+            mcus_since_restart += 1;
+            for (ci, plane) in planes.iter().enumerate() {
+                let (sh, sv) = (samplings[ci].0 as usize, samplings[ci].1 as usize);
+                for by in 0..sv {
+                    for bx in 0..sh {
+                        coders[ci].encode_block(&mut w, plane, mx * sh + bx, my * sv + by);
+                    }
+                }
+            }
+        }
+    }
+    out.extend_from_slice(&w.finish());
+    out.extend_from_slice(&[0xff, 0xd9]); // EOI
+    out
+}

@@ -1,0 +1,218 @@
+//! Canonical Huffman coding for JPEG entropy segments.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::tables::HuffSpec;
+use crate::DecodeJpegError;
+
+/// Encoder-side table: symbol → (code, length).
+#[derive(Debug, Clone)]
+pub struct HuffEncoder {
+    codes: [(u32, u32); 256],
+}
+
+impl HuffEncoder {
+    /// Builds canonical codes from a DHT-style specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is inconsistent (more codes than a
+    /// prefix-free set of the given lengths can hold).
+    pub fn from_spec(spec: &HuffSpec) -> Self {
+        let mut codes = [(0u32, 0u32); 256];
+        let mut code = 0u32;
+        let mut k = 0usize;
+        for (len_minus_1, &count) in spec.bits.iter().enumerate() {
+            let len = len_minus_1 as u32 + 1;
+            for _ in 0..count {
+                assert!(
+                    code < (1u32 << len),
+                    "huffman specification overflows length {len}"
+                );
+                let sym = spec.values[k];
+                codes[sym as usize] = (code, len);
+                code += 1;
+                k += 1;
+            }
+            code <<= 1;
+        }
+        HuffEncoder { codes }
+    }
+
+    /// Emits the code for `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol has no code in this table.
+    pub fn encode(&self, w: &mut BitWriter, symbol: u8) {
+        let (code, len) = self.codes[symbol as usize];
+        assert!(len > 0, "symbol {symbol:#04x} has no code");
+        w.put(code, len);
+    }
+
+}
+
+/// Decoder-side table using the T.81 MINCODE/MAXCODE/VALPTR scheme.
+#[derive(Debug, Clone)]
+pub struct HuffDecoder {
+    min_code: [i32; 17],
+    max_code: [i32; 17],
+    val_ptr: [usize; 17],
+    values: Vec<u8>,
+}
+
+impl HuffDecoder {
+    /// Builds a decoder from a DHT-style specification.
+    #[cfg_attr(not(test), allow(dead_code))] // file decoding goes via from_bits_values
+    pub fn from_spec(spec: &HuffSpec) -> Self {
+        Self::from_bits_values(&spec.bits, spec.values.to_vec())
+    }
+
+    /// Builds a decoder from raw DHT fields (as parsed from a file).
+    pub fn from_bits_values(bits: &[u8; 16], values: Vec<u8>) -> Self {
+        let mut min_code = [0i32; 17];
+        let mut max_code = [-1i32; 17];
+        let mut val_ptr = [0usize; 17];
+        let mut code = 0i32;
+        let mut k = 0usize;
+        for l in 1..=16usize {
+            let count = bits[l - 1] as usize;
+            if count > 0 {
+                val_ptr[l] = k;
+                min_code[l] = code;
+                code += count as i32;
+                max_code[l] = code - 1;
+                k += count;
+            } else {
+                max_code[l] = -1;
+            }
+            code <<= 1;
+        }
+        HuffDecoder {
+            min_code,
+            max_code,
+            val_ptr,
+            values,
+        }
+    }
+
+    /// Decodes one symbol from the bit stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeJpegError::BadHuffmanCode`] if no code matches
+    /// within 16 bits, or [`DecodeJpegError::UnexpectedEof`] if the segment
+    /// ends mid-code.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u8, DecodeJpegError> {
+        let mut code = 0i32;
+        for l in 1..=16usize {
+            code = (code << 1) | r.bit()? as i32;
+            if self.max_code[l] >= 0 && code <= self.max_code[l] && code >= self.min_code[l] {
+                let idx = self.val_ptr[l] + (code - self.min_code[l]) as usize;
+                return self
+                    .values
+                    .get(idx)
+                    .copied()
+                    .ok_or(DecodeJpegError::BadHuffmanCode);
+            }
+        }
+        Err(DecodeJpegError::BadHuffmanCode)
+    }
+}
+
+/// JPEG magnitude category of a coefficient: the number of bits needed to
+/// represent `|v|` (0 for `v == 0`).
+pub fn category(v: i32) -> u32 {
+    let a = v.unsigned_abs();
+    32 - a.leading_zeros()
+}
+
+/// Encodes the amplitude bits for `v` in category `cat` (ones'-complement
+/// form for negatives, per T.81 F.1.2.1).
+pub fn amplitude_bits(v: i32, cat: u32) -> u32 {
+    if v >= 0 {
+        v as u32
+    } else {
+        (v + (1 << cat) - 1) as u32
+    }
+}
+
+/// Decodes `cat` amplitude bits back to a signed coefficient.
+pub fn extend(bits: u32, cat: u32) -> i32 {
+    if cat == 0 {
+        return 0;
+    }
+    if bits < (1 << (cat - 1)) {
+        bits as i32 - (1 << cat) + 1
+    } else {
+        bits as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{AC_CHROMA, AC_LUMA, DC_CHROMA, DC_LUMA};
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_standard_tables_round_trip_every_symbol() {
+        for spec in [DC_LUMA, DC_CHROMA, AC_LUMA, AC_CHROMA] {
+            let enc = HuffEncoder::from_spec(&spec);
+            let dec = HuffDecoder::from_spec(&spec);
+            let mut w = BitWriter::new();
+            for &sym in spec.values {
+                enc.encode(&mut w, sym);
+            }
+            let buf = w.finish();
+            let mut r = BitReader::new(&buf);
+            for &sym in spec.values {
+                assert_eq!(dec.decode(&mut r).unwrap(), sym);
+            }
+        }
+    }
+
+    #[test]
+    fn category_known_values() {
+        assert_eq!(category(0), 0);
+        assert_eq!(category(1), 1);
+        assert_eq!(category(-1), 1);
+        assert_eq!(category(2), 2);
+        assert_eq!(category(-3), 2);
+        assert_eq!(category(255), 8);
+        assert_eq!(category(-1024), 11);
+    }
+
+    #[test]
+    fn extend_inverts_amplitude() {
+        for v in -2047..=2047 {
+            let cat = category(v);
+            assert_eq!(extend(amplitude_bits(v, cat), cat), v, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn decode_garbage_fails_cleanly() {
+        let dec = HuffDecoder::from_spec(&DC_LUMA);
+        // All-ones is not a DC_LUMA code of any length ≤ 16 except the
+        // longest; craft a stream of a single 1-bit followed by EOF.
+        let mut r = BitReader::new(&[]);
+        assert!(dec.decode(&mut r).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn symbol_sequences_round_trip(symbols in prop::collection::vec(0u8..12, 1..500)) {
+            let enc = HuffEncoder::from_spec(&DC_LUMA);
+            let dec = HuffDecoder::from_spec(&DC_LUMA);
+            let mut w = BitWriter::new();
+            for &s in &symbols {
+                enc.encode(&mut w, s);
+            }
+            let buf = w.finish();
+            let mut r = BitReader::new(&buf);
+            for &s in &symbols {
+                prop_assert_eq!(dec.decode(&mut r).unwrap(), s);
+            }
+        }
+    }
+}

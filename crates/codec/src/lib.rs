@@ -1,0 +1,379 @@
+//! A from-scratch baseline JPEG codec.
+//!
+//! JPEG decoding is the dominant preprocessing cost in the paper's serving
+//! pipelines, so this suite implements the codec rather than stubbing it:
+//! color transform, optional 4:2:0 chroma subsampling, 8×8 DCT,
+//! quality-scaled quantization, zigzag run-length coding, and canonical
+//! Huffman entropy coding with JFIF framing — ITU-T T.81 baseline
+//! sequential mode.
+//!
+//! The codec is used directly by the live-mode examples and to generate
+//! the synthetic ImageNet-like payloads of `vserve-workload`; its
+//! per-pixel/per-byte work profile grounds the preprocessing cost model in
+//! `vserve-device`.
+//!
+//! # Examples
+//!
+//! ```
+//! use vserve_codec::{decode, encode, EncodeOptions};
+//! use vserve_tensor::Image;
+//!
+//! # fn main() -> Result<(), vserve_codec::DecodeJpegError> {
+//! let img = Image::gradient(64, 48);
+//! let jpeg = encode(&img, &EncodeOptions::default());
+//! let back = decode(&jpeg)?;
+//! assert_eq!((back.width(), back.height()), (64, 48));
+//! assert!(vserve_codec::psnr(&img, &back) > 30.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+mod dct;
+mod decode;
+mod encode;
+mod huffman;
+pub mod tables;
+
+pub use decode::decode;
+pub use encode::encode;
+
+use vserve_tensor::Image;
+
+/// Chroma subsampling mode for [`encode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Subsampling {
+    /// No chroma subsampling (4:4:4): larger files, no chroma aliasing.
+    S444,
+    /// 2×2 chroma subsampling (4:2:0): the common photographic default.
+    #[default]
+    S420,
+}
+
+/// Options controlling [`encode`].
+///
+/// # Examples
+///
+/// ```
+/// use vserve_codec::{EncodeOptions, Subsampling};
+///
+/// let high_fidelity = EncodeOptions { quality: 95, subsampling: Subsampling::S444, ..EncodeOptions::default() };
+/// assert_eq!(EncodeOptions::default().quality, 85);
+/// # let _ = high_fidelity;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EncodeOptions {
+    /// JPEG quality in `[1, 100]`; 50 reproduces the Annex-K tables.
+    pub quality: u8,
+    /// Chroma subsampling mode.
+    pub subsampling: Subsampling,
+    /// Restart interval in MCUs (`None` disables DRI/RSTn markers).
+    /// Restart markers bound error propagation and enable parallel
+    /// decode — at a small size cost.
+    pub restart_interval: Option<u16>,
+}
+
+impl Default for EncodeOptions {
+    fn default() -> Self {
+        EncodeOptions {
+            quality: 85,
+            subsampling: Subsampling::S420,
+            restart_interval: None,
+        }
+    }
+}
+
+/// Errors returned by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeJpegError {
+    /// The data does not begin with an SOI marker.
+    NotAJpeg,
+    /// The stream ended (or hit a marker) where entropy data or a segment
+    /// body was expected.
+    UnexpectedEof,
+    /// A frame type other than baseline sequential (SOF0) was found; the
+    /// payload is the SOF marker code.
+    UnsupportedFrame(u8),
+    /// The scan referenced a quantization or Huffman table that was never
+    /// defined; the payload names the table kind.
+    MissingTable(&'static str),
+    /// EOI was reached without any SOS scan.
+    MissingScan,
+    /// A bit pattern matched no Huffman code.
+    BadHuffmanCode,
+    /// A structural constraint was violated; the payload describes it.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeJpegError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeJpegError::NotAJpeg => write!(f, "data does not start with a JPEG SOI marker"),
+            DecodeJpegError::UnexpectedEof => write!(f, "unexpected end of JPEG data"),
+            DecodeJpegError::UnsupportedFrame(m) => {
+                write!(f, "unsupported JPEG frame type (marker 0xff{m:02x})")
+            }
+            DecodeJpegError::MissingTable(kind) => {
+                write!(f, "scan references an undefined {kind} table")
+            }
+            DecodeJpegError::MissingScan => write!(f, "no scan data before end of image"),
+            DecodeJpegError::BadHuffmanCode => write!(f, "invalid huffman code in entropy data"),
+            DecodeJpegError::Malformed(what) => write!(f, "malformed JPEG: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeJpegError {}
+
+/// Peak signal-to-noise ratio between two same-sized images, in dB.
+///
+/// Returns `f64::INFINITY` for identical images.
+///
+/// # Panics
+///
+/// Panics if dimensions or channel counts differ.
+pub fn psnr(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    assert_eq!(a.height(), b.height(), "height mismatch");
+    assert_eq!(a.channels(), b.channels(), "channel mismatch");
+    let mse: f64 = a
+        .as_bytes()
+        .iter()
+        .zip(b.as_bytes())
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        / a.raw_len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vserve_tensor::PixelFormat;
+
+    fn round_trip(img: &Image, opts: &EncodeOptions) -> (Image, usize) {
+        let bytes = encode(img, opts);
+        let back = decode(&bytes).expect("decode own output");
+        (back, bytes.len())
+    }
+
+    #[test]
+    fn gradient_round_trip_high_quality() {
+        let img = Image::gradient(160, 120);
+        let (back, _) = round_trip(
+            &img,
+            &EncodeOptions {
+                quality: 95,
+                subsampling: Subsampling::S444,
+                ..EncodeOptions::default()
+            },
+        );
+        assert_eq!((back.width(), back.height()), (160, 120));
+        let p = psnr(&img, &back);
+        assert!(p > 35.0, "psnr {p}");
+    }
+
+    #[test]
+    fn s420_round_trip_reasonable_quality() {
+        let img = Image::gradient(97, 61); // non-multiple-of-16 dims
+        let (back, _) = round_trip(&img, &EncodeOptions::default());
+        let p = psnr(&img, &back);
+        assert!(p > 28.0, "psnr {p}");
+    }
+
+    #[test]
+    fn grayscale_round_trip() {
+        let img = Image::gradient(40, 40).to_gray();
+        let (back, _) = round_trip(
+            &img,
+            &EncodeOptions {
+                quality: 90,
+                subsampling: Subsampling::S444,
+                ..EncodeOptions::default()
+            },
+        );
+        assert_eq!(back.format(), PixelFormat::Gray8);
+        let p = psnr(&img, &back);
+        assert!(p > 35.0, "psnr {p}");
+    }
+
+    #[test]
+    fn quality_controls_size_and_fidelity() {
+        let img = Image::noise(96, 96, 3);
+        let low = encode(
+            &img,
+            &EncodeOptions {
+                quality: 20,
+                subsampling: Subsampling::S420,
+                ..EncodeOptions::default()
+            },
+        );
+        let high = encode(
+            &img,
+            &EncodeOptions {
+                quality: 95,
+                subsampling: Subsampling::S420,
+                ..EncodeOptions::default()
+            },
+        );
+        assert!(
+            low.len() < high.len(),
+            "q20 {} bytes vs q95 {} bytes",
+            low.len(),
+            high.len()
+        );
+        let p_low = psnr(&img, &decode(&low).unwrap());
+        let p_high = psnr(&img, &decode(&high).unwrap());
+        assert!(p_high > p_low, "psnr {p_high} vs {p_low}");
+    }
+
+    #[test]
+    fn s420_is_smaller_than_s444() {
+        let img = Image::gradient(128, 128);
+        let s420 = encode(
+            &img,
+            &EncodeOptions {
+                quality: 85,
+                subsampling: Subsampling::S420,
+                ..EncodeOptions::default()
+            },
+        );
+        let s444 = encode(
+            &img,
+            &EncodeOptions {
+                quality: 85,
+                subsampling: Subsampling::S444,
+                ..EncodeOptions::default()
+            },
+        );
+        assert!(s420.len() < s444.len());
+    }
+
+    #[test]
+    fn tiny_images_survive() {
+        for (w, h) in [(1, 1), (1, 9), (9, 1), (7, 7), (8, 8), (17, 17)] {
+            let img = Image::gradient(w, h);
+            let (back, _) = round_trip(&img, &EncodeOptions::default());
+            assert_eq!((back.width(), back.height()), (w, h));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode(&[]).unwrap_err(), DecodeJpegError::NotAJpeg);
+        assert_eq!(decode(&[0x89, b'P', b'N', b'G']).unwrap_err(), DecodeJpegError::NotAJpeg);
+        // SOI then EOI: no scan.
+        assert_eq!(
+            decode(&[0xff, 0xd8, 0xff, 0xd9]).unwrap_err(),
+            DecodeJpegError::MissingScan
+        );
+    }
+
+    #[test]
+    fn decode_rejects_progressive() {
+        // SOI + SOF2 header stub.
+        let data = [0xff, 0xd8, 0xff, 0xc2, 0x00, 0x0b, 8, 0, 8, 0, 8, 1, 1, 0x11, 0];
+        assert_eq!(
+            decode(&data).unwrap_err(),
+            DecodeJpegError::UnsupportedFrame(0xc2)
+        );
+    }
+
+    #[test]
+    fn truncated_scan_errors() {
+        let img = Image::gradient(32, 32);
+        let bytes = encode(&img, &EncodeOptions::default());
+        let cut = &bytes[..bytes.len() * 2 / 3];
+        assert!(decode(cut).is_err());
+    }
+
+    #[test]
+    fn restart_intervals_round_trip() {
+        let img = Image::gradient(96, 80);
+        for dri in [1u16, 2, 3, 7] {
+            for subsampling in [Subsampling::S444, Subsampling::S420] {
+                let opts = EncodeOptions {
+                    quality: 90,
+                    subsampling,
+                    restart_interval: Some(dri),
+                };
+                let bytes = encode(&img, &opts);
+                // The stream actually contains RSTn markers.
+                let rst = bytes
+                    .windows(2)
+                    .filter(|w| w[0] == 0xff && (0xd0..=0xd7).contains(&w[1]))
+                    .count();
+                assert!(rst > 0, "no RST markers at dri={dri}");
+                let back = decode(&bytes).expect("decode with restarts");
+                let p = psnr(&img, &back);
+                assert!(p > 30.0, "psnr {p} at dri={dri} {subsampling:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn restart_interval_zero_is_disabled() {
+        let img = Image::gradient(32, 32);
+        let with = encode(
+            &img,
+            &EncodeOptions {
+                restart_interval: Some(0),
+                ..EncodeOptions::default()
+            },
+        );
+        let without = encode(&img, &EncodeOptions::default());
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        let img = Image::gradient(8, 8);
+        assert_eq!(psnr(&img, &img), f64::INFINITY);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn random_images_round_trip_with_bounded_error(
+            w in 1usize..48, h in 1usize..48, seed in any::<u64>(),
+            quality in 60u8..=95,
+        ) {
+            let img = Image::gradient(w, h); // band-limited: quality bound holds
+            let _ = seed;
+            let bytes = encode(&img, &EncodeOptions { quality, subsampling: Subsampling::S444, ..EncodeOptions::default() });
+            let back = decode(&bytes).unwrap();
+            prop_assert_eq!((back.width(), back.height()), (w, h));
+            let p = psnr(&img, &back);
+            prop_assert!(p > 25.0, "psnr {} at q{} {}x{}", p, quality, w, h);
+        }
+
+        #[test]
+        fn decoder_never_panics_on_mutations(
+            seed in any::<u64>(), cut in 0usize..400, flip in 0usize..400
+        ) {
+            let img = Image::gradient(24, 24);
+            let mut bytes = encode(&img, &EncodeOptions::default());
+            let _ = seed;
+            if !bytes.is_empty() {
+                let cut = cut % bytes.len();
+                bytes.truncate(bytes.len() - cut);
+            }
+            if !bytes.is_empty() {
+                let i = flip % bytes.len();
+                bytes[i] ^= 0x55;
+            }
+            let _ = decode(&bytes); // must not panic
+        }
+    }
+}

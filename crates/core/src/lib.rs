@@ -1,0 +1,113 @@
+//! # vserve — DNN server overhead analysis for computer vision
+//!
+//! A from-scratch Rust reproduction of *Beyond Inference: Performance
+//! Analysis of DNN Server Overheads for Computer Vision* (DAC 2024).
+//! The paper shows that on a throughput-optimized serving system, data
+//! processing and data movement — JPEG decode, resize, normalize, PCIe
+//! transfers, queueing, message brokers — can dominate end-to-end
+//! performance even though DNN inference gets all the optimization
+//! attention.
+//!
+//! This facade crate re-exports the full suite:
+//!
+//! | Subsystem | Crate | What it implements |
+//! |---|---|---|
+//! | serving system | [`server`] | dispatch, CPU/GPU preprocessing, dynamic batching, instances, transfers |
+//! | hardware model | [`device`] | calibrated CPU/GPU/PCIe/memory/energy costs (i9-13900K + RTX 4090) |
+//! | DNN engine | [`dnn`] | kernels, graph IR, FLOPs accounting, ViT/ResNet/detector builders |
+//! | JPEG codec | [`codec`] | baseline JPEG encoder/decoder written from scratch |
+//! | brokers | [`broker`] | disk-backed log broker, in-memory broker, cost models |
+//! | pipelines | [`pipeline`] | detect→identify multi-DNN pipeline (Fig 11) |
+//! | workloads | [`workload`] | arrivals, image-size mixes, faces-per-frame |
+//! | simulation | [`sim`] | deterministic discrete-event kernel |
+//! | statistics | [`metrics`] | streaming moments, quantiles, histograms, breakdowns |
+//! | model zoo | [`zoo`] | the Fig 4 sweep of ~20 vision models |
+//!
+//! # Quick start
+//!
+//! Measure the preprocessing share of zero-load latency (the paper's
+//! headline §4.2 result):
+//!
+//! ```
+//! use vserve::prelude::*;
+//!
+//! let report = Experiment {
+//!     node: NodeConfig::paper_testbed(),
+//!     config: ServerConfig::optimized_cpu_preproc(),
+//!     model: ModelProfile::vit_base(),
+//!     mix: ImageMix::fixed(ImageSpec::medium()),
+//!     concurrency: 1,
+//!     warmup_s: 0.2,
+//!     measure_s: 1.0,
+//!     seed: 7,
+//! }
+//! .zero_load();
+//! // ≈56 % of a medium image's request time is preprocessing.
+//! assert!(report.preproc_share() > 0.45);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod zoo;
+
+pub use vserve_broker as broker;
+pub use vserve_codec as codec;
+pub use vserve_device as device;
+pub use vserve_dnn as dnn;
+pub use vserve_metrics as metrics;
+pub use vserve_pipeline as pipeline;
+pub use vserve_server as server;
+pub use vserve_sim as sim;
+pub use vserve_tensor as tensor;
+pub use vserve_workload as workload;
+
+/// The common imports for writing experiments.
+pub mod prelude {
+    pub use vserve_broker::BrokerKind;
+    pub use vserve_device::{EngineKind, ImageSpec, NodeConfig};
+    pub use vserve_pipeline::PipelineExperiment;
+    pub use vserve_server::{
+        Experiment, ModelProfile, PreprocWhere, ServerConfig, ServerReport, StageMode,
+    };
+    pub use vserve_workload::{Arrivals, FacesPerFrame, ImageMix};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn facade_wires_an_experiment() {
+        let report = Experiment {
+            node: NodeConfig::paper_testbed(),
+            config: ServerConfig::optimized(),
+            model: ModelProfile::tiny_vit(),
+            mix: ImageMix::fixed(ImageSpec::medium()),
+            concurrency: 32,
+            warmup_s: 0.2,
+            measure_s: 0.5,
+            seed: 1,
+        }
+        .run();
+        assert!(report.throughput > 0.0);
+    }
+
+    #[test]
+    fn zoo_profiles_run_through_server() {
+        let zoo = crate::zoo::build();
+        let small = zoo.iter().find(|e| e.name == "vit-tiny-16").unwrap();
+        let report = Experiment {
+            node: NodeConfig::paper_testbed(),
+            config: ServerConfig::optimized(),
+            model: small.profile(),
+            mix: ImageMix::fixed(ImageSpec::medium()),
+            concurrency: 32,
+            warmup_s: 0.2,
+            measure_s: 0.5,
+            seed: 1,
+        }
+        .run();
+        assert!(report.throughput > 500.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! The Fig 4 model zoo: vision models spanning 0.5–80 GFLOPs.
+//!
+//! Each entry names a model family from `vserve-dnn`, its native input
+//! resolution, and the FLOPs computed from the actual graph definition.
+//! Where the architecture matches a published model, the model-card FLOPs
+//! are recorded for cross-checking; `-class` entries stand in for
+//! families (Swin, ConvNeXt, SegFormer, DETR, DPT, BEiT) whose exact
+//! blocks we do not reimplement but whose compute scale and input size we
+//! match.
+
+use vserve_dnn::graph::Graph;
+use vserve_dnn::{models, DnnError};
+use vserve_server::ModelProfile;
+
+/// One zoo model: a named architecture at its native resolution.
+#[derive(Debug, Clone)]
+pub struct ZooEntry {
+    /// Model name.
+    pub name: &'static str,
+    /// Native input side in pixels.
+    pub input_side: usize,
+    /// FLOPs (MACs) per image, from the graph definition.
+    pub gflops: f64,
+    /// Parameters in millions, from the graph definition.
+    pub mparams: f64,
+    /// Published model-card GFLOPs when the architecture matches a real
+    /// model exactly.
+    pub published_gflops: Option<f64>,
+}
+
+impl ZooEntry {
+    /// Server-facing profile for this model.
+    pub fn profile(&self) -> ModelProfile {
+        ModelProfile::new(self.name, self.gflops * 1e9, self.input_side)
+    }
+}
+
+fn entry(
+    name: &'static str,
+    input_side: usize,
+    published: Option<f64>,
+    graph: Result<Graph, DnnError>,
+) -> ZooEntry {
+    let graph = graph.expect("zoo architectures are valid by construction");
+    ZooEntry {
+        name,
+        input_side,
+        gflops: graph.flops() as f64 / 1e9,
+        mparams: graph.params() as f64 / 1e6,
+        published_gflops: published,
+    }
+}
+
+/// Builds the full zoo, ordered by ascending FLOPs.
+///
+/// # Examples
+///
+/// ```
+/// let zoo = vserve::zoo::build();
+/// assert!(zoo.len() >= 18);
+/// assert!(zoo.windows(2).all(|w| w[0].gflops <= w[1].gflops));
+/// ```
+pub fn build() -> Vec<ZooEntry> {
+    let mut zoo = vec![
+        entry("resnet18-160", 160, None, models::resnet18(160, 1000)),
+        entry("mobile-vit-class", 160, None, models::vit(160, 16, 144, 8, 4, 1000)),
+        entry("vit-tiny-16", 224, Some(1.26), models::vit_tiny(224)),
+        entry("tinyvit-5m-class", 224, Some(1.3), models::tiny_vit(224)),
+        entry("facenet-160", 160, None, models::facenet(160)),
+        entry("resnet-18", 224, Some(1.8), models::resnet18(224, 1000)),
+        entry("resnet-34", 224, Some(3.6), models::resnet34(224, 1000)),
+        entry("resnet-50", 224, Some(4.1), models::resnet50(224, 1000)),
+        entry("vit-small-16", 224, Some(4.6), models::vit_small(224)),
+        entry("deit-small-16", 224, Some(4.6), models::vit_small(224)),
+        entry("vit-base-32", 224, Some(4.4), models::vit(224, 32, 768, 12, 12, 1000)),
+        entry(
+            "segformer-b2-class",
+            512,
+            None,
+            models::vit(512, 16, 448, 16, 8, 150),
+        ),
+        entry("swin-base-class", 224, None, models::vit(224, 16, 640, 14, 10, 1000)),
+        entry(
+            "convnext-base-class",
+            224,
+            None,
+            models::resnet50_width(224, 1000, 1.9),
+        ),
+        entry("vit-base-16", 224, Some(17.6), models::vit_base(224)),
+        entry("deit-base-16", 224, Some(17.6), models::vit_base(224)),
+        entry("maskrcnn-class", 640, None, models::faster_rcnn(640)),
+        entry("dpt-depth-class", 384, None, models::vit_base(384)),
+        entry("vit-base-16-384", 384, Some(55.5), models::vit_base(384)),
+        entry("detr-resnet50-class", 800, None, models::faster_rcnn(800)),
+        entry("vit-large-16", 224, Some(61.6), models::vit_large(224)),
+        entry("beit-large-class", 224, None, models::vit_large(224)),
+    ];
+    zoo.sort_by(|a, b| a.gflops.total_cmp(&b.gflops));
+    zoo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_spans_the_papers_range() {
+        let zoo = build();
+        assert!(zoo.len() >= 18, "{} models", zoo.len());
+        let min = zoo.first().unwrap().gflops;
+        let max = zoo.last().unwrap().gflops;
+        assert!(min < 2.0, "min {min}");
+        assert!(max > 40.0, "max {max}");
+        // Fig 4's key population: several models below 5 GFLOPs.
+        let below5 = zoo.iter().filter(|e| e.gflops < 5.0).count();
+        assert!(below5 >= 6, "{below5} models below 5 GFLOPs");
+    }
+
+    #[test]
+    fn computed_flops_match_published_within_tolerance() {
+        for e in build() {
+            if let Some(pub_gf) = e.published_gflops {
+                let rel = (e.gflops - pub_gf).abs() / pub_gf;
+                assert!(
+                    rel < 0.15,
+                    "{}: computed {:.2} vs published {:.2}",
+                    e.name,
+                    e.gflops,
+                    pub_gf
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_preserve_scale() {
+        for e in build() {
+            let p = e.profile();
+            assert_eq!(p.input_side, e.input_side);
+            assert!((p.flops / 1e9 - e.gflops).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn params_are_positive() {
+        assert!(build().iter().all(|e| e.mparams > 0.1));
+    }
+}

@@ -1,0 +1,125 @@
+//! Energy accounting from busy-time integrals.
+
+use crate::{CpuModel, GpuModel};
+
+/// Joules attributed to each device over a measurement window, plus the
+/// per-image split the paper's Fig 8 reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// CPU package energy over the window, joules.
+    pub cpu_joules: f64,
+    /// Total GPU energy over the window, joules.
+    pub gpu_joules: f64,
+    /// Images completed in the window.
+    pub images: u64,
+}
+
+impl EnergyReport {
+    /// CPU joules per image (0 when no images completed).
+    pub fn cpu_j_per_image(&self) -> f64 {
+        if self.images == 0 {
+            0.0
+        } else {
+            self.cpu_joules / self.images as f64
+        }
+    }
+
+    /// GPU joules per image (0 when no images completed).
+    pub fn gpu_j_per_image(&self) -> f64 {
+        if self.images == 0 {
+            0.0
+        } else {
+            self.gpu_joules / self.images as f64
+        }
+    }
+
+    /// Total joules per image.
+    pub fn total_j_per_image(&self) -> f64 {
+        self.cpu_j_per_image() + self.gpu_j_per_image()
+    }
+}
+
+/// Converts busy-time integrals into an [`EnergyReport`].
+///
+/// The server simulation accumulates, over a window of `span` seconds:
+/// `cpu_core_seconds` (∫ busy cores dt), per-GPU `gpu_busy_seconds`
+/// (∫ utilization dt), and `transfer_bytes` moved over PCIe. Power is
+/// piecewise constant between events, so these integrals are exact.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_device::{energy_report, CpuModel, GpuModel};
+///
+/// let cpu = CpuModel::i9_13900k();
+/// let gpu = GpuModel::rtx4090();
+/// // 10 s window, 4 core-busy seconds, one GPU busy 80 % of the time.
+/// let r = energy_report(&cpu, &gpu, 10.0, 4.0, &[8.0], 0.0, 1000);
+/// assert!(r.cpu_joules > 10.0 * cpu.idle_w);
+/// assert!(r.gpu_joules > 10.0 * gpu.idle_w);
+/// assert_eq!(r.images, 1000);
+/// ```
+pub fn energy_report(
+    cpu: &CpuModel,
+    gpu: &GpuModel,
+    span: f64,
+    cpu_core_seconds: f64,
+    gpu_busy_seconds: &[f64],
+    transfer_bytes: f64,
+    images: u64,
+) -> EnergyReport {
+    // PCIe + memory-subsystem energy per byte moved (host side).
+    const TRANSFER_J_PER_BYTE: f64 = 30e-12;
+    let cpu_joules =
+        cpu.idle_w * span + cpu.core_w * cpu_core_seconds + TRANSFER_J_PER_BYTE * transfer_bytes;
+    let gpu_joules: f64 = gpu_busy_seconds
+        .iter()
+        .map(|&busy| gpu.idle_w * span + gpu.busy_w * busy.min(span))
+        .sum();
+    EnergyReport {
+        cpu_joules,
+        gpu_joules,
+        images,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_system_still_burns_idle_power() {
+        let cpu = CpuModel::i9_13900k();
+        let gpu = GpuModel::rtx4090();
+        let r = energy_report(&cpu, &gpu, 5.0, 0.0, &[0.0], 0.0, 0);
+        assert_eq!(r.cpu_joules, 5.0 * cpu.idle_w);
+        assert_eq!(r.gpu_joules, 5.0 * gpu.idle_w);
+        assert_eq!(r.total_j_per_image(), 0.0);
+    }
+
+    #[test]
+    fn busier_gpu_costs_more() {
+        let cpu = CpuModel::i9_13900k();
+        let gpu = GpuModel::rtx4090();
+        let low = energy_report(&cpu, &gpu, 10.0, 0.0, &[2.0], 0.0, 100);
+        let high = energy_report(&cpu, &gpu, 10.0, 0.0, &[9.0], 0.0, 100);
+        assert!(high.gpu_joules > low.gpu_joules);
+    }
+
+    #[test]
+    fn multi_gpu_adds_idle_floors() {
+        let cpu = CpuModel::i9_13900k();
+        let gpu = GpuModel::rtx4090();
+        let one = energy_report(&cpu, &gpu, 10.0, 0.0, &[0.0], 0.0, 1);
+        let four = energy_report(&cpu, &gpu, 10.0, 0.0, &[0.0; 4], 0.0, 1);
+        assert!((four.gpu_joules - 4.0 * one.gpu_joules).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_seconds_clamped_to_span() {
+        let cpu = CpuModel::i9_13900k();
+        let gpu = GpuModel::rtx4090();
+        let r = energy_report(&cpu, &gpu, 1.0, 0.0, &[100.0], 0.0, 1);
+        assert_eq!(r.gpu_joules, gpu.idle_w + gpu.busy_w);
+    }
+}

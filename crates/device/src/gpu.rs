@@ -1,0 +1,217 @@
+//! GPU cost model: inference roofline, GPU preprocessing, PCIe, memory.
+
+use crate::{EngineKind, ImageSpec};
+
+/// Analytic cost model of one discrete GPU.
+///
+/// Inference follows a saturating roofline: effective throughput at batch
+/// size `b` is `peak × b / (b + half_sat)`, which reproduces the familiar
+/// batch-1 latency vs. batched-throughput gap. Defaults are calibrated to
+/// the paper's RTX 4090 anchors: ViT-Base/16 with TensorRT at ≈1.2 ms
+/// batch-1 latency and just under 2 000 img/s batched throughput (so the
+/// optimized end-to-end server lands near Fig 3's >1 600 img/s).
+///
+/// GPU preprocessing (the DALI/nvJPEG path) has two regimes:
+///
+/// * **zero-load** — a lone image pays the full kernel-launch/setup cost
+///   and decodes at low occupancy ([`preproc_time_zero_load`]), which is
+///   why the paper's Fig 6 shows CPU preprocessing *winning* for small
+///   images;
+/// * **batched** — launches amortize and decode runs at high occupancy
+///   ([`preproc_time_batched`]), giving the throughput advantage of Figs
+///   4, 5 and 7.
+///
+/// [`preproc_time_zero_load`]: GpuModel::preproc_time_zero_load
+/// [`preproc_time_batched`]: GpuModel::preproc_time_batched
+///
+/// # Examples
+///
+/// ```
+/// use vserve_device::{EngineKind, GpuModel};
+///
+/// let gpu = GpuModel::rtx4090();
+/// // ViT-Base ≈ 17.5 GFLOPs: batch-1 TensorRT latency ≈ 1.3 ms.
+/// let t = gpu.infer_batch_time(17.5e9, 1, EngineKind::TensorRt);
+/// assert!(t > 1.0e-3 && t < 1.6e-3, "batch-1 {t}s");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Peak effective compute with the best engine, FLOP/s (MAC/s).
+    pub peak_flops: f64,
+    /// Batch size at which half the peak is reached.
+    pub batch_half_sat: f64,
+    /// Fixed kernel-launch/scheduling cost per inference batch, seconds.
+    pub launch_s: f64,
+    /// Zero-load GPU preprocessing: fixed setup per image, seconds.
+    pub preproc_zero_fixed_s: f64,
+    /// Zero-load GPU preprocessing: per-pixel cost (low occupancy), s.
+    pub preproc_zero_s_per_px: f64,
+    /// Batched GPU preprocessing: fixed cost per batch, seconds.
+    pub preproc_batch_fixed_s: f64,
+    /// Batched GPU preprocessing: per-image cost, seconds.
+    pub preproc_image_s: f64,
+    /// Batched GPU preprocessing: per-pixel cost (high occupancy), s.
+    pub preproc_s_per_px: f64,
+    /// PCIe link bandwidth per GPU, bytes/second.
+    pub pcie_bytes_per_s: f64,
+    /// Device memory capacity, bytes.
+    pub mem_bytes: u64,
+    /// Fraction of device memory usable for in-flight request state before
+    /// eviction begins (the rest holds weights/engine workspace).
+    pub mem_watermark: f64,
+    /// Idle power, watts.
+    pub idle_w: f64,
+    /// Additional power at full utilization, watts.
+    pub busy_w: f64,
+    /// Fraction of inference capacity lost per unit of GPU-preprocessing
+    /// utilization (SM contention between DALI and the engine).
+    pub interference: f64,
+}
+
+impl GpuModel {
+    /// The paper's accelerator: NVIDIA GeForce RTX 4090 (24 GB).
+    pub fn rtx4090() -> Self {
+        GpuModel {
+            peak_flops: 36.0e12,
+            batch_half_sat: 1.35,
+            launch_s: 30e-6,
+            preproc_zero_fixed_s: 1.05e-3,
+            preproc_zero_s_per_px: 0.8e-9,
+            preproc_batch_fixed_s: 250e-6,
+            preproc_image_s: 12e-6,
+            preproc_s_per_px: 0.22e-9,
+            pcie_bytes_per_s: 25.0e9,
+            mem_bytes: 24 * (1 << 30),
+            mem_watermark: 0.8,
+            idle_w: 55.0,
+            busy_w: 330.0,
+            interference: 0.04,
+        }
+    }
+
+    /// Effective FLOP/s at batch size `batch` under `engine`.
+    pub fn effective_flops(&self, batch: usize, engine: EngineKind) -> f64 {
+        let b = batch.max(1) as f64;
+        self.peak_flops * engine.efficiency() * b / (b + self.batch_half_sat)
+    }
+
+    /// Wall time to run one inference batch of `batch` images, each costing
+    /// `flops_per_image`, seconds.
+    pub fn infer_batch_time(&self, flops_per_image: f64, batch: usize, engine: EngineKind) -> f64 {
+        let batch = batch.max(1);
+        self.launch_s + flops_per_image * batch as f64 / self.effective_flops(batch, engine)
+    }
+
+    /// Per-image inference time in the batched steady state, seconds.
+    pub fn infer_image_time(&self, flops_per_image: f64, batch: usize, engine: EngineKind) -> f64 {
+        self.infer_batch_time(flops_per_image, batch, engine) / batch.max(1) as f64
+    }
+
+    /// GPU preprocessing time for a lone image (zero-load latency path),
+    /// seconds. Excludes the PCIe transfer of the compressed payload.
+    pub fn preproc_time_zero_load(&self, img: &ImageSpec) -> f64 {
+        self.preproc_zero_fixed_s + self.preproc_zero_s_per_px * img.pixels() as f64
+    }
+
+    /// Per-image GPU preprocessing time when decoding batches of `batch`
+    /// images (throughput path), seconds.
+    pub fn preproc_time_batched(&self, img: &ImageSpec, batch: usize) -> f64 {
+        let batch = batch.max(1) as f64;
+        self.preproc_batch_fixed_s / batch
+            + self.preproc_image_s
+            + self.preproc_s_per_px * img.pixels() as f64
+    }
+
+    /// PCIe transfer time for `bytes`, seconds (used as the capacity of a
+    /// processor-sharing link in the server model).
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.pcie_bytes_per_s
+    }
+
+    /// Bytes of in-flight device memory the server may use before
+    /// eviction penalties begin.
+    pub fn eviction_threshold(&self) -> f64 {
+        self.mem_bytes as f64 * self.mem_watermark
+    }
+
+    /// Power at `util` ∈ [0, 1] utilization, watts.
+    pub fn power(&self, util: f64) -> f64 {
+        self.idle_w + self.busy_w * util.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> GpuModel {
+        GpuModel::rtx4090()
+    }
+
+    const VIT_B: f64 = 17.5e9;
+
+    #[test]
+    fn vit_base_trt_anchors() {
+        let g = gpu();
+        let batch1 = g.infer_batch_time(VIT_B, 1, EngineKind::TensorRt);
+        assert!((batch1 - 1.3e-3).abs() < 0.2e-3, "batch-1 {batch1}");
+        let per_img = g.infer_image_time(VIT_B, 32, EngineKind::TensorRt);
+        let throughput = 1.0 / per_img;
+        assert!((throughput - 1970.0).abs() < 200.0, "throughput {throughput}");
+    }
+
+    #[test]
+    fn engines_ordered() {
+        let g = gpu();
+        let trt = g.infer_image_time(VIT_B, 32, EngineKind::TensorRt);
+        let onnx = g.infer_image_time(VIT_B, 32, EngineKind::OnnxRuntime);
+        let pt = g.infer_image_time(VIT_B, 32, EngineKind::PyTorch);
+        assert!(trt < onnx && onnx < pt);
+    }
+
+    #[test]
+    fn batching_amortizes_launch() {
+        let g = gpu();
+        assert!(
+            g.infer_image_time(VIT_B, 64, EngineKind::TensorRt)
+                < g.infer_batch_time(VIT_B, 1, EngineKind::TensorRt) / 2.0
+        );
+    }
+
+    #[test]
+    fn zero_load_preproc_anchors() {
+        // Fig 6 shapes: small → CPU faster than GPU; large → GPU ≈ 9.5 ms.
+        let g = gpu();
+        let small = g.preproc_time_zero_load(&ImageSpec::small());
+        assert!(small > 1.0e-3, "small GPU zero-load {small}");
+        let large = g.preproc_time_zero_load(&ImageSpec::large());
+        assert!((large - 9.3e-3).abs() < 1.5e-3, "large GPU zero-load {large}");
+    }
+
+    #[test]
+    fn batched_preproc_much_faster_than_zero_load() {
+        let g = gpu();
+        let m = ImageSpec::medium();
+        let zero = g.preproc_time_zero_load(&m);
+        let batched = g.preproc_time_batched(&m, 32);
+        assert!(batched < zero / 5.0, "zero {zero} batched {batched}");
+    }
+
+    #[test]
+    fn large_image_preproc_ratio_matches_fig7() {
+        // Fig 7: ViT-Base with large images — end-to-end is ≈19.5 % of
+        // inference-only because GPU preprocessing binds.
+        let g = gpu();
+        let pre = g.preproc_time_batched(&ImageSpec::large(), 32);
+        let inf = g.infer_image_time(VIT_B, 32, EngineKind::TensorRt);
+        let ratio = inf / pre;
+        assert!((ratio - 0.195).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn power_bounds() {
+        let g = gpu();
+        assert_eq!(g.power(-1.0), g.idle_w);
+        assert_eq!(g.power(2.0), g.idle_w + g.busy_w);
+    }
+}

@@ -1,0 +1,96 @@
+//! Descriptions of request payloads (compressed images).
+
+/// Size description of one compressed image entering the server.
+///
+/// The cost models only need dimensions and compressed byte count, so
+/// simulated requests carry an `ImageSpec` instead of real pixel data.
+/// The three named constructors reproduce the paper's representative
+/// ImageNet sizes exactly (§4.2, footnote 3).
+///
+/// # Examples
+///
+/// ```
+/// use vserve_device::ImageSpec;
+///
+/// let m = ImageSpec::medium();
+/// assert_eq!((m.width, m.height), (500, 375));
+/// assert_eq!(m.compressed_bytes, 121 * 1024);
+/// assert_eq!(m.pixels(), 187_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ImageSpec {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Compressed (JPEG) size in bytes.
+    pub compressed_bytes: usize,
+}
+
+impl ImageSpec {
+    /// Creates a spec from explicit dimensions and compressed size.
+    pub fn new(width: usize, height: usize, compressed_bytes: usize) -> Self {
+        ImageSpec {
+            width,
+            height,
+            compressed_bytes,
+        }
+    }
+
+    /// The paper's *small* image: 4 kB, 60×70.
+    pub fn small() -> Self {
+        ImageSpec::new(60, 70, 4 * 1024)
+    }
+
+    /// The paper's *medium* image: 121 kB, 500×375.
+    pub fn medium() -> Self {
+        ImageSpec::new(500, 375, 121 * 1024)
+    }
+
+    /// The paper's *large* image: 9528 kB, 3564×2880.
+    pub fn large() -> Self {
+        ImageSpec::new(3564, 2880, 9528 * 1024)
+    }
+
+    /// Pixel count.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Bytes of the decoded RGB raster (`w × h × 3`) — what the paper's
+    /// §4.4 outlier transfers in the inference-only configuration.
+    pub fn decoded_bytes(&self) -> usize {
+        self.pixels() * 3
+    }
+
+    /// Bytes of the preprocessed `f32` NCHW tensor at `side × side`.
+    pub fn tensor_bytes(side: usize) -> usize {
+        side * side * 3 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes() {
+        assert_eq!(ImageSpec::small().pixels(), 4200);
+        assert_eq!(ImageSpec::large().pixels(), 10_264_320);
+        assert_eq!(ImageSpec::large().compressed_bytes, 9_756_672);
+    }
+
+    #[test]
+    fn decoded_is_much_larger_than_compressed_for_small() {
+        // §4.4: the decoded raw image is ~5× larger than the compressed one
+        // for typical quality levels — check the medium image is in range.
+        let m = ImageSpec::medium();
+        let ratio = m.decoded_bytes() as f64 / m.compressed_bytes as f64;
+        assert!(ratio > 3.0 && ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tensor_bytes_at_224() {
+        assert_eq!(ImageSpec::tensor_bytes(224), 224 * 224 * 3 * 4);
+    }
+}

@@ -1,0 +1,141 @@
+//! Calibrated hardware cost and energy models.
+//!
+//! The paper measures a real i9-13900K + RTX 4090 node; this suite runs
+//! everywhere, so the hardware is replaced by analytic models driven by
+//! the discrete-event simulator (see DESIGN.md §1 for the substitution
+//! argument). The models are *structural* — shared GPU between
+//! preprocessing and inference, saturating batch roofline, finite
+//! PCIe/staging bandwidth, finite device memory — and their constants are
+//! calibrated to the paper's anchor numbers, each documented on the
+//! corresponding preset.
+//!
+//! * [`CpuModel`] — host preprocessing, dispatch, staging bandwidth,
+//!   package power ([`CpuModel::i9_13900k`]).
+//! * [`GpuModel`] — inference roofline per [`EngineKind`], zero-load vs.
+//!   batched GPU preprocessing, PCIe, memory watermark, power
+//!   ([`GpuModel::rtx4090`]).
+//! * [`ImageSpec`] — request payload descriptions, including the paper's
+//!   exact small/medium/large ImageNet sizes.
+//! * [`energy_report`] — busy-time integrals → joules (Fig 8).
+//!
+//! # Examples
+//!
+//! ```
+//! use vserve_device::{CpuModel, EngineKind, GpuModel, ImageSpec};
+//!
+//! let cpu = CpuModel::i9_13900k();
+//! let gpu = GpuModel::rtx4090();
+//! let medium = ImageSpec::medium();
+//!
+//! // The paper's §4.2 observation: preprocessing a medium image on the
+//! // CPU takes about as long as ViT-Base inference itself.
+//! let pre = cpu.preprocess_time(&medium, 224);
+//! let inf = gpu.infer_batch_time(17.5e9, 1, EngineKind::TensorRt);
+//! let share = pre / (pre + inf);
+//! assert!(share > 0.45 && share < 0.65);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpu;
+mod energy;
+mod engine;
+mod gpu;
+mod image_spec;
+
+pub use cpu::CpuModel;
+pub use energy::{energy_report, EnergyReport};
+pub use engine::EngineKind;
+pub use gpu::GpuModel;
+pub use image_spec::ImageSpec;
+
+/// A complete server node: one host CPU and `gpu_count` identical GPUs.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_device::NodeConfig;
+///
+/// let node = NodeConfig::paper_testbed();
+/// assert_eq!(node.gpu_count, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeConfig {
+    /// Host CPU model.
+    pub cpu: CpuModel,
+    /// Per-GPU model (all GPUs identical).
+    pub gpu: GpuModel,
+    /// Number of GPUs attached to the host.
+    pub gpu_count: usize,
+}
+
+impl NodeConfig {
+    /// The paper's single-GPU testbed (i9-13900K + RTX 4090).
+    pub fn paper_testbed() -> Self {
+        NodeConfig {
+            cpu: CpuModel::i9_13900k(),
+            gpu: GpuModel::rtx4090(),
+            gpu_count: 1,
+        }
+    }
+
+    /// The paper's multi-GPU scaling configuration (§4.6) with `n` GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_gpus(n: usize) -> Self {
+        assert!(n > 0, "node needs at least one GPU");
+        NodeConfig {
+            gpu_count: n,
+            ..Self::paper_testbed()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_load_shares_match_paper_fig6() {
+        // Paper §4.2: preprocessing share of zero-load latency reaches
+        // 56 % (CPU) / 49 % (GPU) for the medium image and 97 % / 88 % for
+        // the large image.
+        let node = NodeConfig::paper_testbed();
+        let inf = node.gpu.infer_batch_time(17.5e9, 1, EngineKind::TensorRt);
+
+        let share_cpu = |img: &ImageSpec| {
+            let p = node.cpu.preprocess_time(img, 224);
+            p / (p + inf)
+        };
+        let share_gpu = |img: &ImageSpec| {
+            let p = node.gpu.preproc_time_zero_load(img)
+                + node.gpu.transfer_time(img.compressed_bytes);
+            p / (p + inf)
+        };
+
+        let m = ImageSpec::medium();
+        let l = ImageSpec::large();
+        assert!((share_cpu(&m) - 0.56).abs() < 0.06, "cpu medium {}", share_cpu(&m));
+        assert!((share_gpu(&m) - 0.49).abs() < 0.06, "gpu medium {}", share_gpu(&m));
+        assert!((share_cpu(&l) - 0.97).abs() < 0.02, "cpu large {}", share_cpu(&l));
+        assert!((share_gpu(&l) - 0.88).abs() < 0.03, "gpu large {}", share_gpu(&l));
+    }
+
+    #[test]
+    fn small_image_cpu_beats_gpu_at_zero_load() {
+        let node = NodeConfig::paper_testbed();
+        let s = ImageSpec::small();
+        let cpu = node.cpu.preprocess_time(&s, 224);
+        let gpu = node.gpu.preproc_time_zero_load(&s);
+        assert!(cpu < gpu, "cpu {cpu} vs gpu {gpu}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn with_gpus_validates() {
+        let _ = NodeConfig::with_gpus(0);
+    }
+}

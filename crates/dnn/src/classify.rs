@@ -1,0 +1,110 @@
+//! Classification post-processing helpers.
+
+use vserve_tensor::Tensor;
+
+/// One classification result: class index and score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Class index in the model's output order.
+    pub class: usize,
+    /// Raw score (probability if the model ends in softmax).
+    pub score: f32,
+}
+
+/// Returns the `k` highest-scoring classes of a flat output tensor,
+/// ordered best-first (ties by lower class index).
+///
+/// # Examples
+///
+/// ```
+/// use vserve_dnn::classify::top_k;
+/// use vserve_tensor::Tensor;
+///
+/// # fn main() -> Result<(), vserve_tensor::TensorError> {
+/// let logits = Tensor::from_vec(&[1, 4], vec![0.1, 0.7, 0.15, 0.05])?;
+/// let top = top_k(&logits, 2);
+/// assert_eq!(top[0].class, 1);
+/// assert_eq!(top[1].class, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn top_k(output: &Tensor, k: usize) -> Vec<Prediction> {
+    let mut preds: Vec<Prediction> = output
+        .as_slice()
+        .iter()
+        .enumerate()
+        .map(|(class, &score)| Prediction { class, score })
+        .collect();
+    preds.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.class.cmp(&b.class)));
+    preds.truncate(k);
+    preds
+}
+
+/// Converts raw logits to probabilities with a numerically stable softmax.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_dnn::classify::softmax;
+/// use vserve_tensor::Tensor;
+///
+/// # fn main() -> Result<(), vserve_tensor::TensorError> {
+/// let probs = softmax(&Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0])?);
+/// let sum: f32 = probs.as_slice().iter().sum();
+/// assert!((sum - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let mut out = logits.clone();
+    let data = out.as_mut_slice();
+    let max = data.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let mut sum = 0.0;
+    for v in data.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in data.iter_mut() {
+        *v /= sum;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        let t = Tensor::from_vec(&[1, 5], vec![0.1, 0.5, 0.3, 0.05, 0.05]).unwrap();
+        let top = top_k(&t, 3);
+        assert_eq!(
+            top.iter().map(|p| p.class).collect::<Vec<_>>(),
+            vec![1, 2, 0]
+        );
+        assert_eq!(top_k(&t, 100).len(), 5);
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_index() {
+        let t = Tensor::from_vec(&[1, 3], vec![0.4, 0.2, 0.4]).unwrap();
+        let top = top_k(&t, 2);
+        assert_eq!(top[0].class, 0);
+        assert_eq!(top[1].class, 2);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let t = Tensor::from_vec(&[1, 2], vec![1000.0, 1001.0]).unwrap();
+        let p = softmax(&t);
+        assert!(p.as_slice().iter().all(|v| v.is_finite()));
+        assert!(p.as_slice()[1] > p.as_slice()[0]);
+    }
+
+    #[test]
+    fn softmax_preserves_order() {
+        let t = Tensor::from_vec(&[1, 4], vec![-2.0, 0.0, 3.0, 1.0]).unwrap();
+        let p = softmax(&t);
+        assert_eq!(top_k(&t, 4)[0].class, top_k(&p, 4)[0].class);
+    }
+}

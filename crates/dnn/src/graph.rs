@@ -1,0 +1,462 @@
+//! Graph IR: operators, shape inference, and FLOPs accounting.
+//!
+//! FLOPs are counted as multiply–accumulates (1 MAC = 1 FLOP), the
+//! convention used by `thop`/`fvcore` and by the model cards the paper's
+//! Fig 4 cites (ViT-Base/16 at 224² ≈ 17.6 GFLOPs under this convention).
+
+use crate::DnnError;
+
+/// Activation/tensor shape flowing between graph nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shape {
+    /// Image activations `[channels, height, width]` (batch implicit).
+    Chw(usize, usize, usize),
+    /// Token activations `[tokens, dim]`.
+    Tokens(usize, usize),
+    /// Flat feature vector `[dim]`.
+    Vec(usize),
+}
+
+impl Shape {
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        match *self {
+            Shape::Chw(c, h, w) => c * h * w,
+            Shape::Tokens(l, d) => l * d,
+            Shape::Vec(d) => d,
+        }
+    }
+}
+
+/// A graph operator. Convolution-style ops infer their input channel count
+/// from the incoming shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// The graph input; `shape` fixes the expected activation layout.
+    Input(Shape),
+    /// 2-D convolution.
+    Conv2d {
+        /// Output channels.
+        out_c: usize,
+        /// Square kernel side.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding on each side.
+        pad: usize,
+    },
+    /// Fully connected layer to `out` features (applied to the last dim).
+    Linear {
+        /// Output features.
+        out: usize,
+    },
+    /// Layer normalization over the last dimension (tokens or vectors).
+    LayerNorm,
+    /// Inference-mode batch normalization (folded scale/shift per channel).
+    BatchNorm,
+    /// ReLU activation.
+    Relu,
+    /// GELU activation.
+    Gelu,
+    /// Max pooling.
+    MaxPool {
+        /// Window side.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling `[C,H,W] → [C]`.
+    GlobalAvgPool,
+    /// Patch embedding `[C,H,W] → [L+1, D]` with a prepended class token
+    /// and learned positional embeddings.
+    Patchify {
+        /// Patch side in pixels.
+        patch: usize,
+        /// Embedding dimension.
+        embed: usize,
+    },
+    /// Multi-head self-attention block (pre-norm, qkv + proj), residual
+    /// handled externally via [`Op::Add`].
+    MultiHeadAttention {
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// Transformer MLP block: `Linear(hidden) → GELU → Linear(dim)`.
+    Mlp {
+        /// Hidden width.
+        hidden: usize,
+    },
+    /// Element-wise sum of two inputs (residual connection).
+    Add,
+    /// Selects one token `[L, D] → [D]`.
+    TakeToken {
+        /// Token index (0 = class token after [`Op::Patchify`]).
+        index: usize,
+    },
+    /// Softmax over the last dimension.
+    Softmax,
+}
+
+impl Op {
+    /// Output shape given the input shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] when the operator cannot accept
+    /// the inputs (wrong rank, wrong arity, non-divisible dims).
+    pub fn infer_shape(&self, inputs: &[&Shape]) -> Result<Shape, DnnError> {
+        let one = |idx: usize| -> Result<&Shape, DnnError> {
+            inputs.get(idx).copied().ok_or(DnnError::ShapeMismatch {
+                op: self.name(),
+                detail: "missing input".into(),
+            })
+        };
+        let fail = |detail: &str| DnnError::ShapeMismatch {
+            op: self.name(),
+            detail: detail.into(),
+        };
+        match self {
+            Op::Input(shape) => Ok(shape.clone()),
+            Op::Conv2d { out_c, k, stride, pad } => match one(0)? {
+                Shape::Chw(_, h, w) => {
+                    let hh = h + 2 * pad;
+                    let ww = w + 2 * pad;
+                    if hh < *k || ww < *k {
+                        return Err(fail("kernel larger than padded input"));
+                    }
+                    Ok(Shape::Chw(*out_c, (hh - k) / stride + 1, (ww - k) / stride + 1))
+                }
+                _ => Err(fail("conv2d expects CHW input")),
+            },
+            Op::Linear { out } => match one(0)? {
+                Shape::Tokens(l, _) => Ok(Shape::Tokens(*l, *out)),
+                Shape::Vec(_) => Ok(Shape::Vec(*out)),
+                Shape::Chw(..) => Err(fail("linear expects tokens or vector input")),
+            },
+            Op::LayerNorm | Op::Softmax | Op::Gelu | Op::Relu | Op::BatchNorm => {
+                Ok(one(0)?.clone())
+            }
+            Op::MaxPool { k, stride } => match one(0)? {
+                Shape::Chw(c, h, w) => {
+                    if h < k || w < k {
+                        return Err(fail("pool window larger than input"));
+                    }
+                    Ok(Shape::Chw(*c, (h - k) / stride + 1, (w - k) / stride + 1))
+                }
+                _ => Err(fail("max_pool expects CHW input")),
+            },
+            Op::GlobalAvgPool => match one(0)? {
+                Shape::Chw(c, _, _) => Ok(Shape::Vec(*c)),
+                _ => Err(fail("global_avg_pool expects CHW input")),
+            },
+            Op::Patchify { patch, embed } => match one(0)? {
+                Shape::Chw(_, h, w) => {
+                    if h % patch != 0 || w % patch != 0 {
+                        return Err(fail("image not divisible by patch size"));
+                    }
+                    Ok(Shape::Tokens((h / patch) * (w / patch) + 1, *embed))
+                }
+                _ => Err(fail("patchify expects CHW input")),
+            },
+            Op::MultiHeadAttention { heads } => match one(0)? {
+                Shape::Tokens(l, d) => {
+                    if d % heads != 0 {
+                        return Err(fail("dim not divisible by heads"));
+                    }
+                    Ok(Shape::Tokens(*l, *d))
+                }
+                _ => Err(fail("attention expects token input")),
+            },
+            Op::Mlp { .. } => match one(0)? {
+                Shape::Tokens(l, d) => Ok(Shape::Tokens(*l, *d)),
+                _ => Err(fail("mlp expects token input")),
+            },
+            Op::Add => {
+                let a = one(0)?;
+                let b = one(1)?;
+                if a != b {
+                    return Err(fail("residual operands differ in shape"));
+                }
+                Ok(a.clone())
+            }
+            Op::TakeToken { index } => match one(0)? {
+                Shape::Tokens(l, d) => {
+                    if index >= l {
+                        return Err(fail("token index out of range"));
+                    }
+                    Ok(Shape::Vec(*d))
+                }
+                _ => Err(fail("take_token expects token input")),
+            },
+        }
+    }
+
+    /// MAC count for this operator given input/output shapes.
+    pub fn flops(&self, input: &Shape, output: &Shape) -> u64 {
+        match (self, input, output) {
+            (Op::Input(_), _, _) => 0,
+            (Op::Conv2d { out_c, k, .. }, Shape::Chw(in_c, _, _), Shape::Chw(_, oh, ow)) => {
+                (oh * ow * out_c * in_c * k * k) as u64
+            }
+            (Op::Linear { out }, Shape::Tokens(l, d), _) => (l * d * out) as u64,
+            (Op::Linear { out }, Shape::Vec(d), _) => (d * out) as u64,
+            (Op::MaxPool { k, .. }, _, Shape::Chw(c, oh, ow)) => (c * oh * ow * k * k) as u64,
+            (Op::Patchify { patch, embed }, Shape::Chw(c, _, _), Shape::Tokens(l, _)) => {
+                ((l - 1) * embed * c * patch * patch) as u64
+            }
+            (Op::MultiHeadAttention { .. }, Shape::Tokens(l, d), _) => {
+                // qkv + two L×L products + output projection
+                (l * d * 3 * d + 2 * l * l * d + l * d * d) as u64
+            }
+            (Op::Mlp { hidden }, Shape::Tokens(l, d), _) => (2 * l * d * hidden) as u64,
+            // Normalizations, activations, adds, pools: one op per element.
+            _ => output.numel() as u64,
+        }
+    }
+
+    /// Parameter count for this operator given the input shape.
+    pub fn params(&self, input: &Shape) -> u64 {
+        match (self, input) {
+            (Op::Conv2d { out_c, k, .. }, Shape::Chw(in_c, _, _)) => {
+                (out_c * in_c * k * k + out_c) as u64
+            }
+            (Op::Linear { out }, Shape::Tokens(_, d)) | (Op::Linear { out }, Shape::Vec(d)) => {
+                (out * d + out) as u64
+            }
+            (Op::LayerNorm, s) | (Op::BatchNorm, s) => {
+                let d = match s {
+                    Shape::Chw(c, _, _) => *c,
+                    Shape::Tokens(_, d) => *d,
+                    Shape::Vec(d) => *d,
+                };
+                2 * d as u64
+            }
+            (Op::Patchify { patch, embed }, Shape::Chw(c, h, w)) => {
+                let l = (h / patch) * (w / patch) + 1;
+                (embed * c * patch * patch + embed + l * embed + embed) as u64
+            }
+            (Op::MultiHeadAttention { .. }, Shape::Tokens(_, d)) => (4 * d * d + 4 * d) as u64,
+            (Op::Mlp { hidden }, Shape::Tokens(_, d)) => (2 * d * hidden + hidden + d) as u64,
+            _ => 0,
+        }
+    }
+
+    /// Short operator name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Input(_) => "input",
+            Op::Conv2d { .. } => "conv2d",
+            Op::Linear { .. } => "linear",
+            Op::LayerNorm => "layer_norm",
+            Op::BatchNorm => "batch_norm",
+            Op::Relu => "relu",
+            Op::Gelu => "gelu",
+            Op::MaxPool { .. } => "max_pool",
+            Op::GlobalAvgPool => "global_avg_pool",
+            Op::Patchify { .. } => "patchify",
+            Op::MultiHeadAttention { .. } => "attention",
+            Op::Mlp { .. } => "mlp",
+            Op::Add => "add",
+            Op::TakeToken { .. } => "take_token",
+            Op::Softmax => "softmax",
+        }
+    }
+}
+
+/// Identifier of a node within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+/// A node: an operator applied to earlier nodes.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The operator.
+    pub op: Op,
+    /// Input node ids (topologically earlier).
+    pub inputs: Vec<NodeId>,
+    /// Inferred output shape.
+    pub shape: Shape,
+}
+
+/// A topologically ordered computation graph with shape inference done at
+/// construction.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_dnn::graph::{Graph, Op, Shape};
+///
+/// # fn main() -> Result<(), vserve_dnn::DnnError> {
+/// let mut g = Graph::new(Shape::Chw(3, 32, 32));
+/// let c = g.push(Op::Conv2d { out_c: 8, k: 3, stride: 1, pad: 1 }, &[g.input()])?;
+/// let r = g.push(Op::Relu, &[c])?;
+/// let p = g.push(Op::GlobalAvgPool, &[r])?;
+/// let out = g.push(Op::Linear { out: 10 }, &[p])?;
+/// assert_eq!(g.shape(out), &Shape::Vec(10));
+/// assert!(g.flops() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates a graph with a single input node of the given shape.
+    pub fn new(input: Shape) -> Self {
+        Graph {
+            nodes: vec![Node {
+                shape: input.clone(),
+                op: Op::Input(input),
+                inputs: Vec::new(),
+            }],
+        }
+    }
+
+    /// The input node id.
+    pub fn input(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Appends an operator consuming `inputs`, returning its node id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] if shape inference fails, or
+    /// [`DnnError::BadNodeRef`] if an input id is not an earlier node.
+    pub fn push(&mut self, op: Op, inputs: &[NodeId]) -> Result<NodeId, DnnError> {
+        for &NodeId(i) in inputs {
+            if i >= self.nodes.len() {
+                return Err(DnnError::BadNodeRef(i));
+            }
+        }
+        let shapes: Vec<&Shape> = inputs.iter().map(|&NodeId(i)| &self.nodes[i].shape).collect();
+        let shape = op.infer_shape(&shapes)?;
+        self.nodes.push(Node {
+            op,
+            inputs: inputs.to_vec(),
+            shape,
+        });
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Output shape of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn shape(&self, id: NodeId) -> &Shape {
+        &self.nodes[id.0].shape
+    }
+
+    /// The final node (the model output).
+    pub fn output(&self) -> NodeId {
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Total MACs of one forward pass at the graph's input resolution.
+    pub fn flops(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let input = n
+                    .inputs
+                    .first()
+                    .map(|&NodeId(i)| &self.nodes[i].shape)
+                    .unwrap_or(&n.shape);
+                n.op.flops(input, &n.shape)
+            })
+            .sum()
+    }
+
+    /// Total learnable parameters.
+    pub fn params(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let input = n
+                    .inputs
+                    .first()
+                    .map(|&NodeId(i)| &self.nodes[i].shape)
+                    .unwrap_or(&n.shape);
+                n.op.params(input)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_inference() {
+        let op = Op::Conv2d { out_c: 16, k: 3, stride: 2, pad: 1 };
+        let out = op.infer_shape(&[&Shape::Chw(3, 224, 224)]).unwrap();
+        assert_eq!(out, Shape::Chw(16, 112, 112));
+    }
+
+    #[test]
+    fn conv_flops_formula() {
+        let op = Op::Conv2d { out_c: 64, k: 7, stride: 2, pad: 3 };
+        let input = Shape::Chw(3, 224, 224);
+        let output = op.infer_shape(&[&input]).unwrap();
+        assert_eq!(output, Shape::Chw(64, 112, 112));
+        // ResNet stem: 112·112·64·3·7·7 = 118,013,952 MACs.
+        assert_eq!(op.flops(&input, &output), 118_013_952);
+    }
+
+    #[test]
+    fn attention_flops_formula() {
+        let op = Op::MultiHeadAttention { heads: 12 };
+        let s = Shape::Tokens(197, 768);
+        let flops = op.flops(&s, &s);
+        let expect = 197 * 768 * 3 * 768 + 2 * 197 * 197 * 768 + 197 * 768 * 768;
+        assert_eq!(flops, expect as u64);
+    }
+
+    #[test]
+    fn patchify_token_count() {
+        let op = Op::Patchify { patch: 16, embed: 768 };
+        let out = op.infer_shape(&[&Shape::Chw(3, 224, 224)]).unwrap();
+        assert_eq!(out, Shape::Tokens(197, 768));
+    }
+
+    #[test]
+    fn add_requires_matching_shapes() {
+        let op = Op::Add;
+        let a = Shape::Tokens(5, 8);
+        let b = Shape::Tokens(5, 9);
+        assert!(op.infer_shape(&[&a, &a]).is_ok());
+        assert!(op.infer_shape(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn graph_rejects_forward_references() {
+        let mut g = Graph::new(Shape::Vec(4));
+        let bad = g.push(Op::Relu, &[NodeId(7)]);
+        assert!(matches!(bad, Err(DnnError::BadNodeRef(7))));
+    }
+
+    #[test]
+    fn graph_flops_accumulate() {
+        let mut g = Graph::new(Shape::Vec(10));
+        let l1 = g.push(Op::Linear { out: 20 }, &[g.input()]).unwrap();
+        let _l2 = g.push(Op::Linear { out: 5 }, &[l1]).unwrap();
+        assert_eq!(g.flops(), 10 * 20 + 20 * 5);
+        assert_eq!(g.params(), (10 * 20 + 20) + (20 * 5 + 5));
+    }
+
+    #[test]
+    fn take_token_bounds() {
+        let op = Op::TakeToken { index: 5 };
+        assert!(op.infer_shape(&[&Shape::Tokens(5, 4)]).is_err());
+        assert!(op.infer_shape(&[&Shape::Tokens(6, 4)]).is_ok());
+    }
+}

@@ -1,0 +1,384 @@
+//! Compute kernels: GEMM, convolution, normalization, activations.
+
+/// `C ← A·B` for row-major `A (m×k)`, `B (k×n)`, `C (m×n)`.
+///
+/// Loop order (i, p, j) with the `B` row in the inner loop keeps accesses
+/// sequential, which is the textbook cache-friendly form for row-major data.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A dimensions mismatch");
+    assert_eq!(b.len(), k * n, "B dimensions mismatch");
+    assert_eq!(c.len(), m * n, "C dimensions mismatch");
+    c.fill(0.0);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aip * bv;
+            }
+        }
+    }
+}
+
+/// `y ← W·x + b` applied row-wise: `x (rows×in)`, `w (out×in)` row-major,
+/// `bias (out)`, `y (rows×out)`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn linear(x: &[f32], w: &[f32], bias: &[f32], y: &mut [f32], rows: usize, input: usize, output: usize) {
+    assert_eq!(x.len(), rows * input, "x dimensions mismatch");
+    assert_eq!(w.len(), output * input, "w dimensions mismatch");
+    assert_eq!(bias.len(), output, "bias dimensions mismatch");
+    assert_eq!(y.len(), rows * output, "y dimensions mismatch");
+    for r in 0..rows {
+        let xr = &x[r * input..(r + 1) * input];
+        let yr = &mut y[r * output..(r + 1) * output];
+        for (o, yo) in yr.iter_mut().enumerate() {
+            let wr = &w[o * input..(o + 1) * input];
+            let mut acc = bias[o];
+            for (xv, wv) in xr.iter().zip(wr) {
+                acc += xv * wv;
+            }
+            *yo = acc;
+        }
+    }
+}
+
+/// im2col: unfolds `input (c×h×w)` into columns `(c·k·k) × (oh·ow)` for a
+/// `k×k` convolution with the given stride and zero padding.
+#[allow(clippy::too_many_arguments)] // mirrors the convolution signature
+pub fn im2col(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut Vec<f32>,
+) -> (usize, usize) {
+    let oh = (h + 2 * pad - k) / stride + 1;
+    let ow = (w + 2 * pad - k) / stride + 1;
+    out.clear();
+    out.resize(c * k * k * oh * ow, 0.0);
+    let cols = oh * ow;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            input[(ch * h + iy as usize) * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        out[row * cols + oy * ow + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+    (oh, ow)
+}
+
+/// 2-D convolution of a single image `input (in_c×h×w)` with
+/// `weight (out_c×in_c×k×k)` and `bias (out_c)`, producing
+/// `(out_c×oh×ow)`. Uses im2col + GEMM.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d(
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> (Vec<f32>, usize, usize) {
+    assert_eq!(input.len(), in_c * h * w, "input dimensions mismatch");
+    assert_eq!(weight.len(), out_c * in_c * k * k, "weight dimensions mismatch");
+    assert_eq!(bias.len(), out_c, "bias dimensions mismatch");
+    let mut cols = Vec::new();
+    let (oh, ow) = im2col(input, in_c, h, w, k, stride, pad, &mut cols);
+    let mut out = vec![0.0; out_c * oh * ow];
+    gemm(weight, &cols, &mut out, out_c, in_c * k * k, oh * ow);
+    for (o, chunk) in out.chunks_mut(oh * ow).enumerate() {
+        let b = bias[o];
+        for v in chunk {
+            *v += b;
+        }
+    }
+    (out, oh, ow)
+}
+
+/// In-place ReLU.
+pub fn relu(x: &mut [f32]) {
+    for v in x {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// In-place GELU (tanh approximation, as used by ViT/BERT).
+pub fn gelu(x: &mut [f32]) {
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
+    for v in x {
+        let u = *v;
+        *v = 0.5 * u * (1.0 + (C * (u + 0.044_715 * u * u * u)).tanh());
+    }
+}
+
+/// Row-wise softmax over the last dimension: `x` is `rows × cols`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != rows * cols`.
+pub fn softmax_rows(x: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(x.len(), rows * cols, "softmax dimensions mismatch");
+    for r in 0..rows {
+        let row = &mut x[r * cols..(r + 1) * cols];
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Row-wise layer normalization with affine parameters:
+/// `x (rows × dim)`, `gamma (dim)`, `beta (dim)`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn layer_norm(x: &mut [f32], rows: usize, dim: usize, gamma: &[f32], beta: &[f32]) {
+    assert_eq!(x.len(), rows * dim, "layer_norm dimensions mismatch");
+    assert_eq!(gamma.len(), dim, "gamma dimensions mismatch");
+    assert_eq!(beta.len(), dim, "beta dimensions mismatch");
+    const EPS: f32 = 1e-5;
+    for r in 0..rows {
+        let row = &mut x[r * dim..(r + 1) * dim];
+        let mean: f32 = row.iter().sum::<f32>() / dim as f32;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / dim as f32;
+        let inv = 1.0 / (var + EPS).sqrt();
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = (*v - mean) * inv * gamma[i] + beta[i];
+        }
+    }
+}
+
+/// Channel-wise affine (inference-mode batch norm with folded statistics):
+/// `x (c×plane)`, per-channel `scale` and `shift`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn batch_norm(x: &mut [f32], c: usize, plane: usize, scale: &[f32], shift: &[f32]) {
+    assert_eq!(x.len(), c * plane, "batch_norm dimensions mismatch");
+    assert_eq!(scale.len(), c, "scale dimensions mismatch");
+    assert_eq!(shift.len(), c, "shift dimensions mismatch");
+    for ch in 0..c {
+        let (s, b) = (scale[ch], shift[ch]);
+        for v in &mut x[ch * plane..(ch + 1) * plane] {
+            *v = *v * s + b;
+        }
+    }
+}
+
+/// 2-D max pooling of `(c×h×w)` with a `k×k` window.
+pub fn max_pool2d(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+) -> (Vec<f32>, usize, usize) {
+    let oh = (h - k) / stride + 1;
+    let ow = (w - k) / stride + 1;
+    let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut m = f32::NEG_INFINITY;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        m = m.max(input[(ch * h + oy * stride + ky) * w + ox * stride + kx]);
+                    }
+                }
+                out[(ch * oh + oy) * ow + ox] = m;
+            }
+        }
+    }
+    (out, oh, ow)
+}
+
+/// Global average pooling `(c×h×w) → (c)`.
+pub fn global_avg_pool(input: &[f32], c: usize, plane: usize) -> Vec<f32> {
+    assert_eq!(input.len(), c * plane, "pool dimensions mismatch");
+    (0..c)
+        .map(|ch| input[ch * plane..(ch + 1) * plane].iter().sum::<f32>() / plane as f32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn gemm_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0]; // I2
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let mut c = vec![0.0; 4];
+        gemm(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn linear_matches_gemm_plus_bias() {
+        let x = vec![1.0, 2.0, 3.0]; // 1x3
+        let w = vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]; // 2x3
+        let bias = vec![10.0, 20.0];
+        let mut y = vec![0.0; 2];
+        linear(&x, &w, &bias, &mut y, 1, 3, 2);
+        assert_eq!(y, vec![11.0, 25.0]);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1x1 conv with weight 1 reproduces the input.
+        let input: Vec<f32> = (0..9).map(|v| v as f32).collect();
+        let (out, oh, ow) = conv2d(&input, &[1.0], &[0.0], 1, 3, 3, 1, 1, 1, 0);
+        assert_eq!((oh, ow), (3, 3));
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv2d_matches_direct() {
+        // 3x3 input, 2x2 kernel, stride 1, no pad — hand-checkable.
+        let input = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let weight = vec![1.0, 0.0, 0.0, 1.0]; // picks (0,0)+(1,1)
+        let (out, oh, ow) = conv2d(&input, &weight, &[0.5], 1, 3, 3, 1, 2, 1, 0);
+        assert_eq!((oh, ow), (2, 2));
+        assert_eq!(out, vec![1.0 + 5.0 + 0.5, 2.0 + 6.0 + 0.5, 4.0 + 8.0 + 0.5, 5.0 + 9.0 + 0.5]);
+    }
+
+    #[test]
+    fn conv2d_padding_zero_border() {
+        let input = vec![1.0];
+        let weight = vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]; // center tap
+        let (out, oh, ow) = conv2d(&input, &weight, &[0.0], 1, 1, 1, 1, 3, 1, 1);
+        assert_eq!((oh, ow), (1, 1));
+        assert_eq!(out, vec![1.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut x = vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        softmax_rows(&mut x, 2, 3);
+        for r in 0..2 {
+            let s: f32 = x[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        let gamma = vec![1.0; 4];
+        let beta = vec![0.0; 4];
+        layer_norm(&mut x, 1, 4, &gamma, &beta);
+        let mean: f32 = x.iter().sum::<f32>() / 4.0;
+        let var: f32 = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn batch_norm_scales_and_shifts() {
+        let mut x = vec![1.0, 1.0, 2.0, 2.0];
+        batch_norm(&mut x, 2, 2, &[2.0, 0.5], &[0.0, 1.0]);
+        assert_eq!(x, vec![2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn max_pool_picks_max() {
+        let input = vec![1.0, 2.0, 3.0, 4.0];
+        let (out, oh, ow) = max_pool2d(&input, 1, 2, 2, 2, 2);
+        assert_eq!((oh, ow), (1, 1));
+        assert_eq!(out, vec![4.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_means() {
+        let input = vec![1.0, 3.0, 10.0, 20.0];
+        assert_eq!(global_avg_pool(&input, 2, 2), vec![2.0, 15.0]);
+    }
+
+    #[test]
+    fn relu_and_gelu_signs() {
+        let mut x = vec![-1.0, 0.0, 2.0];
+        relu(&mut x);
+        assert_eq!(x, vec![0.0, 0.0, 2.0]);
+        let mut g = vec![-10.0, 0.0, 10.0];
+        gelu(&mut g);
+        assert!(g[0].abs() < 1e-3); // large negatives → ~0
+        assert_eq!(g[1], 0.0);
+        assert!((g[2] - 10.0).abs() < 1e-3); // large positives → identity
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn gemm_matches_naive(m in 1usize..8, k in 1usize..8, n in 1usize..8,
+                              seed in any::<u64>()) {
+            let mut s = seed;
+            let mut next = || {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                ((s % 2000) as f32 - 1000.0) / 100.0
+            };
+            let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+            let mut c = vec![0.0; m * n];
+            gemm(&a, &b, &mut c, m, k, n);
+            let expect = gemm_naive(&a, &b, m, k, n);
+            for (x, y) in c.iter().zip(&expect) {
+                prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! A minimal DNN inference engine with honest FLOPs accounting.
+//!
+//! The paper serves real vision models (ViT, ResNet, TinyViT, Faster
+//! R-CNN, FaceNet); this crate implements the substrate those models run
+//! on rather than assuming an external framework:
+//!
+//! * [`kernels`] — GEMM, im2col convolution, attention, normalizations,
+//!   activations, pooling — plain `f32` CPU implementations.
+//! * [`graph`] — a topologically ordered graph IR with shape inference and
+//!   MAC counting (`1 MAC = 1 FLOP`, the convention behind the model-card
+//!   numbers the paper's Fig 4 uses).
+//! * [`models`] — builders for the paper's model families; their FLOPs and
+//!   parameter counts reproduce published values from the architecture
+//!   definitions themselves.
+//! * [`Model`] — deterministic weight instantiation + a runnable forward
+//!   pass, so the suite's analytic cost models are backed by executable
+//!   kernels.
+//!
+//! # Examples
+//!
+//! ```
+//! use vserve_dnn::models;
+//!
+//! # fn main() -> Result<(), vserve_dnn::DnnError> {
+//! let vit_b = models::vit_base(224)?;
+//! let gflops = vit_b.flops() as f64 / 1e9;
+//! assert!((gflops - 17.5).abs() < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+mod exec;
+pub mod graph;
+pub mod kernels;
+pub mod models;
+
+pub use exec::Model;
+
+/// Errors from graph construction and model execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnnError {
+    /// An operator rejected its input shapes; `detail` explains why.
+    ShapeMismatch {
+        /// Operator name.
+        op: &'static str,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// A node referenced an id that is not an earlier node in the graph.
+    BadNodeRef(usize),
+}
+
+impl std::fmt::Display for DnnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnnError::ShapeMismatch { op, detail } => {
+                write!(f, "shape mismatch in {op}: {detail}")
+            }
+            DnnError::BadNodeRef(id) => write!(f, "node references unknown input {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DnnError {}

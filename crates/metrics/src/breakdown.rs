@@ -1,0 +1,175 @@
+//! Per-stage time accounting for latency-breakdown figures.
+
+use std::collections::BTreeMap;
+
+/// Accumulates time spent in named pipeline stages across many requests.
+///
+/// This backs the paper's latency-breakdown figures (Fig 6, Fig 11): each
+/// completed request contributes its queueing / preprocessing / transfer /
+/// inference / broker components, and the breakdown reports per-stage means
+/// and shares of the total.
+///
+/// Stage names are ordered lexicographically in iteration; use numbered
+/// prefixes (`"0-queue"`, `"1-preproc"`, …) when presentation order matters.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_metrics::StageBreakdown;
+///
+/// let mut b = StageBreakdown::new();
+/// b.record("preproc", 3.0e-3);
+/// b.record("inference", 1.0e-3);
+/// b.record("preproc", 5.0e-3);
+/// b.record("inference", 1.0e-3);
+/// assert!((b.mean("preproc") - 4.0e-3).abs() < 1e-12);
+/// assert!((b.share("preproc") - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StageBreakdown {
+    stages: BTreeMap<String, StageAccum>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StageAccum {
+    total: f64,
+    count: u64,
+}
+
+impl StageBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `seconds` of time to `stage`.
+    pub fn record(&mut self, stage: &str, seconds: f64) {
+        let acc = self.stages.entry(stage.to_owned()).or_default();
+        acc.total += seconds;
+        acc.count += 1;
+    }
+
+    /// Total accumulated seconds in `stage` (0.0 if unknown).
+    pub fn total(&self, stage: &str) -> f64 {
+        self.stages.get(stage).map_or(0.0, |a| a.total)
+    }
+
+    /// Mean seconds per observation in `stage` (0.0 if unknown).
+    pub fn mean(&self, stage: &str) -> f64 {
+        self.stages
+            .get(stage)
+            .map_or(0.0, |a| if a.count == 0 { 0.0 } else { a.total / a.count as f64 })
+    }
+
+    /// Number of observations recorded for `stage`.
+    pub fn count(&self, stage: &str) -> u64 {
+        self.stages.get(stage).map_or(0, |a| a.count)
+    }
+
+    /// Sum of all stages' totals.
+    pub fn grand_total(&self) -> f64 {
+        self.stages.values().map(|a| a.total).sum()
+    }
+
+    /// Fraction of the grand total attributable to `stage` (0.0 when empty).
+    pub fn share(&self, stage: &str) -> f64 {
+        let g = self.grand_total();
+        if g <= 0.0 {
+            0.0
+        } else {
+            self.total(stage) / g
+        }
+    }
+
+    /// Iterates over `(stage, total_seconds)` in lexicographic stage order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.stages.iter().map(|(k, a)| (k.as_str(), a.total))
+    }
+
+    /// Stage names in lexicographic order.
+    pub fn stage_names(&self) -> Vec<&str> {
+        self.stages.keys().map(String::as_str).collect()
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &StageBreakdown) {
+        for (k, a) in &other.stages {
+            let acc = self.stages.entry(k.clone()).or_default();
+            acc.total += a.total;
+            acc.count += a.count;
+        }
+    }
+
+    /// Renders a fixed-width table of per-stage mean and share, for the
+    /// figure-regeneration binaries.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>12} {:>8}\n",
+            "stage", "mean (ms)", "total (s)", "share"
+        ));
+        for (name, acc) in &self.stages {
+            let mean_ms = if acc.count == 0 {
+                0.0
+            } else {
+                acc.total / acc.count as f64 * 1e3
+            };
+            out.push_str(&format!(
+                "{:<24} {:>12.4} {:>12.4} {:>7.1}%\n",
+                name,
+                mean_ms,
+                acc.total,
+                self.share(name) * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_stage_is_zero() {
+        let b = StageBreakdown::new();
+        assert_eq!(b.total("x"), 0.0);
+        assert_eq!(b.mean("x"), 0.0);
+        assert_eq!(b.share("x"), 0.0);
+        assert_eq!(b.count("x"), 0);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut b = StageBreakdown::new();
+        b.record("a", 1.0);
+        b.record("b", 2.0);
+        b.record("c", 3.0);
+        let sum: f64 = b.stage_names().iter().map(|s| b.share(s)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = StageBreakdown::new();
+        a.record("x", 1.0);
+        let mut b = StageBreakdown::new();
+        b.record("x", 3.0);
+        b.record("y", 2.0);
+        a.merge(&b);
+        assert_eq!(a.total("x"), 4.0);
+        assert_eq!(a.count("x"), 2);
+        assert_eq!(a.total("y"), 2.0);
+    }
+
+    #[test]
+    fn table_contains_all_stages() {
+        let mut b = StageBreakdown::new();
+        b.record("0-queue", 0.5);
+        b.record("1-infer", 0.5);
+        let t = b.to_table();
+        assert!(t.contains("0-queue"));
+        assert!(t.contains("1-infer"));
+        assert!(t.contains("50.0%"));
+    }
+}

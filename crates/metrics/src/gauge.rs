@@ -1,0 +1,145 @@
+//! Time-weighted averaging of piecewise-constant signals.
+
+/// Tracks a piecewise-constant signal (queue depth, busy servers, in-flight
+/// bytes) and computes its time-weighted average and peak.
+///
+/// Energy accounting also uses this type: power is piecewise constant
+/// between events, so `time_average × span` is the energy integral.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_metrics::TimeWeightedGauge;
+///
+/// let mut g = TimeWeightedGauge::new(0.0, 0.0);
+/// g.set(1.0, 4.0); // value 4 from t=1
+/// g.set(3.0, 0.0); // value 0 from t=3
+/// // average over [0, 4]: (0*1 + 4*2 + 0*1) / 4 = 2
+/// assert!((g.time_average(4.0) - 2.0).abs() < 1e-12);
+/// assert_eq!(g.peak(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeightedGauge {
+    start: f64,
+    last_t: f64,
+    value: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl TimeWeightedGauge {
+    /// Creates a gauge starting at time `t0` with `initial` value.
+    pub fn new(t0: f64, initial: f64) -> Self {
+        TimeWeightedGauge {
+            start: t0,
+            last_t: t0,
+            value: initial,
+            integral: 0.0,
+            peak: initial,
+        }
+    }
+
+    /// Sets the signal to `value` at time `t`.
+    ///
+    /// Times must be non-decreasing; out-of-order updates are clamped to the
+    /// last seen time (contributing zero weight).
+    pub fn set(&mut self, t: f64, value: f64) {
+        let t = t.max(self.last_t);
+        self.integral += self.value * (t - self.last_t);
+        self.last_t = t;
+        self.value = value;
+        if value > self.peak {
+            self.peak = value;
+        }
+    }
+
+    /// Adds `delta` to the current value at time `t`.
+    pub fn add(&mut self, t: f64, delta: f64) {
+        let v = self.value + delta;
+        self.set(t, v);
+    }
+
+    /// Current signal value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Maximum value the signal ever took.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Integral of the signal from the start time through `t_end`.
+    pub fn integral(&self, t_end: f64) -> f64 {
+        let t_end = t_end.max(self.last_t);
+        self.integral + self.value * (t_end - self.last_t)
+    }
+
+    /// Time-weighted average over `[t0, t_end]`.
+    ///
+    /// Returns the current value when the span is empty.
+    pub fn time_average(&self, t_end: f64) -> f64 {
+        let span = t_end.max(self.last_t) - self.start;
+        if span <= 0.0 {
+            self.value
+        } else {
+            self.integral(t_end) / span
+        }
+    }
+
+    /// Resets the integration window to start at `t`, keeping the current
+    /// value (used to discard warm-up).
+    pub fn reset_window(&mut self, t: f64) {
+        let t = t.max(self.last_t);
+        self.start = t;
+        self.last_t = t;
+        self.integral = 0.0;
+        self.peak = self.value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_average_is_value() {
+        let g = TimeWeightedGauge::new(0.0, 3.0);
+        assert!((g.time_average(10.0) - 3.0).abs() < 1e-12);
+        assert!((g.integral(10.0) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_peak() {
+        let mut g = TimeWeightedGauge::new(0.0, 0.0);
+        g.add(1.0, 2.0);
+        g.add(2.0, 3.0);
+        g.add(3.0, -4.0);
+        assert_eq!(g.value(), 1.0);
+        assert_eq!(g.peak(), 5.0);
+    }
+
+    #[test]
+    fn out_of_order_update_clamped() {
+        let mut g = TimeWeightedGauge::new(0.0, 1.0);
+        g.set(5.0, 2.0);
+        g.set(3.0, 7.0); // clamped to t=5, zero weight for value 2→7 jump
+        assert!((g.integral(5.0) - 5.0).abs() < 1e-12);
+        assert_eq!(g.value(), 7.0);
+    }
+
+    #[test]
+    fn reset_window_discards_history() {
+        let mut g = TimeWeightedGauge::new(0.0, 10.0);
+        g.set(5.0, 2.0);
+        g.reset_window(5.0);
+        assert!((g.time_average(10.0) - 2.0).abs() < 1e-12);
+        assert_eq!(g.peak(), 2.0);
+    }
+
+    #[test]
+    fn empty_span_average_is_current() {
+        let g = TimeWeightedGauge::new(1.0, 9.0);
+        assert_eq!(g.time_average(1.0), 9.0);
+    }
+}

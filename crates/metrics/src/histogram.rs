@@ -1,0 +1,221 @@
+//! Logarithmic-bucket histogram with percentile queries.
+
+/// HDR-style histogram whose bucket boundaries grow geometrically.
+///
+/// Values in `[lo, hi]` land in buckets with bounded *relative* width
+/// (`growth − 1`), so quantile queries have bounded relative error
+/// regardless of the dynamic range — ideal for latencies that span six
+/// orders of magnitude. Values outside the range are clamped into the
+/// first/last bucket and counted.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_metrics::LogHistogram;
+///
+/// let mut h = LogHistogram::new(1e-6, 10.0, 1.02);
+/// for i in 1..=100 {
+///     h.record(i as f64 * 1e-3);
+/// }
+/// let p50 = h.quantile(0.5);
+/// assert!((p50 - 0.050).abs() < 0.005);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    lo: f64,
+    log_lo: f64,
+    log_growth: f64,
+    buckets: Vec<u64>,
+    count: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram covering `[lo, hi]` with geometric bucket growth
+    /// factor `growth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `hi <= lo`, or `growth <= 1`.
+    pub fn new(lo: f64, hi: f64, growth: f64) -> Self {
+        assert!(lo > 0.0, "lo must be positive");
+        assert!(hi > lo, "hi must exceed lo");
+        assert!(growth > 1.0, "growth must exceed 1");
+        let n = ((hi / lo).ln() / growth.ln()).ceil() as usize + 1;
+        LogHistogram {
+            lo,
+            log_lo: lo.ln(),
+            log_growth: growth.ln(),
+            buckets: vec![0; n],
+            count: 0,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    fn bucket_index(&self, x: f64) -> usize {
+        if x <= self.lo {
+            return 0;
+        }
+        let idx = ((x.ln() - self.log_lo) / self.log_growth) as usize;
+        idx.min(self.buckets.len() - 1)
+    }
+
+    /// Lower edge of bucket `i`.
+    fn bucket_value(&self, i: usize) -> f64 {
+        // Midpoint (geometric) of the bucket, for lower quantile bias.
+        (self.log_lo + (i as f64 + 0.5) * self.log_growth).exp()
+    }
+
+    /// Records one observation. Non-finite and non-positive values are
+    /// counted as underflow.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if !x.is_finite() || x <= 0.0 {
+            self.underflow += 1;
+            self.buckets[0] += 1;
+            return;
+        }
+        let i = self.bucket_index(x);
+        if i == self.buckets.len() - 1 && x > self.bucket_value(self.buckets.len() - 1) * 2.0 {
+            self.overflow += 1;
+        }
+        self.buckets[i] += 1;
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations that fell at/below the low bound (or were non-finite).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations that fell far above the high bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Returns the estimated `q`-quantile (geometric bucket midpoint).
+    ///
+    /// Returns `0.0` for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return self.bucket_value(i);
+            }
+        }
+        self.bucket_value(self.buckets.len() - 1)
+    }
+
+    /// Merges another histogram with identical bucket layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layouts differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.buckets.len(), other.buckets.len(), "layout mismatch");
+        assert!((self.log_lo - other.log_lo).abs() < 1e-12, "layout mismatch");
+        assert!(
+            (self.log_growth - other.log_growth).abs() < 1e-15,
+            "layout mismatch"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Iterates over `(bucket_midpoint, count)` pairs for non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (self.bucket_value(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantile_relative_error_bounded() {
+        let mut h = LogHistogram::new(1e-6, 1e2, 1.01);
+        for i in 1..=10_000u32 {
+            h.record(i as f64 * 1e-4);
+        }
+        for &(q, truth) in &[(0.5, 0.5), (0.9, 0.9), (0.99, 0.99)] {
+            let est = h.quantile(q);
+            assert!(
+                (est - truth).abs() / truth < 0.02,
+                "q={q} est={est} truth={truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut h = LogHistogram::new(1e-3, 1.0, 1.1);
+        h.record(-5.0);
+        h.record(1e9);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        let h = LogHistogram::new(1e-3, 1.0, 1.1);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout mismatch")]
+    fn merge_rejects_different_layouts() {
+        let mut a = LogHistogram::new(1e-3, 1.0, 1.1);
+        let b = LogHistogram::new(1e-3, 10.0, 1.1);
+        a.merge(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn quantiles_monotone(xs in prop::collection::vec(1e-5f64..1e3, 1..500)) {
+            let mut h = LogHistogram::new(1e-6, 1e4, 1.02);
+            for &x in &xs { h.record(x); }
+            let mut prev = 0.0;
+            for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+                let v = h.quantile(q);
+                prop_assert!(v >= prev);
+                prev = v;
+            }
+        }
+
+        #[test]
+        fn count_conserved(xs in prop::collection::vec(1e-9f64..1e9, 0..200)) {
+            let mut h = LogHistogram::new(1e-6, 1e4, 1.05);
+            for &x in &xs { h.record(x); }
+            prop_assert_eq!(h.count(), xs.len() as u64);
+            let bucket_total: u64 = h.iter().map(|(_, c)| c).sum();
+            prop_assert_eq!(bucket_total, xs.len() as u64);
+        }
+    }
+}

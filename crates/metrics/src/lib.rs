@@ -1,0 +1,224 @@
+//! Streaming statistics for the `vserve` benchmark suite.
+//!
+//! Every experiment in the suite produces large numbers of per-request
+//! observations (latencies, stage times, queue depths, energy draws). This
+//! crate provides the small, allocation-light statistical primitives that
+//! aggregate those observations without storing them all:
+//!
+//! * [`Welford`] — numerically stable streaming mean / variance / min / max.
+//! * [`P2Quantile`] / [`QuantileSet`] — the P² algorithm for streaming
+//!   quantile estimation (used for tail latencies).
+//! * [`LogHistogram`] — HDR-style logarithmic-bucket histogram with exact
+//!   counts and percentile queries.
+//! * [`RateMeter`] — event counter that converts to a rate over a time span.
+//! * [`TimeWeightedGauge`] — time-weighted average of a piecewise-constant
+//!   signal (queue depth, utilization, in-flight bytes).
+//! * [`StageBreakdown`] — named per-stage time accumulator used for the
+//!   paper's latency-breakdown figures.
+//! * [`TimeSeries`] — bounded `(t, v)` recorder with uniform downsampling.
+//!
+//! All durations are plain `f64` seconds; the simulator converts from its
+//! integer clock at the boundary.
+//!
+//! # Examples
+//!
+//! ```
+//! use vserve_metrics::Welford;
+//!
+//! let mut w = Welford::new();
+//! for x in [1.0, 2.0, 3.0, 4.0] {
+//!     w.push(x);
+//! }
+//! assert_eq!(w.mean(), 2.5);
+//! assert_eq!(w.count(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod breakdown;
+mod gauge;
+mod histogram;
+mod quantile;
+mod rate;
+mod timeseries;
+mod welford;
+
+pub use breakdown::StageBreakdown;
+pub use gauge::TimeWeightedGauge;
+pub use histogram::LogHistogram;
+pub use quantile::{P2Quantile, QuantileSet};
+pub use rate::RateMeter;
+pub use timeseries::TimeSeries;
+pub use welford::Welford;
+
+/// Summary of a latency-like distribution, produced by [`LatencyStats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean, seconds.
+    pub mean: f64,
+    /// Sample standard deviation, seconds.
+    pub std_dev: f64,
+    /// Minimum observed value, seconds.
+    pub min: f64,
+    /// Maximum observed value, seconds.
+    pub max: f64,
+    /// Median (P50), seconds.
+    pub p50: f64,
+    /// 95th percentile, seconds.
+    pub p95: f64,
+    /// 99th percentile, seconds — the paper's "tail latency".
+    pub p99: f64,
+}
+
+impl LatencySummary {
+    /// A summary with zero observations; all fields are zero.
+    pub fn empty() -> Self {
+        LatencySummary {
+            count: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+        }
+    }
+}
+
+/// Combined moment + histogram tracker for latency distributions.
+///
+/// Wraps a [`Welford`] accumulator (exact moments) and a [`LogHistogram`]
+/// (percentiles with bounded relative error) behind one `push`.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_metrics::LatencyStats;
+///
+/// let mut stats = LatencyStats::new();
+/// for i in 1..=1000 {
+///     stats.push(i as f64 * 1e-3);
+/// }
+/// let s = stats.summary();
+/// assert_eq!(s.count, 1000);
+/// assert!((s.mean - 0.5005).abs() < 1e-9);
+/// assert!(s.p99 >= s.p50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    moments: Welford,
+    hist: LogHistogram,
+}
+
+impl LatencyStats {
+    /// Creates an empty tracker covering `[1 µs, 10 000 s]` with ~1 %
+    /// relative bucket error, which spans every latency in the suite.
+    pub fn new() -> Self {
+        LatencyStats {
+            moments: Welford::new(),
+            hist: LogHistogram::new(1e-6, 1e4, 1.01),
+        }
+    }
+
+    /// Records one observation in seconds.
+    pub fn push(&mut self, seconds: f64) {
+        self.moments.push(seconds);
+        self.hist.record(seconds);
+    }
+
+    /// Number of observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Arithmetic mean of all observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// Returns the `q`-quantile estimate (e.g. `0.99`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.hist.quantile(q)
+    }
+
+    /// Produces a full [`LatencySummary`].
+    pub fn summary(&self) -> LatencySummary {
+        if self.moments.count() == 0 {
+            return LatencySummary::empty();
+        }
+        LatencySummary {
+            count: self.moments.count(),
+            mean: self.moments.mean(),
+            std_dev: self.moments.sample_std_dev(),
+            min: self.moments.min(),
+            max: self.moments.max(),
+            p50: self.hist.quantile(0.50),
+            p95: self.hist.quantile(0.95),
+            p99: self.hist.quantile(0.99),
+        }
+    }
+
+    /// Merges another tracker into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.moments.merge(&other.moments);
+        self.hist.merge(&other.hist);
+    }
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_empty_summary_is_zero() {
+        let stats = LatencyStats::new();
+        assert_eq!(stats.summary(), LatencySummary::empty());
+    }
+
+    #[test]
+    fn latency_stats_percentiles_ordered() {
+        let mut stats = LatencyStats::new();
+        for i in 0..10_000 {
+            stats.push(1e-3 * (1.0 + (i % 97) as f64));
+        }
+        let s = stats.summary();
+        assert!(s.min <= s.p50);
+        assert!(s.p50 <= s.p95);
+        assert!(s.p95 <= s.p99);
+        assert!(s.p99 <= s.max * 1.02);
+    }
+
+    #[test]
+    fn latency_stats_merge_matches_combined() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        let mut all = LatencyStats::new();
+        for i in 0..500 {
+            let x = 1e-3 + (i as f64) * 1e-5;
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            all.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.quantile(0.95) - all.quantile(0.95)).abs() < 1e-9);
+    }
+}

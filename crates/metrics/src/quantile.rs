@@ -1,0 +1,269 @@
+//! Streaming quantile estimation with the P² algorithm.
+//!
+//! Jain & Chlamtac, "The P² algorithm for dynamic calculation of quantiles
+//! and histograms without storing observations", CACM 1985.
+
+/// Streaming estimator of a single quantile using the P² algorithm.
+///
+/// Keeps five markers whose positions are adjusted with a piecewise-parabolic
+/// prediction as observations arrive, giving an O(1)-memory estimate of any
+/// fixed quantile.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_metrics::P2Quantile;
+///
+/// let mut q = P2Quantile::new(0.5);
+/// for i in 1..=1001 {
+///     q.push(i as f64);
+/// }
+/// let median = q.estimate();
+/// assert!((median - 501.0).abs() < 15.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+    increments: [f64; 5],
+    count: u64,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1), got {p}");
+        P2Quantile {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial.sort_by(|a, b| a.total_cmp(b));
+                self.heights.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+
+        // Find cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for pos in self.positions.iter_mut().skip(k + 1) {
+            *pos += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+    }
+
+    /// Current estimate of the quantile.
+    ///
+    /// With fewer than five observations, falls back to the exact quantile of
+    /// the observations so far (nearest-rank). Returns `0.0` when empty.
+    pub fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.initial.len() < 5 {
+            let mut sorted = self.initial.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            let rank = ((self.p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            return sorted[rank - 1];
+        }
+        self.heights[2]
+    }
+}
+
+/// A set of [`P2Quantile`] estimators sharing one input stream.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_metrics::QuantileSet;
+///
+/// let mut set = QuantileSet::new(&[0.5, 0.95, 0.99]);
+/// for i in 0..10_000 {
+///     set.push((i % 100) as f64);
+/// }
+/// assert!(set.estimate(0.99).unwrap() >= set.estimate(0.5).unwrap());
+/// assert!(set.estimate(0.9).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantileSet {
+    estimators: Vec<P2Quantile>,
+}
+
+impl QuantileSet {
+    /// Creates estimators for each quantile in `qs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any quantile is outside `(0, 1)`.
+    pub fn new(qs: &[f64]) -> Self {
+        QuantileSet {
+            estimators: qs.iter().map(|&q| P2Quantile::new(q)).collect(),
+        }
+    }
+
+    /// Adds one observation to every estimator.
+    pub fn push(&mut self, x: f64) {
+        for e in &mut self.estimators {
+            e.push(x);
+        }
+    }
+
+    /// Estimate for quantile `q`, or `None` if `q` was not registered.
+    pub fn estimate(&self, q: f64) -> Option<f64> {
+        self.estimators
+            .iter()
+            .find(|e| (e.quantile() - q).abs() < 1e-12)
+            .map(|e| e.estimate())
+    }
+
+    /// All (quantile, estimate) pairs.
+    pub fn estimates(&self) -> Vec<(f64, f64)> {
+        self.estimators
+            .iter()
+            .map(|e| (e.quantile(), e.estimate()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_out_of_range() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn exact_for_tiny_streams() {
+        let mut q = P2Quantile::new(0.5);
+        q.push(10.0);
+        q.push(2.0);
+        q.push(7.0);
+        assert_eq!(q.estimate(), 7.0);
+    }
+
+    #[test]
+    fn uniform_median_close() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut q = P2Quantile::new(0.5);
+        for _ in 0..50_000 {
+            q.push(rng.gen::<f64>());
+        }
+        assert!((q.estimate() - 0.5).abs() < 0.02, "median {}", q.estimate());
+    }
+
+    #[test]
+    fn exponential_p99_close() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut q = P2Quantile::new(0.99);
+        for _ in 0..200_000 {
+            let u: f64 = rng.gen();
+            q.push(-(1.0 - u).ln());
+        }
+        // True p99 of Exp(1) is ln(100) ≈ 4.605.
+        let est = q.estimate();
+        assert!((est - 4.605).abs() < 0.4, "p99 {est}");
+    }
+
+    proptest! {
+        #[test]
+        fn estimate_within_range(xs in prop::collection::vec(-1e3f64..1e3, 5..300)) {
+            let mut q = P2Quantile::new(0.9);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &x in &xs {
+                q.push(x);
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            let est = q.estimate();
+            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
+        }
+    }
+}

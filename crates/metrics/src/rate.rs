@@ -1,0 +1,157 @@
+//! Event-rate measurement over a time span.
+
+/// Counts discrete events and converts them to a rate over an observation
+/// window, with optional warm-up exclusion.
+///
+/// The serving experiments run a warm-up phase before measuring steady-state
+/// throughput; `RateMeter` supports that by letting the caller (re)open the
+/// measurement window at an arbitrary time.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_metrics::RateMeter;
+///
+/// let mut m = RateMeter::new();
+/// m.open(10.0); // warm-up ended at t = 10 s
+/// for t in 0..100 {
+///     m.record(10.0 + t as f64 * 0.1);
+/// }
+/// m.close(20.0);
+/// assert_eq!(m.count(), 100);
+/// assert!((m.rate() - 10.0).abs() < 1e-9); // 100 events over 10 s
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateMeter {
+    open_at: Option<f64>,
+    close_at: Option<f64>,
+    count: u64,
+    last_event: f64,
+}
+
+impl RateMeter {
+    /// Creates a meter with an unopened window; events recorded before
+    /// [`open`](Self::open) are ignored.
+    pub fn new() -> Self {
+        RateMeter {
+            open_at: None,
+            close_at: None,
+            count: 0,
+            last_event: 0.0,
+        }
+    }
+
+    /// Opens (or reopens) the measurement window at time `t` (seconds),
+    /// resetting the count.
+    pub fn open(&mut self, t: f64) {
+        self.open_at = Some(t);
+        self.close_at = None;
+        self.count = 0;
+        self.last_event = t;
+    }
+
+    /// Records one event at time `t`. Ignored if the window is not open or
+    /// `t` precedes the window start.
+    pub fn record(&mut self, t: f64) {
+        match self.open_at {
+            Some(start) if t >= start && self.close_at.is_none() => {
+                self.count += 1;
+                self.last_event = t;
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes the window at time `t`.
+    pub fn close(&mut self, t: f64) {
+        if self.open_at.is_some() && self.close_at.is_none() {
+            self.close_at = Some(t);
+        }
+    }
+
+    /// Events counted inside the window.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Events per second over the window.
+    ///
+    /// If the window was never closed, the span ends at the last recorded
+    /// event. Returns `0.0` for an empty or zero-length window.
+    pub fn rate(&self) -> f64 {
+        let start = match self.open_at {
+            Some(s) => s,
+            None => return 0.0,
+        };
+        let end = self.close_at.unwrap_or(self.last_event);
+        let span = end - start;
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.count as f64 / span
+        }
+    }
+}
+
+impl Default for RateMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ignores_events_before_open() {
+        let mut m = RateMeter::new();
+        m.record(1.0);
+        assert_eq!(m.count(), 0);
+        m.open(5.0);
+        m.record(4.0); // before window start
+        assert_eq!(m.count(), 0);
+        m.record(6.0);
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn ignores_events_after_close() {
+        let mut m = RateMeter::new();
+        m.open(0.0);
+        m.record(1.0);
+        m.close(2.0);
+        m.record(3.0);
+        assert_eq!(m.count(), 1);
+        assert!((m.rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unclosed_window_uses_last_event() {
+        let mut m = RateMeter::new();
+        m.open(0.0);
+        m.record(1.0);
+        m.record(2.0);
+        assert!((m.rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_span_rate_is_zero() {
+        let mut m = RateMeter::new();
+        m.open(1.0);
+        m.record(1.0);
+        assert_eq!(m.rate(), 0.0);
+    }
+
+    #[test]
+    fn reopen_resets() {
+        let mut m = RateMeter::new();
+        m.open(0.0);
+        m.record(0.5);
+        m.close(1.0);
+        m.open(10.0);
+        assert_eq!(m.count(), 0);
+        m.record(11.0);
+        assert_eq!(m.count(), 1);
+    }
+}

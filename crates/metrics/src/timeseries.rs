@@ -1,0 +1,131 @@
+//! Bounded `(t, v)` recording with uniform downsampling.
+
+/// Records `(time, value)` samples with a hard memory bound.
+///
+/// When the buffer fills, every other sample is dropped and the sampling
+/// stride doubles, so arbitrarily long runs keep a uniformly-spaced summary
+/// within a fixed capacity. Used by the concurrency-sweep experiments to
+/// keep a trace of instantaneous throughput and queue depth.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_metrics::TimeSeries;
+///
+/// let mut ts = TimeSeries::with_capacity(8);
+/// for i in 0..100 {
+///     ts.push(i as f64, (i * i) as f64);
+/// }
+/// assert!(ts.len() <= 8);
+/// assert_eq!(ts.samples().first().unwrap().0, 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    samples: Vec<(f64, f64)>,
+    capacity: usize,
+    stride: u64,
+    seen: u64,
+}
+
+impl TimeSeries {
+    /// Creates a series that never stores more than `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 2, "capacity must be at least 2");
+        TimeSeries {
+            samples: Vec::with_capacity(capacity),
+            capacity,
+            stride: 1,
+            seen: 0,
+        }
+    }
+
+    /// Appends a sample, downsampling if necessary.
+    pub fn push(&mut self, t: f64, v: f64) {
+        if self.seen.is_multiple_of(self.stride) {
+            if self.samples.len() == self.capacity {
+                // Keep every other retained sample and double the stride.
+                let mut i = 0;
+                self.samples.retain(|_| {
+                    let keep = i % 2 == 0;
+                    i += 1;
+                    keep
+                });
+                self.stride *= 2;
+            }
+            if self.seen.is_multiple_of(self.stride) {
+                self.samples.push((t, v));
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Retained samples in time order.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Total samples ever pushed (including downsampled-away ones).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn respects_capacity() {
+        let mut ts = TimeSeries::with_capacity(16);
+        for i in 0..10_000 {
+            ts.push(i as f64, 0.0);
+        }
+        assert!(ts.len() <= 16);
+        assert_eq!(ts.seen(), 10_000);
+    }
+
+    #[test]
+    fn keeps_first_sample() {
+        let mut ts = TimeSeries::with_capacity(4);
+        for i in 0..100 {
+            ts.push(i as f64, i as f64);
+        }
+        assert_eq!(ts.samples()[0], (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 2")]
+    fn rejects_tiny_capacity() {
+        let _ = TimeSeries::with_capacity(1);
+    }
+
+    proptest! {
+        #[test]
+        fn samples_time_ordered(n in 1usize..2000, cap in 2usize..64) {
+            let mut ts = TimeSeries::with_capacity(cap);
+            for i in 0..n {
+                ts.push(i as f64, 0.0);
+            }
+            let s = ts.samples();
+            for w in s.windows(2) {
+                prop_assert!(w[0].0 < w[1].0);
+            }
+            prop_assert!(s.len() <= cap);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Streaming mean/variance via Welford's online algorithm.
+
+/// Numerically stable streaming accumulator for mean, variance, min and max.
+///
+/// Uses Welford's online algorithm, which avoids the catastrophic
+/// cancellation of the naive `E[x²] − E[x]²` formula.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_metrics::Welford;
+///
+/// let mut w = Welford::new();
+/// w.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert_eq!(w.mean(), 5.0);
+/// assert!((w.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Population variance (divides by `n`); `0.0` when fewer than 1 sample.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n − 1`); `0.0` when fewer than 2 samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation; `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator using Chan's parallel update.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Welford {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut w = Welford::new();
+        w.extend(iter);
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.min(), 0.0);
+        assert_eq!(w.max(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let w: Welford = [3.5].into_iter().collect();
+        assert_eq!(w.mean(), 3.5);
+        assert_eq!(w.min(), 3.5);
+        assert_eq!(w.max(), 3.5);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        let w: Welford = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((w.population_variance() - 4.0).abs() < 1e-12);
+        assert!((w.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_empty_cases() {
+        let mut a = Welford::new();
+        let b: Welford = [1.0, 2.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        let mut c: Welford = [1.0, 2.0].into_iter().collect();
+        c.merge(&Welford::new());
+        assert_eq!(c.count(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+                                   split in 0usize..200) {
+            let split = split.min(xs.len());
+            let mut a: Welford = xs[..split].iter().copied().collect();
+            let b: Welford = xs[split..].iter().copied().collect();
+            let all: Welford = xs.iter().copied().collect();
+            a.merge(&b);
+            prop_assert_eq!(a.count(), all.count());
+            prop_assert!((a.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
+            prop_assert!((a.population_variance() - all.population_variance()).abs()
+                < 1e-4 * (1.0 + all.population_variance().abs()));
+        }
+
+        #[test]
+        fn mean_within_bounds(xs in prop::collection::vec(-1e9f64..1e9, 1..100)) {
+            let w: Welford = xs.iter().copied().collect();
+            prop_assert!(w.mean() >= w.min() - 1e-9);
+            prop_assert!(w.mean() <= w.max() + 1e-9);
+        }
+    }
+}

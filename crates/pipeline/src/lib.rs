@@ -1,0 +1,159 @@
+//! Multi-DNN pipelines with message brokers (§4.7, Figs 10–11).
+//!
+//! Reproduces the paper's face-identification pipeline: a Faster-R-CNN-
+//! class detector feeding a FaceNet-class identifier, with the two stages
+//! coupled by a disk-backed broker, an in-memory broker, or fused into a
+//! single process. [`PipelineExperiment`] runs the discrete-event model;
+//! the real brokers live in `vserve-broker` and can be wired to the live
+//! server for functional validation (see the `face_pipeline` example).
+//!
+//! Key reproduced results:
+//!
+//! * in-memory coupling beats the disk-backed broker by ≈2.25× in
+//!   end-to-end throughput at 25 faces/frame;
+//! * broker share of zero-load latency drops from ≈71 % to ≈6 %;
+//! * the fused pipeline wins below ≈9 faces/frame, after which the
+//!   brokered pipeline's cross-frame batching takes over.
+//!
+//! # Examples
+//!
+//! ```
+//! use vserve_broker::BrokerKind;
+//! use vserve_device::NodeConfig;
+//! use vserve_pipeline::PipelineExperiment;
+//! use vserve_workload::FacesPerFrame;
+//!
+//! let redis = PipelineExperiment {
+//!     node: NodeConfig::paper_testbed(),
+//!     broker: BrokerKind::RedisLike,
+//!     faces: FacesPerFrame::fixed(25),
+//!     concurrency: 64,
+//!     warmup_s: 0.5,
+//!     measure_s: 2.0,
+//!     seed: 1,
+//! };
+//! let kafka = PipelineExperiment { broker: BrokerKind::KafkaLike, ..redis.clone() };
+//! let (r, k) = (redis.run(), kafka.run());
+//! assert!(r.frame_throughput > 1.5 * k.frame_throughput);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+mod sim;
+
+pub use report::{pipeline_stages, PipelineReport};
+pub use sim::PipelineExperiment;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vserve_broker::BrokerKind;
+    use vserve_device::NodeConfig;
+    use vserve_workload::FacesPerFrame;
+
+    fn exp(broker: BrokerKind, k: u64, concurrency: usize) -> PipelineExperiment {
+        PipelineExperiment {
+            node: NodeConfig::paper_testbed(),
+            broker,
+            faces: FacesPerFrame::fixed(k),
+            concurrency,
+            warmup_s: 0.5,
+            measure_s: 2.0,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn redis_beats_kafka_at_25_faces() {
+        let r = exp(BrokerKind::RedisLike, 25, 64).run();
+        let k = exp(BrokerKind::KafkaLike, 25, 64).run();
+        let ratio = r.frame_throughput / k.frame_throughput;
+        // Paper: 125 % improvement (2.25×).
+        assert!(ratio > 1.6 && ratio < 3.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn broker_latency_shares_match_paper() {
+        let k = exp(BrokerKind::KafkaLike, 25, 1).zero_load();
+        let r = exp(BrokerKind::RedisLike, 25, 1).zero_load();
+        assert!(
+            k.broker_share() > 0.5,
+            "kafka broker share {}",
+            k.broker_share()
+        );
+        assert!(
+            r.broker_share() < 0.15,
+            "redis broker share {}",
+            r.broker_share()
+        );
+        // Zero-load latency improvement (paper: 67 %).
+        assert!(
+            k.latency.mean > 2.0 * r.latency.mean,
+            "kafka {} vs redis {}",
+            k.latency.mean,
+            r.latency.mean
+        );
+    }
+
+    #[test]
+    fn fused_wins_at_few_faces_redis_at_many() {
+        let fused_small = exp(BrokerKind::Fused, 2, 64).run();
+        let redis_small = exp(BrokerKind::RedisLike, 2, 64).run();
+        assert!(
+            fused_small.frame_throughput > redis_small.frame_throughput,
+            "fused {} vs redis {} at k=2",
+            fused_small.frame_throughput,
+            redis_small.frame_throughput
+        );
+        let fused_big = exp(BrokerKind::Fused, 25, 64).run();
+        let redis_big = exp(BrokerKind::RedisLike, 25, 64).run();
+        assert!(
+            redis_big.frame_throughput > fused_big.frame_throughput,
+            "fused {} vs redis {} at k=25",
+            fused_big.frame_throughput,
+            redis_big.frame_throughput
+        );
+    }
+
+    #[test]
+    fn crossover_exists_between_2_and_25() {
+        let mut crossed = None;
+        for k in [2u64, 4, 6, 8, 10, 12, 16, 20, 25] {
+            let fused = exp(BrokerKind::Fused, k, 64).run();
+            let redis = exp(BrokerKind::RedisLike, k, 64).run();
+            if redis.frame_throughput > fused.frame_throughput {
+                crossed = Some(k);
+                break;
+            }
+        }
+        let k = crossed.expect("redis should overtake fused at some k");
+        assert!((4..=25).contains(&k), "crossover at k={k}");
+    }
+
+    #[test]
+    fn zero_faces_frames_complete() {
+        let r = exp(BrokerKind::RedisLike, 0, 8).run();
+        assert!(r.frame_throughput > 100.0);
+        assert_eq!(r.face_throughput, 0.0);
+    }
+
+    #[test]
+    fn face_throughput_scales_with_k() {
+        let r = exp(BrokerKind::RedisLike, 10, 64).run();
+        assert!(
+            (r.face_throughput / r.frame_throughput - 10.0).abs() < 1.0,
+            "faces/frame {}",
+            r.face_throughput / r.frame_throughput
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = exp(BrokerKind::KafkaLike, 5, 16).run();
+        let b = exp(BrokerKind::KafkaLike, 5, 16).run();
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.frame_throughput, b.frame_throughput);
+    }
+}

@@ -1,0 +1,56 @@
+//! Pipeline experiment results.
+
+use vserve_broker::BrokerKind;
+use vserve_metrics::{LatencySummary, StageBreakdown};
+
+/// Stage names used in pipeline breakdowns.
+pub mod pipeline_stages {
+    /// Face detection (stage 1) GPU time.
+    pub const DETECT: &str = "0-detect";
+    /// Broker time: produce + station + consume.
+    pub const BROKER: &str = "1-broker";
+    /// Face identification (stage 2) GPU time.
+    pub const IDENTIFY: &str = "2-identify";
+    /// Queueing before either stage.
+    pub const QUEUE: &str = "3-queue";
+}
+
+/// Outcome of one [`crate::PipelineExperiment`] run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Coupling mechanism measured.
+    pub broker: BrokerKind,
+    /// Frames completed per second.
+    pub frame_throughput: f64,
+    /// Faces identified per second.
+    pub face_throughput: f64,
+    /// Frame round-trip latency distribution.
+    pub latency: LatencySummary,
+    /// Mean per-frame stage times.
+    pub breakdown: StageBreakdown,
+    /// Mean sampled faces per frame.
+    pub mean_faces: f64,
+}
+
+impl PipelineReport {
+    /// Fraction of mean frame latency spent in the broker.
+    pub fn broker_share(&self) -> f64 {
+        if self.latency.mean <= 0.0 {
+            0.0
+        } else {
+            self.breakdown.mean(pipeline_stages::BROKER) / self.latency.mean
+        }
+    }
+
+    /// One-line report row.
+    pub fn to_row(&self) -> String {
+        format!(
+            "{:<11} {:>8.1} frames/s {:>9.1} faces/s  avg {:>8.2} ms  broker {:>5.1}%",
+            self.broker.to_string(),
+            self.frame_throughput,
+            self.face_throughput,
+            self.latency.mean * 1e3,
+            self.broker_share() * 100.0
+        )
+    }
+}

@@ -1,0 +1,431 @@
+//! Discrete-event model of the detect-then-identify pipeline (Fig 10).
+//!
+//! One GPU time-shares two models: a heavy face detector (stage 1) and a
+//! light face identifier (stage 2). Each processed frame yields `k` face
+//! crops. The stages are coupled by one of three mechanisms
+//! ([`BrokerKind`]): a disk-backed log broker, an in-memory broker, or a
+//! fused single process. Brokered faces pay produce/consume latency and
+//! flow through a finite-rate broker station, but identification batches
+//! *across frames*; the fused path pays no broker cost but identifies
+//! each frame's faces as a lone small batch inside the detection process.
+
+use std::collections::VecDeque;
+
+use vserve_broker::BrokerKind;
+use vserve_device::{EngineKind, ImageSpec, NodeConfig};
+use vserve_metrics::{LatencyStats, RateMeter, StageBreakdown, Welford};
+use vserve_sim::rng::RngStream;
+use vserve_sim::{Engine, SimDuration, SimTime};
+use vserve_workload::FacesPerFrame;
+
+use crate::report::{pipeline_stages, PipelineReport};
+
+/// Bytes of one serialized face crop travelling through the broker.
+const FACE_CROP_BYTES: usize = 24 * 1024;
+/// Per-face GPU preprocessing when crops re-enter stage 2 through a
+/// broker (decode/resize of the serialized crop); the fused path keeps
+/// tensors GPU-resident and skips this.
+const STAGE2_PREPROC_S: f64 = 5e-6;
+/// Utilization boost when brokered identification batches overlap with
+/// detection kernels on concurrent streams: large cross-frame batches
+/// fill SMs the fused path's lone small batches leave idle.
+const OVERLAP_BOOST: f64 = 1.5;
+/// Stage-2 identification batch limit when coupled through a broker.
+const ID_MAX_BATCH: usize = 32;
+/// Effective detector batch the serving layer sustains (amortizes the
+/// per-batch launch cost across frames).
+const DET_BATCH: usize = 8;
+
+type Eng = Engine<PipeSim>;
+type FrameId = usize;
+
+#[derive(Debug, Clone)]
+struct Frame {
+    arrived: SimTime,
+    faces_total: u64,
+    faces_done: u64,
+    det_s: f64,
+    broker_s: f64,
+    /// Longest single face's broker path (wait + station + consume);
+    /// faces overlap, so the critical path is a max, not a sum.
+    broker_face_max: f64,
+    id_s: f64,
+    queue_s: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum GpuJob {
+    /// Detect one frame (fused jobs carry their identification along).
+    Detect { frame: FrameId, enq: SimTime },
+    /// Identify a batch of brokered faces.
+    Identify,
+}
+
+struct PipeSim {
+    node: NodeConfig,
+    broker: BrokerKind,
+    faces: FacesPerFrame,
+    det_flops: f64,
+    id_flops: f64,
+    engine: EngineKind,
+    rng: RngStream,
+
+    frames: Vec<Option<Frame>>,
+    det_queue: VecDeque<(FrameId, SimTime)>,
+    id_ready: VecDeque<(FrameId, SimTime)>,
+    gpu_busy: bool,
+    broker_busy: bool,
+    broker_queue: VecDeque<(FrameId, SimTime)>,
+
+    measuring: bool,
+    latency: LatencyStats,
+    breakdown: StageBreakdown,
+    frame_meter: RateMeter,
+    face_meter: RateMeter,
+    faces_per_frame: Welford,
+}
+
+impl PipeSim {
+    fn frame(&mut self, id: FrameId) -> &mut Frame {
+        self.frames[id].as_mut().expect("live frame")
+    }
+
+    /// Per-frame detection service at an effective batch of `batch`
+    /// frames (the dynamic batcher amortizes launches only under load).
+    fn det_service(&self, batch: usize) -> f64 {
+        let frame_img = ImageSpec::new(640, 640, 180 * 1024);
+        let pre = self.node.gpu.preproc_time_batched(&frame_img, batch);
+        let inf = self.node.gpu.infer_image_time(self.det_flops, batch, self.engine);
+        pre + inf
+    }
+
+    fn id_batch_service(&self, n: usize, through_broker: bool) -> f64 {
+        if through_broker {
+            // Cross-frame batches run at the full-batch operating point
+            // and overlap with detection kernels (stream concurrency).
+            let compute =
+                self.id_flops / self.node.gpu.effective_flops(ID_MAX_BATCH, self.engine);
+            self.node.gpu.launch_s + n as f64 * (compute / OVERLAP_BOOST + STAGE2_PREPROC_S)
+        } else {
+            // Fused: this frame's faces alone, serialized with detection.
+            self.node.gpu.infer_batch_time(self.id_flops, n, self.engine)
+        }
+    }
+}
+
+fn inject_frame(sim: &mut PipeSim, eng: &mut Eng) {
+    let id = sim.frames.len();
+    let k = sim.faces.sample(&mut sim.rng);
+    sim.frames.push(Some(Frame {
+        arrived: eng.now(),
+        faces_total: k,
+        faces_done: 0,
+        det_s: 0.0,
+        broker_s: 0.0,
+        broker_face_max: 0.0,
+        id_s: 0.0,
+        queue_s: 0.0,
+    }));
+    sim.det_queue.push_back((id, eng.now()));
+    try_run_gpu(sim, eng);
+}
+
+/// The GPU picks its next job: identification batches take priority once
+/// enough faces are ready (they are short and keep the pipe drained);
+/// otherwise the oldest detection runs.
+fn try_run_gpu(sim: &mut PipeSim, eng: &mut Eng) {
+    if sim.gpu_busy {
+        return;
+    }
+    let job = if !sim.id_ready.is_empty()
+        && (sim.id_ready.len() >= ID_MAX_BATCH || sim.det_queue.is_empty())
+    {
+        GpuJob::Identify
+    } else if let Some((frame, enq)) = sim.det_queue.pop_front() {
+        GpuJob::Detect { frame, enq }
+    } else if !sim.id_ready.is_empty() {
+        GpuJob::Identify
+    } else {
+        return;
+    };
+    let now = eng.now();
+    sim.gpu_busy = true;
+    match job {
+        GpuJob::Detect { frame, enq } => {
+            sim.frame(frame).queue_s += (now - enq).as_secs_f64();
+            let fused = sim.broker == BrokerKind::Fused;
+            // Under load the batcher amortizes across queued frames; a
+            // lone frame pays batch-1 cost (zero-load path).
+            let eff_batch = (1 + sim.det_queue.len()).min(DET_BATCH);
+            let det = sim.det_service(eff_batch);
+            let k = sim.frames[frame].as_ref().expect("live").faces_total;
+            let service = if fused && k > 0 {
+                det + sim.id_batch_service(k as usize, false)
+            } else if fused {
+                det
+            } else {
+                // Broker hand-off stalls the pipeline once per frame.
+                det + sim.broker.cost().pipeline_bubble_s
+            };
+            eng.schedule_in(
+                SimDuration::from_secs_f64(service),
+                Box::new(move |sim: &mut PipeSim, eng: &mut Eng| {
+                    detect_done(sim, eng, frame, det, service - det)
+                }),
+            );
+        }
+        GpuJob::Identify => {
+            let n = sim.id_ready.len().min(ID_MAX_BATCH);
+            let items: Vec<(FrameId, SimTime)> = sim.id_ready.drain(..n).collect();
+            for &(f, enq) in &items {
+                sim.frame(f).queue_s += (now - enq).as_secs_f64();
+            }
+            let service = sim.id_batch_service(n, true);
+            eng.schedule_in(
+                SimDuration::from_secs_f64(service),
+                Box::new(move |sim: &mut PipeSim, eng: &mut Eng| {
+                    identify_done(sim, eng, items, service)
+                }),
+            );
+        }
+    }
+}
+
+fn detect_done(sim: &mut PipeSim, eng: &mut Eng, frame: FrameId, det_s: f64, extra_s: f64) {
+    sim.gpu_busy = false;
+    let fused = sim.broker == BrokerKind::Fused;
+    let f = sim.frame(frame);
+    f.det_s += det_s;
+    if fused {
+        f.id_s += extra_s; // the frame's own identification batch
+    } else {
+        f.broker_s += extra_s; // the per-frame hand-off bubble
+    }
+    let k = f.faces_total;
+    match sim.broker {
+        BrokerKind::Fused => {
+            complete_frame(sim, eng, frame);
+        }
+        _ if k == 0 => {
+            complete_frame(sim, eng, frame);
+        }
+        kind => {
+            // Async producer: the frame pays one produce latency, then its
+            // faces stream through the finite-rate broker station.
+            let cost = kind.cost();
+            let produce = cost.produce_s + cost.per_byte_s * FACE_CROP_BYTES as f64;
+            sim.frame(frame).broker_s += produce;
+            for _ in 0..k {
+                let at = eng.now() + SimDuration::from_secs_f64(produce);
+                eng.schedule_at(
+                    at,
+                    Box::new(move |sim: &mut PipeSim, eng: &mut Eng| {
+                        sim.broker_queue.push_back((frame, eng.now()));
+                        try_run_broker(sim, eng);
+                    }),
+                );
+            }
+        }
+    }
+    try_run_gpu(sim, eng);
+}
+
+/// The broker station: a single server whose service time is the
+/// reciprocal of the broker's sustainable message rate.
+fn try_run_broker(sim: &mut PipeSim, eng: &mut Eng) {
+    if sim.broker_busy {
+        return;
+    }
+    let Some((frame, enq)) = sim.broker_queue.pop_front() else {
+        return;
+    };
+    sim.broker_busy = true;
+    let now = eng.now();
+    let wait = (now - enq).as_secs_f64();
+    let cost = sim.broker.cost();
+    let service = if cost.max_rate.is_finite() {
+        1.0 / cost.max_rate
+    } else {
+        0.0
+    };
+    eng.schedule_in(
+        SimDuration::from_secs_f64(service),
+        Box::new(move |sim: &mut PipeSim, eng: &mut Eng| {
+            sim.broker_busy = false;
+            // Consumer poll latency, then the face is ready for stage 2.
+            let consume = sim.broker.cost().consume_s;
+            let face_path = wait + service + consume;
+            let f = sim.frame(frame);
+            f.broker_face_max = f.broker_face_max.max(face_path);
+            let at = eng.now() + SimDuration::from_secs_f64(consume);
+            eng.schedule_at(
+                at,
+                Box::new(move |sim: &mut PipeSim, eng: &mut Eng| {
+                    sim.id_ready.push_back((frame, eng.now()));
+                    try_run_gpu(sim, eng);
+                }),
+            );
+            try_run_broker(sim, eng);
+        }),
+    );
+}
+
+fn identify_done(sim: &mut PipeSim, eng: &mut Eng, items: Vec<(FrameId, SimTime)>, service: f64) {
+    sim.gpu_busy = false;
+    let per_face = service / items.len() as f64;
+    for (frame, _) in items {
+        let f = sim.frame(frame);
+        f.id_s += per_face;
+        f.faces_done += 1;
+        if sim.measuring {
+            sim.face_meter.record(eng.now().as_secs_f64());
+        }
+        if sim.frames[frame].as_ref().expect("live").faces_done
+            >= sim.frames[frame].as_ref().expect("live").faces_total
+        {
+            complete_frame(sim, eng, frame);
+        }
+    }
+    try_run_gpu(sim, eng);
+}
+
+fn complete_frame(sim: &mut PipeSim, eng: &mut Eng, frame: FrameId) {
+    let now = eng.now();
+    let mut f = sim.frames[frame].take().expect("live frame");
+    f.broker_s += f.broker_face_max;
+    if sim.measuring {
+        let latency = (now - f.arrived).as_secs_f64();
+        sim.latency.push(latency);
+        sim.frame_meter.record(now.as_secs_f64());
+        if sim.broker == BrokerKind::Fused {
+            for _ in 0..f.faces_total {
+                sim.face_meter.record(now.as_secs_f64());
+            }
+        }
+        sim.faces_per_frame.push(f.faces_total as f64);
+        sim.breakdown.record(pipeline_stages::DETECT, f.det_s);
+        sim.breakdown.record(pipeline_stages::BROKER, f.broker_s);
+        sim.breakdown.record(pipeline_stages::IDENTIFY, f.id_s);
+        sim.breakdown.record(pipeline_stages::QUEUE, f.queue_s);
+    }
+    inject_frame(sim, eng);
+}
+
+/// The §4.7 face-identification pipeline experiment.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_broker::BrokerKind;
+/// use vserve_device::NodeConfig;
+/// use vserve_pipeline::PipelineExperiment;
+/// use vserve_workload::FacesPerFrame;
+///
+/// let report = PipelineExperiment {
+///     node: NodeConfig::paper_testbed(),
+///     broker: BrokerKind::RedisLike,
+///     faces: FacesPerFrame::fixed(5),
+///     concurrency: 32,
+///     warmup_s: 0.5,
+///     measure_s: 2.0,
+///     seed: 3,
+/// }
+/// .run();
+/// assert!(report.frame_throughput > 50.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineExperiment {
+    /// Hardware under test.
+    pub node: NodeConfig,
+    /// Inter-stage coupling.
+    pub broker: BrokerKind,
+    /// Faces-per-frame distribution.
+    pub faces: FacesPerFrame,
+    /// Closed-loop outstanding frames.
+    pub concurrency: usize,
+    /// Warm-up seconds before measuring.
+    pub warmup_s: f64,
+    /// Measurement window, seconds.
+    pub measure_s: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl PipelineExperiment {
+    /// Runs the pipeline to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrency == 0` or the time windows are not positive.
+    pub fn run(&self) -> PipelineReport {
+        assert!(self.concurrency > 0, "concurrency must be positive");
+        assert!(
+            self.warmup_s >= 0.0 && self.measure_s > 0.0,
+            "time windows must be positive"
+        );
+        let mut sim = PipeSim {
+            node: self.node,
+            broker: self.broker,
+            faces: self.faces,
+            det_flops: 37.0e9, // vserve_dnn::models::faster_rcnn(640)
+            id_flops: 1.5e9,   // vserve_dnn::models::facenet(160)
+            engine: EngineKind::TensorRt,
+            rng: RngStream::derive(self.seed, "pipeline"),
+            frames: Vec::new(),
+            det_queue: VecDeque::new(),
+            id_ready: VecDeque::new(),
+            gpu_busy: false,
+            broker_busy: false,
+            broker_queue: VecDeque::new(),
+            measuring: false,
+            latency: LatencyStats::new(),
+            breakdown: StageBreakdown::new(),
+            frame_meter: RateMeter::new(),
+            face_meter: RateMeter::new(),
+            faces_per_frame: Welford::new(),
+        };
+        let mut eng: Eng = Engine::new();
+        for i in 0..self.concurrency {
+            eng.schedule_in(
+                SimDuration::from_micros(i as u64),
+                Box::new(|sim: &mut PipeSim, eng: &mut Eng| inject_frame(sim, eng)),
+            );
+        }
+        let warm = SimTime::ZERO + SimDuration::from_secs_f64(self.warmup_s);
+        eng.schedule_at(
+            warm,
+            Box::new(|sim: &mut PipeSim, eng: &mut Eng| {
+                let t = eng.now().as_secs_f64();
+                sim.measuring = true;
+                sim.latency = LatencyStats::new();
+                sim.breakdown = StageBreakdown::new();
+                sim.frame_meter.open(t);
+                sim.face_meter.open(t);
+                sim.faces_per_frame = Welford::new();
+            }),
+        );
+        let end = warm + SimDuration::from_secs_f64(self.measure_s);
+        eng.run(&mut sim, end);
+        let t_end = end.as_secs_f64();
+        sim.frame_meter.close(t_end);
+        sim.face_meter.close(t_end);
+
+        PipelineReport {
+            broker: self.broker,
+            frame_throughput: sim.frame_meter.count() as f64 / self.measure_s,
+            face_throughput: sim.face_meter.count() as f64 / self.measure_s,
+            latency: sim.latency.summary(),
+            breakdown: sim.breakdown,
+            mean_faces: sim.faces_per_frame.mean(),
+        }
+    }
+
+    /// Zero-load latency: one outstanding frame.
+    pub fn zero_load(&self) -> PipelineReport {
+        PipelineExperiment {
+            concurrency: 1,
+            ..self.clone()
+        }
+        .run()
+    }
+}

@@ -1,0 +1,217 @@
+//! Server configuration and the Fig 3 software-ladder presets.
+
+use vserve_device::EngineKind;
+
+/// Where the preprocessing stage executes (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PreprocWhere {
+    /// Host CPU worker pool (libjpeg-style path).
+    Cpu,
+    /// On the GPU via batched decode kernels (DALI/nvJPEG-style path).
+    #[default]
+    Gpu,
+}
+
+impl std::fmt::Display for PreprocWhere {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PreprocWhere::Cpu => "cpu",
+            PreprocWhere::Gpu => "gpu",
+        })
+    }
+}
+
+/// Which pipeline stages run, for the stage-isolation study of Fig 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StageMode {
+    /// Full pipeline: preprocessing and inference.
+    #[default]
+    EndToEnd,
+    /// Preprocessing only; requests complete after the preprocessed
+    /// tensor is ready on the device.
+    PreprocOnly,
+    /// Inference only: clients send the already-preprocessed fp32 input
+    /// tensor, ≈5× larger than the medium image's compressed form — the
+    /// transfer that produces the §4.4 outlier.
+    InferenceOnly,
+}
+
+/// The profile of the deployed model, from `vserve-dnn` graph accounting.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_server::ModelProfile;
+///
+/// let vit = ModelProfile::vit_base();
+/// assert_eq!(vit.input_side, 224);
+/// assert!((vit.flops - 17.5e9).abs() < 1e9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    /// Human-readable name.
+    pub name: String,
+    /// FLOPs (MACs) per image at `input_side²`.
+    pub flops: f64,
+    /// Side of the square DNN input in pixels.
+    pub input_side: usize,
+}
+
+impl ModelProfile {
+    /// Creates a profile.
+    pub fn new(name: impl Into<String>, flops: f64, input_side: usize) -> Self {
+        ModelProfile {
+            name: name.into(),
+            flops,
+            input_side,
+        }
+    }
+
+    /// ViT-Base/16 at 224² — the paper's primary model.
+    pub fn vit_base() -> Self {
+        ModelProfile::new("vit-base", 17.5e9, 224)
+    }
+
+    /// ResNet-50 at 224².
+    pub fn resnet50() -> Self {
+        ModelProfile::new("resnet-50", 4.1e9, 224)
+    }
+
+    /// TinyViT-5M at 224².
+    pub fn tiny_vit() -> Self {
+        ModelProfile::new("tinyvit-5m", 1.3e9, 224)
+    }
+}
+
+/// Full serving-system configuration.
+///
+/// The defaults are the paper's throughput-optimized setup (§2.3):
+/// TensorRT engine, GPU preprocessing, dynamic batching, tuned worker and
+/// instance counts.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_server::{PreprocWhere, ServerConfig};
+///
+/// let tuned = ServerConfig::optimized();
+/// let cpu_pre = ServerConfig { preproc: PreprocWhere::Cpu, ..ServerConfig::optimized() };
+/// assert!(tuned.dynamic_batching && cpu_pre.preproc == PreprocWhere::Cpu);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Where preprocessing runs.
+    pub preproc: PreprocWhere,
+    /// Inference backend.
+    pub engine: EngineKind,
+    /// CPU preprocessing worker processes (used when `preproc == Cpu`).
+    pub preproc_workers: usize,
+    /// Concurrent GPU decode streams per GPU (used when `preproc == Gpu`).
+    pub gpu_preproc_streams: usize,
+    /// Images per GPU preprocessing batch.
+    pub preproc_batch: usize,
+    /// Model instances (CUDA streams) per GPU.
+    pub instances_per_gpu: usize,
+    /// Maximum inference batch size.
+    pub max_batch: usize,
+    /// Dynamic batcher: maximum queueing delay before a partial batch is
+    /// launched, seconds.
+    pub max_queue_delay_s: f64,
+    /// Whether dynamic batching is enabled; when off, the batcher waits
+    /// for a full `max_batch` (up to a long timeout), mimicking fixed
+    /// client-side batches.
+    pub dynamic_batching: bool,
+    /// Which stages execute (Fig 7 isolation).
+    pub stage_mode: StageMode,
+}
+
+impl ServerConfig {
+    /// The paper's throughput-optimized configuration (TrIS + TensorRT +
+    /// DALI GPU preprocessing + tuned server parameters).
+    pub fn optimized() -> Self {
+        ServerConfig {
+            preproc: PreprocWhere::Gpu,
+            engine: EngineKind::TensorRt,
+            preproc_workers: 14,
+            gpu_preproc_streams: 2,
+            preproc_batch: 16,
+            instances_per_gpu: 2,
+            max_batch: 64,
+            max_queue_delay_s: 2e-3,
+            dynamic_batching: true,
+            stage_mode: StageMode::EndToEnd,
+        }
+    }
+
+    /// The same configuration with CPU preprocessing (the paper's second
+    /// arm in every experiment).
+    pub fn optimized_cpu_preproc() -> Self {
+        ServerConfig {
+            preproc: PreprocWhere::Cpu,
+            ..Self::optimized()
+        }
+    }
+
+    /// TrIS defaults before the paper's parameter search (Fig 3 rung 5→6):
+    /// one instance, few workers, default batching limits.
+    pub fn tris_defaults(engine: EngineKind) -> Self {
+        ServerConfig {
+            preproc: PreprocWhere::Gpu,
+            engine,
+            preproc_workers: 4,
+            gpu_preproc_streams: 1,
+            preproc_batch: 8,
+            instances_per_gpu: 1,
+            max_batch: 16,
+            max_queue_delay_s: 5e-3,
+            dynamic_batching: true,
+            stage_mode: StageMode::EndToEnd,
+        }
+    }
+
+    /// Fixed-batch variant (Fig 3 rung 4: TrIS without dynamic batching).
+    pub fn with_fixed_batching(mut self) -> Self {
+        self.dynamic_batching = false;
+        self
+    }
+
+    /// Returns this configuration restricted to one pipeline stage.
+    pub fn with_stage_mode(mut self, mode: StageMode) -> Self {
+        self.stage_mode = mode;
+        self
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self::optimized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_is_tensorrt_gpu() {
+        let c = ServerConfig::optimized();
+        assert_eq!(c.engine, EngineKind::TensorRt);
+        assert_eq!(c.preproc, PreprocWhere::Gpu);
+        assert!(c.dynamic_batching);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ServerConfig::tris_defaults(EngineKind::OnnxRuntime)
+            .with_fixed_batching()
+            .with_stage_mode(StageMode::PreprocOnly);
+        assert!(!c.dynamic_batching);
+        assert_eq!(c.stage_mode, StageMode::PreprocOnly);
+    }
+
+    #[test]
+    fn profiles_have_sane_flops() {
+        assert!(ModelProfile::tiny_vit().flops < ModelProfile::resnet50().flops);
+        assert!(ModelProfile::resnet50().flops < ModelProfile::vit_base().flops);
+    }
+}

@@ -1,0 +1,285 @@
+//! The throughput-optimized DNN serving system under study.
+//!
+//! This crate models the paper's TrIS-style inference server: request
+//! dispatch, CPU or GPU preprocessing, host-staging and PCIe transfers,
+//! a dynamic batcher with bounded queueing delay, and per-GPU model
+//! instances — all running on the discrete-event kernel of `vserve-sim`
+//! with the calibrated hardware costs of `vserve-device`.
+//!
+//! Two entry points:
+//!
+//! * [`Experiment`] — closed-loop simulation producing a [`ServerReport`]
+//!   (throughput, latency distribution, per-stage breakdown, energy);
+//!   drives Figs 4–9.
+//! * [`live`] — a real thread-based mini-server that decodes actual JPEGs
+//!   (`vserve-codec`) and runs a real model (`vserve-dnn`); used by the
+//!   examples to validate the pipeline structure end-to-end.
+//!
+//! # Examples
+//!
+//! ```
+//! use vserve_device::{ImageSpec, NodeConfig};
+//! use vserve_server::{Experiment, ModelProfile, ServerConfig};
+//! use vserve_workload::ImageMix;
+//!
+//! let report = Experiment {
+//!     node: NodeConfig::paper_testbed(),
+//!     config: ServerConfig::optimized(),
+//!     model: ModelProfile::vit_base(),
+//!     mix: ImageMix::fixed(ImageSpec::medium()),
+//!     concurrency: 128,
+//!     warmup_s: 0.5,
+//!     measure_s: 2.0,
+//!     seed: 7,
+//! }
+//! .run();
+//! // The paper's optimized setup exceeds 1600 img/s on medium images.
+//! assert!(report.throughput > 1200.0, "throughput {}", report.throughput);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod live;
+mod report;
+mod sim;
+
+pub use config::{ModelProfile, PreprocWhere, ServerConfig, StageMode};
+pub use report::{stages, ServerReport};
+pub use sim::{serial_loop_throughput, Experiment};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vserve_device::{ImageSpec, NodeConfig};
+    use vserve_workload::ImageMix;
+
+    fn experiment(img: ImageSpec, config: ServerConfig, concurrency: usize) -> Experiment {
+        Experiment {
+            node: NodeConfig::paper_testbed(),
+            config,
+            model: ModelProfile::vit_base(),
+            mix: ImageMix::fixed(img),
+            concurrency,
+            warmup_s: 0.5,
+            measure_s: 2.0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn optimized_medium_matches_fig3_top_rung() {
+        let r = experiment(ImageSpec::medium(), ServerConfig::optimized(), 128).run();
+        assert!(
+            r.throughput > 1400.0 && r.throughput < 2400.0,
+            "throughput {}",
+            r.throughput
+        );
+    }
+
+    #[test]
+    fn zero_load_medium_preproc_share_cpu() {
+        let r = experiment(
+            ImageSpec::medium(),
+            ServerConfig::optimized_cpu_preproc(),
+            1,
+        )
+        .zero_load();
+        // Fig 6: ≈56 % of zero-load latency is non-inference overhead
+        // (dominated by preprocessing) on CPU.
+        assert!(
+            (r.overhead_share() - 0.56).abs() < 0.10,
+            "share {}",
+            r.overhead_share()
+        );
+    }
+
+    #[test]
+    fn zero_load_large_dominated_by_preproc() {
+        for config in [
+            ServerConfig::optimized_cpu_preproc(),
+            ServerConfig::optimized(),
+        ] {
+            let r = experiment(ImageSpec::large(), config, 1).zero_load();
+            assert!(r.overhead_share() > 0.80, "share {}", r.overhead_share());
+            assert!(r.preproc_share() > 0.55, "preproc {}", r.preproc_share());
+        }
+    }
+
+    #[test]
+    fn small_images_prefer_cpu_preproc_at_zero_load() {
+        let cpu = experiment(ImageSpec::small(), ServerConfig::optimized_cpu_preproc(), 1)
+            .zero_load();
+        let gpu = experiment(ImageSpec::small(), ServerConfig::optimized(), 1).zero_load();
+        assert!(
+            cpu.latency.mean < gpu.latency.mean,
+            "cpu {} vs gpu {}",
+            cpu.latency.mean,
+            gpu.latency.mean
+        );
+    }
+
+    #[test]
+    fn queueing_grows_with_concurrency() {
+        let lo = experiment(ImageSpec::medium(), ServerConfig::optimized(), 16).run();
+        let hi = experiment(ImageSpec::medium(), ServerConfig::optimized(), 1024).run();
+        assert!(hi.queue_time() > 5.0 * lo.queue_time());
+        assert!(hi.throughput >= lo.throughput * 0.9);
+    }
+
+    #[test]
+    fn throughput_saturates_not_explodes() {
+        let x512 = experiment(ImageSpec::medium(), ServerConfig::optimized(), 512).run();
+        let x1024 = experiment(ImageSpec::medium(), ServerConfig::optimized(), 1024).run();
+        // saturation: within 25 %
+        assert!(
+            (x1024.throughput - x512.throughput).abs() / x512.throughput < 0.25,
+            "{} vs {}",
+            x512.throughput,
+            x1024.throughput
+        );
+    }
+
+    #[test]
+    fn large_images_bound_by_preprocessing() {
+        let e2e = experiment(ImageSpec::large(), ServerConfig::optimized(), 128).run();
+        let inf_only = experiment(
+            ImageSpec::large(),
+            ServerConfig::optimized().with_stage_mode(StageMode::InferenceOnly),
+            128,
+        )
+        .run();
+        // Fig 7: end-to-end ≈ 19.5 % of inference-only for large images.
+        let ratio = e2e.throughput / inf_only.throughput;
+        assert!(ratio < 0.45, "ratio {ratio}");
+    }
+
+    #[test]
+    fn multi_gpu_medium_scales_large_does_not() {
+        let one = Experiment {
+            node: NodeConfig::with_gpus(1),
+            ..experiment(ImageSpec::medium(), ServerConfig::optimized(), 256)
+        }
+        .run();
+        let four = Experiment {
+            node: NodeConfig::with_gpus(4),
+            ..experiment(ImageSpec::medium(), ServerConfig::optimized(), 1024)
+        }
+        .run();
+        let scale = four.throughput / one.throughput;
+        assert!(scale > 2.8, "medium scaling {scale}");
+
+        let one_l = Experiment {
+            node: NodeConfig::with_gpus(1),
+            ..experiment(ImageSpec::large(), ServerConfig::optimized(), 256)
+        }
+        .run();
+        let four_l = Experiment {
+            node: NodeConfig::with_gpus(4),
+            ..experiment(ImageSpec::large(), ServerConfig::optimized(), 256)
+        }
+        .run();
+        let scale_l = four_l.throughput / one_l.throughput;
+        assert!(scale_l < 2.5, "large scaling {scale_l}");
+    }
+
+    #[test]
+    fn cpu_preproc_energy_higher_for_medium() {
+        let cpu = experiment(ImageSpec::medium(), ServerConfig::optimized_cpu_preproc(), 128)
+            .run();
+        let gpu = experiment(ImageSpec::medium(), ServerConfig::optimized(), 128).run();
+        assert!(
+            cpu.energy.total_j_per_image() > gpu.energy.total_j_per_image() * 0.95,
+            "cpu {} vs gpu {}",
+            cpu.energy.total_j_per_image(),
+            gpu.energy.total_j_per_image()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = experiment(ImageSpec::medium(), ServerConfig::optimized(), 64).run();
+        let b = experiment(ImageSpec::medium(), ServerConfig::optimized(), 64).run();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.latency, b.latency);
+    }
+
+    #[test]
+    fn dynamic_batching_improves_tail_latency() {
+        // Below a full batch of outstanding clients, fixed batching stalls
+        // waiting to fill batches; the dynamic batcher's bounded delay is
+        // exactly the paper's quality-of-service argument (Fig 3 rung 5).
+        let fixed = experiment(
+            ImageSpec::medium(),
+            ServerConfig::tris_defaults(vserve_device::EngineKind::OnnxRuntime)
+                .with_fixed_batching(),
+            12,
+        )
+        .run();
+        let dynamic = experiment(
+            ImageSpec::medium(),
+            ServerConfig::tris_defaults(vserve_device::EngineKind::OnnxRuntime),
+            12,
+        )
+        .run();
+        assert!(
+            dynamic.latency.p99 < fixed.latency.p99,
+            "dyn {} vs fixed {}",
+            dynamic.latency.p99,
+            fixed.latency.p99
+        );
+    }
+}
+
+#[cfg(test)]
+mod open_loop_tests {
+    use super::*;
+    use vserve_device::{ImageSpec, NodeConfig};
+    use vserve_workload::{Arrivals, ImageMix};
+
+    fn exp() -> Experiment {
+        Experiment {
+            node: NodeConfig::paper_testbed(),
+            config: ServerConfig::optimized(),
+            model: ModelProfile::vit_base(),
+            mix: ImageMix::fixed(ImageSpec::medium()),
+            concurrency: 1, // ignored in open loop
+            warmup_s: 0.5,
+            measure_s: 2.0,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn open_loop_below_capacity_tracks_offered_load() {
+        let r = exp().run_open(Arrivals::poisson(800.0));
+        assert!(
+            (r.throughput - 800.0).abs() < 60.0,
+            "throughput {} for offered 800",
+            r.throughput
+        );
+        // Far below saturation: latency stays near the zero-load value.
+        assert!(r.latency.mean < 0.05, "latency {}", r.latency.mean);
+    }
+
+    #[test]
+    fn open_loop_overload_saturates_and_queues_explode() {
+        let r = exp().run_open(Arrivals::poisson(4000.0)); // ~2x capacity
+        // Completions cap at capacity…
+        assert!(
+            r.throughput < 2400.0,
+            "throughput {} should saturate",
+            r.throughput
+        );
+        // …and latency grows far beyond the loaded closed-loop regime.
+        assert!(r.latency.mean > 0.2, "latency {}", r.latency.mean);
+        assert!(r.queue_share() > 0.8, "queue share {}", r.queue_share());
+    }
+
+    #[test]
+    fn open_loop_deterministic_arrivals() {
+        let r = exp().run_open(Arrivals::deterministic(500.0));
+        assert!((r.throughput - 500.0).abs() < 30.0, "throughput {}", r.throughput);
+    }
+}

@@ -1,0 +1,335 @@
+//! A real, thread-based mini inference server.
+//!
+//! Where [`crate::Experiment`] *models* the paper's server with calibrated
+//! costs, this module *is* a server: crossbeam channels connect real
+//! preprocessing workers (JPEG decode via `vserve-codec`, resize +
+//! normalize via `vserve-tensor`), a dynamic batcher with a bounded
+//! queueing delay, and inference workers executing a real `vserve-dnn`
+//! model. It exists to validate the pipeline structure end-to-end and to
+//! let the examples measure genuine per-stage times on the host machine.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::Duration;
+//! use vserve_dnn::{models, Model};
+//! use vserve_server::live::{LiveOptions, LiveServer};
+//! use vserve_workload::synthetic_jpeg;
+//! use vserve_device::ImageSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = Model::from_graph(models::micro_cnn(32, 10)?, 7);
+//! let server = LiveServer::start(model, LiveOptions { input_side: 32, ..LiveOptions::default() });
+//! let jpeg = synthetic_jpeg(&ImageSpec::new(64, 48, 0), 1);
+//! let result = server.infer(jpeg)?;
+//! assert_eq!(result.output.len(), 10);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use vserve_dnn::Model;
+use vserve_tensor::{ops, Tensor};
+
+/// Configuration for a [`LiveServer`].
+#[derive(Debug, Clone)]
+pub struct LiveOptions {
+    /// Preprocessing worker threads.
+    pub preproc_workers: usize,
+    /// Inference worker threads.
+    pub inference_workers: usize,
+    /// Maximum batch size assembled by the batcher.
+    pub max_batch: usize,
+    /// Maximum time the batcher waits to fill a batch.
+    pub max_queue_delay: Duration,
+    /// Side of the square model input.
+    pub input_side: usize,
+}
+
+impl Default for LiveOptions {
+    fn default() -> Self {
+        LiveOptions {
+            preproc_workers: 2,
+            inference_workers: 1,
+            max_batch: 8,
+            max_queue_delay: Duration::from_millis(2),
+            input_side: 224,
+        }
+    }
+}
+
+/// Per-request result with measured stage times.
+#[derive(Debug, Clone)]
+pub struct LiveResult {
+    /// Model output (flat logits/probabilities).
+    pub output: Vec<f32>,
+    /// Time spent decoding + resizing + normalizing.
+    pub preproc: Duration,
+    /// Time spent waiting (ingress queue + batcher).
+    pub queue: Duration,
+    /// Time spent in model execution (whole batch wall time).
+    pub inference: Duration,
+    /// Submission-to-response round trip.
+    pub total: Duration,
+}
+
+/// Errors returned by [`LiveServer::infer`].
+#[derive(Debug)]
+pub enum LiveError {
+    /// The JPEG payload failed to decode.
+    Decode(vserve_codec::DecodeJpegError),
+    /// The model rejected the preprocessed tensor.
+    Model(vserve_dnn::DnnError),
+    /// The server shut down before responding.
+    Disconnected,
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Decode(e) => write!(f, "decode failed: {e}"),
+            LiveError::Model(e) => write!(f, "model failed: {e}"),
+            LiveError::Disconnected => write!(f, "server shut down"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+struct Job {
+    jpeg: Vec<u8>,
+    submitted: Instant,
+    reply: Sender<Result<LiveResult, LiveError>>,
+}
+
+struct Ready {
+    tensor: Tensor,
+    submitted: Instant,
+    preproc: Duration,
+    preproc_done: Instant,
+    reply: Sender<Result<LiveResult, LiveError>>,
+}
+
+/// A running live server; dropping it shuts down all worker threads.
+pub struct LiveServer {
+    ingress: Option<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for LiveServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveServer")
+            .field("threads", &self.handles.len())
+            .finish()
+    }
+}
+
+impl LiveServer {
+    /// Starts preprocessing, batching, and inference threads around
+    /// `model`.
+    pub fn start(model: Model, opts: LiveOptions) -> Self {
+        let model = Arc::new(model);
+        let (ingress_tx, ingress_rx) = unbounded::<Job>();
+        let (ready_tx, ready_rx) = unbounded::<Ready>();
+        let (batch_tx, batch_rx) = bounded::<Vec<Ready>>(4);
+        let mut handles = Vec::new();
+
+        // Preprocessing workers: decode → resize → normalize.
+        let side = opts.input_side;
+        for _ in 0..opts.preproc_workers.max(1) {
+            let rx = ingress_rx.clone();
+            let tx = ready_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let start = Instant::now();
+                    match vserve_codec::decode(&job.jpeg) {
+                        Ok(img) => {
+                            let tensor = ops::standard_preprocess(&img, side);
+                            let done = Instant::now();
+                            let ready = Ready {
+                                tensor,
+                                submitted: job.submitted,
+                                preproc: done - start,
+                                preproc_done: done,
+                                reply: job.reply,
+                            };
+                            if tx.send(ready).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            let _ = job.reply.send(Err(LiveError::Decode(e)));
+                        }
+                    }
+                }
+            }));
+        }
+        drop(ready_tx);
+
+        // Dynamic batcher: fill up to max_batch or wait max_queue_delay.
+        let max_batch = opts.max_batch.max(1);
+        let max_delay = opts.max_queue_delay;
+        {
+            let batch_tx = batch_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                loop {
+                    let first = match ready_rx.recv() {
+                        Ok(r) => r,
+                        Err(_) => return,
+                    };
+                    let deadline = Instant::now() + max_delay;
+                    let mut batch = vec![first];
+                    while batch.len() < max_batch {
+                        let left = deadline.saturating_duration_since(Instant::now());
+                        match ready_rx.recv_timeout(left) {
+                            Ok(r) => batch.push(r),
+                            Err(RecvTimeoutError::Timeout) => break,
+                            Err(RecvTimeoutError::Disconnected) => {
+                                let _ = batch_tx.send(batch);
+                                return;
+                            }
+                        }
+                    }
+                    if batch_tx.send(batch).is_err() {
+                        return;
+                    }
+                }
+            }));
+        }
+        drop(batch_tx);
+
+        // Inference workers: run the real model per batch item.
+        for _ in 0..opts.inference_workers.max(1) {
+            let rx = batch_rx.clone();
+            let model = Arc::clone(&model);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(batch) = rx.recv() {
+                    let start = Instant::now();
+                    let outputs: Vec<_> = batch
+                        .iter()
+                        .map(|r| model.forward(&r.tensor))
+                        .collect();
+                    let wall = start.elapsed();
+                    let finished = Instant::now();
+                    for (ready, out) in batch.into_iter().zip(outputs) {
+                        let msg = match out {
+                            Ok(t) => Ok(LiveResult {
+                                output: t.into_vec(),
+                                preproc: ready.preproc,
+                                queue: start.saturating_duration_since(ready.preproc_done),
+                                inference: wall,
+                                total: finished.saturating_duration_since(ready.submitted),
+                            }),
+                            Err(e) => Err(LiveError::Model(e)),
+                        };
+                        let _ = ready.reply.send(msg);
+                    }
+                }
+            }));
+        }
+
+        LiveServer {
+            ingress: Some(ingress_tx),
+            handles,
+        }
+    }
+
+    /// Submits a JPEG asynchronously; the returned channel yields the
+    /// result.
+    pub fn submit(&self, jpeg: Vec<u8>) -> Receiver<Result<LiveResult, LiveError>> {
+        let (tx, rx) = bounded(1);
+        let job = Job {
+            jpeg,
+            submitted: Instant::now(),
+            reply: tx,
+        };
+        if let Some(ingress) = &self.ingress {
+            let _ = ingress.send(job);
+        }
+        rx
+    }
+
+    /// Submits a JPEG and blocks for the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiveError`] if decoding or model execution fails, or if
+    /// the server shuts down first.
+    pub fn infer(&self, jpeg: Vec<u8>) -> Result<LiveResult, LiveError> {
+        self.submit(jpeg)
+            .recv()
+            .map_err(|_| LiveError::Disconnected)?
+    }
+}
+
+impl Drop for LiveServer {
+    fn drop(&mut self) {
+        self.ingress.take(); // close ingress: workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vserve_device::ImageSpec;
+    use vserve_dnn::models;
+    use vserve_workload::synthetic_jpeg;
+
+    fn tiny_server(max_batch: usize) -> LiveServer {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        LiveServer::start(
+            model,
+            LiveOptions {
+                preproc_workers: 2,
+                inference_workers: 1,
+                max_batch,
+                max_queue_delay: Duration::from_millis(2),
+                input_side: 32,
+            },
+        )
+    }
+
+    #[test]
+    fn single_request_round_trips() {
+        let server = tiny_server(4);
+        let jpeg = synthetic_jpeg(&ImageSpec::new(48, 40, 0), 5);
+        let r = server.infer(jpeg).unwrap();
+        assert_eq!(r.output.len(), 10);
+        let sum: f32 = r.output.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "softmax sum {sum}");
+        assert!(r.total >= r.inference);
+    }
+
+    #[test]
+    fn many_concurrent_requests_all_answered() {
+        let server = tiny_server(8);
+        let receivers: Vec<_> = (0..40)
+            .map(|i| server.submit(synthetic_jpeg(&ImageSpec::new(40, 40, 0), i)))
+            .collect();
+        for rx in receivers {
+            let r = rx.recv().unwrap().unwrap();
+            assert_eq!(r.output.len(), 10);
+        }
+    }
+
+    #[test]
+    fn bad_jpeg_reports_decode_error() {
+        let server = tiny_server(4);
+        let err = server.infer(vec![1, 2, 3]).unwrap_err();
+        assert!(matches!(err, LiveError::Decode(_)));
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let server = tiny_server(4);
+        let jpeg = synthetic_jpeg(&ImageSpec::new(32, 32, 0), 9);
+        let _ = server.infer(jpeg).unwrap();
+        drop(server); // must not hang
+    }
+}

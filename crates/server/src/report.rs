@@ -1,0 +1,157 @@
+//! Experiment results: throughput, latency, breakdown, energy.
+
+use vserve_device::EnergyReport;
+use vserve_metrics::{LatencySummary, StageBreakdown};
+
+/// Canonical stage names used in per-request breakdowns, prefixed for
+/// presentation order.
+pub mod stages {
+    /// Request dispatch on the host CPU.
+    pub const DISPATCH: &str = "0-dispatch";
+    /// Waiting in any queue (dispatch, preprocessing, batching).
+    pub const QUEUE: &str = "1-queue";
+    /// Preprocessing (decode + resize + normalize) on CPU or GPU.
+    pub const PREPROC: &str = "2-preproc";
+    /// Host staging + PCIe transfers.
+    pub const TRANSFER: &str = "3-transfer";
+    /// DNN inference on the GPU.
+    pub const INFERENCE: &str = "4-inference";
+}
+
+/// Outcome of one serving experiment over its measurement window.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Completed requests per second.
+    pub throughput: f64,
+    /// Round-trip latency distribution.
+    pub latency: LatencySummary,
+    /// Mean seconds per request attributed to each stage (see [`stages`]).
+    pub breakdown: StageBreakdown,
+    /// Requests completed inside the window.
+    pub completed: u64,
+    /// Energy over the window.
+    pub energy: EnergyReport,
+    /// Time-averaged CPU pool utilization (0–1).
+    pub cpu_utilization: f64,
+    /// Per-GPU time-averaged utilization (preprocessing + inference).
+    pub gpu_utilization: Vec<f64>,
+    /// Mean inference batch size actually formed by the batcher.
+    pub mean_batch: f64,
+    /// Per-GPU high-water mark of in-flight request memory, bytes —
+    /// compare with the device's eviction threshold to diagnose the
+    /// Fig 5 high-concurrency decline.
+    pub gpu_mem_peak_bytes: Vec<f64>,
+}
+
+impl ServerReport {
+    /// Mean seconds a request spent queued (all queues combined).
+    pub fn queue_time(&self) -> f64 {
+        self.breakdown.mean(stages::QUEUE)
+    }
+
+    /// Fraction of mean latency spent queued.
+    pub fn queue_share(&self) -> f64 {
+        if self.latency.mean <= 0.0 {
+            0.0
+        } else {
+            self.queue_time() / self.latency.mean
+        }
+    }
+
+    /// Fraction of mean latency spent preprocessing.
+    pub fn preproc_share(&self) -> f64 {
+        if self.latency.mean <= 0.0 {
+            0.0
+        } else {
+            self.breakdown.mean(stages::PREPROC) / self.latency.mean
+        }
+    }
+
+    /// Fraction of mean latency spent in DNN inference (the complement of
+    /// the paper's "overheads").
+    pub fn inference_share(&self) -> f64 {
+        if self.latency.mean <= 0.0 {
+            0.0
+        } else {
+            self.breakdown.mean(stages::INFERENCE) / self.latency.mean
+        }
+    }
+
+    /// Fraction of mean latency spent on anything *other than* DNN
+    /// inference — preprocessing, queueing, transfer, dispatch. This is
+    /// what the paper's Fig 6 plots as the non-inference bar (its
+    /// "preprocessing" component includes the transfer path).
+    pub fn overhead_share(&self) -> f64 {
+        (1.0 - self.inference_share()).max(0.0)
+    }
+
+    /// One-line summary for report tables.
+    pub fn to_row(&self) -> String {
+        format!(
+            "{:>9.1} img/s  avg {:>8.2} ms  p99 {:>8.2} ms  queue {:>5.1}%  pre {:>5.1}%  inf {:>5.1}%",
+            self.throughput,
+            self.latency.mean * 1e3,
+            self.latency.p99 * 1e3,
+            self.queue_share() * 100.0,
+            self.preproc_share() * 100.0,
+            self.inference_share() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vserve_device::EnergyReport;
+
+    fn report_with(latency_mean: f64, queue: f64, pre: f64, inf: f64) -> ServerReport {
+        let mut b = StageBreakdown::new();
+        b.record(stages::QUEUE, queue);
+        b.record(stages::PREPROC, pre);
+        b.record(stages::INFERENCE, inf);
+        ServerReport {
+            gpu_mem_peak_bytes: vec![0.0],
+            throughput: 100.0,
+            latency: LatencySummary {
+                count: 1,
+                mean: latency_mean,
+                std_dev: 0.0,
+                min: latency_mean,
+                max: latency_mean,
+                p50: latency_mean,
+                p95: latency_mean,
+                p99: latency_mean,
+            },
+            breakdown: b,
+            completed: 1,
+            energy: EnergyReport {
+                cpu_joules: 0.0,
+                gpu_joules: 0.0,
+                images: 1,
+            },
+            cpu_utilization: 0.0,
+            gpu_utilization: vec![0.0],
+            mean_batch: 1.0,
+        }
+    }
+
+    #[test]
+    fn shares_computed_from_breakdown() {
+        let r = report_with(10.0, 5.0, 3.0, 2.0);
+        assert!((r.queue_share() - 0.5).abs() < 1e-12);
+        assert!((r.preproc_share() - 0.3).abs() < 1e-12);
+        assert!((r.inference_share() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_latency_gives_zero_shares() {
+        let r = report_with(0.0, 0.0, 0.0, 0.0);
+        assert_eq!(r.queue_share(), 0.0);
+    }
+
+    #[test]
+    fn row_contains_throughput() {
+        let r = report_with(1.0, 0.1, 0.2, 0.7);
+        assert!(r.to_row().contains("100.0 img/s"));
+    }
+}

@@ -1,0 +1,852 @@
+//! The discrete-event model of the throughput-optimized inference server.
+//!
+//! Requests flow through the stages of Fig 2: dispatch on the host CPU,
+//! preprocessing (CPU worker pool or batched GPU decode), host staging and
+//! PCIe transfers (processor-sharing links), a dynamic batcher, and model
+//! instances on each GPU. Every stage is driven by the calibrated cost
+//! models of `vserve-device`; every request records a per-stage time
+//! breakdown.
+
+use std::collections::HashMap;
+
+use vserve_device::{energy_report, EngineKind, ImageSpec, NodeConfig};
+use vserve_metrics::{LatencyStats, RateMeter, StageBreakdown, TimeWeightedGauge, Welford};
+use vserve_sim::rng::RngStream;
+use vserve_sim::{Engine, MultiServer, SharedBandwidth, SimDuration, SimTime};
+use vserve_workload::{Arrivals, ImageMix};
+
+use crate::config::{ModelProfile, PreprocWhere, ServerConfig, StageMode};
+use crate::report::{stages, ServerReport};
+
+/// Per-request device-memory overhead while its state lives on the GPU
+/// (stream/context/pinned-buffer bookkeeping) — drives the Fig 5
+/// high-concurrency decline for GPU preprocessing.
+const GPU_REQUEST_OVERHEAD_BYTES: f64 = 6.0 * 1024.0 * 1024.0;
+/// Eviction slowdown applied to the overflowing fraction of in-flight
+/// device memory (reload from host + re-decode of ousted inputs).
+const EVICTION_PENALTY: f64 = 1.5;
+/// Head-of-line timeout standing in for fixed (client-side) batching.
+const FIXED_BATCH_TIMEOUT_S: f64 = 0.05;
+/// Relative power draw of GPU decode/resize kernels versus dense GEMMs;
+/// scales preprocessing busy-time in the energy integral (Fig 8).
+const PREPROC_POWER_WEIGHT: f64 = 0.6;
+
+type Eng = Engine<ServerSim>;
+type ReqId = usize;
+
+#[derive(Debug, Clone)]
+struct Request {
+    img: ImageSpec,
+    arrived: SimTime,
+    queue_s: f64,
+    dispatch_s: f64,
+    preproc_s: f64,
+    transfer_s: f64,
+    infer_s: f64,
+    gpu: usize,
+    mem_bytes: f64,
+}
+
+#[derive(Debug)]
+struct GpuState {
+    pcie: SharedBandwidth,
+    pcie_jobs: HashMap<u64, (ReqId, SimTime, PcieNext)>,
+    pre_queue: Vec<ReqId>,
+    pre_busy: usize,
+    pre_gauge: TimeWeightedGauge,
+    inf_queue: Vec<(ReqId, SimTime)>,
+    /// Requests routed to this GPU that have not yet reached the batch
+    /// queue; when zero, the batcher launches partial batches immediately
+    /// (waiting could not fill them).
+    incoming: usize,
+    free_instances: usize,
+    inf_gauge: TimeWeightedGauge,
+    inflight_bytes: f64,
+    /// High-water mark of in-flight device memory (Fig 5 diagnosis).
+    inflight_peak: f64,
+    batch_timer_armed: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PcieNext {
+    GpuPreproc,
+    Inference,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum StagingNext {
+    PcieCompressed,
+    PcieTensor,
+}
+
+struct ServerSim {
+    node: NodeConfig,
+    config: ServerConfig,
+    model: ModelProfile,
+    mix: ImageMix,
+    rng: RngStream,
+    closed_loop: bool,
+    arrivals: Option<Arrivals>,
+
+    dispatch: MultiServer<ReqId>,
+    preproc_pool: MultiServer<ReqId>,
+    staging: SharedBandwidth,
+    staging_jobs: HashMap<u64, (ReqId, SimTime, StagingNext)>,
+    gpus: Vec<GpuState>,
+    requests: Vec<Option<Request>>,
+    next_gpu: usize,
+
+    measuring: bool,
+    window_open: f64,
+    latency: LatencyStats,
+    breakdown: StageBreakdown,
+    meter: RateMeter,
+    batch_sizes: Welford,
+    cpu_busy: TimeWeightedGauge,
+    staging_bytes_at_open: f64,
+    pcie_bytes_at_open: f64,
+    extra_transfer_bytes: f64,
+}
+
+impl ServerSim {
+    fn new(
+        node: NodeConfig,
+        config: ServerConfig,
+        model: ModelProfile,
+        mix: ImageMix,
+        seed: u64,
+        closed_loop: bool,
+    ) -> Self {
+        let gpus = (0..node.gpu_count)
+            .map(|_| GpuState {
+                pcie: SharedBandwidth::new(node.gpu.pcie_bytes_per_s),
+                pcie_jobs: HashMap::new(),
+                pre_queue: Vec::new(),
+                pre_busy: 0,
+                pre_gauge: TimeWeightedGauge::new(0.0, 0.0),
+                inf_queue: Vec::new(),
+                incoming: 0,
+                free_instances: config.instances_per_gpu,
+                inf_gauge: TimeWeightedGauge::new(0.0, 0.0),
+                inflight_bytes: 0.0,
+                inflight_peak: 0.0,
+                batch_timer_armed: false,
+            })
+            .collect();
+        ServerSim {
+            node,
+            mix,
+            rng: RngStream::derive(seed, "server"),
+            closed_loop,
+            arrivals: None,
+            dispatch: MultiServer::new(4),
+            preproc_pool: MultiServer::new(config.preproc_workers.max(1)),
+            staging: SharedBandwidth::new(node.cpu.staging_bytes_per_s),
+            staging_jobs: HashMap::new(),
+            gpus,
+            requests: Vec::new(),
+            next_gpu: 0,
+            measuring: false,
+            window_open: 0.0,
+            latency: LatencyStats::new(),
+            breakdown: StageBreakdown::new(),
+            meter: RateMeter::new(),
+            batch_sizes: Welford::new(),
+            cpu_busy: TimeWeightedGauge::new(0.0, 0.0),
+            staging_bytes_at_open: 0.0,
+            pcie_bytes_at_open: 0.0,
+            extra_transfer_bytes: 0.0,
+            config,
+            model,
+        }
+    }
+
+    fn req(&mut self, id: ReqId) -> &mut Request {
+        self.requests[id].as_mut().expect("live request")
+    }
+
+    /// Mean-one lognormal service-time noise: real servers see variance
+    /// from cache state, clocks, and co-scheduling, and the dynamic-vs-
+    /// fixed batching trade (Fig 3 rungs 4-5) only exists under variance.
+    fn jitter(&mut self, sigma: f64) -> f64 {
+        self.rng.log_normal(-sigma * sigma / 2.0, sigma)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// request lifecycle handlers
+// ---------------------------------------------------------------------------
+
+fn inject(sim: &mut ServerSim, eng: &mut Eng) {
+    let img = sim.mix.sample(&mut sim.rng);
+    let id = sim.requests.len();
+    sim.requests.push(Some(Request {
+        img,
+        arrived: eng.now(),
+        queue_s: 0.0,
+        dispatch_s: 0.0,
+        preproc_s: 0.0,
+        transfer_s: 0.0,
+        infer_s: 0.0,
+        gpu: 0,
+        mem_bytes: 0.0,
+    }));
+    let now = eng.now();
+    if let Some((job, enq)) = sim.dispatch.offer(now, id) {
+        start_dispatch(sim, eng, job, enq);
+    }
+}
+
+fn start_dispatch(sim: &mut ServerSim, eng: &mut Eng, id: ReqId, enqueued: SimTime) {
+    let now = eng.now();
+    sim.req(id).queue_s += (now - enqueued).as_secs_f64();
+    let t = sim.node.cpu.dispatch_time(&sim.requests[id].as_ref().expect("live").img)
+        * sim.jitter(0.2);
+    sim.cpu_busy.add(now.as_secs_f64(), 1.0);
+    eng.schedule_in(
+        SimDuration::from_secs_f64(t),
+        Box::new(move |sim: &mut ServerSim, eng: &mut Eng| dispatch_done(sim, eng, id, t)),
+    );
+}
+
+fn dispatch_done(sim: &mut ServerSim, eng: &mut Eng, id: ReqId, took: f64) {
+    let now = eng.now();
+    sim.cpu_busy.add(now.as_secs_f64(), -1.0);
+    sim.req(id).dispatch_s += took;
+    if let Some((next, enq)) = sim.dispatch.release(now) {
+        start_dispatch(sim, eng, next, enq);
+    }
+    // Assign the target GPU round-robin (the load balancer of Fig 1).
+    let gpu = sim.next_gpu;
+    sim.next_gpu = (sim.next_gpu + 1) % sim.gpus.len();
+    sim.req(id).gpu = gpu;
+    if sim.config.stage_mode != StageMode::PreprocOnly {
+        sim.gpus[gpu].incoming += 1;
+    }
+
+    match (sim.config.stage_mode, sim.config.preproc) {
+        (StageMode::InferenceOnly, _) => {
+            // The client sends the already-preprocessed fp32 input tensor
+            // (§4.4: ≈5× the medium image's compressed size), so this
+            // mode pays a much larger transfer than the end-to-end path.
+            let bytes = ImageSpec::tensor_bytes(sim.config.input_side(&sim.model));
+            start_staging(sim, eng, id, bytes as f64, StagingNext::PcieTensor);
+        }
+        (_, PreprocWhere::Cpu) => {
+            if let Some((job, enq)) = sim.preproc_pool.offer(now, id) {
+                start_cpu_preproc(sim, eng, job, enq);
+            }
+        }
+        (_, PreprocWhere::Gpu) => {
+            let bytes = sim.requests[id].as_ref().expect("live").img.compressed_bytes;
+            start_staging(sim, eng, id, bytes as f64, StagingNext::PcieCompressed);
+        }
+    }
+}
+
+fn start_cpu_preproc(sim: &mut ServerSim, eng: &mut Eng, id: ReqId, enqueued: SimTime) {
+    let now = eng.now();
+    sim.req(id).queue_s += (now - enqueued).as_secs_f64();
+    let img = sim.requests[id].as_ref().expect("live").img;
+    let t = sim.node.cpu.preprocess_time(&img, sim.config.input_side(&sim.model))
+        * sim.jitter(0.12);
+    sim.cpu_busy.add(now.as_secs_f64(), 1.0);
+    eng.schedule_in(
+        SimDuration::from_secs_f64(t),
+        Box::new(move |sim: &mut ServerSim, eng: &mut Eng| cpu_preproc_done(sim, eng, id, t)),
+    );
+}
+
+fn cpu_preproc_done(sim: &mut ServerSim, eng: &mut Eng, id: ReqId, took: f64) {
+    let now = eng.now();
+    sim.cpu_busy.add(now.as_secs_f64(), -1.0);
+    sim.req(id).preproc_s += took;
+    if let Some((next, enq)) = sim.preproc_pool.release(now) {
+        start_cpu_preproc(sim, eng, next, enq);
+    }
+    if sim.config.stage_mode == StageMode::PreprocOnly {
+        complete(sim, eng, id);
+        return;
+    }
+    let bytes = ImageSpec::tensor_bytes(sim.config.input_side(&sim.model)) as f64;
+    start_staging(sim, eng, id, bytes, StagingNext::PcieTensor);
+}
+
+/// Open-loop arrival pump: inject, then schedule the next arrival from
+/// the configured process.
+fn pump_arrivals(sim: &mut ServerSim, eng: &mut Eng) {
+    inject(sim, eng);
+    let gap = {
+        let mut arrivals = sim.arrivals.take().expect("open-loop pump has arrivals");
+        let gap = arrivals.next_gap(&mut sim.rng);
+        sim.arrivals = Some(arrivals);
+        gap
+    };
+    eng.schedule_in(
+        SimDuration::from_secs_f64(gap),
+        Box::new(|sim: &mut ServerSim, eng: &mut Eng| pump_arrivals(sim, eng)),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// processor-sharing transfers
+// ---------------------------------------------------------------------------
+
+fn start_staging(sim: &mut ServerSim, eng: &mut Eng, id: ReqId, bytes: f64, next: StagingNext) {
+    let now = eng.now();
+    let job = sim.staging.start(now, bytes);
+    sim.staging_jobs.insert(job, (id, now, next));
+    arm_staging(sim, eng);
+}
+
+fn arm_staging(sim: &mut ServerSim, eng: &mut Eng) {
+    if let Some(c) = sim.staging.next_completion(eng.now()) {
+        eng.schedule_at(
+            c.at,
+            Box::new(move |sim: &mut ServerSim, eng: &mut Eng| {
+                if c.epoch != sim.staging.epoch() {
+                    return; // superseded by a later arrival/departure
+                }
+                let done = sim.staging.take_completed(eng.now());
+                for job in done {
+                    let (id, started, next) =
+                        sim.staging_jobs.remove(&job).expect("tracked staging job");
+                    let now = eng.now();
+                    sim.req(id).transfer_s += (now - started).as_secs_f64();
+                    let gpu = sim.requests[id].as_ref().expect("live").gpu;
+                    let img = sim.requests[id].as_ref().expect("live").img;
+                    match next {
+                        StagingNext::PcieCompressed => start_pcie(
+                            sim,
+                            eng,
+                            gpu,
+                            id,
+                            img.compressed_bytes as f64,
+                            PcieNext::GpuPreproc,
+                        ),
+                        StagingNext::PcieTensor => {
+                            let b = ImageSpec::tensor_bytes(sim.config.input_side(&sim.model));
+                            start_pcie(sim, eng, gpu, id, b as f64, PcieNext::Inference)
+                        }
+                    }
+                }
+                arm_staging(sim, eng);
+            }),
+        );
+    }
+}
+
+fn start_pcie(sim: &mut ServerSim, eng: &mut Eng, gpu: usize, id: ReqId, bytes: f64, next: PcieNext) {
+    let now = eng.now();
+    let job = sim.gpus[gpu].pcie.start(now, bytes);
+    sim.gpus[gpu].pcie_jobs.insert(job, (id, now, next));
+    arm_pcie(sim, eng, gpu);
+}
+
+fn arm_pcie(sim: &mut ServerSim, eng: &mut Eng, gpu: usize) {
+    if let Some(c) = sim.gpus[gpu].pcie.next_completion(eng.now()) {
+        eng.schedule_at(
+            c.at,
+            Box::new(move |sim: &mut ServerSim, eng: &mut Eng| {
+                if c.epoch != sim.gpus[gpu].pcie.epoch() {
+                    return;
+                }
+                let done = sim.gpus[gpu].pcie.take_completed(eng.now());
+                for job in done {
+                    let (id, started, next) = sim.gpus[gpu]
+                        .pcie_jobs
+                        .remove(&job)
+                        .expect("tracked pcie job");
+                    let now = eng.now();
+                    sim.req(id).transfer_s += (now - started).as_secs_f64();
+                    match next {
+                        PcieNext::GpuPreproc => {
+                            // Compressed bytes now on device; charge decode
+                            // working memory and queue for batched decode.
+                            let img = sim.requests[id].as_ref().expect("live").img;
+                            charge_memory(
+                                sim,
+                                gpu,
+                                id,
+                                img.decoded_bytes() as f64 * 2.0 + GPU_REQUEST_OVERHEAD_BYTES,
+                            );
+                            sim.gpus[gpu].pre_queue.push(id);
+                            try_start_gpu_preproc(sim, eng, gpu);
+                        }
+                        PcieNext::Inference => {
+                            let side = sim.config.input_side(&sim.model);
+                            let bytes = ImageSpec::tensor_bytes(side) as f64;
+                            charge_memory(sim, gpu, id, bytes);
+                            let now = eng.now();
+                            sim.gpus[gpu].incoming -= 1;
+                            sim.gpus[gpu].inf_queue.push((id, now));
+                            try_form_batch(sim, eng, gpu);
+                        }
+                    }
+                }
+                arm_pcie(sim, eng, gpu);
+            }),
+        );
+    }
+}
+
+fn charge_memory(sim: &mut ServerSim, gpu: usize, id: ReqId, bytes: f64) {
+    let old = sim.requests[id].as_ref().expect("live").mem_bytes;
+    sim.gpus[gpu].inflight_bytes += bytes - old;
+    if sim.gpus[gpu].inflight_bytes > sim.gpus[gpu].inflight_peak {
+        sim.gpus[gpu].inflight_peak = sim.gpus[gpu].inflight_bytes;
+    }
+    sim.req(id).mem_bytes = bytes;
+}
+
+// ---------------------------------------------------------------------------
+// GPU preprocessing (batched decode unit)
+// ---------------------------------------------------------------------------
+
+fn try_start_gpu_preproc(sim: &mut ServerSim, eng: &mut Eng, gpu: usize) {
+    while sim.gpus[gpu].pre_busy < sim.config.gpu_preproc_streams
+        && !sim.gpus[gpu].pre_queue.is_empty()
+    {
+        let n = sim.gpus[gpu].pre_queue.len().min(sim.config.preproc_batch);
+        let items: Vec<ReqId> = sim.gpus[gpu].pre_queue.drain(..n).collect();
+        let g = &sim.node.gpu;
+        let px_sum: f64 = items
+            .iter()
+            .map(|&id| sim.requests[id].as_ref().expect("live").img.pixels() as f64)
+            .sum();
+        let mut service = g.preproc_batch_fixed_s
+            + n as f64 * g.preproc_image_s
+            + g.preproc_s_per_px * px_sum;
+        // A cold unit pays the zero-load setup penalty, and a lone image
+        // additionally decodes at low occupancy (why lone small images
+        // prefer CPU preprocessing in Fig 6). Batches forming after a
+        // stall pay only the setup part.
+        if sim.gpus[gpu].pre_busy == 0 && sim.gpus[gpu].pre_gauge.value() == 0.0 {
+            service += (g.preproc_zero_fixed_s - g.preproc_batch_fixed_s).max(0.0);
+            if n == 1 {
+                service += (g.preproc_zero_s_per_px - g.preproc_s_per_px).max(0.0) * px_sum;
+            }
+        }
+        service *= sim.jitter(0.12);
+        let now = eng.now();
+        sim.gpus[gpu].pre_busy += 1;
+        let busy = sim.gpus[gpu].pre_busy as f64;
+        // Decode streams likewise time-share the GPU's decode throughput.
+        service *= busy;
+        sim.gpus[gpu].pre_gauge.set(now.as_secs_f64(), busy);
+        eng.schedule_in(
+            SimDuration::from_secs_f64(service),
+            Box::new(move |sim: &mut ServerSim, eng: &mut Eng| {
+                gpu_preproc_done(sim, eng, gpu, items, service)
+            }),
+        );
+    }
+}
+
+fn gpu_preproc_done(sim: &mut ServerSim, eng: &mut Eng, gpu: usize, items: Vec<ReqId>, service: f64) {
+    let now = eng.now();
+    sim.gpus[gpu].pre_busy -= 1;
+    let busy = sim.gpus[gpu].pre_busy as f64;
+    sim.gpus[gpu].pre_gauge.set(now.as_secs_f64(), busy);
+    let per_image = service / items.len() as f64;
+    let side = sim.config.input_side(&sim.model);
+    for id in items {
+        sim.req(id).preproc_s += per_image;
+        if sim.config.stage_mode == StageMode::PreprocOnly {
+            charge_memory(sim, gpu, id, 0.0);
+            complete(sim, eng, id);
+        } else {
+            charge_memory(
+                sim,
+                gpu,
+                id,
+                ImageSpec::tensor_bytes(side) as f64 + GPU_REQUEST_OVERHEAD_BYTES,
+            );
+            sim.gpus[gpu].incoming -= 1;
+            sim.gpus[gpu].inf_queue.push((id, now));
+        }
+    }
+    try_form_batch(sim, eng, gpu);
+    try_start_gpu_preproc(sim, eng, gpu);
+}
+
+// ---------------------------------------------------------------------------
+// dynamic batcher + inference instances
+// ---------------------------------------------------------------------------
+
+fn batch_delay(sim: &ServerSim) -> f64 {
+    if sim.config.dynamic_batching {
+        sim.config.max_queue_delay_s
+    } else {
+        FIXED_BATCH_TIMEOUT_S
+    }
+}
+
+fn try_form_batch(sim: &mut ServerSim, eng: &mut Eng, gpu: usize) {
+    loop {
+        if sim.gpus[gpu].free_instances == 0 || sim.gpus[gpu].inf_queue.is_empty() {
+            return;
+        }
+        let now = eng.now();
+        let qlen = sim.gpus[gpu].inf_queue.len();
+        let head_enq = sim.gpus[gpu].inf_queue[0].1;
+        let waited = (now - head_enq).as_secs_f64();
+        let delay = batch_delay(sim);
+        // Launch when the batch is full, the head has waited long enough,
+        // or (dynamic batching) nothing else is on its way to this GPU —
+        // waiting could not grow the batch.
+        let nothing_incoming = sim.config.dynamic_batching && sim.gpus[gpu].incoming == 0;
+        if qlen >= sim.config.max_batch || waited >= delay || nothing_incoming {
+            launch_batch(sim, eng, gpu);
+            continue;
+        }
+        // Not enough yet: arm (at most one) timer for the current head.
+        if !sim.gpus[gpu].batch_timer_armed {
+            sim.gpus[gpu].batch_timer_armed = true;
+            let at = head_enq + SimDuration::from_secs_f64(delay);
+            eng.schedule_at(
+                at,
+                Box::new(move |sim: &mut ServerSim, eng: &mut Eng| {
+                    sim.gpus[gpu].batch_timer_armed = false;
+                    try_form_batch(sim, eng, gpu);
+                }),
+            );
+        }
+        return;
+    }
+}
+
+fn launch_batch(sim: &mut ServerSim, eng: &mut Eng, gpu: usize) {
+    let now = eng.now();
+    let n = sim.gpus[gpu].inf_queue.len().min(sim.config.max_batch);
+    let items: Vec<(ReqId, SimTime)> = sim.gpus[gpu].inf_queue.drain(..n).collect();
+    for &(id, enq) in &items {
+        sim.req(id).queue_s += (now - enq).as_secs_f64();
+    }
+    let g = sim.node.gpu;
+    let mut service =
+        g.infer_batch_time(sim.model.flops, n, sim.config.engine) * sim.jitter(0.08);
+    // SM contention with GPU preprocessing (Fig 4's −2.9 % cases).
+    if sim.config.preproc == PreprocWhere::Gpu {
+        let frac = sim.gpus[gpu].pre_busy as f64 / sim.config.gpu_preproc_streams.max(1) as f64;
+        service *= 1.0 + g.interference * frac;
+    }
+    // Device-memory pressure: the overflowing fraction of in-flight bytes
+    // must be reloaded over PCIe (Fig 5's decline at extreme concurrency).
+    let inflight = sim.gpus[gpu].inflight_bytes;
+    let threshold = g.eviction_threshold();
+    if inflight > threshold {
+        let f = (inflight - threshold) / inflight;
+        service *= 1.0 + EVICTION_PENALTY * f;
+        let side = sim.config.input_side(&sim.model);
+        sim.extra_transfer_bytes += f * n as f64 * 2.0 * ImageSpec::tensor_bytes(side) as f64;
+    }
+    sim.gpus[gpu].free_instances -= 1;
+    let used = (sim.config.instances_per_gpu - sim.gpus[gpu].free_instances) as f64;
+    // Concurrent instances time-share the GPU's SMs: a batch launched
+    // alongside `used - 1` others progresses proportionally slower.
+    // Instances still help by filling scheduling gaps (batcher waits,
+    // queue drains) — they do not multiply peak compute.
+    service *= used;
+    sim.gpus[gpu].inf_gauge.set(now.as_secs_f64(), used);
+    if sim.measuring {
+        sim.batch_sizes.push(n as f64);
+    }
+    eng.schedule_in(
+        SimDuration::from_secs_f64(service),
+        Box::new(move |sim: &mut ServerSim, eng: &mut Eng| {
+            infer_batch_done(sim, eng, gpu, items, service)
+        }),
+    );
+}
+
+fn infer_batch_done(
+    sim: &mut ServerSim,
+    eng: &mut Eng,
+    gpu: usize,
+    items: Vec<(ReqId, SimTime)>,
+    service: f64,
+) {
+    let now = eng.now();
+    sim.gpus[gpu].free_instances += 1;
+    let used = (sim.config.instances_per_gpu - sim.gpus[gpu].free_instances) as f64;
+    sim.gpus[gpu].inf_gauge.set(now.as_secs_f64(), used);
+    for (id, _) in items {
+        sim.req(id).infer_s += service;
+        charge_memory(sim, gpu, id, 0.0);
+        complete(sim, eng, id);
+    }
+    try_form_batch(sim, eng, gpu);
+}
+
+fn complete(sim: &mut ServerSim, eng: &mut Eng, id: ReqId) {
+    let now = eng.now();
+    let rq = sim.requests[id].take().expect("live request");
+    if sim.measuring {
+        let latency = (now - rq.arrived).as_secs_f64();
+        sim.latency.push(latency);
+        sim.meter.record(now.as_secs_f64());
+        sim.breakdown.record(stages::DISPATCH, rq.dispatch_s);
+        sim.breakdown.record(stages::QUEUE, rq.queue_s);
+        sim.breakdown.record(stages::PREPROC, rq.preproc_s);
+        sim.breakdown.record(stages::TRANSFER, rq.transfer_s);
+        sim.breakdown.record(stages::INFERENCE, rq.infer_s);
+    }
+    if sim.closed_loop {
+        inject(sim, eng);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// experiment driver
+// ---------------------------------------------------------------------------
+
+impl ServerConfig {
+    fn input_side(&self, model: &ModelProfile) -> usize {
+        model.input_side
+    }
+}
+
+/// A closed-loop serving experiment: `concurrency` clients each keep one
+/// request outstanding against a simulated [`NodeConfig`] running
+/// [`ServerConfig`] (§4.3's load model).
+///
+/// # Examples
+///
+/// ```
+/// use vserve_device::NodeConfig;
+/// use vserve_server::{Experiment, ModelProfile, ServerConfig};
+/// use vserve_workload::{Arrivals, ImageMix};
+/// use vserve_device::ImageSpec;
+///
+/// let report = Experiment {
+///     node: NodeConfig::paper_testbed(),
+///     config: ServerConfig::optimized(),
+///     model: ModelProfile::vit_base(),
+///     mix: ImageMix::fixed(ImageSpec::medium()),
+///     concurrency: 64,
+///     warmup_s: 0.5,
+///     measure_s: 2.0,
+///     seed: 1,
+/// }
+/// .run();
+/// assert!(report.throughput > 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Hardware under test.
+    pub node: NodeConfig,
+    /// Server software configuration.
+    pub config: ServerConfig,
+    /// Deployed model.
+    pub model: ModelProfile,
+    /// Request image-size distribution.
+    pub mix: ImageMix,
+    /// Closed-loop client count (outstanding requests).
+    pub concurrency: usize,
+    /// Seconds of virtual time to run before measuring.
+    pub warmup_s: f64,
+    /// Seconds of virtual time to measure.
+    pub measure_s: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// Runs the experiment to completion and reports steady-state metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrency == 0` or the time windows are not positive.
+    pub fn run(&self) -> ServerReport {
+        assert!(self.concurrency > 0, "concurrency must be positive");
+        assert!(
+            self.warmup_s >= 0.0 && self.measure_s > 0.0,
+            "time windows must be positive"
+        );
+        let mut sim = ServerSim::new(
+            self.node,
+            self.config.clone(),
+            self.model.clone(),
+            self.mix.clone(),
+            self.seed,
+            true,
+        );
+        let mut eng: Eng = Engine::new();
+
+        // Stagger client start-up to avoid lockstep batches.
+        for i in 0..self.concurrency {
+            let jitter = SimDuration::from_secs_f64(
+                sim.rng.uniform(0.0, 1e-3) + i as f64 * 1e-6,
+            );
+            eng.schedule_in(jitter, Box::new(|sim: &mut ServerSim, eng: &mut Eng| inject(sim, eng)));
+        }
+
+        self.finish(sim, eng)
+    }
+
+    /// Runs the experiment under an *open-loop* arrival process instead of
+    /// closed-loop clients: requests arrive regardless of completions, so
+    /// offered load above capacity builds an unbounded queue. This is the
+    /// regime the paper's load balancer exists to prevent (§2.1).
+    ///
+    /// `concurrency` is ignored in this mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time windows are not positive.
+    pub fn run_open(&self, arrivals: Arrivals) -> ServerReport {
+        assert!(
+            self.warmup_s >= 0.0 && self.measure_s > 0.0,
+            "time windows must be positive"
+        );
+        let mut sim = ServerSim::new(
+            self.node,
+            self.config.clone(),
+            self.model.clone(),
+            self.mix.clone(),
+            self.seed,
+            false,
+        );
+        sim.arrivals = Some(arrivals);
+        let mut eng: Eng = Engine::new();
+        eng.schedule_at(
+            SimTime::ZERO,
+            Box::new(|sim: &mut ServerSim, eng: &mut Eng| pump_arrivals(sim, eng)),
+        );
+        self.finish(sim, eng)
+    }
+
+    fn finish(&self, mut sim: ServerSim, mut eng: Eng) -> ServerReport {
+        // Open the measurement window after warm-up.
+        let warm = SimTime::ZERO + SimDuration::from_secs_f64(self.warmup_s);
+        eng.schedule_at(
+            warm,
+            Box::new(|sim: &mut ServerSim, eng: &mut Eng| {
+                let t = eng.now().as_secs_f64();
+                sim.measuring = true;
+                sim.window_open = t;
+                sim.latency = LatencyStats::new();
+                sim.breakdown = StageBreakdown::new();
+                sim.meter.open(t);
+                sim.batch_sizes = Welford::new();
+                sim.cpu_busy.reset_window(t);
+                sim.staging_bytes_at_open = sim.staging.bytes_done();
+                sim.pcie_bytes_at_open = sim.gpus.iter().map(|g| g.pcie.bytes_done()).sum();
+                sim.extra_transfer_bytes = 0.0;
+                for g in &mut sim.gpus {
+                    g.pre_gauge.reset_window(t);
+                    g.inf_gauge.reset_window(t);
+                }
+            }),
+        );
+
+        let end = warm + SimDuration::from_secs_f64(self.measure_s);
+        eng.run(&mut sim, end);
+        let t_end = end.as_secs_f64();
+        sim.meter.close(t_end);
+
+        let span = self.measure_s;
+        let cpu_core_seconds = sim.cpu_busy.integral(t_end);
+        let gpu_busy: Vec<f64> = sim
+            .gpus
+            .iter()
+            .map(|g| {
+                (PREPROC_POWER_WEIGHT * g.pre_gauge.integral(t_end)
+                    + g.inf_gauge.integral(t_end))
+                .min(span)
+            })
+            .collect();
+        let pcie_total: f64 = sim.gpus.iter().map(|g| g.pcie.bytes_done()).sum();
+        let transfer_bytes = (sim.staging.bytes_done() - sim.staging_bytes_at_open)
+            + (pcie_total - sim.pcie_bytes_at_open)
+            + sim.extra_transfer_bytes;
+        let energy = energy_report(
+            &self.node.cpu,
+            &self.node.gpu,
+            span,
+            cpu_core_seconds,
+            &gpu_busy,
+            transfer_bytes,
+            sim.meter.count(),
+        );
+
+        ServerReport {
+            gpu_mem_peak_bytes: sim.gpus.iter().map(|g| g.inflight_peak).collect(),
+            throughput: sim.meter.count() as f64 / span,
+            latency: sim.latency.summary(),
+            breakdown: sim.breakdown.clone(),
+            completed: sim.meter.count(),
+            energy,
+            cpu_utilization: (cpu_core_seconds / span / self.node.cpu.cores as f64).min(1.0),
+            gpu_utilization: gpu_busy.iter().map(|b| (b / span).min(1.0)).collect(),
+            mean_batch: sim.batch_sizes.mean(),
+        }
+    }
+
+    /// Measures the zero-load round-trip latency: a single closed-loop
+    /// client, reported from the latency distribution itself (Fig 6).
+    pub fn zero_load(&self) -> ServerReport {
+        Experiment {
+            concurrency: 1,
+            ..self.clone()
+        }
+        .run()
+    }
+}
+
+/// The unoptimized Fig 3 baseline: a synchronous client loop (decode the
+/// batch, transfer it, run inference, repeat) with no stage overlap.
+///
+/// `decode_parallelism` models DALI CPU threads; `per_image_overhead_s`
+/// models Python-loop glue. Returns images/second.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_device::{EngineKind, ImageSpec, NodeConfig};
+/// use vserve_server::{serial_loop_throughput, ModelProfile, PreprocWhere};
+///
+/// let x = serial_loop_throughput(
+///     &NodeConfig::paper_testbed(),
+///     &ModelProfile::vit_base(),
+///     &ImageSpec::medium(),
+///     EngineKind::PyTorch,
+///     PreprocWhere::Cpu,
+///     64,
+///     1,
+///     0.0,
+/// );
+/// assert!(x > 200.0 && x < 800.0, "baseline {x}");
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn serial_loop_throughput(
+    node: &NodeConfig,
+    model: &ModelProfile,
+    img: &ImageSpec,
+    engine: EngineKind,
+    preproc: PreprocWhere,
+    batch: usize,
+    decode_parallelism: usize,
+    per_image_overhead_s: f64,
+) -> f64 {
+    let b = batch.max(1) as f64;
+    let decode = match preproc {
+        PreprocWhere::Cpu => {
+            node.cpu.preprocess_time(img, model.input_side) * b / decode_parallelism.max(1) as f64
+        }
+        PreprocWhere::Gpu => {
+            node.gpu.preproc_batch_fixed_s
+                + b * (node.gpu.preproc_image_s + node.gpu.preproc_s_per_px * img.pixels() as f64)
+        }
+    };
+    let transfer = match preproc {
+        PreprocWhere::Cpu => {
+            b * ImageSpec::tensor_bytes(model.input_side) as f64 / node.gpu.pcie_bytes_per_s
+        }
+        PreprocWhere::Gpu => b * img.compressed_bytes as f64 / node.gpu.pcie_bytes_per_s,
+    };
+    let infer = node.gpu.infer_batch_time(model.flops, batch, engine);
+    let total = decode + transfer + infer + b * per_image_overhead_s;
+    b / total
+}

@@ -1,0 +1,288 @@
+//! Event loop: a time-ordered queue of boxed closures over a state type.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::{SimDuration, SimTime};
+
+/// An event handler: runs against the user state and may schedule more
+/// events through the engine.
+pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Engine<S>)>;
+
+/// Identifier of a scheduled event, usable with [`Engine::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Scheduled<S> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    // Reverse order so BinaryHeap pops the earliest event; ties broken by
+    // insertion sequence for deterministic FIFO semantics.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic discrete-event loop.
+///
+/// Events are `FnOnce(&mut S, &mut Engine<S>)` closures ordered by time with
+/// FIFO tie-breaking. Handlers may schedule or cancel further events. The
+/// clock only moves when [`run`](Self::run) pops events; it never runs
+/// backwards.
+///
+/// See the [crate-level example](crate) for usage.
+pub struct Engine<S> {
+    now: SimTime,
+    heap: BinaryHeap<Scheduled<S>>,
+    seq: u64,
+    cancelled: HashSet<u64>,
+    executed: u64,
+}
+
+impl<S> std::fmt::Debug for Engine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine at time zero with no pending events.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            cancelled: HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending (not yet executed or cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len().min(self.heap.len())
+    }
+
+    /// Schedules `f` at absolute time `at`.
+    ///
+    /// Times before `now` are clamped to `now` (the event still runs, after
+    /// already-queued events at `now`).
+    pub fn schedule_at(&mut self, at: SimTime, f: EventFn<S>) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, f });
+        EventId(seq)
+    }
+
+    /// Schedules `f` after a delay from the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, f: EventFn<S>) -> EventId {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Cancels a pending event. Cancelling an already-run or unknown event
+    /// is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Runs events in order until the queue drains or the next event would
+    /// be after `until`. Returns the number of events executed by this call.
+    ///
+    /// Events scheduled exactly at `until` are executed.
+    pub fn run(&mut self, state: &mut S, until: SimTime) -> u64 {
+        let start_count = self.executed;
+        while let Some(head) = self.heap.peek() {
+            if head.at > until {
+                break;
+            }
+            let ev = self.heap.pop().expect("peeked event must pop");
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "event queue yielded past event");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.f)(state, self);
+        }
+        if until != SimTime::MAX && self.now < until {
+            self.now = until;
+        }
+        self.executed - start_count
+    }
+
+    /// Runs a single event if one is pending. Returns its time, or `None`
+    /// if the queue is empty.
+    pub fn step(&mut self, state: &mut S) -> Option<SimTime> {
+        loop {
+            let ev = self.heap.pop()?;
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.f)(state, self);
+            return Some(self.now);
+        }
+    }
+}
+
+impl<S> Default for Engine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type E = Engine<Vec<u32>>;
+
+    fn push(v: u32) -> EventFn<Vec<u32>> {
+        Box::new(move |s: &mut Vec<u32>, _: &mut E| s.push(v))
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        e.schedule_at(SimTime::from_nanos(30), push(3));
+        e.schedule_at(SimTime::from_nanos(10), push(1));
+        e.schedule_at(SimTime::from_nanos(20), push(2));
+        e.run(&mut s, SimTime::MAX);
+        assert_eq!(s, vec![1, 2, 3]);
+        assert_eq!(e.executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        for v in 0..10 {
+            e.schedule_at(SimTime::from_nanos(5), push(v));
+        }
+        e.run(&mut s, SimTime::MAX);
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        e.schedule_at(
+            SimTime::from_nanos(1),
+            Box::new(|s: &mut Vec<u32>, e: &mut E| {
+                s.push(1);
+                e.schedule_in(SimDuration::from_nanos(1), push(2));
+            }),
+        );
+        e.run(&mut s, SimTime::MAX);
+        assert_eq!(s, vec![1, 2]);
+        assert_eq!(e.now(), SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        let id = e.schedule_at(SimTime::from_nanos(5), push(9));
+        e.schedule_at(SimTime::from_nanos(6), push(1));
+        e.cancel(id);
+        e.run(&mut s, SimTime::MAX);
+        assert_eq!(s, vec![1]);
+        assert_eq!(e.executed(), 1);
+    }
+
+    #[test]
+    fn cancel_unknown_is_noop() {
+        let mut e = E::new();
+        e.cancel(EventId(42));
+        let mut s = Vec::new();
+        assert_eq!(e.run(&mut s, SimTime::MAX), 0);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        e.schedule_at(SimTime::from_nanos(10), push(1));
+        e.schedule_at(SimTime::from_nanos(100), push(2));
+        let n = e.run(&mut s, SimTime::from_nanos(50));
+        assert_eq!(n, 1);
+        assert_eq!(s, vec![1]);
+        assert_eq!(e.now(), SimTime::from_nanos(50));
+        e.run(&mut s, SimTime::MAX);
+        assert_eq!(s, vec![1, 2]);
+    }
+
+    #[test]
+    fn past_schedule_clamps_to_now() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        e.schedule_at(
+            SimTime::from_nanos(10),
+            Box::new(|s: &mut Vec<u32>, e: &mut E| {
+                s.push(1);
+                // "yesterday" — must still run, at now.
+                e.schedule_at(SimTime::from_nanos(1), push(2));
+            }),
+        );
+        e.run(&mut s, SimTime::MAX);
+        assert_eq!(s, vec![1, 2]);
+        assert_eq!(e.now(), SimTime::from_nanos(10));
+    }
+
+    #[test]
+    fn step_runs_one_event() {
+        let mut e = E::new();
+        let mut s = Vec::new();
+        e.schedule_at(SimTime::from_nanos(1), push(1));
+        e.schedule_at(SimTime::from_nanos(2), push(2));
+        assert_eq!(e.step(&mut s), Some(SimTime::from_nanos(1)));
+        assert_eq!(s, vec![1]);
+        assert_eq!(e.step(&mut s), Some(SimTime::from_nanos(2)));
+        assert_eq!(e.step(&mut s), None);
+    }
+
+    #[test]
+    fn pending_counts_exclude_cancelled() {
+        let mut e = E::new();
+        let a = e.schedule_at(SimTime::from_nanos(1), push(1));
+        e.schedule_at(SimTime::from_nanos(2), push(2));
+        assert_eq!(e.pending(), 2);
+        e.cancel(a);
+        assert_eq!(e.pending(), 1);
+    }
+}

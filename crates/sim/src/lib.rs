@@ -1,0 +1,54 @@
+//! Discrete-event simulation kernel for the `vserve` serving-system model.
+//!
+//! The paper's experiments run a throughput-optimized inference server on a
+//! CPU+GPU node. This crate provides the deterministic virtual-time
+//! machinery on which `vserve-server` builds that model:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer nanosecond clock (no float
+//!   drift, total event order).
+//! * [`Engine`] — event queue of boxed closures over a user state type,
+//!   with stable FIFO tie-breaking and event cancellation.
+//! * [`MultiServer`] — a *c*-server FIFO queue state machine (CPU worker
+//!   pools, GPU execution slots).
+//! * [`SharedBandwidth`] — an egalitarian processor-sharing resource
+//!   (PCIe links, host staging memcpy bandwidth) with exact completion
+//!   prediction under job arrivals/departures.
+//! * [`rng`] — deterministic, named random streams plus the distributions
+//!   used by workload generation.
+//!
+//! # Examples
+//!
+//! A three-event simulation:
+//!
+//! ```
+//! use vserve_sim::{Engine, SimDuration, SimTime};
+//!
+//! #[derive(Default)]
+//! struct World { fired: Vec<u32> }
+//!
+//! let mut engine = Engine::new();
+//! let mut world = World::default();
+//! engine.schedule_in(SimDuration::from_millis(5), Box::new(|w: &mut World, _e: &mut Engine<World>| {
+//!     w.fired.push(2);
+//! }));
+//! engine.schedule_in(SimDuration::from_millis(1), Box::new(|w: &mut World, e: &mut Engine<World>| {
+//!     w.fired.push(1);
+//!     e.schedule_in(SimDuration::from_millis(1), Box::new(|w: &mut World, _| w.fired.push(3)));
+//! }));
+//! engine.run(&mut world, SimTime::MAX);
+//! assert_eq!(world.fired, vec![1, 3, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod ps;
+mod queue;
+pub mod rng;
+mod time;
+
+pub use engine::{Engine, EventFn, EventId};
+pub use ps::{PsCompletion, SharedBandwidth};
+pub use queue::{MultiServer, QueueStats};
+pub use time::{SimDuration, SimTime};

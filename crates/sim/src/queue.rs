@@ -1,0 +1,237 @@
+//! FIFO multi-server queue state machine.
+
+use std::collections::VecDeque;
+
+use vserve_metrics::{TimeWeightedGauge, Welford};
+
+use crate::{SimDuration, SimTime};
+
+/// Aggregate statistics reported by a [`MultiServer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueStats {
+    /// Jobs that entered service.
+    pub started: u64,
+    /// Mean time jobs spent waiting before service, seconds.
+    pub mean_wait: f64,
+    /// Maximum waiting time, seconds.
+    pub max_wait: f64,
+    /// Time-averaged queue depth.
+    pub avg_depth: f64,
+    /// Time-averaged number of busy servers.
+    pub avg_busy: f64,
+    /// Peak queue depth.
+    pub peak_depth: f64,
+}
+
+/// A *c*-server FIFO queue, decoupled from the event loop.
+///
+/// `MultiServer` is a pure state machine: callers [`offer`](Self::offer)
+/// jobs and [`release`](Self::release) servers, and whenever a job *starts
+/// service* the machine hands it back so the caller can compute its service
+/// time and schedule the completion event. This keeps service-time policy
+/// (cost models, batching) out of the queue itself.
+///
+/// Used to model CPU preprocessing worker pools and per-GPU execution slots.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_sim::{MultiServer, SimTime};
+///
+/// let mut q: MultiServer<&str> = MultiServer::new(1);
+/// let t0 = SimTime::ZERO;
+/// // One server: the first job starts immediately, the second queues.
+/// assert_eq!(q.offer(t0, "a"), Some(("a", t0)));
+/// assert_eq!(q.offer(t0, "b"), None);
+/// // Completing "a" starts "b".
+/// let t1 = SimTime::from_nanos(100);
+/// assert_eq!(q.release(t1), Some(("b", t0)));
+/// ```
+#[derive(Debug)]
+pub struct MultiServer<J> {
+    servers: usize,
+    busy: usize,
+    queue: VecDeque<(J, SimTime)>,
+    depth: TimeWeightedGauge,
+    busy_gauge: TimeWeightedGauge,
+    waits: Welford,
+    started: u64,
+}
+
+impl<J> MultiServer<J> {
+    /// Creates a queue backed by `servers` identical servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "server count must be positive");
+        MultiServer {
+            servers,
+            busy: 0,
+            queue: VecDeque::new(),
+            depth: TimeWeightedGauge::new(0.0, 0.0),
+            busy_gauge: TimeWeightedGauge::new(0.0, 0.0),
+            waits: Welford::new(),
+            started: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Servers currently serving a job.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Jobs waiting (not in service).
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Offers a job at time `now`.
+    ///
+    /// Returns `Some((job, enqueued_at))` if the job starts service
+    /// immediately (a server was free); the caller must schedule its
+    /// completion and later call [`release`](Self::release). Returns `None`
+    /// if the job was queued.
+    pub fn offer(&mut self, now: SimTime, job: J) -> Option<(J, SimTime)> {
+        if self.busy < self.servers {
+            self.busy += 1;
+            self.busy_gauge.set(now.as_secs_f64(), self.busy as f64);
+            self.waits.push(0.0);
+            self.started += 1;
+            Some((job, now))
+        } else {
+            self.queue.push_back((job, now));
+            self.depth.set(now.as_secs_f64(), self.queue.len() as f64);
+            None
+        }
+    }
+
+    /// Releases one server at time `now` (a job finished service).
+    ///
+    /// If a job was waiting, it starts service and is returned along with
+    /// its original enqueue time; the caller schedules its completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no server was busy.
+    pub fn release(&mut self, now: SimTime) -> Option<(J, SimTime)> {
+        assert!(self.busy > 0, "release without a busy server");
+        if let Some((job, enq)) = self.queue.pop_front() {
+            self.depth.set(now.as_secs_f64(), self.queue.len() as f64);
+            self.waits.push((now - enq).as_secs_f64());
+            self.started += 1;
+            // busy count unchanged: the freed server immediately takes the
+            // next job.
+            Some((job, enq))
+        } else {
+            self.busy -= 1;
+            self.busy_gauge.set(now.as_secs_f64(), self.busy as f64);
+            None
+        }
+    }
+
+    /// How long the job at the head of the queue has been waiting.
+    pub fn head_wait(&self, now: SimTime) -> Option<SimDuration> {
+        self.queue.front().map(|(_, t)| now.saturating_since(*t))
+    }
+
+    /// Statistics as of time `now`.
+    pub fn stats(&self, now: SimTime) -> QueueStats {
+        QueueStats {
+            started: self.started,
+            mean_wait: self.waits.mean(),
+            max_wait: self.waits.max(),
+            avg_depth: self.depth.time_average(now.as_secs_f64()),
+            avg_busy: self.busy_gauge.time_average(now.as_secs_f64()),
+            peak_depth: self.depth.peak(),
+        }
+    }
+
+    /// Time-averaged utilization (busy servers / total) as of `now`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.busy_gauge.time_average(now.as_secs_f64()) / self.servers as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "server count must be positive")]
+    fn rejects_zero_servers() {
+        let _: MultiServer<u32> = MultiServer::new(0);
+    }
+
+    #[test]
+    fn immediate_start_when_free() {
+        let mut q: MultiServer<u32> = MultiServer::new(2);
+        assert!(q.offer(SimTime::ZERO, 1).is_some());
+        assert!(q.offer(SimTime::ZERO, 2).is_some());
+        assert!(q.offer(SimTime::ZERO, 3).is_none());
+        assert_eq!(q.busy(), 2);
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q: MultiServer<u32> = MultiServer::new(1);
+        q.offer(SimTime::ZERO, 1);
+        q.offer(SimTime::from_nanos(1), 2);
+        q.offer(SimTime::from_nanos(2), 3);
+        let (j, _) = q.release(SimTime::from_nanos(10)).unwrap();
+        assert_eq!(j, 2);
+        let (j, _) = q.release(SimTime::from_nanos(20)).unwrap();
+        assert_eq!(j, 3);
+        assert!(q.release(SimTime::from_nanos(30)).is_none());
+        assert_eq!(q.busy(), 0);
+    }
+
+    #[test]
+    fn waits_recorded() {
+        let mut q: MultiServer<u32> = MultiServer::new(1);
+        q.offer(SimTime::ZERO, 1);
+        q.offer(SimTime::ZERO, 2);
+        q.release(SimTime::from_nanos(1_000_000_000)).unwrap();
+        let s = q.stats(SimTime::from_nanos(1_000_000_000));
+        assert_eq!(s.started, 2);
+        // job 1 waited 0, job 2 waited 1s → mean 0.5
+        assert!((s.mean_wait - 0.5).abs() < 1e-9);
+        assert!((s.max_wait - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without a busy server")]
+    fn release_idle_panics() {
+        let mut q: MultiServer<u32> = MultiServer::new(1);
+        q.release(SimTime::ZERO);
+    }
+
+    #[test]
+    fn head_wait_reports_front() {
+        let mut q: MultiServer<u32> = MultiServer::new(1);
+        q.offer(SimTime::ZERO, 1);
+        assert_eq!(q.head_wait(SimTime::from_nanos(5)), None);
+        q.offer(SimTime::from_nanos(2), 2);
+        assert_eq!(
+            q.head_wait(SimTime::from_nanos(5)),
+            Some(SimDuration::from_nanos(3))
+        );
+    }
+
+    #[test]
+    fn utilization_time_average() {
+        let mut q: MultiServer<u32> = MultiServer::new(2);
+        q.offer(SimTime::ZERO, 1); // 1 busy from t=0
+        q.release(SimTime::from_nanos(500_000_000)); // idle from t=0.5s
+        // over [0, 1s]: busy-server integral = 0.5 → avg busy 0.5 → util 0.25
+        let u = q.utilization(SimTime::from_nanos(1_000_000_000));
+        assert!((u - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,260 @@
+//! Deterministic named random streams and sampling distributions.
+//!
+//! Every stochastic component of an experiment (arrivals, image sizes,
+//! faces per frame) draws from its own named stream derived from one master
+//! seed, so adding a component never perturbs the draws of another — a
+//! standard variance-reduction and reproducibility technique in discrete-
+//! event simulation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_sim::rng::RngStream;
+///
+/// let mut a = RngStream::derive(42, "arrivals");
+/// let mut b = RngStream::derive(42, "arrivals");
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// let mut c = RngStream::derive(42, "sizes");
+/// // Different name ⇒ independent stream (almost surely different draw).
+/// let _ = c.uniform(0.0, 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    rng: StdRng,
+}
+
+impl RngStream {
+    /// Creates a stream from a raw 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        RngStream {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives a stream from a master seed and a component name.
+    ///
+    /// The same `(master, name)` pair always yields the same stream.
+    pub fn derive(master: u64, name: &str) -> Self {
+        // FNV-1a over the name, mixed with the master seed via splitmix64.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut z = master ^ h;
+        z = z.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        RngStream::new(z)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform requires lo < hi");
+        lo + (hi - lo) * self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "uniform_u64 requires lo <= hi");
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Exponential draw with the given rate (mean `1/rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u: f64 = self.rng.gen::<f64>();
+        -(1.0 - u).ln() / rate
+    }
+
+    /// Log-normal draw with the given parameters of the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// Standard normal draw via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Poisson draw with mean `lambda` (Knuth's method; intended for small
+    /// means such as faces-per-frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "poisson mean must be non-negative"
+        );
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda > 30.0 {
+            // Normal approximation for large means.
+            let x = lambda + lambda.sqrt() * self.standard_normal();
+            return x.round().max(0.0) as u64;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Zipf draw over `{1, …, n}` with exponent `s`, by inverse CDF on the
+    /// precomputable harmonic weights (O(n) per draw; fine for small `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        assert!(n > 0, "zipf support must be non-empty");
+        let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut u = self.rng.gen::<f64>() * norm;
+        for k in 1..=n {
+            u -= 1.0 / (k as f64).powf(s);
+            if u <= 0.0 {
+                return k;
+            }
+        }
+        n
+    }
+
+    /// Picks an index according to `weights` (need not be normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut u = self.rng.gen::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            u -= w;
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Raw `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_is_deterministic_and_name_sensitive() {
+        let mut a = RngStream::derive(1, "x");
+        let mut b = RngStream::derive(1, "x");
+        let mut c = RngStream::derive(1, "y");
+        let (va, vb, vc) = (a.next_f64(), b.next_f64(), c.next_f64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let mut r = RngStream::new(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.exp(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_close() {
+        let mut r = RngStream::new(5);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.poisson(3.5) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut r = RngStream::new(1);
+        assert_eq!(r.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal() {
+        let mut r = RngStream::new(9);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.poisson(100.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_in_support_and_skewed() {
+        let mut r = RngStream::new(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            let k = r.zipf(10, 1.2);
+            assert!((1..=10).contains(&k));
+            counts[(k - 1) as usize] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[9]);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = RngStream::new(11);
+        let mut hits = [0u32; 3];
+        for _ in 0..30_000 {
+            hits[r.weighted_index(&[1.0, 0.0, 3.0])] += 1;
+        }
+        assert_eq!(hits[1], 0);
+        let ratio = hits[2] as f64 / hits[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn log_normal_median_close() {
+        let mut r = RngStream::new(13);
+        let n = 60_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| r.log_normal(2.0, 0.7)).collect();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let median = xs[n / 2];
+        assert!((median - 2.0f64.exp()).abs() < 0.3, "median {median}");
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform requires lo < hi")]
+    fn uniform_validates_range() {
+        let mut r = RngStream::new(1);
+        let _ = r.uniform(1.0, 1.0);
+    }
+}

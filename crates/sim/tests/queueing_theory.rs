@@ -1,0 +1,151 @@
+//! Validation of the DES kernel against closed-form queueing theory.
+//!
+//! If the engine, queue, and RNG are correct, an M/M/1 queue simulated on
+//! them must match Pollaczek–Khinchine/Erlang results. These tests anchor
+//! the serving simulation's credibility.
+
+use vserve_sim::rng::RngStream;
+use vserve_sim::{Engine, MultiServer, SimDuration, SimTime};
+use vserve_metrics::Welford;
+
+struct Mm {
+    queue: MultiServer<u64>,
+    rng_arrivals: RngStream,
+    rng_service: RngStream,
+    lambda: f64,
+    mu: f64,
+    next_job: u64,
+    waits: Welford,
+    system_times: Welford,
+    started: std::collections::HashMap<u64, SimTime>,
+    measure_from: SimTime,
+}
+
+type Eng = Engine<Mm>;
+
+fn arrive(sim: &mut Mm, eng: &mut Eng) {
+    let id = sim.next_job;
+    sim.next_job += 1;
+    let now = eng.now();
+    sim.started.insert(id, now);
+    if let Some((job, enq)) = sim.queue.offer(now, id) {
+        start_service(sim, eng, job, enq);
+    }
+    let gap = sim.rng_arrivals.exp(sim.lambda);
+    eng.schedule_in(
+        SimDuration::from_secs_f64(gap),
+        Box::new(|sim: &mut Mm, eng: &mut Eng| arrive(sim, eng)),
+    );
+}
+
+fn start_service(sim: &mut Mm, eng: &mut Eng, job: u64, enqueued: SimTime) {
+    let now = eng.now();
+    if now >= sim.measure_from {
+        sim.waits.push((now - enqueued).as_secs_f64());
+    }
+    let service = sim.rng_service.exp(sim.mu);
+    eng.schedule_in(
+        SimDuration::from_secs_f64(service),
+        Box::new(move |sim: &mut Mm, eng: &mut Eng| depart(sim, eng, job)),
+    );
+}
+
+fn depart(sim: &mut Mm, eng: &mut Eng, job: u64) {
+    let now = eng.now();
+    if let Some(t0) = sim.started.remove(&job) {
+        if now >= sim.measure_from {
+            sim.system_times.push((now - t0).as_secs_f64());
+        }
+    }
+    if let Some((next, enq)) = sim.queue.release(now) {
+        start_service(sim, eng, next, enq);
+    }
+}
+
+fn run_mm(servers: usize, lambda: f64, mu: f64, horizon_s: f64, seed: u64) -> Mm {
+    let mut sim = Mm {
+        queue: MultiServer::new(servers),
+        rng_arrivals: RngStream::derive(seed, "arrivals"),
+        rng_service: RngStream::derive(seed, "service"),
+        lambda,
+        mu,
+        next_job: 0,
+        waits: Welford::new(),
+        system_times: Welford::new(),
+        started: std::collections::HashMap::new(),
+        measure_from: SimTime::ZERO + SimDuration::from_secs_f64(horizon_s * 0.2),
+    };
+    let mut eng: Eng = Engine::new();
+    eng.schedule_at(SimTime::ZERO, Box::new(|sim: &mut Mm, eng: &mut Eng| arrive(sim, eng)));
+    eng.run(&mut sim, SimTime::ZERO + SimDuration::from_secs_f64(horizon_s));
+    sim
+}
+
+/// M/M/1: E[T] = 1/(μ−λ), E[Wq] = ρ/(μ−λ).
+#[test]
+fn mm1_matches_closed_form() {
+    let (lambda, mu) = (700.0, 1000.0); // ρ = 0.7
+    let sim = run_mm(1, lambda, mu, 400.0, 42);
+    let expect_t = 1.0 / (mu - lambda);
+    let expect_w = (lambda / mu) / (mu - lambda);
+    let t = sim.system_times.mean();
+    let w = sim.waits.mean();
+    assert!(
+        (t - expect_t).abs() / expect_t < 0.06,
+        "E[T] {t:.6} vs {expect_t:.6}"
+    );
+    assert!(
+        (w - expect_w).abs() / expect_w < 0.08,
+        "E[Wq] {w:.6} vs {expect_w:.6}"
+    );
+}
+
+/// M/M/1 at low load: waiting is near zero, E[T] ≈ 1/μ.
+#[test]
+fn mm1_light_load() {
+    let (lambda, mu) = (50.0, 1000.0); // ρ = 0.05
+    let sim = run_mm(1, lambda, mu, 200.0, 7);
+    assert!(sim.waits.mean() < 0.1 / mu, "wait {:.6}", sim.waits.mean());
+    let t = sim.system_times.mean();
+    assert!((t - 1.0 / mu).abs() / (1.0 / mu) < 0.1, "E[T] {t:.6}");
+}
+
+/// M/M/c: mean queueing delay follows the Erlang-C formula.
+#[test]
+fn mmc_matches_erlang_c() {
+    let (c, lambda, mu) = (4usize, 3000.0, 1000.0); // ρ = 0.75
+    let sim = run_mm(c, lambda, mu, 300.0, 11);
+
+    // Erlang C.
+    let a = lambda / mu;
+    let rho = a / c as f64;
+    let mut sum = 0.0;
+    let mut term = 1.0;
+    for k in 0..c {
+        if k > 0 {
+            term *= a / k as f64;
+        }
+        sum += term;
+    }
+    let pc_num = term * a / c as f64 / (1.0 - rho);
+    let p_wait = pc_num / (sum + pc_num);
+    let expect_w = p_wait / (c as f64 * mu - lambda);
+
+    let w = sim.waits.mean();
+    assert!(
+        (w - expect_w).abs() / expect_w < 0.12,
+        "E[Wq] {w:.6} vs Erlang-C {expect_w:.6}"
+    );
+}
+
+/// Utilization matches ρ for a stable queue.
+#[test]
+fn utilization_matches_rho() {
+    let (lambda, mu) = (600.0, 1000.0);
+    let horizon = 200.0;
+    let sim = run_mm(1, lambda, mu, horizon, 3);
+    let util = sim
+        .queue
+        .utilization(SimTime::ZERO + SimDuration::from_secs_f64(horizon));
+    assert!((util - 0.6).abs() < 0.03, "utilization {util:.3}");
+}

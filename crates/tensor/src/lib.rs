@@ -1,0 +1,65 @@
+//! Images, tensors, and the preprocessing operators the paper measures.
+//!
+//! The serving pipelines under study spend much of their time in
+//! *preprocessing*: JPEG decoding (see `vserve-codec`), resizing to the
+//! DNN's input resolution, and normalization. This crate provides the data
+//! types and the resize/normalize operators:
+//!
+//! * [`Image`] — 8-bit interleaved (HWC) raster, 1 or 3 channels.
+//! * [`Tensor`] — dense `f32` N-dimensional array in NCHW layout for DNN
+//!   input/output.
+//! * [`ops`] — nearest / bilinear / area resize, center crop, and
+//!   per-channel normalization, mirroring the torchvision-style transform
+//!   stack the paper's server runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use vserve_tensor::{Image, ops};
+//!
+//! let img = Image::gradient(64, 48);
+//! let resized = ops::resize_bilinear(&img, 224, 224);
+//! let tensor = ops::to_tensor(&resized);
+//! assert_eq!(tensor.shape(), &[1, 3, 224, 224]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod image;
+pub mod ops;
+pub mod pnm;
+mod tensor;
+
+pub use image::{Image, PixelFormat};
+pub use tensor::Tensor;
+
+/// Errors produced by tensor and image construction/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Supplied buffer length does not match the requested dimensions.
+    SizeMismatch {
+        /// Elements expected from the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// A dimension was zero.
+    EmptyDimension,
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::SizeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "buffer of {actual} elements does not match shape requiring {expected}"
+                )
+            }
+            TensorError::EmptyDimension => write!(f, "dimensions must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,364 @@
+//! Preprocessing operators: resize, crop, tensor conversion, normalize.
+//!
+//! These mirror the torchvision-style transform stack executed by the
+//! paper's preprocessing stage: decode → resize → (crop) → to-tensor →
+//! normalize. All resizes treat pixel centers at half-integer coordinates
+//! (align-corners = false), matching common DNN preprocessing.
+
+use crate::{Image, PixelFormat, Tensor};
+
+/// Nearest-neighbour resize.
+///
+/// # Panics
+///
+/// Panics if either output dimension is zero.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_tensor::{Image, ops};
+///
+/// let img = Image::gradient(10, 10);
+/// let out = ops::resize_nearest(&img, 5, 5);
+/// assert_eq!((out.width(), out.height()), (5, 5));
+/// ```
+pub fn resize_nearest(src: &Image, out_w: usize, out_h: usize) -> Image {
+    assert!(out_w > 0 && out_h > 0, "output dimensions must be non-zero");
+    let mut dst = Image::zeros(out_w, out_h, src.format());
+    let sx = src.width() as f32 / out_w as f32;
+    let sy = src.height() as f32 / out_h as f32;
+    for y in 0..out_h {
+        let src_y = (((y as f32 + 0.5) * sy - 0.5).round().max(0.0) as usize).min(src.height() - 1);
+        for x in 0..out_w {
+            let src_x =
+                (((x as f32 + 0.5) * sx - 0.5).round().max(0.0) as usize).min(src.width() - 1);
+            dst.put_pixel(x, y, src.pixel(src_x, src_y));
+        }
+    }
+    dst
+}
+
+/// Bilinear resize, the default interpolation in the paper's pipelines.
+///
+/// # Panics
+///
+/// Panics if either output dimension is zero.
+pub fn resize_bilinear(src: &Image, out_w: usize, out_h: usize) -> Image {
+    assert!(out_w > 0 && out_h > 0, "output dimensions must be non-zero");
+    let mut dst = Image::zeros(out_w, out_h, src.format());
+    let sx = src.width() as f32 / out_w as f32;
+    let sy = src.height() as f32 / out_h as f32;
+    let max_x = src.width() - 1;
+    let max_y = src.height() - 1;
+    for y in 0..out_h {
+        let fy = ((y as f32 + 0.5) * sy - 0.5).clamp(0.0, max_y as f32);
+        let y0 = fy.floor() as usize;
+        let y1 = (y0 + 1).min(max_y);
+        let wy = fy - y0 as f32;
+        for x in 0..out_w {
+            let fx = ((x as f32 + 0.5) * sx - 0.5).clamp(0.0, max_x as f32);
+            let x0 = fx.floor() as usize;
+            let x1 = (x0 + 1).min(max_x);
+            let wx = fx - x0 as f32;
+            let p00 = src.pixel(x0, y0);
+            let p10 = src.pixel(x1, y0);
+            let p01 = src.pixel(x0, y1);
+            let p11 = src.pixel(x1, y1);
+            let mut out = [0u8; 3];
+            for c in 0..3 {
+                let top = f32::from(p00[c]) * (1.0 - wx) + f32::from(p10[c]) * wx;
+                let bot = f32::from(p01[c]) * (1.0 - wx) + f32::from(p11[c]) * wx;
+                out[c] = (top * (1.0 - wy) + bot * wy).round().clamp(0.0, 255.0) as u8;
+            }
+            dst.put_pixel(x, y, out);
+        }
+    }
+    dst
+}
+
+/// Area (box-filter) resize — the correct filter for large downscales,
+/// which is exactly what the paper's "large image → 224×224" path does.
+///
+/// Falls back to bilinear when upscaling.
+///
+/// # Panics
+///
+/// Panics if either output dimension is zero.
+pub fn resize_area(src: &Image, out_w: usize, out_h: usize) -> Image {
+    assert!(out_w > 0 && out_h > 0, "output dimensions must be non-zero");
+    if out_w >= src.width() || out_h >= src.height() {
+        return resize_bilinear(src, out_w, out_h);
+    }
+    let mut dst = Image::zeros(out_w, out_h, src.format());
+    let sx = src.width() as f64 / out_w as f64;
+    let sy = src.height() as f64 / out_h as f64;
+    for y in 0..out_h {
+        let y_start = (y as f64 * sy).floor() as usize;
+        let y_end = (((y + 1) as f64 * sy).ceil() as usize).min(src.height());
+        for x in 0..out_w {
+            let x_start = (x as f64 * sx).floor() as usize;
+            let x_end = (((x + 1) as f64 * sx).ceil() as usize).min(src.width());
+            let mut acc = [0f64; 3];
+            let mut n = 0f64;
+            for yy in y_start..y_end {
+                for xx in x_start..x_end {
+                    let p = src.pixel(xx, yy);
+                    for c in 0..3 {
+                        acc[c] += f64::from(p[c]);
+                    }
+                    n += 1.0;
+                }
+            }
+            let out = [
+                (acc[0] / n).round().clamp(0.0, 255.0) as u8,
+                (acc[1] / n).round().clamp(0.0, 255.0) as u8,
+                (acc[2] / n).round().clamp(0.0, 255.0) as u8,
+            ];
+            dst.put_pixel(x, y, out);
+        }
+    }
+    dst
+}
+
+/// Crops a centered `out_w × out_h` window.
+///
+/// # Panics
+///
+/// Panics if the crop is larger than the source in either dimension, or if
+/// either output dimension is zero.
+pub fn center_crop(src: &Image, out_w: usize, out_h: usize) -> Image {
+    assert!(out_w > 0 && out_h > 0, "output dimensions must be non-zero");
+    assert!(
+        out_w <= src.width() && out_h <= src.height(),
+        "crop {out_w}x{out_h} exceeds source {}x{}",
+        src.width(),
+        src.height()
+    );
+    let x0 = (src.width() - out_w) / 2;
+    let y0 = (src.height() - out_h) / 2;
+    let mut dst = Image::zeros(out_w, out_h, src.format());
+    for y in 0..out_h {
+        for x in 0..out_w {
+            dst.put_pixel(x, y, src.pixel(x0 + x, y0 + y));
+        }
+    }
+    dst
+}
+
+/// Converts an image to an NCHW `f32` tensor scaled to `[0, 1]`, batch 1.
+///
+/// Gray images produce a single channel; RGB produce three.
+pub fn to_tensor(src: &Image) -> Tensor {
+    let (w, h, c) = (src.width(), src.height(), src.channels());
+    let mut t = Tensor::zeros(&[1, c, h, w]);
+    let data = t.as_mut_slice();
+    let bytes = src.as_bytes();
+    for y in 0..h {
+        for x in 0..w {
+            for ch in 0..c {
+                data[ch * h * w + y * w + x] = f32::from(bytes[(y * w + x) * c + ch]) / 255.0;
+            }
+        }
+    }
+    t
+}
+
+/// ImageNet channel means used by [`normalize_imagenet`].
+pub const IMAGENET_MEAN: [f32; 3] = [0.485, 0.456, 0.406];
+/// ImageNet channel standard deviations used by [`normalize_imagenet`].
+pub const IMAGENET_STD: [f32; 3] = [0.229, 0.224, 0.225];
+
+/// Per-channel normalization `(x − mean) / std` on an NCHW tensor.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank-4 or its channel count exceeds the
+/// provided statistics.
+pub fn normalize(t: &mut Tensor, mean: &[f32], std: &[f32]) {
+    assert_eq!(t.rank(), 4, "normalize expects NCHW");
+    let shape = t.shape().to_vec();
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    assert!(
+        c <= mean.len() && c <= std.len(),
+        "statistics cover {} channels, tensor has {c}",
+        mean.len().min(std.len())
+    );
+    let plane = h * w;
+    let data = t.as_mut_slice();
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * plane;
+            let m = mean[ch];
+            let s = std[ch];
+            for v in &mut data[base..base + plane] {
+                *v = (*v - m) / s;
+            }
+        }
+    }
+}
+
+/// ImageNet-standard normalization, the exact transform in the paper's
+/// preprocessing stage.
+pub fn normalize_imagenet(t: &mut Tensor) {
+    normalize(t, &IMAGENET_MEAN, &IMAGENET_STD);
+}
+
+/// Runs the complete standard preprocessing chain: bilinear resize to
+/// `side × side`, tensor conversion, ImageNet normalization.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_tensor::{Image, ops};
+///
+/// let t = ops::standard_preprocess(&Image::gradient(500, 375), 224);
+/// assert_eq!(t.shape(), &[1, 3, 224, 224]);
+/// ```
+pub fn standard_preprocess(src: &Image, side: usize) -> Tensor {
+    let resized = if src.width() > 2 * side && src.height() > 2 * side {
+        resize_area(src, side, side)
+    } else {
+        resize_bilinear(src, side, side)
+    };
+    let mut t = to_tensor(&resized);
+    if resized.format() == PixelFormat::Rgb8 {
+        normalize_imagenet(&mut t);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn constant_image(w: usize, h: usize, v: u8) -> Image {
+        let mut img = Image::zeros(w, h, PixelFormat::Rgb8);
+        for y in 0..h {
+            for x in 0..w {
+                img.put_pixel(x, y, [v, v, v]);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn resizes_preserve_constant_images() {
+        let img = constant_image(17, 13, 99);
+        for out in [
+            resize_nearest(&img, 7, 5),
+            resize_bilinear(&img, 7, 5),
+            resize_area(&img, 7, 5),
+            resize_bilinear(&img, 40, 30),
+        ] {
+            assert!(out
+                .as_bytes()
+                .iter()
+                .all(|&b| b == 99), "constant image must stay constant");
+        }
+    }
+
+    #[test]
+    fn identity_resize_is_identity() {
+        let img = Image::gradient(16, 12);
+        assert_eq!(resize_nearest(&img, 16, 12), img);
+        assert_eq!(resize_bilinear(&img, 16, 12), img);
+    }
+
+    #[test]
+    fn bilinear_midpoint_interpolates() {
+        // 2x1 image: pixels 0 and 200; a 3x1 resize samples the midpoint.
+        let mut img = Image::zeros(2, 1, PixelFormat::Gray8);
+        img.put_pixel(0, 0, [0, 0, 0]);
+        img.put_pixel(1, 0, [200, 0, 0]);
+        let out = resize_bilinear(&img, 3, 1);
+        // centers at fx = (x+0.5)*2/3-0.5 → 0, ~0.5, 1.0 → values 0, 100, 200
+        assert_eq!(out.pixel(0, 0)[0], 0);
+        assert_eq!(out.pixel(1, 0)[0], 100);
+        assert_eq!(out.pixel(2, 0)[0], 200);
+    }
+
+    #[test]
+    fn area_downscale_averages() {
+        // 2x2 blocks of (0, 0, 100, 100) average to 50.
+        let mut img = Image::zeros(2, 2, PixelFormat::Gray8);
+        img.put_pixel(0, 0, [0, 0, 0]);
+        img.put_pixel(1, 0, [0, 0, 0]);
+        img.put_pixel(0, 1, [100, 0, 0]);
+        img.put_pixel(1, 1, [100, 0, 0]);
+        let out = resize_area(&img, 1, 1);
+        assert_eq!(out.pixel(0, 0)[0], 50);
+    }
+
+    #[test]
+    fn center_crop_takes_middle() {
+        let img = Image::gradient(10, 10);
+        let c = center_crop(&img, 4, 4);
+        assert_eq!(c.pixel(0, 0), img.pixel(3, 3));
+        assert_eq!(c.pixel(3, 3), img.pixel(6, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds source")]
+    fn center_crop_validates() {
+        let img = Image::gradient(4, 4);
+        let _ = center_crop(&img, 5, 4);
+    }
+
+    #[test]
+    fn to_tensor_layout_and_scale() {
+        let mut img = Image::zeros(2, 1, PixelFormat::Rgb8);
+        img.put_pixel(0, 0, [255, 0, 0]);
+        img.put_pixel(1, 0, [0, 255, 0]);
+        let t = to_tensor(&img);
+        assert_eq!(t.shape(), &[1, 3, 1, 2]);
+        assert_eq!(t[&[0, 0, 0, 0][..]], 1.0); // R of pixel 0
+        assert_eq!(t[&[0, 1, 0, 1][..]], 1.0); // G of pixel 1
+        assert_eq!(t[&[0, 2, 0, 0][..]], 0.0);
+    }
+
+    #[test]
+    fn normalize_matches_formula() {
+        let mut t = Tensor::zeros(&[1, 3, 1, 1]);
+        t.fill(0.5);
+        normalize_imagenet(&mut t);
+        for c in 0..3 {
+            let expect = (0.5 - IMAGENET_MEAN[c]) / IMAGENET_STD[c];
+            assert!((t[&[0, c, 0, 0][..]] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn standard_preprocess_shape() {
+        let t = standard_preprocess(&Image::gradient(640, 480), 224);
+        assert_eq!(t.shape(), &[1, 3, 224, 224]);
+    }
+
+    proptest! {
+        #[test]
+        fn resize_output_within_input_range(
+            w in 2usize..24, h in 2usize..24,
+            ow in 1usize..32, oh in 1usize..32,
+            seed in any::<u64>()
+        ) {
+            let img = Image::noise(w, h, seed);
+            let (lo, hi) = img.as_bytes().iter().fold((255u8, 0u8), |(lo, hi), &b| {
+                (lo.min(b), hi.max(b))
+            });
+            for out in [resize_bilinear(&img, ow, oh), resize_area(&img, ow, oh),
+                        resize_nearest(&img, ow, oh)] {
+                for &b in out.as_bytes() {
+                    prop_assert!(b >= lo && b <= hi);
+                }
+            }
+        }
+
+        #[test]
+        fn to_tensor_in_unit_interval(w in 1usize..16, h in 1usize..16, seed in any::<u64>()) {
+            let t = to_tensor(&Image::noise(w, h, seed));
+            for &v in t.as_slice() {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Binary PNM (PPM/PGM) image I/O.
+//!
+//! The simplest portable raster format — used by the examples to dump
+//! decoded/resized artifacts for visual inspection without adding an
+//! external image dependency.
+
+use crate::{Image, PixelFormat, TensorError};
+
+/// Errors from PNM parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PnmError {
+    /// The data does not start with a supported magic (`P5`/`P6`).
+    BadMagic,
+    /// Header fields are missing or malformed.
+    BadHeader(&'static str),
+    /// The pixel payload is shorter than the header promises.
+    Truncated,
+    /// The parsed dimensions were invalid.
+    BadImage(TensorError),
+}
+
+impl std::fmt::Display for PnmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PnmError::BadMagic => write!(f, "not a binary PPM/PGM (expected P5 or P6)"),
+            PnmError::BadHeader(what) => write!(f, "malformed PNM header: {what}"),
+            PnmError::Truncated => write!(f, "PNM pixel data truncated"),
+            PnmError::BadImage(e) => write!(f, "invalid PNM dimensions: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PnmError {}
+
+/// Serializes an image as binary PPM (`P6`, RGB) or PGM (`P5`, gray).
+///
+/// # Examples
+///
+/// ```
+/// use vserve_tensor::{pnm, Image};
+///
+/// let img = Image::gradient(8, 4);
+/// let bytes = pnm::to_pnm(&img);
+/// let back = pnm::from_pnm(&bytes)?;
+/// assert_eq!(back, img);
+/// # Ok::<(), vserve_tensor::pnm::PnmError>(())
+/// ```
+pub fn to_pnm(img: &Image) -> Vec<u8> {
+    let magic = match img.format() {
+        PixelFormat::Gray8 => "P5",
+        PixelFormat::Rgb8 => "P6",
+    };
+    let header = format!("{magic}\n{} {}\n255\n", img.width(), img.height());
+    let mut out = header.into_bytes();
+    out.extend_from_slice(img.as_bytes());
+    out
+}
+
+/// Parses a binary PPM (`P6`) or PGM (`P5`) image.
+///
+/// Comment lines (`#`) in the header are supported.
+///
+/// # Errors
+///
+/// Returns a [`PnmError`] on unsupported magic, malformed header fields,
+/// or truncated pixel data.
+pub fn from_pnm(data: &[u8]) -> Result<Image, PnmError> {
+    let format = match data.get(..2) {
+        Some(b"P5") => PixelFormat::Gray8,
+        Some(b"P6") => PixelFormat::Rgb8,
+        _ => return Err(PnmError::BadMagic),
+    };
+    let mut pos = 2usize;
+    let mut fields = [0usize; 3];
+    for field in &mut fields {
+        // Skip whitespace and comments.
+        loop {
+            match data.get(pos) {
+                Some(b) if b.is_ascii_whitespace() => pos += 1,
+                Some(b'#') => {
+                    while data.get(pos).is_some_and(|&b| b != b'\n') {
+                        pos += 1;
+                    }
+                }
+                Some(_) => break,
+                None => return Err(PnmError::BadHeader("unexpected end of header")),
+            }
+        }
+        let start = pos;
+        while data.get(pos).is_some_and(|b| b.is_ascii_digit()) {
+            pos += 1;
+        }
+        if pos == start {
+            return Err(PnmError::BadHeader("expected a number"));
+        }
+        let text = std::str::from_utf8(&data[start..pos])
+            .map_err(|_| PnmError::BadHeader("non-ascii number"))?;
+        *field = text
+            .parse()
+            .map_err(|_| PnmError::BadHeader("number out of range"))?;
+    }
+    let [width, height, maxval] = fields;
+    if maxval != 255 {
+        return Err(PnmError::BadHeader("only maxval 255 supported"));
+    }
+    // Exactly one whitespace byte separates the header from pixel data.
+    if !data.get(pos).is_some_and(|b| b.is_ascii_whitespace()) {
+        return Err(PnmError::BadHeader("missing pixel-data separator"));
+    }
+    pos += 1;
+    let need = width * height * format.channels();
+    let pixels = data.get(pos..pos + need).ok_or(PnmError::Truncated)?;
+    Image::from_raw(width, height, format, pixels.to_vec()).map_err(PnmError::BadImage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rgb_round_trip() {
+        let img = Image::noise(13, 7, 5);
+        assert_eq!(from_pnm(&to_pnm(&img)).unwrap(), img);
+    }
+
+    #[test]
+    fn gray_round_trip() {
+        let img = Image::gradient(9, 11).to_gray();
+        let bytes = to_pnm(&img);
+        assert!(bytes.starts_with(b"P5"));
+        assert_eq!(from_pnm(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn header_comments_skipped() {
+        let data = b"P5\n# a comment\n2 1\n255\n\x01\x02";
+        let img = from_pnm(data).unwrap();
+        assert_eq!(img.pixel(0, 0)[0], 1);
+        assert_eq!(img.pixel(1, 0)[0], 2);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(from_pnm(b"P3\n1 1\n255\n").unwrap_err(), PnmError::BadMagic);
+        assert_eq!(
+            from_pnm(b"P6\n2 2\n255\n\x00").unwrap_err(),
+            PnmError::Truncated
+        );
+        assert!(matches!(
+            from_pnm(b"P6\n2 2\n65535\n"),
+            Err(PnmError::BadHeader(_))
+        ));
+        assert!(matches!(from_pnm(b"P6\nx"), Err(PnmError::BadHeader(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_images_round_trip(w in 1usize..24, h in 1usize..24, seed in any::<u64>()) {
+            let img = Image::noise(w, h, seed);
+            prop_assert_eq!(from_pnm(&to_pnm(&img)).unwrap(), img);
+        }
+
+        #[test]
+        fn parser_never_panics(data in prop::collection::vec(any::<u8>(), 0..256)) {
+            let _ = from_pnm(&data);
+        }
+    }
+}

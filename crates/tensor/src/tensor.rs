@@ -1,0 +1,251 @@
+//! Dense `f32` N-dimensional arrays.
+
+use crate::TensorError;
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// DNN activations in this suite use NCHW layout: `[batch, channels,
+/// height, width]`. The type is deliberately minimal — the compute kernels
+/// live in `vserve-dnn`.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_tensor::Tensor;
+///
+/// let mut t = Tensor::zeros(&[2, 3]);
+/// t[(&[1, 2])] = 5.0;
+/// assert_eq!(t[(&[1, 2])], 5.0);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or contains a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "shape must have at least one dimension");
+        assert!(
+            shape.iter().all(|&d| d > 0),
+            "shape dimensions must be non-zero"
+        );
+        let len = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Wraps a buffer with the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::SizeMismatch`] when lengths disagree, or
+    /// [`TensorError::EmptyDimension`] for degenerate shapes.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Result<Self, TensorError> {
+        if shape.is_empty() || shape.contains(&0) {
+            return Err(TensorError::EmptyDimension);
+        }
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::SizeMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true for valid tensors).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the flat element buffer (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the flat element buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Flat offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn flat_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
+        let mut off = 0;
+        for (i, (&x, &d)) in idx.iter().zip(&self.shape).enumerate() {
+            assert!(x < d, "index {x} out of range for dimension {i} (size {d})");
+            off = off * d + x;
+        }
+        off
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::SizeMismatch`] if the element counts differ.
+    pub fn reshape(mut self, shape: &[usize]) -> Result<Self, TensorError> {
+        if shape.is_empty() || shape.contains(&0) {
+            return Err(TensorError::EmptyDimension);
+        }
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(TensorError::SizeMismatch {
+                expected,
+                actual: self.data.len(),
+            });
+        }
+        self.shape = shape.to_vec();
+        Ok(self)
+    }
+
+    /// Fills the tensor with a constant.
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: FnMut(f32) -> f32>(&mut self, mut f: F) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Index of the maximum element in the flat buffer (first on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty (cannot happen for valid tensors).
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b).then(std::cmp::Ordering::Greater))
+            .map(|(i, _)| i)
+            .expect("tensor is never empty")
+    }
+}
+
+impl std::ops::Index<&[usize]> for Tensor {
+    type Output = f32;
+    fn index(&self, idx: &[usize]) -> &f32 {
+        &self.data[self.flat_index(idx)]
+    }
+}
+
+impl std::ops::IndexMut<&[usize]> for Tensor {
+    fn index_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        let i = self.flat_index(idx);
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.rank(), 3);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape dimensions must be non-zero")]
+    fn zeros_rejects_zero_dim() {
+        let _ = Tensor::zeros(&[2, 0]);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor::from_vec(&[2, 2], vec![0.0; 4]).is_ok());
+        assert_eq!(
+            Tensor::from_vec(&[2, 2], vec![0.0; 5]).unwrap_err(),
+            TensorError::SizeMismatch {
+                expected: 4,
+                actual: 5
+            }
+        );
+        assert_eq!(
+            Tensor::from_vec(&[], vec![]).unwrap_err(),
+            TensorError::EmptyDimension
+        );
+    }
+
+    #[test]
+    fn row_major_indexing() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|x| x as f32).collect()).unwrap();
+        assert_eq!(t[&[0, 0][..]], 0.0);
+        assert_eq!(t[&[0, 2][..]], 2.0);
+        assert_eq!(t[&[1, 0][..]], 3.0);
+        assert_eq!(t[&[1, 2][..]], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_index_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t[&[0, 2][..]];
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|x| x as f32).collect()).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r[&[2, 1][..]], 5.0);
+        assert!(r.clone().reshape(&[7]).is_err());
+    }
+
+    #[test]
+    fn argmax_first_max() {
+        let t = Tensor::from_vec(&[4], vec![1.0, 9.0, 9.0, 2.0]).unwrap();
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn map_inplace_applies() {
+        let mut t = Tensor::from_vec(&[2], vec![1.0, -2.0]).unwrap();
+        t.map_inplace(|x| x * 2.0);
+        assert_eq!(t.as_slice(), &[2.0, -4.0]);
+    }
+}

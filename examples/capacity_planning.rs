@@ -1,0 +1,104 @@
+//! Capacity planning with the serving model: a practical use of the
+//! paper's findings.
+//!
+//! Given a target workload (requests/second at a latency SLO), how many
+//! server nodes do we need — and is it cheaper to add GPUs or to fix
+//! preprocessing? This example sweeps node shapes with the calibrated
+//! model and prints a recommendation table, exercising the multi-GPU
+//! scaling result (Fig 9): for large-image workloads, extra GPUs buy
+//! almost nothing because preprocessing is the bottleneck.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use vserve::prelude::*;
+
+struct NodeShape {
+    label: &'static str,
+    gpus: usize,
+    config: ServerConfig,
+}
+
+fn node_capacity(shape: &NodeShape, img: ImageSpec, slo_p99_ms: f64) -> (f64, usize) {
+    // Find the highest concurrency whose p99 stays inside the SLO, then
+    // report the throughput there (the paper's §4.3 operating-point hunt).
+    let mut best = (0.0f64, 0usize);
+    for concurrency in [16usize, 32, 64, 128, 256, 512] {
+        let r = Experiment {
+            node: NodeConfig::with_gpus(shape.gpus),
+            config: shape.config.clone(),
+            model: ModelProfile::vit_base(),
+            mix: ImageMix::fixed(img),
+            concurrency: concurrency * shape.gpus,
+            warmup_s: 0.5,
+            measure_s: 1.5,
+            seed: 99,
+        }
+        .run();
+        if r.latency.p99 * 1e3 <= slo_p99_ms && r.throughput > best.0 {
+            best = (r.throughput, concurrency * shape.gpus);
+        }
+    }
+    best
+}
+
+fn main() {
+    let target_rps = 20_000.0;
+    let slo_p99_ms = 150.0;
+
+    let shapes = [
+        NodeShape {
+            label: "1 GPU, GPU preprocessing",
+            gpus: 1,
+            config: ServerConfig::optimized(),
+        },
+        NodeShape {
+            label: "1 GPU, CPU preprocessing",
+            gpus: 1,
+            config: ServerConfig::optimized_cpu_preproc(),
+        },
+        NodeShape {
+            label: "2 GPUs, GPU preprocessing",
+            gpus: 2,
+            config: ServerConfig::optimized(),
+        },
+        NodeShape {
+            label: "4 GPUs, GPU preprocessing",
+            gpus: 4,
+            config: ServerConfig::optimized(),
+        },
+    ];
+
+    for (img_label, img) in [("medium", ImageSpec::medium()), ("large", ImageSpec::large())] {
+        println!(
+            "== workload: {target_rps:.0} img/s of {img_label} images, p99 <= {slo_p99_ms:.0} ms ==\n"
+        );
+        println!(
+            "{:<28} {:>12} {:>12} {:>8} {:>14}",
+            "node shape", "img/s @SLO", "clients", "nodes", "gpus total"
+        );
+        for shape in &shapes {
+            let (capacity, clients) = node_capacity(shape, img, slo_p99_ms);
+            if capacity <= 0.0 {
+                println!("{:<28} {:>12} (cannot meet SLO)", shape.label, "-");
+                continue;
+            }
+            let nodes = (target_rps / capacity).ceil() as usize;
+            println!(
+                "{:<28} {:>12.0} {:>12} {:>8} {:>14}",
+                shape.label,
+                capacity,
+                clients,
+                nodes,
+                nodes * shape.gpus
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "For medium images, GPUs scale almost linearly, so bigger nodes cut\n\
+         node count. For large images, preprocessing is the bottleneck\n\
+         (Fig 9): the 4-GPU node barely outperforms the 2-GPU node, so\n\
+         provisioning more GPUs per node wastes accelerators."
+    );
+}

@@ -1,0 +1,102 @@
+//! The §4.7 multi-DNN face pipeline, two ways.
+//!
+//! Part 1 runs the calibrated discrete-event model across all three
+//! couplings (Kafka-like, Redis-like, fused) and prints the Fig 11
+//! comparison. Part 2 wires the *real* brokers from `vserve-broker`
+//! (an fsync'ing disk log vs. an in-memory topic) between two real
+//! `LiveServer` stages and measures actual hand-off costs on this host.
+//!
+//! Run with: `cargo run --release --example face_pipeline`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vserve::prelude::*;
+use vserve_broker::{Broker, FsyncPolicy, LogBroker, MemBroker};
+use vserve_dnn::{models, Model};
+use vserve_server::live::{LiveOptions, LiveServer};
+use vserve_workload::synthetic_jpeg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Part 1: calibrated pipeline model (Fig 11) ==\n");
+    let node = NodeConfig::paper_testbed();
+    for faces in [2u64, 9, 25] {
+        println!("faces/frame = {faces}");
+        for broker in [BrokerKind::KafkaLike, BrokerKind::RedisLike, BrokerKind::Fused] {
+            let report = PipelineExperiment {
+                node,
+                broker,
+                faces: FacesPerFrame::fixed(faces),
+                concurrency: 64,
+                warmup_s: 0.5,
+                measure_s: 2.0,
+                seed: 7,
+            }
+            .run();
+            println!("  {}", report.to_row());
+        }
+        println!();
+    }
+
+    println!("== Part 2: real brokers between two real model stages ==\n");
+    // Stage 1: a detector-shaped CNN; stage 2: an identifier-shaped CNN.
+    let detector = LiveServer::start(
+        Model::from_graph(models::micro_cnn(64, 4)?, 1),
+        LiveOptions {
+            input_side: 64,
+            ..LiveOptions::default()
+        },
+    );
+    let identifier = LiveServer::start(
+        Model::from_graph(models::micro_cnn(32, 16)?, 2),
+        LiveOptions {
+            input_side: 32,
+            ..LiveOptions::default()
+        },
+    );
+
+    let dir = std::env::temp_dir().join(format!("vserve-face-pipeline-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let disk: Arc<dyn Broker> = Arc::new(LogBroker::open(&dir, FsyncPolicy::PerMessage)?);
+    let mem: Arc<dyn Broker> = Arc::new(MemBroker::new());
+
+    let frame = synthetic_jpeg(&ImageSpec::new(320, 240, 0), 3);
+    let crop = synthetic_jpeg(&ImageSpec::new(64, 64, 0), 4);
+    let faces_per_frame = 5usize;
+    let frames = 20usize;
+
+    for (name, broker) in [("disk log (fsync/msg)", &disk), ("in-memory", &mem)] {
+        let start = Instant::now();
+        let mut broker_time = Duration::ZERO;
+        for _ in 0..frames {
+            // Stage 1: detect on the frame.
+            let _ = detector.infer(frame.clone())?;
+            // Publish each detected face crop.
+            let t0 = Instant::now();
+            for _ in 0..faces_per_frame {
+                broker.publish("faces", &crop)?;
+            }
+            broker_time += t0.elapsed();
+            // Stage 2: drain and identify.
+            let t1 = Instant::now();
+            let msgs = broker.fetch("faces", "identify", faces_per_frame)?;
+            broker_time += t1.elapsed();
+            for m in msgs {
+                let _ = identifier.infer(m.to_vec())?;
+            }
+        }
+        let total = start.elapsed();
+        println!(
+            "{name:>22}: {frames} frames x {faces_per_frame} faces in {total:>8.2?}  (broker ops: {broker_time:>8.2?}, {:4.1}%)",
+            broker_time.as_secs_f64() / total.as_secs_f64() * 100.0
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    println!(
+        "\nSame conclusion as the paper at any scale: a durable disk broker\n\
+         charges orders of magnitude more per hand-off than shared memory,\n\
+         and whether you need a broker at all depends on the rate mismatch."
+    );
+    Ok(())
+}

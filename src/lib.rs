@@ -1,0 +1,1 @@
+//! vserve-suite: workspace-level examples and integration tests live here.

@@ -1,0 +1,91 @@
+//! Codec ↔ tensor ↔ DNN integration: the preprocessing chain the paper
+//! measures, executed for real and checked for functional correctness.
+
+use vserve_codec::{decode, encode, psnr, EncodeOptions, Subsampling};
+use vserve_dnn::{models, Model};
+use vserve_tensor::{ops, Image};
+
+/// Encode → decode → preprocess → classify: classification is stable
+/// under the JPEG round trip at high quality (the model can't tell the
+/// difference), which is the correctness contract behind serving
+/// compressed uploads at all.
+#[test]
+fn classification_stable_under_jpeg_round_trip() {
+    let side = 32;
+    let model = Model::from_graph(models::micro_cnn(side, 10).expect("graph"), 77);
+
+    let original = Image::gradient(128, 96);
+    let jpeg = encode(
+        &original,
+        &EncodeOptions {
+            quality: 95,
+            subsampling: Subsampling::S444,
+            ..EncodeOptions::default()
+        },
+    );
+    let decoded = decode(&jpeg).expect("decode");
+    assert!(psnr(&original, &decoded) > 35.0);
+
+    let direct = model
+        .forward(&ops::standard_preprocess(&original, side))
+        .expect("forward direct");
+    let via_jpeg = model
+        .forward(&ops::standard_preprocess(&decoded, side))
+        .expect("forward via jpeg");
+
+    assert_eq!(direct.argmax(), via_jpeg.argmax(), "top class changed");
+    for (a, b) in direct.as_slice().iter().zip(via_jpeg.as_slice()) {
+        assert!((a - b).abs() < 0.05, "probability drifted: {a} vs {b}");
+    }
+}
+
+/// The preprocessing chain accepts every representative size the paper
+/// uses and always emits the DNN's fixed input shape.
+#[test]
+fn preprocess_normalizes_all_paper_sizes() {
+    for (w, h) in [(60, 70), (500, 375), (1024, 768)] {
+        let img = Image::noise(w, h, 42);
+        let t = ops::standard_preprocess(&img, 224);
+        assert_eq!(t.shape(), &[1, 3, 224, 224]);
+        // Normalized values stay in a plausible standardized range.
+        for &v in t.as_slice() {
+            assert!((-3.0..=3.0).contains(&v), "value {v} out of range");
+        }
+    }
+}
+
+/// Decoding is robust across encoder settings: every (quality,
+/// subsampling) cell round-trips and better settings never look worse.
+#[test]
+fn codec_quality_grid() {
+    let img = Image::gradient(80, 60);
+    let mut prev_psnr = 0.0;
+    for quality in [30u8, 60, 90] {
+        let opts = EncodeOptions {
+            quality,
+            subsampling: Subsampling::S444,
+            ..EncodeOptions::default()
+        };
+        let back = decode(&encode(&img, &opts)).expect("decode");
+        let p = psnr(&img, &back);
+        assert!(
+            p >= prev_psnr - 0.5,
+            "psnr regressed at q{quality}: {p:.1} < {prev_psnr:.1}"
+        );
+        prev_psnr = p;
+    }
+    assert!(prev_psnr > 35.0, "q90 psnr {prev_psnr:.1}");
+}
+
+/// FLOPs accounting is consistent between the zoo and the dnn graphs it
+/// is built from (no drift between the table and the architectures).
+#[test]
+fn zoo_flops_trace_to_graphs() {
+    let zoo = vserve::zoo::build();
+    let vit_b = zoo.iter().find(|e| e.name == "vit-base-16").expect("vit-base in zoo");
+    let graph = models::vit_base(224).expect("graph");
+    assert_eq!(vit_b.gflops, graph.flops() as f64 / 1e9);
+    let r50 = zoo.iter().find(|e| e.name == "resnet-50").expect("resnet-50 in zoo");
+    let graph = models::resnet50(224, 1000).expect("graph");
+    assert_eq!(r50.gflops, graph.flops() as f64 / 1e9);
+}

@@ -1,0 +1,195 @@
+//! Cross-crate integration tests asserting the paper's qualitative
+//! results hold end-to-end through the public API, at reduced scale.
+
+use vserve::prelude::*;
+
+fn base(config: ServerConfig, img: ImageSpec, concurrency: usize) -> Experiment {
+    Experiment {
+        node: NodeConfig::paper_testbed(),
+        config,
+        model: ModelProfile::vit_base(),
+        mix: ImageMix::fixed(img),
+        concurrency,
+        warmup_s: 0.3,
+        measure_s: 1.0,
+        seed: 1234,
+    }
+}
+
+/// §4.2 / Fig 6: preprocessing's share of zero-load latency grows with
+/// image size, for both preprocessing locations.
+#[test]
+fn preproc_share_grows_with_image_size() {
+    for config in [ServerConfig::optimized(), ServerConfig::optimized_cpu_preproc()] {
+        let shares: Vec<f64> = [ImageSpec::small(), ImageSpec::medium(), ImageSpec::large()]
+            .into_iter()
+            .map(|img| base(config.clone(), img, 1).zero_load().preproc_share())
+            .collect();
+        assert!(
+            shares[0] < shares[1] && shares[1] < shares[2],
+            "shares not monotone: {shares:?} ({config:?})"
+        );
+        assert!(shares[2] > 0.6, "large-image share {:.2}", shares[2]);
+    }
+}
+
+/// §4.1 / Fig 4: the inference share of latency increases with model
+/// FLOPs; sub-5-GFLOP models are dominated by overheads.
+#[test]
+fn inference_share_increases_with_flops() {
+    let mut shares = Vec::new();
+    for model in [
+        ModelProfile::tiny_vit(),
+        ModelProfile::resnet50(),
+        ModelProfile::vit_base(),
+    ] {
+        let r = Experiment {
+            model,
+            ..base(ServerConfig::optimized(), ImageSpec::medium(), 96)
+        }
+        .run();
+        shares.push(r.inference_share());
+    }
+    assert!(
+        shares[0] < shares[1] && shares[1] < shares[2],
+        "shares {shares:?}"
+    );
+    // TinyViT (1.3 GFLOPs) is overhead-dominated.
+    assert!(shares[0] < 0.5, "tinyvit inference share {:.2}", shares[0]);
+}
+
+/// §4.3 / Fig 5: queueing time dominates round-trip latency at high
+/// concurrency.
+#[test]
+fn queueing_dominates_at_high_concurrency() {
+    let r = base(ServerConfig::optimized(), ImageSpec::medium(), 1024).run();
+    assert!(
+        r.queue_share() > 0.6,
+        "queue share {:.2} at concurrency 1024",
+        r.queue_share()
+    );
+}
+
+/// §4.4 / Fig 7: for a small model, end-to-end (compressed upload) beats
+/// inference-only (raw tensor upload) because of the transfer gap.
+#[test]
+fn small_model_e2e_beats_inference_only() {
+    let e2e = Experiment {
+        model: ModelProfile::tiny_vit(),
+        ..base(ServerConfig::optimized(), ImageSpec::medium(), 192)
+    }
+    .run();
+    let inf_only = Experiment {
+        model: ModelProfile::tiny_vit(),
+        ..base(
+            ServerConfig::optimized().with_stage_mode(StageMode::InferenceOnly),
+            ImageSpec::medium(),
+            192,
+        )
+    }
+    .run();
+    assert!(
+        e2e.throughput > inf_only.throughput,
+        "e2e {:.0} vs inference-only {:.0}",
+        e2e.throughput,
+        inf_only.throughput
+    );
+}
+
+/// §4.6 / Fig 9: adding GPUs helps medium-image serving far more than
+/// large-image serving (preprocessing bound).
+#[test]
+fn multi_gpu_helps_medium_not_large() {
+    let run = |img: ImageSpec, gpus: usize| {
+        Experiment {
+            node: NodeConfig::with_gpus(gpus),
+            concurrency: 192 * gpus,
+            ..base(ServerConfig::optimized(), img, 0)
+        }
+        .run()
+        .throughput
+    };
+    let medium_scale = run(ImageSpec::medium(), 4) / run(ImageSpec::medium(), 1);
+    let large_scale = run(ImageSpec::large(), 4) / run(ImageSpec::large(), 1);
+    assert!(medium_scale > 3.0, "medium 4-GPU scaling {medium_scale:.2}");
+    assert!(large_scale < 3.0, "large 4-GPU scaling {large_scale:.2}");
+    assert!(medium_scale > large_scale);
+}
+
+/// §4.5 / Fig 8: CPU preprocessing burns more total energy per image for
+/// the paper's primary model.
+#[test]
+fn cpu_preproc_energy_cost() {
+    let cpu = base(ServerConfig::optimized_cpu_preproc(), ImageSpec::medium(), 96).run();
+    let gpu = base(ServerConfig::optimized(), ImageSpec::medium(), 96).run();
+    assert!(
+        cpu.energy.total_j_per_image() > gpu.energy.total_j_per_image(),
+        "cpu {:.3} vs gpu {:.3} J/img",
+        cpu.energy.total_j_per_image(),
+        gpu.energy.total_j_per_image()
+    );
+}
+
+/// §4.7 / Fig 11: the three headline broker results.
+#[test]
+fn broker_results_reproduce() {
+    let node = NodeConfig::paper_testbed();
+    let run = |broker: BrokerKind, k: u64, c: usize| {
+        PipelineExperiment {
+            node,
+            broker,
+            faces: FacesPerFrame::fixed(k),
+            concurrency: c,
+            warmup_s: 0.3,
+            measure_s: 1.0,
+            seed: 5,
+        }
+        .run()
+    };
+    // Redis-like beats Kafka-like by roughly the paper's 2.25x at 25 faces.
+    let redis = run(BrokerKind::RedisLike, 25, 64);
+    let kafka = run(BrokerKind::KafkaLike, 25, 64);
+    let ratio = redis.frame_throughput / kafka.frame_throughput;
+    assert!((1.7..3.2).contains(&ratio), "redis/kafka {ratio:.2}");
+    // Fused wins at 2 faces, loses at 25.
+    let fused_small = run(BrokerKind::Fused, 2, 64);
+    let redis_small = run(BrokerKind::RedisLike, 2, 64);
+    assert!(fused_small.frame_throughput > redis_small.frame_throughput);
+    let fused_big = run(BrokerKind::Fused, 25, 64);
+    assert!(redis.frame_throughput > fused_big.frame_throughput);
+}
+
+/// The model zoo spans the Fig 4 range and its FLOPs come from real graph
+/// definitions that match published numbers.
+#[test]
+fn zoo_is_published_accurate() {
+    let zoo = vserve::zoo::build();
+    assert!(zoo.len() >= 18);
+    for e in &zoo {
+        if let Some(p) = e.published_gflops {
+            assert!(
+                (e.gflops - p).abs() / p < 0.15,
+                "{}: {:.2} vs {:.2}",
+                e.name,
+                e.gflops,
+                p
+            );
+        }
+    }
+}
+
+/// Experiments are bit-reproducible across runs with equal seeds and
+/// diverge across seeds.
+#[test]
+fn determinism_and_seed_sensitivity() {
+    let a = base(ServerConfig::optimized(), ImageSpec::medium(), 64).run();
+    let b = base(ServerConfig::optimized(), ImageSpec::medium(), 64).run();
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.completed, b.completed);
+    let c = Experiment {
+        seed: 4321,
+        ..base(ServerConfig::optimized(), ImageSpec::medium(), 64)
+    }
+    .run();
+    assert_ne!(a.latency, c.latency);
+}
