@@ -9,10 +9,18 @@ use crate::graph::{Graph, NodeId, Op, Shape};
 use crate::kernels;
 use crate::DnnError;
 
-/// A runtime activation: a flat buffer plus its logical shape.
+/// A runtime activation: a flat buffer holding `n` items of the logical
+/// per-item shape, stored item-major (item 0's elements, then item 1's…).
+///
+/// Carrying the batch count here is what lets every graph node execute
+/// once per *batch* instead of once per image: row-wise kernels (linear,
+/// layer norm, softmax, MLP) simply see `n × rows` rows, convolutions go
+/// through the batched im2col path, and the remaining spatial ops iterate
+/// over item chunks inside a single node evaluation.
 #[derive(Debug, Clone)]
 struct Activation {
     shape: Shape,
+    n: usize,
     data: Vec<f32>,
 }
 
@@ -128,7 +136,66 @@ impl Model {
     /// graph's input shape.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, DnnError> {
         let expected = self.graph.shape(self.graph.input());
-        let act = tensor_to_activation(input, expected)?;
+        let act = tensor_to_activation(input, expected, Some(1))?;
+        Ok(activation_to_tensor(self.run(act)?))
+    }
+
+    /// Runs the model on an NCHW batch tensor (`[N, …]` leading dimension).
+    ///
+    /// Every graph layer executes **once for the whole batch**: row-wise
+    /// kernels see `N × rows` rows, convolutions use a batched im2col with
+    /// a single GEMM. Output carries the same leading `N`. Results are
+    /// bit-identical to calling [`forward`](Self::forward) per item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] if the tensor (ignoring its
+    /// leading batch dimension) does not match the graph's input shape.
+    pub fn forward_batched(&self, batch: &Tensor) -> Result<Tensor, DnnError> {
+        let expected = self.graph.shape(self.graph.input());
+        let act = tensor_to_activation(batch, expected, None)?;
+        Ok(activation_to_tensor(self.run(act)?))
+    }
+
+    /// Stacks batch-1 tensors, runs [`forward_batched`](Self::forward_batched)
+    /// once, and splits the outputs back per item.
+    ///
+    /// This is the entry point a dynamic batcher wants: N assembled
+    /// requests become **one** inference call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] if the items disagree on shape
+    /// or do not match the graph input.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vserve_dnn::graph::{Graph, Op, Shape};
+    /// use vserve_dnn::Model;
+    /// use vserve_tensor::Tensor;
+    ///
+    /// # fn main() -> Result<(), vserve_dnn::DnnError> {
+    /// let mut g = Graph::new(Shape::Vec(8));
+    /// g.push(Op::Linear { out: 4 }, &[g.input()])?;
+    /// let model = Model::from_graph(g, 42);
+    /// let a = Tensor::zeros(&[1, 8]);
+    /// let b = Tensor::zeros(&[1, 8]);
+    /// let outs = model.forward_batch(&[&a, &b])?;
+    /// assert_eq!(outs.len(), 2);
+    /// assert_eq!(outs[0].shape(), &[1, 4]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn forward_batch(&self, inputs: &[&Tensor]) -> Result<Vec<Tensor>, DnnError> {
+        let stacked = Tensor::stack(inputs).map_err(|e| DnnError::ShapeMismatch {
+            op: "batch",
+            detail: e.to_string(),
+        })?;
+        Ok(self.forward_batched(&stacked)?.unstack())
+    }
+
+    fn run(&self, act: Activation) -> Result<Activation, DnnError> {
         let mut values: Vec<Option<Activation>> = vec![None; self.graph.nodes().len()];
         values[0] = Some(act);
         for (i, node) in self.graph.nodes().iter().enumerate().skip(1) {
@@ -140,10 +207,9 @@ impl Model {
             let out = self.eval(i, &node.op, &node.shape, &inputs)?;
             values[i] = Some(out);
         }
-        let out = values[self.graph.output().0]
+        Ok(values[self.graph.output().0]
             .take()
-            .expect("output evaluated");
-        Ok(activation_to_tensor(out))
+            .expect("output evaluated"))
     }
 
     fn eval(
@@ -154,32 +220,37 @@ impl Model {
         inputs: &[&Activation],
     ) -> Result<Activation, DnnError> {
         let w = &self.weights[node];
-        let x = inputs
-            .first()
-            .ok_or_else(|| DnnError::ShapeMismatch {
-                op: op.name(),
-                detail: "missing runtime input".into(),
-            })?;
+        let x = inputs.first().ok_or_else(|| DnnError::ShapeMismatch {
+            op: op.name(),
+            detail: "missing runtime input".into(),
+        })?;
+        let n = x.n;
         let data = match op {
             Op::Input(_) => x.data.clone(),
-            Op::Conv2d { out_c, k, stride, pad } => {
+            Op::Conv2d {
+                out_c,
+                k,
+                stride,
+                pad,
+            } => {
                 let Shape::Chw(in_c, h, wd) = x.shape else {
                     unreachable!("shape checked at build")
                 };
-                let (out, _, _) =
-                    kernels::conv2d(&x.data, &w[0], &w[1], in_c, h, wd, *out_c, *k, *stride, *pad);
-                out
+                kernels::conv2d_batch(
+                    &x.data, n, &w[0], &w[1], in_c, h, wd, *out_c, *k, *stride, *pad,
+                )
+                .0
             }
             Op::Linear { out } => {
                 let (rows, d) = rows_dim(&x.shape);
-                let mut y = vec![0.0; rows * out];
-                kernels::linear(&x.data, &w[0], &w[1], &mut y, rows, d, *out);
+                let mut y = vec![0.0; n * rows * out];
+                kernels::linear(&x.data, &w[0], &w[1], &mut y, n * rows, d, *out);
                 y
             }
             Op::LayerNorm => {
                 let (rows, d) = rows_dim(&x.shape);
                 let mut y = x.data.clone();
-                kernels::layer_norm(&mut y, rows, d, &w[0], &w[1]);
+                kernels::layer_norm(&mut y, n * rows, d, &w[0], &w[1]);
                 y
             }
             Op::BatchNorm => {
@@ -187,7 +258,9 @@ impl Model {
                     unreachable!("shape checked at build")
                 };
                 let mut y = x.data.clone();
-                kernels::batch_norm(&mut y, c, h * wd, &w[0], &w[1]);
+                for item in y.chunks_mut(c * h * wd) {
+                    kernels::batch_norm(item, c, h * wd, &w[0], &w[1]);
+                }
                 y
             }
             Op::Relu => {
@@ -204,13 +277,21 @@ impl Model {
                 let Shape::Chw(c, h, wd) = x.shape else {
                     unreachable!("shape checked at build")
                 };
-                kernels::max_pool2d(&x.data, c, h, wd, *k, *stride).0
+                let mut y = Vec::new();
+                for item in x.data.chunks(c * h * wd) {
+                    y.extend(kernels::max_pool2d(item, c, h, wd, *k, *stride).0);
+                }
+                y
             }
             Op::GlobalAvgPool => {
                 let Shape::Chw(c, h, wd) = x.shape else {
                     unreachable!("shape checked at build")
                 };
-                kernels::global_avg_pool(&x.data, c, h * wd)
+                let mut y = Vec::with_capacity(n * c);
+                for item in x.data.chunks(c * h * wd) {
+                    y.extend(kernels::global_avg_pool(item, c, h * wd));
+                }
+                y
             }
             Op::Patchify { patch, embed } => {
                 let Shape::Chw(c, h, wd) = x.shape else {
@@ -219,48 +300,57 @@ impl Model {
                 let (ph, pw) = (h / patch, wd / patch);
                 let l = ph * pw + 1;
                 let fan = c * patch * patch;
-                // Gather patches into rows, then project.
-                let mut patches = vec![0.0; (l - 1) * fan];
-                for py in 0..ph {
-                    for px in 0..pw {
-                        let row = py * pw + px;
-                        for ch in 0..c {
-                            for dy in 0..*patch {
-                                for dx in 0..*patch {
-                                    patches[row * fan + (ch * patch + dy) * patch + dx] = x.data
-                                        [(ch * h + py * patch + dy) * wd + px * patch + dx];
+                let mut y = Vec::with_capacity(n * l * embed);
+                for item in x.data.chunks(c * h * wd) {
+                    // Gather patches into rows, then project.
+                    let mut patches = vec![0.0; (l - 1) * fan];
+                    for py in 0..ph {
+                        for px in 0..pw {
+                            let row = py * pw + px;
+                            for ch in 0..c {
+                                for dy in 0..*patch {
+                                    for dx in 0..*patch {
+                                        patches[row * fan + (ch * patch + dy) * patch + dx] =
+                                            item[(ch * h + py * patch + dy) * wd + px * patch + dx];
+                                    }
                                 }
                             }
                         }
                     }
+                    let mut tokens = vec![0.0; l * embed];
+                    // class token first
+                    tokens[..*embed].copy_from_slice(&w[2]);
+                    let mut projected = vec![0.0; (l - 1) * embed];
+                    kernels::linear(&patches, &w[0], &w[1], &mut projected, l - 1, fan, *embed);
+                    tokens[*embed..].copy_from_slice(&projected);
+                    // positional embeddings
+                    for (t, p) in tokens.iter_mut().zip(&w[3]) {
+                        *t += p;
+                    }
+                    y.extend(tokens);
                 }
-                let mut tokens = vec![0.0; l * embed];
-                // class token first
-                tokens[..*embed].copy_from_slice(&w[2]);
-                let mut projected = vec![0.0; (l - 1) * embed];
-                kernels::linear(&patches, &w[0], &w[1], &mut projected, l - 1, fan, *embed);
-                tokens[*embed..].copy_from_slice(&projected);
-                // positional embeddings
-                for (t, p) in tokens.iter_mut().zip(&w[3]) {
-                    *t += p;
-                }
-                tokens
+                y
             }
             Op::MultiHeadAttention { heads } => {
                 let Shape::Tokens(l, d) = x.shape else {
                     unreachable!("shape checked at build")
                 };
-                attention(&x.data, l, d, *heads, &w[0], &w[1], &w[2], &w[3])
+                let mut y = Vec::with_capacity(n * l * d);
+                for item in x.data.chunks(l * d) {
+                    y.extend(attention(item, l, d, *heads, &w[0], &w[1], &w[2], &w[3]));
+                }
+                y
             }
             Op::Mlp { hidden } => {
                 let Shape::Tokens(l, d) = x.shape else {
                     unreachable!("shape checked at build")
                 };
-                let mut h1 = vec![0.0; l * hidden];
-                kernels::linear(&x.data, &w[0], &w[1], &mut h1, l, d, *hidden);
+                let rows = n * l;
+                let mut h1 = vec![0.0; rows * hidden];
+                kernels::linear(&x.data, &w[0], &w[1], &mut h1, rows, d, *hidden);
                 kernels::gelu(&mut h1);
-                let mut out = vec![0.0; l * d];
-                kernels::linear(&h1, &w[2], &w[3], &mut out, l, *hidden, d);
+                let mut out = vec![0.0; rows * d];
+                kernels::linear(&h1, &w[2], &w[3], &mut out, rows, *hidden, d);
                 out
             }
             Op::Add => {
@@ -268,20 +358,26 @@ impl Model {
                 x.data.iter().zip(&b.data).map(|(a, b)| a + b).collect()
             }
             Op::TakeToken { index } => {
-                let Shape::Tokens(_, d) = x.shape else {
+                let Shape::Tokens(l, d) = x.shape else {
                     unreachable!("shape checked at build")
                 };
-                x.data[index * d..(index + 1) * d].to_vec()
+                let mut y = Vec::with_capacity(n * d);
+                for item in x.data.chunks(l * d) {
+                    y.extend_from_slice(&item[index * d..(index + 1) * d]);
+                }
+                y
             }
             Op::Softmax => {
                 let (rows, d) = rows_dim(&x.shape);
                 let mut y = x.data.clone();
-                kernels::softmax_rows(&mut y, rows, d);
+                kernels::softmax_rows(&mut y, n * rows, d);
                 y
             }
         };
+        debug_assert_eq!(data.len() % n, 0, "batched eval must produce whole items");
         Ok(Activation {
             shape: out_shape.clone(),
+            n,
             data,
         })
     }
@@ -350,30 +446,38 @@ fn attention(
     out
 }
 
-fn tensor_to_activation(t: &Tensor, expected: &Shape) -> Result<Activation, DnnError> {
-    let ok = match (t.shape(), expected) {
-        ([1, c, h, w], Shape::Chw(ec, eh, ew)) => c == ec && h == eh && w == ew,
-        ([1, d], Shape::Vec(ed)) => d == ed,
-        ([1, l, d], Shape::Tokens(el, ed)) => l == el && d == ed,
-        _ => false,
+fn tensor_to_activation(
+    t: &Tensor,
+    expected: &Shape,
+    want_n: Option<usize>,
+) -> Result<Activation, DnnError> {
+    let (n, ok) = match (t.shape(), expected) {
+        ([n, c, h, w], Shape::Chw(ec, eh, ew)) => (*n, c == ec && h == eh && w == ew),
+        ([n, d], Shape::Vec(ed)) => (*n, d == ed),
+        ([n, l, d], Shape::Tokens(el, ed)) => (*n, l == el && d == ed),
+        _ => (0, false),
     };
-    if !ok {
+    if !ok || n == 0 || want_n.is_some_and(|w| n != w) {
         return Err(DnnError::ShapeMismatch {
             op: "input",
-            detail: format!("tensor {:?} does not match graph input {expected:?}", t.shape()),
+            detail: format!(
+                "tensor {:?} does not match graph input {expected:?}",
+                t.shape()
+            ),
         });
     }
     Ok(Activation {
         shape: expected.clone(),
+        n,
         data: t.as_slice().to_vec(),
     })
 }
 
 fn activation_to_tensor(a: Activation) -> Tensor {
     let shape: Vec<usize> = match a.shape {
-        Shape::Chw(c, h, w) => vec![1, c, h, w],
-        Shape::Tokens(l, d) => vec![1, l, d],
-        Shape::Vec(d) => vec![1, d],
+        Shape::Chw(c, h, w) => vec![a.n, c, h, w],
+        Shape::Tokens(l, d) => vec![a.n, l, d],
+        Shape::Vec(d) => vec![a.n, d],
     };
     Tensor::from_vec(&shape, a.data).expect("activation buffer matches its shape")
 }
@@ -386,7 +490,15 @@ mod tests {
     fn tiny_cnn() -> Graph {
         let mut g = Graph::new(Shape::Chw(3, 16, 16));
         let c1 = g
-            .push(Op::Conv2d { out_c: 4, k: 3, stride: 1, pad: 1 }, &[g.input()])
+            .push(
+                Op::Conv2d {
+                    out_c: 4,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                &[g.input()],
+            )
             .unwrap();
         let b1 = g.push(Op::BatchNorm, &[c1]).unwrap();
         let r1 = g.push(Op::Relu, &[b1]).unwrap();
@@ -399,7 +511,15 @@ mod tests {
 
     fn tiny_vit() -> Graph {
         let mut g = Graph::new(Shape::Chw(3, 16, 16));
-        let mut x = g.push(Op::Patchify { patch: 8, embed: 24 }, &[g.input()]).unwrap();
+        let mut x = g
+            .push(
+                Op::Patchify {
+                    patch: 8,
+                    embed: 24,
+                },
+                &[g.input()],
+            )
+            .unwrap();
         for _ in 0..2 {
             let n1 = g.push(Op::LayerNorm, &[x]).unwrap();
             let a = g.push(Op::MultiHeadAttention { heads: 4 }, &[n1]).unwrap();
@@ -454,6 +574,62 @@ mod tests {
         let model = Model::from_graph(tiny_cnn(), 1);
         let bad = Tensor::zeros(&[1, 3, 8, 8]);
         assert!(model.forward(&bad).is_err());
+    }
+
+    fn varied_input(i: usize) -> Tensor {
+        let mut t = Tensor::zeros(&[1, 3, 16, 16]);
+        for (j, v) in t.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i * 131 + j * 17) % 255) as f32 / 255.0;
+        }
+        t
+    }
+
+    #[test]
+    fn forward_batch_matches_per_item_cnn() {
+        let model = Model::from_graph(tiny_cnn(), 21);
+        let items: Vec<Tensor> = (0..4).map(varied_input).collect();
+        let refs: Vec<&Tensor> = items.iter().collect();
+        let batched = model.forward_batch(&refs).unwrap();
+        assert_eq!(batched.len(), 4);
+        for (item, out) in items.iter().zip(&batched) {
+            let solo = model.forward(item).unwrap();
+            // Batched im2col and row-blocked kernels keep per-element
+            // accumulation order, so outputs must match bit for bit.
+            assert_eq!(solo.as_slice(), out.as_slice());
+            assert_eq!(out.shape(), &[1, 10]);
+        }
+    }
+
+    #[test]
+    fn forward_batch_matches_per_item_vit() {
+        let model = Model::from_graph(tiny_vit(), 8);
+        let items: Vec<Tensor> = (0..3).map(varied_input).collect();
+        let refs: Vec<&Tensor> = items.iter().collect();
+        let batched = model.forward_batch(&refs).unwrap();
+        for (item, out) in items.iter().zip(&batched) {
+            let solo = model.forward(item).unwrap();
+            assert_eq!(solo.as_slice(), out.as_slice());
+        }
+    }
+
+    #[test]
+    fn forward_batched_keeps_leading_dim() {
+        let model = Model::from_graph(tiny_cnn(), 4);
+        let batch = Tensor::zeros(&[5, 3, 16, 16]);
+        let out = model.forward_batched(&batch).unwrap();
+        assert_eq!(out.shape(), &[5, 10]);
+        // Identical inputs must produce identical rows.
+        let rows: Vec<&[f32]> = out.as_slice().chunks(10).collect();
+        assert!(rows.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn forward_batch_rejects_mixed_shapes() {
+        let model = Model::from_graph(tiny_cnn(), 4);
+        let a = Tensor::zeros(&[1, 3, 16, 16]);
+        let b = Tensor::zeros(&[1, 3, 8, 8]);
+        assert!(model.forward_batch(&[&a, &b]).is_err());
+        assert!(model.forward_batch(&[]).is_err());
     }
 
     #[test]

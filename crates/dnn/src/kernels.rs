@@ -34,7 +34,15 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
 /// # Panics
 ///
 /// Panics on dimension mismatch.
-pub fn linear(x: &[f32], w: &[f32], bias: &[f32], y: &mut [f32], rows: usize, input: usize, output: usize) {
+pub fn linear(
+    x: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    y: &mut [f32],
+    rows: usize,
+    input: usize,
+    output: usize,
+) {
     assert_eq!(x.len(), rows * input, "x dimensions mismatch");
     assert_eq!(w.len(), output * input, "w dimensions mismatch");
     assert_eq!(bias.len(), output, "bias dimensions mismatch");
@@ -110,7 +118,11 @@ pub fn conv2d(
     pad: usize,
 ) -> (Vec<f32>, usize, usize) {
     assert_eq!(input.len(), in_c * h * w, "input dimensions mismatch");
-    assert_eq!(weight.len(), out_c * in_c * k * k, "weight dimensions mismatch");
+    assert_eq!(
+        weight.len(),
+        out_c * in_c * k * k,
+        "weight dimensions mismatch"
+    );
     assert_eq!(bias.len(), out_c, "bias dimensions mismatch");
     let mut cols = Vec::new();
     let (oh, ow) = im2col(input, in_c, h, w, k, stride, pad, &mut cols);
@@ -120,6 +132,88 @@ pub fn conv2d(
         let b = bias[o];
         for v in chunk {
             *v += b;
+        }
+    }
+    (out, oh, ow)
+}
+
+/// Batched 2-D convolution of `input (n×in_c×h×w)` with
+/// `weight (out_c×in_c×k×k)` and `bias (out_c)`, producing
+/// `(n×out_c×oh×ow)`.
+///
+/// The whole batch is unfolded into one im2col matrix whose columns are
+/// grouped by image, so a *single* GEMM covers every image — this is what
+/// makes dynamic batching pay off: the weight matrix streams through the
+/// cache once per batch instead of once per image. Per-element accumulation
+/// order matches [`conv2d`], so results are bit-identical to the per-image
+/// path.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_batch(
+    input: &[f32],
+    n: usize,
+    weight: &[f32],
+    bias: &[f32],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> (Vec<f32>, usize, usize) {
+    assert_eq!(input.len(), n * in_c * h * w, "input dimensions mismatch");
+    assert_eq!(
+        weight.len(),
+        out_c * in_c * k * k,
+        "weight dimensions mismatch"
+    );
+    assert_eq!(bias.len(), out_c, "bias dimensions mismatch");
+    let oh = (h + 2 * pad - k) / stride + 1;
+    let ow = (w + 2 * pad - k) / stride + 1;
+    let plane = oh * ow;
+    let ckk = in_c * k * k;
+    // Batched im2col: column index = img * plane + output pixel, so each
+    // GEMM output row holds the whole batch for one output channel.
+    let cols_n = n * plane;
+    let mut cols = vec![0.0; ckk * cols_n];
+    for img in 0..n {
+        let base = img * in_c * h * w;
+        for ch in 0..in_c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ch * k + ky) * k + kx;
+                    for oy in 0..oh {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        for ox in 0..ow {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                input[base + (ch * h + iy as usize) * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            cols[row * cols_n + img * plane + oy * ow + ox] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut prod = vec![0.0; out_c * cols_n];
+    gemm(weight, &cols, &mut prod, out_c, ckk, cols_n);
+    // Permute (out_c × n·plane) → (n × out_c × plane), adding bias.
+    let mut out = vec![0.0; n * out_c * plane];
+    for o in 0..out_c {
+        let b = bias[o];
+        for img in 0..n {
+            let src = &prod[o * cols_n + img * plane..o * cols_n + (img + 1) * plane];
+            let dst = &mut out[(img * out_c + o) * plane..(img * out_c + o + 1) * plane];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s + b;
+            }
         }
     }
     (out, oh, ow)
@@ -293,7 +387,15 @@ mod tests {
         let weight = vec![1.0, 0.0, 0.0, 1.0]; // picks (0,0)+(1,1)
         let (out, oh, ow) = conv2d(&input, &weight, &[0.5], 1, 3, 3, 1, 2, 1, 0);
         assert_eq!((oh, ow), (2, 2));
-        assert_eq!(out, vec![1.0 + 5.0 + 0.5, 2.0 + 6.0 + 0.5, 4.0 + 8.0 + 0.5, 5.0 + 9.0 + 0.5]);
+        assert_eq!(
+            out,
+            vec![
+                1.0 + 5.0 + 0.5,
+                2.0 + 6.0 + 0.5,
+                4.0 + 8.0 + 0.5,
+                5.0 + 9.0 + 0.5
+            ]
+        );
     }
 
     #[test]
@@ -303,6 +405,39 @@ mod tests {
         let (out, oh, ow) = conv2d(&input, &weight, &[0.0], 1, 1, 1, 1, 3, 1, 1);
         assert_eq!((oh, ow), (1, 1));
         assert_eq!(out, vec![1.0]);
+    }
+
+    #[test]
+    fn conv2d_batch_matches_per_image() {
+        // Two distinct 2-channel images through the same 3×3 filters must
+        // equal running conv2d on each image separately, bit for bit.
+        let (in_c, h, w, out_c, k, stride, pad) = (2, 5, 4, 3, 3, 1, 1);
+        let img_len = in_c * h * w;
+        let imgs: Vec<f32> = (0..2 * img_len)
+            .map(|i| ((i * 37 % 101) as f32 - 50.0) / 25.0)
+            .collect();
+        let weight: Vec<f32> = (0..out_c * in_c * k * k)
+            .map(|i| ((i * 13 % 29) as f32 - 14.0) / 10.0)
+            .collect();
+        let bias = vec![0.3, -0.2, 0.0];
+        let (batched, boh, bow) =
+            conv2d_batch(&imgs, 2, &weight, &bias, in_c, h, w, out_c, k, stride, pad);
+        let mut separate = Vec::new();
+        for img in imgs.chunks(img_len) {
+            let (out, oh, ow) = conv2d(img, &weight, &bias, in_c, h, w, out_c, k, stride, pad);
+            assert_eq!((oh, ow), (boh, bow));
+            separate.extend(out);
+        }
+        assert_eq!(batched, separate);
+    }
+
+    #[test]
+    fn conv2d_batch_single_image_matches_conv2d() {
+        let input: Vec<f32> = (0..27).map(|v| v as f32 * 0.1).collect();
+        let weight: Vec<f32> = (0..12).map(|v| (v as f32 - 6.0) * 0.2).collect();
+        let (a, _, _) = conv2d(&input, &weight, &[0.5], 3, 3, 3, 1, 2, 1, 0);
+        let (b, _, _) = conv2d_batch(&input, 1, &weight, &[0.5], 3, 3, 3, 1, 2, 1, 0);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod report;
 mod sim;
 
 pub use config::{ModelProfile, PreprocWhere, ServerConfig, StageMode};
-pub use report::{stages, ServerReport};
+pub use report::{stages, ServerReport, ServingSummary};
 pub use sim::{serial_loop_throughput, Experiment};
 
 #[cfg(test)]
@@ -109,8 +109,8 @@ mod tests {
 
     #[test]
     fn small_images_prefer_cpu_preproc_at_zero_load() {
-        let cpu = experiment(ImageSpec::small(), ServerConfig::optimized_cpu_preproc(), 1)
-            .zero_load();
+        let cpu =
+            experiment(ImageSpec::small(), ServerConfig::optimized_cpu_preproc(), 1).zero_load();
         let gpu = experiment(ImageSpec::small(), ServerConfig::optimized(), 1).zero_load();
         assert!(
             cpu.latency.mean < gpu.latency.mean,
@@ -186,8 +186,12 @@ mod tests {
 
     #[test]
     fn cpu_preproc_energy_higher_for_medium() {
-        let cpu = experiment(ImageSpec::medium(), ServerConfig::optimized_cpu_preproc(), 128)
-            .run();
+        let cpu = experiment(
+            ImageSpec::medium(),
+            ServerConfig::optimized_cpu_preproc(),
+            128,
+        )
+        .run();
         let gpu = experiment(ImageSpec::medium(), ServerConfig::optimized(), 128).run();
         assert!(
             cpu.energy.total_j_per_image() > gpu.energy.total_j_per_image() * 0.95,
@@ -266,7 +270,7 @@ mod open_loop_tests {
     #[test]
     fn open_loop_overload_saturates_and_queues_explode() {
         let r = exp().run_open(Arrivals::poisson(4000.0)); // ~2x capacity
-        // Completions cap at capacity…
+                                                           // Completions cap at capacity…
         assert!(
             r.throughput < 2400.0,
             "throughput {} should saturate",
@@ -280,6 +284,10 @@ mod open_loop_tests {
     #[test]
     fn open_loop_deterministic_arrivals() {
         let r = exp().run_open(Arrivals::deterministic(500.0));
-        assert!((r.throughput - 500.0).abs() < 30.0, "throughput {}", r.throughput);
+        assert!(
+            (r.throughput - 500.0).abs() < 30.0,
+            "throughput {}",
+            r.throughput
+        );
     }
 }

@@ -8,6 +8,24 @@
 //! model. It exists to validate the pipeline structure end-to-end and to
 //! let the examples measure genuine per-stage times on the host machine.
 //!
+//! Three properties make it a throughput-oriented server rather than a
+//! demo loop:
+//!
+//! * **True batched execution** — assembled batches run through
+//!   [`Model::forward_batch`] as *one* inference call (a single batched
+//!   im2col/GEMM per layer), not a per-item `forward` loop, so dynamic
+//!   batching actually amortizes work.
+//! * **Backpressure** — the ingress queue is bounded
+//!   ([`LiveOptions::queue_cap`]); requests beyond the cap fail fast with
+//!   [`LiveError::Overloaded`], and an optional per-request
+//!   [`LiveOptions::deadline`] sheds stale work instead of serving it
+//!   late, so overload degrades gracefully instead of growing memory.
+//! * **Metrics** — [`LiveServer::metrics`] snapshots the same quantities
+//!   the simulator's `ServerReport` exposes (throughput, latency summary,
+//!   per-stage breakdown, mean batch size, queue depth), reducible to the
+//!   shared [`ServingSummary`] shape for one-to-one sim-vs-live
+//!   comparison.
+//!
 //! # Examples
 //!
 //! ```
@@ -23,16 +41,23 @@
 //! let jpeg = synthetic_jpeg(&ImageSpec::new(64, 48, 0), 1);
 //! let result = server.infer(jpeg)?;
 //! assert_eq!(result.output.len(), 10);
+//! let m = server.metrics();
+//! assert_eq!(m.completed, 1);
 //! # Ok(())
 //! # }
 //! ```
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use vserve_dnn::Model;
+use vserve_metrics::{
+    LatencyStats, LatencySummary, RateMeter, StageBreakdown, TimeWeightedGauge, Welford,
+};
 use vserve_tensor::{ops, Tensor};
+
+use crate::report::{stages, ServingSummary};
 
 /// Configuration for a [`LiveServer`].
 #[derive(Debug, Clone)]
@@ -47,6 +72,12 @@ pub struct LiveOptions {
     pub max_queue_delay: Duration,
     /// Side of the square model input.
     pub input_side: usize,
+    /// Ingress queue capacity; submissions beyond it are rejected with
+    /// [`LiveError::Overloaded`] instead of queueing unboundedly.
+    pub queue_cap: usize,
+    /// Optional per-request deadline measured from submission; requests
+    /// still unserved past it fail with [`LiveError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
 }
 
 impl Default for LiveOptions {
@@ -57,11 +88,21 @@ impl Default for LiveOptions {
             max_batch: 8,
             max_queue_delay: Duration::from_millis(2),
             input_side: 224,
+            queue_cap: 256,
+            deadline: None,
         }
     }
 }
 
 /// Per-request result with measured stage times.
+///
+/// Stage semantics mirror the simulator's per-request breakdown:
+/// `inference` is the *per-item* share of the batch wall time
+/// (`batch wall / batch_size`, matching the sim's per-image attribution),
+/// so summing `inference` across a batch's results recovers the batch
+/// wall. `total` is the full round trip and therefore exceeds
+/// `queue + preproc + inference` for batched requests by the batch
+/// co-residency time.
 #[derive(Debug, Clone)]
 pub struct LiveResult {
     /// Model output (flat logits/probabilities).
@@ -70,8 +111,10 @@ pub struct LiveResult {
     pub preproc: Duration,
     /// Time spent waiting (ingress queue + batcher).
     pub queue: Duration,
-    /// Time spent in model execution (whole batch wall time).
+    /// Per-item share of model execution: batch wall time / batch size.
     pub inference: Duration,
+    /// Size of the batch this request executed in.
+    pub batch_size: usize,
     /// Submission-to-response round trip.
     pub total: Duration,
 }
@@ -83,6 +126,11 @@ pub enum LiveError {
     Decode(vserve_codec::DecodeJpegError),
     /// The model rejected the preprocessed tensor.
     Model(vserve_dnn::DnnError),
+    /// The bounded ingress queue was full; the request was shed
+    /// immediately rather than queued.
+    Overloaded,
+    /// The request's deadline passed before it reached inference.
+    DeadlineExceeded,
     /// The server shut down before responding.
     Disconnected,
 }
@@ -92,6 +140,8 @@ impl std::fmt::Display for LiveError {
         match self {
             LiveError::Decode(e) => write!(f, "decode failed: {e}"),
             LiveError::Model(e) => write!(f, "model failed: {e}"),
+            LiveError::Overloaded => write!(f, "ingress queue full"),
+            LiveError::DeadlineExceeded => write!(f, "request deadline exceeded"),
             LiveError::Disconnected => write!(f, "server shut down"),
         }
     }
@@ -99,17 +149,144 @@ impl std::fmt::Display for LiveError {
 
 impl std::error::Error for LiveError {}
 
+/// Snapshot of a [`LiveServer`]'s metrics since start, taken with
+/// [`LiveServer::metrics`].
+///
+/// Field-for-field this mirrors the simulator's `ServerReport` where the
+/// quantity exists on a real host; use [`summary`](Self::summary) for the
+/// shared [`ServingSummary`] shape.
+#[derive(Debug, Clone)]
+pub struct LiveMetrics {
+    /// Completed requests per second since the server started.
+    pub throughput: f64,
+    /// Round-trip latency distribution of completed requests.
+    pub latency: LatencySummary,
+    /// Mean seconds per request attributed to each stage (see
+    /// [`stages`](crate::report::stages)).
+    pub breakdown: StageBreakdown,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests shed with [`LiveError::Overloaded`].
+    pub rejected: u64,
+    /// Requests shed with [`LiveError::DeadlineExceeded`].
+    pub expired: u64,
+    /// Batched forward calls executed (one per formed batch).
+    pub forward_calls: u64,
+    /// Mean inference batch size actually formed by the batcher.
+    pub mean_batch: f64,
+    /// Time-averaged ingress + batcher queue depth.
+    pub queue_depth_mean: f64,
+    /// Peak ingress + batcher queue depth.
+    pub queue_depth_peak: f64,
+    /// Total wall time spent inside batched forward calls.
+    pub inference_wall: Duration,
+}
+
+impl LiveMetrics {
+    /// Reduces to the [`ServingSummary`] shape shared with the simulator's
+    /// `ServerReport`.
+    pub fn summary(&self) -> ServingSummary {
+        ServingSummary {
+            throughput: self.throughput,
+            latency: self.latency,
+            breakdown: self.breakdown.clone(),
+            completed: self.completed,
+            mean_batch: self.mean_batch,
+        }
+    }
+
+    /// Fraction of mean latency spent preprocessing.
+    pub fn preproc_share(&self) -> f64 {
+        self.summary().preproc_share()
+    }
+
+    /// Fraction of mean latency spent in DNN inference.
+    pub fn inference_share(&self) -> f64 {
+        self.summary().inference_share()
+    }
+
+    /// Fraction of mean latency spent queued.
+    pub fn queue_share(&self) -> f64 {
+        self.summary().queue_share()
+    }
+}
+
+struct MetricsInner {
+    latency: LatencyStats,
+    breakdown: StageBreakdown,
+    meter: RateMeter,
+    batch_sizes: Welford,
+    queue_depth: TimeWeightedGauge,
+    rejected: u64,
+    expired: u64,
+    forward_calls: u64,
+    inference_wall_s: f64,
+}
+
+/// Metrics state shared between the public handle and worker threads.
+/// Times are converted to seconds since server start at the boundary, the
+/// same convention the simulator uses.
+struct Shared {
+    epoch: Instant,
+    inner: Mutex<MetricsInner>,
+}
+
+impl Shared {
+    fn new() -> Self {
+        let mut meter = RateMeter::new();
+        meter.open(0.0);
+        Shared {
+            epoch: Instant::now(),
+            inner: Mutex::new(MetricsInner {
+                latency: LatencyStats::new(),
+                breakdown: StageBreakdown::new(),
+                meter,
+                batch_sizes: Welford::new(),
+                queue_depth: TimeWeightedGauge::new(0.0, 0.0),
+                rejected: 0,
+                expired: 0,
+                forward_calls: 0,
+                inference_wall_s: 0.0,
+            }),
+        }
+    }
+
+    fn secs(&self, t: Instant) -> f64 {
+        t.saturating_duration_since(self.epoch).as_secs_f64()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, MetricsInner> {
+        // A worker panicking mid-update must not take metrics down with it.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records a request leaving the pre-inference pipeline without being
+    /// served (decode failure or expired deadline).
+    fn drop_queued(&self, now: Instant, expired: bool) {
+        let t = self.secs(now);
+        let mut m = self.lock();
+        m.queue_depth.add(t, -1.0);
+        if expired {
+            m.expired += 1;
+        }
+    }
+}
+
 struct Job {
     jpeg: Vec<u8>,
     submitted: Instant,
+    deadline: Option<Instant>,
     reply: Sender<Result<LiveResult, LiveError>>,
 }
 
 struct Ready {
     tensor: Tensor,
     submitted: Instant,
+    /// Wait in the bounded ingress queue before preprocessing started.
+    ingress_wait: Duration,
     preproc: Duration,
     preproc_done: Instant,
+    deadline: Option<Instant>,
     reply: Sender<Result<LiveResult, LiveError>>,
 }
 
@@ -117,6 +294,8 @@ struct Ready {
 pub struct LiveServer {
     ingress: Option<Sender<Job>>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+    deadline: Option<Duration>,
 }
 
 impl std::fmt::Debug for LiveServer {
@@ -132,8 +311,9 @@ impl LiveServer {
     /// `model`.
     pub fn start(model: Model, opts: LiveOptions) -> Self {
         let model = Arc::new(model);
-        let (ingress_tx, ingress_rx) = unbounded::<Job>();
-        let (ready_tx, ready_rx) = unbounded::<Ready>();
+        let shared = Arc::new(Shared::new());
+        let (ingress_tx, ingress_rx) = bounded::<Job>(opts.queue_cap.max(1));
+        let (ready_tx, ready_rx) = bounded::<Ready>(opts.queue_cap.max(1));
         let (batch_tx, batch_rx) = bounded::<Vec<Ready>>(4);
         let mut handles = Vec::new();
 
@@ -142,9 +322,15 @@ impl LiveServer {
         for _ in 0..opts.preproc_workers.max(1) {
             let rx = ingress_rx.clone();
             let tx = ready_tx.clone();
+            let shared = Arc::clone(&shared);
             handles.push(std::thread::spawn(move || {
                 while let Ok(job) = rx.recv() {
                     let start = Instant::now();
+                    if job.deadline.is_some_and(|d| start >= d) {
+                        shared.drop_queued(start, true);
+                        let _ = job.reply.send(Err(LiveError::DeadlineExceeded));
+                        continue;
+                    }
                     match vserve_codec::decode(&job.jpeg) {
                         Ok(img) => {
                             let tensor = ops::standard_preprocess(&img, side);
@@ -152,8 +338,10 @@ impl LiveServer {
                             let ready = Ready {
                                 tensor,
                                 submitted: job.submitted,
+                                ingress_wait: start.saturating_duration_since(job.submitted),
                                 preproc: done - start,
                                 preproc_done: done,
+                                deadline: job.deadline,
                                 reply: job.reply,
                             };
                             if tx.send(ready).is_err() {
@@ -161,6 +349,7 @@ impl LiveServer {
                             }
                         }
                         Err(e) => {
+                            shared.drop_queued(Instant::now(), false);
                             let _ = job.reply.send(Err(LiveError::Decode(e)));
                         }
                     }
@@ -174,58 +363,117 @@ impl LiveServer {
         let max_delay = opts.max_queue_delay;
         {
             let batch_tx = batch_tx.clone();
-            handles.push(std::thread::spawn(move || {
-                loop {
-                    let first = match ready_rx.recv() {
-                        Ok(r) => r,
-                        Err(_) => return,
-                    };
-                    let deadline = Instant::now() + max_delay;
-                    let mut batch = vec![first];
-                    while batch.len() < max_batch {
-                        let left = deadline.saturating_duration_since(Instant::now());
-                        match ready_rx.recv_timeout(left) {
-                            Ok(r) => batch.push(r),
-                            Err(RecvTimeoutError::Timeout) => break,
-                            Err(RecvTimeoutError::Disconnected) => {
-                                let _ = batch_tx.send(batch);
-                                return;
-                            }
+            let shared = Arc::clone(&shared);
+            let flush = move |batch: Vec<Ready>| -> Result<(), ()> {
+                let now = Instant::now();
+                let t = shared.secs(now);
+                let mut live = Vec::with_capacity(batch.len());
+                let mut dropped = Vec::new();
+                for r in batch {
+                    if r.deadline.is_some_and(|d| now >= d) {
+                        dropped.push(r.reply.clone());
+                    } else {
+                        live.push(r);
+                    }
+                }
+                {
+                    let mut m = shared.lock();
+                    m.queue_depth.add(t, -((live.len() + dropped.len()) as f64));
+                    m.expired += dropped.len() as u64;
+                }
+                for reply in dropped {
+                    let _ = reply.send(Err(LiveError::DeadlineExceeded));
+                }
+                if live.is_empty() {
+                    Ok(())
+                } else {
+                    batch_tx.send(live).map_err(|_| ())
+                }
+            };
+            handles.push(std::thread::spawn(move || loop {
+                let first = match ready_rx.recv() {
+                    Ok(r) => r,
+                    Err(_) => return,
+                };
+                let deadline = Instant::now() + max_delay;
+                let mut batch = vec![first];
+                while batch.len() < max_batch {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    match ready_rx.recv_timeout(left) {
+                        Ok(r) => batch.push(r),
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            let _ = flush(batch);
+                            return;
                         }
                     }
-                    if batch_tx.send(batch).is_err() {
-                        return;
-                    }
+                }
+                if flush(batch).is_err() {
+                    return;
                 }
             }));
         }
         drop(batch_tx);
 
-        // Inference workers: run the real model per batch item.
+        // Inference workers: one batched forward call per assembled batch.
         for _ in 0..opts.inference_workers.max(1) {
             let rx = batch_rx.clone();
             let model = Arc::clone(&model);
+            let shared = Arc::clone(&shared);
             handles.push(std::thread::spawn(move || {
                 while let Ok(batch) = rx.recv() {
+                    let n = batch.len();
                     let start = Instant::now();
-                    let outputs: Vec<_> = batch
-                        .iter()
-                        .map(|r| model.forward(&r.tensor))
-                        .collect();
-                    let wall = start.elapsed();
+                    let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.tensor).collect();
+                    let result = model.forward_batch(&inputs);
                     let finished = Instant::now();
-                    for (ready, out) in batch.into_iter().zip(outputs) {
-                        let msg = match out {
-                            Ok(t) => Ok(LiveResult {
-                                output: t.into_vec(),
-                                preproc: ready.preproc,
-                                queue: start.saturating_duration_since(ready.preproc_done),
-                                inference: wall,
-                                total: finished.saturating_duration_since(ready.submitted),
-                            }),
-                            Err(e) => Err(LiveError::Model(e)),
-                        };
-                        let _ = ready.reply.send(msg);
+                    let wall = finished.saturating_duration_since(start);
+                    // Per-item attribution: each request is charged its
+                    // share of the batch, matching the sim's per-image
+                    // accounting, so stage sums do not over-count GPU time.
+                    let per_item = wall / n as u32;
+                    let mut replies = Vec::with_capacity(n);
+                    {
+                        let mut m = shared.lock();
+                        m.forward_calls += 1;
+                        m.batch_sizes.push(n as f64);
+                        m.inference_wall_s += wall.as_secs_f64();
+                        match result {
+                            Ok(outputs) => {
+                                let t = shared.secs(finished);
+                                for (ready, out) in batch.into_iter().zip(outputs) {
+                                    let queue = ready.ingress_wait
+                                        + start.saturating_duration_since(ready.preproc_done);
+                                    let total = finished.saturating_duration_since(ready.submitted);
+                                    m.latency.push(total.as_secs_f64());
+                                    m.meter.record(t);
+                                    m.breakdown.record(stages::QUEUE, queue.as_secs_f64());
+                                    m.breakdown
+                                        .record(stages::PREPROC, ready.preproc.as_secs_f64());
+                                    m.breakdown
+                                        .record(stages::INFERENCE, per_item.as_secs_f64());
+                                    replies.push((
+                                        ready.reply,
+                                        Ok(LiveResult {
+                                            output: out.into_vec(),
+                                            preproc: ready.preproc,
+                                            queue,
+                                            inference: per_item,
+                                            batch_size: n,
+                                            total,
+                                        }),
+                                    ));
+                                }
+                            }
+                            Err(e) => {
+                                for ready in batch {
+                                    replies.push((ready.reply, Err(LiveError::Model(e.clone()))));
+                                }
+                            }
+                        }
+                    }
+                    for (reply, msg) in replies {
+                        let _ = reply.send(msg);
                     }
                 }
             }));
@@ -234,20 +482,41 @@ impl LiveServer {
         LiveServer {
             ingress: Some(ingress_tx),
             handles,
+            shared,
+            deadline: opts.deadline,
         }
     }
 
     /// Submits a JPEG asynchronously; the returned channel yields the
     /// result.
+    ///
+    /// When the bounded ingress queue is full the request is shed
+    /// immediately: the channel already holds
+    /// `Err(`[`LiveError::Overloaded`]`)`.
     pub fn submit(&self, jpeg: Vec<u8>) -> Receiver<Result<LiveResult, LiveError>> {
         let (tx, rx) = bounded(1);
+        let now = Instant::now();
         let job = Job {
             jpeg,
-            submitted: Instant::now(),
+            submitted: now,
+            deadline: self.deadline.map(|d| now + d),
             reply: tx,
         };
-        if let Some(ingress) = &self.ingress {
-            let _ = ingress.send(job);
+        let Some(ingress) = &self.ingress else {
+            return rx;
+        };
+        match ingress.try_send(job) {
+            Ok(()) => {
+                let t = self.shared.secs(now);
+                self.shared.lock().queue_depth.add(t, 1.0);
+            }
+            Err(TrySendError::Full(job)) => {
+                self.shared.lock().rejected += 1;
+                let _ = job.reply.send(Err(LiveError::Overloaded));
+            }
+            Err(TrySendError::Disconnected(job)) => {
+                let _ = job.reply.send(Err(LiveError::Disconnected));
+            }
         }
         rx
     }
@@ -256,12 +525,34 @@ impl LiveServer {
     ///
     /// # Errors
     ///
-    /// Returns [`LiveError`] if decoding or model execution fails, or if
-    /// the server shuts down first.
+    /// Returns [`LiveError`] if decoding or model execution fails, if the
+    /// server is overloaded or the deadline passes, or if the server shuts
+    /// down first.
     pub fn infer(&self, jpeg: Vec<u8>) -> Result<LiveResult, LiveError> {
         self.submit(jpeg)
             .recv()
             .map_err(|_| LiveError::Disconnected)?
+    }
+
+    /// Snapshots the server's metrics since start.
+    pub fn metrics(&self) -> LiveMetrics {
+        let t = self.shared.secs(Instant::now());
+        let m = self.shared.lock();
+        let mut meter = m.meter;
+        meter.close(t);
+        LiveMetrics {
+            throughput: meter.rate(),
+            latency: m.latency.summary(),
+            breakdown: m.breakdown.clone(),
+            completed: meter.count(),
+            rejected: m.rejected,
+            expired: m.expired,
+            forward_calls: m.forward_calls,
+            mean_batch: m.batch_sizes.mean(),
+            queue_depth_mean: m.queue_depth.time_average(t),
+            queue_depth_peak: m.queue_depth.peak(),
+            inference_wall: Duration::from_secs_f64(m.inference_wall_s),
+        }
     }
 }
 
@@ -281,18 +572,21 @@ mod tests {
     use vserve_dnn::models;
     use vserve_workload::synthetic_jpeg;
 
+    fn tiny_opts(max_batch: usize) -> LiveOptions {
+        LiveOptions {
+            preproc_workers: 2,
+            inference_workers: 1,
+            max_batch,
+            max_queue_delay: Duration::from_millis(2),
+            input_side: 32,
+            queue_cap: 256,
+            deadline: None,
+        }
+    }
+
     fn tiny_server(max_batch: usize) -> LiveServer {
         let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
-        LiveServer::start(
-            model,
-            LiveOptions {
-                preproc_workers: 2,
-                inference_workers: 1,
-                max_batch,
-                max_queue_delay: Duration::from_millis(2),
-                input_side: 32,
-            },
-        )
+        LiveServer::start(model, tiny_opts(max_batch))
     }
 
     #[test]
@@ -304,6 +598,7 @@ mod tests {
         let sum: f32 = r.output.iter().sum();
         assert!((sum - 1.0).abs() < 1e-4, "softmax sum {sum}");
         assert!(r.total >= r.inference);
+        assert!(r.batch_size >= 1);
     }
 
     #[test]
@@ -331,5 +626,156 @@ mod tests {
         let jpeg = synthetic_jpeg(&ImageSpec::new(32, 32, 0), 9);
         let _ = server.infer(jpeg).unwrap();
         drop(server); // must not hang
+    }
+
+    #[test]
+    fn burst_executes_as_batches_not_items() {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(
+            model,
+            LiveOptions {
+                // A generous batcher window so every decoded request of the
+                // burst lands in the same assembly round.
+                max_queue_delay: Duration::from_millis(300),
+                ..tiny_opts(8)
+            },
+        );
+        let receivers: Vec<_> = (0..16)
+            .map(|i| server.submit(synthetic_jpeg(&ImageSpec::new(32, 32, 0), i)))
+            .collect();
+        let results: Vec<LiveResult> = receivers
+            .iter()
+            .map(|rx| rx.recv().unwrap().unwrap())
+            .collect();
+        let m = server.metrics();
+        // 16 requests must NOT mean 16 forward calls: batches execute via
+        // a single batched forward pass.
+        assert!(
+            m.forward_calls < 16,
+            "expected batched execution, got {} forward calls for 16 requests",
+            m.forward_calls
+        );
+        assert!(m.mean_batch > 1.0, "mean batch {}", m.mean_batch);
+        assert!(
+            results.iter().any(|r| r.batch_size > 1),
+            "no multi-item batch formed"
+        );
+        assert_eq!(m.completed, 16);
+    }
+
+    #[test]
+    fn batch_stage_times_sum_to_batch_wall() {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(
+            model,
+            LiveOptions {
+                max_queue_delay: Duration::from_millis(200),
+                ..tiny_opts(4)
+            },
+        );
+        let receivers: Vec<_> = (0..12)
+            .map(|i| server.submit(synthetic_jpeg(&ImageSpec::new(32, 32, 0), i)))
+            .collect();
+        let results: Vec<LiveResult> = receivers
+            .iter()
+            .map(|rx| rx.recv().unwrap().unwrap())
+            .collect();
+        let m = server.metrics();
+        // Per-item inference is batch wall / batch size, so summing the
+        // per-request stage times over all batches must recover the total
+        // forward wall time (up to nanosecond division truncation).
+        let summed: f64 = results.iter().map(|r| r.inference.as_secs_f64()).sum();
+        let wall = m.inference_wall.as_secs_f64();
+        assert!(
+            (summed - wall).abs() < 1e-4 + wall * 0.01,
+            "per-item inference sums to {summed}, batch wall {wall}"
+        );
+        // And every item reports a batch-consistent share.
+        for r in &results {
+            assert!(
+                r.inference * r.batch_size as u32 <= m.inference_wall + Duration::from_micros(100)
+            );
+        }
+    }
+
+    #[test]
+    fn overload_rejects_with_overloaded() {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(
+            model,
+            LiveOptions {
+                preproc_workers: 1,
+                queue_cap: 2,
+                ..tiny_opts(4)
+            },
+        );
+        // Submitting far faster than one worker can decode must overflow
+        // the 2-deep ingress queue.
+        let receivers: Vec<_> = (0..40)
+            .map(|i| server.submit(synthetic_jpeg(&ImageSpec::new(640, 480, 0), i)))
+            .collect();
+        let mut ok = 0u64;
+        let mut overloaded = 0u64;
+        for rx in receivers {
+            match rx.recv().unwrap() {
+                Ok(_) => ok += 1,
+                Err(LiveError::Overloaded) => overloaded += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(ok + overloaded, 40);
+        assert!(ok >= 1, "accepted requests must still complete");
+        assert!(overloaded >= 1, "cap 2 with a 40-deep burst must shed");
+        let m = server.metrics();
+        assert_eq!(m.rejected, overloaded);
+        assert_eq!(m.completed, ok);
+    }
+
+    #[test]
+    fn deadline_expired_requests_fail_fast() {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(
+            model,
+            LiveOptions {
+                deadline: Some(Duration::ZERO),
+                ..tiny_opts(4)
+            },
+        );
+        for i in 0..3 {
+            let err = server
+                .infer(synthetic_jpeg(&ImageSpec::new(32, 32, 0), i))
+                .unwrap_err();
+            assert!(matches!(err, LiveError::DeadlineExceeded), "got {err}");
+        }
+        let m = server.metrics();
+        assert_eq!(m.expired, 3);
+        assert_eq!(m.completed, 0);
+    }
+
+    #[test]
+    fn metrics_consistent_with_results() {
+        let server = tiny_server(4);
+        let receivers: Vec<_> = (0..10)
+            .map(|i| server.submit(synthetic_jpeg(&ImageSpec::new(48, 48, 0), i)))
+            .collect();
+        let results: Vec<LiveResult> = receivers
+            .iter()
+            .map(|rx| rx.recv().unwrap().unwrap())
+            .collect();
+        let m = server.metrics();
+        assert_eq!(m.completed, 10);
+        assert_eq!(m.latency.count, 10);
+        assert_eq!(m.breakdown.count(stages::INFERENCE), 10);
+        assert!(m.throughput > 0.0);
+        assert!(m.mean_batch >= 1.0);
+        assert!(m.rejected == 0 && m.expired == 0);
+        // Breakdown means must agree with the per-request results.
+        let mean_pre: f64 = results.iter().map(|r| r.preproc.as_secs_f64()).sum::<f64>() / 10.0;
+        assert!((m.breakdown.mean(stages::PREPROC) - mean_pre).abs() < 1e-9);
+        // Shares are well-formed and within the round trip.
+        let s = m.summary();
+        assert!(s.queue_share() >= 0.0 && s.preproc_share() >= 0.0);
+        assert!(s.queue_share() + s.preproc_share() + s.inference_share() <= 1.0 + 1e-9);
+        assert!(m.queue_depth_peak >= 1.0);
     }
 }

@@ -18,6 +18,80 @@ pub mod stages {
     pub const INFERENCE: &str = "4-inference";
 }
 
+/// The report shape shared by the simulated server and the live
+/// thread-based server: throughput, a latency distribution, a per-stage
+/// breakdown, and the mean batch size the batcher actually formed.
+///
+/// Both [`ServerReport`] (sim) and the live server's metrics snapshot
+/// reduce to this type, so sim-vs-live comparisons of the paper's
+/// overhead shares are one-to-one.
+#[derive(Debug, Clone)]
+pub struct ServingSummary {
+    /// Completed requests per second over the window.
+    pub throughput: f64,
+    /// Round-trip latency distribution.
+    pub latency: LatencySummary,
+    /// Mean seconds per request attributed to each stage (see [`stages`]).
+    pub breakdown: StageBreakdown,
+    /// Requests completed inside the window.
+    pub completed: u64,
+    /// Mean inference batch size actually formed by the batcher.
+    pub mean_batch: f64,
+}
+
+impl ServingSummary {
+    /// Mean seconds a request spent queued (all queues combined).
+    pub fn queue_time(&self) -> f64 {
+        self.breakdown.mean(stages::QUEUE)
+    }
+
+    /// Fraction of mean latency spent queued.
+    pub fn queue_share(&self) -> f64 {
+        self.stage_share(stages::QUEUE)
+    }
+
+    /// Fraction of mean latency spent preprocessing.
+    pub fn preproc_share(&self) -> f64 {
+        self.stage_share(stages::PREPROC)
+    }
+
+    /// Fraction of mean latency spent in DNN inference (the complement of
+    /// the paper's "overheads").
+    pub fn inference_share(&self) -> f64 {
+        self.stage_share(stages::INFERENCE)
+    }
+
+    /// Fraction of mean latency spent on anything *other than* DNN
+    /// inference — preprocessing, queueing, transfer, dispatch. This is
+    /// what the paper's Fig 6 plots as the non-inference bar (its
+    /// "preprocessing" component includes the transfer path).
+    pub fn overhead_share(&self) -> f64 {
+        (1.0 - self.inference_share()).max(0.0)
+    }
+
+    /// Fraction of mean latency attributed to `stage`.
+    pub fn stage_share(&self, stage: &str) -> f64 {
+        if self.latency.mean <= 0.0 {
+            0.0
+        } else {
+            self.breakdown.mean(stage) / self.latency.mean
+        }
+    }
+
+    /// One-line summary for report tables.
+    pub fn to_row(&self) -> String {
+        format!(
+            "{:>9.1} img/s  avg {:>8.2} ms  p99 {:>8.2} ms  queue {:>5.1}%  pre {:>5.1}%  inf {:>5.1}%",
+            self.throughput,
+            self.latency.mean * 1e3,
+            self.latency.p99 * 1e3,
+            self.queue_share() * 100.0,
+            self.preproc_share() * 100.0,
+            self.inference_share() * 100.0,
+        )
+    }
+}
+
 /// Outcome of one serving experiment over its measurement window.
 #[derive(Debug, Clone)]
 pub struct ServerReport {
@@ -44,6 +118,17 @@ pub struct ServerReport {
 }
 
 impl ServerReport {
+    /// Reduces to the [`ServingSummary`] shape shared with the live server.
+    pub fn summary(&self) -> ServingSummary {
+        ServingSummary {
+            throughput: self.throughput,
+            latency: self.latency,
+            breakdown: self.breakdown.clone(),
+            completed: self.completed,
+            mean_batch: self.mean_batch,
+        }
+    }
+
     /// Mean seconds a request spent queued (all queues combined).
     pub fn queue_time(&self) -> f64 {
         self.breakdown.mean(stages::QUEUE)
@@ -51,51 +136,29 @@ impl ServerReport {
 
     /// Fraction of mean latency spent queued.
     pub fn queue_share(&self) -> f64 {
-        if self.latency.mean <= 0.0 {
-            0.0
-        } else {
-            self.queue_time() / self.latency.mean
-        }
+        self.summary().queue_share()
     }
 
     /// Fraction of mean latency spent preprocessing.
     pub fn preproc_share(&self) -> f64 {
-        if self.latency.mean <= 0.0 {
-            0.0
-        } else {
-            self.breakdown.mean(stages::PREPROC) / self.latency.mean
-        }
+        self.summary().preproc_share()
     }
 
     /// Fraction of mean latency spent in DNN inference (the complement of
     /// the paper's "overheads").
     pub fn inference_share(&self) -> f64 {
-        if self.latency.mean <= 0.0 {
-            0.0
-        } else {
-            self.breakdown.mean(stages::INFERENCE) / self.latency.mean
-        }
+        self.summary().inference_share()
     }
 
     /// Fraction of mean latency spent on anything *other than* DNN
-    /// inference — preprocessing, queueing, transfer, dispatch. This is
-    /// what the paper's Fig 6 plots as the non-inference bar (its
-    /// "preprocessing" component includes the transfer path).
+    /// inference — see [`ServingSummary::overhead_share`].
     pub fn overhead_share(&self) -> f64 {
-        (1.0 - self.inference_share()).max(0.0)
+        self.summary().overhead_share()
     }
 
     /// One-line summary for report tables.
     pub fn to_row(&self) -> String {
-        format!(
-            "{:>9.1} img/s  avg {:>8.2} ms  p99 {:>8.2} ms  queue {:>5.1}%  pre {:>5.1}%  inf {:>5.1}%",
-            self.throughput,
-            self.latency.mean * 1e3,
-            self.latency.p99 * 1e3,
-            self.queue_share() * 100.0,
-            self.preproc_share() * 100.0,
-            self.inference_share() * 100.0,
-        )
+        self.summary().to_row()
     }
 }
 

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use vserve_device::{energy_report, EngineKind, ImageSpec, NodeConfig};
 use vserve_metrics::{LatencyStats, RateMeter, StageBreakdown, TimeWeightedGauge, Welford};
 use vserve_sim::rng::RngStream;
-use vserve_sim::{Engine, MultiServer, SharedBandwidth, SimDuration, SimTime};
+use vserve_sim::{Engine, EventId, MultiServer, SharedBandwidth, SimDuration, SimTime};
 use vserve_workload::{Arrivals, ImageMix};
 
 use crate::config::{ModelProfile, PreprocWhere, ServerConfig, StageMode};
@@ -64,7 +64,13 @@ struct GpuState {
     inflight_bytes: f64,
     /// High-water mark of in-flight device memory (Fig 5 diagnosis).
     inflight_peak: f64,
-    batch_timer_armed: bool,
+    /// Pending batcher timer, keyed by the deadline it was armed for. When
+    /// the queue head changes (e.g. a full batch launches between arming
+    /// and firing) the stale timer is cancelled and a fresh one armed at
+    /// the new head's deadline, so every head waits exactly
+    /// `max_queue_delay` — never a stale deadline inherited from an
+    /// already-served request.
+    batch_timer: Option<(SimTime, EventId)>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -130,7 +136,7 @@ impl ServerSim {
                 inf_gauge: TimeWeightedGauge::new(0.0, 0.0),
                 inflight_bytes: 0.0,
                 inflight_peak: 0.0,
-                batch_timer_armed: false,
+                batch_timer: None,
             })
             .collect();
         ServerSim {
@@ -200,7 +206,10 @@ fn inject(sim: &mut ServerSim, eng: &mut Eng) {
 fn start_dispatch(sim: &mut ServerSim, eng: &mut Eng, id: ReqId, enqueued: SimTime) {
     let now = eng.now();
     sim.req(id).queue_s += (now - enqueued).as_secs_f64();
-    let t = sim.node.cpu.dispatch_time(&sim.requests[id].as_ref().expect("live").img)
+    let t = sim
+        .node
+        .cpu
+        .dispatch_time(&sim.requests[id].as_ref().expect("live").img)
         * sim.jitter(0.2);
     sim.cpu_busy.add(now.as_secs_f64(), 1.0);
     eng.schedule_in(
@@ -238,7 +247,11 @@ fn dispatch_done(sim: &mut ServerSim, eng: &mut Eng, id: ReqId, took: f64) {
             }
         }
         (_, PreprocWhere::Gpu) => {
-            let bytes = sim.requests[id].as_ref().expect("live").img.compressed_bytes;
+            let bytes = sim.requests[id]
+                .as_ref()
+                .expect("live")
+                .img
+                .compressed_bytes;
             start_staging(sim, eng, id, bytes as f64, StagingNext::PcieCompressed);
         }
     }
@@ -248,7 +261,10 @@ fn start_cpu_preproc(sim: &mut ServerSim, eng: &mut Eng, id: ReqId, enqueued: Si
     let now = eng.now();
     sim.req(id).queue_s += (now - enqueued).as_secs_f64();
     let img = sim.requests[id].as_ref().expect("live").img;
-    let t = sim.node.cpu.preprocess_time(&img, sim.config.input_side(&sim.model))
+    let t = sim
+        .node
+        .cpu
+        .preprocess_time(&img, sim.config.input_side(&sim.model))
         * sim.jitter(0.12);
     sim.cpu_busy.add(now.as_secs_f64(), 1.0);
     eng.schedule_in(
@@ -336,7 +352,14 @@ fn arm_staging(sim: &mut ServerSim, eng: &mut Eng) {
     }
 }
 
-fn start_pcie(sim: &mut ServerSim, eng: &mut Eng, gpu: usize, id: ReqId, bytes: f64, next: PcieNext) {
+fn start_pcie(
+    sim: &mut ServerSim,
+    eng: &mut Eng,
+    gpu: usize,
+    id: ReqId,
+    bytes: f64,
+    next: PcieNext,
+) {
     let now = eng.now();
     let job = sim.gpus[gpu].pcie.start(now, bytes);
     sim.gpus[gpu].pcie_jobs.insert(job, (id, now, next));
@@ -414,9 +437,8 @@ fn try_start_gpu_preproc(sim: &mut ServerSim, eng: &mut Eng, gpu: usize) {
             .iter()
             .map(|&id| sim.requests[id].as_ref().expect("live").img.pixels() as f64)
             .sum();
-        let mut service = g.preproc_batch_fixed_s
-            + n as f64 * g.preproc_image_s
-            + g.preproc_s_per_px * px_sum;
+        let mut service =
+            g.preproc_batch_fixed_s + n as f64 * g.preproc_image_s + g.preproc_s_per_px * px_sum;
         // A cold unit pays the zero-load setup penalty, and a lone image
         // additionally decodes at low occupancy (why lone small images
         // prefer CPU preprocessing in Fig 6). Batches forming after a
@@ -443,7 +465,13 @@ fn try_start_gpu_preproc(sim: &mut ServerSim, eng: &mut Eng, gpu: usize) {
     }
 }
 
-fn gpu_preproc_done(sim: &mut ServerSim, eng: &mut Eng, gpu: usize, items: Vec<ReqId>, service: f64) {
+fn gpu_preproc_done(
+    sim: &mut ServerSim,
+    eng: &mut Eng,
+    gpu: usize,
+    items: Vec<ReqId>,
+    service: f64,
+) {
     let now = eng.now();
     sim.gpus[gpu].pre_busy -= 1;
     let busy = sim.gpus[gpu].pre_busy as f64;
@@ -490,27 +518,36 @@ fn try_form_batch(sim: &mut ServerSim, eng: &mut Eng, gpu: usize) {
         let now = eng.now();
         let qlen = sim.gpus[gpu].inf_queue.len();
         let head_enq = sim.gpus[gpu].inf_queue[0].1;
-        let waited = (now - head_enq).as_secs_f64();
-        let delay = batch_delay(sim);
+        // The head's deadline in integer ticks: comparing times directly
+        // (rather than round-tripped f64 seconds) guarantees a timer firing
+        // exactly at the deadline observes it as expired.
+        let deadline = head_enq + SimDuration::from_secs_f64(batch_delay(sim));
         // Launch when the batch is full, the head has waited long enough,
         // or (dynamic batching) nothing else is on its way to this GPU —
         // waiting could not grow the batch.
         let nothing_incoming = sim.config.dynamic_batching && sim.gpus[gpu].incoming == 0;
-        if qlen >= sim.config.max_batch || waited >= delay || nothing_incoming {
+        if qlen >= sim.config.max_batch || now >= deadline || nothing_incoming {
             launch_batch(sim, eng, gpu);
             continue;
         }
-        // Not enough yet: arm (at most one) timer for the current head.
-        if !sim.gpus[gpu].batch_timer_armed {
-            sim.gpus[gpu].batch_timer_armed = true;
-            let at = head_enq + SimDuration::from_secs_f64(delay);
-            eng.schedule_at(
-                at,
+        // Not enough yet: keep exactly one timer armed, at the *current*
+        // head's deadline. A timer armed for an earlier head is stale once
+        // that head launches; cancel it rather than letting it fire.
+        let stale = sim.gpus[gpu]
+            .batch_timer
+            .is_none_or(|(at, _)| at != deadline);
+        if stale {
+            if let Some((_, old)) = sim.gpus[gpu].batch_timer.take() {
+                eng.cancel(old);
+            }
+            let timer = eng.schedule_at(
+                deadline,
                 Box::new(move |sim: &mut ServerSim, eng: &mut Eng| {
-                    sim.gpus[gpu].batch_timer_armed = false;
+                    sim.gpus[gpu].batch_timer = None;
                     try_form_batch(sim, eng, gpu);
                 }),
             );
+            sim.gpus[gpu].batch_timer = Some((deadline, timer));
         }
         return;
     }
@@ -518,14 +555,17 @@ fn try_form_batch(sim: &mut ServerSim, eng: &mut Eng, gpu: usize) {
 
 fn launch_batch(sim: &mut ServerSim, eng: &mut Eng, gpu: usize) {
     let now = eng.now();
+    // Whatever head the timer was armed for is leaving the queue now.
+    if let Some((_, timer)) = sim.gpus[gpu].batch_timer.take() {
+        eng.cancel(timer);
+    }
     let n = sim.gpus[gpu].inf_queue.len().min(sim.config.max_batch);
     let items: Vec<(ReqId, SimTime)> = sim.gpus[gpu].inf_queue.drain(..n).collect();
     for &(id, enq) in &items {
         sim.req(id).queue_s += (now - enq).as_secs_f64();
     }
     let g = sim.node.gpu;
-    let mut service =
-        g.infer_batch_time(sim.model.flops, n, sim.config.engine) * sim.jitter(0.08);
+    let mut service = g.infer_batch_time(sim.model.flops, n, sim.config.engine) * sim.jitter(0.08);
     // SM contention with GPU preprocessing (Fig 4's −2.9 % cases).
     if sim.config.preproc == PreprocWhere::Gpu {
         let frac = sim.gpus[gpu].pre_busy as f64 / sim.config.gpu_preproc_streams.max(1) as f64;
@@ -676,10 +716,11 @@ impl Experiment {
 
         // Stagger client start-up to avoid lockstep batches.
         for i in 0..self.concurrency {
-            let jitter = SimDuration::from_secs_f64(
-                sim.rng.uniform(0.0, 1e-3) + i as f64 * 1e-6,
+            let jitter = SimDuration::from_secs_f64(sim.rng.uniform(0.0, 1e-3) + i as f64 * 1e-6);
+            eng.schedule_in(
+                jitter,
+                Box::new(|sim: &mut ServerSim, eng: &mut Eng| inject(sim, eng)),
             );
-            eng.schedule_in(jitter, Box::new(|sim: &mut ServerSim, eng: &mut Eng| inject(sim, eng)));
         }
 
         self.finish(sim, eng)
@@ -752,9 +793,8 @@ impl Experiment {
             .gpus
             .iter()
             .map(|g| {
-                (PREPROC_POWER_WEIGHT * g.pre_gauge.integral(t_end)
-                    + g.inf_gauge.integral(t_end))
-                .min(span)
+                (PREPROC_POWER_WEIGHT * g.pre_gauge.integral(t_end) + g.inf_gauge.integral(t_end))
+                    .min(span)
             })
             .collect();
         let pcie_total: f64 = sim.gpus.iter().map(|g| g.pcie.bytes_done()).sum();
@@ -849,4 +889,107 @@ pub fn serial_loop_throughput(
     let infer = node.gpu.infer_batch_time(model.flops, batch, engine);
     let total = decode + transfer + infer + b * per_image_overhead_s;
     b / total
+}
+
+#[cfg(test)]
+mod batcher_tests {
+    use super::*;
+    use vserve_device::{ImageSpec, NodeConfig};
+    use vserve_workload::ImageMix;
+
+    fn at_ms(x: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(x * 1e-3)
+    }
+
+    /// Injects a request straight into GPU 0's batch queue, bypassing
+    /// dispatch/preprocessing, and pokes the batcher — the minimal setup
+    /// for exercising the timer logic in isolation.
+    fn arrive(sim: &mut ServerSim, eng: &mut Eng) {
+        let id = sim.requests.len();
+        sim.requests.push(Some(Request {
+            img: ImageSpec::medium(),
+            arrived: eng.now(),
+            queue_s: 0.0,
+            dispatch_s: 0.0,
+            preproc_s: 0.0,
+            transfer_s: 0.0,
+            infer_s: 0.0,
+            gpu: 0,
+            mem_bytes: 0.0,
+        }));
+        sim.gpus[0].inf_queue.push((id, eng.now()));
+        try_form_batch(sim, eng, 0);
+    }
+
+    /// A full batch can launch between the timer being armed for its head
+    /// and that timer firing. The armed deadline then belongs to an
+    /// already-served head; a later arrival must get a fresh timer at its
+    /// *own* deadline rather than inheriting the stale one.
+    #[test]
+    fn batch_timer_tracks_current_head() {
+        let mut config = ServerConfig::optimized();
+        config.max_batch = 4;
+        config.max_queue_delay_s = 10e-3;
+        config.dynamic_batching = true;
+        config.instances_per_gpu = 2;
+        let mut sim = ServerSim::new(
+            NodeConfig::paper_testbed(),
+            config,
+            ModelProfile::vit_base(),
+            ImageMix::fixed(ImageSpec::medium()),
+            1,
+            false,
+        );
+        // Keep `incoming` high so the batcher always believes more work is
+        // on the way and actually waits on its timer.
+        sim.gpus[0].incoming = 100;
+        let mut eng: Eng = Engine::new();
+        eng.schedule_at(
+            at_ms(0.0),
+            Box::new(|sim: &mut ServerSim, eng: &mut Eng| arrive(sim, eng)),
+        );
+        for _ in 0..3 {
+            eng.schedule_at(
+                at_ms(1.0),
+                Box::new(|sim: &mut ServerSim, eng: &mut Eng| arrive(sim, eng)),
+            );
+        }
+        eng.schedule_at(
+            at_ms(2.0),
+            Box::new(|sim: &mut ServerSim, eng: &mut Eng| arrive(sim, eng)),
+        );
+
+        // t = 0: request 0 arms the timer for its deadline at 10 ms.
+        eng.run(&mut sim, at_ms(0.5));
+        let (deadline, _) = sim.gpus[0].batch_timer.expect("timer armed for head");
+        assert_eq!(deadline, at_ms(10.0));
+
+        // t = 1 ms: requests 1-3 complete a full batch, which launches
+        // immediately; the timer armed for request 0 is now stale and gone.
+        eng.run(&mut sim, at_ms(1.0));
+        assert!(sim.gpus[0].inf_queue.is_empty());
+        assert!(
+            sim.gpus[0].batch_timer.is_none(),
+            "stale timer must be cancelled when its head launches"
+        );
+        let head_wait = sim.requests[0].as_ref().expect("in flight").queue_s;
+        assert!((head_wait - 1e-3).abs() < 1e-9, "head waited {head_wait}");
+
+        // t = 2 ms: request 4 arrives alone and must get its own timer at
+        // 2 + 10 = 12 ms, not anything keyed to the served head.
+        eng.run(&mut sim, at_ms(2.0));
+        let (deadline, _) = sim.gpus[0].batch_timer.expect("fresh timer for new head");
+        assert_eq!(deadline, at_ms(12.0));
+
+        // The timer fires at 12 ms and launches request 4 after exactly
+        // its configured queueing delay.
+        eng.run(&mut sim, at_ms(12.0));
+        assert!(
+            sim.gpus[0].inf_queue.is_empty(),
+            "late head must launch at its deadline"
+        );
+        let waited = sim.requests[4].as_ref().expect("in flight").queue_s;
+        assert!((waited - 10e-3).abs() < 1e-9, "late head waited {waited}");
+        assert!(sim.gpus[0].batch_timer.is_none());
+    }
 }

@@ -67,7 +67,12 @@ pub struct SharedBandwidth {
     next_id: u64,
     epoch: u64,
     active_gauge: TimeWeightedGauge,
-    bytes_done: f64,
+    /// Total bytes ever offered to the link (accumulated in `start` call
+    /// order). Completed bytes are derived as `offered - in_flight`, so a
+    /// finished job contributes exactly its requested size — no rounding
+    /// drift from per-tick accumulation, no `done_eps` slack counted as
+    /// transferred.
+    offered: f64,
 }
 
 impl SharedBandwidth {
@@ -89,7 +94,7 @@ impl SharedBandwidth {
             next_id: 0,
             epoch: 0,
             active_gauge: TimeWeightedGauge::new(0.0, 0.0),
-            bytes_done: 0.0,
+            offered: 0.0,
         }
     }
 
@@ -108,9 +113,17 @@ impl SharedBandwidth {
         self.epoch
     }
 
-    /// Total bytes fully transferred so far.
+    /// Total bytes transferred so far, including partial progress of
+    /// in-flight jobs. Once a job completes it has contributed exactly its
+    /// requested size; with the link drained this equals the sum of all
+    /// offered sizes.
     pub fn bytes_done(&self) -> f64 {
-        self.bytes_done
+        // Sum remaining bytes in ascending-id order: HashMap iteration
+        // order must not leak into reported totals (determinism).
+        let mut ids: Vec<u64> = self.jobs.keys().copied().collect();
+        ids.sort_unstable();
+        let in_flight: f64 = ids.iter().map(|id| self.jobs[id]).sum();
+        (self.offered - in_flight).max(0.0)
     }
 
     fn advance(&mut self, now: SimTime) {
@@ -123,9 +136,7 @@ impl SharedBandwidth {
         if dt > 0.0 {
             let per_job = self.capacity / self.jobs.len() as f64 * dt;
             for rem in self.jobs.values_mut() {
-                let consumed = per_job.min(*rem);
-                *rem -= consumed;
-                self.bytes_done += consumed;
+                *rem -= per_job.min(*rem);
             }
         }
         self.last = now;
@@ -139,7 +150,9 @@ impl SharedBandwidth {
         self.advance(now);
         let id = self.next_id;
         self.next_id += 1;
-        self.jobs.insert(id, bytes.max(0.0));
+        let bytes = bytes.max(0.0);
+        self.offered += bytes;
+        self.jobs.insert(id, bytes);
         self.epoch += 1;
         self.active_gauge
             .set(now.as_secs_f64(), self.jobs.len() as f64);
@@ -185,8 +198,7 @@ impl SharedBandwidth {
             .collect();
         done.sort_unstable();
         for id in &done {
-            let leftover = self.jobs.remove(id).unwrap_or(0.0);
-            self.bytes_done += leftover;
+            self.jobs.remove(id);
         }
         if !done.is_empty() {
             self.epoch += 1;
@@ -229,7 +241,7 @@ mod tests {
         link.start(SimTime::ZERO, 100.0); // alone: would finish at 1 s
         let mid = SimTime::from_nanos(500_000_000);
         link.start(mid, 100.0); // arrives at 0.5 s
-        // First job has 50 B left at 0.5 s, now at 50 B/s → finishes at 1.5 s.
+                                // First job has 50 B left at 0.5 s, now at 50 B/s → finishes at 1.5 s.
         let c = link.next_completion(mid).unwrap();
         assert!((c.at.as_secs_f64() - 1.5).abs() < 1e-6);
         let done = link.take_completed(c.at);
@@ -290,6 +302,9 @@ mod tests {
             let expect = total / cap;
             prop_assert!((now.as_secs_f64() - expect).abs() < 1e-6 * (1.0 + expect),
                 "finished at {} expected {}", now.as_secs_f64(), expect);
+            // Byte conservation is exact, not approximate: with the link
+            // drained, completed bytes equal the offered sizes to the bit.
+            prop_assert_eq!(link.bytes_done(), total);
         }
     }
 }

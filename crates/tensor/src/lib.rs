@@ -46,6 +46,13 @@ pub enum TensorError {
     },
     /// A dimension was zero.
     EmptyDimension,
+    /// Tensors combined into a batch disagreed on shape.
+    ShapeMismatch {
+        /// Shape of the first (reference) tensor.
+        expected: Vec<usize>,
+        /// Shape of the offending tensor.
+        actual: Vec<usize>,
+    },
 }
 
 impl std::fmt::Display for TensorError {
@@ -58,6 +65,12 @@ impl std::fmt::Display for TensorError {
                 )
             }
             TensorError::EmptyDimension => write!(f, "dimensions must be non-zero"),
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "shape {actual:?} does not match batch shape {expected:?}"
+                )
+            }
         }
     }
 }

@@ -251,10 +251,10 @@ mod tests {
             resize_area(&img, 7, 5),
             resize_bilinear(&img, 40, 30),
         ] {
-            assert!(out
-                .as_bytes()
-                .iter()
-                .all(|&b| b == 99), "constant image must stay constant");
+            assert!(
+                out.as_bytes().iter().all(|&b| b == 99),
+                "constant image must stay constant"
+            );
         }
     }
 

@@ -148,6 +148,81 @@ impl Tensor {
         }
     }
 
+    /// Stacks batch-1 tensors along the leading dimension.
+    ///
+    /// Every item must share the same shape with a leading dimension of 1
+    /// (e.g. `[1, C, H, W]`); the result replaces that leading 1 with the
+    /// item count. This is the op a dynamic batcher uses to turn N
+    /// preprocessed inputs into one NCHW batch tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] for an empty item list, or
+    /// [`TensorError::ShapeMismatch`] when an item's shape differs from the
+    /// first item's or its leading dimension is not 1.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vserve_tensor::Tensor;
+    ///
+    /// let a = Tensor::zeros(&[1, 3, 2, 2]);
+    /// let b = Tensor::zeros(&[1, 3, 2, 2]);
+    /// let batch = Tensor::stack(&[&a, &b]).unwrap();
+    /// assert_eq!(batch.shape(), &[2, 3, 2, 2]);
+    /// ```
+    pub fn stack(items: &[&Tensor]) -> Result<Tensor, TensorError> {
+        let first = items.first().ok_or(TensorError::EmptyDimension)?;
+        if first.shape[0] != 1 {
+            return Err(TensorError::ShapeMismatch {
+                expected: std::iter::once(1)
+                    .chain(first.shape[1..].iter().copied())
+                    .collect(),
+                actual: first.shape.clone(),
+            });
+        }
+        let mut data = Vec::with_capacity(first.len() * items.len());
+        for t in items {
+            if t.shape != first.shape {
+                return Err(TensorError::ShapeMismatch {
+                    expected: first.shape.clone(),
+                    actual: t.shape.clone(),
+                });
+            }
+            data.extend_from_slice(&t.data);
+        }
+        let mut shape = first.shape.clone();
+        shape[0] = items.len();
+        Ok(Tensor { shape, data })
+    }
+
+    /// Splits a batched tensor back into batch-1 tensors along the leading
+    /// dimension — the inverse of [`stack`](Self::stack).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vserve_tensor::Tensor;
+    ///
+    /// let batch = Tensor::zeros(&[3, 10]);
+    /// let items = batch.unstack();
+    /// assert_eq!(items.len(), 3);
+    /// assert_eq!(items[0].shape(), &[1, 10]);
+    /// ```
+    pub fn unstack(&self) -> Vec<Tensor> {
+        let n = self.shape[0];
+        let per = self.data.len() / n;
+        let mut shape = self.shape.clone();
+        shape[0] = 1;
+        self.data
+            .chunks(per)
+            .map(|chunk| Tensor {
+                shape: shape.clone(),
+                data: chunk.to_vec(),
+            })
+            .collect()
+    }
+
     /// Index of the maximum element in the flat buffer (first on ties).
     ///
     /// # Panics
@@ -240,6 +315,39 @@ mod tests {
     fn argmax_first_max() {
         let t = Tensor::from_vec(&[4], vec![1.0, 9.0, 9.0, 2.0]).unwrap();
         assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn stack_concatenates_in_order() {
+        let a = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(&[1, 2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let s = Tensor::stack(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        assert_eq!(s.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn stack_rejects_mismatched_shapes() {
+        let a = Tensor::zeros(&[1, 4]);
+        let b = Tensor::zeros(&[1, 5]);
+        assert!(matches!(
+            Tensor::stack(&[&a, &b]),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        let c = Tensor::zeros(&[2, 4]);
+        assert!(matches!(
+            Tensor::stack(&[&c]),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert_eq!(Tensor::stack(&[]), Err(TensorError::EmptyDimension));
+    }
+
+    #[test]
+    fn unstack_inverts_stack() {
+        let a = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(&[1, 3], vec![4.0, 5.0, 6.0]).unwrap();
+        let items = Tensor::stack(&[&a, &b]).unwrap().unstack();
+        assert_eq!(items, vec![a, b]);
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_batch: 8,
             max_queue_delay: Duration::from_millis(2),
             input_side: side,
+            ..LiveOptions::default()
         },
     );
 
@@ -65,6 +66,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p, i, t
         );
     }
+
+    let m = server.metrics();
+    println!(
+        "\nserver totals: {} requests, {} batched forward calls (mean batch {:.2}),\n\
+         {:.1} img/s, p99 {:.2} ms, stage shares queue {:.1}% / preproc {:.1}% / inference {:.1}%",
+        m.completed,
+        m.forward_calls,
+        m.mean_batch,
+        m.throughput,
+        m.latency.p99 * 1e3,
+        m.queue_share() * 100.0,
+        m.preproc_share() * 100.0,
+        m.inference_share() * 100.0,
+    );
 
     println!(
         "\nEven on a laptop-scale CNN, the paper's effect is visible: as the\n\

@@ -19,6 +19,7 @@ fn live(side: usize, classes: usize, seed: u64) -> LiveServer {
             max_batch: 4,
             max_queue_delay: Duration::from_millis(1),
             input_side: side,
+            ..LiveOptions::default()
         },
     )
 }
@@ -81,7 +82,9 @@ fn pipeline_survives_log_broker_restart() {
     let broker = LogBroker::open(&dir, FsyncPolicy::PerMessage).expect("reopen");
     assert_eq!(broker.len("faces"), 5);
     let identifier = live(32, 6, 3);
-    let all = broker.fetch("faces", "id", 100).expect("fetch after restart");
+    let all = broker
+        .fetch("faces", "id", 100)
+        .expect("fetch after restart");
     assert_eq!(all.len(), 5);
     for msg in all {
         let r = identifier.infer(msg.to_vec()).expect("identify");
@@ -101,7 +104,13 @@ fn live_preproc_scales_with_image_inference_does_not() {
     // Median of several runs to damp scheduler noise.
     let measure = |jpeg: &[u8]| {
         let mut pre: Vec<f64> = (0..5)
-            .map(|_| server.infer(jpeg.to_vec()).expect("infer").preproc.as_secs_f64())
+            .map(|_| {
+                server
+                    .infer(jpeg.to_vec())
+                    .expect("infer")
+                    .preproc
+                    .as_secs_f64()
+            })
             .collect();
         pre.sort_by(|a, b| a.total_cmp(b));
         pre[2]
@@ -112,6 +121,45 @@ fn live_preproc_scales_with_image_inference_does_not() {
     assert!(
         pre_big > 5.0 * pre_small,
         "preproc small {pre_small:.6}s vs big {pre_big:.6}s"
+    );
+}
+
+/// The live server reproduces the sim's headline shape result
+/// (`paper_shapes.rs::preproc_share_grows_with_image_size`): the fraction
+/// of a request spent preprocessing grows monotonically with image size.
+#[test]
+fn live_preproc_share_grows_with_image_size() {
+    // Zero batcher delay keeps batches at ~1 so the share is not diluted
+    // by co-batched requests' wait time.
+    let server = LiveServer::start(
+        Model::from_graph(models::micro_cnn(32, 4).expect("valid graph"), 13),
+        LiveOptions {
+            preproc_workers: 1,
+            inference_workers: 1,
+            max_batch: 1,
+            max_queue_delay: Duration::ZERO,
+            input_side: 32,
+            ..LiveOptions::default()
+        },
+    );
+    let share = |w: usize, h: usize| {
+        let jpeg = synthetic_jpeg(&ImageSpec::new(w, h, 0), 3);
+        let _ = server.infer(jpeg.clone()).expect("warm-up");
+        let mut shares: Vec<f64> = (0..7)
+            .map(|_| {
+                let r = server.infer(jpeg.clone()).expect("infer");
+                r.preproc.as_secs_f64() / r.total.as_secs_f64()
+            })
+            .collect();
+        shares.sort_by(|a, b| a.total_cmp(b));
+        shares[3]
+    };
+    let small = share(64, 64);
+    let medium = share(400, 300);
+    let large = share(1280, 960);
+    assert!(
+        small < medium && medium < large,
+        "preproc share must grow with image size: {small:.3} {medium:.3} {large:.3}"
     );
 }
 
