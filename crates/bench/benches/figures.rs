@@ -34,7 +34,9 @@ fn bench_fig5(c: &mut Criterion) {
 fn bench_fig6(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
-    g.bench_function("fig6_zero_load_breakdown", |b| b.iter(|| figs::fig6(quick())));
+    g.bench_function("fig6_zero_load_breakdown", |b| {
+        b.iter(|| figs::fig6(quick()))
+    });
     g.finish();
 }
 

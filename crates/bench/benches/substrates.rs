@@ -115,7 +115,10 @@ fn bench_sim_engine(c: &mut Criterion) {
                     Box::new(|s: &mut u64, e: &mut Engine<u64>| {
                         *s += 1;
                         if *s % 100 == 0 {
-                            e.schedule_in(SimDuration::from_nanos(1), Box::new(|s: &mut u64, _| *s += 1));
+                            e.schedule_in(
+                                SimDuration::from_nanos(1),
+                                Box::new(|s: &mut u64, _| *s += 1),
+                            );
                         }
                     }),
                 );

@@ -39,7 +39,10 @@ pub fn batch_delay_sweep(w: Windows) -> String {
             fmt(r.mean_batch, 1),
         ]);
     }
-    format!("Ablation — dynamic batching max delay (ViT-Base, medium)\n{}", t.render())
+    format!(
+        "Ablation — dynamic batching max delay (ViT-Base, medium)\n{}",
+        t.render()
+    )
 }
 
 /// Grid over CPU preprocessing workers × instances: the paper's "quick
@@ -62,7 +65,10 @@ pub fn worker_instance_grid(w: Windows) -> String {
             ]);
         }
     }
-    format!("Ablation — preprocessing workers × model instances\n{}", t.render())
+    format!(
+        "Ablation — preprocessing workers × model instances\n{}",
+        t.render()
+    )
 }
 
 /// Sweep the host staging bandwidth: what moves the Fig 9 multi-GPU knee
@@ -106,8 +112,12 @@ pub fn memory_watermark_sweep(w: Windows) -> String {
     for watermark in [0.4, 0.6, 0.8, 1.0] {
         let mut node = NodeConfig::paper_testbed();
         node.gpu.mem_watermark = watermark;
-        let x512 = base(node, ServerConfig::optimized(), 512, w).run().throughput;
-        let x4096 = base(node, ServerConfig::optimized(), 4096, w).run().throughput;
+        let x512 = base(node, ServerConfig::optimized(), 512, w)
+            .run()
+            .throughput;
+        let x4096 = base(node, ServerConfig::optimized(), 4096, w)
+            .run()
+            .throughput;
         t.row_owned(vec![
             fmt(watermark, 1),
             fmt(x512, 0),
@@ -127,7 +137,11 @@ pub fn broker_cost_sweep(w: Windows) -> String {
     use vserve_broker::BrokerKind;
     let node = NodeConfig::paper_testbed();
     let mut t = Table::new(&["broker", "faces", "frames/s"]);
-    for broker in [BrokerKind::KafkaLike, BrokerKind::RedisLike, BrokerKind::Fused] {
+    for broker in [
+        BrokerKind::KafkaLike,
+        BrokerKind::RedisLike,
+        BrokerKind::Fused,
+    ] {
         for k in [4u64, 12, 25] {
             let r = PipelineExperiment {
                 node,

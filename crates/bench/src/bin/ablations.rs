@@ -1,4 +1,7 @@
 //! Runs every design-choice ablation sweep.
 fn main() {
-    println!("{}", vserve_bench::ablations::all(vserve_bench::figs::Windows::default()));
+    println!(
+        "{}",
+        vserve_bench::ablations::all(vserve_bench::figs::Windows::default())
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Fig 9; see `vserve_bench::figs`.
 fn main() {
-    println!("{}", vserve_bench::figs::fig9_report(vserve_bench::figs::Windows::default()));
+    println!(
+        "{}",
+        vserve_bench::figs::fig9_report(vserve_bench::figs::Windows::default())
+    );
 }

@@ -213,7 +213,10 @@ pub fn fig3_report(w: Windows) -> String {
             fmt(r.throughput / r.paper, 2),
         ]);
     }
-    format!("Fig 3 — ViT-Base software ladder (medium images)\n{}", t.render())
+    format!(
+        "Fig 3 — ViT-Base software ladder (medium images)\n{}",
+        t.render()
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -251,8 +254,7 @@ pub fn fig4(w: Windows) -> Vec<Fig4Row> {
                 w,
             )
             .run();
-            let gpu =
-                experiment(node, ServerConfig::optimized(), e.profile(), img, 128, w).run();
+            let gpu = experiment(node, ServerConfig::optimized(), e.profile(), img, 128, w).run();
             Fig4Row {
                 name: e.name.to_string(),
                 gflops: e.gflops,
@@ -459,7 +461,10 @@ pub fn fig6_report(w: Windows) -> String {
                 .unwrap_or_else(|| "-".into()),
         ]);
     }
-    format!("Fig 6 — zero-load latency breakdown, ViT-Base\n{}", t.render())
+    format!(
+        "Fig 6 — zero-load latency breakdown, ViT-Base\n{}",
+        t.render()
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -574,7 +579,10 @@ pub fn fig8(w: Windows) -> Vec<Fig8Row> {
         ModelProfile::resnet50(),
         ModelProfile::vit_base(),
     ] {
-        for (label, img) in [("medium", ImageSpec::medium()), ("large", ImageSpec::large())] {
+        for (label, img) in [
+            ("medium", ImageSpec::medium()),
+            ("large", ImageSpec::large()),
+        ] {
             for preproc in [PreprocWhere::Cpu, PreprocWhere::Gpu] {
                 let config = match preproc {
                     PreprocWhere::Cpu => ServerConfig::optimized_cpu_preproc(),
@@ -596,7 +604,14 @@ pub fn fig8(w: Windows) -> Vec<Fig8Row> {
 
 /// Renders Fig 8.
 pub fn fig8_report(w: Windows) -> String {
-    let mut t = Table::new(&["model", "image", "preproc", "cpu J/img", "gpu J/img", "total"]);
+    let mut t = Table::new(&[
+        "model",
+        "image",
+        "preproc",
+        "cpu J/img",
+        "gpu J/img",
+        "total",
+    ]);
     for r in fig8(w) {
         t.row_owned(vec![
             r.model.clone(),
@@ -634,7 +649,10 @@ pub struct Fig9Row {
 pub fn fig9(w: Windows) -> Vec<Fig9Row> {
     let model = ModelProfile::vit_base();
     let mut rows = Vec::new();
-    for (label, img) in [("medium", ImageSpec::medium()), ("large", ImageSpec::large())] {
+    for (label, img) in [
+        ("medium", ImageSpec::medium()),
+        ("large", ImageSpec::large()),
+    ] {
         for (arm, config) in [
             ("cpu-preproc", ServerConfig::optimized_cpu_preproc()),
             ("gpu-preproc", ServerConfig::optimized()),
@@ -646,8 +664,7 @@ pub fn fig9(w: Windows) -> Vec<Fig9Row> {
             for gpus in 1..=4 {
                 let node = NodeConfig::with_gpus(gpus);
                 let concurrency = 256 * gpus;
-                let r = experiment(node, config.clone(), model.clone(), img, concurrency, w)
-                    .run();
+                let r = experiment(node, config.clone(), model.clone(), img, concurrency, w).run();
                 rows.push(Fig9Row {
                     image: label,
                     arm,
@@ -707,7 +724,11 @@ pub struct Fig11Row {
 pub fn fig11(w: Windows) -> Vec<Fig11Row> {
     let node = NodeConfig::paper_testbed();
     let mut rows = Vec::new();
-    for broker in [BrokerKind::KafkaLike, BrokerKind::RedisLike, BrokerKind::Fused] {
+    for broker in [
+        BrokerKind::KafkaLike,
+        BrokerKind::RedisLike,
+        BrokerKind::Fused,
+    ] {
         for &k in &[1u64, 2, 4, 6, 9, 12, 16, 20, 25] {
             let exp = PipelineExperiment {
                 node,
@@ -735,13 +756,7 @@ pub fn fig11(w: Windows) -> Vec<Fig11Row> {
 /// Renders Fig 11 with the paper's headline comparisons.
 pub fn fig11_report(w: Windows) -> String {
     let rows = fig11(w);
-    let mut t = Table::new(&[
-        "broker",
-        "faces",
-        "frames/s",
-        "zero-load ms",
-        "broker %",
-    ]);
+    let mut t = Table::new(&["broker", "faces", "frames/s", "zero-load ms", "broker %"]);
     for r in &rows {
         t.row_owned(vec![
             r.broker.to_string(),

@@ -29,7 +29,8 @@ impl Table {
 
     /// Appends a row; missing cells render empty, extra cells are kept.
     pub fn row(&mut self, cells: &[&str]) {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of already-owned strings.
@@ -76,7 +77,15 @@ impl Table {
         };
         out.push_str(&render_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2)));
+        out.push_str(
+            &"-".repeat(
+                widths
+                    .iter()
+                    .map(|w| w + 2)
+                    .sum::<usize>()
+                    .saturating_sub(2),
+            ),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&render_row(row, &widths));

@@ -156,10 +156,7 @@ impl LogBroker {
 
     /// Number of records in `topic` (0 for unknown topics).
     pub fn len(&self, topic: &str) -> usize {
-        self.topics
-            .lock()
-            .get(topic)
-            .map_or(0, |t| t.index.len())
+        self.topics.lock().get(topic).map_or(0, |t| t.index.len())
     }
 
     /// Whether `topic` holds no records.
@@ -227,10 +224,8 @@ mod tests {
     use super::*;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "vserve-logbroker-{}-{tag}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("vserve-logbroker-{}-{tag}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         dir
     }
@@ -327,10 +322,8 @@ mod more_tests {
     use std::sync::Arc;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "vserve-logbroker2-{}-{tag}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("vserve-logbroker2-{}-{tag}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         dir
     }

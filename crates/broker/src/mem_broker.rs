@@ -67,9 +67,9 @@ impl MemBroker {
         let deadline = std::time::Instant::now() + timeout;
         let mut topics = self.topics.lock();
         loop {
-            let available = topics
-                .get(topic)
-                .map_or(0, |t| t.records.len() - t.groups.get(group).copied().unwrap_or(0));
+            let available = topics.get(topic).map_or(0, |t| {
+                t.records.len() - t.groups.get(group).copied().unwrap_or(0)
+            });
             if available > 0 {
                 return Ok(Self::take(&mut topics, topic, group, max));
             }
@@ -77,11 +77,7 @@ impl MemBroker {
             if now >= deadline {
                 return Ok(Vec::new());
             }
-            if self
-                .published
-                .wait_until(&mut topics, deadline)
-                .timed_out()
-            {
+            if self.published.wait_until(&mut topics, deadline).timed_out() {
                 return Ok(Self::take(&mut topics, topic, group, max));
             }
         }
@@ -182,7 +178,8 @@ mod tests {
         let b = Arc::new(MemBroker::new());
         let b2 = Arc::clone(&b);
         let handle = std::thread::spawn(move || {
-            b2.fetch_blocking("t", "g", 10, Duration::from_secs(5)).unwrap()
+            b2.fetch_blocking("t", "g", 10, Duration::from_secs(5))
+                .unwrap()
         });
         std::thread::sleep(Duration::from_millis(20));
         b.publish("t", b"wake").unwrap();

@@ -18,8 +18,7 @@ fn basis() -> &'static [[f32; 8]; 8] {
                 0.5
             };
             for (x, v) in row.iter_mut().enumerate() {
-                *v = (cu
-                    * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos())
+                *v = (cu * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos())
                     as f32;
             }
         }

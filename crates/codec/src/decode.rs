@@ -162,7 +162,9 @@ fn parse_sof(seg: &[u8]) -> Result<Frame, DecodeJpegError> {
         return Err(DecodeJpegError::Malformed("zero image dimension"));
     }
     if !(ncomp == 1 || ncomp == 3) {
-        return Err(DecodeJpegError::Malformed("only 1 or 3 components supported"));
+        return Err(DecodeJpegError::Malformed(
+            "only 1 or 3 components supported",
+        ));
     }
     if seg.len() < 6 + 3 * ncomp {
         return Err(DecodeJpegError::Malformed("short SOF component list"));
@@ -222,8 +224,7 @@ fn parse_dqt(mut seg: &[u8], dec: &mut Decoder) -> Result<(), DecodeJpegError> {
                 }
                 let mut t = [0u16; 64];
                 for zz in 0..64 {
-                    t[ZIGZAG[zz]] =
-                        u16::from(seg[1 + 2 * zz]) << 8 | u16::from(seg[2 + 2 * zz]);
+                    t[ZIGZAG[zz]] = u16::from(seg[1 + 2 * zz]) << 8 | u16::from(seg[2 + 2 * zz]);
                 }
                 (t, &seg[129..])
             }
@@ -284,7 +285,9 @@ fn parse_sos(seg: &[u8], dec: &mut Decoder) -> Result<(), DecodeJpegError> {
             .components
             .iter_mut()
             .find(|comp| comp.id == id)
-            .ok_or(DecodeJpegError::Malformed("SOS references unknown component"))?;
+            .ok_or(DecodeJpegError::Malformed(
+                "SOS references unknown component",
+            ))?;
         comp.dc_table = (tables >> 4) as usize;
         comp.ac_table = (tables & 0x0f) as usize;
     }
@@ -352,16 +355,14 @@ fn decode_scan(dec: &Decoder, ecs: &[u8]) -> Result<Image, DecodeJpegError> {
 
                 for by in 0..comp.v {
                     for bx in 0..comp.h {
-                        let block =
-                            decode_block(&mut reader, dc, ac, quant, &mut preds[ci])?;
+                        let block = decode_block(&mut reader, dc, ac, quant, &mut preds[ci])?;
                         let spatial = idct(&block);
                         let (pw, _) = plane_dims[ci];
                         let ox = (mx * comp.h + bx) * 8;
                         let oy = (my * comp.v + by) * 8;
                         for y in 0..8 {
                             for x in 0..8 {
-                                planes[ci][(oy + y) * pw + ox + x] =
-                                    spatial[y * 8 + x] + 128.0;
+                                planes[ci][(oy + y) * pw + ox + x] = spatial[y * 8 + x] + 128.0;
                             }
                         }
                     }

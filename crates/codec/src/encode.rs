@@ -6,8 +6,8 @@ use crate::bits::BitWriter;
 use crate::dct::fdct;
 use crate::huffman::{amplitude_bits, category, HuffEncoder};
 use crate::tables::{
-    scale_quant_table, AC_CHROMA, AC_LUMA, BASE_CHROMA_QUANT, BASE_LUMA_QUANT, DC_CHROMA,
-    DC_LUMA, ZIGZAG,
+    scale_quant_table, AC_CHROMA, AC_LUMA, BASE_CHROMA_QUANT, BASE_LUMA_QUANT, DC_CHROMA, DC_LUMA,
+    ZIGZAG,
 };
 use crate::{EncodeOptions, Subsampling};
 

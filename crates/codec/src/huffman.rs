@@ -48,7 +48,6 @@ impl HuffEncoder {
         assert!(len > 0, "symbol {symbol:#04x} has no code");
         w.put(code, len);
     }
-
 }
 
 /// Decoder-side table using the T.81 MINCODE/MAXCODE/VALPTR scheme.

@@ -272,7 +272,10 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert_eq!(decode(&[]).unwrap_err(), DecodeJpegError::NotAJpeg);
-        assert_eq!(decode(&[0x89, b'P', b'N', b'G']).unwrap_err(), DecodeJpegError::NotAJpeg);
+        assert_eq!(
+            decode(&[0x89, b'P', b'N', b'G']).unwrap_err(),
+            DecodeJpegError::NotAJpeg
+        );
         // SOI then EOI: no scan.
         assert_eq!(
             decode(&[0xff, 0xd8, 0xff, 0xd9]).unwrap_err(),
@@ -283,7 +286,9 @@ mod tests {
     #[test]
     fn decode_rejects_progressive() {
         // SOI + SOF2 header stub.
-        let data = [0xff, 0xd8, 0xff, 0xc2, 0x00, 0x0b, 8, 0, 8, 0, 8, 1, 1, 0x11, 0];
+        let data = [
+            0xff, 0xd8, 0xff, 0xc2, 0x00, 0x0b, 8, 0, 8, 0, 8, 1, 1, 0x11, 0,
+        ];
         assert_eq!(
             decode(&data).unwrap_err(),
             DecodeJpegError::UnsupportedFrame(0xc2)

@@ -63,7 +63,12 @@ fn entry(
 pub fn build() -> Vec<ZooEntry> {
     let mut zoo = vec![
         entry("resnet18-160", 160, None, models::resnet18(160, 1000)),
-        entry("mobile-vit-class", 160, None, models::vit(160, 16, 144, 8, 4, 1000)),
+        entry(
+            "mobile-vit-class",
+            160,
+            None,
+            models::vit(160, 16, 144, 8, 4, 1000),
+        ),
         entry("vit-tiny-16", 224, Some(1.26), models::vit_tiny(224)),
         entry("tinyvit-5m-class", 224, Some(1.3), models::tiny_vit(224)),
         entry("facenet-160", 160, None, models::facenet(160)),
@@ -72,14 +77,24 @@ pub fn build() -> Vec<ZooEntry> {
         entry("resnet-50", 224, Some(4.1), models::resnet50(224, 1000)),
         entry("vit-small-16", 224, Some(4.6), models::vit_small(224)),
         entry("deit-small-16", 224, Some(4.6), models::vit_small(224)),
-        entry("vit-base-32", 224, Some(4.4), models::vit(224, 32, 768, 12, 12, 1000)),
+        entry(
+            "vit-base-32",
+            224,
+            Some(4.4),
+            models::vit(224, 32, 768, 12, 12, 1000),
+        ),
         entry(
             "segformer-b2-class",
             512,
             None,
             models::vit(512, 16, 448, 16, 8, 150),
         ),
-        entry("swin-base-class", 224, None, models::vit(224, 16, 640, 14, 10, 1000)),
+        entry(
+            "swin-base-class",
+            224,
+            None,
+            models::vit(224, 16, 640, 14, 10, 1000),
+        ),
         entry(
             "convnext-base-class",
             224,

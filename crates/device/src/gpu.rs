@@ -157,7 +157,10 @@ mod tests {
         assert!((batch1 - 1.3e-3).abs() < 0.2e-3, "batch-1 {batch1}");
         let per_img = g.infer_image_time(VIT_B, 32, EngineKind::TensorRt);
         let throughput = 1.0 / per_img;
-        assert!((throughput - 1970.0).abs() < 200.0, "throughput {throughput}");
+        assert!(
+            (throughput - 1970.0).abs() < 200.0,
+            "throughput {throughput}"
+        );
     }
 
     #[test]
@@ -185,7 +188,10 @@ mod tests {
         let small = g.preproc_time_zero_load(&ImageSpec::small());
         assert!(small > 1.0e-3, "small GPU zero-load {small}");
         let large = g.preproc_time_zero_load(&ImageSpec::large());
-        assert!((large - 9.3e-3).abs() < 1.5e-3, "large GPU zero-load {large}");
+        assert!(
+            (large - 9.3e-3).abs() < 1.5e-3,
+            "large GPU zero-load {large}"
+        );
     }
 
     #[test]

@@ -111,17 +111,33 @@ mod tests {
             p / (p + inf)
         };
         let share_gpu = |img: &ImageSpec| {
-            let p = node.gpu.preproc_time_zero_load(img)
-                + node.gpu.transfer_time(img.compressed_bytes);
+            let p =
+                node.gpu.preproc_time_zero_load(img) + node.gpu.transfer_time(img.compressed_bytes);
             p / (p + inf)
         };
 
         let m = ImageSpec::medium();
         let l = ImageSpec::large();
-        assert!((share_cpu(&m) - 0.56).abs() < 0.06, "cpu medium {}", share_cpu(&m));
-        assert!((share_gpu(&m) - 0.49).abs() < 0.06, "gpu medium {}", share_gpu(&m));
-        assert!((share_cpu(&l) - 0.97).abs() < 0.02, "cpu large {}", share_cpu(&l));
-        assert!((share_gpu(&l) - 0.88).abs() < 0.03, "gpu large {}", share_gpu(&l));
+        assert!(
+            (share_cpu(&m) - 0.56).abs() < 0.06,
+            "cpu medium {}",
+            share_cpu(&m)
+        );
+        assert!(
+            (share_gpu(&m) - 0.49).abs() < 0.06,
+            "gpu medium {}",
+            share_gpu(&m)
+        );
+        assert!(
+            (share_cpu(&l) - 0.97).abs() < 0.02,
+            "cpu large {}",
+            share_cpu(&l)
+        );
+        assert!(
+            (share_gpu(&l) - 0.88).abs() < 0.03,
+            "gpu large {}",
+            share_gpu(&l)
+        );
     }
 
     #[test]

@@ -117,14 +117,23 @@ impl Op {
         };
         match self {
             Op::Input(shape) => Ok(shape.clone()),
-            Op::Conv2d { out_c, k, stride, pad } => match one(0)? {
+            Op::Conv2d {
+                out_c,
+                k,
+                stride,
+                pad,
+            } => match one(0)? {
                 Shape::Chw(_, h, w) => {
                     let hh = h + 2 * pad;
                     let ww = w + 2 * pad;
                     if hh < *k || ww < *k {
                         return Err(fail("kernel larger than padded input"));
                     }
-                    Ok(Shape::Chw(*out_c, (hh - k) / stride + 1, (ww - k) / stride + 1))
+                    Ok(Shape::Chw(
+                        *out_c,
+                        (hh - k) / stride + 1,
+                        (ww - k) / stride + 1,
+                    ))
                 }
                 _ => Err(fail("conv2d expects CHW input")),
             },
@@ -331,7 +340,10 @@ impl Graph {
                 return Err(DnnError::BadNodeRef(i));
             }
         }
-        let shapes: Vec<&Shape> = inputs.iter().map(|&NodeId(i)| &self.nodes[i].shape).collect();
+        let shapes: Vec<&Shape> = inputs
+            .iter()
+            .map(|&NodeId(i)| &self.nodes[i].shape)
+            .collect();
         let shape = op.infer_shape(&shapes)?;
         self.nodes.push(Node {
             op,
@@ -397,14 +409,24 @@ mod tests {
 
     #[test]
     fn conv_shape_inference() {
-        let op = Op::Conv2d { out_c: 16, k: 3, stride: 2, pad: 1 };
+        let op = Op::Conv2d {
+            out_c: 16,
+            k: 3,
+            stride: 2,
+            pad: 1,
+        };
         let out = op.infer_shape(&[&Shape::Chw(3, 224, 224)]).unwrap();
         assert_eq!(out, Shape::Chw(16, 112, 112));
     }
 
     #[test]
     fn conv_flops_formula() {
-        let op = Op::Conv2d { out_c: 64, k: 7, stride: 2, pad: 3 };
+        let op = Op::Conv2d {
+            out_c: 64,
+            k: 7,
+            stride: 2,
+            pad: 3,
+        };
         let input = Shape::Chw(3, 224, 224);
         let output = op.infer_shape(&[&input]).unwrap();
         assert_eq!(output, Shape::Chw(64, 112, 112));
@@ -423,7 +445,10 @@ mod tests {
 
     #[test]
     fn patchify_token_count() {
-        let op = Op::Patchify { patch: 16, embed: 768 };
+        let op = Op::Patchify {
+            patch: 16,
+            embed: 768,
+        };
         let out = op.infer_shape(&[&Shape::Chw(3, 224, 224)]).unwrap();
         assert_eq!(out, Shape::Tokens(197, 768));
     }

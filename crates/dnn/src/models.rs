@@ -66,19 +66,38 @@ pub fn tiny_vit(img: usize) -> Result<Graph, DnnError> {
     vit(img, 16, 320, 5, 5, 1000)
 }
 
-fn basic_block(
-    g: &mut Graph,
-    x: NodeId,
-    out_c: usize,
-    stride: usize,
-) -> Result<NodeId, DnnError> {
-    let c1 = g.push(Op::Conv2d { out_c, k: 3, stride, pad: 1 }, &[x])?;
+fn basic_block(g: &mut Graph, x: NodeId, out_c: usize, stride: usize) -> Result<NodeId, DnnError> {
+    let c1 = g.push(
+        Op::Conv2d {
+            out_c,
+            k: 3,
+            stride,
+            pad: 1,
+        },
+        &[x],
+    )?;
     let b1 = g.push(Op::BatchNorm, &[c1])?;
     let r1 = g.push(Op::Relu, &[b1])?;
-    let c2 = g.push(Op::Conv2d { out_c, k: 3, stride: 1, pad: 1 }, &[r1])?;
+    let c2 = g.push(
+        Op::Conv2d {
+            out_c,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        },
+        &[r1],
+    )?;
     let b2 = g.push(Op::BatchNorm, &[c2])?;
     let shortcut = if stride != 1 || g.shape(x) != g.shape(b2) {
-        let p = g.push(Op::Conv2d { out_c, k: 1, stride, pad: 0 }, &[x])?;
+        let p = g.push(
+            Op::Conv2d {
+                out_c,
+                k: 1,
+                stride,
+                pad: 0,
+            },
+            &[x],
+        )?;
         g.push(Op::BatchNorm, &[p])?
     } else {
         x
@@ -94,16 +113,48 @@ fn bottleneck_block(
     stride: usize,
 ) -> Result<NodeId, DnnError> {
     let out_c = width * 4;
-    let c1 = g.push(Op::Conv2d { out_c: width, k: 1, stride: 1, pad: 0 }, &[x])?;
+    let c1 = g.push(
+        Op::Conv2d {
+            out_c: width,
+            k: 1,
+            stride: 1,
+            pad: 0,
+        },
+        &[x],
+    )?;
     let b1 = g.push(Op::BatchNorm, &[c1])?;
     let r1 = g.push(Op::Relu, &[b1])?;
-    let c2 = g.push(Op::Conv2d { out_c: width, k: 3, stride, pad: 1 }, &[r1])?;
+    let c2 = g.push(
+        Op::Conv2d {
+            out_c: width,
+            k: 3,
+            stride,
+            pad: 1,
+        },
+        &[r1],
+    )?;
     let b2 = g.push(Op::BatchNorm, &[c2])?;
     let r2 = g.push(Op::Relu, &[b2])?;
-    let c3 = g.push(Op::Conv2d { out_c, k: 1, stride: 1, pad: 0 }, &[r2])?;
+    let c3 = g.push(
+        Op::Conv2d {
+            out_c,
+            k: 1,
+            stride: 1,
+            pad: 0,
+        },
+        &[r2],
+    )?;
     let b3 = g.push(Op::BatchNorm, &[c3])?;
     let shortcut = if stride != 1 || g.shape(x) != g.shape(b3) {
-        let p = g.push(Op::Conv2d { out_c, k: 1, stride, pad: 0 }, &[x])?;
+        let p = g.push(
+            Op::Conv2d {
+                out_c,
+                k: 1,
+                stride,
+                pad: 0,
+            },
+            &[x],
+        )?;
         g.push(Op::BatchNorm, &[p])?
     } else {
         x
@@ -113,7 +164,15 @@ fn bottleneck_block(
 }
 
 fn resnet_stem(g: &mut Graph) -> Result<NodeId, DnnError> {
-    let c = g.push(Op::Conv2d { out_c: 64, k: 7, stride: 2, pad: 3 }, &[g.input()])?;
+    let c = g.push(
+        Op::Conv2d {
+            out_c: 64,
+            k: 7,
+            stride: 2,
+            pad: 3,
+        },
+        &[g.input()],
+    )?;
     let b = g.push(Op::BatchNorm, &[c])?;
     let r = g.push(Op::Relu, &[b])?;
     g.push(Op::MaxPool { k: 3, stride: 2 }, &[r])
@@ -234,12 +293,44 @@ pub fn faster_rcnn(img: usize) -> Result<Graph, DnnError> {
         }
     }
     // RPN: 3×3 conv + objectness/box branches on the final feature map.
-    let rpn = g.push(Op::Conv2d { out_c: 512, k: 3, stride: 1, pad: 1 }, &[x])?;
+    let rpn = g.push(
+        Op::Conv2d {
+            out_c: 512,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        },
+        &[x],
+    )?;
     let rpn_r = g.push(Op::Relu, &[rpn])?;
-    let _obj = g.push(Op::Conv2d { out_c: 9, k: 1, stride: 1, pad: 0 }, &[rpn_r])?;
-    let boxes = g.push(Op::Conv2d { out_c: 36, k: 1, stride: 1, pad: 0 }, &[rpn_r])?;
+    let _obj = g.push(
+        Op::Conv2d {
+            out_c: 9,
+            k: 1,
+            stride: 1,
+            pad: 0,
+        },
+        &[rpn_r],
+    )?;
+    let boxes = g.push(
+        Op::Conv2d {
+            out_c: 36,
+            k: 1,
+            stride: 1,
+            pad: 0,
+        },
+        &[rpn_r],
+    )?;
     // Detection head over pooled features (modeled densely).
-    let head = g.push(Op::Conv2d { out_c: 256, k: 3, stride: 1, pad: 1 }, &[boxes])?;
+    let head = g.push(
+        Op::Conv2d {
+            out_c: 256,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        },
+        &[boxes],
+    )?;
     let head_r = g.push(Op::Relu, &[head])?;
     let p = g.push(Op::GlobalAvgPool, &[head_r])?;
     g.push(Op::Linear { out: 91 * 5 }, &[p])?;
@@ -254,9 +345,25 @@ pub fn faster_rcnn(img: usize) -> Result<Graph, DnnError> {
 /// Returns [`DnnError::ShapeMismatch`] if `img < 8`.
 pub fn micro_cnn(img: usize, classes: usize) -> Result<Graph, DnnError> {
     let mut g = Graph::new(Shape::Chw(3, img, img));
-    let c1 = g.push(Op::Conv2d { out_c: 8, k: 3, stride: 2, pad: 1 }, &[g.input()])?;
+    let c1 = g.push(
+        Op::Conv2d {
+            out_c: 8,
+            k: 3,
+            stride: 2,
+            pad: 1,
+        },
+        &[g.input()],
+    )?;
     let r1 = g.push(Op::Relu, &[c1])?;
-    let c2 = g.push(Op::Conv2d { out_c: 16, k: 3, stride: 2, pad: 1 }, &[r1])?;
+    let c2 = g.push(
+        Op::Conv2d {
+            out_c: 16,
+            k: 3,
+            stride: 2,
+            pad: 1,
+        },
+        &[r1],
+    )?;
     let r2 = g.push(Op::Relu, &[c2])?;
     let p = g.push(Op::GlobalAvgPool, &[r2])?;
     let fc = g.push(Op::Linear { out: classes }, &[p])?;
@@ -309,7 +416,10 @@ mod tests {
         let r18 = gflops(&resnet18(224, 1000).unwrap());
         let r34 = gflops(&resnet34(224, 1000).unwrap());
         let r50 = gflops(&resnet50(224, 1000).unwrap());
-        assert!(r18 < r34 && r34 < r50 * 1.05, "r18 {r18} r34 {r34} r50 {r50}");
+        assert!(
+            r18 < r34 && r34 < r50 * 1.05,
+            "r18 {r18} r34 {r34} r50 {r50}"
+        );
         assert!((r34 - 3.6).abs() < 0.5, "ResNet-34 {r34}");
     }
 

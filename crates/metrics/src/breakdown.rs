@@ -56,9 +56,13 @@ impl StageBreakdown {
 
     /// Mean seconds per observation in `stage` (0.0 if unknown).
     pub fn mean(&self, stage: &str) -> f64 {
-        self.stages
-            .get(stage)
-            .map_or(0.0, |a| if a.count == 0 { 0.0 } else { a.total / a.count as f64 })
+        self.stages.get(stage).map_or(0.0, |a| {
+            if a.count == 0 {
+                0.0
+            } else {
+                a.total / a.count as f64
+            }
+        })
     }
 
     /// Number of observations recorded for `stage`.

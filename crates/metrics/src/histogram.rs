@@ -129,7 +129,10 @@ impl LogHistogram {
     /// Panics if layouts differ.
     pub fn merge(&mut self, other: &LogHistogram) {
         assert_eq!(self.buckets.len(), other.buckets.len(), "layout mismatch");
-        assert!((self.log_lo - other.log_lo).abs() < 1e-12, "layout mismatch");
+        assert!(
+            (self.log_lo - other.log_lo).abs() < 1e-12,
+            "layout mismatch"
+        );
         assert!(
             (self.log_growth - other.log_growth).abs() < 1e-15,
             "layout mismatch"

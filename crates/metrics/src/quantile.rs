@@ -106,12 +106,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, d)
-                };
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += d;
             }

@@ -179,7 +179,9 @@ mod tests {
 
     #[test]
     fn known_variance() {
-        let w: Welford = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let w: Welford = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((w.population_variance() - 4.0).abs() < 1e-12);
         assert!((w.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
     }

@@ -95,7 +95,10 @@ impl PipeSim {
     fn det_service(&self, batch: usize) -> f64 {
         let frame_img = ImageSpec::new(640, 640, 180 * 1024);
         let pre = self.node.gpu.preproc_time_batched(&frame_img, batch);
-        let inf = self.node.gpu.infer_image_time(self.det_flops, batch, self.engine);
+        let inf = self
+            .node
+            .gpu
+            .infer_image_time(self.det_flops, batch, self.engine);
         pre + inf
     }
 
@@ -103,12 +106,13 @@ impl PipeSim {
         if through_broker {
             // Cross-frame batches run at the full-batch operating point
             // and overlap with detection kernels (stream concurrency).
-            let compute =
-                self.id_flops / self.node.gpu.effective_flops(ID_MAX_BATCH, self.engine);
+            let compute = self.id_flops / self.node.gpu.effective_flops(ID_MAX_BATCH, self.engine);
             self.node.gpu.launch_s + n as f64 * (compute / OVERLAP_BOOST + STAGE2_PREPROC_S)
         } else {
             // Fused: this frame's faces alone, serialized with detection.
-            self.node.gpu.infer_batch_time(self.id_flops, n, self.engine)
+            self.node
+                .gpu
+                .infer_batch_time(self.id_flops, n, self.engine)
         }
     }
 }

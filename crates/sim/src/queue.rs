@@ -230,7 +230,7 @@ mod tests {
         let mut q: MultiServer<u32> = MultiServer::new(2);
         q.offer(SimTime::ZERO, 1); // 1 busy from t=0
         q.release(SimTime::from_nanos(500_000_000)); // idle from t=0.5s
-        // over [0, 1s]: busy-server integral = 0.5 → avg busy 0.5 → util 0.25
+                                                     // over [0, 1s]: busy-server integral = 0.5 → avg busy 0.5 → util 0.25
         let u = q.utilization(SimTime::from_nanos(1_000_000_000));
         assert!((u - 0.25).abs() < 1e-9);
     }

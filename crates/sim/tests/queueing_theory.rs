@@ -4,9 +4,9 @@
 //! them must match Pollaczek–Khinchine/Erlang results. These tests anchor
 //! the serving simulation's credibility.
 
+use vserve_metrics::Welford;
 use vserve_sim::rng::RngStream;
 use vserve_sim::{Engine, MultiServer, SimDuration, SimTime};
-use vserve_metrics::Welford;
 
 struct Mm {
     queue: MultiServer<u64>,
@@ -76,8 +76,14 @@ fn run_mm(servers: usize, lambda: f64, mu: f64, horizon_s: f64, seed: u64) -> Mm
         measure_from: SimTime::ZERO + SimDuration::from_secs_f64(horizon_s * 0.2),
     };
     let mut eng: Eng = Engine::new();
-    eng.schedule_at(SimTime::ZERO, Box::new(|sim: &mut Mm, eng: &mut Eng| arrive(sim, eng)));
-    eng.run(&mut sim, SimTime::ZERO + SimDuration::from_secs_f64(horizon_s));
+    eng.schedule_at(
+        SimTime::ZERO,
+        Box::new(|sim: &mut Mm, eng: &mut Eng| arrive(sim, eng)),
+    );
+    eng.run(
+        &mut sim,
+        SimTime::ZERO + SimDuration::from_secs_f64(horizon_s),
+    );
     sim
 }
 

@@ -103,7 +103,10 @@ impl Arrivals {
     ///
     /// Panics if any rate or the dwell time is not positive.
     pub fn bursty(burst_rate: f64, idle_rate: f64, mean_dwell: f64) -> Self {
-        assert!(burst_rate > 0.0 && idle_rate > 0.0, "rates must be positive");
+        assert!(
+            burst_rate > 0.0 && idle_rate > 0.0,
+            "rates must be positive"
+        );
         assert!(mean_dwell > 0.0, "dwell time must be positive");
         Arrivals::Bursty {
             burst_rate,
@@ -347,9 +350,7 @@ mod tests {
         let mut r = rng();
         for _ in 0..1000 {
             let s = mix.sample(&mut r);
-            assert!(
-                s == ImageSpec::small() || s == ImageSpec::medium() || s == ImageSpec::large()
-            );
+            assert!(s == ImageSpec::small() || s == ImageSpec::medium() || s == ImageSpec::large());
         }
     }
 
@@ -357,7 +358,9 @@ mod tests {
     fn imagenet_like_median_near_medium() {
         let mix = ImageMix::imagenet_like();
         let mut r = rng();
-        let mut px: Vec<f64> = (0..4000).map(|_| mix.sample(&mut r).pixels() as f64).collect();
+        let mut px: Vec<f64> = (0..4000)
+            .map(|_| mix.sample(&mut r).pixels() as f64)
+            .collect();
         px.sort_by(|a, b| a.total_cmp(b));
         let median = px[px.len() / 2];
         assert!(

@@ -68,7 +68,10 @@ fn main() {
         },
     ];
 
-    for (img_label, img) in [("medium", ImageSpec::medium()), ("large", ImageSpec::large())] {
+    for (img_label, img) in [
+        ("medium", ImageSpec::medium()),
+        ("large", ImageSpec::large()),
+    ] {
         println!(
             "== workload: {target_rps:.0} img/s of {img_label} images, p99 <= {slo_p99_ms:.0} ms ==\n"
         );

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let node = NodeConfig::paper_testbed();
     for faces in [2u64, 9, 25] {
         println!("faces/frame = {faces}");
-        for broker in [BrokerKind::KafkaLike, BrokerKind::RedisLike, BrokerKind::Fused] {
+        for broker in [
+            BrokerKind::KafkaLike,
+            BrokerKind::RedisLike,
+            BrokerKind::Fused,
+        ] {
             let report = PipelineExperiment {
                 node,
                 broker,

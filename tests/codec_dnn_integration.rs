@@ -82,10 +82,16 @@ fn codec_quality_grid() {
 #[test]
 fn zoo_flops_trace_to_graphs() {
     let zoo = vserve::zoo::build();
-    let vit_b = zoo.iter().find(|e| e.name == "vit-base-16").expect("vit-base in zoo");
+    let vit_b = zoo
+        .iter()
+        .find(|e| e.name == "vit-base-16")
+        .expect("vit-base in zoo");
     let graph = models::vit_base(224).expect("graph");
     assert_eq!(vit_b.gflops, graph.flops() as f64 / 1e9);
-    let r50 = zoo.iter().find(|e| e.name == "resnet-50").expect("resnet-50 in zoo");
+    let r50 = zoo
+        .iter()
+        .find(|e| e.name == "resnet-50")
+        .expect("resnet-50 in zoo");
     let graph = models::resnet50(224, 1000).expect("graph");
     assert_eq!(r50.gflops, graph.flops() as f64 / 1e9);
 }

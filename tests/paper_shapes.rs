@@ -20,7 +20,10 @@ fn base(config: ServerConfig, img: ImageSpec, concurrency: usize) -> Experiment 
 /// image size, for both preprocessing locations.
 #[test]
 fn preproc_share_grows_with_image_size() {
-    for config in [ServerConfig::optimized(), ServerConfig::optimized_cpu_preproc()] {
+    for config in [
+        ServerConfig::optimized(),
+        ServerConfig::optimized_cpu_preproc(),
+    ] {
         let shares: Vec<f64> = [ImageSpec::small(), ImageSpec::medium(), ImageSpec::large()]
             .into_iter()
             .map(|img| base(config.clone(), img, 1).zero_load().preproc_share())
@@ -120,7 +123,12 @@ fn multi_gpu_helps_medium_not_large() {
 /// the paper's primary model.
 #[test]
 fn cpu_preproc_energy_cost() {
-    let cpu = base(ServerConfig::optimized_cpu_preproc(), ImageSpec::medium(), 96).run();
+    let cpu = base(
+        ServerConfig::optimized_cpu_preproc(),
+        ImageSpec::medium(),
+        96,
+    )
+    .run();
     let gpu = base(ServerConfig::optimized(), ImageSpec::medium(), 96).run();
     assert!(
         cpu.energy.total_j_per_image() > gpu.energy.total_j_per_image(),
