@@ -1,0 +1,379 @@
+//! Kernel micro-benchmarks: naive vs tiled vs parallel compute paths.
+//!
+//! Times the hot kernels behind the paper's preprocessing + inference
+//! pipeline at the testbed shapes (224/336/448 px inputs, batch 1-32):
+//!
+//! * `gemm` (naive oracle) vs `gemm_tiled` (packed-B register tiling),
+//! * `conv2d_batch_ref` vs `conv2d_batch_into` (scratch-reusing, serial
+//!   and multi-threaded) on the 3->32 stride-2 stem convolution,
+//! * sequential vs parallel JPEG decode,
+//! * sequential vs parallel resize + normalize preprocessing.
+//!
+//! Every variant is checked bit-identical to its naive reference before
+//! it is timed, so a speedup here is never bought with a numeric drift.
+//!
+//! Results are printed as a table and appended as JSON lines to
+//! `BENCH_kernels.json` (override with `--out PATH`). `--smoke` shrinks
+//! shapes and repetitions to a few milliseconds for CI wiring checks.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Instant;
+
+use vserve_compute::{Backend, Scratch};
+use vserve_device::ImageSpec;
+use vserve_dnn::kernels;
+use vserve_tensor::{ops, Image};
+use vserve_workload::synthetic_jpeg;
+
+/// One timed variant of one benchmark, serialized as a JSON line.
+struct Record {
+    bench: &'static str,
+    variant: &'static str,
+    shape: String,
+    threads: usize,
+    secs: f64,
+    /// Work rate in the bench's natural unit (GFLOP/s or Mpix/s).
+    rate: f64,
+    rate_unit: &'static str,
+    speedup_vs_naive: f64,
+}
+
+impl Record {
+    fn json(&self, host_cores: usize, smoke: bool) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"variant\":\"{}\",\"shape\":\"{}\",\"threads\":{},\
+             \"secs\":{:.6},\"{}\":{:.3},\"speedup_vs_naive\":{:.3},\
+             \"host_cores\":{},\"smoke\":{}}}",
+            self.bench,
+            self.variant,
+            self.shape,
+            self.threads,
+            self.secs,
+            self.rate_unit,
+            self.rate,
+            self.speedup_vs_naive,
+            host_cores,
+            smoke
+        )
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Deterministic pseudo-random fill in [-1, 1) (xorshift).
+fn pseudo(seed: u64, len: usize) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+fn bench_gemm(records: &mut Vec<Record>, smoke: bool, par_threads: usize) {
+    let (m, k, n) = if smoke { (48, 48, 48) } else { (256, 256, 256) };
+    let reps = if smoke { 1 } else { 5 };
+    let a = pseudo(1, m * k);
+    let b = pseudo(2, k * n);
+    let mut c_naive = vec![0.0f32; m * n];
+    let mut c_tiled = vec![0.0f32; m * n];
+    let shape = format!("{m}x{k}x{n}");
+    let gflop = (2 * m * k * n) as f64 / 1e9;
+
+    let naive = time_best(reps, || kernels::gemm(&a, &b, &mut c_naive, m, k, n));
+    records.push(Record {
+        bench: "gemm",
+        variant: "naive",
+        shape: shape.clone(),
+        threads: 1,
+        secs: naive,
+        rate: gflop / naive,
+        rate_unit: "gflops",
+        speedup_vs_naive: 1.0,
+    });
+
+    for (variant, bk) in [
+        ("tiled_serial", Backend::serial()),
+        ("tiled_parallel", Backend::new(par_threads)),
+    ] {
+        let mut scratch = Scratch::new();
+        kernels::gemm_tiled(&bk, &mut scratch, &a, &b, &mut c_tiled, m, k, n);
+        assert_eq!(c_naive, c_tiled, "gemm_tiled diverged from naive gemm");
+        let secs = time_best(reps, || {
+            kernels::gemm_tiled(&bk, &mut scratch, &a, &b, &mut c_tiled, m, k, n)
+        });
+        records.push(Record {
+            bench: "gemm",
+            variant,
+            shape: shape.clone(),
+            threads: bk.threads(),
+            secs,
+            rate: gflop / secs,
+            rate_unit: "gflops",
+            speedup_vs_naive: naive / secs,
+        });
+    }
+}
+
+fn bench_conv(records: &mut Vec<Record>, smoke: bool, par_threads: usize) {
+    // The stem convolution of the paper's CNNs: 3->32 channels, 3x3,
+    // stride 2, pad 1, at the three input resolutions of the testbed.
+    let (in_c, out_c, k, stride, pad) = (3usize, 32usize, 3usize, 2usize, 1usize);
+    let shapes: Vec<(usize, usize)> = if smoke {
+        vec![(64, 1), (64, 4)]
+    } else {
+        vec![
+            (224, 1),
+            (224, 8),
+            (224, 32),
+            (336, 1),
+            (336, 8),
+            (448, 1),
+            (448, 8),
+        ]
+    };
+    let weight = pseudo(3, out_c * in_c * k * k);
+    let bias = pseudo(4, out_c);
+
+    for (px, batch) in shapes {
+        let input = pseudo(5 + px as u64, batch * in_c * px * px);
+        let flops = {
+            let o = px.div_ceil(stride);
+            (2 * batch * out_c * o * o * in_c * k * k) as f64
+        };
+        // Keep the heavy naive reference to one rep on big shapes.
+        let reps = if smoke {
+            1
+        } else if flops > 5e8 {
+            1
+        } else {
+            3
+        };
+        let shape = format!("{px}px_b{batch}");
+
+        let (ref_out, _, _) = kernels::conv2d_batch_ref(
+            &input, batch, &weight, &bias, in_c, px, px, out_c, k, stride, pad,
+        );
+        let naive = time_best(reps, || {
+            kernels::conv2d_batch_ref(
+                &input, batch, &weight, &bias, in_c, px, px, out_c, k, stride, pad,
+            );
+        });
+        records.push(Record {
+            bench: "conv2d_batch",
+            variant: "naive",
+            shape: shape.clone(),
+            threads: 1,
+            secs: naive,
+            rate: flops / naive / 1e9,
+            rate_unit: "gflops",
+            speedup_vs_naive: 1.0,
+        });
+
+        for (variant, bk) in [
+            ("tiled_serial", Backend::serial()),
+            ("tiled_parallel", Backend::new(par_threads)),
+        ] {
+            let mut scratch = Scratch::new();
+            let mut out = Vec::new();
+            kernels::conv2d_batch_into(
+                &bk,
+                &mut scratch,
+                &input,
+                batch,
+                &weight,
+                &bias,
+                in_c,
+                px,
+                px,
+                out_c,
+                k,
+                stride,
+                pad,
+                &mut out,
+            );
+            assert_eq!(ref_out, out, "conv2d_batch_into diverged from reference");
+            let secs = time_best(reps, || {
+                kernels::conv2d_batch_into(
+                    &bk,
+                    &mut scratch,
+                    &input,
+                    batch,
+                    &weight,
+                    &bias,
+                    in_c,
+                    px,
+                    px,
+                    out_c,
+                    k,
+                    stride,
+                    pad,
+                    &mut out,
+                );
+            });
+            records.push(Record {
+                bench: "conv2d_batch",
+                variant,
+                shape: shape.clone(),
+                threads: bk.threads(),
+                secs,
+                rate: flops / secs / 1e9,
+                rate_unit: "gflops",
+                speedup_vs_naive: naive / secs,
+            });
+        }
+    }
+}
+
+fn bench_decode(records: &mut Vec<Record>, smoke: bool, par_threads: usize) {
+    let px = if smoke { 96 } else { 448 };
+    let reps = if smoke { 1 } else { 5 };
+    let jpeg = synthetic_jpeg(&ImageSpec::new(px, px, 0), 17);
+    let mpix = (px * px) as f64 / 1e6;
+    let shape = format!("{px}px");
+
+    let ref_img = vserve_codec::decode(&jpeg).expect("decode");
+    let naive = time_best(reps, || {
+        vserve_codec::decode(&jpeg).expect("decode");
+    });
+    records.push(Record {
+        bench: "jpeg_decode",
+        variant: "serial",
+        shape: shape.clone(),
+        threads: 1,
+        secs: naive,
+        rate: mpix / naive,
+        rate_unit: "mpix_per_s",
+        speedup_vs_naive: 1.0,
+    });
+
+    let bk = Backend::new(par_threads);
+    let mut scratch = Scratch::new();
+    let img = vserve_codec::decode_with(&bk, &mut scratch, &jpeg).expect("decode");
+    assert_eq!(
+        ref_img.as_bytes(),
+        img.as_bytes(),
+        "parallel decode diverged"
+    );
+    let secs = time_best(reps, || {
+        vserve_codec::decode_with(&bk, &mut scratch, &jpeg).expect("decode");
+    });
+    records.push(Record {
+        bench: "jpeg_decode",
+        variant: "parallel",
+        shape,
+        threads: bk.threads(),
+        secs,
+        rate: mpix / secs,
+        rate_unit: "mpix_per_s",
+        speedup_vs_naive: naive / secs,
+    });
+}
+
+fn bench_preprocess(records: &mut Vec<Record>, smoke: bool, par_threads: usize) {
+    let (w, h, side) = if smoke {
+        (160, 120, 64)
+    } else {
+        (640, 480, 224)
+    };
+    let reps = if smoke { 1 } else { 5 };
+    let img = Image::noise(w, h, 23);
+    let mpix = (w * h) as f64 / 1e6;
+    let shape = format!("{w}x{h}->{side}");
+
+    let ref_t = ops::standard_preprocess(&img, side);
+    let naive = time_best(reps, || {
+        ops::standard_preprocess(&img, side);
+    });
+    records.push(Record {
+        bench: "preprocess",
+        variant: "serial",
+        shape: shape.clone(),
+        threads: 1,
+        secs: naive,
+        rate: mpix / naive,
+        rate_unit: "mpix_per_s",
+        speedup_vs_naive: 1.0,
+    });
+
+    let bk = Backend::new(par_threads);
+    let t = ops::standard_preprocess_with(&bk, &img, side);
+    assert_eq!(
+        ref_t.as_slice(),
+        t.as_slice(),
+        "parallel preprocess diverged"
+    );
+    let secs = time_best(reps, || {
+        ops::standard_preprocess_with(&bk, &img, side);
+    });
+    records.push(Record {
+        bench: "preprocess",
+        variant: "parallel",
+        shape,
+        threads: bk.threads(),
+        secs,
+        rate: mpix / secs,
+        rate_unit: "mpix_per_s",
+        speedup_vs_naive: naive / secs,
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let par_threads = Backend::from_env().threads().max(4);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut records = Vec::new();
+    bench_gemm(&mut records, smoke, par_threads);
+    bench_conv(&mut records, smoke, par_threads);
+    bench_decode(&mut records, smoke, par_threads);
+    bench_preprocess(&mut records, smoke, par_threads);
+
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "{:<14} {:<14} {:<12} {:>7} {:>12} {:>14} {:>9}",
+        "bench", "variant", "shape", "threads", "secs", "rate", "speedup"
+    );
+    for r in &records {
+        let _ = writeln!(
+            table,
+            "{:<14} {:<14} {:<12} {:>7} {:>12.6} {:>9.3} {:>4} {:>9.2}x",
+            r.bench, r.variant, r.shape, r.threads, r.secs, r.rate, r.rate_unit, r.speedup_vs_naive
+        );
+    }
+    print!("{table}");
+    println!("host_cores={host_cores} smoke={smoke}");
+
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+        .expect("open bench output");
+    for r in &records {
+        writeln!(file, "{}", r.json(host_cores, smoke)).expect("write bench output");
+    }
+    println!("appended {} records to {out_path}", records.len());
+}

@@ -1,5 +1,16 @@
 //! Baseline sequential JPEG decoder.
+//!
+//! Entropy (Huffman) decoding is inherently serial — each code's length is
+//! only known once the previous one is decoded — but everything after it
+//! is not. [`decode_with`] therefore splits the scan into two phases:
+//! a sequential pass that stores dequantized DCT coefficients per block,
+//! then data-parallel per-block-row IDCT and per-pixel-row color
+//! conversion on a [`Backend`]. Both phases are pure per-element
+//! functions, so output bytes are bit-identical for any thread count.
 
+use std::cell::RefCell;
+
+use vserve_compute::{Backend, Scratch};
 use vserve_tensor::{Image, PixelFormat};
 
 use crate::bits::BitReader;
@@ -52,11 +63,20 @@ fn read_u16(data: &[u8], pos: usize) -> Result<u16, DecodeJpegError> {
     Ok(u16::from(data[pos]) << 8 | u16::from(data[pos + 1]))
 }
 
+thread_local! {
+    /// Arena for [`decode`] callers that don't manage a [`Scratch`]
+    /// themselves: repeated decodes on one thread reuse the same
+    /// coefficient and plane buffers.
+    static LOCAL_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
 /// Decodes a baseline JFIF/JPEG byte stream into an [`Image`].
 ///
 /// Supports 8-bit baseline sequential JPEG (SOF0) with 1 or 3 components,
 /// arbitrary sampling factors up to 2×2, optional restart intervals, and
 /// standard or custom Huffman/quantization tables.
+///
+/// Single-threaded wrapper over [`decode_with`].
 ///
 /// # Errors
 ///
@@ -64,6 +84,25 @@ fn read_u16(data: &[u8], pos: usize) -> Result<u16, DecodeJpegError> {
 /// found: missing SOI, unsupported frame type, truncated segments,
 /// undefined tables, or corrupt entropy data.
 pub fn decode(data: &[u8]) -> Result<Image, DecodeJpegError> {
+    LOCAL_SCRATCH.with(|s| decode_with(&Backend::serial(), &mut s.borrow_mut(), data))
+}
+
+/// [`decode`] with an explicit compute backend and scratch arena.
+///
+/// Entropy decoding stays sequential; IDCT and color conversion run in
+/// parallel over disjoint row bands, producing bytes bit-identical to the
+/// serial decoder. Coefficient and plane temporaries come from `scratch`,
+/// so a preprocessing worker that decodes frame after frame stops touching
+/// the allocator once warm.
+///
+/// # Errors
+///
+/// Same conditions as [`decode`].
+pub fn decode_with(
+    bk: &Backend,
+    scratch: &mut Scratch,
+    data: &[u8],
+) -> Result<Image, DecodeJpegError> {
     if data.len() < 4 || data[0] != 0xff || data[1] != 0xd8 {
         return Err(DecodeJpegError::NotAJpeg);
     }
@@ -133,7 +172,7 @@ pub fn decode(data: &[u8]) -> Result<Image, DecodeJpegError> {
                 parse_sos(seg, &mut dec)?;
                 pos += len;
                 let ecs = data.get(pos..).ok_or(DecodeJpegError::UnexpectedEof)?;
-                return decode_scan(&dec, ecs);
+                return decode_scan(&dec, ecs, bk, scratch);
             }
             0x01 | 0xd0..=0xd7 => {} // TEM/RSTn: standalone, no length
             _ => {
@@ -294,23 +333,26 @@ fn parse_sos(seg: &[u8], dec: &mut Decoder) -> Result<(), DecodeJpegError> {
     Ok(())
 }
 
-fn decode_scan(dec: &Decoder, ecs: &[u8]) -> Result<Image, DecodeJpegError> {
+fn decode_scan(
+    dec: &Decoder,
+    ecs: &[u8],
+    bk: &Backend,
+    scratch: &mut Scratch,
+) -> Result<Image, DecodeJpegError> {
     let frame = dec.frame.as_ref().ok_or(DecodeJpegError::MissingScan)?;
     let max_h = frame.components.iter().map(|c| c.h).max().unwrap();
     let max_v = frame.components.iter().map(|c| c.v).max().unwrap();
     let mcus_x = frame.width.div_ceil(8 * max_h);
     let mcus_y = frame.height.div_ceil(8 * max_v);
 
-    // Component planes at their native (subsampled) resolution, padded to
-    // whole MCUs.
-    let mut planes: Vec<Vec<f32>> = Vec::new();
-    let mut plane_dims: Vec<(usize, usize)> = Vec::new();
-    for c in &frame.components {
-        let pw = mcus_x * 8 * c.h;
-        let ph = mcus_y * 8 * c.v;
-        planes.push(vec![0f32; pw * ph]);
-        plane_dims.push((pw, ph));
-    }
+    // Phase 1 (sequential): entropy-decode every block's dequantized DCT
+    // coefficients. Blocks are stored per component, 64 floats each,
+    // indexed ((my·mcus_x + mx)·v + by)·h + bx.
+    let mut coeffs: Vec<Vec<f32>> = frame
+        .components
+        .iter()
+        .map(|c| scratch.take(mcus_y * mcus_x * c.v * c.h * 64))
+        .collect();
 
     let mut segment = ecs;
     let mut reader = BitReader::new(segment);
@@ -356,22 +398,56 @@ fn decode_scan(dec: &Decoder, ecs: &[u8]) -> Result<Image, DecodeJpegError> {
                 for by in 0..comp.v {
                     for bx in 0..comp.h {
                         let block = decode_block(&mut reader, dc, ac, quant, &mut preds[ci])?;
-                        let spatial = idct(&block);
-                        let (pw, _) = plane_dims[ci];
-                        let ox = (mx * comp.h + bx) * 8;
-                        let oy = (my * comp.v + by) * 8;
-                        for y in 0..8 {
-                            for x in 0..8 {
-                                planes[ci][(oy + y) * pw + ox + x] = spatial[y * 8 + x] + 128.0;
-                            }
-                        }
+                        let b = ((my * mcus_x + mx) * comp.v + by) * comp.h + bx;
+                        coeffs[ci][b * 64..(b + 1) * 64].copy_from_slice(&block);
                     }
                 }
             }
         }
     }
 
-    assemble_image(frame, &planes, &plane_dims, max_h, max_v)
+    // Phase 2 (parallel): IDCT each block into its component plane at
+    // native (subsampled) resolution, padded to whole MCUs. Each worker
+    // owns a band of 8-pixel block rows, so writes never overlap.
+    let mut planes: Vec<Vec<f32>> = Vec::new();
+    let mut plane_dims: Vec<(usize, usize)> = Vec::new();
+    for c in &frame.components {
+        let pw = mcus_x * 8 * c.h;
+        let ph = mcus_y * 8 * c.v;
+        planes.push(scratch.take(pw * ph));
+        plane_dims.push((pw, ph));
+    }
+    for (ci, comp) in frame.components.iter().enumerate() {
+        let (pw, _) = plane_dims[ci];
+        let cblocks = &coeffs[ci];
+        bk.par_chunks_mut(&mut planes[ci], pw * 8, |brow, band| {
+            let my = brow / comp.v;
+            let by = brow % comp.v;
+            for mx in 0..mcus_x {
+                for bx in 0..comp.h {
+                    let b = ((my * mcus_x + mx) * comp.v + by) * comp.h + bx;
+                    let blk: &[f32; 64] = cblocks[b * 64..(b + 1) * 64].try_into().unwrap();
+                    let spatial = idct(blk);
+                    let ox = (mx * comp.h + bx) * 8;
+                    for y in 0..8 {
+                        for x in 0..8 {
+                            band[y * pw + ox + x] = spatial[y * 8 + x] + 128.0;
+                        }
+                    }
+                }
+            }
+        });
+    }
+    for buf in coeffs {
+        scratch.recycle(buf);
+    }
+
+    // Phase 3 (parallel): upsample + color-convert per pixel row.
+    let image = assemble_image(frame, &planes, &plane_dims, max_h, max_v, bk);
+    for buf in planes {
+        scratch.recycle(buf);
+    }
+    image
 }
 
 fn decode_block(
@@ -421,22 +497,23 @@ fn assemble_image(
     plane_dims: &[(usize, usize)],
     max_h: usize,
     max_v: usize,
+    bk: &Backend,
 ) -> Result<Image, DecodeJpegError> {
     let (w, h) = (frame.width, frame.height);
     if frame.components.len() == 1 {
         let (pw, _) = plane_dims[0];
         let mut data = vec![0u8; w * h];
-        for y in 0..h {
-            for x in 0..w {
-                data[y * w + x] = planes[0][y * pw + x].round().clamp(0.0, 255.0) as u8;
+        bk.par_chunks_mut(&mut data, w, |y, row| {
+            for (x, px) in row.iter_mut().enumerate() {
+                *px = planes[0][y * pw + x].round().clamp(0.0, 255.0) as u8;
             }
-        }
+        });
         return Image::from_raw(w, h, PixelFormat::Gray8, data)
             .map_err(|_| DecodeJpegError::Malformed("image assembly size mismatch"));
     }
 
     let mut data = vec![0u8; w * h * 3];
-    for y in 0..h {
+    bk.par_chunks_mut(&mut data, w * 3, |y, row| {
         for x in 0..w {
             let mut ycc = [0f32; 3];
             for (ci, comp) in frame.components.iter().enumerate() {
@@ -450,12 +527,11 @@ fn assemble_image(
             let r = yv + 1.402 * cr;
             let g = yv - 0.344_136 * cb - 0.714_136 * cr;
             let b = yv + 1.772 * cb;
-            let o = (y * w + x) * 3;
-            data[o] = r.round().clamp(0.0, 255.0) as u8;
-            data[o + 1] = g.round().clamp(0.0, 255.0) as u8;
-            data[o + 2] = b.round().clamp(0.0, 255.0) as u8;
+            row[x * 3] = r.round().clamp(0.0, 255.0) as u8;
+            row[x * 3 + 1] = g.round().clamp(0.0, 255.0) as u8;
+            row[x * 3 + 2] = b.round().clamp(0.0, 255.0) as u8;
         }
-    }
+    });
     Image::from_raw(w, h, PixelFormat::Rgb8, data)
         .map_err(|_| DecodeJpegError::Malformed("image assembly size mismatch"))
 }

@@ -38,7 +38,7 @@ mod encode;
 mod huffman;
 pub mod tables;
 
-pub use decode::decode;
+pub use decode::{decode, decode_with};
 pub use encode::encode;
 
 use vserve_tensor::Image;
@@ -339,6 +339,50 @@ mod tests {
         );
         let without = encode(&img, &EncodeOptions::default());
         assert_eq!(with, without);
+    }
+
+    #[test]
+    fn decode_with_threads_bit_identical() {
+        use vserve_compute::{Backend, Scratch};
+        let img = Image::gradient(97, 61); // ragged dims: partial edge MCUs
+        for subsampling in [Subsampling::S444, Subsampling::S420] {
+            let bytes = encode(
+                &img,
+                &EncodeOptions {
+                    quality: 90,
+                    subsampling,
+                    ..EncodeOptions::default()
+                },
+            );
+            let want = decode(&bytes).unwrap();
+            for threads in [1, 2, 4] {
+                let mut scratch = Scratch::new();
+                let got = decode_with(&Backend::new(threads), &mut scratch, &bytes).unwrap();
+                assert_eq!(
+                    want.as_bytes(),
+                    got.as_bytes(),
+                    "threads={threads} {subsampling:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_decode_reuses_scratch() {
+        use vserve_compute::{Backend, Scratch};
+        let bytes = encode(&Image::gradient(64, 48), &EncodeOptions::default());
+        let bk = Backend::serial();
+        let mut scratch = Scratch::new();
+        // The largest-first arena needs a few rounds to settle when big
+        // and small requests interleave; then it must stop allocating.
+        for _ in 0..4 {
+            let _ = decode_with(&bk, &mut scratch, &bytes).unwrap();
+        }
+        let warm = scratch.allocations();
+        for _ in 0..4 {
+            let _ = decode_with(&bk, &mut scratch, &bytes).unwrap();
+        }
+        assert_eq!(scratch.allocations(), warm);
     }
 
     #[test]

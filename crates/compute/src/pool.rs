@@ -1,0 +1,298 @@
+//! Scoped worker pool with deterministic work partitioning.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Environment variable read by [`Backend::from_env`] for the default
+/// thread count.
+pub const THREADS_ENV: &str = "VSERVE_THREADS";
+
+/// Below this many elements a parallel region runs inline regardless of
+/// thread count: thread spawn latency (~tens of µs) would dominate.
+const MIN_PAR_ELEMS: usize = 4096;
+
+#[derive(Default)]
+struct StatsCells {
+    regions: AtomicU64,
+    wall_nanos: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+/// Cumulative accounting for a [`Backend`], from [`Backend::stats`].
+///
+/// `busy` sums the time workers spent inside region bodies; `wall` sums
+/// the elapsed time of each region. On an ideal `t`-thread run,
+/// `busy ≈ wall × t`, so [`efficiency`](Self::efficiency) reports how much
+/// of the pool's theoretical capacity the partitioning actually used.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendStats {
+    /// Worker threads the backend was configured with.
+    pub threads: usize,
+    /// Parallel regions executed (inline fast paths included).
+    pub regions: u64,
+    /// Sum of per-region elapsed wall time.
+    pub wall: Duration,
+    /// Sum of per-worker time spent executing region bodies.
+    pub busy: Duration,
+}
+
+impl BackendStats {
+    /// Mean parallel efficiency: `busy / (wall × threads)`, in `[0, 1]`
+    /// for well-behaved loads. Returns 1.0 before any region has run.
+    pub fn efficiency(&self) -> f64 {
+        let denom = self.wall.as_secs_f64() * self.threads as f64;
+        if denom <= 0.0 {
+            1.0
+        } else {
+            self.busy.as_secs_f64() / denom
+        }
+    }
+}
+
+/// A scoped worker pool: splits mutable slices into disjoint chunk bands
+/// and runs one band per worker via [`std::thread::scope`].
+///
+/// Cloning a `Backend` yields a handle to the same statistics counters, so
+/// one backend can be shared across server stages and still report a
+/// single efficiency figure.
+///
+/// # Determinism
+///
+/// Work is partitioned *statically*: chunk `i` always covers the same
+/// elements and is always passed the same index, and workers never share
+/// output elements. Because no arithmetic is reordered across chunk
+/// boundaries, every computation built on `par_chunks_mut` produces
+/// bit-identical results for any thread count — the property the
+/// calibrated paper-shape tests rely on.
+#[derive(Clone)]
+pub struct Backend {
+    threads: usize,
+    stats: Arc<StatsCells>,
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backend")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::serial()
+    }
+}
+
+impl Backend {
+    /// A backend with exactly `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Backend {
+            threads: threads.max(1),
+            stats: Arc::new(StatsCells::default()),
+        }
+    }
+
+    /// A single-threaded backend: every region runs inline on the caller.
+    pub fn serial() -> Self {
+        Backend::new(1)
+    }
+
+    /// Thread count from the `VSERVE_THREADS` environment variable,
+    /// falling back to [`std::thread::available_parallelism`].
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Backend::new(threads)
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Snapshot of cumulative region accounting.
+    pub fn stats(&self) -> BackendStats {
+        BackendStats {
+            threads: self.threads,
+            regions: self.stats.regions.load(Ordering::Relaxed),
+            wall: Duration::from_nanos(self.stats.wall_nanos.load(Ordering::Relaxed)),
+            busy: Duration::from_nanos(self.stats.busy_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Splits `data` into consecutive `chunk`-element chunks (the final
+    /// chunk may be shorter) and calls `f(chunk_index, chunk)` for each,
+    /// distributing contiguous *bands* of chunks across the pool.
+    ///
+    /// Runs inline when the backend is single-threaded, when there are
+    /// fewer than two chunks, or when the slice is small enough that
+    /// spawn latency would dominate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`. Panics from `f` propagate to the caller
+    /// (the scope joins all workers first).
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be non-zero");
+        let n_chunks = data.len().div_ceil(chunk);
+        let t0 = Instant::now();
+        if self.threads == 1 || n_chunks < 2 || data.len() < MIN_PAR_ELEMS {
+            for (i, c) in data.chunks_mut(chunk).enumerate() {
+                f(i, c);
+            }
+            let dt = t0.elapsed().as_nanos() as u64;
+            self.stats.regions.fetch_add(1, Ordering::Relaxed);
+            self.stats.wall_nanos.fetch_add(dt, Ordering::Relaxed);
+            self.stats.busy_nanos.fetch_add(dt, Ordering::Relaxed);
+            return;
+        }
+        let workers = self.threads.min(n_chunks);
+        let stats = &self.stats;
+        let f = &f;
+        std::thread::scope(|s| {
+            let mut rest = data;
+            let mut first_chunk = 0usize;
+            for w in 0..workers {
+                // Even split in chunk units; the last band absorbs the
+                // ragged tail in element units.
+                let last_chunk = ((w + 1) * n_chunks) / workers;
+                let elems = ((last_chunk - first_chunk) * chunk).min(rest.len());
+                let (band, tail) = rest.split_at_mut(elems);
+                rest = tail;
+                let base = first_chunk;
+                first_chunk = last_chunk;
+                s.spawn(move || {
+                    let w0 = Instant::now();
+                    for (i, c) in band.chunks_mut(chunk).enumerate() {
+                        f(base + i, c);
+                    }
+                    stats
+                        .busy_nanos
+                        .fetch_add(w0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                });
+            }
+        });
+        let dt = t0.elapsed().as_nanos() as u64;
+        self.stats.regions.fetch_add(1, Ordering::Relaxed);
+        self.stats.wall_nanos.fetch_add(dt, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_clamped_to_one() {
+        assert_eq!(Backend::new(0).threads(), 1);
+        assert_eq!(Backend::serial().threads(), 1);
+        assert_eq!(Backend::new(7).threads(), 7);
+    }
+
+    #[test]
+    fn every_chunk_visited_exactly_once() {
+        // Large enough to cross MIN_PAR_ELEMS, ragged final chunk.
+        for threads in [1, 2, 3, 8] {
+            let bk = Backend::new(threads);
+            let mut data = vec![0u32; 10_007];
+            bk.par_chunks_mut(&mut data, 301, |ci, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1 + ci as u32;
+                }
+            });
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(v, 1 + (i / 301) as u32, "element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_indices_are_global() {
+        let bk = Backend::new(4);
+        let mut data = vec![0usize; 64 * 256];
+        bk.par_chunks_mut(&mut data, 256, |ci, chunk| {
+            for v in chunk.iter_mut() {
+                *v = ci;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 256);
+        }
+    }
+
+    #[test]
+    fn small_and_empty_inputs_run_inline() {
+        let bk = Backend::new(8);
+        let mut none: Vec<u8> = Vec::new();
+        bk.par_chunks_mut(&mut none, 16, |_, _| panic!("no chunks expected"));
+        let mut tiny = vec![0u8; 10];
+        bk.par_chunks_mut(&mut tiny, 3, |_, c| c.fill(9));
+        assert!(tiny.iter().all(|&v| v == 9));
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let bk = Backend::new(threads);
+            let mut data = vec![0f32; 50_000];
+            bk.par_chunks_mut(&mut data, 777, |ci, chunk| {
+                let mut acc = ci as f32 * 0.1;
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    acc = acc * 0.999 + (i as f32).sin();
+                    *v = acc;
+                }
+            });
+            data
+        };
+        let one = run(1);
+        for t in [2, 3, 5] {
+            assert_eq!(one, run(t), "thread count {t} changed results");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_efficiency_bounded() {
+        let bk = Backend::new(2);
+        assert_eq!(bk.stats().regions, 0);
+        assert_eq!(bk.stats().efficiency(), 1.0);
+        let mut data = vec![1u64; 20_000];
+        bk.par_chunks_mut(&mut data, 500, |_, c| {
+            for v in c.iter_mut() {
+                *v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+        });
+        let s = bk.stats();
+        assert_eq!(s.regions, 1);
+        assert!(s.wall > Duration::ZERO);
+        assert!(s.busy > Duration::ZERO);
+        assert_eq!(s.threads, 2);
+        // Clones share the counters.
+        let other = bk.clone();
+        other.par_chunks_mut(&mut data, 500, |_, _| {});
+        assert_eq!(bk.stats().regions, 2);
+    }
+
+    #[test]
+    fn from_env_reads_override() {
+        // Serial-safe: this test owns the variable for its duration only
+        // if no other test touches it — use a unique value and restore.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(Backend::from_env().threads(), 3);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(Backend::from_env().threads() >= 1);
+        std::env::remove_var(THREADS_ENV);
+    }
+}

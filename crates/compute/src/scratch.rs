@@ -1,0 +1,150 @@
+//! Reusable `f32` buffer arena for kernel temporaries.
+
+/// A scratch-buffer arena: large per-call temporaries (im2col column
+/// matrices, GEMM packing panels, attention score buffers, IDCT planes)
+/// are taken from the arena and recycled back, so their backing
+/// allocations survive across layers and across forward passes.
+///
+/// The arena is deliberately simple — a free list of `Vec<f32>` handed out
+/// largest-capacity-first — because the hot paths want exactly one thing:
+/// after warm-up, *zero* allocator traffic per call. [`Scratch::take`]
+/// zero-fills, which is orders of magnitude cheaper than `malloc` for the
+/// multi-megabyte buffers convolution layers use.
+///
+/// # Examples
+///
+/// ```
+/// use vserve_compute::Scratch;
+///
+/// let mut scratch = Scratch::new();
+/// let buf = scratch.take(1024);
+/// assert!(buf.iter().all(|&v| v == 0.0));
+/// let cap = buf.capacity();
+/// scratch.recycle(buf);
+/// // The next take of a same-or-smaller size reuses the allocation.
+/// let again = scratch.take(512);
+/// assert!(again.capacity() >= cap.min(512));
+/// assert_eq!(scratch.allocations(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Scratch {
+    free: Vec<Vec<f32>>,
+    allocations: u64,
+}
+
+impl Scratch {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Takes a zero-filled buffer of exactly `len` elements, reusing the
+    /// largest recycled allocation when one exists.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = match self.pop_largest() {
+            Some(b) => b,
+            None => {
+                self.allocations += 1;
+                Vec::new()
+            }
+        };
+        buf.clear();
+        if buf.capacity() < len {
+            // Growing a recycled buffer is still an allocator round trip;
+            // count it so "zero-alloc after warm-up" is checkable.
+            self.allocations += 1;
+        }
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the arena for later reuse.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of allocator round trips (`Vec` growths) the arena has
+    /// performed since creation. Steady-state kernel code should keep this
+    /// constant across calls.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Buffers currently waiting for reuse.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    fn pop_largest(&mut self) -> Option<Vec<f32>> {
+        let idx = self
+            .free
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i)?;
+        Some(self.free.swap_remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_even_after_dirty_recycle() {
+        let mut s = Scratch::new();
+        let mut buf = s.take(64);
+        buf.iter_mut().for_each(|v| *v = 7.0);
+        s.recycle(buf);
+        let buf = s.take(64);
+        assert!(buf.iter().all(|&v| v == 0.0));
+        assert_eq!(buf.len(), 64);
+    }
+
+    #[test]
+    fn steady_state_is_allocation_free() {
+        let mut s = Scratch::new();
+        // Warm up with the largest sizes used.
+        let a = s.take(1000);
+        let b = s.take(500);
+        s.recycle(a);
+        s.recycle(b);
+        let warm = s.allocations();
+        for _ in 0..10 {
+            let a = s.take(1000);
+            let b = s.take(500);
+            s.recycle(a);
+            s.recycle(b);
+        }
+        assert_eq!(s.allocations(), warm, "steady state must not allocate");
+    }
+
+    #[test]
+    fn largest_first_matches_big_requests() {
+        let mut s = Scratch::new();
+        let small = s.take(10);
+        let big = s.take(1000);
+        s.recycle(small);
+        s.recycle(big);
+        // A mid-size request takes the big buffer, not a grown small one.
+        let n = s.allocations();
+        let mid = s.take(600);
+        assert!(mid.capacity() >= 1000);
+        assert_eq!(s.allocations(), n);
+    }
+
+    #[test]
+    fn pooled_tracks_free_list() {
+        let mut s = Scratch::new();
+        assert_eq!(s.pooled(), 0);
+        let a = s.take(8);
+        s.recycle(a);
+        assert_eq!(s.pooled(), 1);
+        let _ = s.take(4);
+        assert_eq!(s.pooled(), 0);
+        s.recycle(Vec::new()); // zero-capacity buffers are not pooled
+        assert_eq!(s.pooled(), 0);
+    }
+}

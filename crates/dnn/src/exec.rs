@@ -1,8 +1,11 @@
 //! Model instantiation (weights) and forward execution.
 
+use std::sync::Mutex;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use vserve_compute::{Backend, Scratch};
 use vserve_tensor::Tensor;
 
 use crate::graph::{Graph, NodeId, Op, Shape};
@@ -47,10 +50,29 @@ struct Activation {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Model {
     graph: Graph,
     weights: Vec<Vec<Vec<f32>>>,
+    /// Worker pool used by the heavy kernels. Defaults to serial; swap in a
+    /// multi-threaded pool with [`Model::with_backend`] — outputs are
+    /// bit-identical either way.
+    backend: Backend,
+    /// Scratch arena reused across layers and forward passes. Behind a
+    /// mutex so `forward` can stay `&self`; concurrent callers that lose
+    /// the race fall back to a per-call arena rather than serializing.
+    scratch: Mutex<Scratch>,
+}
+
+impl Clone for Model {
+    fn clone(&self) -> Self {
+        Model {
+            graph: self.graph.clone(),
+            weights: self.weights.clone(),
+            backend: self.backend.clone(),
+            scratch: Mutex::new(Scratch::new()),
+        }
+    }
 }
 
 fn normal(rng: &mut StdRng) -> f32 {
@@ -77,7 +99,26 @@ impl Model {
                 .unwrap_or(&node.shape);
             weights.push(Self::init_node(&node.op, input, &mut rng));
         }
-        Model { graph, weights }
+        Model {
+            graph,
+            weights,
+            backend: Backend::serial(),
+            scratch: Mutex::new(Scratch::new()),
+        }
+    }
+
+    /// Replaces the compute backend used by the forward pass.
+    ///
+    /// Outputs are bit-identical for any thread count (see
+    /// [`vserve_compute::Backend`]); only throughput changes.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The compute backend the forward pass runs on.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
     }
 
     fn init_node(op: &Op, input: &Shape, rng: &mut StdRng) -> Vec<Vec<f32>> {
@@ -196,6 +237,15 @@ impl Model {
     }
 
     fn run(&self, act: Activation) -> Result<Activation, DnnError> {
+        // Reuse the model's arena when it is free; under concurrent
+        // forwards the losers run with a fresh local arena instead of
+        // blocking on the winner.
+        let mut local = None;
+        let mut guard = self.scratch.try_lock().ok();
+        let scratch: &mut Scratch = match guard.as_deref_mut() {
+            Some(s) => s,
+            None => local.insert(Scratch::new()),
+        };
         let mut values: Vec<Option<Activation>> = vec![None; self.graph.nodes().len()];
         values[0] = Some(act);
         for (i, node) in self.graph.nodes().iter().enumerate().skip(1) {
@@ -204,7 +254,7 @@ impl Model {
                 .iter()
                 .map(|&NodeId(j)| values[j].as_ref().expect("topological order"))
                 .collect();
-            let out = self.eval(i, &node.op, &node.shape, &inputs)?;
+            let out = self.eval(i, &node.op, &node.shape, &inputs, scratch)?;
             values[i] = Some(out);
         }
         Ok(values[self.graph.output().0]
@@ -218,7 +268,9 @@ impl Model {
         op: &Op,
         out_shape: &Shape,
         inputs: &[&Activation],
+        scratch: &mut Scratch,
     ) -> Result<Activation, DnnError> {
+        let bk = &self.backend;
         let w = &self.weights[node];
         let x = inputs.first().ok_or_else(|| DnnError::ShapeMismatch {
             op: op.name(),
@@ -236,15 +288,17 @@ impl Model {
                 let Shape::Chw(in_c, h, wd) = x.shape else {
                     unreachable!("shape checked at build")
                 };
-                kernels::conv2d_batch(
-                    &x.data, n, &w[0], &w[1], in_c, h, wd, *out_c, *k, *stride, *pad,
-                )
-                .0
+                let mut y = Vec::new();
+                kernels::conv2d_batch_into(
+                    bk, scratch, &x.data, n, &w[0], &w[1], in_c, h, wd, *out_c, *k, *stride, *pad,
+                    &mut y,
+                );
+                y
             }
             Op::Linear { out } => {
                 let (rows, d) = rows_dim(&x.shape);
                 let mut y = vec![0.0; n * rows * out];
-                kernels::linear(&x.data, &w[0], &w[1], &mut y, n * rows, d, *out);
+                kernels::linear_with(bk, &x.data, &w[0], &w[1], &mut y, n * rows, d, *out);
                 y
             }
             Op::LayerNorm => {
@@ -303,7 +357,7 @@ impl Model {
                 let mut y = Vec::with_capacity(n * l * embed);
                 for item in x.data.chunks(c * h * wd) {
                     // Gather patches into rows, then project.
-                    let mut patches = vec![0.0; (l - 1) * fan];
+                    let mut patches = scratch.take((l - 1) * fan);
                     for py in 0..ph {
                         for px in 0..pw {
                             let row = py * pw + px;
@@ -320,9 +374,20 @@ impl Model {
                     let mut tokens = vec![0.0; l * embed];
                     // class token first
                     tokens[..*embed].copy_from_slice(&w[2]);
-                    let mut projected = vec![0.0; (l - 1) * embed];
-                    kernels::linear(&patches, &w[0], &w[1], &mut projected, l - 1, fan, *embed);
+                    let mut projected = scratch.take((l - 1) * embed);
+                    kernels::linear_with(
+                        bk,
+                        &patches,
+                        &w[0],
+                        &w[1],
+                        &mut projected,
+                        l - 1,
+                        fan,
+                        *embed,
+                    );
                     tokens[*embed..].copy_from_slice(&projected);
+                    scratch.recycle(patches);
+                    scratch.recycle(projected);
                     // positional embeddings
                     for (t, p) in tokens.iter_mut().zip(&w[3]) {
                         *t += p;
@@ -337,7 +402,9 @@ impl Model {
                 };
                 let mut y = Vec::with_capacity(n * l * d);
                 for item in x.data.chunks(l * d) {
-                    y.extend(attention(item, l, d, *heads, &w[0], &w[1], &w[2], &w[3]));
+                    attention(
+                        bk, scratch, item, l, d, *heads, &w[0], &w[1], &w[2], &w[3], &mut y,
+                    );
                 }
                 y
             }
@@ -346,11 +413,12 @@ impl Model {
                     unreachable!("shape checked at build")
                 };
                 let rows = n * l;
-                let mut h1 = vec![0.0; rows * hidden];
-                kernels::linear(&x.data, &w[0], &w[1], &mut h1, rows, d, *hidden);
+                let mut h1 = scratch.take(rows * hidden);
+                kernels::linear_with(bk, &x.data, &w[0], &w[1], &mut h1, rows, d, *hidden);
                 kernels::gelu(&mut h1);
                 let mut out = vec![0.0; rows * d];
-                kernels::linear(&h1, &w[2], &w[3], &mut out, rows, *hidden, d);
+                kernels::linear_with(bk, &h1, &w[2], &w[3], &mut out, rows, *hidden, d);
+                scratch.recycle(h1);
                 out
             }
             Op::Add => {
@@ -399,8 +467,14 @@ fn rows_dim(s: &Shape) -> (usize, usize) {
     }
 }
 
+/// Single-item multi-head attention, appending `l × d` outputs to `out`.
+/// All intermediates (QKV projection, score matrix, head concat) come from
+/// `scratch`; score and weighted-sum loops parallelize over disjoint token
+/// rows, keeping per-element reduction order fixed.
 #[allow(clippy::too_many_arguments)]
 fn attention(
+    bk: &Backend,
+    scratch: &mut Scratch,
     x: &[f32],
     l: usize,
     d: usize,
@@ -409,41 +483,47 @@ fn attention(
     bqkv: &[f32],
     wo: &[f32],
     bo: &[f32],
-) -> Vec<f32> {
+    out: &mut Vec<f32>,
+) {
     let dh = d / heads;
-    let mut qkv = vec![0.0; l * 3 * d];
-    kernels::linear(x, wqkv, bqkv, &mut qkv, l, d, 3 * d);
-    let q = |t: usize, i: usize| qkv[t * 3 * d + i];
-    let k = |t: usize, i: usize| qkv[t * 3 * d + d + i];
-    let v = |t: usize, i: usize| qkv[t * 3 * d + 2 * d + i];
+    let mut qkv = scratch.take(l * 3 * d);
+    kernels::linear_with(bk, x, wqkv, bqkv, &mut qkv, l, d, 3 * d);
     let scale = 1.0 / (dh as f32).sqrt();
-    let mut concat = vec![0.0; l * d];
-    let mut scores = vec![0.0; l * l];
+    let mut concat = scratch.take(l * d);
+    let mut scores = scratch.take(l * l);
     for h in 0..heads {
         let off = h * dh;
-        for ti in 0..l {
-            for tj in 0..l {
+        // q(t, i) = qkv[t·3d + i], k(t, i) = qkv[t·3d + d + i],
+        // v(t, i) = qkv[t·3d + 2d + i].
+        let qkv_ref = &qkv;
+        bk.par_chunks_mut(&mut scores, l, |ti, srow| {
+            for (tj, sv) in srow.iter_mut().enumerate() {
                 let mut s = 0.0;
                 for e in 0..dh {
-                    s += q(ti, off + e) * k(tj, off + e);
+                    s += qkv_ref[ti * 3 * d + off + e] * qkv_ref[tj * 3 * d + d + off + e];
                 }
-                scores[ti * l + tj] = s * scale;
+                *sv = s * scale;
             }
-        }
+        });
         kernels::softmax_rows(&mut scores, l, l);
-        for ti in 0..l {
+        let scores_ref = &scores;
+        bk.par_chunks_mut(&mut concat, d, |ti, crow| {
             for e in 0..dh {
                 let mut s = 0.0;
                 for tj in 0..l {
-                    s += scores[ti * l + tj] * v(tj, off + e);
+                    s += scores_ref[ti * l + tj] * qkv_ref[tj * 3 * d + 2 * d + off + e];
                 }
-                concat[ti * d + off + e] = s;
+                crow[off + e] = s;
             }
-        }
+        });
     }
-    let mut out = vec![0.0; l * d];
-    kernels::linear(&concat, wo, bo, &mut out, l, d, d);
-    out
+    let mut proj = scratch.take(l * d);
+    kernels::linear_with(bk, &concat, wo, bo, &mut proj, l, d, d);
+    out.extend_from_slice(&proj);
+    scratch.recycle(qkv);
+    scratch.recycle(concat);
+    scratch.recycle(scores);
+    scratch.recycle(proj);
 }
 
 fn tensor_to_activation(
@@ -630,6 +710,45 @@ mod tests {
         let b = Tensor::zeros(&[1, 3, 8, 8]);
         assert!(model.forward_batch(&[&a, &b]).is_err());
         assert!(model.forward_batch(&[]).is_err());
+    }
+
+    #[test]
+    fn multithreaded_backend_bit_identical() {
+        // The whole point of the static partitioning: thread count must
+        // never change a single output bit, CNN or ViT.
+        for (graph, seed) in [(tiny_cnn(), 31), (tiny_vit(), 32)] {
+            let serial = Model::from_graph(graph.clone(), seed);
+            let items: Vec<Tensor> = (0..3).map(varied_input).collect();
+            let refs: Vec<&Tensor> = items.iter().collect();
+            let want = serial.forward_batch(&refs).unwrap();
+            for threads in [2, 4] {
+                let par =
+                    Model::from_graph(graph.clone(), seed).with_backend(Backend::new(threads));
+                assert_eq!(par.backend().threads(), threads);
+                let got = par.forward_batch(&refs).unwrap();
+                for (w, g) in want.iter().zip(&got) {
+                    assert_eq!(w.as_slice(), g.as_slice(), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_stops_allocating_across_forwards() {
+        let model = Model::from_graph(tiny_vit(), 9);
+        let input = varied_input(0);
+        for _ in 0..3 {
+            let _ = model.forward(&input).unwrap();
+        }
+        let warm = model.scratch.lock().unwrap().allocations();
+        for _ in 0..3 {
+            let _ = model.forward(&input).unwrap();
+        }
+        assert_eq!(
+            model.scratch.lock().unwrap().allocations(),
+            warm,
+            "steady-state forwards must not grow the scratch arena"
+        );
     }
 
     #[test]

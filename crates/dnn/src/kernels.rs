@@ -1,9 +1,51 @@
 //! Compute kernels: GEMM, convolution, normalization, activations.
+//!
+//! # Loop order and determinism
+//!
+//! Every GEMM-shaped kernel in this module accumulates each output element
+//! in strictly ascending `p` (reduction index) order. The naive [`gemm`]
+//! does so with the textbook row-major-friendly `(i, p, j)` loop nest —
+//! the `B` row streams sequentially through the inner loop — and the
+//! tiled [`gemm_tiled`] preserves the *same per-element order* inside its
+//! register tiles, so the two produce **bit-identical** results and the
+//! naive kernel doubles as an exact reference oracle for the fast path.
+//! Parallel variants split work over disjoint output regions only, never
+//! over the reduction dimension, so results are also bit-identical across
+//! thread counts. This is what keeps the calibrated paper-shape tests
+//! meaningful while the kernels get faster.
+//!
+//! The fast paths take a [`Backend`] (worker pool) and [`Scratch`] (buffer
+//! arena) so per-layer temporaries — im2col column matrices, GEMM packing
+//! panels, product buffers — are reused across calls instead of
+//! reallocated. The legacy signatures ([`conv2d`], [`conv2d_batch`],
+//! [`linear`]) remain as single-threaded wrappers over the same code,
+//! using a thread-local scratch arena.
+
+use std::cell::RefCell;
+
+use vserve_compute::{Backend, Scratch};
+
+/// Rows per GEMM register tile.
+const GEMM_MR: usize = 4;
+/// Columns per GEMM register tile (and packed-B panel width).
+const GEMM_NR: usize = 8;
+
+thread_local! {
+    /// Arena backing the legacy kernel entry points, so even callers that
+    /// never construct a [`Scratch`] stop paying per-call allocations.
+    static LOCAL_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+fn with_local_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    LOCAL_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
 
 /// `C ← A·B` for row-major `A (m×k)`, `B (k×n)`, `C (m×n)`.
 ///
-/// Loop order (i, p, j) with the `B` row in the inner loop keeps accesses
-/// sequential, which is the textbook cache-friendly form for row-major data.
+/// This is the *reference* kernel: simple enough to audit, kept as the
+/// exactness oracle for [`gemm_tiled`]. The inner loop is a dense axpy
+/// with no data-dependent branches (a skip-zero test mispredicts on dense
+/// activations and saves nothing).
 ///
 /// # Panics
 ///
@@ -16,9 +58,6 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         for p in 0..k {
             let aip = a[i * k + p];
-            if aip == 0.0 {
-                continue;
-            }
             let brow = &b[p * n..(p + 1) * n];
             let crow = &mut c[i * n..(i + 1) * n];
             for (cv, &bv) in crow.iter_mut().zip(brow) {
@@ -28,8 +67,158 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     }
 }
 
+/// Cache-blocked, register-tiled `C ← A·B` with a packed-`B` panel,
+/// parallel over row bands of `C`.
+///
+/// `B` is first repacked into `GEMM_NR`-column panels (zero-padded past
+/// `n`) so the micro-kernel streams one contiguous panel while holding a
+/// `GEMM_MR × GEMM_NR` accumulator tile in registers: `C` is written once
+/// instead of `k` times, and the panel walk is a pure sequential read.
+/// Accumulation per output element runs in ascending `p` order, so the
+/// result is bit-identical to [`gemm`] — and to itself under any
+/// [`Backend`] thread count, since parallelism only splits the disjoint
+/// row bands.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemm_tiled(
+    bk: &Backend,
+    scratch: &mut Scratch,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "A dimensions mismatch");
+    assert_eq!(b.len(), k * n, "B dimensions mismatch");
+    assert_eq!(c.len(), m * n, "C dimensions mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let panels = n.div_ceil(GEMM_NR);
+    let mut packed = scratch.take(panels * k * GEMM_NR);
+    pack_panels(bk, b, &mut packed, k, n);
+    if bk.threads() == 1 {
+        // Serial: panel-block outer, row-band inner — every row band of
+        // C consumes one ~128 KiB block of packed B while it is still
+        // cache-hot, so B is streamed from memory roughly once instead
+        // of once per band. Wide-and-short C (the im2col shape) is
+        // memory-bound on that stream.
+        let ppb = panels_per_block(k);
+        let mut p0 = 0;
+        while p0 < panels {
+            let p1 = (p0 + ppb).min(panels);
+            for (bi, cband) in c.chunks_mut(GEMM_MR * n).enumerate() {
+                gemm_row_band(a, &packed, cband, bi * GEMM_MR, k, n, p0, p1);
+            }
+            p0 = p1;
+        }
+    } else {
+        // Parallel: each worker owns disjoint row bands and sweeps all
+        // panels; concurrent bands share the packed stream via the
+        // shared cache. Per-element arithmetic is identical to the
+        // serial path (panel blocks partition columns, not k), so the
+        // result stays bit-identical across thread counts.
+        bk.par_chunks_mut(c, GEMM_MR * n, |bi, cband| {
+            gemm_row_band(a, &packed, cband, bi * GEMM_MR, k, n, 0, panels);
+        });
+    }
+    scratch.recycle(packed);
+}
+
+/// Packed panels per cache block: one block (~128 KiB of packed `B`)
+/// should fit L2 alongside the `C` band tiles that consume it.
+fn panels_per_block(k: usize) -> usize {
+    (128 * 1024 / (k * GEMM_NR * 4)).max(1)
+}
+
+/// Repacks row-major `b (k×n)` into `GEMM_NR`-column panels, parallel
+/// over panels. Tail columns of the final panel stay at the zero fill.
+fn pack_panels(bk: &Backend, b: &[f32], packed: &mut [f32], k: usize, n: usize) {
+    bk.par_chunks_mut(packed, k * GEMM_NR, |pi, panel| {
+        let j0 = pi * GEMM_NR;
+        let cols = GEMM_NR.min(n - j0);
+        for p in 0..k {
+            panel[p * GEMM_NR..p * GEMM_NR + cols]
+                .copy_from_slice(&b[p * n + j0..p * n + j0 + cols]);
+        }
+    });
+}
+
+/// The register micro-kernel: a full-`k`, ascending-`p` accumulation of
+/// the `mr × GEMM_NR` tile `A[i0..i0+mr] · panel`. Shared by every tiled
+/// path so their per-element arithmetic is identical by construction.
+#[inline]
+fn gemm_tile(
+    a: &[f32],
+    panel: &[f32],
+    i0: usize,
+    mr: usize,
+    k: usize,
+) -> [[f32; GEMM_NR]; GEMM_MR] {
+    let mut acc = [[0f32; GEMM_NR]; GEMM_MR];
+    if mr == GEMM_MR {
+        // Full tile: fixed-trip-count loops so the accumulators live in
+        // vector registers.
+        let a0 = &a[i0 * k..(i0 + 1) * k];
+        let a1 = &a[(i0 + 1) * k..(i0 + 2) * k];
+        let a2 = &a[(i0 + 2) * k..(i0 + 3) * k];
+        let a3 = &a[(i0 + 3) * k..(i0 + 4) * k];
+        let [ref mut t0, ref mut t1, ref mut t2, ref mut t3] = acc;
+        for p in 0..k {
+            let brow: &[f32; GEMM_NR] = panel[p * GEMM_NR..(p + 1) * GEMM_NR].try_into().unwrap();
+            let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+            for j in 0..GEMM_NR {
+                t0[j] += v0 * brow[j];
+                t1[j] += v1 * brow[j];
+                t2[j] += v2 * brow[j];
+                t3[j] += v3 * brow[j];
+            }
+        }
+    } else {
+        for p in 0..k {
+            let brow: &[f32; GEMM_NR] = panel[p * GEMM_NR..(p + 1) * GEMM_NR].try_into().unwrap();
+            for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                let av = a[(i0 + r) * k + p];
+                for j in 0..GEMM_NR {
+                    accr[j] += av * brow[j];
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Computes the `[p0, p1)` panel range of `cband = A[i0..i0+mr] · B`
+/// from the packed panels. `mr` is inferred from the band length and may
+/// be short on the final band.
+fn gemm_row_band(
+    a: &[f32],
+    packed: &[f32],
+    cband: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+    p0: usize,
+    p1: usize,
+) {
+    let mr = cband.len() / n;
+    for pi in p0..p1 {
+        let j0 = pi * GEMM_NR;
+        let cols = GEMM_NR.min(n - j0);
+        let panel = &packed[pi * k * GEMM_NR..(pi + 1) * k * GEMM_NR];
+        let acc = gemm_tile(a, panel, i0, mr, k);
+        for (r, accr) in acc.iter().enumerate().take(mr) {
+            cband[r * n + j0..r * n + j0 + cols].copy_from_slice(&accr[..cols]);
+        }
+    }
+}
+
 /// `y ← W·x + b` applied row-wise: `x (rows×in)`, `w (out×in)` row-major,
-/// `bias (out)`, `y (rows×out)`.
+/// `bias (out)`, `y (rows×out)`. Single-threaded; see [`linear_with`].
 ///
 /// # Panics
 ///
@@ -43,13 +232,33 @@ pub fn linear(
     input: usize,
     output: usize,
 ) {
+    linear_with(&Backend::serial(), x, w, bias, y, rows, input, output);
+}
+
+/// [`linear`] parallelized over output rows: each worker owns a disjoint
+/// band of `y` rows, and per-row dot products are computed exactly as in
+/// the serial kernel, so results are bit-identical for any thread count.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn linear_with(
+    bk: &Backend,
+    x: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    y: &mut [f32],
+    rows: usize,
+    input: usize,
+    output: usize,
+) {
     assert_eq!(x.len(), rows * input, "x dimensions mismatch");
     assert_eq!(w.len(), output * input, "w dimensions mismatch");
     assert_eq!(bias.len(), output, "bias dimensions mismatch");
     assert_eq!(y.len(), rows * output, "y dimensions mismatch");
-    for r in 0..rows {
+    bk.par_chunks_mut(y, output, |r, yr| {
         let xr = &x[r * input..(r + 1) * input];
-        let yr = &mut y[r * output..(r + 1) * output];
         for (o, yo) in yr.iter_mut().enumerate() {
             let wr = &w[o * input..(o + 1) * input];
             let mut acc = bias[o];
@@ -58,7 +267,7 @@ pub fn linear(
             }
             *yo = acc;
         }
-    }
+    });
 }
 
 /// im2col: unfolds `input (c×h×w)` into columns `(c·k·k) × (oh·ow)` for a
@@ -101,9 +310,72 @@ pub fn im2col(
     (oh, ow)
 }
 
+/// Batched im2col into a caller-provided buffer, parallel over the
+/// `c·k·k` unfold rows (each row covers every image, so rows are the
+/// natural disjoint unit). Column index = `img · oh·ow + output pixel`,
+/// matching [`conv2d_batch_ref`]'s layout. Interior spans copy without
+/// per-pixel bounds branches; `stride == 1` interiors are straight
+/// `memcpy`s.
+#[allow(clippy::too_many_arguments)]
+fn im2col_batch(
+    bk: &Backend,
+    input: &[f32],
+    n: usize,
+    in_c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    cols: &mut [f32],
+    oh: usize,
+    ow: usize,
+) {
+    let plane = oh * ow;
+    let cols_n = n * plane;
+    bk.par_chunks_mut(cols, cols_n, |row, dst| {
+        let ch = row / (k * k);
+        let ky = (row / k) % k;
+        let kx = row % k;
+        // ox range with in-bounds ix = ox·stride + kx − pad.
+        let x0 = if kx >= pad {
+            0
+        } else {
+            (pad - kx).div_ceil(stride).min(ow)
+        };
+        let x1 = if w + pad > kx {
+            ((w + pad - kx - 1) / stride + 1).min(ow)
+        } else {
+            0
+        };
+        for img in 0..n {
+            let base = (img * in_c + ch) * h * w;
+            for oy in 0..oh {
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                let drow = &mut dst[img * plane + oy * ow..img * plane + (oy + 1) * ow];
+                if iy < 0 || iy >= h as isize {
+                    drow.fill(0.0);
+                    continue;
+                }
+                let srow = &input[base + iy as usize * w..base + (iy as usize + 1) * w];
+                drow[..x0].fill(0.0);
+                if stride == 1 {
+                    let ix0 = x0 + kx - pad;
+                    drow[x0..x1].copy_from_slice(&srow[ix0..ix0 + (x1 - x0)]);
+                } else {
+                    for (ox, dv) in drow[x0..x1].iter_mut().enumerate() {
+                        *dv = srow[(x0 + ox) * stride + kx - pad];
+                    }
+                }
+                drow[x1..].fill(0.0);
+            }
+        }
+    });
+}
+
 /// 2-D convolution of a single image `input (in_c×h×w)` with
 /// `weight (out_c×in_c×k×k)` and `bias (out_c)`, producing
-/// `(out_c×oh×ow)`. Uses im2col + GEMM.
+/// `(out_c×oh×ow)`. Single-image wrapper over [`conv2d_batch`].
 #[allow(clippy::too_many_arguments)]
 pub fn conv2d(
     input: &[f32],
@@ -117,24 +389,7 @@ pub fn conv2d(
     stride: usize,
     pad: usize,
 ) -> (Vec<f32>, usize, usize) {
-    assert_eq!(input.len(), in_c * h * w, "input dimensions mismatch");
-    assert_eq!(
-        weight.len(),
-        out_c * in_c * k * k,
-        "weight dimensions mismatch"
-    );
-    assert_eq!(bias.len(), out_c, "bias dimensions mismatch");
-    let mut cols = Vec::new();
-    let (oh, ow) = im2col(input, in_c, h, w, k, stride, pad, &mut cols);
-    let mut out = vec![0.0; out_c * oh * ow];
-    gemm(weight, &cols, &mut out, out_c, in_c * k * k, oh * ow);
-    for (o, chunk) in out.chunks_mut(oh * ow).enumerate() {
-        let b = bias[o];
-        for v in chunk {
-            *v += b;
-        }
-    }
-    (out, oh, ow)
+    conv2d_batch(input, 1, weight, bias, in_c, h, w, out_c, k, stride, pad)
 }
 
 /// Batched 2-D convolution of `input (n×in_c×h×w)` with
@@ -144,15 +399,174 @@ pub fn conv2d(
 /// The whole batch is unfolded into one im2col matrix whose columns are
 /// grouped by image, so a *single* GEMM covers every image — this is what
 /// makes dynamic batching pay off: the weight matrix streams through the
-/// cache once per batch instead of once per image. Per-element accumulation
-/// order matches [`conv2d`], so results are bit-identical to the per-image
-/// path.
+/// cache once per batch instead of once per image.
+///
+/// Single-threaded wrapper over [`conv2d_batch_into`] with a thread-local
+/// scratch arena; per-element accumulation order matches [`conv2d`] and
+/// [`conv2d_batch_ref`], so results are bit-identical to both.
 ///
 /// # Panics
 ///
 /// Panics if the slice lengths do not match the given dimensions.
 #[allow(clippy::too_many_arguments)]
 pub fn conv2d_batch(
+    input: &[f32],
+    n: usize,
+    weight: &[f32],
+    bias: &[f32],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> (Vec<f32>, usize, usize) {
+    with_local_scratch(|scratch| {
+        let mut out = Vec::new();
+        let (oh, ow) = conv2d_batch_into(
+            &Backend::serial(),
+            scratch,
+            input,
+            n,
+            weight,
+            bias,
+            in_c,
+            h,
+            w,
+            out_c,
+            k,
+            stride,
+            pad,
+            &mut out,
+        );
+        (out, oh, ow)
+    })
+}
+
+/// The workhorse batched convolution: parallel im2col + packed tiled
+/// GEMM whose micro-kernel tiles are written *directly* into the NCHW
+/// output with bias added (parallel over images), with every temporary
+/// drawn from `scratch`. Fusing the output write removes the
+/// `(out_c × n·plane)` GEMM product and its separate permute pass — at
+/// these wide-and-short shapes that intermediate costs more memory
+/// traffic than the multiply itself. Writes the `(n×out_c×oh×ow)` result
+/// into `out` (resized as needed) and returns `(oh, ow)`.
+///
+/// After the first call at a given shape the only allocator traffic is
+/// `out` itself; `forward_batch` hands the same scratch arena to every
+/// layer, so a steady-state forward pass performs no im2col/GEMM
+/// allocations at all.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_batch_into(
+    bk: &Backend,
+    scratch: &mut Scratch,
+    input: &[f32],
+    n: usize,
+    weight: &[f32],
+    bias: &[f32],
+    in_c: usize,
+    h: usize,
+    w: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut Vec<f32>,
+) -> (usize, usize) {
+    assert_eq!(input.len(), n * in_c * h * w, "input dimensions mismatch");
+    assert_eq!(
+        weight.len(),
+        out_c * in_c * k * k,
+        "weight dimensions mismatch"
+    );
+    assert_eq!(bias.len(), out_c, "bias dimensions mismatch");
+    let oh = (h + 2 * pad - k) / stride + 1;
+    let ow = (w + 2 * pad - k) / stride + 1;
+    let plane = oh * ow;
+    let ckk = in_c * k * k;
+    let cols_n = n * plane;
+    let mut cols = scratch.take(ckk * cols_n);
+    im2col_batch(bk, input, n, in_c, h, w, k, stride, pad, &mut cols, oh, ow);
+    let panels = cols_n.div_ceil(GEMM_NR);
+    let mut packed = scratch.take(panels * ckk * GEMM_NR);
+    pack_panels(bk, &cols, &mut packed, ckk, cols_n);
+    scratch.recycle(cols);
+    out.clear();
+    out.resize(n * out_c * plane, 0.0);
+    bk.par_chunks_mut(out, out_c * plane, |img, dst| {
+        conv_gemm_image(weight, &packed, bias, dst, out_c, ckk, cols_n, plane, img);
+    });
+    scratch.recycle(packed);
+    (oh, ow)
+}
+
+/// Computes one image's `(out_c × plane)` output block from the packed
+/// im2col panels, adding bias as each micro-kernel tile is stored. Panel
+/// blocks are walked outermost so ~128 KiB of packed columns stays
+/// cache-hot across all channel bands; a panel straddling an image
+/// boundary is recomputed by both neighbours (at most one per image).
+/// Accumulation per output element is full-`k` ascending-`p` via
+/// [`gemm_tile`], then `+ bias` — exactly the reference order, so results
+/// are bit-identical to [`conv2d_batch_ref`] for any thread count.
+#[allow(clippy::too_many_arguments)]
+fn conv_gemm_image(
+    weight: &[f32],
+    packed: &[f32],
+    bias: &[f32],
+    dst: &mut [f32],
+    out_c: usize,
+    k: usize,
+    n: usize,
+    plane: usize,
+    img: usize,
+) {
+    let j_lo = img * plane;
+    let j_hi = j_lo + plane;
+    let pa = j_lo / GEMM_NR;
+    let pz = j_hi.div_ceil(GEMM_NR);
+    let ppb = panels_per_block(k);
+    let bands = out_c.div_ceil(GEMM_MR);
+    let mut p0 = pa;
+    while p0 < pz {
+        let p1 = (p0 + ppb).min(pz);
+        for band in 0..bands {
+            let i0 = band * GEMM_MR;
+            let mr = GEMM_MR.min(out_c - i0);
+            for pi in p0..p1 {
+                let j0 = pi * GEMM_NR;
+                let cols = GEMM_NR.min(n - j0);
+                let panel = &packed[pi * k * GEMM_NR..(pi + 1) * k * GEMM_NR];
+                let acc = gemm_tile(weight, panel, i0, mr, k);
+                let lo = j0.max(j_lo);
+                let hi = (j0 + cols).min(j_hi);
+                for (r, accr) in acc.iter().enumerate().take(mr) {
+                    let b = bias[i0 + r];
+                    let row =
+                        &mut dst[(i0 + r) * plane + (lo - j_lo)..(i0 + r) * plane + (hi - j_lo)];
+                    for (d, &s) in row.iter_mut().zip(&accr[lo - j0..hi - j0]) {
+                        *d = s + b;
+                    }
+                }
+            }
+        }
+        p0 = p1;
+    }
+}
+
+/// Reference batched convolution: naive batched im2col + naive [`gemm`],
+/// fresh allocations throughout. Kept verbatim as the exactness oracle
+/// and the "naive" baseline in the kernels benchmark.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_batch_ref(
     input: &[f32],
     n: usize,
     weight: &[f32],
@@ -176,8 +590,6 @@ pub fn conv2d_batch(
     let ow = (w + 2 * pad - k) / stride + 1;
     let plane = oh * ow;
     let ckk = in_c * k * k;
-    // Batched im2col: column index = img * plane + output pixel, so each
-    // GEMM output row holds the whole batch for one output channel.
     let cols_n = n * plane;
     let mut cols = vec![0.0; ckk * cols_n];
     for img in 0..n {
@@ -204,7 +616,6 @@ pub fn conv2d_batch(
     }
     let mut prod = vec![0.0; out_c * cols_n];
     gemm(weight, &cols, &mut prod, out_c, ckk, cols_n);
-    // Permute (out_c × n·plane) → (n × out_c × plane), adding bias.
     let mut out = vec![0.0; n * out_c * plane];
     for o in 0..out_c {
         let b = bias[o];
@@ -352,6 +763,18 @@ mod tests {
         c
     }
 
+    fn pseudo(seed: u64, len: usize) -> Vec<f32> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s % 2000) as f32 - 1000.0) / 100.0
+            })
+            .collect()
+    }
+
     #[test]
     fn gemm_identity() {
         let a = vec![1.0, 0.0, 0.0, 1.0]; // I2
@@ -369,6 +792,30 @@ mod tests {
         let mut y = vec![0.0; 2];
         linear(&x, &w, &bias, &mut y, 1, 3, 2);
         assert_eq!(y, vec![11.0, 25.0]);
+    }
+
+    #[test]
+    fn linear_with_threads_bit_identical() {
+        let (rows, input, output) = (37, 19, 23);
+        let x = pseudo(5, rows * input);
+        let w = pseudo(6, output * input);
+        let bias = pseudo(7, output);
+        let mut serial = vec![0.0; rows * output];
+        linear(&x, &w, &bias, &mut serial, rows, input, output);
+        for threads in [2, 4] {
+            let mut par = vec![0.0; rows * output];
+            linear_with(
+                &Backend::new(threads),
+                &x,
+                &w,
+                &bias,
+                &mut par,
+                rows,
+                input,
+                output,
+            );
+            assert_eq!(serial, par, "threads={threads}");
+        }
     }
 
     #[test]
@@ -438,6 +885,120 @@ mod tests {
         let (a, _, _) = conv2d(&input, &weight, &[0.5], 3, 3, 3, 1, 2, 1, 0);
         let (b, _, _) = conv2d_batch(&input, 1, &weight, &[0.5], 3, 3, 3, 1, 2, 1, 0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conv2d_batch_matches_reference_exactly() {
+        // Fast path (scratch + tiled GEMM + span-copied im2col) against the
+        // preserved naive reference, across strides, pads, and raggedness.
+        for (n, in_c, h, w, out_c, k, stride, pad) in [
+            (1, 1, 5, 5, 1, 3, 1, 1),
+            (2, 3, 9, 7, 5, 3, 1, 1),
+            (3, 2, 8, 8, 4, 3, 2, 1),
+            (2, 4, 11, 6, 3, 5, 2, 2),
+            (1, 2, 6, 6, 2, 1, 1, 0),
+            (2, 3, 7, 9, 4, 2, 2, 0),
+        ] {
+            let input = pseudo(n as u64 * 100 + k as u64, n * in_c * h * w);
+            let weight = pseudo(31 + out_c as u64, out_c * in_c * k * k);
+            let bias = pseudo(77, out_c);
+            let (expect, eh, ew) =
+                conv2d_batch_ref(&input, n, &weight, &bias, in_c, h, w, out_c, k, stride, pad);
+            let (got, oh, ow) =
+                conv2d_batch(&input, n, &weight, &bias, in_c, h, w, out_c, k, stride, pad);
+            assert_eq!((oh, ow), (eh, ew));
+            assert_eq!(got, expect, "shape n={n} k={k} s={stride} p={pad}");
+        }
+    }
+
+    #[test]
+    fn conv2d_batch_into_thread_counts_bit_identical() {
+        let (n, in_c, h, w, out_c, k, stride, pad) = (3, 3, 13, 11, 6, 3, 1, 1);
+        let input = pseudo(9, n * in_c * h * w);
+        let weight = pseudo(10, out_c * in_c * k * k);
+        let bias = pseudo(11, out_c);
+        let run = |threads: usize| {
+            let bk = Backend::new(threads);
+            let mut scratch = Scratch::new();
+            let mut out = Vec::new();
+            conv2d_batch_into(
+                &bk,
+                &mut scratch,
+                &input,
+                n,
+                &weight,
+                &bias,
+                in_c,
+                h,
+                w,
+                out_c,
+                k,
+                stride,
+                pad,
+                &mut out,
+            );
+            out
+        };
+        let one = run(1);
+        for t in [2, 3, 8] {
+            assert_eq!(one, run(t), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn conv2d_batch_into_steady_state_is_allocation_free() {
+        let (n, in_c, h, w, out_c, k) = (2, 3, 16, 16, 8, 3);
+        let input = pseudo(1, n * in_c * h * w);
+        let weight = pseudo(2, out_c * in_c * k * k);
+        let bias = pseudo(3, out_c);
+        let bk = Backend::serial();
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        // Two warm-up rounds: the largest-first free list can hand the
+        // big cols-sized buffer to the small prod request once before
+        // buffer-to-request assignment stabilizes.
+        for _ in 0..2 {
+            conv2d_batch_into(
+                &bk,
+                &mut scratch,
+                &input,
+                n,
+                &weight,
+                &bias,
+                in_c,
+                h,
+                w,
+                out_c,
+                k,
+                1,
+                1,
+                &mut out,
+            );
+        }
+        let warm = scratch.allocations();
+        for _ in 0..5 {
+            conv2d_batch_into(
+                &bk,
+                &mut scratch,
+                &input,
+                n,
+                &weight,
+                &bias,
+                in_c,
+                h,
+                w,
+                out_c,
+                k,
+                1,
+                1,
+                &mut out,
+            );
+        }
+        assert_eq!(
+            scratch.allocations(),
+            warm,
+            "conv must not allocate scratch buffers after warm-up"
+        );
     }
 
     #[test]
@@ -514,6 +1075,30 @@ mod tests {
             for (x, y) in c.iter().zip(&expect) {
                 prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
             }
+        }
+
+        // The tiled kernel is required to be *exactly* the naive kernel:
+        // same per-element accumulation order, so same bits. Ragged shapes
+        // deliberately straddle the MR/NR tile boundaries.
+        #[test]
+        fn gemm_tiled_matches_gemm_exactly(
+            m in 1usize..40, k in 1usize..40, n in 1usize..40,
+            threads in 1usize..5, seed in any::<u64>()
+        ) {
+            let mut s = seed | 1;
+            let mut next = || {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                ((s % 2000) as f32 - 1000.0) / 100.0
+            };
+            let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+            let mut reference = vec![0.0; m * n];
+            gemm(&a, &b, &mut reference, m, k, n);
+            let mut tiled = vec![0.0; m * n];
+            let mut scratch = Scratch::new();
+            gemm_tiled(&Backend::new(threads), &mut scratch, &a, &b, &mut tiled, m, k, n);
+            prop_assert_eq!(&reference, &tiled,
+                "m={} k={} n={} threads={}", m, k, n, threads);
         }
     }
 }

@@ -51,6 +51,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use vserve_compute::{Backend, Scratch};
 use vserve_dnn::Model;
 use vserve_metrics::{
     LatencyStats, LatencySummary, RateMeter, StageBreakdown, TimeWeightedGauge, Welford,
@@ -78,6 +79,12 @@ pub struct LiveOptions {
     /// Optional per-request deadline measured from submission; requests
     /// still unserved past it fail with [`LiveError::DeadlineExceeded`].
     pub deadline: Option<Duration>,
+    /// Threads in the shared compute [`Backend`] used by JPEG decode,
+    /// preprocessing, and the model's kernels. `0` reads `VSERVE_THREADS`
+    /// or falls back to the host's available parallelism (the paper's
+    /// testbed pins stages to cores of an i9-13900K the same way).
+    /// Results are bit-identical for any value.
+    pub backend_threads: usize,
 }
 
 impl Default for LiveOptions {
@@ -90,6 +97,7 @@ impl Default for LiveOptions {
             input_side: 224,
             queue_cap: 256,
             deadline: None,
+            backend_threads: 0,
         }
     }
 }
@@ -180,6 +188,13 @@ pub struct LiveMetrics {
     pub queue_depth_peak: f64,
     /// Total wall time spent inside batched forward calls.
     pub inference_wall: Duration,
+    /// Threads in the shared compute backend (resolved from
+    /// [`LiveOptions::backend_threads`]).
+    pub backend_threads: usize,
+    /// Mean parallel efficiency of the backend's work regions:
+    /// `busy / (wall × threads)` accumulated over every parallel region
+    /// the decode, preprocessing, and kernel stages ran.
+    pub parallel_efficiency: f64,
 }
 
 impl LiveMetrics {
@@ -296,6 +311,7 @@ pub struct LiveServer {
     handles: Vec<std::thread::JoinHandle<()>>,
     shared: Arc<Shared>,
     deadline: Option<Duration>,
+    backend: Backend,
 }
 
 impl std::fmt::Debug for LiveServer {
@@ -309,8 +325,17 @@ impl std::fmt::Debug for LiveServer {
 impl LiveServer {
     /// Starts preprocessing, batching, and inference threads around
     /// `model`.
+    ///
+    /// All stages share one compute [`Backend`] sized by
+    /// [`LiveOptions::backend_threads`]; the model is rebound to it, so an
+    /// explicit [`Model::with_backend`] before `start` is overridden.
     pub fn start(model: Model, opts: LiveOptions) -> Self {
-        let model = Arc::new(model);
+        let backend = if opts.backend_threads == 0 {
+            Backend::from_env()
+        } else {
+            Backend::new(opts.backend_threads)
+        };
+        let model = Arc::new(model.with_backend(backend.clone()));
         let shared = Arc::new(Shared::new());
         let (ingress_tx, ingress_rx) = bounded::<Job>(opts.queue_cap.max(1));
         let (ready_tx, ready_rx) = bounded::<Ready>(opts.queue_cap.max(1));
@@ -323,7 +348,11 @@ impl LiveServer {
             let rx = ingress_rx.clone();
             let tx = ready_tx.clone();
             let shared = Arc::clone(&shared);
+            let bk = backend.clone();
             handles.push(std::thread::spawn(move || {
+                // Each worker owns a scratch arena: after the first frame
+                // the decode path stops allocating its temporaries.
+                let mut scratch = Scratch::new();
                 while let Ok(job) = rx.recv() {
                     let start = Instant::now();
                     if job.deadline.is_some_and(|d| start >= d) {
@@ -331,9 +360,9 @@ impl LiveServer {
                         let _ = job.reply.send(Err(LiveError::DeadlineExceeded));
                         continue;
                     }
-                    match vserve_codec::decode(&job.jpeg) {
+                    match vserve_codec::decode_with(&bk, &mut scratch, &job.jpeg) {
                         Ok(img) => {
-                            let tensor = ops::standard_preprocess(&img, side);
+                            let tensor = ops::standard_preprocess_with(&bk, &img, side);
                             let done = Instant::now();
                             let ready = Ready {
                                 tensor,
@@ -484,6 +513,7 @@ impl LiveServer {
             handles,
             shared,
             deadline: opts.deadline,
+            backend,
         }
     }
 
@@ -537,6 +567,7 @@ impl LiveServer {
     /// Snapshots the server's metrics since start.
     pub fn metrics(&self) -> LiveMetrics {
         let t = self.shared.secs(Instant::now());
+        let stats = self.backend.stats();
         let m = self.shared.lock();
         let mut meter = m.meter;
         meter.close(t);
@@ -552,6 +583,8 @@ impl LiveServer {
             queue_depth_mean: m.queue_depth.time_average(t),
             queue_depth_peak: m.queue_depth.peak(),
             inference_wall: Duration::from_secs_f64(m.inference_wall_s),
+            backend_threads: stats.threads,
+            parallel_efficiency: stats.efficiency(),
         }
     }
 }
@@ -581,6 +614,7 @@ mod tests {
             input_side: 32,
             queue_cap: 256,
             deadline: None,
+            backend_threads: 1,
         }
     }
 
@@ -750,6 +784,33 @@ mod tests {
         let m = server.metrics();
         assert_eq!(m.expired, 3);
         assert_eq!(m.completed, 0);
+    }
+
+    #[test]
+    fn backend_metrics_reported_and_outputs_thread_invariant() {
+        let jpeg = synthetic_jpeg(&ImageSpec::new(48, 48, 0), 11);
+        let run = |threads: usize| {
+            let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+            let server = LiveServer::start(
+                model,
+                LiveOptions {
+                    backend_threads: threads,
+                    ..tiny_opts(4)
+                },
+            );
+            let out = server.infer(jpeg.clone()).unwrap().output;
+            let m = server.metrics();
+            assert_eq!(m.backend_threads, threads);
+            assert!(
+                m.parallel_efficiency > 0.0 && m.parallel_efficiency <= 1.0 + 1e-6,
+                "efficiency {}",
+                m.parallel_efficiency
+            );
+            out
+        };
+        // Decode, preprocess, and inference all ride the backend; the
+        // whole pipeline must be bit-identical across thread counts.
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

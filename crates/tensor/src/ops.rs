@@ -4,6 +4,14 @@
 //! paper's preprocessing stage: decode → resize → (crop) → to-tensor →
 //! normalize. All resizes treat pixel centers at half-integer coordinates
 //! (align-corners = false), matching common DNN preprocessing.
+//!
+//! Each heavy operator has a `_with` variant taking a
+//! [`Backend`](vserve_compute::Backend) that parallelizes over disjoint
+//! output rows (resize, tensor conversion) or channel planes (normalize).
+//! Every output element is a pure function of the input, so results are
+//! bit-identical to the serial variants for any thread count.
+
+use vserve_compute::Backend;
 
 use crate::{Image, PixelFormat, Tensor};
 
@@ -23,18 +31,29 @@ use crate::{Image, PixelFormat, Tensor};
 /// assert_eq!((out.width(), out.height()), (5, 5));
 /// ```
 pub fn resize_nearest(src: &Image, out_w: usize, out_h: usize) -> Image {
+    resize_nearest_with(&Backend::serial(), src, out_w, out_h)
+}
+
+/// [`resize_nearest`] parallelized over output rows.
+///
+/// # Panics
+///
+/// Panics if either output dimension is zero.
+pub fn resize_nearest_with(bk: &Backend, src: &Image, out_w: usize, out_h: usize) -> Image {
     assert!(out_w > 0 && out_h > 0, "output dimensions must be non-zero");
     let mut dst = Image::zeros(out_w, out_h, src.format());
+    let ch = src.channels();
     let sx = src.width() as f32 / out_w as f32;
     let sy = src.height() as f32 / out_h as f32;
-    for y in 0..out_h {
+    bk.par_chunks_mut(dst.as_bytes_mut(), out_w * ch, |y, row| {
         let src_y = (((y as f32 + 0.5) * sy - 0.5).round().max(0.0) as usize).min(src.height() - 1);
         for x in 0..out_w {
             let src_x =
                 (((x as f32 + 0.5) * sx - 0.5).round().max(0.0) as usize).min(src.width() - 1);
-            dst.put_pixel(x, y, src.pixel(src_x, src_y));
+            let p = src.pixel(src_x, src_y);
+            row[x * ch..(x + 1) * ch].copy_from_slice(&p[..ch]);
         }
-    }
+    });
     dst
 }
 
@@ -44,13 +63,23 @@ pub fn resize_nearest(src: &Image, out_w: usize, out_h: usize) -> Image {
 ///
 /// Panics if either output dimension is zero.
 pub fn resize_bilinear(src: &Image, out_w: usize, out_h: usize) -> Image {
+    resize_bilinear_with(&Backend::serial(), src, out_w, out_h)
+}
+
+/// [`resize_bilinear`] parallelized over output rows.
+///
+/// # Panics
+///
+/// Panics if either output dimension is zero.
+pub fn resize_bilinear_with(bk: &Backend, src: &Image, out_w: usize, out_h: usize) -> Image {
     assert!(out_w > 0 && out_h > 0, "output dimensions must be non-zero");
     let mut dst = Image::zeros(out_w, out_h, src.format());
+    let ch = src.channels();
     let sx = src.width() as f32 / out_w as f32;
     let sy = src.height() as f32 / out_h as f32;
     let max_x = src.width() - 1;
     let max_y = src.height() - 1;
-    for y in 0..out_h {
+    bk.par_chunks_mut(dst.as_bytes_mut(), out_w * ch, |y, row| {
         let fy = ((y as f32 + 0.5) * sy - 0.5).clamp(0.0, max_y as f32);
         let y0 = fy.floor() as usize;
         let y1 = (y0 + 1).min(max_y);
@@ -64,15 +93,13 @@ pub fn resize_bilinear(src: &Image, out_w: usize, out_h: usize) -> Image {
             let p10 = src.pixel(x1, y0);
             let p01 = src.pixel(x0, y1);
             let p11 = src.pixel(x1, y1);
-            let mut out = [0u8; 3];
-            for c in 0..3 {
+            for c in 0..ch {
                 let top = f32::from(p00[c]) * (1.0 - wx) + f32::from(p10[c]) * wx;
                 let bot = f32::from(p01[c]) * (1.0 - wx) + f32::from(p11[c]) * wx;
-                out[c] = (top * (1.0 - wy) + bot * wy).round().clamp(0.0, 255.0) as u8;
+                row[x * ch + c] = (top * (1.0 - wy) + bot * wy).round().clamp(0.0, 255.0) as u8;
             }
-            dst.put_pixel(x, y, out);
         }
-    }
+    });
     dst
 }
 
@@ -85,14 +112,24 @@ pub fn resize_bilinear(src: &Image, out_w: usize, out_h: usize) -> Image {
 ///
 /// Panics if either output dimension is zero.
 pub fn resize_area(src: &Image, out_w: usize, out_h: usize) -> Image {
+    resize_area_with(&Backend::serial(), src, out_w, out_h)
+}
+
+/// [`resize_area`] parallelized over output rows.
+///
+/// # Panics
+///
+/// Panics if either output dimension is zero.
+pub fn resize_area_with(bk: &Backend, src: &Image, out_w: usize, out_h: usize) -> Image {
     assert!(out_w > 0 && out_h > 0, "output dimensions must be non-zero");
     if out_w >= src.width() || out_h >= src.height() {
-        return resize_bilinear(src, out_w, out_h);
+        return resize_bilinear_with(bk, src, out_w, out_h);
     }
     let mut dst = Image::zeros(out_w, out_h, src.format());
+    let ch = src.channels();
     let sx = src.width() as f64 / out_w as f64;
     let sy = src.height() as f64 / out_h as f64;
-    for y in 0..out_h {
+    bk.par_chunks_mut(dst.as_bytes_mut(), out_w * ch, |y, row| {
         let y_start = (y as f64 * sy).floor() as usize;
         let y_end = (((y + 1) as f64 * sy).ceil() as usize).min(src.height());
         for x in 0..out_w {
@@ -109,14 +146,11 @@ pub fn resize_area(src: &Image, out_w: usize, out_h: usize) -> Image {
                     n += 1.0;
                 }
             }
-            let out = [
-                (acc[0] / n).round().clamp(0.0, 255.0) as u8,
-                (acc[1] / n).round().clamp(0.0, 255.0) as u8,
-                (acc[2] / n).round().clamp(0.0, 255.0) as u8,
-            ];
-            dst.put_pixel(x, y, out);
+            for c in 0..ch {
+                row[x * ch + c] = (acc[c] / n).round().clamp(0.0, 255.0) as u8;
+            }
         }
-    }
+    });
     dst
 }
 
@@ -149,17 +183,22 @@ pub fn center_crop(src: &Image, out_w: usize, out_h: usize) -> Image {
 ///
 /// Gray images produce a single channel; RGB produce three.
 pub fn to_tensor(src: &Image) -> Tensor {
+    to_tensor_with(&Backend::serial(), src)
+}
+
+/// [`to_tensor`] parallelized over channel rows of the output tensor
+/// (chunk `i` is row `i % h` of channel `i / h`).
+pub fn to_tensor_with(bk: &Backend, src: &Image) -> Tensor {
     let (w, h, c) = (src.width(), src.height(), src.channels());
     let mut t = Tensor::zeros(&[1, c, h, w]);
-    let data = t.as_mut_slice();
     let bytes = src.as_bytes();
-    for y in 0..h {
-        for x in 0..w {
-            for ch in 0..c {
-                data[ch * h * w + y * w + x] = f32::from(bytes[(y * w + x) * c + ch]) / 255.0;
-            }
+    bk.par_chunks_mut(t.as_mut_slice(), w, |i, row| {
+        let ch = i / h;
+        let y = i % h;
+        for (x, v) in row.iter_mut().enumerate() {
+            *v = f32::from(bytes[(y * w + x) * c + ch]) / 255.0;
         }
-    }
+    });
     t
 }
 
@@ -175,26 +214,32 @@ pub const IMAGENET_STD: [f32; 3] = [0.229, 0.224, 0.225];
 /// Panics if the tensor is not rank-4 or its channel count exceeds the
 /// provided statistics.
 pub fn normalize(t: &mut Tensor, mean: &[f32], std: &[f32]) {
+    normalize_with(&Backend::serial(), t, mean, std);
+}
+
+/// [`normalize`] parallelized over `(batch, channel)` planes.
+///
+/// # Panics
+///
+/// Same conditions as [`normalize`].
+pub fn normalize_with(bk: &Backend, t: &mut Tensor, mean: &[f32], std: &[f32]) {
     assert_eq!(t.rank(), 4, "normalize expects NCHW");
     let shape = t.shape().to_vec();
-    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    let c = shape[1];
+    let plane = shape[2] * shape[3];
     assert!(
         c <= mean.len() && c <= std.len(),
         "statistics cover {} channels, tensor has {c}",
         mean.len().min(std.len())
     );
-    let plane = h * w;
-    let data = t.as_mut_slice();
-    for b in 0..n {
-        for ch in 0..c {
-            let base = (b * c + ch) * plane;
-            let m = mean[ch];
-            let s = std[ch];
-            for v in &mut data[base..base + plane] {
-                *v = (*v - m) / s;
-            }
+    bk.par_chunks_mut(t.as_mut_slice(), plane, |i, chunk| {
+        let ch = i % c;
+        let m = mean[ch];
+        let s = std[ch];
+        for v in chunk.iter_mut() {
+            *v = (*v - m) / s;
         }
-    }
+    });
 }
 
 /// ImageNet-standard normalization, the exact transform in the paper's
@@ -215,14 +260,21 @@ pub fn normalize_imagenet(t: &mut Tensor) {
 /// assert_eq!(t.shape(), &[1, 3, 224, 224]);
 /// ```
 pub fn standard_preprocess(src: &Image, side: usize) -> Tensor {
+    standard_preprocess_with(&Backend::serial(), src, side)
+}
+
+/// [`standard_preprocess`] on a compute backend: resize, tensor
+/// conversion, and normalization all parallelize over rows/planes, with
+/// output bits identical to the serial chain.
+pub fn standard_preprocess_with(bk: &Backend, src: &Image, side: usize) -> Tensor {
     let resized = if src.width() > 2 * side && src.height() > 2 * side {
-        resize_area(src, side, side)
+        resize_area_with(bk, src, side, side)
     } else {
-        resize_bilinear(src, side, side)
+        resize_bilinear_with(bk, src, side, side)
     };
-    let mut t = to_tensor(&resized);
+    let mut t = to_tensor_with(bk, &resized);
     if resized.format() == PixelFormat::Rgb8 {
-        normalize_imagenet(&mut t);
+        normalize_with(bk, &mut t, &IMAGENET_MEAN, &IMAGENET_STD);
     }
     t
 }
@@ -332,6 +384,28 @@ mod tests {
     fn standard_preprocess_shape() {
         let t = standard_preprocess(&Image::gradient(640, 480), 224);
         assert_eq!(t.shape(), &[1, 3, 224, 224]);
+    }
+
+    #[test]
+    fn parallel_ops_bit_identical_to_serial() {
+        // Both resize filters (area for the large source, bilinear for the
+        // small), plus tensor conversion and normalization.
+        for src in [Image::noise(613, 411, 3), Image::noise(150, 90, 4)] {
+            let want = standard_preprocess(&src, 224);
+            for threads in [2, 4] {
+                let bk = Backend::new(threads);
+                let got = standard_preprocess_with(&bk, &src, 224);
+                assert_eq!(want.as_slice(), got.as_slice(), "threads={threads}");
+            }
+        }
+        // Gray path: single-channel rows.
+        let gray = Image::gradient(300, 200).to_gray();
+        let want = resize_bilinear(&gray, 97, 53);
+        let got = resize_bilinear_with(&Backend::new(3), &gray, 97, 53);
+        assert_eq!(want, got);
+        let want = resize_nearest(&gray, 97, 53);
+        let got = resize_nearest_with(&Backend::new(3), &gray, 97, 53);
+        assert_eq!(want, got);
     }
 
     proptest! {
