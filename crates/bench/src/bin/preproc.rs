@@ -1,0 +1,235 @@
+//! Preprocessing fast-path benchmarks: baseline vs fused vs scaled decode.
+//!
+//! Times the single-image JPEG→tensor preprocessing chain at the testbed
+//! shapes (448/896/1792 px sources → 224 px model input), single-threaded:
+//!
+//! * `baseline` — full decode, then separate resize and normalize passes
+//!   (`decode_with` + `standard_preprocess_with`),
+//! * `fused_full` — full decode feeding the fused
+//!   resize→normalize→tensor kernel (`fused_preprocess_with`),
+//! * `fast` — DCT-domain scaled decode + fused kernel
+//!   (`preprocess_jpeg_with`), the live server's default path,
+//! * `cache_hit` — content hash + LRU lookup serving an already
+//!   preprocessed tensor from `PreprocCache`.
+//!
+//! The fused variant is checked element-close to the baseline chain and
+//! the fast variant is checked for identical output shape before timing;
+//! exact accuracy bounds live in the codec/tensor test suites.
+//!
+//! Results are printed as a table and appended as JSON lines to
+//! `BENCH_preproc.json` (override with `--out PATH`). `--smoke` shrinks
+//! shapes and repetitions to a few milliseconds for CI wiring checks.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use vserve_compute::{Backend, Scratch};
+use vserve_device::ImageSpec;
+use vserve_server::cache::CacheKey;
+use vserve_server::PreprocCache;
+use vserve_tensor::ops;
+use vserve_workload::synthetic_jpeg;
+
+/// One timed variant of one benchmark, serialized as a JSON line.
+struct Record {
+    bench: &'static str,
+    variant: &'static str,
+    shape: String,
+    threads: usize,
+    secs: f64,
+    /// Source megapixels processed per second.
+    rate: f64,
+    rate_unit: &'static str,
+    speedup_vs_baseline: f64,
+}
+
+impl Record {
+    fn json(&self, host_cores: usize, smoke: bool) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"variant\":\"{}\",\"shape\":\"{}\",\"threads\":{},\
+             \"secs\":{:.6},\"{}\":{:.3},\"speedup_vs_baseline\":{:.3},\
+             \"host_cores\":{},\"smoke\":{}}}",
+            self.bench,
+            self.variant,
+            self.shape,
+            self.threads,
+            self.secs,
+            self.rate_unit,
+            self.rate,
+            self.speedup_vs_baseline,
+            host_cores,
+            smoke
+        )
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_source(records: &mut Vec<Record>, src: usize, side: usize, reps: usize, smoke: bool) {
+    let jpeg = synthetic_jpeg(&ImageSpec::new(src, src, 0), 17);
+    let mpix = (src * src) as f64 / 1e6;
+    let shape = format!("{src}px->{side}");
+    let bk = Backend::serial();
+    let mut scratch = Scratch::new();
+
+    let ref_t = {
+        let img = vserve_codec::decode_with(&bk, &mut scratch, &jpeg).expect("decode");
+        ops::standard_preprocess_with(&bk, &img, side)
+    };
+    let baseline = time_best(reps, || {
+        let img = vserve_codec::decode_with(&bk, &mut scratch, &jpeg).expect("decode");
+        ops::standard_preprocess_with(&bk, &img, side);
+    });
+    records.push(Record {
+        bench: "preproc",
+        variant: "baseline",
+        shape: shape.clone(),
+        threads: 1,
+        secs: baseline,
+        rate: mpix / baseline,
+        rate_unit: "mpix_per_s",
+        speedup_vs_baseline: 1.0,
+    });
+
+    // Fused kernel on the full-resolution decode: same samples as the
+    // baseline chain up to float-arithmetic fusion, so element-close.
+    let fused_t = {
+        let img = vserve_codec::decode_with(&bk, &mut scratch, &jpeg).expect("decode");
+        ops::fused_preprocess_with(&bk, &img, side)
+    };
+    assert_eq!(ref_t.shape(), fused_t.shape());
+    let worst = ref_t
+        .as_slice()
+        .iter()
+        .zip(fused_t.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(worst < 0.1, "fused kernel diverged from baseline: {worst}");
+    let fused = time_best(reps, || {
+        let img = vserve_codec::decode_with(&bk, &mut scratch, &jpeg).expect("decode");
+        ops::fused_preprocess_with(&bk, &img, side);
+    });
+    records.push(Record {
+        bench: "preproc",
+        variant: "fused_full",
+        shape: shape.clone(),
+        threads: 1,
+        secs: fused,
+        rate: mpix / fused,
+        rate_unit: "mpix_per_s",
+        speedup_vs_baseline: baseline / fused,
+    });
+
+    let fast_t =
+        vserve_codec::preprocess_jpeg_with(&bk, &mut scratch, &jpeg, side).expect("fast path");
+    assert_eq!(ref_t.shape(), fast_t.shape());
+    let fast = time_best(reps, || {
+        vserve_codec::preprocess_jpeg_with(&bk, &mut scratch, &jpeg, side).expect("fast path");
+    });
+    records.push(Record {
+        bench: "preproc",
+        variant: "fast",
+        shape: shape.clone(),
+        threads: 1,
+        secs: fast,
+        rate: mpix / fast,
+        rate_unit: "mpix_per_s",
+        speedup_vs_baseline: baseline / fast,
+    });
+
+    // Serving the same payload from the content-addressed cache: hash the
+    // bytes, look up, clone the Arc — what a LiveServer hit costs.
+    let mut cache = PreprocCache::with_capacity_mb(64);
+    cache.insert(CacheKey::for_payload(&jpeg, side), Arc::new(fast_t));
+    let hit = time_best(reps.max(5), || {
+        let key = CacheKey::for_payload(&jpeg, side);
+        assert!(cache.get(&key).is_some(), "seeded entry must hit");
+    });
+    records.push(Record {
+        bench: "preproc",
+        variant: "cache_hit",
+        shape,
+        threads: 1,
+        secs: hit,
+        rate: mpix / hit,
+        rate_unit: "mpix_per_s",
+        speedup_vs_baseline: baseline / hit,
+    });
+
+    if !smoke && src >= 2 * side {
+        let speedup = baseline / fast;
+        assert!(
+            speedup >= 2.0,
+            "fast path must be >=2x at {src}px->{side}: got {speedup:.2}x"
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_preproc.json".to_string());
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let (sources, side, reps) = if smoke {
+        (vec![128usize, 256], 64usize, 1usize)
+    } else {
+        (vec![448usize, 896, 1792], 224usize, 3usize)
+    };
+
+    let mut records = Vec::new();
+    for src in sources {
+        bench_source(&mut records, src, side, reps, smoke);
+    }
+
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "{:<10} {:<12} {:<14} {:>7} {:>12} {:>14} {:>9}",
+        "bench", "variant", "shape", "threads", "secs", "rate", "speedup"
+    );
+    for r in &records {
+        let _ = writeln!(
+            table,
+            "{:<10} {:<12} {:<14} {:>7} {:>12.6} {:>9.3} {:>4} {:>9.2}x",
+            r.bench,
+            r.variant,
+            r.shape,
+            r.threads,
+            r.secs,
+            r.rate,
+            r.rate_unit,
+            r.speedup_vs_baseline
+        );
+    }
+    print!("{table}");
+    println!("host_cores={host_cores} smoke={smoke}");
+
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+        .expect("open bench output");
+    for r in &records {
+        writeln!(file, "{}", r.json(host_cores, smoke)).expect("write bench output");
+    }
+    println!("appended {} records to {out_path}", records.len());
+}

@@ -54,6 +54,78 @@ pub fn fdct(block: &[f32; 64]) -> [f32; 64] {
     out
 }
 
+/// Precomputed scaled reconstruction bases `S_n[u][x]` for n ∈ {1, 2, 4}.
+///
+/// An n-point reconstruction from the top-left n×n coefficients of an
+/// 8-point orthonormal DCT uses `S_n[u][x] = α(u)·cos((2x+1)uπ/(2n))`
+/// with the *same* α as the 8-point basis: the n-point orthonormal
+/// weights β_n(u) combine with the √(n/8) coefficient rescaling between
+/// block sizes so that β_n(0)·√(n/8) = 1/(2√2) and β_n(u>0)·√(n/8) = 1/2.
+/// Each reconstructed pixel then approximates the box average of the
+/// corresponding (8/n)×(8/n) region of the full-resolution block
+/// (exactly the mean for n = 1, since DC = mean × 8).
+fn scaled_basis(n: usize) -> &'static [[f32; 8]; 8] {
+    use std::sync::OnceLock;
+    static BASES: [OnceLock<[[f32; 8]; 8]>; 3] =
+        [OnceLock::new(), OnceLock::new(), OnceLock::new()];
+    let slot = match n {
+        1 => &BASES[0],
+        2 => &BASES[1],
+        4 => &BASES[2],
+        _ => panic!("scaled_basis: n must be 1, 2 or 4, got {n}"),
+    };
+    slot.get_or_init(|| {
+        let mut b = [[0f32; 8]; 8];
+        for (u, row) in b.iter_mut().enumerate().take(n) {
+            let cu = if u == 0 {
+                (1.0f64 / 2.0f64.sqrt()) / 2.0
+            } else {
+                0.5
+            };
+            for (x, v) in row.iter_mut().enumerate().take(n) {
+                *v = (cu
+                    * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / (2.0 * n as f64))
+                        .cos()) as f32;
+            }
+        }
+        b
+    })
+}
+
+/// Scaled inverse DCT: reconstructs an n×n pixel block (n ∈ {1, 2, 4})
+/// directly from the top-left n×n DCT coefficients of an 8×8 block,
+/// writing raster order into `out[..n*n]`.
+///
+/// This is the libjpeg-style reduced-resolution IDCT: only n² of the 64
+/// coefficients are touched and only n² output pixels are produced, so
+/// the arithmetic shrinks by ~(8/n)³ versus [`idct`] + box downsample.
+pub fn idct_scaled(coeffs: &[f32; 64], n: usize, out: &mut [f32]) {
+    debug_assert!(matches!(n, 1 | 2 | 4), "idct_scaled: bad n {n}");
+    debug_assert!(out.len() >= n * n);
+    let c = scaled_basis(n);
+    // rows: tmp[v][x] = Σ_{u<n} coeffs[v][u] S[u][x]
+    let mut tmp = [0f32; 16];
+    for v in 0..n {
+        for x in 0..n {
+            let mut s = 0.0;
+            for u in 0..n {
+                s += coeffs[v * 8 + u] * c[u][x];
+            }
+            tmp[v * n + x] = s;
+        }
+    }
+    // cols: f[y][x] = Σ_{v<n} S[v][y] tmp[v][x]
+    for y in 0..n {
+        for x in 0..n {
+            let mut s = 0.0;
+            for v in 0..n {
+                s += c[v][y] * tmp[v * n + x];
+            }
+            out[y * n + x] = s;
+        }
+    }
+}
+
 /// Inverse 8×8 DCT (raster order in, raster out).
 pub fn idct(coeffs: &[f32; 64]) -> [f32; 64] {
     let c = basis();
@@ -112,6 +184,85 @@ mod tests {
             (e_spatial - e_freq).abs() / e_spatial < 1e-4,
             "{e_spatial} vs {e_freq}"
         );
+    }
+
+    #[test]
+    fn scaled_idct_of_dc_only_block_is_constant() {
+        let mut coeffs = [0f32; 64];
+        coeffs[0] = 42.0 * 8.0; // DC of a constant-42 block
+        for n in [1usize, 2, 4] {
+            let mut out = [0f32; 16];
+            idct_scaled(&coeffs, n, &mut out);
+            for &v in &out[..n * n] {
+                assert!((v - 42.0).abs() < 1e-3, "n={n}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_point_scaled_idct_is_block_mean() {
+        let mut block = [0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 73 + 19) % 251) as f32 - 100.0;
+        }
+        let mean: f32 = block.iter().sum::<f32>() / 64.0;
+        let f = fdct(&block);
+        let mut out = [0f32; 1];
+        idct_scaled(&f, 1, &mut out);
+        assert!((out[0] - mean).abs() < 1e-2, "{} vs {mean}", out[0]);
+    }
+
+    /// For a band-limited block (only frequencies below n present) the
+    /// scaled reconstruction equals the box-downsampled full
+    /// reconstruction — both are exact resamplings of the same smooth
+    /// surface only when the signal is constant within each box, so test
+    /// against direct cosine evaluation instead: the n-point output must
+    /// equal the n-point inverse of the √(n/8)-rescaled coefficients.
+    #[test]
+    fn scaled_idct_matches_reference_cosine_sum() {
+        let mut coeffs = [0f32; 64];
+        // A few low-frequency coefficients.
+        coeffs[0] = 800.0;
+        coeffs[1] = 120.0;
+        coeffs[8] = -60.0;
+        coeffs[9] = 35.0;
+        for n in [2usize, 4] {
+            let mut out = [0f32; 16];
+            idct_scaled(&coeffs, n, &mut out);
+            for y in 0..n {
+                for x in 0..n {
+                    let mut s = 0.0f64;
+                    for v in 0..n {
+                        for u in 0..n {
+                            let au = if u == 0 {
+                                1.0 / (2.0 * 2.0f64.sqrt())
+                            } else {
+                                0.5
+                            };
+                            let av = if v == 0 {
+                                1.0 / (2.0 * 2.0f64.sqrt())
+                            } else {
+                                0.5
+                            };
+                            s += f64::from(coeffs[v * 8 + u])
+                                * au
+                                * av
+                                * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI
+                                    / (2.0 * n as f64))
+                                    .cos()
+                                * ((2 * y + 1) as f64 * v as f64 * std::f64::consts::PI
+                                    / (2.0 * n as f64))
+                                    .cos();
+                        }
+                    }
+                    let got = out[y * n + x];
+                    assert!(
+                        (f64::from(got) - s).abs() < 1e-3,
+                        "n={n} ({x},{y}): {got} vs {s}"
+                    );
+                }
+            }
+        }
     }
 
     proptest! {

@@ -14,10 +14,116 @@ use vserve_compute::{Backend, Scratch};
 use vserve_tensor::{Image, PixelFormat};
 
 use crate::bits::BitReader;
-use crate::dct::idct;
+use crate::dct::{idct, idct_scaled};
 use crate::huffman::{extend, HuffDecoder};
 use crate::tables::ZIGZAG;
 use crate::DecodeJpegError;
+
+/// Reduced-resolution decode factor, applied in the DCT domain.
+///
+/// At `Half`/`Quarter`/`Eighth`, each 8×8 coefficient block is
+/// reconstructed directly to 4×4/2×2/1×1 pixels from its top-left
+/// coefficients (libjpeg-style scaled inverse transforms). Entropy
+/// decoding is unchanged — it is inherently full-cost — but the IDCT,
+/// plane buffers, upsampling and color conversion all shrink by the
+/// square of the factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeScale {
+    /// Full resolution; byte-identical to [`decode`].
+    Full,
+    /// 1/2 in each dimension (8×8 → 4×4 blocks).
+    Half,
+    /// 1/4 in each dimension (8×8 → 2×2 blocks).
+    Quarter,
+    /// 1/8 in each dimension (8×8 → DC-only 1×1 blocks).
+    Eighth,
+}
+
+impl DecodeScale {
+    /// Downscale denominator: 1, 2, 4 or 8.
+    pub fn denominator(self) -> usize {
+        match self {
+            DecodeScale::Full => 1,
+            DecodeScale::Half => 2,
+            DecodeScale::Quarter => 4,
+            DecodeScale::Eighth => 8,
+        }
+    }
+
+    /// Reconstructed pixels per 8×8 block side: 8, 4, 2 or 1.
+    pub fn block_size(self) -> usize {
+        8 / self.denominator()
+    }
+
+    /// Output size of a source dimension decoded at this scale.
+    pub fn apply(self, dim: usize) -> usize {
+        dim.div_ceil(self.denominator())
+    }
+
+    /// Largest scale whose output still covers a `target_side` square —
+    /// i.e. the residual resize after the scaled decode is always a
+    /// downsample (factor in [1, 2) unless even `Eighth` is too big).
+    pub fn for_target(src_w: usize, src_h: usize, target_side: usize) -> DecodeScale {
+        if target_side == 0 {
+            return DecodeScale::Full;
+        }
+        for s in [DecodeScale::Eighth, DecodeScale::Quarter, DecodeScale::Half] {
+            if s.apply(src_w) >= target_side && s.apply(src_h) >= target_side {
+                return s;
+            }
+        }
+        DecodeScale::Full
+    }
+}
+
+/// Parses just enough of a JPEG byte stream to report the frame
+/// dimensions `(width, height)` without decoding any pixel data.
+///
+/// # Errors
+///
+/// Returns a [`DecodeJpegError`] if the stream is not a baseline JPEG or
+/// ends before a SOF0 marker.
+pub fn probe_dimensions(data: &[u8]) -> Result<(usize, usize), DecodeJpegError> {
+    if data.len() < 4 || data[0] != 0xff || data[1] != 0xd8 {
+        return Err(DecodeJpegError::NotAJpeg);
+    }
+    let mut pos = 2usize;
+    loop {
+        while pos < data.len() && data[pos] != 0xff {
+            pos += 1;
+        }
+        while pos < data.len() && data[pos] == 0xff {
+            pos += 1;
+        }
+        if pos >= data.len() {
+            return Err(DecodeJpegError::UnexpectedEof);
+        }
+        let marker = data[pos];
+        pos += 1;
+        match marker {
+            0xc0 => {
+                let len = read_u16(data, pos)? as usize;
+                let seg = data
+                    .get(pos + 2..pos + len)
+                    .ok_or(DecodeJpegError::UnexpectedEof)?;
+                let frame = parse_sof(seg)?;
+                return Ok((frame.width, frame.height));
+            }
+            0xc1..=0xc3 | 0xc5..=0xc7 | 0xc9..=0xcb | 0xcd..=0xcf => {
+                return Err(DecodeJpegError::UnsupportedFrame(marker));
+            }
+            0xd9 | 0xda => return Err(DecodeJpegError::MissingScan),
+            0x01 | 0xd0..=0xd7 => {}
+            _ => {
+                let len = read_u16(data, pos)? as usize;
+                if len < 2 {
+                    return Err(DecodeJpegError::Malformed("segment length < 2"));
+                }
+                pos += len;
+            }
+        }
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct Component {
@@ -70,6 +176,11 @@ thread_local! {
     static LOCAL_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
 }
 
+/// Runs `f` with this thread's shared decode scratch arena.
+pub(crate) fn with_local_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    LOCAL_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
 /// Decodes a baseline JFIF/JPEG byte stream into an [`Image`].
 ///
 /// Supports 8-bit baseline sequential JPEG (SOF0) with 1 or 3 components,
@@ -87,6 +198,35 @@ pub fn decode(data: &[u8]) -> Result<Image, DecodeJpegError> {
     LOCAL_SCRATCH.with(|s| decode_with(&Backend::serial(), &mut s.borrow_mut(), data))
 }
 
+/// Decodes a baseline JPEG at reduced resolution via DCT-domain scaling.
+///
+/// The output image is `ceil(w/d) × ceil(h/d)` for denominator `d`; each
+/// pixel approximates the box average of the corresponding d×d source
+/// region. `DecodeScale::Full` is byte-identical to [`decode`].
+///
+/// Single-threaded wrapper over [`decode_scaled_with`].
+///
+/// # Errors
+///
+/// Same conditions as [`decode`].
+pub fn decode_scaled(data: &[u8], scale: DecodeScale) -> Result<Image, DecodeJpegError> {
+    LOCAL_SCRATCH.with(|s| decode_scaled_with(&Backend::serial(), &mut s.borrow_mut(), data, scale))
+}
+
+/// [`decode_scaled`] with an explicit compute backend and scratch arena.
+///
+/// # Errors
+///
+/// Same conditions as [`decode`].
+pub fn decode_scaled_with(
+    bk: &Backend,
+    scratch: &mut Scratch,
+    data: &[u8],
+    scale: DecodeScale,
+) -> Result<Image, DecodeJpegError> {
+    decode_inner(bk, scratch, data, scale)
+}
+
 /// [`decode`] with an explicit compute backend and scratch arena.
 ///
 /// Entropy decoding stays sequential; IDCT and color conversion run in
@@ -102,6 +242,15 @@ pub fn decode_with(
     bk: &Backend,
     scratch: &mut Scratch,
     data: &[u8],
+) -> Result<Image, DecodeJpegError> {
+    decode_inner(bk, scratch, data, DecodeScale::Full)
+}
+
+fn decode_inner(
+    bk: &Backend,
+    scratch: &mut Scratch,
+    data: &[u8],
+    scale: DecodeScale,
 ) -> Result<Image, DecodeJpegError> {
     if data.len() < 4 || data[0] != 0xff || data[1] != 0xd8 {
         return Err(DecodeJpegError::NotAJpeg);
@@ -172,7 +321,7 @@ pub fn decode_with(
                 parse_sos(seg, &mut dec)?;
                 pos += len;
                 let ecs = data.get(pos..).ok_or(DecodeJpegError::UnexpectedEof)?;
-                return decode_scan(&dec, ecs, bk, scratch);
+                return decode_scan(&dec, ecs, bk, scratch, scale);
             }
             0x01 | 0xd0..=0xd7 => {} // TEM/RSTn: standalone, no length
             _ => {
@@ -338,6 +487,7 @@ fn decode_scan(
     ecs: &[u8],
     bk: &Backend,
     scratch: &mut Scratch,
+    scale: DecodeScale,
 ) -> Result<Image, DecodeJpegError> {
     let frame = dec.frame.as_ref().ok_or(DecodeJpegError::MissingScan)?;
     let max_h = frame.components.iter().map(|c| c.h).max().unwrap();
@@ -408,30 +558,43 @@ fn decode_scan(
 
     // Phase 2 (parallel): IDCT each block into its component plane at
     // native (subsampled) resolution, padded to whole MCUs. Each worker
-    // owns a band of 8-pixel block rows, so writes never overlap.
+    // owns a band of n-pixel block rows (n = scaled block size), so
+    // writes never overlap. At reduced scales each 8×8 coefficient block
+    // reconstructs directly to n×n pixels.
+    let n = scale.block_size();
     let mut planes: Vec<Vec<f32>> = Vec::new();
     let mut plane_dims: Vec<(usize, usize)> = Vec::new();
     for c in &frame.components {
-        let pw = mcus_x * 8 * c.h;
-        let ph = mcus_y * 8 * c.v;
+        let pw = mcus_x * n * c.h;
+        let ph = mcus_y * n * c.v;
         planes.push(scratch.take(pw * ph));
         plane_dims.push((pw, ph));
     }
     for (ci, comp) in frame.components.iter().enumerate() {
         let (pw, _) = plane_dims[ci];
         let cblocks = &coeffs[ci];
-        bk.par_chunks_mut(&mut planes[ci], pw * 8, |brow, band| {
+        bk.par_chunks_mut(&mut planes[ci], pw * n, |brow, band| {
             let my = brow / comp.v;
             let by = brow % comp.v;
             for mx in 0..mcus_x {
                 for bx in 0..comp.h {
                     let b = ((my * mcus_x + mx) * comp.v + by) * comp.h + bx;
                     let blk: &[f32; 64] = cblocks[b * 64..(b + 1) * 64].try_into().unwrap();
-                    let spatial = idct(blk);
-                    let ox = (mx * comp.h + bx) * 8;
-                    for y in 0..8 {
-                        for x in 0..8 {
-                            band[y * pw + ox + x] = spatial[y * 8 + x] + 128.0;
+                    let ox = (mx * comp.h + bx) * n;
+                    if n == 8 {
+                        let spatial = idct(blk);
+                        for y in 0..8 {
+                            for x in 0..8 {
+                                band[y * pw + ox + x] = spatial[y * 8 + x] + 128.0;
+                            }
+                        }
+                    } else {
+                        let mut spatial = [0f32; 16];
+                        idct_scaled(blk, n, &mut spatial);
+                        for y in 0..n {
+                            for x in 0..n {
+                                band[y * pw + ox + x] = spatial[y * n + x] + 128.0;
+                            }
                         }
                     }
                 }
@@ -442,8 +605,12 @@ fn decode_scan(
         scratch.recycle(buf);
     }
 
-    // Phase 3 (parallel): upsample + color-convert per pixel row.
-    let image = assemble_image(frame, &planes, &plane_dims, max_h, max_v, bk);
+    // Phase 3 (parallel): upsample + color-convert per pixel row. The
+    // output dimensions shrink with the scale; the subsampling-ratio
+    // index math is unchanged because every plane scaled uniformly.
+    let out_w = scale.apply(frame.width);
+    let out_h = scale.apply(frame.height);
+    let image = assemble_image(frame, &planes, &plane_dims, max_h, max_v, bk, out_w, out_h);
     for buf in planes {
         scratch.recycle(buf);
     }
@@ -491,6 +658,7 @@ fn decode_block(
     Ok(coeffs)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn assemble_image(
     frame: &Frame,
     planes: &[Vec<f32>],
@@ -498,8 +666,9 @@ fn assemble_image(
     max_h: usize,
     max_v: usize,
     bk: &Backend,
+    w: usize,
+    h: usize,
 ) -> Result<Image, DecodeJpegError> {
-    let (w, h) = (frame.width, frame.height);
     if frame.components.len() == 1 {
         let (pw, _) = plane_dims[0];
         let mut data = vec![0u8; w * h];

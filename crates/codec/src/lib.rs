@@ -36,10 +36,14 @@ mod dct;
 mod decode;
 mod encode;
 mod huffman;
+pub mod preproc;
 pub mod tables;
 
-pub use decode::{decode, decode_with};
+pub use decode::{
+    decode, decode_scaled, decode_scaled_with, decode_with, probe_dimensions, DecodeScale,
+};
 pub use encode::encode;
+pub use preproc::{preprocess_jpeg, preprocess_jpeg_with, PreprocPlan};
 
 use vserve_tensor::Image;
 
@@ -391,6 +395,160 @@ mod tests {
         assert_eq!(psnr(&img, &img), f64::INFINITY);
     }
 
+    #[test]
+    fn full_scale_decode_is_byte_identical_to_decode() {
+        for (w, h) in [(64, 48), (97, 61)] {
+            let bytes = encode(&Image::gradient(w, h), &EncodeOptions::default());
+            let full = decode(&bytes).unwrap();
+            let scaled = decode_scaled(&bytes, DecodeScale::Full).unwrap();
+            assert_eq!(full.as_bytes(), scaled.as_bytes());
+        }
+    }
+
+    #[test]
+    fn scaled_decode_output_dimensions() {
+        // Ragged sizes: output must be ceil(dim / denominator).
+        let bytes = encode(&Image::gradient(97, 61), &EncodeOptions::default());
+        for (scale, w, h) in [
+            (DecodeScale::Half, 49, 31),
+            (DecodeScale::Quarter, 25, 16),
+            (DecodeScale::Eighth, 13, 8),
+        ] {
+            let img = decode_scaled(&bytes, scale).unwrap();
+            assert_eq!((img.width(), img.height()), (w, h), "{scale:?}");
+        }
+    }
+
+    #[test]
+    fn eighth_scale_pixels_are_block_means() {
+        // DC-only reconstruction: each output pixel is the mean of its
+        // 8×8 block, so it must track the box average of the full decode.
+        let img = Image::gradient(64, 64);
+        let bytes = encode(
+            &img,
+            &EncodeOptions {
+                quality: 95,
+                subsampling: Subsampling::S444,
+                ..EncodeOptions::default()
+            },
+        );
+        let full = decode(&bytes).unwrap();
+        let eighth = decode_scaled(&bytes, DecodeScale::Eighth).unwrap();
+        assert_eq!((eighth.width(), eighth.height()), (8, 8));
+        for by in 0..8 {
+            for bx in 0..8 {
+                for c in 0..3 {
+                    let mut acc = 0f64;
+                    for y in 0..8 {
+                        for x in 0..8 {
+                            acc += f64::from(full.pixel(bx * 8 + x, by * 8 + y)[c]);
+                        }
+                    }
+                    let mean = acc / 64.0;
+                    let got = f64::from(eighth.pixel(bx, by)[c]);
+                    assert!(
+                        (got - mean).abs() < 3.0,
+                        "block ({bx},{by}) ch {c}: {got} vs mean {mean}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_decode_bit_identical_across_threads() {
+        use vserve_compute::{Backend, Scratch};
+        let bytes = encode(&Image::gradient(97, 61), &EncodeOptions::default());
+        for scale in [DecodeScale::Half, DecodeScale::Quarter, DecodeScale::Eighth] {
+            let want = decode_scaled(&bytes, scale).unwrap();
+            for threads in [2, 4] {
+                let mut scratch = Scratch::new();
+                let got = decode_scaled_with(&Backend::new(threads), &mut scratch, &bytes, scale)
+                    .unwrap();
+                assert_eq!(
+                    want.as_bytes(),
+                    got.as_bytes(),
+                    "{scale:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_dimensions_reads_header_only() {
+        let bytes = encode(&Image::gradient(123, 45), &EncodeOptions::default());
+        assert_eq!(probe_dimensions(&bytes).unwrap(), (123, 45));
+        assert_eq!(
+            probe_dimensions(&[1, 2, 3, 4]).unwrap_err(),
+            DecodeJpegError::NotAJpeg
+        );
+        // Truncating right after the SOF segment must still succeed: the
+        // probe never touches entropy data.
+        let sos = bytes
+            .windows(2)
+            .position(|w| w == [0xff, 0xda])
+            .expect("has SOS");
+        assert_eq!(probe_dimensions(&bytes[..sos]).unwrap(), (123, 45));
+    }
+
+    /// Satellite regression: chroma upsampling index math at the right and
+    /// bottom edges of 4:2:0 images whose dimensions are not multiples of
+    /// 16 (partial edge MCUs). A future off-by-one in the subsampled-grid
+    /// mapping would corrupt exactly these strips while leaving the global
+    /// PSNR nearly unchanged, so the strips are checked in isolation.
+    #[test]
+    fn s420_edge_strips_survive_odd_dimensions() {
+        let strip_psnr =
+            |a: &Image, b: &Image, xs: std::ops::Range<usize>, ys: std::ops::Range<usize>| {
+                let mut se = 0f64;
+                let mut n = 0f64;
+                for y in ys.clone() {
+                    for x in xs.clone() {
+                        for c in 0..3 {
+                            let d = f64::from(a.pixel(x, y)[c]) - f64::from(b.pixel(x, y)[c]);
+                            se += d * d;
+                            n += 1.0;
+                        }
+                    }
+                }
+                10.0 * (255.0f64 * 255.0 / (se / n)).log10()
+            };
+        for (w, h) in [(17, 11), (23, 9), (33, 19), (97, 61)] {
+            // Chroma-heavy content: red→blue ramp (strong Cb/Cr variation).
+            let mut img = Image::zeros(w, h, PixelFormat::Rgb8);
+            for y in 0..h {
+                for x in 0..w {
+                    let r = (x * 255 / w.max(2).saturating_sub(1).max(1)) as u8;
+                    img.put_pixel(x, y, [r, 64, 255 - r]);
+                }
+            }
+            let bytes = encode(
+                &img,
+                &EncodeOptions {
+                    quality: 90,
+                    subsampling: Subsampling::S420,
+                    ..EncodeOptions::default()
+                },
+            );
+            let back = decode(&bytes).unwrap();
+            let right = strip_psnr(&img, &back, w.saturating_sub(2)..w, 0..h);
+            let bottom = strip_psnr(&img, &back, 0..w, h.saturating_sub(2)..h);
+            assert!(
+                right > 24.0 && bottom > 24.0,
+                "{w}x{h}: right strip {right:.1} dB, bottom strip {bottom:.1} dB"
+            );
+            // Scaled decode must handle the same ragged geometry.
+            for scale in [DecodeScale::Half, DecodeScale::Quarter, DecodeScale::Eighth] {
+                let s = decode_scaled(&bytes, scale).unwrap();
+                assert_eq!(
+                    (s.width(), s.height()),
+                    (scale.apply(w), scale.apply(h)),
+                    "{w}x{h} {scale:?}"
+                );
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
         #[test]
@@ -405,6 +563,44 @@ mod tests {
             prop_assert_eq!((back.width(), back.height()), (w, h));
             let p = psnr(&img, &back);
             prop_assert!(p > 25.0, "psnr {} at q{} {}x{}", p, quality, w, h);
+        }
+
+        /// Satellite: DCT-domain scaled decode must track the reference
+        /// chain (full decode + area downsample to the same dimensions)
+        /// within a calibrated PSNR bound on random JPEGs. The bound is
+        /// loose enough for the filter mismatch (band-limited
+        /// reconstruction vs box average) yet tight enough to catch
+        /// normalization or indexing errors, which cost tens of dB.
+        #[test]
+        fn scaled_decode_tracks_area_downsample(
+            w in 16usize..80, h in 16usize..80, seed in any::<u64>(),
+            quality in 70u8..=95,
+        ) {
+            // Mildly textured content, like the synthetic workload: a
+            // gradient with bounded noise so the PSNR bound is stable.
+            let mut img = Image::gradient(w, h);
+            let noise = Image::noise(w, h, seed);
+            for (p, q) in img.as_bytes_mut().iter_mut().zip(noise.as_bytes()) {
+                *p = ((u16::from(*p) * 3 + u16::from(*q)) / 4) as u8;
+            }
+            for subsampling in [Subsampling::S444, Subsampling::S420] {
+                let bytes = encode(&img, &EncodeOptions { quality, subsampling, ..EncodeOptions::default() });
+                let full = decode(&bytes).unwrap();
+                for scale in [DecodeScale::Half, DecodeScale::Quarter, DecodeScale::Eighth] {
+                    let scaled = decode_scaled(&bytes, scale).unwrap();
+                    let reference = vserve_tensor::ops::resize_area(
+                        &full, scale.apply(w), scale.apply(h));
+                    // Calibrated: ragged-edge blocks at Eighth include
+                    // encoder padding (replicated pixels) the reference
+                    // never sees, which costs a few dB on tiny images;
+                    // observed minimum ≈ 21.7 dB across the dim range.
+                    let p = psnr(&reference, &scaled);
+                    prop_assert!(
+                        p > 19.0,
+                        "{}x{} q{} {:?} {:?}: psnr {:.1}", w, h, quality, subsampling, scale, p
+                    );
+                }
+            }
         }
 
         #[test]

@@ -1,0 +1,156 @@
+//! The preprocessing fast path: JPEG → normalized NCHW tensor with
+//! DCT-domain scaled decode and a fused resize/normalize kernel.
+//!
+//! This is the paper's highest-leverage optimization target: decode +
+//! resize + normalize dominate end-to-end serving time for CPU-side
+//! preprocessing. The fast path attacks all three at once:
+//!
+//! 1. [`probe_dimensions`](crate::probe_dimensions) reads the frame size
+//!    from the SOF header (no pixel work).
+//! 2. [`DecodeScale::for_target`](crate::DecodeScale::for_target) picks
+//!    the largest 1/2ᵏ DCT-domain scale whose output still covers the
+//!    target, so the IDCT, color buffer and chroma upsampling all shrink
+//!    by the square of the factor while the residual resize factor stays
+//!    in [1, 2).
+//! 3. [`fused_preprocess_with`](vserve_tensor::ops::fused_preprocess_with)
+//!    performs that residual resize with bilinear taps, writing the
+//!    normalized f32 values straight into the destination tensor — no
+//!    intermediate resized RGB image and no separate normalize pass.
+//!
+//! The output approximates the baseline decode → area/bilinear resize →
+//! to-tensor → normalize chain (not bit-identical: the scaled IDCT is a
+//! band-limited reconstruction and the fused kernel skips a u8
+//! quantization), but it is itself fully deterministic: the same bytes
+//! and target produce bit-identical tensors for any thread count.
+
+use vserve_compute::{Backend, Scratch};
+use vserve_tensor::{ops, Tensor};
+
+use crate::decode::{decode_scaled_with, probe_dimensions, DecodeScale};
+use crate::DecodeJpegError;
+
+/// The plan the fast path chose for one payload: source dimensions from
+/// the header probe, the DCT-domain scale, and the scaled decode output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreprocPlan {
+    /// Source width from the SOF header.
+    pub src_w: usize,
+    /// Source height from the SOF header.
+    pub src_h: usize,
+    /// Chosen DCT-domain decode scale.
+    pub scale: DecodeScale,
+    /// Width of the scaled decode output.
+    pub scaled_w: usize,
+    /// Height of the scaled decode output.
+    pub scaled_h: usize,
+}
+
+/// Probes the JPEG header and picks the decode scale for a `side × side`
+/// target without doing any pixel work.
+///
+/// # Errors
+///
+/// Returns a [`DecodeJpegError`] if the header cannot be parsed.
+pub fn plan(data: &[u8], side: usize) -> Result<PreprocPlan, DecodeJpegError> {
+    let (src_w, src_h) = probe_dimensions(data)?;
+    let scale = DecodeScale::for_target(src_w, src_h, side);
+    Ok(PreprocPlan {
+        src_w,
+        src_h,
+        scale,
+        scaled_w: scale.apply(src_w),
+        scaled_h: scale.apply(src_h),
+    })
+}
+
+/// Decodes and preprocesses a JPEG payload into a normalized
+/// `[1, c, side, side]` NCHW tensor via the scaled-decode fast path.
+///
+/// Single-threaded wrapper over [`preprocess_jpeg_with`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeJpegError`] if the payload cannot be decoded.
+pub fn preprocess_jpeg(data: &[u8], side: usize) -> Result<Tensor, DecodeJpegError> {
+    crate::decode::with_local_scratch(|s| preprocess_jpeg_with(&Backend::serial(), s, data, side))
+}
+
+/// [`preprocess_jpeg`] with an explicit compute backend and scratch
+/// arena. Decode temporaries come from `scratch`, so a worker calling
+/// this frame after frame stops touching the allocator once warm.
+///
+/// # Errors
+///
+/// Returns a [`DecodeJpegError`] if the payload cannot be decoded.
+pub fn preprocess_jpeg_with(
+    bk: &Backend,
+    scratch: &mut Scratch,
+    data: &[u8],
+    side: usize,
+) -> Result<Tensor, DecodeJpegError> {
+    let plan = plan(data, side)?;
+    let img = decode_scaled_with(bk, scratch, data, plan.scale)?;
+    Ok(ops::fused_preprocess_with(bk, &img, side))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode, encode, EncodeOptions};
+    use vserve_tensor::Image;
+
+    fn jpeg(w: usize, h: usize) -> Vec<u8> {
+        encode(&Image::gradient(w, h), &EncodeOptions::default())
+    }
+
+    #[test]
+    fn plan_picks_largest_covering_scale() {
+        let p = plan(&jpeg(448, 448), 224).expect("plan");
+        assert_eq!((p.src_w, p.src_h), (448, 448));
+        assert_eq!(p.scale, DecodeScale::Half);
+        assert_eq!((p.scaled_w, p.scaled_h), (224, 224));
+
+        let p = plan(&jpeg(1792, 1792), 224).expect("plan");
+        assert_eq!(p.scale, DecodeScale::Eighth);
+
+        // Source barely above target: no power-of-two scale covers it.
+        let p = plan(&jpeg(300, 300), 224).expect("plan");
+        assert_eq!(p.scale, DecodeScale::Full);
+
+        // Non-square: the tighter dimension governs.
+        let p = plan(&jpeg(1000, 500), 224).expect("plan");
+        assert_eq!(p.scale, DecodeScale::Half);
+    }
+
+    #[test]
+    fn fast_path_tensor_close_to_baseline_chain() {
+        let data = jpeg(448, 336);
+        let fast = preprocess_jpeg(&data, 160).expect("fast path");
+        let img = decode(&data).expect("decode");
+        let base = vserve_tensor::ops::standard_preprocess(&img, 160);
+        assert_eq!(fast.shape(), base.shape());
+        // Smooth gradient: band-limited reconstruction is near-exact.
+        let mut worst = 0f32;
+        for (a, b) in fast.as_slice().iter().zip(base.as_slice()) {
+            worst = worst.max((a - b).abs());
+        }
+        assert!(worst < 0.15, "worst normalized-unit error {worst}");
+    }
+
+    #[test]
+    fn fast_path_bit_identical_across_threads() {
+        let data = jpeg(450, 340); // odd scaled dims exercise edge blocks
+        let want = preprocess_jpeg(&data, 224).expect("serial");
+        for threads in [2, 4] {
+            let bk = Backend::new(threads);
+            let mut scratch = Scratch::new();
+            let got = preprocess_jpeg_with(&bk, &mut scratch, &data, 224).expect("parallel");
+            assert_eq!(want.as_slice(), got.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fast_path_reports_decode_errors() {
+        assert!(preprocess_jpeg(&[0, 1, 2, 3], 224).is_err());
+    }
+}

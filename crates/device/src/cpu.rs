@@ -96,6 +96,55 @@ impl CpuModel {
         self.decode_time(img) + self.resize_time(img, dst_side) + self.normalize_time(dst_side)
     }
 
+    /// Largest DCT-domain downscale denominator in {1, 2, 4, 8} whose
+    /// scaled decode output still covers `dst_side²` — mirrors
+    /// `vserve_codec::DecodeScale::for_target`.
+    pub fn scale_denominator(img: &ImageSpec, dst_side: usize) -> usize {
+        if dst_side == 0 {
+            return 1;
+        }
+        for d in [8usize, 4, 2] {
+            if img.width.div_ceil(d) >= dst_side && img.height.div_ceil(d) >= dst_side {
+                return d;
+            }
+        }
+        1
+    }
+
+    /// Single-thread scaled JPEG decode time at downscale denominator
+    /// `denom`, seconds. Huffman (per-byte) work is inherently full-cost;
+    /// the per-pixel IDCT/upsample/color work shrinks by `denom²`.
+    pub fn decode_time_scaled(&self, img: &ImageSpec, denom: usize) -> f64 {
+        let d2 = (denom * denom).max(1) as f64;
+        self.decode_fixed_s
+            + self.decode_s_per_px * img.pixels() as f64 / d2
+            + self.decode_s_per_byte * img.compressed_bytes as f64
+    }
+
+    /// Single-thread preprocessing time on the fast path: DCT-domain
+    /// scaled decode plus the fused resize→normalize→tensor kernel,
+    /// seconds. The fused kernel reads the (scaled) source once and
+    /// writes each normalized value in the same pass, so the separate
+    /// normalization sweep of [`preprocess_time`](Self::preprocess_time)
+    /// disappears into the destination write.
+    pub fn preprocess_time_fast(&self, img: &ImageSpec, dst_side: usize) -> f64 {
+        let d = Self::scale_denominator(img, dst_side);
+        let scaled_px = (img.pixels() / (d * d)).max(1) as f64;
+        self.decode_time_scaled(img, d)
+            + self.resize_s_per_src_px * scaled_px
+            + self.resize_s_per_dst_px * (dst_side * dst_side) as f64
+    }
+
+    /// Cost of serving a preprocessed tensor from the content-addressed
+    /// cache: an FNV content hash over the payload plus the map lookup,
+    /// seconds. Calibrated against the live server's measured hit path
+    /// (~1 byte/cycle hashing plus fixed bookkeeping).
+    pub fn cache_hit_time(&self, img: &ImageSpec) -> f64 {
+        const HASH_S_PER_BYTE: f64 = 0.25e-9;
+        const LOOKUP_FIXED_S: f64 = 2e-6;
+        LOOKUP_FIXED_S + HASH_S_PER_BYTE * img.compressed_bytes as f64
+    }
+
     /// Per-request host dispatch time (runs on the CPU regardless of where
     /// preprocessing executes), seconds.
     pub fn dispatch_time(&self, img: &ImageSpec) -> f64 {
@@ -125,6 +174,34 @@ mod tests {
         // Calibration anchors (§4.2): medium ≈ 1.6 ms, large ≈ 74 ms.
         assert!((m - 1.6e-3).abs() < 0.3e-3, "medium {m}");
         assert!(l > 55e-3 && l < 95e-3, "large {l}");
+    }
+
+    #[test]
+    fn fast_path_beats_baseline_and_matches_scale_selection() {
+        let c = cpu();
+        // Large images (denominator 8) shed most per-pixel work; medium
+        // ones (denominator 1 at 224) only save the fused normalize pass.
+        let l = ImageSpec::large();
+        assert!(c.preprocess_time_fast(&l, 224) < c.preprocess_time(&l, 224) / 2.0);
+        let m = ImageSpec::medium();
+        assert!(c.preprocess_time_fast(&m, 224) < c.preprocess_time(&m, 224));
+        // Huffman work is irreducible: fast can't drop below it.
+        assert!(c.preprocess_time_fast(&l, 224) > c.decode_s_per_byte * l.compressed_bytes as f64);
+        // Small images have no headroom: denominator 1 ≈ baseline decode.
+        assert_eq!(CpuModel::scale_denominator(&ImageSpec::small(), 224), 1);
+        assert_eq!(CpuModel::scale_denominator(&ImageSpec::medium(), 224), 1);
+        assert_eq!(
+            CpuModel::scale_denominator(&ImageSpec::new(500, 375, 0), 160),
+            2
+        );
+        assert_eq!(CpuModel::scale_denominator(&ImageSpec::large(), 224), 8);
+    }
+
+    #[test]
+    fn cache_hit_is_orders_cheaper_than_preprocess() {
+        let c = cpu();
+        let m = ImageSpec::medium();
+        assert!(c.cache_hit_time(&m) < 0.05 * c.preprocess_time_fast(&m, 224));
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Content-addressed cache of preprocessed tensors.
+//!
+//! Serving workloads repeat payloads — the same thumbnail fanned out to
+//! several models, retried uploads, hot images in a feed — and the paper
+//! shows preprocessing is the dominant per-request cost, so a hit here
+//! removes the most expensive stage entirely. Entries are keyed by the
+//! payload bytes (FNV-1a content hash + length) and the target input
+//! side, hold the finished NCHW tensor behind an [`Arc`], and are evicted
+//! least-recently-used under a byte budget.
+//!
+//! The cache itself is a plain mutable structure; `LiveServer` wraps it
+//! in a `Mutex` and keeps only O(log n) work (hash-map + recency-index
+//! updates) inside the critical section — decoding always happens outside
+//! the lock. The in-flight coalescing counter also lives here so one
+//! stats snapshot describes the whole duplicate-suppression story.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use vserve_tensor::Tensor;
+
+/// Environment variable read when
+/// [`LiveOptions::preproc_cache_mb`](crate::live::LiveOptions::preproc_cache_mb)
+/// is `None`: cache capacity in MiB. `0` disables the cache.
+pub const PREPROC_CACHE_MB_ENV: &str = "VSERVE_PREPROC_CACHE_MB";
+
+/// Default cache capacity in MiB when neither the option nor the
+/// environment variable is set.
+pub const DEFAULT_PREPROC_CACHE_MB: usize = 32;
+
+/// Resolves a configured capacity: explicit option, else
+/// [`PREPROC_CACHE_MB_ENV`], else [`DEFAULT_PREPROC_CACHE_MB`].
+pub fn resolve_capacity_mb(configured: Option<usize>) -> usize {
+    configured.unwrap_or_else(|| {
+        std::env::var(PREPROC_CACHE_MB_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_PREPROC_CACHE_MB)
+    })
+}
+
+/// 64-bit FNV-1a hash of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content-addressed key: payload hash + length (a cheap second factor
+/// against hash collisions) + target input side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// FNV-1a hash of the payload bytes.
+    pub hash: u64,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Target model input side the tensor was preprocessed for.
+    pub side: usize,
+}
+
+impl CacheKey {
+    /// Keys a payload for a given target side.
+    pub fn for_payload(payload: &[u8], side: usize) -> CacheKey {
+        CacheKey {
+            hash: fnv1a(payload),
+            len: payload.len(),
+            side,
+        }
+    }
+}
+
+/// Counters describing cache and coalescing behavior since server start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreprocCacheStats {
+    /// Requests served from a cached tensor (preprocessing skipped).
+    pub hits: u64,
+    /// Requests that looked up the cache and had to preprocess.
+    pub misses: u64,
+    /// Requests that attached to another request's in-flight
+    /// preprocessing instead of decoding themselves.
+    pub coalesced: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently resident (tensor payloads).
+    pub bytes: usize,
+    /// Configured byte budget; `0` means the cache is disabled.
+    pub capacity_bytes: usize,
+}
+
+/// LRU cache of preprocessed tensors under a byte budget.
+///
+/// Recency is tracked with a monotonic sequence number per entry and a
+/// `BTreeMap` from sequence to key, so both touch and evict-oldest are
+/// O(log n) without external dependencies.
+#[derive(Debug)]
+pub struct PreprocCache {
+    capacity_bytes: usize,
+    entries: HashMap<CacheKey, (Arc<Tensor>, u64)>,
+    recency: BTreeMap<u64, CacheKey>,
+    seq: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    evictions: u64,
+}
+
+fn tensor_bytes(t: &Tensor) -> usize {
+    t.as_slice().len() * std::mem::size_of::<f32>()
+}
+
+impl PreprocCache {
+    /// Creates a cache with a byte budget; `0` disables it (every lookup
+    /// misses silently and inserts are dropped).
+    pub fn new(capacity_bytes: usize) -> Self {
+        PreprocCache {
+            capacity_bytes,
+            entries: HashMap::new(),
+            recency: BTreeMap::new(),
+            seq: 0,
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+            coalesced: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Creates a cache with a MiB budget.
+    pub fn with_capacity_mb(mb: usize) -> Self {
+        PreprocCache::new(mb * 1024 * 1024)
+    }
+
+    /// Whether the cache stores anything at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+
+    /// Looks up a key, refreshing its recency. Counts a hit or miss;
+    /// disabled caches return `None` without counting.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Tensor>> {
+        if !self.enabled() {
+            return None;
+        }
+        match self.entries.get_mut(key) {
+            Some((tensor, seq)) => {
+                self.recency.remove(seq);
+                self.seq += 1;
+                *seq = self.seq;
+                self.recency.insert(self.seq, *key);
+                self.hits += 1;
+                Some(Arc::clone(tensor))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a tensor, evicting least-recently-used entries until the
+    /// byte budget holds. Tensors larger than the whole budget (and all
+    /// inserts on a disabled cache) are dropped without churn.
+    pub fn insert(&mut self, key: CacheKey, tensor: Arc<Tensor>) {
+        let size = tensor_bytes(&tensor);
+        if !self.enabled() || size > self.capacity_bytes {
+            return;
+        }
+        if let Some((old, seq)) = self.entries.remove(&key) {
+            self.recency.remove(&seq);
+            self.bytes -= tensor_bytes(&old);
+        }
+        self.seq += 1;
+        self.entries.insert(key, (tensor, self.seq));
+        self.recency.insert(self.seq, key);
+        self.bytes += size;
+        while self.bytes > self.capacity_bytes {
+            let (&oldest, &victim) = self.recency.iter().next().expect("over budget → non-empty");
+            self.recency.remove(&oldest);
+            let (evicted, _) = self
+                .entries
+                .remove(&victim)
+                .expect("recency/entries in sync");
+            self.bytes -= tensor_bytes(&evicted);
+            self.evictions += 1;
+        }
+    }
+
+    /// Records one request attaching to an in-flight preprocessing
+    /// execution (the coalesce counter in [`PreprocCacheStats`]).
+    pub fn note_coalesced(&mut self) {
+        self.coalesced += 1;
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> PreprocCacheStats {
+        PreprocCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            coalesced: self.coalesced,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            bytes: self.bytes,
+            capacity_bytes: self.capacity_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(side: usize) -> Arc<Tensor> {
+        Arc::new(Tensor::zeros(&[1, 3, side, side]))
+    }
+
+    fn key(i: u64) -> CacheKey {
+        CacheKey {
+            hash: i,
+            len: i as usize,
+            side: 8,
+        }
+    }
+
+    #[test]
+    fn content_key_distinguishes_payload_and_side() {
+        let a = CacheKey::for_payload(b"abc", 224);
+        assert_eq!(a, CacheKey::for_payload(b"abc", 224));
+        assert_ne!(a, CacheKey::for_payload(b"abd", 224));
+        assert_ne!(a, CacheKey::for_payload(b"abc", 160));
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut c = PreprocCache::new(1 << 20);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), tensor(4));
+        assert!(c.get(&key(1)).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    /// Satellite: eviction respects the byte budget, in LRU order.
+    #[test]
+    fn eviction_respects_byte_budget_lru_order() {
+        let one = 3 * 8 * 8 * 4; // bytes per [1,3,8,8] tensor
+        let mut c = PreprocCache::new(2 * one);
+        c.insert(key(1), tensor(8));
+        c.insert(key(2), tensor(8));
+        assert_eq!(c.stats().bytes, 2 * one);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(&key(1)).is_some());
+        c.insert(key(3), tensor(8));
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes <= s.capacity_bytes);
+        assert_eq!(s.entries, 2);
+        assert!(
+            c.get(&key(2)).is_none(),
+            "LRU entry must be the one evicted"
+        );
+        assert!(c.get(&key(1)).is_some() && c.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn oversized_and_disabled_inserts_are_dropped() {
+        let mut off = PreprocCache::new(0);
+        off.insert(key(1), tensor(8));
+        assert!(off.get(&key(1)).is_none());
+        let s = off.stats();
+        assert_eq!((s.entries, s.hits, s.misses), (0, 0, 0));
+
+        let mut tiny = PreprocCache::new(16);
+        tiny.insert(key(1), tensor(8));
+        assert_eq!(tiny.stats().entries, 0);
+        assert_eq!(tiny.stats().evictions, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting_bytes() {
+        let one = 3 * 8 * 8 * 4;
+        let mut c = PreprocCache::new(4 * one);
+        c.insert(key(1), tensor(8));
+        c.insert(key(1), tensor(8));
+        let s = c.stats();
+        assert_eq!((s.entries, s.bytes), (1, one));
+    }
+
+    #[test]
+    fn capacity_resolution_prefers_explicit_option() {
+        assert_eq!(resolve_capacity_mb(Some(7)), 7);
+        assert_eq!(resolve_capacity_mb(Some(0)), 0);
+        // None falls back to env/default; with the variable unset this is
+        // the default. (Not asserting the env path to keep the test
+        // hermetic under parallel execution.)
+        if std::env::var(PREPROC_CACHE_MB_ENV).is_err() {
+            assert_eq!(resolve_capacity_mb(None), DEFAULT_PREPROC_CACHE_MB);
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -21,6 +21,21 @@ impl std::fmt::Display for PreprocWhere {
     }
 }
 
+/// Which CPU preprocessing implementation the cost model replays.
+///
+/// Mirrors [`LiveOptions::fast_preproc`](crate::live::LiveOptions::fast_preproc):
+/// `Fast` charges `CpuModel::preprocess_time_fast` (DCT-domain scaled
+/// decode + fused resize/normalize) instead of the unfused baseline
+/// chain. GPU preprocessing is unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PreprocPath {
+    /// Full-resolution decode, then separate resize and normalize passes.
+    #[default]
+    Baseline,
+    /// Scaled decode + fused resize→normalize→tensor kernel.
+    Fast,
+}
+
 /// Which pipeline stages run, for the stage-isolation study of Fig 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum StageMode {
@@ -123,6 +138,14 @@ pub struct ServerConfig {
     pub dynamic_batching: bool,
     /// Which stages execute (Fig 7 isolation).
     pub stage_mode: StageMode,
+    /// CPU preprocessing implementation the cost model replays (used when
+    /// `preproc == Cpu`).
+    pub preproc_path: PreprocPath,
+    /// Fraction of requests served from the content-addressed
+    /// preprocessed-tensor cache (CPU preprocessing only): each such
+    /// request pays `CpuModel::cache_hit_time` instead of preprocessing.
+    /// `0.0` disables the cache in the model; must be in `[0, 1]`.
+    pub preproc_cache_hit_rate: f64,
 }
 
 impl ServerConfig {
@@ -140,6 +163,8 @@ impl ServerConfig {
             max_queue_delay_s: 2e-3,
             dynamic_batching: true,
             stage_mode: StageMode::EndToEnd,
+            preproc_path: PreprocPath::Baseline,
+            preproc_cache_hit_rate: 0.0,
         }
     }
 
@@ -166,6 +191,8 @@ impl ServerConfig {
             max_queue_delay_s: 5e-3,
             dynamic_batching: true,
             stage_mode: StageMode::EndToEnd,
+            preproc_path: PreprocPath::Baseline,
+            preproc_cache_hit_rate: 0.0,
         }
     }
 
@@ -178,6 +205,24 @@ impl ServerConfig {
     /// Returns this configuration restricted to one pipeline stage.
     pub fn with_stage_mode(mut self, mode: StageMode) -> Self {
         self.stage_mode = mode;
+        self
+    }
+
+    /// Enables the scaled-decode + fused-kernel fast path in the cost
+    /// model (CPU preprocessing only).
+    pub fn with_fast_preproc(mut self) -> Self {
+        self.preproc_path = PreprocPath::Fast;
+        self
+    }
+
+    /// Sets the modeled preprocessed-tensor cache hit rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `[0, 1]`.
+    pub fn with_cache_hit_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "hit rate {rate} not in [0,1]");
+        self.preproc_cache_hit_rate = rate;
         self
     }
 }

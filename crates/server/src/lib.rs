@@ -40,12 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod config;
 pub mod live;
 mod report;
 mod sim;
 
-pub use config::{ModelProfile, PreprocWhere, ServerConfig, StageMode};
+pub use cache::{PreprocCache, PreprocCacheStats, PREPROC_CACHE_MB_ENV};
+pub use config::{ModelProfile, PreprocPath, PreprocWhere, ServerConfig, StageMode};
 pub use report::{stages, ServerReport, ServingSummary};
 pub use sim::{serial_loop_throughput, Experiment};
 
@@ -117,6 +119,50 @@ mod tests {
             "cpu {} vs gpu {}",
             cpu.latency.mean,
             gpu.latency.mean
+        );
+    }
+
+    #[test]
+    fn fast_preproc_path_cuts_large_image_zero_load_preproc() {
+        let base =
+            experiment(ImageSpec::large(), ServerConfig::optimized_cpu_preproc(), 1).zero_load();
+        let fast = experiment(
+            ImageSpec::large(),
+            ServerConfig::optimized_cpu_preproc().with_fast_preproc(),
+            1,
+        )
+        .zero_load();
+        // Large → denominator 8: the per-pixel IDCT work shrinks 64×,
+        // leaving Huffman + resize; ≥2× on the whole preproc stage.
+        assert!(
+            fast.preproc_time() < base.preproc_time() / 2.0,
+            "fast {} vs base {}",
+            fast.preproc_time(),
+            base.preproc_time()
+        );
+        assert!(fast.latency.mean < base.latency.mean);
+    }
+
+    #[test]
+    fn full_cache_hit_rate_removes_preproc_from_the_model() {
+        let base = experiment(
+            ImageSpec::medium(),
+            ServerConfig::optimized_cpu_preproc(),
+            1,
+        )
+        .zero_load();
+        let cached = experiment(
+            ImageSpec::medium(),
+            ServerConfig::optimized_cpu_preproc().with_cache_hit_rate(1.0),
+            1,
+        )
+        .zero_load();
+        // Every request pays only hash + lookup: preproc share collapses.
+        assert!(
+            cached.preproc_time() < 0.05 * base.preproc_time(),
+            "cached {} vs base {}",
+            cached.preproc_time(),
+            base.preproc_time()
         );
     }
 

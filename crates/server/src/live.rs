@@ -47,6 +47,7 @@
 //! # }
 //! ```
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -58,6 +59,7 @@ use vserve_metrics::{
 };
 use vserve_tensor::{ops, Tensor};
 
+use crate::cache::{resolve_capacity_mb, CacheKey, PreprocCache, PreprocCacheStats};
 use crate::report::{stages, ServingSummary};
 
 /// Configuration for a [`LiveServer`].
@@ -85,6 +87,22 @@ pub struct LiveOptions {
     /// testbed pins stages to cores of an i9-13900K the same way).
     /// Results are bit-identical for any value.
     pub backend_threads: usize,
+    /// Use the DCT-domain scaled decode + fused resize/normalize fast
+    /// path ([`vserve_codec::preprocess_jpeg_with`]) instead of the
+    /// unfused full-resolution chain. The fast path approximates the
+    /// baseline numerics (not bit-identical to it) but is itself
+    /// deterministic across thread counts and cache settings.
+    pub fast_preproc: bool,
+    /// Capacity of the content-addressed preprocessed-tensor cache in
+    /// MiB. `Some(0)` disables it; `None` reads
+    /// [`PREPROC_CACHE_MB_ENV`](crate::cache::PREPROC_CACHE_MB_ENV) and
+    /// falls back to
+    /// [`DEFAULT_PREPROC_CACHE_MB`](crate::cache::DEFAULT_PREPROC_CACHE_MB).
+    pub preproc_cache_mb: Option<usize>,
+    /// Coalesce concurrent duplicate requests: while one worker
+    /// preprocesses a payload, other requests with identical bytes park
+    /// and share its result instead of decoding again.
+    pub coalesce: bool,
 }
 
 impl Default for LiveOptions {
@@ -98,6 +116,9 @@ impl Default for LiveOptions {
             queue_cap: 256,
             deadline: None,
             backend_threads: 0,
+            fast_preproc: true,
+            preproc_cache_mb: None,
+            coalesce: true,
         }
     }
 }
@@ -195,6 +216,9 @@ pub struct LiveMetrics {
     /// `busy / (wall × threads)` accumulated over every parallel region
     /// the decode, preprocessing, and kernel stages ran.
     pub parallel_efficiency: f64,
+    /// Preprocessed-tensor cache and coalescing counters
+    /// (hits/misses/coalesced/evictions and resident bytes).
+    pub preproc_cache: PreprocCacheStats,
 }
 
 impl LiveMetrics {
@@ -295,7 +319,7 @@ struct Job {
 }
 
 struct Ready {
-    tensor: Tensor,
+    tensor: Arc<Tensor>,
     submitted: Instant,
     /// Wait in the bounded ingress queue before preprocessing started.
     ingress_wait: Duration,
@@ -312,6 +336,7 @@ pub struct LiveServer {
     shared: Arc<Shared>,
     deadline: Option<Duration>,
     backend: Backend,
+    cache: Arc<Mutex<PreprocCache>>,
 }
 
 impl std::fmt::Debug for LiveServer {
@@ -342,17 +367,32 @@ impl LiveServer {
         let (batch_tx, batch_rx) = bounded::<Vec<Ready>>(4);
         let mut handles = Vec::new();
 
-        // Preprocessing workers: decode → resize → normalize.
+        // Preprocessing workers: decode → resize → normalize, with a
+        // content-addressed result cache and in-flight coalescing. The
+        // in-flight table maps a payload key to the jobs parked on the
+        // worker currently preprocessing that payload; the completing
+        // worker forwards one `Ready` per parked job, so N concurrent
+        // duplicates cost exactly one decode.
+        let cache = Arc::new(Mutex::new(PreprocCache::with_capacity_mb(
+            resolve_capacity_mb(opts.preproc_cache_mb),
+        )));
+        let inflight: Arc<Mutex<HashMap<CacheKey, Vec<Job>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
         let side = opts.input_side;
+        let fast = opts.fast_preproc;
+        let coalesce = opts.coalesce;
         for _ in 0..opts.preproc_workers.max(1) {
             let rx = ingress_rx.clone();
             let tx = ready_tx.clone();
             let shared = Arc::clone(&shared);
             let bk = backend.clone();
+            let cache = Arc::clone(&cache);
+            let inflight = Arc::clone(&inflight);
             handles.push(std::thread::spawn(move || {
                 // Each worker owns a scratch arena: after the first frame
                 // the decode path stops allocating its temporaries.
                 let mut scratch = Scratch::new();
+                let cache_on = cache.lock().map(|c| c.enabled()).unwrap_or(false);
                 while let Ok(job) = rx.recv() {
                     let start = Instant::now();
                     if job.deadline.is_some_and(|d| start >= d) {
@@ -360,9 +400,12 @@ impl LiveServer {
                         let _ = job.reply.send(Err(LiveError::DeadlineExceeded));
                         continue;
                     }
-                    match vserve_codec::decode_with(&bk, &mut scratch, &job.jpeg) {
-                        Ok(img) => {
-                            let tensor = ops::standard_preprocess_with(&bk, &img, side);
+                    let key =
+                        (cache_on || coalesce).then(|| CacheKey::for_payload(&job.jpeg, side));
+                    if let Some(k) = key {
+                        if let Some(tensor) = cache.lock().ok().and_then(|mut c| c.get(&k)) {
+                            // Cache hit: the measured preprocessing time
+                            // is just the hash + lookup above, ≈ 0.
                             let done = Instant::now();
                             let ready = Ready {
                                 tensor,
@@ -376,10 +419,92 @@ impl LiveServer {
                             if tx.send(ready).is_err() {
                                 return;
                             }
+                            continue;
+                        }
+                        if coalesce {
+                            if let Ok(mut infl) = inflight.lock() {
+                                if let Some(waiters) = infl.get_mut(&k) {
+                                    waiters.push(job);
+                                    drop(infl);
+                                    if let Ok(mut c) = cache.lock() {
+                                        c.note_coalesced();
+                                    }
+                                    continue;
+                                }
+                                infl.insert(k, Vec::new());
+                            }
+                        }
+                    }
+                    let result = if fast {
+                        vserve_codec::preprocess_jpeg_with(&bk, &mut scratch, &job.jpeg, side)
+                    } else {
+                        vserve_codec::decode_with(&bk, &mut scratch, &job.jpeg)
+                            .map(|img| ops::standard_preprocess_with(&bk, &img, side))
+                    };
+                    let done = Instant::now();
+                    // Publish to the cache *before* detaching the waiter
+                    // list so a duplicate arriving in between finds one or
+                    // the other; then serve the leader and every waiter.
+                    let tensor = result.map(Arc::new);
+                    if let (Some(k), Ok(t)) = (key, &tensor) {
+                        if cache_on {
+                            if let Ok(mut c) = cache.lock() {
+                                c.insert(k, Arc::clone(t));
+                            }
+                        }
+                    }
+                    let waiters = match (key, coalesce) {
+                        (Some(k), true) => inflight
+                            .lock()
+                            .ok()
+                            .and_then(|mut infl| infl.remove(&k))
+                            .unwrap_or_default(),
+                        _ => Vec::new(),
+                    };
+                    match tensor {
+                        Ok(tensor) => {
+                            let ready = Ready {
+                                tensor: Arc::clone(&tensor),
+                                submitted: job.submitted,
+                                ingress_wait: start.saturating_duration_since(job.submitted),
+                                preproc: done - start,
+                                preproc_done: done,
+                                deadline: job.deadline,
+                                reply: job.reply,
+                            };
+                            if tx.send(ready).is_err() {
+                                return;
+                            }
+                            for w in waiters {
+                                if w.deadline.is_some_and(|d| done >= d) {
+                                    shared.drop_queued(done, true);
+                                    let _ = w.reply.send(Err(LiveError::DeadlineExceeded));
+                                    continue;
+                                }
+                                // A waiter never preprocessed: the shared
+                                // execution is charged once to the leader,
+                                // and the waiter's wait counts as queueing.
+                                let ready = Ready {
+                                    tensor: Arc::clone(&tensor),
+                                    submitted: w.submitted,
+                                    ingress_wait: done.saturating_duration_since(w.submitted),
+                                    preproc: Duration::ZERO,
+                                    preproc_done: done,
+                                    deadline: w.deadline,
+                                    reply: w.reply,
+                                };
+                                if tx.send(ready).is_err() {
+                                    return;
+                                }
+                            }
                         }
                         Err(e) => {
-                            shared.drop_queued(Instant::now(), false);
+                            shared.drop_queued(done, false);
                             let _ = job.reply.send(Err(LiveError::Decode(e)));
+                            for w in waiters {
+                                shared.drop_queued(done, false);
+                                let _ = w.reply.send(Err(LiveError::Decode(e)));
+                            }
                         }
                     }
                 }
@@ -453,7 +578,7 @@ impl LiveServer {
                 while let Ok(batch) = rx.recv() {
                     let n = batch.len();
                     let start = Instant::now();
-                    let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.tensor).collect();
+                    let inputs: Vec<&Tensor> = batch.iter().map(|r| r.tensor.as_ref()).collect();
                     let result = model.forward_batch(&inputs);
                     let finished = Instant::now();
                     let wall = finished.saturating_duration_since(start);
@@ -514,6 +639,7 @@ impl LiveServer {
             shared,
             deadline: opts.deadline,
             backend,
+            cache,
         }
     }
 
@@ -568,6 +694,11 @@ impl LiveServer {
     pub fn metrics(&self) -> LiveMetrics {
         let t = self.shared.secs(Instant::now());
         let stats = self.backend.stats();
+        let cache_stats = self
+            .cache
+            .lock()
+            .map(|c| c.stats())
+            .unwrap_or_else(|e| e.into_inner().stats());
         let m = self.shared.lock();
         let mut meter = m.meter;
         meter.close(t);
@@ -585,6 +716,7 @@ impl LiveServer {
             inference_wall: Duration::from_secs_f64(m.inference_wall_s),
             backend_threads: stats.threads,
             parallel_efficiency: stats.efficiency(),
+            preproc_cache: cache_stats,
         }
     }
 }
@@ -615,6 +747,7 @@ mod tests {
             queue_cap: 256,
             deadline: None,
             backend_threads: 1,
+            ..LiveOptions::default()
         }
     }
 
@@ -744,10 +877,12 @@ mod tests {
             },
         );
         // Submitting far faster than one worker can decode must overflow
-        // the 2-deep ingress queue.
-        let receivers: Vec<_> = (0..40)
-            .map(|i| server.submit(synthetic_jpeg(&ImageSpec::new(640, 480, 0), i)))
+        // the 2-deep ingress queue. Encode the payloads up front so the
+        // burst isn't paced by JPEG encoding in the submit loop.
+        let payloads: Vec<_> = (0..40)
+            .map(|i| synthetic_jpeg(&ImageSpec::new(640, 480, 0), i))
             .collect();
+        let receivers: Vec<_> = payloads.into_iter().map(|p| server.submit(p)).collect();
         let mut ok = 0u64;
         let mut overloaded = 0u64;
         for rx in receivers {
@@ -811,6 +946,133 @@ mod tests {
         // Decode, preprocess, and inference all ride the backend; the
         // whole pipeline must be bit-identical across thread counts.
         assert_eq!(run(1), run(4));
+    }
+
+    /// Satellite: N duplicate in-flight requests produce exactly one
+    /// decode. The payload is large enough that the leader is still
+    /// decoding while the other worker parks every duplicate, so the
+    /// coalesce counter must reach N − 1 deterministically (the cache is
+    /// disabled to keep coalescing the only duplicate-suppression path).
+    #[test]
+    fn duplicate_inflight_requests_coalesce_to_one_decode() {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(
+            model,
+            LiveOptions {
+                preproc_cache_mb: Some(0),
+                max_queue_delay: Duration::from_millis(100),
+                ..tiny_opts(8)
+            },
+        );
+        let n = 8;
+        let jpeg = synthetic_jpeg(&ImageSpec::new(1600, 1200, 0), 17);
+        let receivers: Vec<_> = (0..n).map(|_| server.submit(jpeg.clone())).collect();
+        let results: Vec<LiveResult> = receivers
+            .iter()
+            .map(|rx| rx.recv().unwrap().unwrap())
+            .collect();
+        let m = server.metrics();
+        assert_eq!(
+            m.preproc_cache.coalesced,
+            (n - 1) as u64,
+            "every duplicate must attach to the leader's decode"
+        );
+        // One leader did real work; every waiter reports zero preproc.
+        let zero = results
+            .iter()
+            .filter(|r| r.preproc == Duration::ZERO)
+            .count();
+        assert_eq!(zero, n - 1);
+        // All requests share the one decode's answer.
+        for r in &results {
+            assert_eq!(r.output, results[0].output);
+        }
+        assert_eq!(m.completed, n as u64);
+    }
+
+    /// Cache hits skip preprocessing: a repeated payload is served from
+    /// the content-addressed cache with hash+lookup-only preproc time.
+    #[test]
+    fn repeated_payload_hits_cache_with_near_zero_preproc() {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(
+            model,
+            LiveOptions {
+                preproc_cache_mb: Some(8),
+                ..tiny_opts(4)
+            },
+        );
+        let jpeg = synthetic_jpeg(&ImageSpec::new(640, 480, 0), 23);
+        let first = server.infer(jpeg.clone()).unwrap();
+        let second = server.infer(jpeg.clone()).unwrap();
+        assert_eq!(first.output, second.output);
+        let m = server.metrics();
+        assert_eq!(m.preproc_cache.misses, 1);
+        assert!(m.preproc_cache.hits >= 1, "stats {:?}", m.preproc_cache);
+        assert!(m.preproc_cache.entries >= 1);
+        assert!(m.preproc_cache.bytes <= m.preproc_cache.capacity_bytes);
+        // The hit's measured preproc is hash + lookup, far below a real
+        // 640×480 decode.
+        assert!(
+            second.preproc.as_secs_f64() < first.preproc.as_secs_f64() / 2.0,
+            "hit {:?} vs miss {:?}",
+            second.preproc,
+            first.preproc
+        );
+    }
+
+    /// Satellite: the fused fast path is bit-identical with the cache on
+    /// and off (a cached tensor is the same bytes a fresh decode makes),
+    /// and distinct payloads never alias in the cache.
+    #[test]
+    fn outputs_bit_identical_cache_on_and_off() {
+        let jpegs: Vec<Vec<u8>> = (0..4)
+            .map(|i| synthetic_jpeg(&ImageSpec::new(96, 80, 0), 40 + i))
+            .collect();
+        let run = |cache_mb: usize| {
+            let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+            let server = LiveServer::start(
+                model,
+                LiveOptions {
+                    preproc_cache_mb: Some(cache_mb),
+                    ..tiny_opts(4)
+                },
+            );
+            // Each payload twice: the second pass hits when caching is on.
+            let mut outs = Vec::new();
+            for _ in 0..2 {
+                for j in &jpegs {
+                    outs.push(server.infer(j.clone()).unwrap().output);
+                }
+            }
+            outs
+        };
+        let with_cache = run(8);
+        let without = run(0);
+        assert_eq!(with_cache, without);
+        // Repeats must agree with their first serving.
+        for (a, b) in with_cache[..4].iter().zip(&with_cache[4..]) {
+            assert_eq!(a, b);
+        }
+    }
+
+    /// The unfused baseline path still works when the fast path is off.
+    #[test]
+    fn baseline_preproc_path_still_serves() {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(
+            model,
+            LiveOptions {
+                fast_preproc: false,
+                ..tiny_opts(4)
+            },
+        );
+        let r = server
+            .infer(synthetic_jpeg(&ImageSpec::new(300, 200, 0), 51))
+            .unwrap();
+        assert_eq!(r.output.len(), 10);
+        let sum: f32 = r.output.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3);
     }
 
     #[test]

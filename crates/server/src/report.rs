@@ -45,6 +45,11 @@ impl ServingSummary {
         self.breakdown.mean(stages::QUEUE)
     }
 
+    /// Mean seconds a request spent preprocessing.
+    pub fn preproc_time(&self) -> f64 {
+        self.breakdown.mean(stages::PREPROC)
+    }
+
     /// Fraction of mean latency spent queued.
     pub fn queue_share(&self) -> f64 {
         self.stage_share(stages::QUEUE)
@@ -132,6 +137,11 @@ impl ServerReport {
     /// Mean seconds a request spent queued (all queues combined).
     pub fn queue_time(&self) -> f64 {
         self.breakdown.mean(stages::QUEUE)
+    }
+
+    /// Mean seconds a request spent preprocessing.
+    pub fn preproc_time(&self) -> f64 {
+        self.breakdown.mean(stages::PREPROC)
     }
 
     /// Fraction of mean latency spent queued.

@@ -15,7 +15,7 @@ use vserve_sim::rng::RngStream;
 use vserve_sim::{Engine, EventId, MultiServer, SharedBandwidth, SimDuration, SimTime};
 use vserve_workload::{Arrivals, ImageMix};
 
-use crate::config::{ModelProfile, PreprocWhere, ServerConfig, StageMode};
+use crate::config::{ModelProfile, PreprocPath, PreprocWhere, ServerConfig, StageMode};
 use crate::report::{stages, ServerReport};
 
 /// Per-request device-memory overhead while its state lives on the GPU
@@ -261,11 +261,18 @@ fn start_cpu_preproc(sim: &mut ServerSim, eng: &mut Eng, id: ReqId, enqueued: Si
     let now = eng.now();
     sim.req(id).queue_s += (now - enqueued).as_secs_f64();
     let img = sim.requests[id].as_ref().expect("live").img;
-    let t = sim
-        .node
-        .cpu
-        .preprocess_time(&img, sim.config.input_side(&sim.model))
-        * sim.jitter(0.12);
+    let side = sim.config.input_side(&sim.model);
+    let hit = sim.config.preproc_cache_hit_rate > 0.0
+        && sim.rng.uniform(0.0, 1.0) < sim.config.preproc_cache_hit_rate;
+    let base = if hit {
+        sim.node.cpu.cache_hit_time(&img)
+    } else {
+        match sim.config.preproc_path {
+            PreprocPath::Baseline => sim.node.cpu.preprocess_time(&img, side),
+            PreprocPath::Fast => sim.node.cpu.preprocess_time_fast(&img, side),
+        }
+    };
+    let t = base * sim.jitter(0.12);
     sim.cpu_busy.add(now.as_secs_f64(), 1.0);
     eng.schedule_in(
         SimDuration::from_secs_f64(t),

@@ -279,6 +279,71 @@ pub fn standard_preprocess_with(bk: &Backend, src: &Image, side: usize) -> Tenso
     t
 }
 
+/// Fused resize → to-tensor → normalize in a single pass.
+///
+/// Bilinear taps read the source image once and write the normalized f32
+/// value straight into the `[1, c, side, side]` NCHW tensor — no resized
+/// RGB intermediate and no separate scale/normalize passes over the
+/// output. RGB sources get ImageNet statistics; gray sources are scaled
+/// to `[0, 1]` only, matching [`standard_preprocess`].
+///
+/// Numerics differ slightly from the unfused chain (the chain rounds the
+/// resized value back to u8 before converting; the fused kernel keeps it
+/// in f32), so use this where throughput matters and the unfused chain
+/// where bit-exact parity with the baseline stack is required.
+pub fn fused_preprocess(src: &Image, side: usize) -> Tensor {
+    fused_preprocess_with(&Backend::serial(), src, side)
+}
+
+/// [`fused_preprocess`] parallelized over output tensor rows (chunk `i`
+/// is row `i % side` of channel `i / side`). Every output element is a
+/// pure function of the source, so results are bit-identical across
+/// thread counts.
+///
+/// # Panics
+///
+/// Panics if `side` is zero.
+pub fn fused_preprocess_with(bk: &Backend, src: &Image, side: usize) -> Tensor {
+    assert!(side > 0, "output side must be non-zero");
+    let (w, h, c) = (src.width(), src.height(), src.channels());
+    let rgb = src.format() == PixelFormat::Rgb8;
+    let bytes = src.as_bytes();
+    let sx = w as f32 / side as f32;
+    let sy = h as f32 / side as f32;
+    let max_x = w - 1;
+    let max_y = h - 1;
+    let mut t = Tensor::zeros(&[1, c, side, side]);
+    bk.par_chunks_mut(t.as_mut_slice(), side, |i, row| {
+        let ch = i / side;
+        let y = i % side;
+        let (m, s) = if rgb {
+            (IMAGENET_MEAN[ch], IMAGENET_STD[ch])
+        } else {
+            (0.0, 1.0)
+        };
+        let fy = ((y as f32 + 0.5) * sy - 0.5).clamp(0.0, max_y as f32);
+        let y0 = fy.floor() as usize;
+        let y1 = (y0 + 1).min(max_y);
+        let wy = fy - y0 as f32;
+        let (r0, r1) = (y0 * w * c, y1 * w * c);
+        for (x, out) in row.iter_mut().enumerate() {
+            let fx = ((x as f32 + 0.5) * sx - 0.5).clamp(0.0, max_x as f32);
+            let x0 = fx.floor() as usize;
+            let x1 = (x0 + 1).min(max_x);
+            let wx = fx - x0 as f32;
+            let p00 = f32::from(bytes[r0 + x0 * c + ch]);
+            let p10 = f32::from(bytes[r0 + x1 * c + ch]);
+            let p01 = f32::from(bytes[r1 + x0 * c + ch]);
+            let p11 = f32::from(bytes[r1 + x1 * c + ch]);
+            let top = p00 * (1.0 - wx) + p10 * wx;
+            let bot = p01 * (1.0 - wx) + p11 * wx;
+            let v = (top * (1.0 - wy) + bot * wy) / 255.0;
+            *out = (v - m) / s;
+        }
+    });
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +449,39 @@ mod tests {
     fn standard_preprocess_shape() {
         let t = standard_preprocess(&Image::gradient(640, 480), 224);
         assert_eq!(t.shape(), &[1, 3, 224, 224]);
+    }
+
+    #[test]
+    fn fused_preprocess_matches_unfused_chain_closely() {
+        // The fused kernel skips the intermediate u8 rounding, so values
+        // differ by at most one quantization step (1/255, scaled by the
+        // per-channel std after normalization).
+        let src = Image::noise(150, 90, 21);
+        let want = standard_preprocess(&src, 96); // bilinear path (≤ 2× downscale)
+        let got = fused_preprocess(&src, 96);
+        assert_eq!(want.shape(), got.shape());
+        let tol = (1.0 / 255.0) / IMAGENET_STD.iter().fold(f32::MAX, |a, &b| a.min(b)) + 1e-4;
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert!((a - b).abs() <= tol, "{a} vs {b}");
+        }
+        // Gray: [0, 1] scaling only, single channel.
+        let gray = Image::gradient(64, 48).to_gray();
+        let t = fused_preprocess(&gray, 32);
+        assert_eq!(t.shape(), &[1, 1, 32, 32]);
+        for &v in t.as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fused_preprocess_bit_identical_across_threads() {
+        for src in [Image::noise(300, 200, 5), Image::noise(97, 61, 6)] {
+            let want = fused_preprocess(&src, 224);
+            for threads in [2, 4] {
+                let got = fused_preprocess_with(&Backend::new(threads), &src, 224);
+                assert_eq!(want.as_slice(), got.as_slice(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,43 @@ fn classification_stable_under_jpeg_round_trip() {
     }
 }
 
+/// The scaled-decode + fused-kernel fast path is an approximation of the
+/// baseline chain, but not one the model can distinguish: top-1 must be
+/// unchanged on every representative source size, with bounded
+/// probability drift.
+#[test]
+fn classification_top1_unchanged_on_fast_path() {
+    let side = 32;
+    let model = Model::from_graph(models::micro_cnn(side, 10).expect("graph"), 77);
+    for (w, h) in [(96, 72), (256, 192), (400, 300), (800, 600)] {
+        let jpeg = encode(
+            &Image::gradient(w, h),
+            &EncodeOptions {
+                quality: 92,
+                subsampling: Subsampling::S420,
+                ..EncodeOptions::default()
+            },
+        );
+        let baseline = model
+            .forward(&ops::standard_preprocess(
+                &decode(&jpeg).expect("decode"),
+                side,
+            ))
+            .expect("forward baseline");
+        let fast = model
+            .forward(&vserve_codec::preprocess_jpeg(&jpeg, side).expect("fast path"))
+            .expect("forward fast");
+        assert_eq!(
+            baseline.argmax(),
+            fast.argmax(),
+            "top class changed at {w}x{h}"
+        );
+        for (a, b) in baseline.as_slice().iter().zip(fast.as_slice()) {
+            assert!((a - b).abs() < 0.05, "probability drifted: {a} vs {b}");
+        }
+    }
+}
+
 /// The preprocessing chain accepts every representative size the paper
 /// uses and always emits the DNN's fixed input shape.
 #[test]
