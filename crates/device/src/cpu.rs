@@ -46,6 +46,15 @@ pub struct CpuModel {
     /// path), bytes/second. Shared across all GPUs — the multi-GPU
     /// bottleneck of Fig 9.
     pub staging_bytes_per_s: f64,
+    /// RPC fixed cost per request on the network path (frame parse,
+    /// socket syscalls, response framing), seconds. Calibrated against
+    /// the `vserve-net` loopback measurements (`BENCH_net.json`); zero
+    /// when serving in-process.
+    pub rpc_fixed_s: f64,
+    /// Request serialization/transfer bandwidth of the network path,
+    /// payload bytes per second — governs how the RPC leg grows with
+    /// image size, the paper's data-transfer row.
+    pub serialize_bytes_per_s: f64,
     /// Package idle power, watts.
     pub idle_w: f64,
     /// Marginal power per busy core under vectorized decode load, watts.
@@ -67,6 +76,8 @@ impl CpuModel {
             dispatch_fixed_s: 40e-6,
             dispatch_s_per_byte: 0.05e-9,
             staging_bytes_per_s: 8.0e9,
+            rpc_fixed_s: 60e-6,
+            serialize_bytes_per_s: 2.0e9,
             idle_w: 35.0,
             core_w: 8.0,
         }
@@ -151,6 +162,24 @@ impl CpuModel {
         self.dispatch_fixed_s + self.dispatch_s_per_byte * img.compressed_bytes as f64
     }
 
+    /// Fixed RPC cost per request arriving over the network front-end
+    /// (frame parse, socket syscalls, response framing) — the paper's
+    /// serialization row, seconds. Charged only on the TCP path.
+    pub fn rpc_time(&self) -> f64 {
+        self.rpc_fixed_s
+    }
+
+    /// Time to move `payload` bytes of compressed request through the
+    /// network path — the paper's client→server data-transfer row,
+    /// seconds. Charged only on the TCP path.
+    pub fn serialize_time(&self, payload_bytes: usize) -> f64 {
+        if self.serialize_bytes_per_s <= 0.0 {
+            0.0
+        } else {
+            payload_bytes as f64 / self.serialize_bytes_per_s
+        }
+    }
+
     /// Package power when `busy_cores` cores are active, watts.
     pub fn power(&self, busy_cores: f64) -> f64 {
         self.idle_w + self.core_w * busy_cores.clamp(0.0, self.cores as f64)
@@ -214,6 +243,20 @@ mod tests {
     fn dispatch_much_cheaper_than_preprocess() {
         let m = ImageSpec::medium();
         assert!(cpu().dispatch_time(&m) < 0.1 * cpu().preprocess_time(&m, 224));
+    }
+
+    #[test]
+    fn rpc_leg_small_but_grows_with_payload() {
+        let c = cpu();
+        let m = ImageSpec::medium();
+        let l = ImageSpec::large();
+        let rpc_m = c.rpc_time() + c.serialize_time(m.compressed_bytes);
+        let rpc_l = c.rpc_time() + c.serialize_time(l.compressed_bytes);
+        assert!(rpc_l > rpc_m, "bigger payloads cost more on the wire");
+        // The paper's measurement: the RPC leg is a small slice of the
+        // end-to-end time for a medium image, not a dominant stage.
+        assert!(rpc_m < 0.25 * c.preprocess_time(&m, 224), "rpc {rpc_m}");
+        assert!(rpc_m > 0.0);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! `vserve-net` — a real TCP serving front-end for the live server.
+//!
+//! The paper's end-to-end breakdown includes two stages that only exist
+//! when requests cross a process boundary: client→server **data
+//! transfer** and request **serialization**. `LiveServer` alone can only
+//! be driven in-process, so those rows are silently zero. This crate puts
+//! a wire between client and server so they are measured, not assumed:
+//!
+//! * [`wire`] — a length-prefixed framed protocol (request = JPEG payload
+//!   + model name + target side + optional deadline + request id;
+//!   response = classification output + per-stage breakdown, or a typed
+//!   [`Status`] such as `Overloaded`). The decoder is zero-copy and total:
+//!   untrusted bytes can make it return [`wire::WireError`], never panic
+//!   or over-allocate.
+//! * [`server`] — a `std::net` listener with a thread-per-connection
+//!   acceptor behind a bounded connection cap (backpressure at accept),
+//!   which stamps `transfer`/`deserialize` stage times into the shared
+//!   `StageBreakdown` and submits into an embedded
+//!   [`LiveServer`](vserve_server::live::LiveServer); shutdown drains
+//!   in-flight work before closing.
+//! * [`client`] — a blocking client with connection pooling and in-flight
+//!   pipelining over each socket; per-request deadlines are propagated
+//!   into the frame so the server sheds late work.
+//!
+//! The `net` bench bin in `vserve-bench` drives this loopback vs
+//! in-process to measure the RPC overhead share per payload size, and
+//! `vserve-server`'s simulator replays that share via the
+//! `ServerConfig::rpc` / `CpuModel::{rpc_fixed_s, serialize_bytes_per_s}`
+//! knobs.
+//!
+//! # Examples
+//!
+//! ```
+//! use vserve_dnn::{models, Model};
+//! use vserve_net::{ClientOptions, NetClient, NetOptions, NetServer};
+//! use vserve_server::live::LiveOptions;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = Model::from_graph(models::micro_cnn(32, 10)?, 7);
+//! let server = NetServer::bind(
+//!     model,
+//!     NetOptions {
+//!         live: LiveOptions { input_side: 32, backend_threads: 1, ..LiveOptions::default() },
+//!         ..NetOptions::default()
+//!     },
+//! )?;
+//! let client = NetClient::connect(server.local_addr(), ClientOptions::default())?;
+//! # // A tiny JPEG via the workload generator would go here; see
+//! # // examples/net_roundtrip.rs for the full round trip.
+//! drop(client);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! (See `examples/net_roundtrip.rs` for the full server + pooled-client
+//! round trip with the per-stage table.)
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientOptions, NetClient, NetError, NetResult};
+pub use server::{NetMetrics, NetOptions, NetServer};
+pub use wire::{RequestFrame, ResponseFrame, StageMicros, Status, WireError, MAX_FRAME_LEN};
+
+/// Environment variable read by [`NetOptions::default`] for the listen
+/// address (`host:port`; port 0 picks an ephemeral port).
+pub const NET_ADDR_ENV: &str = "VSERVE_NET_ADDR";
+
+/// Environment variable read by [`NetOptions::default`] for the maximum
+/// concurrently accepted connections.
+pub const NET_MAX_CONNS_ENV: &str = "VSERVE_NET_MAX_CONNS";
+
+/// Environment variable read by [`ClientOptions::default`] for the
+/// client's connection-pool size.
+pub const NET_POOL_ENV: &str = "VSERVE_NET_POOL";
+
+/// Default listen address: loopback, ephemeral port.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:0";
+
+/// Default connection cap for [`NetOptions`].
+pub const DEFAULT_MAX_CONNS: usize = 64;
+
+/// Default pool size for [`ClientOptions`].
+pub const DEFAULT_POOL: usize = 2;
+
+pub(crate) fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}

@@ -1,0 +1,807 @@
+//! The framed wire protocol: length-prefixed request/response frames.
+//!
+//! Every frame on the socket is `[u32 LE body length][body]`. Request
+//! bodies carry a JPEG payload plus routing metadata (model name, target
+//! side, optional deadline, request id); response bodies carry either a
+//! classification output with a per-stage time breakdown or a typed
+//! status ([`Status::Overloaded`], [`Status::DeadlineExceeded`],
+//! [`Status::BadFrame`], …).
+//!
+//! The decoder is **zero-copy** — [`RequestFrame`] and [`ResponseFrame`]
+//! borrow the model name, payload, and output bytes straight out of the
+//! input buffer — and **total**: every read is bounds-checked, malformed
+//! input returns [`WireError`] (surfaced to peers as a
+//! [`Status::BadFrame`] response), and no input can make it panic or
+//! allocate beyond [`MAX_FRAME_LEN`]. The length prefix is validated
+//! *before* any buffer is grown, so a hostile length field cannot cause
+//! an over-allocation.
+//!
+//! # Request body layout (after the u32 length prefix, all integers LE)
+//!
+//! | field        | bytes | meaning                                        |
+//! |--------------|-------|------------------------------------------------|
+//! | magic        | 4     | `b"VRQ1"` (version 1 request)                  |
+//! | id           | 8     | caller-chosen request id, echoed in response   |
+//! | side         | 2     | target model input side; 0 = server default    |
+//! | deadline_us  | 4     | µs from server receipt; 0 = no deadline        |
+//! | model len    | 1     | length of the model-name string                |
+//! | model        | var   | UTF-8 model name; empty = server default       |
+//! | payload len  | 4     | JPEG byte count                                |
+//! | payload      | var   | the JPEG bytes                                 |
+//!
+//! # Response body layout
+//!
+//! | field        | bytes | meaning                                        |
+//! |--------------|-------|------------------------------------------------|
+//! | magic        | 4     | `b"VRS1"` (version 1 response)                 |
+//! | id           | 8     | echoed request id                              |
+//! | status       | 1     | [`Status`] discriminant                        |
+//! | msg len      | 2     | diagnostic message length (errors only)        |
+//! | msg          | var   | UTF-8 diagnostic                               |
+//! | batch        | 4     | inference batch size the request rode in       |
+//! | stage µs     | 6×8   | transfer, deserialize, queue, preproc, inference, total |
+//! | output len   | 4     | number of f32 output values                    |
+//! | output       | var   | the output values, f32 LE                      |
+//!
+//! Trailing bytes after a well-formed body are rejected: a frame must
+//! parse exactly.
+
+use std::time::{Duration, Instant};
+
+/// Hard cap on a frame body; the length prefix is validated against this
+/// before any allocation, so untrusted peers cannot force large buffers.
+pub const MAX_FRAME_LEN: usize = 32 << 20;
+
+/// Magic opening a version-1 request body.
+pub const REQUEST_MAGIC: [u8; 4] = *b"VRQ1";
+
+/// Magic opening a version-1 response body.
+pub const RESPONSE_MAGIC: [u8; 4] = *b"VRS1";
+
+/// Bytes of the length prefix itself.
+pub const HEADER_LEN: usize = 4;
+
+/// Smallest body either frame kind can have (magic + id + status byte is
+/// the response minimum; requests are larger but share the floor).
+pub const MIN_BODY_LEN: usize = 13;
+
+/// A malformed frame. The payload is a static reason suitable for the
+/// diagnostic message of a [`Status::BadFrame`] response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireError(pub &'static str);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Typed response status. `Ok` responses carry outputs and stage times;
+/// everything else is a shed or failure with a diagnostic message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Inference completed; output and stage breakdown are valid.
+    Ok = 0,
+    /// The server's bounded ingress queue was full; the request was shed
+    /// on arrival (the paper's backpressure path, not a dropped
+    /// connection).
+    Overloaded = 1,
+    /// The request's propagated deadline passed before inference.
+    DeadlineExceeded = 2,
+    /// The request frame failed to parse; the connection closes after
+    /// this response because framing can no longer be trusted.
+    BadFrame = 3,
+    /// The JPEG payload failed to decode.
+    DecodeFailed = 4,
+    /// The model rejected the preprocessed tensor.
+    ModelFailed = 5,
+    /// The server is draining for shutdown.
+    ShuttingDown = 6,
+    /// The frame named a model this server does not host.
+    UnknownModel = 7,
+}
+
+impl Status {
+    /// Parses a wire discriminant.
+    pub fn from_u8(v: u8) -> Option<Status> {
+        match v {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Overloaded),
+            2 => Some(Status::DeadlineExceeded),
+            3 => Some(Status::BadFrame),
+            4 => Some(Status::DecodeFailed),
+            5 => Some(Status::ModelFailed),
+            6 => Some(Status::ShuttingDown),
+            7 => Some(Status::UnknownModel),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Status::Ok => "ok",
+            Status::Overloaded => "overloaded",
+            Status::DeadlineExceeded => "deadline exceeded",
+            Status::BadFrame => "bad frame",
+            Status::DecodeFailed => "decode failed",
+            Status::ModelFailed => "model failed",
+            Status::ShuttingDown => "shutting down",
+            Status::UnknownModel => "unknown model",
+        })
+    }
+}
+
+/// A decoded request, borrowing the name and payload from the input
+/// buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestFrame<'a> {
+    /// Caller-chosen id, echoed back so pipelined responses can be matched.
+    pub id: u64,
+    /// Requested model input side; 0 defers to the server's configuration.
+    pub side: u16,
+    /// Deadline in µs from server receipt; 0 means none.
+    pub deadline_us: u32,
+    /// Model name; empty defers to the server's deployed model.
+    pub model: &'a str,
+    /// The JPEG payload.
+    pub jpeg: &'a [u8],
+}
+
+impl RequestFrame<'_> {
+    /// The deadline as a [`Duration`] from server receipt, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        (self.deadline_us > 0).then(|| Duration::from_micros(self.deadline_us as u64))
+    }
+}
+
+/// Server-measured per-stage times, µs, carried in `Ok` responses.
+///
+/// `transfer` and `deserialize` are the network front-end's own stages —
+/// the rows the paper attributes to client→server data transfer and
+/// request serialization; the rest mirror
+/// [`LiveResult`](vserve_server::live::LiveResult).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageMicros {
+    /// Reading the request frame's bytes off the socket.
+    pub transfer_us: u64,
+    /// Parsing/validating the frame and detaching the payload.
+    pub deserialize_us: u64,
+    /// Ingress + batcher queueing inside the live server.
+    pub queue_us: u64,
+    /// JPEG decode + resize + normalize.
+    pub preproc_us: u64,
+    /// Per-item share of the batched forward pass.
+    pub inference_us: u64,
+    /// Full server-side residency: frame read → response ready.
+    pub total_us: u64,
+}
+
+/// A decoded response, borrowing message and output bytes from the input
+/// buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseFrame<'a> {
+    /// Echoed request id.
+    pub id: u64,
+    /// Outcome.
+    pub status: Status,
+    /// Diagnostic message (error statuses only; empty for `Ok`).
+    pub msg: &'a str,
+    /// Inference batch size (0 for error statuses).
+    pub batch: u32,
+    /// Per-stage server-side times.
+    pub stages: StageMicros,
+    /// Raw little-endian f32 output bytes; use
+    /// [`output_vec`](Self::output_vec) to materialize.
+    pub output: &'a [u8],
+}
+
+impl ResponseFrame<'_> {
+    /// Copies the output bytes into an f32 vector.
+    pub fn output_vec(&self) -> Vec<f32> {
+        self.output
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Patches the length prefix reserved at `start` once the body is done.
+fn finish_frame(buf: &mut Vec<u8>, start: usize) {
+    let body = (buf.len() - start - HEADER_LEN) as u32;
+    buf[start..start + HEADER_LEN].copy_from_slice(&body.to_le_bytes());
+}
+
+/// Appends a complete request frame (length prefix included) to `buf`.
+///
+/// The model name is truncated to 255 bytes (on a UTF-8 boundary) and the
+/// payload to [`MAX_FRAME_LEN`] — in practice callers never hit either.
+pub fn encode_request(buf: &mut Vec<u8>, f: &RequestFrame<'_>) {
+    let start = buf.len();
+    put_u32(buf, 0); // length back-patched below
+    buf.extend_from_slice(&REQUEST_MAGIC);
+    put_u64(buf, f.id);
+    put_u16(buf, f.side);
+    put_u32(buf, f.deadline_us);
+    let mut name = f.model;
+    while name.len() > 255 {
+        let cut = (0..=255).rev().find(|&i| name.is_char_boundary(i));
+        name = &name[..cut.unwrap_or(0)];
+    }
+    buf.push(name.len() as u8);
+    buf.extend_from_slice(name.as_bytes());
+    let jpeg = &f.jpeg[..f.jpeg.len().min(MAX_FRAME_LEN / 2)];
+    put_u32(buf, jpeg.len() as u32);
+    buf.extend_from_slice(jpeg);
+    finish_frame(buf, start);
+}
+
+/// Appends a complete response frame (length prefix included) to `buf`.
+pub fn encode_response(buf: &mut Vec<u8>, f: &ResponseFrame<'_>) {
+    let start = buf.len();
+    put_u32(buf, 0);
+    buf.extend_from_slice(&RESPONSE_MAGIC);
+    put_u64(buf, f.id);
+    buf.push(f.status as u8);
+    let msg = &f.msg.as_bytes()[..f.msg.len().min(u16::MAX as usize)];
+    put_u16(buf, msg.len() as u16);
+    buf.extend_from_slice(msg);
+    put_u32(buf, f.batch);
+    for v in [
+        f.stages.transfer_us,
+        f.stages.deserialize_us,
+        f.stages.queue_us,
+        f.stages.preproc_us,
+        f.stages.inference_us,
+        f.stages.total_us,
+    ] {
+        put_u64(buf, v);
+    }
+    let out = &f.output[..f.output.len().min(MAX_FRAME_LEN / 2)];
+    put_u32(buf, (out.len() / 4) as u32);
+    buf.extend_from_slice(&out[..(out.len() / 4) * 4]);
+    finish_frame(buf, start);
+}
+
+/// Encodes `output` f32s as the little-endian bytes the response layout
+/// wants.
+pub fn output_bytes(output: &[f32]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(output.len() * 4);
+    for v in output {
+        b.extend_from_slice(&v.to_le_bytes());
+    }
+    b
+}
+
+// ---------------------------------------------------------------------------
+// decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked cursor over untrusted bytes; every accessor fails with
+/// [`WireError`] instead of panicking.
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Cursor { b, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError(what))?;
+        if end > self.b.len() {
+            return Err(WireError(what));
+        }
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        let s = self.take(2, what)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let s = self.take(4, what)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let s = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.b.len() {
+            Ok(())
+        } else {
+            Err(WireError("trailing bytes after frame body"))
+        }
+    }
+}
+
+/// Validates a length prefix. Returns the body length to read, or an
+/// error if the peer's framing cannot be trusted (too small to be any
+/// frame, or larger than [`MAX_FRAME_LEN`]).
+pub fn check_frame_len(header: [u8; 4]) -> Result<usize, WireError> {
+    let len = u32::from_le_bytes(header) as usize;
+    if len < MIN_BODY_LEN {
+        Err(WireError("frame body shorter than any valid frame"))
+    } else if len > MAX_FRAME_LEN {
+        Err(WireError("frame length exceeds MAX_FRAME_LEN"))
+    } else {
+        Ok(len)
+    }
+}
+
+/// Decodes a request body (the bytes after the length prefix).
+pub fn decode_request(body: &[u8]) -> Result<RequestFrame<'_>, WireError> {
+    let mut c = Cursor::new(body);
+    if c.take(4, "truncated request magic")? != REQUEST_MAGIC {
+        return Err(WireError("request magic mismatch"));
+    }
+    let id = c.u64("truncated request id")?;
+    let side = c.u16("truncated target side")?;
+    let deadline_us = c.u32("truncated deadline")?;
+    let model_len = c.u8("truncated model length")? as usize;
+    let model = std::str::from_utf8(c.take(model_len, "truncated model name")?)
+        .map_err(|_| WireError("model name not UTF-8"))?;
+    let jpeg_len = c.u32("truncated payload length")? as usize;
+    let jpeg = c.take(jpeg_len, "payload length exceeds frame")?;
+    c.finish()?;
+    Ok(RequestFrame {
+        id,
+        side,
+        deadline_us,
+        model,
+        jpeg,
+    })
+}
+
+/// Decodes a response body (the bytes after the length prefix).
+pub fn decode_response(body: &[u8]) -> Result<ResponseFrame<'_>, WireError> {
+    let mut c = Cursor::new(body);
+    if c.take(4, "truncated response magic")? != RESPONSE_MAGIC {
+        return Err(WireError("response magic mismatch"));
+    }
+    let id = c.u64("truncated response id")?;
+    let status =
+        Status::from_u8(c.u8("truncated status")?).ok_or(WireError("unknown status code"))?;
+    let msg_len = c.u16("truncated message length")? as usize;
+    let msg = std::str::from_utf8(c.take(msg_len, "truncated message")?)
+        .map_err(|_| WireError("message not UTF-8"))?;
+    let batch = c.u32("truncated batch size")?;
+    let mut us = [0u64; 6];
+    for v in &mut us {
+        *v = c.u64("truncated stage times")?;
+    }
+    let out_len = c.u32("truncated output length")? as usize;
+    let out_bytes = out_len
+        .checked_mul(4)
+        .ok_or(WireError("output length overflows"))?;
+    let output = c.take(out_bytes, "output length exceeds frame")?;
+    c.finish()?;
+    Ok(ResponseFrame {
+        id,
+        status,
+        msg,
+        batch,
+        stages: StageMicros {
+            transfer_us: us[0],
+            deserialize_us: us[1],
+            queue_us: us[2],
+            preproc_us: us[3],
+            inference_us: us[4],
+            total_us: us[5],
+        },
+        output,
+    })
+}
+
+/// Incremental framing over a byte buffer: returns `Ok(None)` when `buf`
+/// holds less than one complete frame, `Ok(Some((body, consumed)))` once
+/// the first frame is complete, or a [`WireError`] when the length prefix
+/// itself is invalid (the stream can no longer be re-synchronized).
+pub fn split_frame(buf: &[u8]) -> Result<Option<(&[u8], usize)>, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let len = check_frame_len([buf[0], buf[1], buf[2], buf[3]])?;
+    if buf.len() < HEADER_LEN + len {
+        return Ok(None);
+    }
+    Ok(Some((&buf[HEADER_LEN..HEADER_LEN + len], HEADER_LEN + len)))
+}
+
+/// Reads one frame from `r`, leaving the body (header stripped) in `buf`.
+///
+/// Returns `Ok(None)` on clean EOF at a frame boundary — the peer closed
+/// between frames — or `Ok(Some(transfer))` once a complete body is in
+/// `buf`, where `transfer` is the time spent reading the body bytes off
+/// the stream after the header arrived (the measured data-transfer
+/// stage). The length prefix is validated via [`check_frame_len`]
+/// *before* `buf` grows, so a hostile header cannot cause an
+/// over-allocation; it surfaces as `io::ErrorKind::InvalidData` wrapping
+/// the [`WireError`], after which the stream cannot be re-synchronized.
+pub fn read_frame_into<R: std::io::Read>(
+    r: &mut R,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<Option<Duration>> {
+    use std::io::{Error, ErrorKind};
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = check_frame_len(header).map_err(|e| Error::new(ErrorKind::InvalidData, e))?;
+    let start = Instant::now();
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(Some(start.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> (Vec<u8>, Vec<u8>) {
+        let jpeg = vec![0xffu8, 0xd8, 0xff, 0xe0, 1, 2, 3];
+        let mut buf = Vec::new();
+        encode_request(
+            &mut buf,
+            &RequestFrame {
+                id: 42,
+                side: 224,
+                deadline_us: 1_500,
+                model: "micro-cnn",
+                jpeg: &jpeg,
+            },
+        );
+        (buf, jpeg)
+    }
+
+    #[test]
+    fn request_roundtrip_identity() {
+        let (buf, jpeg) = sample_request();
+        let (body, consumed) = split_frame(&buf).unwrap().expect("complete");
+        assert_eq!(consumed, buf.len());
+        let f = decode_request(body).unwrap();
+        assert_eq!(f.id, 42);
+        assert_eq!(f.side, 224);
+        assert_eq!(f.deadline_us, 1_500);
+        assert_eq!(f.model, "micro-cnn");
+        assert_eq!(f.jpeg, &jpeg[..]);
+        assert_eq!(f.deadline(), Some(Duration::from_micros(1_500)));
+    }
+
+    #[test]
+    fn response_roundtrip_identity() {
+        let out = output_bytes(&[0.125f32, -3.5, 1e-9]);
+        let mut buf = Vec::new();
+        encode_response(
+            &mut buf,
+            &ResponseFrame {
+                id: 7,
+                status: Status::Ok,
+                msg: "",
+                batch: 4,
+                stages: StageMicros {
+                    transfer_us: 10,
+                    deserialize_us: 2,
+                    queue_us: 300,
+                    preproc_us: 450,
+                    inference_us: 120,
+                    total_us: 882,
+                },
+                output: &out,
+            },
+        );
+        let (body, _) = split_frame(&buf).unwrap().expect("complete");
+        let f = decode_response(body).unwrap();
+        assert_eq!(f.id, 7);
+        assert_eq!(f.status, Status::Ok);
+        assert_eq!(f.batch, 4);
+        assert_eq!(f.stages.queue_us, 300);
+        assert_eq!(f.stages.total_us, 882);
+        assert_eq!(f.output_vec(), vec![0.125f32, -3.5, 1e-9]);
+    }
+
+    #[test]
+    fn error_response_carries_message() {
+        let mut buf = Vec::new();
+        encode_response(
+            &mut buf,
+            &ResponseFrame {
+                id: 9,
+                status: Status::Overloaded,
+                msg: "ingress queue full",
+                batch: 0,
+                stages: StageMicros::default(),
+                output: &[],
+            },
+        );
+        let (body, _) = split_frame(&buf).unwrap().expect("complete");
+        let f = decode_response(body).unwrap();
+        assert_eq!(f.status, Status::Overloaded);
+        assert_eq!(f.msg, "ingress queue full");
+        assert!(f.output.is_empty());
+    }
+
+    #[test]
+    fn truncated_frames_need_more_bytes_not_panic() {
+        let (buf, _) = sample_request();
+        for cut in 0..buf.len() {
+            let r = split_frame(&buf[..cut]);
+            // Every prefix either needs more bytes or (once the header is
+            // visible) is recognized as the valid in-progress frame.
+            assert_eq!(r, Ok(None), "prefix of {cut} bytes");
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_are_bad_frames() {
+        let (buf, _) = sample_request();
+        let (body, _) = split_frame(&buf).unwrap().expect("complete");
+        for cut in 0..body.len() {
+            assert!(decode_request(&body[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 64]);
+        assert!(split_frame(&buf).is_err());
+        assert!(check_frame_len(u32::MAX.to_le_bytes()).is_err());
+        assert!(check_frame_len((MAX_FRAME_LEN as u32 + 1).to_le_bytes()).is_err());
+        assert!(check_frame_len((MAX_FRAME_LEN as u32).to_le_bytes()).is_ok());
+    }
+
+    #[test]
+    fn undersized_length_rejected() {
+        assert!(check_frame_len(0u32.to_le_bytes()).is_err());
+        assert!(check_frame_len((MIN_BODY_LEN as u32 - 1).to_le_bytes()).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let (buf, _) = sample_request();
+        let (body, _) = split_frame(&buf).unwrap().expect("complete");
+        let mut bad = body.to_vec();
+        bad[0] = b'X';
+        assert!(decode_request(&bad).is_err());
+        // A request body is not a response body.
+        assert!(decode_response(body).is_err());
+    }
+
+    #[test]
+    fn inner_payload_length_cannot_escape_frame() {
+        let (buf, _) = sample_request();
+        let (body, _) = split_frame(&buf).unwrap().expect("complete");
+        let mut bad = body.to_vec();
+        // Inflate the payload-length field (last 4+payload bytes from the
+        // end): claim far more payload than the frame holds.
+        let payload_len_at = body.len() - 7 - 4;
+        bad[payload_len_at..payload_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_request(&bad),
+            Err(WireError("payload length exceeds frame"))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let (buf, _) = sample_request();
+        let (body, _) = split_frame(&buf).unwrap().expect("complete");
+        let mut bad = body.to_vec();
+        bad.push(0);
+        assert!(decode_request(&bad).is_err());
+    }
+
+    #[test]
+    fn read_frame_into_walks_back_to_back_frames() {
+        let (one, _) = sample_request();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&one);
+        stream.extend_from_slice(&one);
+        let mut r = std::io::Cursor::new(stream);
+        let mut body = Vec::new();
+        for _ in 0..2 {
+            let t = read_frame_into(&mut r, &mut body).unwrap();
+            assert!(t.is_some());
+            assert_eq!(decode_request(&body).unwrap().id, 42);
+        }
+        // Clean EOF at the frame boundary: no frame, no error.
+        assert!(read_frame_into(&mut r, &mut body).unwrap().is_none());
+    }
+
+    #[test]
+    fn read_frame_into_rejects_hostile_length_before_allocating() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&u32::MAX.to_le_bytes());
+        stream.extend_from_slice(&[0u8; 8]);
+        let mut r = std::io::Cursor::new(stream);
+        let mut body = Vec::new();
+        let err = read_frame_into(&mut r, &mut body).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(body.capacity() <= MAX_FRAME_LEN, "must not over-allocate");
+    }
+
+    #[test]
+    fn read_frame_into_reports_truncation() {
+        let (one, _) = sample_request();
+        let mut r = std::io::Cursor::new(one[..one.len() - 2].to_vec());
+        let mut body = Vec::new();
+        let err = read_frame_into(&mut r, &mut body).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        // EOF inside the header is also truncation, not a clean close.
+        let mut r = std::io::Cursor::new(vec![1u8, 2]);
+        let err = read_frame_into(&mut r, &mut body).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for s in [
+            Status::Ok,
+            Status::Overloaded,
+            Status::DeadlineExceeded,
+            Status::BadFrame,
+            Status::DecodeFailed,
+            Status::ModelFailed,
+            Status::ShuttingDown,
+            Status::UnknownModel,
+        ] {
+            assert_eq!(Status::from_u8(s as u8), Some(s));
+        }
+        assert_eq!(Status::from_u8(200), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Satellite: encode→decode roundtrip identity over arbitrary
+        /// request fields.
+        #[test]
+        fn request_roundtrip(
+            id in any::<u64>(),
+            side in any::<u16>(),
+            deadline_us in any::<u32>(),
+            model in "[a-z0-9_-]{0,32}",
+            jpeg in proptest::collection::vec(any::<u8>(), 0..2048),
+        ) {
+            let mut buf = Vec::new();
+            encode_request(&mut buf, &RequestFrame {
+                id, side, deadline_us, model: &model, jpeg: &jpeg,
+            });
+            let (body, consumed) = split_frame(&buf).unwrap().expect("complete");
+            prop_assert_eq!(consumed, buf.len());
+            let f = decode_request(body).unwrap();
+            prop_assert_eq!(f.id, id);
+            prop_assert_eq!(f.side, side);
+            prop_assert_eq!(f.deadline_us, deadline_us);
+            prop_assert_eq!(f.model, &model);
+            prop_assert_eq!(f.jpeg, &jpeg[..]);
+        }
+
+        /// Satellite: response roundtrip identity, bit-exact f32 output.
+        #[test]
+        fn response_roundtrip(
+            id in any::<u64>(),
+            status_code in 0u8..8,
+            msg in "[ -~]{0,64}",
+            batch in any::<u32>(),
+            us in proptest::collection::vec(any::<u64>(), 6),
+            output in proptest::collection::vec(any::<f32>(), 0..512),
+        ) {
+            let status = Status::from_u8(status_code).unwrap();
+            let out = output_bytes(&output);
+            let stages = StageMicros {
+                transfer_us: us[0], deserialize_us: us[1], queue_us: us[2],
+                preproc_us: us[3], inference_us: us[4], total_us: us[5],
+            };
+            let mut buf = Vec::new();
+            encode_response(&mut buf, &ResponseFrame {
+                id, status, msg: &msg, batch, stages, output: &out,
+            });
+            let (body, _) = split_frame(&buf).unwrap().expect("complete");
+            let f = decode_response(body).unwrap();
+            prop_assert_eq!(f.id, id);
+            prop_assert_eq!(f.status, status);
+            prop_assert_eq!(f.msg, &msg);
+            prop_assert_eq!(f.batch, batch);
+            prop_assert_eq!(f.stages, stages);
+            // Bit-exact: NaNs and -0.0 must survive the wire.
+            let got = f.output_vec();
+            prop_assert_eq!(got.len(), output.len());
+            for (a, b) in got.iter().zip(&output) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        /// Satellite: the decoder is total on malicious input — arbitrary
+        /// bytes never panic, and either parse or return `WireError`.
+        #[test]
+        fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let _ = split_frame(&bytes);
+            let _ = decode_request(&bytes);
+            let _ = decode_response(&bytes);
+            if bytes.len() >= 4 {
+                let _ = check_frame_len([bytes[0], bytes[1], bytes[2], bytes[3]]);
+            }
+        }
+
+        /// Satellite: corrupting any single byte of a valid frame either
+        /// still parses (id/payload bytes are opaque) or fails cleanly —
+        /// never panics, never reads out of bounds.
+        #[test]
+        fn single_byte_corruption_never_panics(
+            pos in 0usize..64,
+            val in any::<u8>(),
+        ) {
+            let jpeg = vec![1u8, 2, 3, 4, 5];
+            let mut buf = Vec::new();
+            encode_request(&mut buf, &RequestFrame {
+                id: 1, side: 64, deadline_us: 0, model: "m", jpeg: &jpeg,
+            });
+            let pos = pos % buf.len();
+            buf[pos] = val;
+            if let Ok(Some((body, _))) = split_frame(&buf) {
+                let _ = decode_request(body);
+            }
+        }
+
+        /// The length prefix is checked before any allocation: a hostile
+        /// header either yields a small in-range length or an error.
+        #[test]
+        fn length_check_bounds_allocation(header in any::<[u8; 4]>()) {
+            if let Ok(len) = check_frame_len(header) {
+                prop_assert!(len >= MIN_BODY_LEN && len <= MAX_FRAME_LEN);
+            }
+        }
+    }
+}

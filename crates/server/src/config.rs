@@ -36,6 +36,34 @@ pub enum PreprocPath {
     Fast,
 }
 
+/// How requests reach the server (§2.1's client→server leg).
+///
+/// Mirrors the real deployment split between driving `LiveServer`
+/// in-process and going through the `vserve-net` TCP front-end: `Tcp`
+/// charges `CpuModel::rpc_time()` (frame parse + socket syscalls, the
+/// paper's serialization row) and `CpuModel::serialize_time(payload)`
+/// (the client→server data-transfer row) per request, recorded under the
+/// `0-net-transfer` / `0-deserialize` breakdown stages. `InProcess`
+/// charges nothing — the rows stay absent, exactly like the live server
+/// driven without a wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RpcPath {
+    /// Requests are injected in-process; no RPC leg exists.
+    #[default]
+    InProcess,
+    /// Requests arrive over the framed TCP protocol.
+    Tcp,
+}
+
+impl std::fmt::Display for RpcPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RpcPath::InProcess => "in-process",
+            RpcPath::Tcp => "tcp",
+        })
+    }
+}
+
 /// Which pipeline stages run, for the stage-isolation study of Fig 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum StageMode {
@@ -146,6 +174,10 @@ pub struct ServerConfig {
     /// request pays `CpuModel::cache_hit_time` instead of preprocessing.
     /// `0.0` disables the cache in the model; must be in `[0, 1]`.
     pub preproc_cache_hit_rate: f64,
+    /// How requests reach the server: in-process injection (no RPC leg)
+    /// or the framed TCP front-end (per-request transfer + deserialize
+    /// charges from the `CpuModel` rpc knobs).
+    pub rpc: RpcPath,
 }
 
 impl ServerConfig {
@@ -165,6 +197,7 @@ impl ServerConfig {
             stage_mode: StageMode::EndToEnd,
             preproc_path: PreprocPath::Baseline,
             preproc_cache_hit_rate: 0.0,
+            rpc: RpcPath::InProcess,
         }
     }
 
@@ -193,6 +226,7 @@ impl ServerConfig {
             stage_mode: StageMode::EndToEnd,
             preproc_path: PreprocPath::Baseline,
             preproc_cache_hit_rate: 0.0,
+            rpc: RpcPath::InProcess,
         }
     }
 
@@ -212,6 +246,15 @@ impl ServerConfig {
     /// model (CPU preprocessing only).
     pub fn with_fast_preproc(mut self) -> Self {
         self.preproc_path = PreprocPath::Fast;
+        self
+    }
+
+    /// Routes modeled requests through the framed TCP front-end: every
+    /// request is charged the `CpuModel` rpc knobs' transfer +
+    /// deserialize time before dispatch, replaying what `vserve-net`
+    /// measures on a real socket.
+    pub fn with_rpc(mut self, rpc: RpcPath) -> Self {
+        self.rpc = rpc;
         self
     }
 

@@ -47,7 +47,7 @@ mod report;
 mod sim;
 
 pub use cache::{PreprocCache, PreprocCacheStats, PREPROC_CACHE_MB_ENV};
-pub use config::{ModelProfile, PreprocPath, PreprocWhere, ServerConfig, StageMode};
+pub use config::{ModelProfile, PreprocPath, PreprocWhere, RpcPath, ServerConfig, StageMode};
 pub use report::{stages, ServerReport, ServingSummary};
 pub use sim::{serial_loop_throughput, Experiment};
 

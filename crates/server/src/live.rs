@@ -26,6 +26,18 @@
 //!   shared [`ServingSummary`] shape for one-to-one sim-vs-live
 //!   comparison.
 //!
+//! # No-panic guarantee
+//!
+//! This module is reachable from remote clients through `vserve-net`, so
+//! its non-test paths never `unwrap()` a lock or channel: metrics locks
+//! recover from poisoning ([`Shared::lock`] takes the inner value), cache
+//! and coalescing locks degrade to a cache miss on failure, and every
+//! reply/channel send ignores a disconnected peer. A failure anywhere in
+//! the pipeline fails *the request* (with a [`LiveError`] the front-end
+//! maps to a typed status frame), never the process. The
+//! `drop_with_requests_in_flight_answers_or_disconnects` test pins the
+//! shutdown half of this contract.
+//!
 //! # Examples
 //!
 //! ```
@@ -650,12 +662,24 @@ impl LiveServer {
     /// immediately: the channel already holds
     /// `Err(`[`LiveError::Overloaded`]`)`.
     pub fn submit(&self, jpeg: Vec<u8>) -> Receiver<Result<LiveResult, LiveError>> {
+        self.submit_with_deadline(jpeg, None)
+    }
+
+    /// Like [`submit`](Self::submit), but with a per-request deadline that
+    /// overrides [`LiveOptions::deadline`]. The network front-end uses
+    /// this to propagate a client-supplied deadline from the wire into the
+    /// shedding machinery; `None` keeps the server-wide default.
+    pub fn submit_with_deadline(
+        &self,
+        jpeg: Vec<u8>,
+        deadline: Option<Duration>,
+    ) -> Receiver<Result<LiveResult, LiveError>> {
         let (tx, rx) = bounded(1);
         let now = Instant::now();
         let job = Job {
             jpeg,
             submitted: now,
-            deadline: self.deadline.map(|d| now + d),
+            deadline: deadline.or(self.deadline).map(|d| now + d),
             reply: tx,
         };
         let Some(ingress) = &self.ingress else {
@@ -1073,6 +1097,71 @@ mod tests {
         assert_eq!(r.output.len(), 10);
         let sum: f32 = r.output.iter().sum();
         assert!((sum - 1.0).abs() < 1e-3);
+    }
+
+    /// Satellite: a per-request deadline overrides the server-wide
+    /// default in both directions — an impossible per-request deadline
+    /// sheds even when the server has none, and a generous one rescues a
+    /// request from an impossible server default.
+    #[test]
+    fn per_request_deadline_overrides_server_default() {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(model, tiny_opts(4));
+        let jpeg = synthetic_jpeg(&ImageSpec::new(32, 32, 0), 61);
+        let err = server
+            .submit_with_deadline(jpeg.clone(), Some(Duration::ZERO))
+            .recv()
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(err, LiveError::DeadlineExceeded), "got {err}");
+        drop(server);
+
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(
+            model,
+            LiveOptions {
+                deadline: Some(Duration::ZERO),
+                ..tiny_opts(4)
+            },
+        );
+        let r = server
+            .submit_with_deadline(jpeg, Some(Duration::from_secs(60)))
+            .recv()
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.output.len(), 10);
+    }
+
+    /// Satellite (robustness): dropping the server with requests still in
+    /// flight must answer every receiver — either with a result or with a
+    /// clean `Disconnected`/channel-closed — and never panic or hang. This
+    /// is the path a remote disconnect exercises through `vserve-net`.
+    #[test]
+    fn drop_with_requests_in_flight_answers_or_disconnects() {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(
+            model,
+            LiveOptions {
+                preproc_workers: 1,
+                ..tiny_opts(4)
+            },
+        );
+        // Large payloads so some are still mid-pipeline at drop time.
+        let receivers: Vec<_> = (0..12)
+            .map(|i| server.submit(synthetic_jpeg(&ImageSpec::new(800, 600, 0), i)))
+            .collect();
+        drop(server); // drains in-flight work, then joins workers
+        for rx in receivers {
+            match rx.recv() {
+                Ok(Ok(r)) => assert_eq!(r.output.len(), 10),
+                Ok(Err(e)) => assert!(
+                    matches!(e, LiveError::Disconnected),
+                    "in-flight request failed with {e}"
+                ),
+                // Reply sender dropped during shutdown: also a clean end.
+                Err(_) => {}
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,13 @@ use vserve_metrics::{LatencySummary, StageBreakdown};
 pub mod stages {
     /// Request dispatch on the host CPU.
     pub const DISPATCH: &str = "0-dispatch";
+    /// Reading the request's bytes off the network (the paper's
+    /// client→server data-transfer row). Only present when requests
+    /// arrive over the `vserve-net` wire or the sim models an RPC path.
+    pub const NET_TRANSFER: &str = "0-net-transfer";
+    /// Parsing and validating the request frame (the paper's request
+    /// serialization/deserialization row). Only present on the RPC path.
+    pub const DESERIALIZE: &str = "0-deserialize";
     /// Waiting in any queue (dispatch, preprocessing, batching).
     pub const QUEUE: &str = "1-queue";
     /// Preprocessing (decode + resize + normalize) on CPU or GPU.
@@ -48,6 +55,24 @@ impl ServingSummary {
     /// Mean seconds a request spent preprocessing.
     pub fn preproc_time(&self) -> f64 {
         self.breakdown.mean(stages::PREPROC)
+    }
+
+    /// Mean seconds a request spent on the RPC leg: network transfer of
+    /// the request bytes plus frame deserialization. Zero for in-process
+    /// serving, where these stages are never recorded.
+    pub fn rpc_time(&self) -> f64 {
+        self.breakdown.mean(stages::NET_TRANSFER) + self.breakdown.mean(stages::DESERIALIZE)
+    }
+
+    /// Fraction of mean latency spent on the RPC leg
+    /// (transfer + deserialize) — the paper's data-transfer and
+    /// serialization rows combined.
+    pub fn rpc_share(&self) -> f64 {
+        if self.latency.mean <= 0.0 {
+            0.0
+        } else {
+            self.rpc_time() / self.latency.mean
+        }
     }
 
     /// Fraction of mean latency spent queued.
@@ -142,6 +167,18 @@ impl ServerReport {
     /// Mean seconds a request spent preprocessing.
     pub fn preproc_time(&self) -> f64 {
         self.breakdown.mean(stages::PREPROC)
+    }
+
+    /// Mean seconds a request spent on the RPC leg (network transfer +
+    /// frame deserialization) — see [`ServingSummary::rpc_time`].
+    pub fn rpc_time(&self) -> f64 {
+        self.summary().rpc_time()
+    }
+
+    /// Fraction of mean latency spent on the RPC leg — see
+    /// [`ServingSummary::rpc_share`].
+    pub fn rpc_share(&self) -> f64 {
+        self.summary().rpc_share()
     }
 
     /// Fraction of mean latency spent queued.

@@ -15,7 +15,7 @@ use vserve_sim::rng::RngStream;
 use vserve_sim::{Engine, EventId, MultiServer, SharedBandwidth, SimDuration, SimTime};
 use vserve_workload::{Arrivals, ImageMix};
 
-use crate::config::{ModelProfile, PreprocPath, PreprocWhere, ServerConfig, StageMode};
+use crate::config::{ModelProfile, PreprocPath, PreprocWhere, RpcPath, ServerConfig, StageMode};
 use crate::report::{stages, ServerReport};
 
 /// Per-request device-memory overhead while its state lives on the GPU
@@ -40,6 +40,10 @@ struct Request {
     arrived: SimTime,
     queue_s: f64,
     dispatch_s: f64,
+    /// Client→server wire time for the request bytes (TCP path only).
+    net_transfer_s: f64,
+    /// Request frame parse + socket bookkeeping (TCP path only).
+    deserialize_s: f64,
     preproc_s: f64,
     transfer_s: f64,
     infer_s: f64,
@@ -191,12 +195,36 @@ fn inject(sim: &mut ServerSim, eng: &mut Eng) {
         arrived: eng.now(),
         queue_s: 0.0,
         dispatch_s: 0.0,
+        net_transfer_s: 0.0,
+        deserialize_s: 0.0,
         preproc_s: 0.0,
         transfer_s: 0.0,
         infer_s: 0.0,
         gpu: 0,
         mem_bytes: 0.0,
     }));
+    match sim.config.rpc {
+        RpcPath::InProcess => offer_dispatch(sim, eng, id),
+        RpcPath::Tcp => {
+            // The RPC leg `vserve-net` measures on a real socket: the
+            // request bytes cross the wire, then the frame is parsed —
+            // both before the request exists for the dispatcher.
+            let transfer = sim.node.cpu.serialize_time(img.compressed_bytes) * sim.jitter(0.2);
+            let deserialize = sim.node.cpu.rpc_time() * sim.jitter(0.2);
+            {
+                let rq = sim.req(id);
+                rq.net_transfer_s = transfer;
+                rq.deserialize_s = deserialize;
+            }
+            eng.schedule_in(
+                SimDuration::from_secs_f64(transfer + deserialize),
+                Box::new(move |sim: &mut ServerSim, eng: &mut Eng| offer_dispatch(sim, eng, id)),
+            );
+        }
+    }
+}
+
+fn offer_dispatch(sim: &mut ServerSim, eng: &mut Eng, id: ReqId) {
     let now = eng.now();
     if let Some((job, enq)) = sim.dispatch.offer(now, id) {
         start_dispatch(sim, eng, job, enq);
@@ -634,6 +662,13 @@ fn complete(sim: &mut ServerSim, eng: &mut Eng, id: ReqId) {
         sim.latency.push(latency);
         sim.meter.record(now.as_secs_f64());
         sim.breakdown.record(stages::DISPATCH, rq.dispatch_s);
+        // Only the TCP path records the RPC rows, so in-process reports
+        // keep their historical stage set.
+        if rq.net_transfer_s > 0.0 || rq.deserialize_s > 0.0 {
+            sim.breakdown
+                .record(stages::NET_TRANSFER, rq.net_transfer_s);
+            sim.breakdown.record(stages::DESERIALIZE, rq.deserialize_s);
+        }
         sim.breakdown.record(stages::QUEUE, rq.queue_s);
         sim.breakdown.record(stages::PREPROC, rq.preproc_s);
         sim.breakdown.record(stages::TRANSFER, rq.transfer_s);
@@ -899,6 +934,57 @@ pub fn serial_loop_throughput(
 }
 
 #[cfg(test)]
+mod rpc_tests {
+    use super::*;
+    use vserve_device::{ImageSpec, NodeConfig};
+    use vserve_workload::ImageMix;
+
+    fn base() -> Experiment {
+        Experiment {
+            node: NodeConfig::paper_testbed(),
+            config: ServerConfig::optimized(),
+            model: ModelProfile::vit_base(),
+            mix: ImageMix::fixed(ImageSpec::medium()),
+            concurrency: 8,
+            warmup_s: 0.2,
+            measure_s: 1.0,
+            seed: 7,
+        }
+    }
+
+    /// Satellite: the TCP path charges the paper's data-transfer and
+    /// serialization rows; the in-process path keeps them absent, so
+    /// existing reports are unchanged.
+    #[test]
+    fn tcp_path_adds_rpc_rows_in_process_has_none() {
+        let inproc = base().run().summary();
+        let tcp = Experiment {
+            config: ServerConfig::optimized().with_rpc(RpcPath::Tcp),
+            ..base()
+        }
+        .run()
+        .summary();
+        assert_eq!(inproc.breakdown.count(stages::NET_TRANSFER), 0);
+        assert_eq!(inproc.breakdown.count(stages::DESERIALIZE), 0);
+        assert_eq!(inproc.rpc_share(), 0.0);
+        assert!(tcp.breakdown.count(stages::NET_TRANSFER) > 0);
+        assert!(tcp.rpc_time() > 0.0);
+        // The mean RPC charge tracks the cost model (mean-one jitter).
+        let cpu = NodeConfig::paper_testbed().cpu;
+        let expect = cpu.rpc_time() + cpu.serialize_time(ImageSpec::medium().compressed_bytes);
+        assert!(
+            (tcp.rpc_time() - expect).abs() < expect * 0.25,
+            "mean rpc {} vs model {expect}",
+            tcp.rpc_time()
+        );
+        // The paper's finding: the RPC leg is real but small next to
+        // preprocessing at this payload size.
+        assert!(tcp.rpc_share() > 0.0 && tcp.rpc_share() < 0.2);
+        assert!(tcp.rpc_time() < tcp.preproc_time());
+    }
+}
+
+#[cfg(test)]
 mod batcher_tests {
     use super::*;
     use vserve_device::{ImageSpec, NodeConfig};
@@ -918,6 +1004,8 @@ mod batcher_tests {
             arrived: eng.now(),
             queue_s: 0.0,
             dispatch_s: 0.0,
+            net_transfer_s: 0.0,
+            deserialize_s: 0.0,
             preproc_s: 0.0,
             transfer_s: 0.0,
             infer_s: 0.0,
