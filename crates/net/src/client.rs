@@ -28,7 +28,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::wire::{self, RequestFrame, StageMicros, Status};
+use crate::wire::{self, MetricsRequest, RequestFrame, StageMicros, Status};
 use crate::{env_usize, DEFAULT_POOL, NET_POOL_ENV};
 
 /// Configuration for a [`NetClient`].
@@ -139,6 +139,7 @@ pub struct NetClient {
     next_conn: AtomicUsize,
     next_id: AtomicU64,
     opts: ClientOptions,
+    addr: SocketAddr,
 }
 
 impl std::fmt::Debug for NetClient {
@@ -184,7 +185,21 @@ impl NetClient {
             next_conn: AtomicUsize::new(0),
             next_id: AtomicU64::new(1),
             opts,
+            addr,
         })
+    }
+
+    /// Fetches the server's plain-text metrics exposition over a `VRM1`
+    /// scrape frame. Uses a dedicated short-lived connection so a scrape
+    /// never competes with pipelined inference traffic for frame order.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surface as [`NetError::Io`] /
+    /// [`NetError::Disconnected`]; a typed server rejection as
+    /// [`NetError::Server`].
+    pub fn scrape(&self) -> Result<String, NetError> {
+        scrape(self.addr)
     }
 
     /// Sends `jpeg` and blocks for the classification result.
@@ -283,6 +298,39 @@ impl NetClient {
             .iter()
             .filter(|c| c.pending.lock().map(|p| p.is_some()).unwrap_or(false))
             .count()
+    }
+}
+
+/// One-shot metrics scrape: connect, send a `VRM1` frame, read the reply.
+///
+/// This is the standalone form of [`NetClient::scrape`] for tools that
+/// poll a server without holding a connection pool (the framed protocol's
+/// `curl host/metrics`).
+///
+/// # Errors
+///
+/// Transport failures surface as [`NetError::Io`] /
+/// [`NetError::Disconnected`]; a typed server rejection as
+/// [`NetError::Server`].
+pub fn scrape(addr: SocketAddr) -> Result<String, NetError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut frame = Vec::new();
+    wire::encode_metrics_request(&mut frame, &MetricsRequest { id: 1, flags: 0 });
+    stream.write_all(&frame)?;
+    let mut body = Vec::new();
+    match wire::read_frame_into(&mut stream, &mut body) {
+        Ok(Some(_)) => {}
+        Ok(None) => return Err(NetError::Disconnected),
+        Err(e) => return Err(NetError::Io(e)),
+    }
+    let resp = wire::decode_response(&body).map_err(|_| NetError::Disconnected)?;
+    match resp.status {
+        Status::Ok => Ok(resp.msg.to_owned()),
+        status => Err(NetError::Server {
+            status,
+            msg: resp.msg.to_owned(),
+        }),
     }
 }
 

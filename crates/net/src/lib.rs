@@ -22,6 +22,12 @@
 //!   pipelining over each socket; per-request deadlines are propagated
 //!   into the frame so the server sheds late work.
 //!
+//! The wire protocol also carries a `VRM1` **metrics-scrape frame** — its
+//! `GET /metrics`: [`scrape`] (or [`NetClient::scrape`]) returns the
+//! plain-text exposition [`NetServer::exposition`] renders (counters,
+//! per-stage times, latency quantiles, preproc-cache stats), so a running
+//! server can be polled by anything that speaks the framed protocol.
+//!
 //! The `net` bench bin in `vserve-bench` drives this loopback vs
 //! in-process to measure the RPC overhead share per payload size, and
 //! `vserve-server`'s simulator replays that share via the
@@ -59,9 +65,11 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientOptions, NetClient, NetError, NetResult};
+pub use client::{scrape, ClientOptions, NetClient, NetError, NetResult};
 pub use server::{NetMetrics, NetOptions, NetServer};
-pub use wire::{RequestFrame, ResponseFrame, StageMicros, Status, WireError, MAX_FRAME_LEN};
+pub use wire::{
+    MetricsRequest, RequestFrame, ResponseFrame, StageMicros, Status, WireError, MAX_FRAME_LEN,
+};
 
 /// Environment variable read by [`NetOptions::default`] for the listen
 /// address (`host:port`; port 0 picks an ephemeral port).

@@ -56,6 +56,8 @@ use vserve_dnn::Model;
 use vserve_metrics::StageBreakdown;
 use vserve_server::live::{LiveError, LiveMetrics, LiveOptions, LiveResult, LiveServer};
 use vserve_server::{stages, ServingSummary};
+use vserve_trace::expose::Exposition;
+use vserve_trace::Tracer;
 
 use crate::wire::{
     self, encode_response, RequestFrame, ResponseFrame, StageMicros, Status, WireError,
@@ -261,6 +263,220 @@ impl NetServer {
             live: self.live.metrics(),
         }
     }
+
+    /// Renders the plain-text metrics exposition — the same document a
+    /// `VRM1` scrape frame receives over the wire.
+    pub fn exposition(&self) -> String {
+        render_exposition(&self.shared, &self.live)
+    }
+
+    /// The embedded live server's tracer, for snapshotting spans recorded
+    /// by both the network layer and the serving pipeline.
+    pub fn tracer(&self) -> &Tracer {
+        self.live.tracer()
+    }
+}
+
+/// Renders the metrics exposition document from the network counters and
+/// the embedded live server's metrics. Stage rows merge the network-layer
+/// breakdown into the live one, mirroring [`NetMetrics::summary`].
+fn render_exposition(shared: &NetShared, live: &LiveServer) -> String {
+    let (accepted, frames, bad_frames, net_breakdown) = {
+        let m = shared.lock_metrics();
+        (m.accepted, m.frames, m.bad_frames, m.breakdown.clone())
+    };
+    let active = *shared.slots.lock().unwrap_or_else(|e| e.into_inner());
+    let lm = live.metrics();
+    let mut breakdown = lm.breakdown.clone();
+    breakdown.merge(&net_breakdown);
+
+    let mut e = Exposition::new();
+    e.header("vserve_up", "gauge", "1 while the server is serving.")
+        .gauge("vserve_up", 1.0);
+    e.header(
+        "vserve_connections_accepted_total",
+        "counter",
+        "Connections accepted since bind.",
+    )
+    .counter("vserve_connections_accepted_total", accepted);
+    e.header(
+        "vserve_connections_active",
+        "gauge",
+        "Connections currently being served.",
+    )
+    .gauge("vserve_connections_active", active as f64);
+    e.header(
+        "vserve_frames_total",
+        "counter",
+        "Request frames successfully parsed (inference and scrape).",
+    )
+    .counter("vserve_frames_total", frames);
+    e.header(
+        "vserve_bad_frames_total",
+        "counter",
+        "Frames rejected as malformed.",
+    )
+    .counter("vserve_bad_frames_total", bad_frames);
+    e.header(
+        "vserve_requests_completed_total",
+        "counter",
+        "Requests completed successfully.",
+    )
+    .counter("vserve_requests_completed_total", lm.completed);
+    e.header(
+        "vserve_requests_rejected_total",
+        "counter",
+        "Requests shed by ingress backpressure.",
+    )
+    .counter("vserve_requests_rejected_total", lm.rejected);
+    e.header(
+        "vserve_requests_expired_total",
+        "counter",
+        "Requests shed because their deadline passed.",
+    )
+    .counter("vserve_requests_expired_total", lm.expired);
+    e.header(
+        "vserve_throughput_rps",
+        "gauge",
+        "Completed requests per second since start.",
+    )
+    .gauge("vserve_throughput_rps", lm.throughput);
+    e.header(
+        "vserve_forward_calls_total",
+        "counter",
+        "Batched forward calls executed.",
+    )
+    .counter("vserve_forward_calls_total", lm.forward_calls);
+    e.header(
+        "vserve_batch_size_mean",
+        "gauge",
+        "Mean inference batch size actually formed.",
+    )
+    .gauge("vserve_batch_size_mean", lm.mean_batch);
+    e.header(
+        "vserve_queue_depth",
+        "gauge",
+        "Ingress + batcher queue depth (time-averaged and peak).",
+    )
+    .sample(
+        "vserve_queue_depth",
+        &[("kind", "mean")],
+        lm.queue_depth_mean,
+    )
+    .sample(
+        "vserve_queue_depth",
+        &[("kind", "peak")],
+        lm.queue_depth_peak,
+    );
+
+    e.header(
+        "vserve_latency_seconds",
+        "summary",
+        "Round-trip latency of completed requests (submission to reply).",
+    );
+    let l = &lm.latency;
+    for (q, v) in [("0.5", l.p50), ("0.95", l.p95), ("0.99", l.p99)] {
+        e.sample("vserve_latency_seconds", &[("quantile", q)], v);
+    }
+    e.gauge("vserve_latency_seconds_mean", l.mean)
+        .counter("vserve_latency_seconds_count", l.count);
+
+    e.header(
+        "vserve_stage_seconds_total",
+        "counter",
+        "Total seconds attributed to each serving stage.",
+    );
+    let mut names = breakdown.stage_names();
+    names.sort_unstable();
+    for stage in &names {
+        e.sample(
+            "vserve_stage_seconds_total",
+            &[("stage", stage)],
+            breakdown.total(stage),
+        );
+    }
+    e.header(
+        "vserve_stage_seconds_mean",
+        "gauge",
+        "Mean seconds per observation for each serving stage.",
+    );
+    for stage in &names {
+        e.sample(
+            "vserve_stage_seconds_mean",
+            &[("stage", stage)],
+            breakdown.mean(stage),
+        );
+    }
+    e.header(
+        "vserve_stage_observations_total",
+        "counter",
+        "Observations recorded for each serving stage.",
+    );
+    for stage in &names {
+        e.sample(
+            "vserve_stage_observations_total",
+            &[("stage", stage)],
+            breakdown.count(stage) as f64,
+        );
+    }
+
+    let c = &lm.preproc_cache;
+    e.header(
+        "vserve_preproc_cache_events_total",
+        "counter",
+        "Preprocessed-tensor cache activity by kind.",
+    )
+    .sample(
+        "vserve_preproc_cache_events_total",
+        &[("kind", "hit")],
+        c.hits as f64,
+    )
+    .sample(
+        "vserve_preproc_cache_events_total",
+        &[("kind", "miss")],
+        c.misses as f64,
+    )
+    .sample(
+        "vserve_preproc_cache_events_total",
+        &[("kind", "coalesced")],
+        c.coalesced as f64,
+    )
+    .sample(
+        "vserve_preproc_cache_events_total",
+        &[("kind", "eviction")],
+        c.evictions as f64,
+    );
+    e.header(
+        "vserve_preproc_cache_resident",
+        "gauge",
+        "Current cache occupancy (entries and bytes) and byte budget.",
+    )
+    .sample(
+        "vserve_preproc_cache_resident",
+        &[("what", "entries")],
+        c.entries as f64,
+    )
+    .sample(
+        "vserve_preproc_cache_resident",
+        &[("what", "bytes")],
+        c.bytes as f64,
+    )
+    .sample(
+        "vserve_preproc_cache_resident",
+        &[("what", "capacity_bytes")],
+        c.capacity_bytes as f64,
+    );
+
+    e.header(
+        "vserve_trace_enabled",
+        "gauge",
+        "1 when span tracing is recording.",
+    )
+    .gauge(
+        "vserve_trace_enabled",
+        if live.tracer().is_enabled() { 1.0 } else { 0.0 },
+    );
+    e.finish()
 }
 
 impl Drop for NetServer {
@@ -361,7 +577,7 @@ fn serve_conn(
         Err(_) => None,
     };
     if writer.is_some() {
-        read_loop(&mut stream, &ptx, &shared, &live);
+        read_loop(&mut stream, conn_id, &ptx, &shared, &live);
     }
     drop(ptx); // writer drains remaining pendings, then exits
     if let Some(w) = writer {
@@ -374,12 +590,21 @@ fn serve_conn(
     shared.release_slot();
 }
 
+/// Mask selecting the wire-id bits of a composed trace id; the upper 16
+/// bits carry `conn_id + 1` so ids from different connections (and the
+/// live server's own 1-based counter) cannot collide.
+const TRACE_WIRE_ID_MASK: u64 = 0x0000_FFFF_FFFF_FFFF;
+
 fn read_loop(
     stream: &mut TcpStream,
+    conn_id: u64,
     ptx: &SyncSender<Pending>,
     shared: &NetShared,
     live: &LiveServer,
 ) {
+    // Per-connection trace track: network spans (transfer, deserialize)
+    // land here and join the live pipeline's spans by composed id.
+    let tr = live.tracer().register(&format!("net-conn-{conn_id}"));
     let mut body = Vec::new();
     loop {
         let transfer = match wire::read_frame_into(stream, &mut body) {
@@ -399,6 +624,30 @@ fn read_loop(
             Err(_) => return, // reset / shutdown / truncation
         };
         let t0 = Instant::now();
+        if wire::is_metrics_request(&body) {
+            // The framed protocol's `GET /metrics`: reply with an
+            // ordinary Ok response carrying the exposition in `msg`.
+            match wire::decode_metrics_request(&body) {
+                Ok(m) => {
+                    shared.lock_metrics().frames += 1;
+                    let _ = ptx.send(Pending::Reply {
+                        id: m.id,
+                        status: Status::Ok,
+                        msg: render_exposition(shared, live),
+                    });
+                    continue;
+                }
+                Err(WireError(reason)) => {
+                    shared.lock_metrics().bad_frames += 1;
+                    let _ = ptx.send(Pending::Reply {
+                        id: 0,
+                        status: Status::BadFrame,
+                        msg: reason.to_owned(),
+                    });
+                    return;
+                }
+            }
+        }
         let req = match wire::decode_request(&body) {
             Ok(r) => r,
             Err(WireError(reason)) => {
@@ -433,7 +682,18 @@ fn read_loop(
         let jpeg = req.jpeg.to_vec();
         let deserialize = t0.elapsed();
         shared.lock_metrics().frames += 1;
-        let rx = live.submit_with_deadline(jpeg, deadline);
+        let trace_id = ((conn_id + 1) << 48) | (id & TRACE_WIRE_ID_MASK);
+        let nbytes = body.len() as u64;
+        tr.span(
+            trace_id,
+            stages::NET_TRANSFER,
+            t0.checked_sub(transfer).unwrap_or(t0),
+            t0,
+            0,
+            nbytes,
+        );
+        tr.span(trace_id, stages::DESERIALIZE, t0, Instant::now(), 0, nbytes);
+        let rx = live.submit_traced(jpeg, deadline, Some(trace_id));
         let wait: Box<dyn FnOnce() -> Result<LiveResult, LiveError> + Send> =
             Box::new(move || rx.recv().unwrap_or(Err(LiveError::Disconnected)));
         if ptx
@@ -593,6 +853,33 @@ mod tests {
         assert_eq!(s.breakdown.count(stages::NET_TRANSFER), 1);
         assert_eq!(s.breakdown.count(stages::DESERIALIZE), 1);
         assert!(s.rpc_time() >= 0.0);
+    }
+
+    #[test]
+    fn metrics_scrape_reflects_served_traffic() {
+        let server = bind_tiny(NetOptions {
+            live: tiny_live(),
+            ..NetOptions::default()
+        });
+        let client = NetClient::connect(server.local_addr(), ClientOptions::default()).unwrap();
+        for i in 0..3 {
+            client.infer(&spec(48, i)).unwrap();
+        }
+        let doc = client.scrape().unwrap();
+        assert!(doc.contains("vserve_up 1"), "{doc}");
+        assert!(doc.contains("vserve_requests_completed_total 3"), "{doc}");
+        assert!(doc.contains("# TYPE vserve_latency_seconds summary"));
+        assert!(doc.contains("vserve_latency_seconds{quantile=\"0.99\"}"));
+        assert!(doc.contains("vserve_stage_seconds_total{stage=\"4-inference\"}"));
+        assert!(doc.contains("vserve_stage_seconds_total{stage=\"0-net-transfer\"}"));
+        assert!(doc.contains("vserve_preproc_cache_events_total{kind=\"hit\"}"));
+        // The in-process renderer serves the same document shape.
+        assert!(server
+            .exposition()
+            .contains("vserve_requests_completed_total 3"));
+        // A scrape counts as a parsed frame and leaves the pool usable.
+        assert!(server.metrics().frames >= 4);
+        assert_eq!(client.infer(&spec(48, 9)).unwrap().output.len(), 10);
     }
 
     #[test]

@@ -43,6 +43,18 @@
 //! | output len   | 4     | number of f32 output values                    |
 //! | output       | var   | the output values, f32 LE                      |
 //!
+//! # Metrics-scrape request body layout (`VRM1`)
+//!
+//! A scrape request is the framed protocol's `GET /metrics`: the server
+//! answers with an ordinary `VRS1` response whose `msg` field carries the
+//! plain-text metrics exposition (status [`Status::Ok`], empty output).
+//!
+//! | field        | bytes | meaning                                        |
+//! |--------------|-------|------------------------------------------------|
+//! | magic        | 4     | `b"VRM1"` (version 1 metrics request)          |
+//! | id           | 8     | caller-chosen request id, echoed in response   |
+//! | flags        | 1     | reserved; decoders accept any value            |
+//!
 //! Trailing bytes after a well-formed body are rejected: a frame must
 //! parse exactly.
 
@@ -57,6 +69,10 @@ pub const REQUEST_MAGIC: [u8; 4] = *b"VRQ1";
 
 /// Magic opening a version-1 response body.
 pub const RESPONSE_MAGIC: [u8; 4] = *b"VRS1";
+
+/// Magic opening a version-1 metrics-scrape request body (the framed
+/// protocol's `GET /metrics`).
+pub const METRICS_MAGIC: [u8; 4] = *b"VRM1";
 
 /// Bytes of the length prefix itself.
 pub const HEADER_LEN: usize = 4;
@@ -423,6 +439,48 @@ pub fn decode_response(body: &[u8]) -> Result<ResponseFrame<'_>, WireError> {
         },
         output,
     })
+}
+
+/// A metrics-scrape request (`VRM1`): asks the server for its current
+/// plain-text metrics exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsRequest {
+    /// Caller-chosen id, echoed in the `VRS1` response carrying the
+    /// exposition.
+    pub id: u64,
+    /// Reserved for future use; encoders write 0, decoders accept any
+    /// value.
+    pub flags: u8,
+}
+
+/// Appends a complete metrics-scrape frame (length prefix included) to
+/// `buf`.
+pub fn encode_metrics_request(buf: &mut Vec<u8>, f: &MetricsRequest) {
+    let start = buf.len();
+    put_u32(buf, 0);
+    buf.extend_from_slice(&METRICS_MAGIC);
+    put_u64(buf, f.id);
+    buf.push(f.flags);
+    finish_frame(buf, start);
+}
+
+/// Whether a frame body opens with the metrics magic. The server checks
+/// this before [`decode_request`] so scrape frames take the metrics path
+/// (a magic match with a malformed remainder is still a bad frame).
+pub fn is_metrics_request(body: &[u8]) -> bool {
+    body.len() >= 4 && body[..4] == METRICS_MAGIC
+}
+
+/// Decodes a metrics-scrape body (the bytes after the length prefix).
+pub fn decode_metrics_request(body: &[u8]) -> Result<MetricsRequest, WireError> {
+    let mut c = Cursor::new(body);
+    if c.take(4, "truncated metrics magic")? != METRICS_MAGIC {
+        return Err(WireError("metrics magic mismatch"));
+    }
+    let id = c.u64("truncated metrics request id")?;
+    let flags = c.u8("truncated metrics flags")?;
+    c.finish()?;
+    Ok(MetricsRequest { id, flags })
 }
 
 /// Incremental framing over a byte buffer: returns `Ok(None)` when `buf`
@@ -801,6 +859,117 @@ mod proptests {
         fn length_check_bounds_allocation(header in any::<[u8; 4]>()) {
             if let Ok(len) = check_frame_len(header) {
                 prop_assert!(len >= MIN_BODY_LEN && len <= MAX_FRAME_LEN);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod metrics_frame_tests {
+    use super::*;
+
+    #[test]
+    fn metrics_request_roundtrips() {
+        let mut buf = Vec::new();
+        let f = MetricsRequest {
+            id: 0xDEAD_BEEF_0042,
+            flags: 0,
+        };
+        encode_metrics_request(&mut buf, &f);
+        let (body, consumed) = split_frame(&buf).unwrap().unwrap();
+        assert_eq!(consumed, buf.len());
+        // The 13-byte body is exactly MIN_BODY_LEN: the smallest frame the
+        // length check accepts, so no special-casing was needed there.
+        assert_eq!(body.len(), MIN_BODY_LEN);
+        assert!(is_metrics_request(body));
+        assert_eq!(decode_metrics_request(body).unwrap(), f);
+    }
+
+    #[test]
+    fn magic_dispatch_is_mutually_exclusive() {
+        let mut buf = Vec::new();
+        encode_metrics_request(&mut buf, &MetricsRequest { id: 1, flags: 0 });
+        let (mbody, _) = split_frame(&buf).unwrap().unwrap();
+        assert!(
+            decode_request(mbody).is_err(),
+            "VRM1 must not parse as VRQ1"
+        );
+        assert!(
+            decode_response(mbody).is_err(),
+            "VRM1 must not parse as VRS1"
+        );
+
+        let mut req = Vec::new();
+        encode_request(
+            &mut req,
+            &RequestFrame {
+                id: 2,
+                side: 0,
+                deadline_us: 0,
+                model: "",
+                jpeg: &[0xFF],
+            },
+        );
+        let (rbody, _) = split_frame(&req).unwrap().unwrap();
+        assert!(!is_metrics_request(rbody));
+        assert!(decode_metrics_request(rbody).is_err());
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        encode_metrics_request(&mut buf, &MetricsRequest { id: 7, flags: 0 });
+        let body = &buf[HEADER_LEN..];
+        for cut in 0..body.len() {
+            assert!(
+                decode_metrics_request(&body[..cut]).is_err(),
+                "truncation to {cut} bytes must fail"
+            );
+        }
+        let mut long = body.to_vec();
+        long.push(0);
+        assert!(
+            decode_metrics_request(&long).is_err(),
+            "trailing byte must fail"
+        );
+    }
+
+    #[test]
+    fn reserved_flags_accepted_leniently() {
+        // Forward compatibility: any flags byte parses today.
+        for flags in [0u8, 1, 0x7F, 0xFF] {
+            let mut buf = Vec::new();
+            encode_metrics_request(&mut buf, &MetricsRequest { id: 9, flags });
+            let (body, _) = split_frame(&buf).unwrap().unwrap();
+            assert_eq!(decode_metrics_request(body).unwrap().flags, flags);
+        }
+    }
+
+    mod proptests {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn roundtrip_identity(id in any::<u64>(), flags in any::<u8>()) {
+                let mut buf = Vec::new();
+                encode_metrics_request(&mut buf, &MetricsRequest { id, flags });
+                let (body, consumed) = split_frame(&buf).unwrap().unwrap();
+                prop_assert_eq!(consumed, buf.len());
+                let d = decode_metrics_request(body).unwrap();
+                prop_assert_eq!(d, MetricsRequest { id, flags });
+            }
+
+            /// Single-byte corruptions either fail typed or yield another
+            /// well-formed metrics request — never a panic.
+            #[test]
+            fn corruption_never_panics(pos in 0usize..17, bit in 0u8..8) {
+                let mut buf = Vec::new();
+                encode_metrics_request(&mut buf, &MetricsRequest { id: 3, flags: 0 });
+                buf[pos] ^= 1 << bit;
+                if let Ok(Some((body, _))) = split_frame(&buf) {
+                    let _ = decode_metrics_request(body);
+                }
             }
         }
     }

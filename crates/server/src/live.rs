@@ -60,6 +60,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -70,9 +71,35 @@ use vserve_metrics::{
     LatencyStats, LatencySummary, RateMeter, StageBreakdown, TimeWeightedGauge, Welford,
 };
 use vserve_tensor::{ops, Tensor};
+use vserve_trace::{TraceHandle, Tracer};
 
 use crate::cache::{resolve_capacity_mb, CacheKey, PreprocCache, PreprocCacheStats};
 use crate::report::{stages, ServingSummary};
+
+/// Span/event names the live server records beyond the canonical
+/// [`stages`](crate::report::stages) constants.
+///
+/// Stage spans (`1-queue`, `2-preproc`, `4-inference`) reuse the
+/// breakdown's constants so per-stage span sums reconcile with
+/// `StageBreakdown` totals; the names here are the extra zero-duration
+/// marker events and the batch-level bookkeeping spans.
+pub mod trace_events {
+    /// Request accepted into the bounded ingress queue (event; bytes =
+    /// payload size).
+    pub const INGRESS: &str = "ingress";
+    /// Preprocessed-tensor cache hit (event).
+    pub const CACHE_HIT: &str = "cache-hit";
+    /// Preprocessed-tensor cache miss — a real decode follows (event).
+    pub const CACHE_MISS: &str = "cache-miss";
+    /// Duplicate request parked on an in-flight leader decode (event).
+    pub const COALESCE: &str = "cache-coalesce";
+    /// Batcher flushed a batch (event; `batch_id` set, bytes = batch
+    /// size).
+    pub const BATCH: &str = "batch-flush";
+    /// Inference worker delivering a batch's replies (span; request_id 0,
+    /// bytes = batch size).
+    pub const RESPOND: &str = "respond";
+}
 
 /// Configuration for a [`LiveServer`].
 #[derive(Debug, Clone)]
@@ -115,6 +142,12 @@ pub struct LiveOptions {
     /// preprocesses a payload, other requests with identical bytes park
     /// and share its result instead of decoding again.
     pub coalesce: bool,
+    /// Request-level tracer. The default reads `VSERVE_TRACE` /
+    /// `VSERVE_TRACE_BUF` ([`Tracer::from_env`]); a disabled tracer (env
+    /// unset) costs one branch per record site. Pass
+    /// [`Tracer::with_capacity`] to trace programmatically and read the
+    /// timeline back through [`LiveServer::tracer`].
+    pub trace: Tracer,
 }
 
 impl Default for LiveOptions {
@@ -131,6 +164,7 @@ impl Default for LiveOptions {
             fast_preproc: true,
             preproc_cache_mb: None,
             coalesce: true,
+            trace: Tracer::from_env(),
         }
     }
 }
@@ -324,6 +358,9 @@ impl Shared {
 }
 
 struct Job {
+    /// Trace identity: joins this request's spans across threads (and,
+    /// for wire requests, to the front-end's transfer spans).
+    id: u64,
     jpeg: Vec<u8>,
     submitted: Instant,
     deadline: Option<Instant>,
@@ -331,6 +368,7 @@ struct Job {
 }
 
 struct Ready {
+    id: u64,
     tensor: Arc<Tensor>,
     submitted: Instant,
     /// Wait in the bounded ingress queue before preprocessing started.
@@ -349,6 +387,12 @@ pub struct LiveServer {
     deadline: Option<Duration>,
     backend: Backend,
     cache: Arc<Mutex<PreprocCache>>,
+    tracer: Tracer,
+    /// Records ingress/shed events from submitter threads.
+    ingress_trace: TraceHandle,
+    /// Auto-assigned trace ids for in-process submissions (the net
+    /// front-end supplies its own via [`LiveServer::submit_traced`]).
+    next_req: AtomicU64,
 }
 
 impl std::fmt::Debug for LiveServer {
@@ -376,7 +420,9 @@ impl LiveServer {
         let shared = Arc::new(Shared::new());
         let (ingress_tx, ingress_rx) = bounded::<Job>(opts.queue_cap.max(1));
         let (ready_tx, ready_rx) = bounded::<Ready>(opts.queue_cap.max(1));
-        let (batch_tx, batch_rx) = bounded::<Vec<Ready>>(4);
+        // Batches carry the batcher-assigned sequence number (from 1) that
+        // the trace uses as `batch_id`.
+        let (batch_tx, batch_rx) = bounded::<(u64, Vec<Ready>)>(4);
         let mut handles = Vec::new();
 
         // Preprocessing workers: decode → resize → normalize, with a
@@ -393,13 +439,18 @@ impl LiveServer {
         let side = opts.input_side;
         let fast = opts.fast_preproc;
         let coalesce = opts.coalesce;
-        for _ in 0..opts.preproc_workers.max(1) {
+        let tracer = opts.trace.clone();
+        // Registration order fixes trace thread ids: ingress, preproc
+        // workers, batcher, inference workers.
+        let ingress_trace = tracer.register("ingress");
+        for w in 0..opts.preproc_workers.max(1) {
             let rx = ingress_rx.clone();
             let tx = ready_tx.clone();
             let shared = Arc::clone(&shared);
             let bk = backend.clone();
             let cache = Arc::clone(&cache);
             let inflight = Arc::clone(&inflight);
+            let tr = tracer.register(&format!("preproc-{w}"));
             handles.push(std::thread::spawn(move || {
                 // Each worker owns a scratch arena: after the first frame
                 // the decode path stops allocating its temporaries.
@@ -407,6 +458,7 @@ impl LiveServer {
                 let cache_on = cache.lock().map(|c| c.enabled()).unwrap_or(false);
                 while let Ok(job) = rx.recv() {
                     let start = Instant::now();
+                    let nbytes = job.jpeg.len() as u64;
                     if job.deadline.is_some_and(|d| start >= d) {
                         shared.drop_queued(start, true);
                         let _ = job.reply.send(Err(LiveError::DeadlineExceeded));
@@ -419,7 +471,11 @@ impl LiveServer {
                             // Cache hit: the measured preprocessing time
                             // is just the hash + lookup above, ≈ 0.
                             let done = Instant::now();
+                            tr.span(job.id, stages::QUEUE, job.submitted, start, 0, nbytes);
+                            tr.span(job.id, stages::PREPROC, start, done, 0, nbytes);
+                            tr.event(job.id, trace_events::CACHE_HIT, done, nbytes);
                             let ready = Ready {
+                                id: job.id,
                                 tensor,
                                 submitted: job.submitted,
                                 ingress_wait: start.saturating_duration_since(job.submitted),
@@ -436,15 +492,20 @@ impl LiveServer {
                         if coalesce {
                             if let Ok(mut infl) = inflight.lock() {
                                 if let Some(waiters) = infl.get_mut(&k) {
+                                    let wid = job.id;
                                     waiters.push(job);
                                     drop(infl);
                                     if let Ok(mut c) = cache.lock() {
                                         c.note_coalesced();
                                     }
+                                    tr.event(wid, trace_events::COALESCE, start, nbytes);
                                     continue;
                                 }
                                 infl.insert(k, Vec::new());
                             }
+                        }
+                        if cache_on {
+                            tr.event(job.id, trace_events::CACHE_MISS, start, nbytes);
                         }
                     }
                     let result = if fast {
@@ -475,7 +536,10 @@ impl LiveServer {
                     };
                     match tensor {
                         Ok(tensor) => {
+                            tr.span(job.id, stages::QUEUE, job.submitted, start, 0, nbytes);
+                            tr.span(job.id, stages::PREPROC, start, done, 0, nbytes);
                             let ready = Ready {
+                                id: job.id,
                                 tensor: Arc::clone(&tensor),
                                 submitted: job.submitted,
                                 ingress_wait: start.saturating_duration_since(job.submitted),
@@ -496,7 +560,14 @@ impl LiveServer {
                                 // A waiter never preprocessed: the shared
                                 // execution is charged once to the leader,
                                 // and the waiter's wait counts as queueing.
+                                // Mirror that in the trace: a full-wait
+                                // queue span plus a zero-length preproc
+                                // span (so span counts match breakdown
+                                // counts per completed request).
+                                tr.span(w.id, stages::QUEUE, w.submitted, done, 0, nbytes);
+                                tr.span(w.id, stages::PREPROC, done, done, 0, 0);
                                 let ready = Ready {
+                                    id: w.id,
                                     tensor: Arc::clone(&tensor),
                                     submitted: w.submitted,
                                     ingress_wait: done.saturating_duration_since(w.submitted),
@@ -530,7 +601,9 @@ impl LiveServer {
         {
             let batch_tx = batch_tx.clone();
             let shared = Arc::clone(&shared);
-            let flush = move |batch: Vec<Ready>| -> Result<(), ()> {
+            let tr = tracer.register("batcher");
+            let mut seq = 0u64;
+            let mut flush = move |batch: Vec<Ready>| -> Result<(), ()> {
                 let now = Instant::now();
                 let t = shared.secs(now);
                 let mut live = Vec::with_capacity(batch.len());
@@ -553,7 +626,10 @@ impl LiveServer {
                 if live.is_empty() {
                     Ok(())
                 } else {
-                    batch_tx.send(live).map_err(|_| ())
+                    seq += 1;
+                    let tn = tr.secs(now);
+                    tr.span_at(0, trace_events::BATCH, tn, tn, seq, live.len() as u64);
+                    batch_tx.send((seq, live)).map_err(|_| ())
                 }
             };
             handles.push(std::thread::spawn(move || loop {
@@ -582,12 +658,13 @@ impl LiveServer {
         drop(batch_tx);
 
         // Inference workers: one batched forward call per assembled batch.
-        for _ in 0..opts.inference_workers.max(1) {
+        for w in 0..opts.inference_workers.max(1) {
             let rx = batch_rx.clone();
             let model = Arc::clone(&model);
             let shared = Arc::clone(&shared);
+            let tr = tracer.register(&format!("inference-{w}"));
             handles.push(std::thread::spawn(move || {
-                while let Ok(batch) = rx.recv() {
+                while let Ok((batch_seq, batch)) = rx.recv() {
                     let n = batch.len();
                     let start = Instant::now();
                     let inputs: Vec<&Tensor> = batch.iter().map(|r| r.tensor.as_ref()).collect();
@@ -598,6 +675,12 @@ impl LiveServer {
                     // share of the batch, matching the sim's per-image
                     // accounting, so stage sums do not over-count GPU time.
                     let per_item = wall / n as u32;
+                    // Trace mirror of the same attribution: the batch wall
+                    // is sliced into n contiguous per-item spans so the
+                    // inference track shows batch composition and span
+                    // sums equal the breakdown's per-item charges.
+                    let t0 = tr.secs(start);
+                    let p = per_item.as_secs_f64();
                     let mut replies = Vec::with_capacity(n);
                     {
                         let mut m = shared.lock();
@@ -607,10 +690,27 @@ impl LiveServer {
                         match result {
                             Ok(outputs) => {
                                 let t = shared.secs(finished);
-                                for (ready, out) in batch.into_iter().zip(outputs) {
+                                for (i, (ready, out)) in batch.into_iter().zip(outputs).enumerate()
+                                {
                                     let queue = ready.ingress_wait
                                         + start.saturating_duration_since(ready.preproc_done);
                                     let total = finished.saturating_duration_since(ready.submitted);
+                                    tr.span(
+                                        ready.id,
+                                        stages::QUEUE,
+                                        ready.preproc_done,
+                                        start,
+                                        batch_seq,
+                                        0,
+                                    );
+                                    tr.span_at(
+                                        ready.id,
+                                        stages::INFERENCE,
+                                        t0 + i as f64 * p,
+                                        t0 + (i + 1) as f64 * p,
+                                        batch_seq,
+                                        0,
+                                    );
                                     m.latency.push(total.as_secs_f64());
                                     m.meter.record(t);
                                     m.breakdown.record(stages::QUEUE, queue.as_secs_f64());
@@ -638,9 +738,18 @@ impl LiveServer {
                             }
                         }
                     }
+                    let respond_start = Instant::now();
                     for (reply, msg) in replies {
                         let _ = reply.send(msg);
                     }
+                    tr.span(
+                        0,
+                        trace_events::RESPOND,
+                        respond_start,
+                        Instant::now(),
+                        batch_seq,
+                        n as u64,
+                    );
                 }
             }));
         }
@@ -652,7 +761,18 @@ impl LiveServer {
             deadline: opts.deadline,
             backend,
             cache,
+            tracer,
+            ingress_trace,
+            next_req: AtomicU64::new(1),
         }
+    }
+
+    /// The server's tracer: snapshot it for a span timeline
+    /// ([`Tracer::snapshot`]) or export with
+    /// [`vserve_trace::chrome::chrome_trace_json`]. Disabled unless
+    /// [`LiveOptions::trace`] was enabled (or `VSERVE_TRACE` set).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Submits a JPEG asynchronously; the returned channel yields the
@@ -674,9 +794,26 @@ impl LiveServer {
         jpeg: Vec<u8>,
         deadline: Option<Duration>,
     ) -> Receiver<Result<LiveResult, LiveError>> {
+        self.submit_traced(jpeg, deadline, None)
+    }
+
+    /// Like [`submit_with_deadline`](Self::submit_with_deadline), but with
+    /// a caller-supplied trace id. The network front-end passes the id it
+    /// recorded its transfer/deserialize spans under, so a wire request's
+    /// spans join into one timeline across both layers. `None` assigns
+    /// the next in-process id (a counter from 1).
+    pub fn submit_traced(
+        &self,
+        jpeg: Vec<u8>,
+        deadline: Option<Duration>,
+        trace_id: Option<u64>,
+    ) -> Receiver<Result<LiveResult, LiveError>> {
         let (tx, rx) = bounded(1);
         let now = Instant::now();
+        let id = trace_id.unwrap_or_else(|| self.next_req.fetch_add(1, Ordering::Relaxed));
+        let nbytes = jpeg.len() as u64;
         let job = Job {
+            id,
             jpeg,
             submitted: now,
             deadline: deadline.or(self.deadline).map(|d| now + d),
@@ -689,6 +826,8 @@ impl LiveServer {
             Ok(()) => {
                 let t = self.shared.secs(now);
                 self.shared.lock().queue_depth.add(t, 1.0);
+                self.ingress_trace
+                    .event(id, trace_events::INGRESS, now, nbytes);
             }
             Err(TrySendError::Full(job)) => {
                 self.shared.lock().rejected += 1;

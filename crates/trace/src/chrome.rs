@@ -1,0 +1,490 @@
+//! chrome://tracing / Perfetto exporter.
+//!
+//! Renders a [`TraceSnapshot`](crate::TraceSnapshot) as the Trace Event
+//! Format JSON that `about:tracing` and <https://ui.perfetto.dev> load
+//! directly:
+//!
+//! * one metadata (`"ph":"M"`) `thread_name` event per registered worker
+//!   thread, so each ring gets its own named track;
+//! * one complete (`"ph":"X"`) event per span, `ts`/`dur` in
+//!   microseconds;
+//! * flow arrows (`"ph":"s"`/`"t"`) stitching each request's spans
+//!   across threads (flow id = request id) and each batch's inference
+//!   slices together (flow id = `BATCH_FLOW_BIT | batch_id`, so batch
+//!   flows can never collide with request flows).
+//!
+//! The exporter is total: timestamps were clamped at record time, and it
+//! re-checks finiteness here, so the output never contains `NaN`,
+//! `Infinity`, or a negative `dur`. [`validate_json`] is a minimal
+//! strict JSON parser used by the test suite (and usable by callers) to
+//! prove every export is well-formed without a JSON dependency.
+
+use crate::{Span, TraceSnapshot};
+
+/// High bit marking batch flow ids so they can never collide with
+/// request-id flows in the same document.
+pub const BATCH_FLOW_BIT: u64 = 1 << 63;
+
+/// Render a snapshot as a chrome://tracing-loadable JSON document.
+pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(256 + snap.spans.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+
+    for t in &snap.threads {
+        sep(&mut out, &mut first);
+        out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+        push_u64(&mut out, t.id as u64);
+        out.push_str(",\"args\":{\"name\":");
+        push_json_string(&mut out, &t.name);
+        out.push_str("}}");
+    }
+
+    for s in &snap.spans {
+        if !s.t_start.is_finite() || !s.t_end.is_finite() {
+            continue;
+        }
+        sep(&mut out, &mut first);
+        push_complete_event(&mut out, s);
+    }
+
+    // Flow arrows: per-request chains across threads, then per-batch
+    // chains over inference slices. Spans arrive time-sorted, so
+    // consecutive members of a chain are already in order.
+    push_flows(&mut out, &mut first, snap, FlowKind::Request);
+    push_flows(&mut out, &mut first, snap, FlowKind::Batch);
+
+    out.push_str("]}");
+    out
+}
+
+enum FlowKind {
+    Request,
+    Batch,
+}
+
+fn push_flows(out: &mut String, first: &mut bool, snap: &TraceSnapshot, kind: FlowKind) {
+    // Collect the distinct chain keys, then walk each chain in snapshot
+    // (time) order emitting start/step arrows anchored at span starts.
+    let key = |s: &Span| -> Option<u64> {
+        match kind {
+            FlowKind::Request => (s.request_id != 0).then_some(s.request_id),
+            FlowKind::Batch => (s.batch_id != 0).then_some(s.batch_id),
+        }
+    };
+    let mut keys: Vec<u64> = snap.spans.iter().filter_map(key).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    for k in keys {
+        let chain: Vec<&Span> = snap
+            .spans
+            .iter()
+            .filter(|s| key(s) == Some(k) && s.t_start.is_finite())
+            .collect();
+        if chain.len() < 2 {
+            continue;
+        }
+        let flow_id = match kind {
+            FlowKind::Request => k,
+            FlowKind::Batch => BATCH_FLOW_BIT | k,
+        };
+        for (i, s) in chain.iter().enumerate() {
+            sep(out, first);
+            let ph = if i == 0 { "s" } else { "t" };
+            out.push_str("{\"name\":");
+            push_json_string(
+                out,
+                match kind {
+                    FlowKind::Request => "request",
+                    FlowKind::Batch => "batch",
+                },
+            );
+            out.push_str(",\"cat\":\"flow\",\"ph\":\"");
+            out.push_str(ph);
+            out.push_str("\",\"id\":");
+            push_u64(out, flow_id);
+            out.push_str(",\"pid\":1,\"tid\":");
+            push_u64(out, s.thread as u64);
+            out.push_str(",\"ts\":");
+            push_micros(out, s.t_start);
+            out.push('}');
+        }
+    }
+}
+
+fn push_complete_event(out: &mut String, s: &Span) {
+    out.push_str("{\"name\":");
+    push_json_string(out, s.stage);
+    out.push_str(",\"cat\":\"vserve\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+    push_u64(out, s.thread as u64);
+    out.push_str(",\"ts\":");
+    push_micros(out, s.t_start);
+    out.push_str(",\"dur\":");
+    push_micros(out, (s.t_end - s.t_start).max(0.0));
+    out.push_str(",\"args\":{\"request_id\":");
+    push_u64(out, s.request_id);
+    out.push_str(",\"batch_id\":");
+    push_u64(out, s.batch_id);
+    out.push_str(",\"bytes\":");
+    push_u64(out, s.bytes);
+    out.push_str("}}");
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+fn push_u64(out: &mut String, v: u64) {
+    use std::fmt::Write;
+    let _ = write!(out, "{v}");
+}
+
+/// Seconds → microseconds with fixed 3-decimal precision (chrome traces
+/// use µs). Inputs are finite and non-negative by the callers' checks.
+fn push_micros(out: &mut String, secs: f64) {
+    use std::fmt::Write;
+    let _ = write!(out, "{:.3}", secs * 1e6);
+}
+
+/// Minimal JSON string escaper (quotes, backslash, control chars).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Strict minimal JSON parser: accepts exactly one JSON value (object,
+/// array, string, number, `true`/`false`/`null`) spanning the whole
+/// input. Returns a byte offset + message on the first violation.
+///
+/// This exists so the test suite can prove exports are well-formed
+/// without pulling in a JSON dependency; it intentionally rejects the
+/// things real parsers reject (trailing commas, bare NaN/Infinity,
+/// unescaped control characters, trailing garbage).
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let b = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening quote
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => {
+                                    return Err(format!("bad \\u escape at byte {pos}", pos = *pos))
+                                }
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(format!(
+                    "unescaped control char in string at byte {pos}",
+                    pos = *pos
+                ))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0;
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let mut frac = 0;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return Err(format!("bad fraction at byte {pos}", pos = *pos));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let mut exp = 0;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return Err(format!("bad exponent at byte {pos}", pos = *pos));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ThreadInfo, Tracer};
+
+    fn sample_snapshot() -> TraceSnapshot {
+        let tr = Tracer::with_capacity(64);
+        let a = tr.register("preproc-0");
+        let b = tr.register("inference-0");
+        a.span_at(1, "1-queue", 0.000_010, 0.000_050, 0, 4096);
+        a.span_at(1, "2-preproc", 0.000_050, 0.001_050, 0, 4096);
+        a.span_at(1, "cache-miss", 0.000_050, 0.000_050, 0, 0);
+        b.span_at(1, "4-inference", 0.001_100, 0.002_100, 7, 0);
+        b.span_at(2, "4-inference", 0.002_100, 0.003_100, 7, 0);
+        b.span_at(0, "respond", 0.003_100, 0.003_150, 7, 2);
+        tr.snapshot()
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_structure() {
+        let json = chrome_trace_json(&sample_snapshot());
+        validate_json(&json).expect("export must be strict JSON");
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"preproc-0\""));
+        assert!(json.contains("\"inference-0\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        // Per-request flow + per-batch flow arrows both present.
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"t\""));
+        assert!(json.contains(&format!("\"id\":{}", BATCH_FLOW_BIT | 7)));
+        assert!(!json.contains("NaN"));
+        assert!(!json.contains("\"dur\":-"));
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let json = chrome_trace_json(&TraceSnapshot::empty());
+        validate_json(&json).expect("empty export must be valid");
+        assert_eq!(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn string_escaping_survives_hostile_thread_names() {
+        let snap = TraceSnapshot {
+            spans: Vec::new(),
+            threads: vec![ThreadInfo {
+                id: 0,
+                name: "we\"ird\\name\nwith\tctrl\u{1}".to_string(),
+            }],
+            dropped: 0,
+        };
+        let json = chrome_trace_json(&snap);
+        validate_json(&json).expect("escaped output must be valid JSON");
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects_correctly() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            "\"a\\u0041b\"",
+            "{\"a\":[1,2,{\"b\":false}]}",
+            " { \"x\" : 0.25 } ",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "NaN",
+            "Infinity",
+            "01x",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "{} trailing",
+            "\"ctrl\u{1}char\"",
+        ] {
+            assert!(validate_json(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        // Arbitrary-ish span sets, including hostile timestamps: the
+        // exporter must always emit strict JSON with no NaN and no
+        // negative durations.
+        fn arb_time() -> impl Strategy<Value = f64> {
+            prop_oneof![
+                (0u64..2_000_000).prop_map(|us| us as f64 * 1e-6),
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+                Just(-1.0),
+                Just(0.0),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn export_never_emits_nan_or_negative_durations(
+                times in proptest::collection::vec((arb_time(), arb_time()), 0..40),
+                ids in proptest::collection::vec(0u64..6, 0..40),
+            ) {
+                let tr = Tracer::with_capacity(64);
+                let h0 = tr.register("t0");
+                let h1 = tr.register("t1");
+                for (i, (t0, t1)) in times.iter().enumerate() {
+                    let id = ids.get(i).copied().unwrap_or(0);
+                    let h = if i % 2 == 0 { &h0 } else { &h1 };
+                    h.span_at(id, "s", *t0, *t1, id / 2, i as u64);
+                }
+                let snap = tr.snapshot();
+                for s in &snap.spans {
+                    prop_assert!(s.t_start.is_finite() && s.t_end.is_finite());
+                    prop_assert!(s.t_end >= s.t_start);
+                }
+                let json = chrome_trace_json(&snap);
+                prop_assert!(validate_json(&json).is_ok(), "invalid JSON: {}", json);
+                prop_assert!(!json.contains("NaN"));
+                prop_assert!(!json.contains("Infinity"));
+                prop_assert!(!json.contains("\"dur\":-"));
+                prop_assert!(!json.contains("\"ts\":-"));
+            }
+        }
+    }
+}

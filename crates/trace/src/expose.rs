@@ -1,0 +1,179 @@
+//! Plain-text metrics exposition builder.
+//!
+//! Renders counters, gauges, and histogram quantiles in the widely
+//! scraped `name{label="value"} 1.23` text format (one sample per line,
+//! `# HELP`/`# TYPE` comment headers). The net front-end serves this
+//! document on the wire protocol's `VRM1` scrape frame, so a running
+//! `NetServer` can be polled by anything that speaks the framed
+//! protocol.
+//!
+//! The builder is total: non-finite values are sanitized to `0` (the
+//! exposition never contains `NaN`/`inf`), metric names are restricted
+//! to `[a-zA-Z0-9_:]` (other bytes become `_`), and label values are
+//! escaped per the format's rules (`\\`, `\"`, `\n`).
+
+/// Incremental builder for a plain-text metrics exposition document.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    /// Append `# HELP` + `# TYPE` headers for a metric family.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) -> &mut Self {
+        self.out.push_str("# HELP ");
+        push_name(&mut self.out, name);
+        self.out.push(' ');
+        // Help text is free-form but must stay on one line.
+        for c in help.chars() {
+            match c {
+                '\n' | '\r' => self.out.push(' '),
+                '\\' => self.out.push_str("\\\\"),
+                c => self.out.push(c),
+            }
+        }
+        self.out.push_str("\n# TYPE ");
+        push_name(&mut self.out, name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+        self
+    }
+
+    /// Append an unlabeled integer sample (counters).
+    pub fn counter(&mut self, name: &str, value: u64) -> &mut Self {
+        push_name(&mut self.out, name);
+        self.out.push(' ');
+        push_u64(&mut self.out, value);
+        self.out.push('\n');
+        self
+    }
+
+    /// Append an unlabeled float sample (gauges).
+    pub fn gauge(&mut self, name: &str, value: f64) -> &mut Self {
+        self.sample(name, &[], value)
+    }
+
+    /// Append a labeled float sample, e.g.
+    /// `latency_seconds{quantile="0.99"} 0.004`.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        push_name(&mut self.out, name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                push_name(&mut self.out, k);
+                self.out.push_str("=\"");
+                for c in v.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        push_f64(&mut self.out, value);
+        self.out.push('\n');
+        self
+    }
+
+    /// Finish the document. Ends with a trailing newline (scrapers treat
+    /// the final `\n` as end-of-document).
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Metric/label names: `[a-zA-Z0-9_:]`, anything else mapped to `_`.
+fn push_name(out: &mut String, name: &str) {
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+}
+
+fn push_u64(out: &mut String, v: u64) {
+    use std::fmt::Write;
+    let _ = write!(out, "{v}");
+}
+
+/// Sample values: finite shortest-round-trip formatting; non-finite
+/// inputs sanitized to 0 so the document never carries NaN/inf.
+fn push_f64(out: &mut String, v: f64) {
+    use std::fmt::Write;
+    let v = if v.is_finite() { v } else { 0.0 };
+    let _ = write!(out, "{v}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure_is_line_oriented() {
+        let mut e = Exposition::new();
+        e.header("vserve_requests_total", "counter", "Completed requests.")
+            .counter("vserve_requests_total", 42);
+        e.header("vserve_latency_seconds", "summary", "End-to-end latency.")
+            .sample("vserve_latency_seconds", &[("quantile", "0.5")], 0.00125)
+            .sample("vserve_latency_seconds", &[("quantile", "0.99")], 0.004);
+        let doc = e.finish();
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines[0], "# HELP vserve_requests_total Completed requests.");
+        assert_eq!(lines[1], "# TYPE vserve_requests_total counter");
+        assert_eq!(lines[2], "vserve_requests_total 42");
+        assert_eq!(lines[5], "vserve_latency_seconds{quantile=\"0.5\"} 0.00125");
+        assert_eq!(lines[6], "vserve_latency_seconds{quantile=\"0.99\"} 0.004");
+        assert!(doc.ends_with('\n'));
+    }
+
+    #[test]
+    fn hostile_names_labels_and_values_are_sanitized() {
+        let mut e = Exposition::new();
+        e.sample(
+            "bad name-with.dots",
+            &[("sta ge", "quo\"te\\back\nline")],
+            f64::NAN,
+        );
+        e.gauge("inf_gauge", f64::INFINITY);
+        let doc = e.finish();
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(
+            lines[0],
+            "bad_name_with_dots{sta_ge=\"quo\\\"te\\\\back\\nline\"} 0"
+        );
+        assert_eq!(lines[1], "inf_gauge 0");
+        assert!(!doc.contains("NaN"));
+        assert!(!doc.contains("inf "));
+    }
+
+    #[test]
+    fn multiple_labels_and_integer_valued_gauges() {
+        let mut e = Exposition::new();
+        e.sample(
+            "vserve_stage_seconds_total",
+            &[("stage", "2-preproc"), ("path", "live")],
+            1.5,
+        );
+        let doc = e.finish();
+        assert_eq!(
+            doc,
+            "vserve_stage_seconds_total{stage=\"2-preproc\",path=\"live\"} 1.5\n"
+        );
+    }
+}

@@ -1,0 +1,646 @@
+//! Low-overhead request-level tracing for the serving stack.
+//!
+//! The paper this repo reproduces is a *measurement study*: its whole
+//! contribution is visibility into where serving time goes. Aggregates
+//! (`ServingSummary`, `StageBreakdown`) answer "how much on average";
+//! this crate answers "when, on which thread, for which request" — a
+//! per-request span timeline cheap enough to leave on in production.
+//!
+//! # Span model
+//!
+//! A [`Span`] is a half-open interval `[t_start, t_end)` in seconds since
+//! the tracer's epoch, tagged with the request id it serves, the stage
+//! name (the same `stages::*` constants the breakdown uses, so span sums
+//! reconcile with reported stage totals), the recording thread, the batch
+//! it rode in (0 = none), and a byte count (payload sizes). An *event* is
+//! a zero-duration span (`t_end == t_start`) — cache hits, coalesce
+//! parks, ingress arrivals.
+//!
+//! # Architecture: per-thread bounded rings
+//!
+//! Each worker thread [`Tracer::register`]s once and gets a
+//! [`TraceHandle`] that owns an `Arc` to that thread's ring. Recording
+//! locks only the thread's own ring mutex — never contended in steady
+//! state, since only the owning thread records to it and snapshots are
+//! rare. The ring is a preallocated `Vec<Span>` that *never reallocates*:
+//! once full, new spans overwrite the oldest (`dropped` counts evictions)
+//! — steady-state recording is allocation-free, pinned by the same
+//! allocation-counting idiom `compute::Scratch` uses.
+//!
+//! # Disabled cost
+//!
+//! A disabled tracer is `Tracer { inner: None }`; every recording call
+//! reduces to one branch on that `Option` and returns. Building with the
+//! `off` cargo feature makes every *constructor* return the disabled
+//! tracer, so the recording paths are statically dead and whole-program
+//! optimization can drop them entirely — the no-op build has 0% overhead
+//! by construction.
+//!
+//! # Exporters
+//!
+//! [`chrome::chrome_trace_json`] renders a snapshot as a
+//! chrome://tracing / Perfetto-loadable JSON document (one track per
+//! worker thread, per-request and per-batch flow arrows);
+//! [`expose::Exposition`] builds the plain-text counter/quantile
+//! exposition served over the wire protocol's `VRM1` scrape frame.
+//!
+//! Timestamps are clamped on record: non-finite inputs are discarded,
+//! `t_start` is floored at 0, and `t_end` is floored at `t_start`, so no
+//! export path can ever emit NaN, negative timestamps, or negative
+//! durations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod expose;
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Env var that enables tracing at startup (`1`, `true`, or `on`).
+pub const TRACE_ENV: &str = "VSERVE_TRACE";
+/// Env var overriding the per-thread ring capacity, in spans.
+pub const TRACE_BUF_ENV: &str = "VSERVE_TRACE_BUF";
+/// Default per-thread ring capacity (spans) when `VSERVE_TRACE_BUF` is
+/// unset: 64 Ki spans ≈ 3.5 MiB per worker thread.
+pub const DEFAULT_BUF_SPANS: usize = 65_536;
+
+/// One timed interval (or zero-duration event) on one thread.
+///
+/// Times are seconds since the owning tracer's epoch; invariant
+/// (enforced on record): both finite, `t_end >= t_start`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Request this span serves; 0 when not tied to a single request
+    /// (e.g. a whole-batch respond span).
+    pub request_id: u64,
+    /// Stage or event name. Stage spans use the canonical
+    /// `vserve_server::stages` constants so per-stage span sums reconcile
+    /// with `StageBreakdown` totals.
+    pub stage: &'static str,
+    /// Start, seconds since the tracer epoch.
+    pub t_start: f64,
+    /// End, seconds since the tracer epoch; `== t_start` for events.
+    pub t_end: f64,
+    /// Registration id of the recording thread (see
+    /// [`TraceSnapshot::threads`]).
+    pub thread: u32,
+    /// Batch this span rode in; 0 = not batched.
+    pub batch_id: u64,
+    /// Bytes associated with the span (payload sizes); 0 = n/a.
+    pub bytes: u64,
+}
+
+impl Span {
+    /// Span duration in seconds (never negative by construction).
+    pub fn duration(&self) -> f64 {
+        (self.t_end - self.t_start).max(0.0)
+    }
+
+    /// True for zero-duration marker events (cache hits, arrivals).
+    pub fn is_event(&self) -> bool {
+        self.t_end <= self.t_start
+    }
+}
+
+/// Fixed-capacity span storage: overwrites the oldest entry when full and
+/// never reallocates after construction.
+struct Ring {
+    spans: Vec<Span>,
+    /// Oldest entry once the ring has wrapped; insertion point of the
+    /// next overwrite.
+    head: usize,
+    dropped: u64,
+    /// Allocation count for the steady-state allocation-free test (the
+    /// `Scratch` idiom): 1 after construction, and it must stay 1.
+    allocations: u64,
+}
+
+impl Ring {
+    fn with_capacity(cap: usize) -> Ring {
+        Ring {
+            spans: Vec::with_capacity(cap.max(1)),
+            head: 0,
+            dropped: 0,
+            allocations: 1,
+        }
+    }
+
+    fn push(&mut self, s: Span) {
+        if self.spans.len() < self.spans.capacity() {
+            self.spans.push(s);
+        } else {
+            self.spans[self.head] = s;
+            self.head = (self.head + 1) % self.spans.len();
+            self.dropped += 1;
+        }
+    }
+
+    /// Spans oldest-first (unwraps the ring).
+    fn ordered(&self) -> Vec<Span> {
+        let mut out = Vec::with_capacity(self.spans.len());
+        out.extend_from_slice(&self.spans[self.head..]);
+        out.extend_from_slice(&self.spans[..self.head]);
+        out
+    }
+}
+
+struct ThreadRing {
+    id: u32,
+    name: String,
+    ring: Mutex<Ring>,
+}
+
+struct Inner {
+    epoch: Instant,
+    capacity: usize,
+    threads: Mutex<Vec<Arc<ThreadRing>>>,
+}
+
+/// Handle to the tracing subsystem. Cheap to clone; a disabled tracer
+/// (the default) records nothing and costs one branch per call site.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "Tracer(disabled)"),
+            Some(inner) => {
+                let threads = inner.threads.lock().map(|t| t.len()).unwrap_or(0);
+                write!(
+                    f,
+                    "Tracer(enabled, {} threads, {} spans/thread)",
+                    threads, inner.capacity
+                )
+            }
+        }
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer with an explicit per-thread ring capacity
+    /// (clamped to ≥ 1 span). Under the `off` cargo feature this returns
+    /// the disabled tracer instead.
+    pub fn with_capacity(spans_per_thread: usize) -> Tracer {
+        if cfg!(feature = "off") {
+            return Tracer::disabled();
+        }
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                capacity: spans_per_thread.max(1),
+                threads: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// An enabled tracer sized from `VSERVE_TRACE_BUF` (default
+    /// [`DEFAULT_BUF_SPANS`]).
+    pub fn enabled() -> Tracer {
+        let cap = std::env::var(TRACE_BUF_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_BUF_SPANS);
+        Tracer::with_capacity(cap)
+    }
+
+    /// Enabled iff `VSERVE_TRACE` is `1`, `true`, or `on` (sized from
+    /// `VSERVE_TRACE_BUF`); disabled otherwise.
+    pub fn from_env() -> Tracer {
+        match std::env::var(TRACE_ENV) {
+            Ok(v) if matches!(v.trim(), "1" | "true" | "on") => Tracer::enabled(),
+            _ => Tracer::disabled(),
+        }
+    }
+
+    /// Whether this tracer records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Seconds since the tracer epoch (0.0 when disabled).
+    pub fn secs(&self, t: Instant) -> f64 {
+        match &self.inner {
+            Some(inner) => t.saturating_duration_since(inner.epoch).as_secs_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Register a recording thread. Call once per worker thread; the
+    /// returned handle is the only way to record spans. On a disabled
+    /// tracer the handle is inert.
+    pub fn register(&self, name: &str) -> TraceHandle {
+        let Some(inner) = &self.inner else {
+            return TraceHandle { inner: None };
+        };
+        let ring = {
+            let mut threads = match inner.threads.lock() {
+                Ok(t) => t,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let tr = Arc::new(ThreadRing {
+                id: threads.len() as u32,
+                name: name.to_string(),
+                ring: Mutex::new(Ring::with_capacity(inner.capacity)),
+            });
+            threads.push(Arc::clone(&tr));
+            tr
+        };
+        TraceHandle {
+            inner: Some(HandleInner {
+                epoch: inner.epoch,
+                ring,
+            }),
+        }
+    }
+
+    /// Collect every thread's spans into one time-ordered snapshot.
+    /// Non-destructive: rings keep their contents.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let Some(inner) = &self.inner else {
+            return TraceSnapshot::empty();
+        };
+        let threads = match inner.threads.lock() {
+            Ok(t) => t.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
+        let mut spans = Vec::new();
+        let mut infos = Vec::with_capacity(threads.len());
+        let mut dropped = 0u64;
+        for t in &threads {
+            let ring = match t.ring.lock() {
+                Ok(r) => r,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            spans.extend(ring.ordered());
+            dropped += ring.dropped;
+            infos.push(ThreadInfo {
+                id: t.id,
+                name: t.name.clone(),
+            });
+        }
+        spans.sort_by(|a, b| {
+            a.t_start
+                .total_cmp(&b.t_start)
+                .then(a.t_end.total_cmp(&b.t_end))
+                .then(a.thread.cmp(&b.thread))
+                .then(a.request_id.cmp(&b.request_id))
+        });
+        TraceSnapshot {
+            spans,
+            threads: infos,
+            dropped,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct HandleInner {
+    epoch: Instant,
+    ring: Arc<ThreadRing>,
+}
+
+/// Per-thread recording handle returned by [`Tracer::register`].
+///
+/// Recording locks only this thread's own ring — uncontended in steady
+/// state — and never allocates once the ring is warm.
+#[derive(Clone)]
+pub struct TraceHandle {
+    inner: Option<HandleInner>,
+}
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "TraceHandle(disabled)"),
+            Some(h) => write!(f, "TraceHandle({:?})", h.ring.name),
+        }
+    }
+}
+
+impl TraceHandle {
+    /// An inert handle (what a disabled tracer hands out).
+    pub fn disabled() -> TraceHandle {
+        TraceHandle { inner: None }
+    }
+
+    /// Whether records through this handle go anywhere.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Seconds since the tracer epoch (0.0 when disabled).
+    pub fn secs(&self, t: Instant) -> f64 {
+        match &self.inner {
+            Some(h) => t.saturating_duration_since(h.epoch).as_secs_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Record a span from two instants.
+    pub fn span(
+        &self,
+        request_id: u64,
+        stage: &'static str,
+        start: Instant,
+        end: Instant,
+        batch_id: u64,
+        bytes: u64,
+    ) {
+        let Some(h) = &self.inner else { return };
+        let t_start = start.saturating_duration_since(h.epoch).as_secs_f64();
+        let t_end = end.saturating_duration_since(h.epoch).as_secs_f64();
+        self.push(request_id, stage, t_start, t_end, batch_id, bytes);
+    }
+
+    /// Record a span from already-converted epoch seconds (see
+    /// [`TraceHandle::secs`]). Non-finite timestamps are discarded;
+    /// `t_end` is floored at `t_start`.
+    pub fn span_at(
+        &self,
+        request_id: u64,
+        stage: &'static str,
+        t_start: f64,
+        t_end: f64,
+        batch_id: u64,
+        bytes: u64,
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(request_id, stage, t_start, t_end, batch_id, bytes);
+    }
+
+    /// Record a zero-duration marker event.
+    pub fn event(&self, request_id: u64, stage: &'static str, at: Instant, bytes: u64) {
+        self.span(request_id, stage, at, at, 0, bytes);
+    }
+
+    fn push(
+        &self,
+        request_id: u64,
+        stage: &'static str,
+        t_start: f64,
+        t_end: f64,
+        batch_id: u64,
+        bytes: u64,
+    ) {
+        let Some(h) = &self.inner else { return };
+        if !t_start.is_finite() || !t_end.is_finite() {
+            return;
+        }
+        let t_start = t_start.max(0.0);
+        let t_end = t_end.max(t_start);
+        let mut ring = match h.ring.ring.lock() {
+            Ok(r) => r,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        ring.push(Span {
+            request_id,
+            stage,
+            t_start,
+            t_end,
+            thread: h.ring.id,
+            batch_id,
+            bytes,
+        });
+    }
+
+    /// `(len, capacity, dropped, allocations)` of this thread's ring —
+    /// for the steady-state allocation-free tests. All zeros when
+    /// disabled.
+    pub fn ring_stats(&self) -> (usize, usize, u64, u64) {
+        let Some(h) = &self.inner else {
+            return (0, 0, 0, 0);
+        };
+        let ring = match h.ring.ring.lock() {
+            Ok(r) => r,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        (
+            ring.spans.len(),
+            ring.spans.capacity(),
+            ring.dropped,
+            ring.allocations,
+        )
+    }
+}
+
+/// A registered recording thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadInfo {
+    /// Registration id (the `thread` field of spans it recorded).
+    pub id: u32,
+    /// Name given at registration ("preproc-0", "inference-1", ...).
+    pub name: String,
+}
+
+/// A time-ordered copy of every ring, taken by [`Tracer::snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    /// All spans, sorted by `(t_start, t_end, thread, request_id)`.
+    pub spans: Vec<Span>,
+    /// Registered threads, in registration order.
+    pub threads: Vec<ThreadInfo>,
+    /// Spans evicted from full rings before this snapshot (0 means the
+    /// timeline is complete).
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// An empty snapshot (what a disabled tracer returns).
+    pub fn empty() -> TraceSnapshot {
+        TraceSnapshot::default()
+    }
+
+    /// Sum of span durations for one stage, in seconds. Per-stage totals
+    /// reconcile with `StageBreakdown::total` for the canonical stages on
+    /// a shed-free run (see DESIGN §11).
+    pub fn stage_total(&self, stage: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// Number of spans (including events) recorded for one stage.
+    pub fn stage_count(&self, stage: &str) -> u64 {
+        self.spans.iter().filter(|s| s.stage == stage).count() as u64
+    }
+
+    /// Distinct non-zero request ids present, ascending.
+    pub fn request_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .spans
+            .iter()
+            .map(|s| s.request_id)
+            .filter(|&id| id != 0)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// All spans for one request, in snapshot (time) order.
+    pub fn spans_for(&self, request_id: u64) -> Vec<&Span> {
+        self.spans
+            .iter()
+            .filter(|s| s.request_id == request_id)
+            .collect()
+    }
+
+    /// Name of a recording thread, if registered.
+    pub fn thread_name(&self, id: u32) -> Option<&str> {
+        self.threads
+            .iter()
+            .find(|t| t.id == id)
+            .map(|t| t.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_tracer_is_fully_inert() {
+        let tr = Tracer::disabled();
+        assert!(!tr.is_enabled());
+        let h = tr.register("w0");
+        assert!(!h.enabled());
+        h.span(1, "x", Instant::now(), Instant::now(), 0, 0);
+        h.event(1, "x", Instant::now(), 0);
+        h.span_at(1, "x", 0.0, 1.0, 0, 0);
+        assert_eq!(h.ring_stats(), (0, 0, 0, 0));
+        let snap = tr.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.threads.is_empty());
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn ring_wraps_without_reallocating_and_counts_drops() {
+        let tr = Tracer::with_capacity(8);
+        let h = tr.register("w0");
+        // 10x capacity: the ring must wrap, keep the newest 8, and never
+        // grow past its initial allocation.
+        for i in 0..80u64 {
+            h.span_at(i, "s", i as f64, i as f64 + 0.5, 0, 0);
+        }
+        let (len, cap, dropped, allocations) = h.ring_stats();
+        assert_eq!(len, 8);
+        assert_eq!(cap, 8);
+        assert_eq!(dropped, 72);
+        assert_eq!(allocations, 1, "steady-state recording must not allocate");
+        let snap = tr.snapshot();
+        assert_eq!(snap.dropped, 72);
+        let ids: Vec<u64> = snap.spans.iter().map(|s| s.request_id).collect();
+        assert_eq!(ids, (72..80).collect::<Vec<_>>(), "newest spans survive");
+    }
+
+    #[test]
+    fn snapshot_merges_threads_in_time_order() {
+        let tr = Tracer::with_capacity(16);
+        let a = tr.register("a");
+        let b = tr.register("b");
+        a.span_at(1, "s", 2.0, 3.0, 0, 0);
+        b.span_at(2, "s", 1.0, 1.5, 0, 0);
+        a.span_at(3, "s", 0.5, 0.6, 0, 0);
+        let snap = tr.snapshot();
+        let starts: Vec<f64> = snap.spans.iter().map(|s| s.t_start).collect();
+        assert_eq!(starts, vec![0.5, 1.0, 2.0]);
+        assert_eq!(snap.threads.len(), 2);
+        assert_eq!(snap.thread_name(0), Some("a"));
+        assert_eq!(snap.thread_name(1), Some("b"));
+        assert_eq!(snap.spans[0].thread, 0);
+        assert_eq!(snap.spans[1].thread, 1);
+    }
+
+    #[test]
+    fn record_clamps_hostile_timestamps() {
+        let tr = Tracer::with_capacity(16);
+        let h = tr.register("w0");
+        h.span_at(1, "nan", f64::NAN, 1.0, 0, 0);
+        h.span_at(2, "inf", 0.0, f64::INFINITY, 0, 0);
+        h.span_at(3, "backwards", 5.0, 2.0, 0, 0);
+        h.span_at(4, "negative", -3.0, -1.0, 0, 0);
+        let snap = tr.snapshot();
+        // Non-finite inputs discarded entirely.
+        assert_eq!(snap.spans.len(), 2);
+        // Negative times floored at the epoch.
+        assert_eq!(snap.spans[0].request_id, 4);
+        assert_eq!((snap.spans[0].t_start, snap.spans[0].t_end), (0.0, 0.0));
+        // Backwards interval floored to a zero-duration event.
+        assert_eq!(snap.spans[1].request_id, 3);
+        assert_eq!(snap.spans[1].duration(), 0.0);
+        assert!(snap.spans[1].is_event());
+    }
+
+    #[test]
+    fn instant_spans_round_trip_durations() {
+        let tr = Tracer::with_capacity(16);
+        let h = tr.register("w0");
+        let start = Instant::now();
+        let end = start + Duration::from_millis(5);
+        h.span(7, "s", start, end, 3, 128);
+        let snap = tr.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        let s = &snap.spans[0];
+        assert!((s.duration() - 0.005).abs() < 1e-9);
+        assert_eq!(s.batch_id, 3);
+        assert_eq!(s.bytes, 128);
+        assert_eq!(snap.stage_count("s"), 1);
+        assert!((snap.stage_total("s") - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_helpers_filter_by_request() {
+        let tr = Tracer::with_capacity(16);
+        let h = tr.register("w0");
+        h.span_at(2, "a", 0.0, 1.0, 0, 0);
+        h.span_at(1, "b", 1.0, 2.0, 0, 0);
+        h.span_at(2, "c", 2.0, 3.0, 0, 0);
+        h.span_at(0, "respond", 3.0, 4.0, 1, 0);
+        let snap = tr.snapshot();
+        assert_eq!(snap.request_ids(), vec![1, 2]);
+        let stages: Vec<&str> = snap.spans_for(2).iter().map(|s| s.stage).collect();
+        assert_eq!(stages, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn env_parsing_for_enable_flag() {
+        // from_env reads the process env; rather than mutate global env in
+        // a test binary (racy across threads), pin the parsing contract on
+        // the underlying matcher.
+        for on in ["1", "true", "on", " 1 "] {
+            assert!(matches!(on.trim(), "1" | "true" | "on"), "{on}");
+        }
+        for off in ["", "0", "false", "yes"] {
+            assert!(!matches!(off.trim(), "1" | "true" | "on"), "{off}");
+        }
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped() {
+        let tr = Tracer::with_capacity(0);
+        let h = tr.register("w0");
+        h.span_at(1, "s", 0.0, 1.0, 0, 0);
+        h.span_at(2, "s", 1.0, 2.0, 0, 0);
+        let (len, cap, dropped, _) = h.ring_stats();
+        assert_eq!((len, cap), (1, 1));
+        assert_eq!(dropped, 1);
+    }
+}

@@ -256,3 +256,97 @@ fn malformed_frames_never_kill_the_server() {
     // that the final well-formed request was among the completions.
     assert!(m.live.completed >= 1);
 }
+
+/// The same hostile-bytes discipline applies to the `VRM1` scrape frame:
+/// truncations at every length, hostile length prefixes, trailing bytes,
+/// and single-byte corruptions must never kill or wedge the server, and
+/// both scraping and inference must work after the gauntlet.
+#[test]
+fn malformed_metrics_frames_never_kill_the_server() {
+    let server = NetServer::bind(
+        model(),
+        NetOptions {
+            live: opts(),
+            ..NetOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut good = Vec::new();
+    vserve_net::wire::encode_metrics_request(
+        &mut good,
+        &vserve_net::MetricsRequest { id: 7, flags: 0 },
+    );
+
+    let mut hostile: Vec<Vec<u8>> = Vec::new();
+    // Truncations of a valid scrape frame at every possible cut.
+    for cut in 0..good.len() {
+        hostile.push(good[..cut].to_vec());
+    }
+    // A valid frame followed by a stray trailing byte on the stream.
+    let mut trailing = good.clone();
+    trailing.push(0xAA);
+    hostile.push(trailing);
+    // Hostile length prefixes ahead of the magic.
+    hostile.push(vec![0xff, 0xff, 0xff, 0xff, b'V', b'R', b'M', b'1']);
+    hostile.push(vec![0x00, 0x00, 0x00, 0x03, b'V', b'R', b'M']);
+    // Single-byte corruptions across the whole frame (length prefix,
+    // magic, id, flags).
+    for i in 0..good.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut f = good.clone();
+            f[i] ^= bit;
+            hostile.push(f);
+        }
+    }
+
+    for bytes in &hostile {
+        let mut s = TcpStream::connect(addr).expect("connect raw");
+        s.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let _ = s.write_all(bytes);
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut sink = Vec::new();
+        let _ = s.read_to_end(&mut sink);
+    }
+
+    // The server survived: scraping and inference both still work.
+    let text = vserve_net::scrape(addr).expect("post-gauntlet scrape");
+    assert!(text.contains("vserve_up 1"));
+    let client = NetClient::connect(addr, ClientOptions::default()).expect("connect");
+    assert_eq!(client.infer(&payload(6)).expect("infer").output.len(), 10);
+}
+
+/// Happy-path scrape over the wire: after real traffic, the exposition
+/// reflects it — completed counts, per-stage rows including the wire's
+/// own transfer stage, and latency quantiles.
+#[test]
+fn scrape_exposes_served_traffic_over_the_wire() {
+    let server = NetServer::bind(
+        model(),
+        NetOptions {
+            live: opts(),
+            ..NetOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let client = NetClient::connect(addr, ClientOptions::default()).expect("connect");
+    for i in 0..5u64 {
+        client.infer(&payload(40 + i)).expect("infer");
+    }
+
+    let text = client.scrape().expect("scrape");
+    assert!(text.contains("vserve_up 1"));
+    assert!(text.contains("vserve_requests_completed_total 5"));
+    assert!(text.contains("# TYPE vserve_latency_seconds summary"));
+    assert!(text.contains("vserve_latency_seconds{quantile=\"0.99\"}"));
+    assert!(text.contains("vserve_stage_seconds_total{stage=\"0-net-transfer\"}"));
+    assert!(text.contains("vserve_stage_seconds_total{stage=\"4-inference\"}"));
+    // Scraping is read-only: it must not disturb request accounting.
+    assert_eq!(server.metrics().live.completed, 5);
+    // And the free-function scrape on a dedicated connection agrees.
+    let again = vserve_net::scrape(addr).expect("scrape via free fn");
+    assert!(again.contains("vserve_requests_completed_total 5"));
+}
