@@ -1,4 +1,5 @@
-//! Kernel micro-benchmarks: naive vs tiled vs parallel compute paths.
+//! Kernel micro-benchmarks: naive vs tiled vs parallel compute paths,
+//! scalar vs SIMD dispatch.
 //!
 //! Times the hot kernels behind the paper's preprocessing + inference
 //! pipeline at the testbed shapes (224/336/448 px inputs, batch 1-32):
@@ -7,10 +8,16 @@
 //! * `conv2d_batch_ref` vs `conv2d_batch_into` (scratch-reusing, serial
 //!   and multi-threaded) on the 3->32 stride-2 stem convolution,
 //! * sequential vs parallel JPEG decode,
-//! * sequential vs parallel resize + normalize preprocessing.
+//! * sequential vs parallel resize + normalize preprocessing,
+//! * the fused resize→normalize→tensor kernel.
 //!
-//! Every variant is checked bit-identical to its naive reference before
-//! it is timed, so a speedup here is never bought with a numeric drift.
+//! Every SIMD-routed variant (`gemm_tiled`, conv, decode, fused
+//! preprocess) is additionally timed once per dispatch level — forced
+//! scalar and the host's best vector level — and each record carries a
+//! `dispatch` column naming the level it ran under, so the scalar-vs-simd
+//! uplift is a first-class column of `BENCH_kernels.json`. Every variant
+//! is checked bit-identical to its naive scalar reference before it is
+//! timed, so a speedup here is never bought with a numeric drift.
 //!
 //! Results are printed as a table and appended as JSON lines to
 //! `BENCH_kernels.json` (override with `--out PATH`). `--smoke` shrinks
@@ -23,6 +30,7 @@ use std::time::Instant;
 use vserve_compute::{Backend, Scratch};
 use vserve_device::ImageSpec;
 use vserve_dnn::kernels;
+use vserve_simd::Level;
 use vserve_tensor::{ops, Image};
 use vserve_workload::synthetic_jpeg;
 
@@ -32,6 +40,8 @@ struct Record {
     variant: &'static str,
     shape: String,
     threads: usize,
+    /// SIMD dispatch level the variant ran under.
+    dispatch: &'static str,
     secs: f64,
     /// Work rate in the bench's natural unit (GFLOP/s or Mpix/s).
     rate: f64,
@@ -43,12 +53,13 @@ impl Record {
     fn json(&self, host_cores: usize, smoke: bool) -> String {
         format!(
             "{{\"bench\":\"{}\",\"variant\":\"{}\",\"shape\":\"{}\",\"threads\":{},\
-             \"secs\":{:.6},\"{}\":{:.3},\"speedup_vs_naive\":{:.3},\
+             \"dispatch\":\"{}\",\"secs\":{:.6},\"{}\":{:.3},\"speedup_vs_naive\":{:.3},\
              \"host_cores\":{},\"smoke\":{}}}",
             self.bench,
             self.variant,
             self.shape,
             self.threads,
+            self.dispatch,
             self.secs,
             self.rate_unit,
             self.rate,
@@ -56,6 +67,19 @@ impl Record {
             host_cores,
             smoke
         )
+    }
+}
+
+/// Dispatch levels to sweep: forced scalar plus the host's best vector
+/// level (when it has one). On a vectorless host this is just `scalar`,
+/// and the records say so.
+fn dispatch_levels() -> Vec<Level> {
+    vserve_simd::reset_level();
+    let native = vserve_simd::active_level();
+    if native.is_scalar() {
+        vec![Level::Scalar]
+    } else {
+        vec![Level::Scalar, native]
     }
 }
 
@@ -99,33 +123,39 @@ fn bench_gemm(records: &mut Vec<Record>, smoke: bool, par_threads: usize) {
         variant: "naive",
         shape: shape.clone(),
         threads: 1,
+        dispatch: Level::Scalar.name(),
         secs: naive,
         rate: gflop / naive,
         rate_unit: "gflops",
         speedup_vs_naive: 1.0,
     });
 
-    for (variant, bk) in [
-        ("tiled_serial", Backend::serial()),
-        ("tiled_parallel", Backend::new(par_threads)),
-    ] {
-        let mut scratch = Scratch::new();
-        kernels::gemm_tiled(&bk, &mut scratch, &a, &b, &mut c_tiled, m, k, n);
-        assert_eq!(c_naive, c_tiled, "gemm_tiled diverged from naive gemm");
-        let secs = time_best(reps, || {
-            kernels::gemm_tiled(&bk, &mut scratch, &a, &b, &mut c_tiled, m, k, n)
-        });
-        records.push(Record {
-            bench: "gemm",
-            variant,
-            shape: shape.clone(),
-            threads: bk.threads(),
-            secs,
-            rate: gflop / secs,
-            rate_unit: "gflops",
-            speedup_vs_naive: naive / secs,
-        });
+    for level in dispatch_levels() {
+        vserve_simd::set_level(level);
+        for (variant, bk) in [
+            ("tiled_serial", Backend::serial()),
+            ("tiled_parallel", Backend::new(par_threads)),
+        ] {
+            let mut scratch = Scratch::new();
+            kernels::gemm_tiled(&bk, &mut scratch, &a, &b, &mut c_tiled, m, k, n);
+            assert_eq!(c_naive, c_tiled, "gemm_tiled diverged from naive gemm");
+            let secs = time_best(reps, || {
+                kernels::gemm_tiled(&bk, &mut scratch, &a, &b, &mut c_tiled, m, k, n)
+            });
+            records.push(Record {
+                bench: "gemm",
+                variant,
+                shape: shape.clone(),
+                threads: bk.threads(),
+                dispatch: level.name(),
+                secs,
+                rate: gflop / secs,
+                rate_unit: "gflops",
+                speedup_vs_naive: naive / secs,
+            });
+        }
     }
+    vserve_simd::reset_level();
 }
 
 fn bench_conv(records: &mut Vec<Record>, smoke: bool, par_threads: usize) {
@@ -177,36 +207,21 @@ fn bench_conv(records: &mut Vec<Record>, smoke: bool, par_threads: usize) {
             variant: "naive",
             shape: shape.clone(),
             threads: 1,
+            dispatch: Level::Scalar.name(),
             secs: naive,
             rate: flops / naive / 1e9,
             rate_unit: "gflops",
             speedup_vs_naive: 1.0,
         });
 
-        for (variant, bk) in [
-            ("tiled_serial", Backend::serial()),
-            ("tiled_parallel", Backend::new(par_threads)),
-        ] {
-            let mut scratch = Scratch::new();
-            let mut out = Vec::new();
-            kernels::conv2d_batch_into(
-                &bk,
-                &mut scratch,
-                &input,
-                batch,
-                &weight,
-                &bias,
-                in_c,
-                px,
-                px,
-                out_c,
-                k,
-                stride,
-                pad,
-                &mut out,
-            );
-            assert_eq!(ref_out, out, "conv2d_batch_into diverged from reference");
-            let secs = time_best(reps, || {
+        for level in dispatch_levels() {
+            vserve_simd::set_level(level);
+            for (variant, bk) in [
+                ("tiled_serial", Backend::serial()),
+                ("tiled_parallel", Backend::new(par_threads)),
+            ] {
+                let mut scratch = Scratch::new();
+                let mut out = Vec::new();
                 kernels::conv2d_batch_into(
                     &bk,
                     &mut scratch,
@@ -223,18 +238,39 @@ fn bench_conv(records: &mut Vec<Record>, smoke: bool, par_threads: usize) {
                     pad,
                     &mut out,
                 );
-            });
-            records.push(Record {
-                bench: "conv2d_batch",
-                variant,
-                shape: shape.clone(),
-                threads: bk.threads(),
-                secs,
-                rate: flops / secs / 1e9,
-                rate_unit: "gflops",
-                speedup_vs_naive: naive / secs,
-            });
+                assert_eq!(ref_out, out, "conv2d_batch_into diverged from reference");
+                let secs = time_best(reps, || {
+                    kernels::conv2d_batch_into(
+                        &bk,
+                        &mut scratch,
+                        &input,
+                        batch,
+                        &weight,
+                        &bias,
+                        in_c,
+                        px,
+                        px,
+                        out_c,
+                        k,
+                        stride,
+                        pad,
+                        &mut out,
+                    );
+                });
+                records.push(Record {
+                    bench: "conv2d_batch",
+                    variant,
+                    shape: shape.clone(),
+                    threads: bk.threads(),
+                    dispatch: level.name(),
+                    secs,
+                    rate: flops / secs / 1e9,
+                    rate_unit: "gflops",
+                    speedup_vs_naive: naive / secs,
+                });
+            }
         }
+        vserve_simd::reset_level();
     }
 }
 
@@ -245,6 +281,7 @@ fn bench_decode(records: &mut Vec<Record>, smoke: bool, par_threads: usize) {
     let mpix = (px * px) as f64 / 1e6;
     let shape = format!("{px}px");
 
+    vserve_simd::set_level(Level::Scalar);
     let ref_img = vserve_codec::decode(&jpeg).expect("decode");
     let naive = time_best(reps, || {
         vserve_codec::decode(&jpeg).expect("decode");
@@ -254,33 +291,59 @@ fn bench_decode(records: &mut Vec<Record>, smoke: bool, par_threads: usize) {
         variant: "serial",
         shape: shape.clone(),
         threads: 1,
+        dispatch: Level::Scalar.name(),
         secs: naive,
         rate: mpix / naive,
         rate_unit: "mpix_per_s",
         speedup_vs_naive: 1.0,
     });
 
-    let bk = Backend::new(par_threads);
-    let mut scratch = Scratch::new();
-    let img = vserve_codec::decode_with(&bk, &mut scratch, &jpeg).expect("decode");
-    assert_eq!(
-        ref_img.as_bytes(),
-        img.as_bytes(),
-        "parallel decode diverged"
-    );
-    let secs = time_best(reps, || {
-        vserve_codec::decode_with(&bk, &mut scratch, &jpeg).expect("decode");
-    });
-    records.push(Record {
-        bench: "jpeg_decode",
-        variant: "parallel",
-        shape,
-        threads: bk.threads(),
-        secs,
-        rate: mpix / secs,
-        rate_unit: "mpix_per_s",
-        speedup_vs_naive: naive / secs,
-    });
+    for level in dispatch_levels() {
+        vserve_simd::set_level(level);
+        if !level.is_scalar() {
+            // SIMD serial decode: same bits, IDCT + color-convert on the
+            // vector units.
+            let img = vserve_codec::decode(&jpeg).expect("decode");
+            assert_eq!(ref_img.as_bytes(), img.as_bytes(), "simd decode diverged");
+            let secs = time_best(reps, || {
+                vserve_codec::decode(&jpeg).expect("decode");
+            });
+            records.push(Record {
+                bench: "jpeg_decode",
+                variant: "serial",
+                shape: shape.clone(),
+                threads: 1,
+                dispatch: level.name(),
+                secs,
+                rate: mpix / secs,
+                rate_unit: "mpix_per_s",
+                speedup_vs_naive: naive / secs,
+            });
+        }
+        let bk = Backend::new(par_threads);
+        let mut scratch = Scratch::new();
+        let img = vserve_codec::decode_with(&bk, &mut scratch, &jpeg).expect("decode");
+        assert_eq!(
+            ref_img.as_bytes(),
+            img.as_bytes(),
+            "parallel decode diverged"
+        );
+        let secs = time_best(reps, || {
+            vserve_codec::decode_with(&bk, &mut scratch, &jpeg).expect("decode");
+        });
+        records.push(Record {
+            bench: "jpeg_decode",
+            variant: "parallel",
+            shape: shape.clone(),
+            threads: bk.threads(),
+            dispatch: level.name(),
+            secs,
+            rate: mpix / secs,
+            rate_unit: "mpix_per_s",
+            speedup_vs_naive: naive / secs,
+        });
+    }
+    vserve_simd::reset_level();
 }
 
 fn bench_preprocess(records: &mut Vec<Record>, smoke: bool, par_threads: usize) {
@@ -294,6 +357,9 @@ fn bench_preprocess(records: &mut Vec<Record>, smoke: bool, par_threads: usize) 
     let mpix = (w * h) as f64 / 1e6;
     let shape = format!("{w}x{h}->{side}");
 
+    // The unfused chain's resize/normalize passes are not SIMD-routed;
+    // record them under the scalar label regardless of the host level.
+    vserve_simd::set_level(Level::Scalar);
     let ref_t = ops::standard_preprocess(&img, side);
     let naive = time_best(reps, || {
         ops::standard_preprocess(&img, side);
@@ -303,6 +369,7 @@ fn bench_preprocess(records: &mut Vec<Record>, smoke: bool, par_threads: usize) 
         variant: "serial",
         shape: shape.clone(),
         threads: 1,
+        dispatch: Level::Scalar.name(),
         secs: naive,
         rate: mpix / naive,
         rate_unit: "mpix_per_s",
@@ -324,11 +391,56 @@ fn bench_preprocess(records: &mut Vec<Record>, smoke: bool, par_threads: usize) 
         variant: "parallel",
         shape,
         threads: bk.threads(),
+        dispatch: Level::Scalar.name(),
         secs,
         rate: mpix / secs,
         rate_unit: "mpix_per_s",
         speedup_vs_naive: naive / secs,
     });
+    vserve_simd::reset_level();
+}
+
+fn bench_fused_preprocess(records: &mut Vec<Record>, smoke: bool) {
+    let (w, h, side) = if smoke {
+        (160, 120, 64)
+    } else {
+        (640, 480, 224)
+    };
+    let reps = if smoke { 1 } else { 5 };
+    let img = Image::noise(w, h, 29);
+    let mpix = (w * h) as f64 / 1e6;
+    let shape = format!("{w}x{h}->{side}");
+
+    vserve_simd::set_level(Level::Scalar);
+    let ref_t = ops::fused_preprocess(&img, side);
+    let mut naive = f64::INFINITY;
+    for level in dispatch_levels() {
+        vserve_simd::set_level(level);
+        let t = ops::fused_preprocess(&img, side);
+        assert_eq!(
+            ref_t.as_slice(),
+            t.as_slice(),
+            "fused preprocess diverged at {level}"
+        );
+        let secs = time_best(reps, || {
+            ops::fused_preprocess(&img, side);
+        });
+        if level.is_scalar() {
+            naive = secs;
+        }
+        records.push(Record {
+            bench: "fused_preprocess",
+            variant: "serial",
+            shape: shape.clone(),
+            threads: 1,
+            dispatch: level.name(),
+            secs,
+            rate: mpix / secs,
+            rate_unit: "mpix_per_s",
+            speedup_vs_naive: naive / secs,
+        });
+    }
+    vserve_simd::reset_level();
 }
 
 fn main() {
@@ -350,18 +462,27 @@ fn main() {
     bench_conv(&mut records, smoke, par_threads);
     bench_decode(&mut records, smoke, par_threads);
     bench_preprocess(&mut records, smoke, par_threads);
+    bench_fused_preprocess(&mut records, smoke);
 
     let mut table = String::new();
     let _ = writeln!(
         table,
-        "{:<14} {:<14} {:<12} {:>7} {:>12} {:>14} {:>9}",
-        "bench", "variant", "shape", "threads", "secs", "rate", "speedup"
+        "{:<16} {:<14} {:<12} {:>7} {:<8} {:>12} {:>14} {:>9}",
+        "bench", "variant", "shape", "threads", "dispatch", "secs", "rate", "speedup"
     );
     for r in &records {
         let _ = writeln!(
             table,
-            "{:<14} {:<14} {:<12} {:>7} {:>12.6} {:>9.3} {:>4} {:>9.2}x",
-            r.bench, r.variant, r.shape, r.threads, r.secs, r.rate, r.rate_unit, r.speedup_vs_naive
+            "{:<16} {:<14} {:<12} {:>7} {:<8} {:>12.6} {:>9.3} {:>4} {:>9.2}x",
+            r.bench,
+            r.variant,
+            r.shape,
+            r.threads,
+            r.dispatch,
+            r.secs,
+            r.rate,
+            r.rate_unit,
+            r.speedup_vs_naive
         );
     }
     print!("{table}");

@@ -127,8 +127,16 @@ pub fn idct_scaled(coeffs: &[f32; 64], n: usize, out: &mut [f32]) {
 }
 
 /// Inverse 8×8 DCT (raster order in, raster out).
+///
+/// Routes through the `vserve-simd` 8-lane micro-kernel when runtime
+/// dispatch selects a vector level; both paths accumulate each output in
+/// ascending reduction order with unfused multiply-add, so the result is
+/// bit-identical either way.
 pub fn idct(coeffs: &[f32; 64]) -> [f32; 64] {
     let c = basis();
+    if !vserve_simd::active_level().is_scalar() {
+        return vserve_simd::kernels::idct8x8(coeffs, c);
+    }
     // rows: tmp[v][x] = Σu coeffs[v][u] C[u][x]
     let mut tmp = [0f32; 64];
     for v in 0..8 {
@@ -263,6 +271,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn idct_bit_identical_across_simd_levels() {
+        // The SIMD route must be invisible: same bits as the scalar loop
+        // at every dispatch level available on this host.
+        let mut coeffs = [0f32; 64];
+        for (i, v) in coeffs.iter_mut().enumerate() {
+            *v = ((i * 37 % 255) as f32 - 127.0) / 3.0;
+        }
+        vserve_simd::set_level(vserve_simd::Level::Scalar);
+        let want = idct(&coeffs);
+        for level in vserve_simd::available_levels() {
+            vserve_simd::set_level(level);
+            let got = idct(&coeffs);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "level={level}"
+            );
+        }
+        vserve_simd::reset_level();
     }
 
     proptest! {

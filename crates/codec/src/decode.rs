@@ -681,8 +681,45 @@ fn assemble_image(
             .map_err(|_| DecodeJpegError::Malformed("image assembly size mismatch"));
     }
 
+    let simd = !vserve_simd::active_level().is_scalar();
     let mut data = vec![0u8; w * h * 3];
     bk.par_chunks_mut(&mut data, w * 3, |y, row| {
+        if simd {
+            // Strip-at-a-time: gather the (non-contiguous) upsample taps
+            // for up to STRIP pixels into stack buffers, then hand the
+            // whole strip to the SIMD color-convert kernel. Per-element
+            // arithmetic matches the scalar loop below bit for bit.
+            const STRIP: usize = 64;
+            let mut comp_bufs = [[0f32; STRIP]; 3];
+            let mut x0 = 0;
+            while x0 < w {
+                let len = STRIP.min(w - x0);
+                for (ci, comp) in frame.components.iter().enumerate() {
+                    let (pw, ph) = plane_dims[ci];
+                    let sy = (y * comp.v / max_v).min(ph - 1);
+                    let prow = &planes[ci][sy * pw..sy * pw + pw];
+                    let buf = &mut comp_bufs[ci][..len];
+                    if comp.h == max_h {
+                        // Full-resolution plane: sx == x (pw ≥ w).
+                        buf.copy_from_slice(&prow[x0..x0 + len]);
+                    } else {
+                        for (j, b) in buf.iter_mut().enumerate() {
+                            let sx = ((x0 + j) * comp.h / max_h).min(pw - 1);
+                            *b = prow[sx];
+                        }
+                    }
+                }
+                let [yb, cbb, crb] = &comp_bufs;
+                vserve_simd::kernels::ycbcr_to_rgb_row(
+                    &yb[..len],
+                    &cbb[..len],
+                    &crb[..len],
+                    &mut row[x0 * 3..(x0 + len) * 3],
+                );
+                x0 += len;
+            }
+            return;
+        }
         for x in 0..w {
             let mut ycc = [0f32; 3];
             for (ci, comp) in frame.components.iter().enumerate() {

@@ -213,6 +213,36 @@ mod tests {
     }
 
     #[test]
+    fn decode_bit_identical_across_simd_levels() {
+        // Full decode (IDCT blocks + upsample/color-convert) must produce
+        // the same bytes at every dispatch level. Odd width exercises the
+        // strip tail; S420 exercises the subsampled gather path.
+        for subsampling in [Subsampling::S444, Subsampling::S420] {
+            let img = Image::gradient(97, 43);
+            let bytes = encode(
+                &img,
+                &EncodeOptions {
+                    quality: 85,
+                    subsampling,
+                    ..EncodeOptions::default()
+                },
+            );
+            vserve_simd::set_level(vserve_simd::Level::Scalar);
+            let want = decode(&bytes).expect("scalar decode");
+            for level in vserve_simd::available_levels() {
+                vserve_simd::set_level(level);
+                let got = decode(&bytes).expect("decode");
+                assert_eq!(
+                    want.as_bytes(),
+                    got.as_bytes(),
+                    "level={level} subsampling={subsampling:?}"
+                );
+            }
+            vserve_simd::reset_level();
+        }
+    }
+
+    #[test]
     fn quality_controls_size_and_fidelity() {
         let img = Image::noise(96, 96, 3);
         let low = encode(

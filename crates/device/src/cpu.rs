@@ -2,6 +2,17 @@
 
 use crate::ImageSpec;
 
+/// Per-pixel SIMD uplift measured by `cargo run --bin kernels` on the
+/// reference AVX-512 host: geometric mean of the `jpeg_decode` and
+/// `fused_preprocess` simd-vs-scalar speedups in `BENCH_kernels.json`.
+/// Hosts without vector units run the same code at factor 1.0.
+///
+/// Latest full run (AVX-512): jpeg_decode serial 1.905x, fused_preprocess
+/// 6.204x → geomean 3.44. Rounded down to stay conservative about the
+/// decode share, which carries non-vector Huffman work inside the
+/// measured end-to-end number.
+pub const SIMD_PX_UPLIFT_MEASURED: f64 = 3.4;
+
 /// Analytic cost model of the host CPU.
 ///
 /// Preprocessing time is the sum of JPEG decode (per-pixel DCT/upsample
@@ -59,6 +70,14 @@ pub struct CpuModel {
     pub idle_w: f64,
     /// Marginal power per busy core under vectorized decode load, watts.
     pub core_w: f64,
+    /// Vector-unit efficiency factor for the per-pixel arithmetic kernels
+    /// (IDCT + color-convert, bilinear interpolation, normalization):
+    /// those per-pixel costs are divided by this factor. `1.0` models the
+    /// scalar kernels the coefficients were originally calibrated against;
+    /// [`CpuModel::i9_13900k_simd`] plants the uplift measured by the
+    /// `kernels` bench under runtime SIMD dispatch. Per-byte Huffman work
+    /// and fixed per-request costs are sequential and stay uncut.
+    pub simd_px_uplift: f64,
 }
 
 impl CpuModel {
@@ -80,25 +99,57 @@ impl CpuModel {
             serialize_bytes_per_s: 2.0e9,
             idle_w: 35.0,
             core_w: 8.0,
+            simd_px_uplift: 1.0,
         }
     }
 
-    /// Single-thread JPEG decode time for `img`, seconds.
+    /// [`i9_13900k`](Self::i9_13900k) with the per-pixel SIMD uplift
+    /// measured by the `kernels` bench on an AVX-512 host (geometric mean
+    /// of the IDCT + color-convert and fused resize/normalize kernel
+    /// speedups under runtime dispatch vs forced-scalar; see
+    /// `BENCH_kernels.json`). Huffman and fixed costs are unchanged, so
+    /// large-image decode stays per-byte-bound exactly as the paper
+    /// measures.
+    pub fn i9_13900k_simd() -> Self {
+        CpuModel {
+            simd_px_uplift: SIMD_PX_UPLIFT_MEASURED,
+            ..Self::i9_13900k()
+        }
+    }
+
+    /// Returns the model with the per-pixel SIMD uplift factor replaced.
+    /// Values are clamped to ≥ 1.0 — a vector unit never makes the scalar
+    /// baseline slower in this model.
+    pub fn with_simd_uplift(mut self, uplift: f64) -> Self {
+        self.simd_px_uplift = uplift.max(1.0);
+        self
+    }
+
+    /// Per-pixel cost divisor for the vectorizable kernels.
+    fn px_uplift(&self) -> f64 {
+        self.simd_px_uplift.max(1.0)
+    }
+
+    /// Single-thread JPEG decode time for `img`, seconds. The per-pixel
+    /// IDCT/upsample/color-convert work is divided by the SIMD uplift;
+    /// sequential Huffman and fixed setup are not.
     pub fn decode_time(&self, img: &ImageSpec) -> f64 {
         self.decode_fixed_s
-            + self.decode_s_per_px * img.pixels() as f64
+            + self.decode_s_per_px * img.pixels() as f64 / self.px_uplift()
             + self.decode_s_per_byte * img.compressed_bytes as f64
     }
 
-    /// Single-thread resize time from `img` to `dst_side²`, seconds.
+    /// Single-thread resize time from `img` to `dst_side²`, seconds. The
+    /// per-destination-pixel interpolation arithmetic vectorizes; the
+    /// strided source reads are memory-bound and do not.
     pub fn resize_time(&self, img: &ImageSpec, dst_side: usize) -> f64 {
         self.resize_s_per_src_px * img.pixels() as f64
-            + self.resize_s_per_dst_px * (dst_side * dst_side) as f64
+            + self.resize_s_per_dst_px * (dst_side * dst_side) as f64 / self.px_uplift()
     }
 
     /// Single-thread normalization time at `dst_side²`, seconds.
     pub fn normalize_time(&self, dst_side: usize) -> f64 {
-        self.normalize_s_per_px * (dst_side * dst_side * 3) as f64
+        self.normalize_s_per_px * (dst_side * dst_side * 3) as f64 / self.px_uplift()
     }
 
     /// Full single-thread preprocessing time (decode + resize + normalize)
@@ -128,7 +179,7 @@ impl CpuModel {
     pub fn decode_time_scaled(&self, img: &ImageSpec, denom: usize) -> f64 {
         let d2 = (denom * denom).max(1) as f64;
         self.decode_fixed_s
-            + self.decode_s_per_px * img.pixels() as f64 / d2
+            + self.decode_s_per_px * img.pixels() as f64 / d2 / self.px_uplift()
             + self.decode_s_per_byte * img.compressed_bytes as f64
     }
 
@@ -143,7 +194,7 @@ impl CpuModel {
         let scaled_px = (img.pixels() / (d * d)).max(1) as f64;
         self.decode_time_scaled(img, d)
             + self.resize_s_per_src_px * scaled_px
-            + self.resize_s_per_dst_px * (dst_side * dst_side) as f64
+            + self.resize_s_per_dst_px * (dst_side * dst_side) as f64 / self.px_uplift()
     }
 
     /// Cost of serving a preprocessed tensor from the content-addressed
@@ -257,6 +308,38 @@ mod tests {
         // end-to-end time for a medium image, not a dominant stage.
         assert!(rpc_m < 0.25 * c.preprocess_time(&m, 224), "rpc {rpc_m}");
         assert!(rpc_m > 0.0);
+    }
+
+    #[test]
+    fn simd_uplift_cuts_pixel_work_but_not_huffman() {
+        let scalar = cpu();
+        let simd = CpuModel::i9_13900k_simd();
+        assert!(simd.simd_px_uplift > 1.0);
+        let m = ImageSpec::medium();
+        let l = ImageSpec::large();
+        // Vectorized preprocessing is strictly faster...
+        assert!(simd.preprocess_time(&m, 224) < scalar.preprocess_time(&m, 224));
+        assert!(simd.preprocess_time_fast(&l, 224) < scalar.preprocess_time_fast(&l, 224));
+        // ...but the sequential Huffman + fixed terms are untouched, so
+        // the saving is bounded by the per-pixel share.
+        let floor = scalar.decode_fixed_s + scalar.decode_s_per_byte * l.compressed_bytes as f64;
+        assert!(simd.decode_time(&l) > floor);
+        let px_share = scalar.decode_s_per_px * l.pixels() as f64;
+        assert!(scalar.decode_time(&l) - simd.decode_time(&l) <= px_share);
+        // The paper's headline ordering survives recalibration.
+        let s_t = simd.preprocess_time(&ImageSpec::small(), 224);
+        let m_t = simd.preprocess_time(&m, 224);
+        let l_t = simd.preprocess_time(&l, 224);
+        assert!(s_t < m_t && m_t < l_t);
+    }
+
+    #[test]
+    fn simd_uplift_clamps_below_one() {
+        let c = cpu().with_simd_uplift(0.25);
+        assert_eq!(c.simd_px_uplift, 1.0);
+        assert_eq!(c.preprocess_time(&ImageSpec::medium(), 224), {
+            cpu().preprocess_time(&ImageSpec::medium(), 224)
+        });
     }
 
     #[test]

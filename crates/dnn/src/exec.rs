@@ -1,5 +1,6 @@
 //! Model instantiation (weights) and forward execution.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use rand::rngs::StdRng;
@@ -62,6 +63,11 @@ pub struct Model {
     /// mutex so `forward` can stay `&self`; concurrent callers that lose
     /// the race fall back to a per-call arena rather than serializing.
     scratch: Mutex<Scratch>,
+    /// Forward passes that lost the `scratch` race and paid for a fresh
+    /// local arena. The fallback used to be silent, which hid real
+    /// allocation pressure from concurrent callers; see
+    /// [`Model::scratch_fallbacks`].
+    scratch_fallbacks: AtomicU64,
 }
 
 impl Clone for Model {
@@ -71,6 +77,8 @@ impl Clone for Model {
             weights: self.weights.clone(),
             backend: self.backend.clone(),
             scratch: Mutex::new(Scratch::new()),
+            // A clone has its own arena and has never lost a race on it.
+            scratch_fallbacks: AtomicU64::new(0),
         }
     }
 }
@@ -104,6 +112,7 @@ impl Model {
             weights,
             backend: Backend::serial(),
             scratch: Mutex::new(Scratch::new()),
+            scratch_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -119,6 +128,16 @@ impl Model {
     /// The compute backend the forward pass runs on.
     pub fn backend(&self) -> &Backend {
         &self.backend
+    }
+
+    /// Number of forward passes that found the shared scratch arena busy
+    /// and allocated a throwaway local arena instead. Zero for purely
+    /// sequential use; a steadily climbing value under concurrent
+    /// `forward` calls means the process is paying per-request allocation
+    /// costs the arena was meant to amortize (shard the model, or clone
+    /// it per worker).
+    pub fn scratch_fallbacks(&self) -> u64 {
+        self.scratch_fallbacks.load(Ordering::Relaxed)
     }
 
     fn init_node(op: &Op, input: &Shape, rng: &mut StdRng) -> Vec<Vec<f32>> {
@@ -244,7 +263,10 @@ impl Model {
         let mut guard = self.scratch.try_lock().ok();
         let scratch: &mut Scratch = match guard.as_deref_mut() {
             Some(s) => s,
-            None => local.insert(Scratch::new()),
+            None => {
+                self.scratch_fallbacks.fetch_add(1, Ordering::Relaxed);
+                local.insert(Scratch::new())
+            }
         };
         let mut values: Vec<Option<Activation>> = vec![None; self.graph.nodes().len()];
         values[0] = Some(act);
@@ -749,6 +771,48 @@ mod tests {
             warm,
             "steady-state forwards must not grow the scratch arena"
         );
+    }
+
+    #[test]
+    fn scratch_fallbacks_zero_when_sequential() {
+        let model = Model::from_graph(tiny_cnn(), 2);
+        let input = varied_input(1);
+        for _ in 0..4 {
+            let _ = model.forward(&input).unwrap();
+        }
+        assert_eq!(
+            model.scratch_fallbacks(),
+            0,
+            "sequential forwards never lose the scratch race"
+        );
+    }
+
+    #[test]
+    fn scratch_fallbacks_count_contended_forwards() {
+        // Pin the shared arena from one thread, then forward from others:
+        // every one of those passes must take the local-arena fallback and
+        // be counted, while outputs stay identical to the uncontended run.
+        let model = std::sync::Arc::new(Model::from_graph(tiny_cnn(), 2));
+        let input = varied_input(1);
+        let want = model.forward(&input).unwrap();
+        let guard = model.scratch.lock().unwrap();
+        let contended = 3;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..contended)
+                .map(|_| {
+                    let model = std::sync::Arc::clone(&model);
+                    let input = input.clone();
+                    s.spawn(move || model.forward(&input).unwrap())
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap().as_slice(), want.as_slice());
+            }
+        });
+        drop(guard);
+        assert_eq!(model.scratch_fallbacks(), contended);
+        // A clone (of the Model, not the Arc) starts from a clean slate.
+        assert_eq!(Model::clone(&model).scratch_fallbacks(), 0);
     }
 
     #[test]

@@ -30,6 +30,11 @@ const GEMM_MR: usize = 4;
 /// Columns per GEMM register tile (and packed-B panel width).
 const GEMM_NR: usize = 8;
 
+// The SIMD micro-kernel is written against the same tile shape; a drift
+// in either constant must fail loudly at compile time, not mis-slice.
+const _: () = assert!(GEMM_MR == vserve_simd::kernels::TILE_MR);
+const _: () = assert!(GEMM_NR == vserve_simd::kernels::TILE_NR);
+
 thread_local! {
     /// Arena backing the legacy kernel entry points, so even callers that
     /// never construct a [`Scratch`] stop paying per-call allocations.
@@ -96,6 +101,13 @@ pub fn gemm_tiled(
     assert_eq!(b.len(), k * n, "B dimensions mismatch");
     assert_eq!(c.len(), m * n, "C dimensions mismatch");
     if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // An empty reduction is a defined product: C = 0 (matches the
+        // reference kernel's unconditional fill). Returning here also
+        // keeps `panels_per_block` away from a divide-by-zero.
+        c.fill(0.0);
         return;
     }
     let panels = n.div_ceil(GEMM_NR);
@@ -192,6 +204,25 @@ fn gemm_tile(
     acc
 }
 
+/// Routes one register tile to the runtime-selected SIMD micro-kernel,
+/// or to the scalar [`gemm_tile`] when dispatch resolves to scalar. Both
+/// accumulate full-`k` ascending-`p` with unfused multiply-add, so the
+/// choice is invisible in the output bits.
+#[inline]
+fn gemm_tile_dispatch(
+    a: &[f32],
+    panel: &[f32],
+    i0: usize,
+    mr: usize,
+    k: usize,
+) -> [[f32; GEMM_NR]; GEMM_MR] {
+    if vserve_simd::active_level().is_scalar() {
+        gemm_tile(a, panel, i0, mr, k)
+    } else {
+        vserve_simd::kernels::gemm_tile8(a, panel, i0, mr, k)
+    }
+}
+
 /// Computes the `[p0, p1)` panel range of `cband = A[i0..i0+mr] · B`
 /// from the packed panels. `mr` is inferred from the band length and may
 /// be short on the final band.
@@ -210,7 +241,7 @@ fn gemm_row_band(
         let j0 = pi * GEMM_NR;
         let cols = GEMM_NR.min(n - j0);
         let panel = &packed[pi * k * GEMM_NR..(pi + 1) * k * GEMM_NR];
-        let acc = gemm_tile(a, panel, i0, mr, k);
+        let acc = gemm_tile_dispatch(a, panel, i0, mr, k);
         for (r, accr) in acc.iter().enumerate().take(mr) {
             cband[r * n + j0..r * n + j0 + cols].copy_from_slice(&accr[..cols]);
         }
@@ -511,8 +542,9 @@ pub fn conv2d_batch_into(
 /// cache-hot across all channel bands; a panel straddling an image
 /// boundary is recomputed by both neighbours (at most one per image).
 /// Accumulation per output element is full-`k` ascending-`p` via
-/// [`gemm_tile`], then `+ bias` — exactly the reference order, so results
-/// are bit-identical to [`conv2d_batch_ref`] for any thread count.
+/// [`gemm_tile_dispatch`], then `+ bias` — exactly the reference order,
+/// so results are bit-identical to [`conv2d_batch_ref`] for any thread
+/// count and any SIMD dispatch level.
 #[allow(clippy::too_many_arguments)]
 fn conv_gemm_image(
     weight: &[f32],
@@ -541,7 +573,7 @@ fn conv_gemm_image(
                 let j0 = pi * GEMM_NR;
                 let cols = GEMM_NR.min(n - j0);
                 let panel = &packed[pi * k * GEMM_NR..(pi + 1) * k * GEMM_NR];
-                let acc = gemm_tile(weight, panel, i0, mr, k);
+                let acc = gemm_tile_dispatch(weight, panel, i0, mr, k);
                 let lo = j0.max(j_lo);
                 let hi = (j0 + cols).min(j_hi);
                 for (r, accr) in acc.iter().enumerate().take(mr) {
@@ -1055,6 +1087,113 @@ mod tests {
         assert!(g[0].abs() < 1e-3); // large negatives → ~0
         assert_eq!(g[1], 0.0);
         assert!((g[2] - 10.0).abs() < 1e-3); // large positives → identity
+    }
+
+    #[test]
+    fn gemm_tiled_degenerate_dimensions_match_naive() {
+        // Every zero-dimension combination is a defined product (C = 0 when
+        // k == 0, or C is empty). The tiled kernel used to divide by zero in
+        // `panels_per_block` when k == 0 on the serial path; this pins the
+        // fix as `tiled == naive`, dirty output buffer included.
+        for (m, k, n) in [
+            (0, 3, 4),
+            (3, 0, 4),
+            (3, 4, 0),
+            (0, 0, 4),
+            (0, 3, 0),
+            (3, 0, 0),
+            (0, 0, 0),
+            (7, 0, 11),
+        ] {
+            let a = pseudo(11, m * k);
+            let b = pseudo(13, k * n);
+            let mut reference = vec![f32::NAN; m * n];
+            gemm(&a, &b, &mut reference, m, k, n);
+            for threads in [1, 3] {
+                let mut tiled = vec![f32::NAN; m * n];
+                let mut scratch = Scratch::new();
+                gemm_tiled(
+                    &Backend::new(threads),
+                    &mut scratch,
+                    &a,
+                    &b,
+                    &mut tiled,
+                    m,
+                    k,
+                    n,
+                );
+                assert_eq!(
+                    reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    tiled.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "m={m} k={k} n={n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tiled_exact_on_dirty_recycled_scratch() {
+        // `pack_panels` leaves the tail columns of the final panel "at the
+        // zero fill" — which is only sound because `Scratch::take` hands
+        // back zeroed storage even when recycling. Poison the arena with a
+        // recycled buffer full of garbage, then run a ragged-n GEMM whose
+        // final panel has tail columns: any stale value leaking into the
+        // packed tail shows up as tiled != naive.
+        let (m, k, n) = (9, 17, 13); // n % GEMM_NR != 0 → real tail columns
+        let a = pseudo(3, m * k);
+        let b = pseudo(5, k * n);
+        let mut reference = vec![0.0; m * n];
+        gemm(&a, &b, &mut reference, m, k, n);
+        let mut scratch = Scratch::new();
+        let panels = n.div_ceil(GEMM_NR);
+        scratch.recycle(vec![f32::NAN; panels * k * GEMM_NR + 64]);
+        let mut tiled = vec![0.0; m * n];
+        gemm_tiled(
+            &Backend::serial(),
+            &mut scratch,
+            &a,
+            &b,
+            &mut tiled,
+            m,
+            k,
+            n,
+        );
+        assert_eq!(reference, tiled);
+    }
+
+    #[test]
+    fn gemm_tiled_bit_identical_across_simd_levels() {
+        // Same inputs through every dispatch level available on this host
+        // must produce the same bits as the naive oracle. Shapes straddle
+        // the MR/NR tile boundaries so ragged row and column tails run.
+        for (m, k, n) in [(1, 1, 1), (4, 8, 8), (7, 19, 13), (33, 40, 29)] {
+            let a = pseudo(17, m * k);
+            let b = pseudo(19, k * n);
+            let mut reference = vec![0.0; m * n];
+            gemm(&a, &b, &mut reference, m, k, n);
+            for level in vserve_simd::available_levels() {
+                let applied = vserve_simd::set_level(level);
+                assert_eq!(applied, level);
+                let mut tiled = vec![0.0; m * n];
+                let mut scratch = Scratch::new();
+                gemm_tiled(
+                    &Backend::serial(),
+                    &mut scratch,
+                    &a,
+                    &b,
+                    &mut tiled,
+                    m,
+                    k,
+                    n,
+                );
+                assert_eq!(
+                    reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    tiled.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "m={m} k={k} n={n} level={level}"
+                );
+            }
+            vserve_simd::reset_level();
+        }
     }
 
     proptest! {

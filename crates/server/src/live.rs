@@ -265,6 +265,12 @@ pub struct LiveMetrics {
     /// Preprocessed-tensor cache and coalescing counters
     /// (hits/misses/coalesced/evictions and resident bytes).
     pub preproc_cache: PreprocCacheStats,
+    /// Forward passes that found the model's shared scratch arena busy
+    /// and allocated a throwaway local arena instead (see
+    /// [`Model::scratch_fallbacks`]). Non-zero values mean concurrent
+    /// inference workers are contending on one model instance and paying
+    /// per-call allocations.
+    pub scratch_fallbacks: u64,
 }
 
 impl LiveMetrics {
@@ -382,6 +388,7 @@ struct Ready {
 /// A running live server; dropping it shuts down all worker threads.
 pub struct LiveServer {
     ingress: Option<Sender<Job>>,
+    model: Arc<Model>,
     handles: Vec<std::thread::JoinHandle<()>>,
     shared: Arc<Shared>,
     deadline: Option<Duration>,
@@ -756,6 +763,7 @@ impl LiveServer {
 
         LiveServer {
             ingress: Some(ingress_tx),
+            model: Arc::clone(&model),
             handles,
             shared,
             deadline: opts.deadline,
@@ -880,6 +888,7 @@ impl LiveServer {
             backend_threads: stats.threads,
             parallel_efficiency: stats.efficiency(),
             preproc_cache: cache_stats,
+            scratch_fallbacks: self.model.scratch_fallbacks(),
         }
     }
 }
@@ -941,6 +950,21 @@ mod tests {
             let r = rx.recv().unwrap().unwrap();
             assert_eq!(r.output.len(), 10);
         }
+    }
+
+    #[test]
+    fn metrics_surface_scratch_fallbacks() {
+        // With a single inference worker the model's scratch arena is
+        // never contended, so the counter must read zero — the field is
+        // here so operators can see when multi-worker configs start
+        // paying the silent local-arena fallback.
+        let server = tiny_server(4);
+        for i in 0..4 {
+            let _ = server
+                .infer(synthetic_jpeg(&ImageSpec::new(40, 40, 0), 60 + i))
+                .unwrap();
+        }
+        assert_eq!(server.metrics().scratch_fallbacks, 0);
     }
 
     #[test]

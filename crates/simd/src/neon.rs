@@ -1,0 +1,68 @@
+//! NEON (4-lane) implementation of [`F32x`] for aarch64.
+//!
+//! NEON is baseline on aarch64, so no runtime detection gate is needed;
+//! the dispatcher calls the generic kernel with this type directly.
+
+use std::arch::aarch64::*;
+
+use crate::F32x;
+
+/// 4 × f32 in a `float32x4_t`.
+#[derive(Clone, Copy)]
+pub struct NeonF32x(float32x4_t);
+
+impl F32x for NeonF32x {
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        NeonF32x(vdupq_n_f32(v))
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f32) -> Self {
+        NeonF32x(vld1q_f32(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f32) {
+        vst1q_f32(ptr, self.0);
+    }
+
+    #[inline(always)]
+    unsafe fn add(self, rhs: Self) -> Self {
+        NeonF32x(vaddq_f32(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn sub(self, rhs: Self) -> Self {
+        NeonF32x(vsubq_f32(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn mul(self, rhs: Self) -> Self {
+        NeonF32x(vmulq_f32(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn div(self, rhs: Self) -> Self {
+        NeonF32x(vdivq_f32(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn min(self, rhs: Self) -> Self {
+        NeonF32x(vminq_f32(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn max(self, rhs: Self) -> Self {
+        NeonF32x(vmaxq_f32(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn hsum(self) -> f32 {
+        let mut lanes = [0f32; 4];
+        vst1q_f32(lanes.as_mut_ptr(), self.0);
+        lanes.iter().fold(0.0, |acc, &v| acc + v)
+    }
+}

@@ -1,0 +1,65 @@
+//! One-lane implementation of [`F32x`] — the bit-identity oracle.
+//!
+//! Running a generic kernel with `ScalarF32x` executes exactly the f32
+//! expressions the pre-SIMD scalar kernels compiled to, one element at a
+//! time, which is what makes `vector == scalar` testable bit-for-bit.
+
+use crate::F32x;
+
+/// Single f32 "vector".
+#[derive(Clone, Copy, Debug)]
+pub struct ScalarF32x(f32);
+
+impl F32x for ScalarF32x {
+    const LANES: usize = 1;
+
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        ScalarF32x(v)
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f32) -> Self {
+        ScalarF32x(*ptr)
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f32) {
+        *ptr = self.0;
+    }
+
+    #[inline(always)]
+    unsafe fn add(self, rhs: Self) -> Self {
+        ScalarF32x(self.0 + rhs.0)
+    }
+
+    #[inline(always)]
+    unsafe fn sub(self, rhs: Self) -> Self {
+        ScalarF32x(self.0 - rhs.0)
+    }
+
+    #[inline(always)]
+    unsafe fn mul(self, rhs: Self) -> Self {
+        ScalarF32x(self.0 * rhs.0)
+    }
+
+    #[inline(always)]
+    unsafe fn div(self, rhs: Self) -> Self {
+        ScalarF32x(self.0 / rhs.0)
+    }
+
+    #[inline(always)]
+    unsafe fn min(self, rhs: Self) -> Self {
+        ScalarF32x(self.0.min(rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn max(self, rhs: Self) -> Self {
+        ScalarF32x(self.0.max(rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn hsum(self) -> f32 {
+        self.0
+    }
+}

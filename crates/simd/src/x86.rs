@@ -1,0 +1,133 @@
+//! AVX2 (8-lane) and AVX-512F (16-lane) implementations of [`F32x`].
+//!
+//! Every method is `#[inline(always)]` so the intrinsics inline into the
+//! `#[target_feature]` dispatch wrappers in `lib.rs` — both for codegen
+//! quality and because an out-of-line body would be compiled without the
+//! feature enabled. `mul_add` keeps its default two-rounding definition
+//! (no `_mm*_fmadd_ps`): see the bit-identity contract in the crate docs.
+
+use std::arch::x86_64::*;
+
+use crate::F32x;
+
+/// 8 × f32 in a `__m256`.
+#[derive(Clone, Copy)]
+pub struct Avx2F32x(__m256);
+
+impl F32x for Avx2F32x {
+    const LANES: usize = 8;
+
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        Avx2F32x(_mm256_set1_ps(v))
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f32) -> Self {
+        Avx2F32x(_mm256_loadu_ps(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f32) {
+        _mm256_storeu_ps(ptr, self.0);
+    }
+
+    #[inline(always)]
+    unsafe fn add(self, rhs: Self) -> Self {
+        Avx2F32x(_mm256_add_ps(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn sub(self, rhs: Self) -> Self {
+        Avx2F32x(_mm256_sub_ps(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn mul(self, rhs: Self) -> Self {
+        Avx2F32x(_mm256_mul_ps(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn div(self, rhs: Self) -> Self {
+        Avx2F32x(_mm256_div_ps(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn min(self, rhs: Self) -> Self {
+        Avx2F32x(_mm256_min_ps(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn max(self, rhs: Self) -> Self {
+        Avx2F32x(_mm256_max_ps(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn hsum(self) -> f32 {
+        let mut lanes = [0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), self.0);
+        lanes.iter().fold(0.0, |acc, &v| acc + v)
+    }
+}
+
+/// 16 × f32 in a `__m512`.
+#[derive(Clone, Copy)]
+pub struct Avx512F32x(__m512);
+
+impl F32x for Avx512F32x {
+    const LANES: usize = 16;
+
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        Avx512F32x(_mm512_set1_ps(v))
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f32) -> Self {
+        Avx512F32x(_mm512_loadu_ps(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f32) {
+        _mm512_storeu_ps(ptr, self.0);
+    }
+
+    #[inline(always)]
+    unsafe fn add(self, rhs: Self) -> Self {
+        Avx512F32x(_mm512_add_ps(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn sub(self, rhs: Self) -> Self {
+        Avx512F32x(_mm512_sub_ps(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn mul(self, rhs: Self) -> Self {
+        Avx512F32x(_mm512_mul_ps(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn div(self, rhs: Self) -> Self {
+        Avx512F32x(_mm512_div_ps(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn min(self, rhs: Self) -> Self {
+        Avx512F32x(_mm512_min_ps(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn max(self, rhs: Self) -> Self {
+        Avx512F32x(_mm512_max_ps(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    unsafe fn hsum(self) -> f32 {
+        // NOT _mm512_reduce_add_ps: that reduces pairwise, which is a
+        // different summation order than the scalar left-to-right fold.
+        let mut lanes = [0f32; 16];
+        _mm512_storeu_ps(lanes.as_mut_ptr(), self.0);
+        lanes.iter().fold(0.0, |acc, &v| acc + v)
+    }
+}

@@ -312,6 +312,7 @@ pub fn fused_preprocess_with(bk: &Backend, src: &Image, side: usize) -> Tensor {
     let sy = h as f32 / side as f32;
     let max_x = w - 1;
     let max_y = h - 1;
+    let simd = !vserve_simd::active_level().is_scalar();
     let mut t = Tensor::zeros(&[1, c, side, side]);
     bk.par_chunks_mut(t.as_mut_slice(), side, |i, row| {
         let ch = i / side;
@@ -326,6 +327,44 @@ pub fn fused_preprocess_with(bk: &Backend, src: &Image, side: usize) -> Tensor {
         let y1 = (y0 + 1).min(max_y);
         let wy = fy - y0 as f32;
         let (r0, r1) = (y0 * w * c, y1 * w * c);
+        if simd {
+            // Strip-at-a-time: gather the strided bilinear taps into
+            // stack buffers, then lerp + normalize the whole strip in the
+            // SIMD kernel. Tap addressing and per-element arithmetic are
+            // identical to the scalar loop below, so output bits match.
+            const STRIP: usize = 64;
+            let (mut p00, mut p10) = ([0f32; STRIP], [0f32; STRIP]);
+            let (mut p01, mut p11) = ([0f32; STRIP], [0f32; STRIP]);
+            let mut wxs = [0f32; STRIP];
+            let mut x0s = 0;
+            while x0s < side {
+                let len = STRIP.min(side - x0s);
+                for j in 0..len {
+                    let x = x0s + j;
+                    let fx = ((x as f32 + 0.5) * sx - 0.5).clamp(0.0, max_x as f32);
+                    let x0 = fx.floor() as usize;
+                    let x1 = (x0 + 1).min(max_x);
+                    wxs[j] = fx - x0 as f32;
+                    p00[j] = f32::from(bytes[r0 + x0 * c + ch]);
+                    p10[j] = f32::from(bytes[r0 + x1 * c + ch]);
+                    p01[j] = f32::from(bytes[r1 + x0 * c + ch]);
+                    p11[j] = f32::from(bytes[r1 + x1 * c + ch]);
+                }
+                vserve_simd::kernels::resize_norm_row(
+                    &p00[..len],
+                    &p10[..len],
+                    &p01[..len],
+                    &p11[..len],
+                    &wxs[..len],
+                    wy,
+                    m,
+                    s,
+                    &mut row[x0s..x0s + len],
+                );
+                x0s += len;
+            }
+            return;
+        }
         for (x, out) in row.iter_mut().enumerate() {
             let fx = ((x as f32 + 0.5) * sx - 0.5).clamp(0.0, max_x as f32);
             let x0 = fx.floor() as usize;
@@ -481,6 +520,25 @@ mod tests {
                 let got = fused_preprocess_with(&Backend::new(threads), &src, 224);
                 assert_eq!(want.as_slice(), got.as_slice(), "threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn fused_preprocess_bit_identical_across_simd_levels() {
+        // Odd output side (not a lane multiple) exercises the strip tail;
+        // RGB and gray cover both normalization branches.
+        for (src, side) in [
+            (Image::noise(150, 90, 7), 97),
+            (Image::noise(64, 48, 8).to_gray(), 33),
+        ] {
+            vserve_simd::set_level(vserve_simd::Level::Scalar);
+            let want = fused_preprocess(&src, side);
+            for level in vserve_simd::available_levels() {
+                vserve_simd::set_level(level);
+                let got = fused_preprocess(&src, side);
+                assert_eq!(want.as_slice(), got.as_slice(), "level={level}");
+            }
+            vserve_simd::reset_level();
         }
     }
 

@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# Offline verification harness: builds the whole workspace with bare rustc
+# (no cargo, no network) against the dependency stubs in tools/offline/stubs,
+# then builds + runs every unit-test suite, integration test, and example.
+#
+# Usage:
+#   tools/offline/verify.sh            # build everything, run all tests
+#   tools/offline/verify.sh build      # build only (libs + test bins + bins)
+#   tools/offline/verify.sh quick 'filter'  # run only suites matching filter
+#
+# The cargo registry is unreachable in this container, so this script is the
+# tier-1 gate: a clean run here is the "tests green" bar for a PR.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+OUT=${OUT:-target/offline}
+RUSTC=${RUSTC:-rustc}
+MODE=${1:-all}
+FILTER=${2:-}
+mkdir -p "$OUT"
+
+FLAGS=(--edition 2021 -O -C debuginfo=0 -L "$OUT")
+
+say() { printf '\033[1m== %s\033[0m\n' "$*"; }
+
+stub() {
+  local name=$1
+  say "stub $name"
+  $RUSTC "${FLAGS[@]}" -A warnings --crate-type rlib --crate-name "$name" \
+    "tools/offline/stubs/$name.rs" --out-dir "$OUT"
+}
+
+externs() {
+  local e=()
+  for d in "$@"; do e+=(--extern "${d}=$OUT/lib${d}.rlib"); done
+  printf '%s\n' "${e[@]:-}"
+}
+
+lib() {
+  # lib <src> <crate_name> [deps...]
+  local src=$1 name=$2; shift 2
+  say "lib $name"
+  local ext=()
+  for d in "$@"; do ext+=(--extern "${d}=$OUT/lib${d}.rlib"); done
+  $RUSTC "${FLAGS[@]}" --crate-type rlib --crate-name "$name" "$src" \
+    "${ext[@]}" --out-dir "$OUT"
+}
+
+testbin() {
+  # testbin <src> <suite_name> [deps...]  (suite built from crate root: unit tests)
+  local src=$1 name=$2; shift 2
+  local ext=()
+  for d in "$@"; do ext+=(--extern "${d}=$OUT/lib${d}.rlib"); done
+  say "test-build $name"
+  $RUSTC "${FLAGS[@]}" --test --crate-name "${name}" "$src" \
+    "${ext[@]}" -o "$OUT/t_${name}"
+}
+
+binbuild() {
+  # binbuild <src> <bin_name> [deps...]
+  local src=$1 name=$2; shift 2
+  local ext=()
+  for d in "$@"; do ext+=(--extern "${d}=$OUT/lib${d}.rlib"); done
+  say "bin $name"
+  $RUSTC "${FLAGS[@]}" --crate-type bin --crate-name "${name}" "$src" \
+    "${ext[@]}" -o "$OUT/bin_${name}"
+}
+
+# ---------------------------------------------------------------- stubs
+stub rand
+stub proptest
+stub crossbeam
+stub parking_lot
+stub bytes
+
+# ------------------------------------------------- workspace libs (dep order)
+lib crates/compute/src/lib.rs  vserve_compute
+lib crates/simd/src/lib.rs     vserve_simd
+lib crates/trace/src/lib.rs    vserve_trace
+lib crates/device/src/lib.rs   vserve_device
+lib crates/metrics/src/lib.rs  vserve_metrics
+lib crates/tensor/src/lib.rs   vserve_tensor   vserve_compute vserve_simd
+lib crates/sim/src/lib.rs      vserve_sim      vserve_metrics rand
+lib crates/codec/src/lib.rs    vserve_codec    vserve_compute vserve_simd vserve_tensor
+lib crates/dnn/src/lib.rs      vserve_dnn      vserve_compute vserve_simd vserve_tensor rand
+lib crates/broker/src/lib.rs   vserve_broker   bytes parking_lot
+lib crates/workload/src/lib.rs vserve_workload vserve_codec vserve_device vserve_sim vserve_tensor
+lib crates/server/src/lib.rs   vserve_server   vserve_codec vserve_compute vserve_device vserve_dnn vserve_metrics vserve_sim vserve_tensor vserve_trace vserve_workload crossbeam
+lib crates/net/src/lib.rs      vserve_net      vserve_server vserve_dnn vserve_metrics vserve_trace vserve_device vserve_workload
+lib crates/pipeline/src/lib.rs vserve_pipeline vserve_broker vserve_device vserve_metrics vserve_sim vserve_workload
+lib crates/core/src/lib.rs     vserve          vserve_broker vserve_codec vserve_device vserve_dnn vserve_metrics vserve_pipeline vserve_server vserve_sim vserve_tensor vserve_workload
+lib crates/bench/src/lib.rs    vserve_bench    vserve vserve_broker vserve_codec vserve_compute vserve_device vserve_dnn vserve_net vserve_pipeline vserve_server vserve_sim vserve_tensor vserve_trace vserve_workload
+lib src/lib.rs                 vserve_suite    vserve vserve_compute vserve_codec vserve_dnn vserve_tensor vserve_broker vserve_pipeline vserve_server vserve_net vserve_trace vserve_device vserve_workload vserve_sim vserve_metrics rand
+
+# ------------------------------------------------------------- unit tests
+# Each crate's lib rebuilt with --test; dev-deps (proptest/rand) added.
+testbin crates/compute/src/lib.rs  ut_compute  proptest
+testbin crates/simd/src/lib.rs     ut_simd     proptest
+testbin crates/trace/src/lib.rs    ut_trace    proptest
+testbin crates/device/src/lib.rs   ut_device   proptest
+testbin crates/metrics/src/lib.rs  ut_metrics  proptest rand
+testbin crates/tensor/src/lib.rs   ut_tensor   vserve_compute vserve_simd proptest
+testbin crates/sim/src/lib.rs      ut_sim      vserve_metrics rand proptest
+testbin crates/codec/src/lib.rs    ut_codec    vserve_compute vserve_simd vserve_tensor proptest
+testbin crates/dnn/src/lib.rs      ut_dnn      vserve_compute vserve_simd vserve_tensor rand proptest
+testbin crates/broker/src/lib.rs   ut_broker   bytes parking_lot proptest
+testbin crates/workload/src/lib.rs ut_workload vserve_codec vserve_device vserve_sim vserve_tensor proptest
+testbin crates/server/src/lib.rs   ut_server   vserve_codec vserve_compute vserve_device vserve_dnn vserve_metrics vserve_sim vserve_tensor vserve_trace vserve_workload crossbeam proptest
+testbin crates/net/src/lib.rs      ut_net      vserve_server vserve_dnn vserve_metrics vserve_trace vserve_device vserve_workload proptest
+testbin crates/pipeline/src/lib.rs ut_pipeline vserve_broker vserve_device vserve_metrics vserve_sim vserve_workload proptest
+testbin crates/core/src/lib.rs     ut_core     vserve_broker vserve_codec vserve_device vserve_dnn vserve_metrics vserve_pipeline vserve_server vserve_sim vserve_tensor vserve_workload proptest
+testbin crates/bench/src/lib.rs    ut_bench    vserve vserve_broker vserve_codec vserve_compute vserve_device vserve_dnn vserve_net vserve_pipeline vserve_server vserve_sim vserve_tensor vserve_trace vserve_workload proptest
+testbin src/lib.rs                 ut_suite    vserve vserve_compute vserve_codec vserve_dnn vserve_tensor vserve_broker vserve_pipeline vserve_server vserve_net vserve_trace vserve_device vserve_workload vserve_sim vserve_metrics rand proptest
+
+# ------------------------------------------------------- integration tests
+SUITE_DEPS=(vserve vserve_compute vserve_codec vserve_dnn vserve_tensor vserve_broker vserve_pipeline vserve_server vserve_net vserve_trace vserve_device vserve_workload vserve_sim vserve_metrics rand proptest vserve_suite)
+testbin crates/sim/tests/queueing_theory.rs it_queueing_theory vserve_sim vserve_metrics rand proptest
+for t in tests/*.rs; do
+  name=$(basename "$t" .rs)
+  testbin "$t" "it_${name}" "${SUITE_DEPS[@]}"
+done
+
+# ---------------------------------------------------------------- examples
+for ex in examples/*.rs; do
+  name=$(basename "$ex" .rs)
+  binbuild "$ex" "ex_${name}" "${SUITE_DEPS[@]}"
+done
+
+# -------------------------------------------------------------- bench bins
+BENCH_DEPS=(vserve_bench vserve vserve_broker vserve_codec vserve_compute vserve_device vserve_dnn vserve_net vserve_pipeline vserve_server vserve_sim vserve_simd vserve_tensor vserve_trace vserve_workload)
+for b in crates/bench/src/bin/*.rs; do
+  name=$(basename "$b" .rs)
+  binbuild "$b" "bench_${name}" "${BENCH_DEPS[@]}"
+done
+
+[ "$MODE" = build ] && { say "build-only: done"; exit 0; }
+
+# ------------------------------------------------------------------- run
+fail=0
+total=0
+for t in "$OUT"/t_ut_* "$OUT"/t_it_*; do
+  name=$(basename "$t")
+  if [ -n "$FILTER" ] && [[ "$name" != *"$FILTER"* ]]; then continue; fi
+  say "run $name"
+  if ! out=$("$t" --test-threads=1 2>&1); then
+    echo "$out" | tail -40
+    echo "FAILED: $name"
+    fail=1
+  else
+    line=$(echo "$out" | grep -E '^test result' | tail -1)
+    n=$(echo "$line" | sed -E 's/.* ([0-9]+) passed.*/\1/')
+    total=$((total + n))
+    echo "  $line"
+  fi
+done
+
+if [ "$MODE" = all ] && [ -z "$FILTER" ]; then
+  for ex in "$OUT"/bin_ex_*; do
+    say "run $(basename "$ex")"
+    "$ex" >/dev/null 2>&1 || { echo "FAILED: example $(basename "$ex")"; fail=1; }
+  done
+fi
+
+say "total unit+integration tests passed: $total"
+[ "$fail" = 0 ] && say "ALL GREEN" || { say "FAILURES PRESENT"; exit 1; }
