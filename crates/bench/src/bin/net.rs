@@ -19,6 +19,20 @@
 //! growing with compressed size while deserialize stays fixed — the same
 //! shape as the paper's data-transfer vs serialization rows.
 //!
+//! Two architecture sweeps ride along:
+//!
+//! * `rpc` vs `rpc_threaded` — the evented (readiness-driven) front-end
+//!   against the thread-per-connection baseline on the same payloads, so
+//!   the single-connection latency cost of the event loop is a measured
+//!   number, not a claim,
+//! * `conn_sweep` — the evented server holding 1/64/1k/10k *idle*
+//!   connections (capped by the fd soft limit) while a small active
+//!   subset keeps inferring: per-connection memory and the p50 under
+//!   flood are the capacity story,
+//! * `sim_shards` — the simulator's router tier (`ServerConfig::shards`)
+//!   at 10k closed-loop clients, showing front-end sharding scaling a
+//!   CPU-preprocessing-bound deployment.
+//!
 //! Results are printed as a table and appended as JSON lines to
 //! `BENCH_net.json` (override with `--out PATH`). `--smoke` shrinks
 //! shapes and repetitions to a few hundred milliseconds for CI checks.
@@ -43,6 +57,8 @@ struct Record {
     clients: usize,
     /// Mean request latency, seconds.
     mean_latency_s: f64,
+    /// Median request latency, seconds (0 when not measured).
+    p50_latency_s: f64,
     /// Completed images per second.
     rate: f64,
     /// Mean server-measured transfer + deserialize, seconds (0 for the
@@ -52,25 +68,33 @@ struct Record {
     rpc_share: f64,
     completed: usize,
     shed: usize,
+    /// Idle connections held open during the measurement (conn sweep).
+    idle_conns: usize,
+    /// Resident-set growth attributable to the held connections, MiB
+    /// (conn sweep; 0 elsewhere).
+    rss_mb: f64,
 }
 
 impl Record {
     fn json(&self, host_cores: usize, smoke: bool) -> String {
         format!(
             "{{\"bench\":\"{}\",\"variant\":\"{}\",\"shape\":\"{}\",\"clients\":{},\
-             \"mean_latency_s\":{:.6},\"img_per_s\":{:.1},\"rpc_time_s\":{:.6},\
-             \"rpc_share\":{:.4},\"completed\":{},\"shed\":{},\
-             \"host_cores\":{},\"smoke\":{}}}",
+             \"mean_latency_s\":{:.6},\"p50_latency_s\":{:.6},\"img_per_s\":{:.1},\
+             \"rpc_time_s\":{:.6},\"rpc_share\":{:.4},\"completed\":{},\"shed\":{},\
+             \"idle_conns\":{},\"rss_mb\":{:.2},\"host_cores\":{},\"smoke\":{}}}",
             self.bench,
             self.variant,
             self.shape,
             self.clients,
             self.mean_latency_s,
+            self.p50_latency_s,
             self.rate,
             self.rpc_time_s,
             self.rpc_share,
             self.completed,
             self.shed,
+            self.idle_conns,
+            self.rss_mb,
             host_cores,
             smoke
         )
@@ -83,6 +107,10 @@ struct Scale {
     model_side: usize,
     clients: usize,
     reqs_per_client: usize,
+    /// Idle-connection levels for the connection-scaling sweep.
+    idle_levels: Vec<usize>,
+    /// Closed-loop clients for the sim shard sweep.
+    sim_clients: usize,
 }
 
 fn tiny_model(side: usize) -> Model {
@@ -101,26 +129,35 @@ fn live_opts(side: usize) -> LiveOptions {
     }
 }
 
-/// Mean latency + throughput of `clients` closed-loop threads each doing
-/// `reqs` calls of `f` (one warmup call per thread first).
-fn closed_loop<F>(clients: usize, reqs: usize, f: F) -> (f64, f64, usize)
+/// Median of a sample set (by sorting; fine at bench sizes).
+fn p50(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Mean + median latency and throughput of `clients` closed-loop threads
+/// each doing `reqs` calls of `f` (one warmup call per thread first).
+fn closed_loop<F>(clients: usize, reqs: usize, f: F) -> (f64, f64, f64, usize)
 where
     F: Fn(usize) + Send + Sync,
 {
     let f = &f;
     let t0 = Instant::now();
-    let lat_sums: Vec<(f64, usize)> = std::thread::scope(|s| {
+    let per_thread: Vec<Vec<f64>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 s.spawn(move || {
                     f(c); // warmup: first call pays cold caches
-                    let mut sum = 0.0;
+                    let mut lats = Vec::with_capacity(reqs);
                     for _ in 0..reqs {
                         let t = Instant::now();
                         f(c);
-                        sum += t.elapsed().as_secs_f64();
+                        lats.push(t.elapsed().as_secs_f64());
                     }
-                    (sum, reqs)
+                    lats
                 })
             })
             .collect();
@@ -129,10 +166,11 @@ where
             .map(|h| h.join().expect("client"))
             .collect()
     });
-    let total: f64 = lat_sums.iter().map(|(s, _)| s).sum();
-    let n: usize = lat_sums.iter().map(|(_, n)| n).sum();
     let wall = t0.elapsed().as_secs_f64();
-    (total / n as f64, n as f64 / wall, n)
+    let lats: Vec<f64> = per_thread.into_iter().flatten().collect();
+    let n = lats.len();
+    let mean = lats.iter().sum::<f64>() / n.max(1) as f64;
+    (mean, p50(lats), n as f64 / wall, n)
 }
 
 fn bench_source(records: &mut Vec<Record>, src: usize, sc: &Scale, smoke: bool) -> (f64, f64) {
@@ -145,9 +183,10 @@ fn bench_source(records: &mut Vec<Record>, src: usize, sc: &Scale, smoke: bool) 
 
     // In-process baseline: same model, same live options, no wire.
     let inproc_server = LiveServer::start(tiny_model(sc.model_side), live_opts(sc.model_side));
-    let (inproc_mean, inproc_rate, inproc_n) = closed_loop(sc.clients, sc.reqs_per_client, |_| {
-        inproc_server.infer(jpeg.clone()).expect("in-process infer");
-    });
+    let (inproc_mean, inproc_p50, inproc_rate, inproc_n) =
+        closed_loop(sc.clients, sc.reqs_per_client, |_| {
+            inproc_server.infer(jpeg.clone()).expect("in-process infer");
+        });
     drop(inproc_server);
     records.push(Record {
         bench: "net",
@@ -155,11 +194,14 @@ fn bench_source(records: &mut Vec<Record>, src: usize, sc: &Scale, smoke: bool) 
         shape: shape.clone(),
         clients: sc.clients,
         mean_latency_s: inproc_mean,
+        p50_latency_s: inproc_p50,
         rate: inproc_rate,
         rpc_time_s: 0.0,
         rpc_share: 0.0,
         completed: inproc_n,
         shed: 0,
+        idle_conns: 0,
+        rss_mb: 0.0,
     });
 
     // Loopback RPC: identical server behind the framed TCP front-end.
@@ -180,7 +222,7 @@ fn bench_source(records: &mut Vec<Record>, src: usize, sc: &Scale, smoke: bool) 
     )
     .expect("connect loopback");
     let rpc_times = std::sync::Mutex::new((0.0f64, 0usize));
-    let (rpc_mean, rpc_rate, rpc_n) = closed_loop(sc.clients, sc.reqs_per_client, |_| {
+    let (rpc_mean, rpc_p50, rpc_rate, rpc_n) = closed_loop(sc.clients, sc.reqs_per_client, |_| {
         let r = client.infer(&jpeg).expect("rpc infer");
         let leg = (r.transfer + r.deserialize).as_secs_f64();
         let mut acc = rpc_times.lock().unwrap_or_else(|e| e.into_inner());
@@ -198,12 +240,63 @@ fn bench_source(records: &mut Vec<Record>, src: usize, sc: &Scale, smoke: bool) 
         shape: shape.clone(),
         clients: sc.clients,
         mean_latency_s: rpc_mean,
+        p50_latency_s: rpc_p50,
         rate: rpc_rate,
         rpc_time_s: rpc_leg,
         rpc_share: overhead_share,
         completed: rpc_n,
         shed: 0,
+        idle_conns: 0,
+        rss_mb: 0.0,
     });
+
+    // Thread-per-connection baseline: the same wire behind the blocking
+    // architecture, so the event loop's single-connection latency cost is
+    // a measured delta.
+    #[cfg(unix)]
+    {
+        let threaded_server = NetServer::bind(
+            tiny_model(sc.model_side),
+            NetOptions {
+                evented: false,
+                live: live_opts(sc.model_side),
+                ..NetOptions::default()
+            },
+        )
+        .expect("bind threaded loopback");
+        let threaded_client = NetClient::connect(
+            threaded_server.local_addr(),
+            ClientOptions {
+                pool: sc.clients.min(4),
+                ..ClientOptions::default()
+            },
+        )
+        .expect("connect threaded loopback");
+        let (th_mean, th_p50, th_rate, th_n) = closed_loop(sc.clients, sc.reqs_per_client, |_| {
+            threaded_client.infer(&jpeg).expect("threaded rpc infer");
+        });
+        println!(
+            "threaded baseline: p50 {:>8.1} us mean {:>8.1} us (evented p50 {:>8.1} us)",
+            th_p50 * 1e6,
+            th_mean * 1e6,
+            rpc_p50 * 1e6,
+        );
+        records.push(Record {
+            bench: "net",
+            variant: "rpc_threaded",
+            shape: shape.clone(),
+            clients: sc.clients,
+            mean_latency_s: th_mean,
+            p50_latency_s: th_p50,
+            rate: th_rate,
+            rpc_time_s: 0.0,
+            rpc_share: ((th_mean - inproc_mean) / th_mean).max(0.0),
+            completed: th_n,
+            shed: 0,
+            idle_conns: 0,
+            rss_mb: 0.0,
+        });
+    }
 
     // Open-loop Poisson at ~50% of the measured closed-loop capacity:
     // below saturation, latency should stay near the closed-loop value
@@ -224,23 +317,22 @@ fn bench_source(records: &mut Vec<Record>, src: usize, sc: &Scale, smoke: bool) 
         let sent = Instant::now();
         pending.push((sent, client.submit(&jpeg)));
     }
-    let mut open_sum = 0.0;
-    let mut open_ok = 0usize;
+    let mut open_lats = Vec::with_capacity(n_open);
     let mut open_shed = 0usize;
     let mut open_leg = 0.0;
     for (sent, p) in pending {
         match p.and_then(|p| p.wait()) {
             Ok(r) => {
-                open_sum += sent.elapsed().as_secs_f64();
+                open_lats.push(sent.elapsed().as_secs_f64());
                 open_leg += (r.transfer + r.deserialize).as_secs_f64();
-                open_ok += 1;
             }
             Err(NetError::Server { .. }) => open_shed += 1,
             Err(e) => panic!("open-loop transport failure: {e}"),
         }
     }
     let open_wall = t0.elapsed().as_secs_f64();
-    let open_mean = open_sum / open_ok.max(1) as f64;
+    let open_ok = open_lats.len();
+    let open_mean = open_lats.iter().sum::<f64>() / open_ok.max(1) as f64;
     let open_leg = open_leg / open_ok.max(1) as f64;
     records.push(Record {
         bench: "net",
@@ -248,6 +340,7 @@ fn bench_source(records: &mut Vec<Record>, src: usize, sc: &Scale, smoke: bool) 
         shape: shape.clone(),
         clients: 1,
         mean_latency_s: open_mean,
+        p50_latency_s: p50(open_lats),
         rate: open_ok as f64 / open_wall,
         rpc_time_s: open_leg,
         rpc_share: if open_mean > 0.0 {
@@ -257,6 +350,8 @@ fn bench_source(records: &mut Vec<Record>, src: usize, sc: &Scale, smoke: bool) 
         },
         completed: open_ok,
         shed: open_shed,
+        idle_conns: 0,
+        rss_mb: 0.0,
     });
 
     println!(
@@ -342,12 +437,191 @@ fn sim_replay(records: &mut Vec<Record>, measured: &[(f64, f64)], smoke: bool) {
         shape: "medium".to_string(),
         clients: 8,
         mean_latency_s: tcp.latency.mean,
+        p50_latency_s: tcp.latency.p50,
         rate: tcp.throughput,
         rpc_time_s: tcp.rpc_time(),
         rpc_share: sim_share,
         completed: tcp.completed as usize,
         shed: 0,
+        idle_conns: 0,
+        rss_mb: 0.0,
     });
+}
+
+/// Resident-set size of this process in MiB (`/proc/self/status` VmRSS;
+/// 0 where unavailable).
+fn rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmRSS:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|kb| kb.parse::<f64>().ok())
+            })
+        })
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// Whether the evented front-end is active (mirrors `NetOptions::default`).
+fn evented_mode() -> bool {
+    match std::env::var("VSERVE_NET_EVENTED") {
+        Ok(v) => matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "1" | "true" | "yes" | "on"
+        ),
+        Err(_) => cfg!(unix),
+    }
+}
+
+/// Connection-scaling sweep: hold N idle connections open on the evented
+/// server while a 4-client subset keeps inferring; record the p50 under
+/// flood and the resident-set growth the idle connections cost.
+fn bench_conn_scaling(records: &mut Vec<Record>, sc: &Scale, smoke: bool) {
+    let fd_budget = vserve_net::fd_soft_limit()
+        .map(|l| (l.saturating_sub(512)) / 2)
+        .unwrap_or(1024) as usize;
+    let evented = evented_mode();
+    println!("\n--- connection scaling (fd budget {fd_budget}, evented={evented}) ---");
+
+    let side = sc.model_side;
+    let jpeg = synthetic_jpeg(&ImageSpec::new(side * 2, side * 2, 0), 23);
+    let active_clients = 4usize.min(sc.clients.max(1));
+    let reqs = sc.reqs_per_client;
+
+    for &want in &sc.idle_levels {
+        let n = want.min(fd_budget);
+        if !evented && n > 64 {
+            // Thread-per-connection burns a thread per idle socket; the
+            // high levels are exactly what that architecture cannot do.
+            println!("{want:>6} idle: skipped (threaded mode)");
+            continue;
+        }
+        let server = NetServer::bind(
+            tiny_model(side),
+            NetOptions {
+                max_conns: n + 64,
+                live: live_opts(side),
+                ..NetOptions::default()
+            },
+        )
+        .expect("bind conn-sweep server");
+        let addr = server.local_addr();
+        let rss_before = rss_mb();
+        let mut idle = Vec::with_capacity(n);
+        for i in 0..n {
+            match std::net::TcpStream::connect(addr) {
+                Ok(s) => idle.push(s),
+                Err(e) => panic!("idle conn {i}/{n} failed: {e}"),
+            }
+        }
+        // Wait for the server to register every idle connection before
+        // measuring, so the sweep really runs *with* them resident.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while server.metrics().active < n {
+            assert!(
+                Instant::now() < deadline,
+                "server saw {}/{} conns",
+                server.metrics().active,
+                n
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let rss_after = rss_mb();
+
+        let client = NetClient::connect(
+            addr,
+            ClientOptions {
+                pool: active_clients,
+                ..ClientOptions::default()
+            },
+        )
+        .expect("connect conn-sweep client");
+        let (mean, med, rate, done) = closed_loop(active_clients, reqs, |_| {
+            client.infer(&jpeg).expect("conn-sweep infer");
+        });
+        let grew = (rss_after - rss_before).max(0.0);
+        println!(
+            "{n:>6} idle: p50 {:>8.1} us mean {:>8.1} us {:>8.1} img/s rss +{grew:.2} MiB",
+            med * 1e6,
+            mean * 1e6,
+            rate,
+        );
+        records.push(Record {
+            bench: "net",
+            variant: "conn_sweep",
+            shape: format!("{n}idle"),
+            clients: active_clients,
+            mean_latency_s: mean,
+            p50_latency_s: med,
+            rate,
+            rpc_time_s: 0.0,
+            rpc_share: 0.0,
+            completed: done,
+            shed: 0,
+            idle_conns: n,
+            rss_mb: grew,
+        });
+        drop(idle);
+        drop(client);
+        if !smoke {
+            assert!(done > 0, "no completions with {n} idle conns");
+        }
+    }
+}
+
+/// Simulator shard sweep: the router tier (`ServerConfig::shards`) at high
+/// closed-loop concurrency on a CPU-preprocessing-bound deployment.
+fn sim_shard_sweep(records: &mut Vec<Record>, sc: &Scale, smoke: bool) {
+    println!(
+        "\n--- sim shard sweep ({} closed-loop clients) ---",
+        sc.sim_clients
+    );
+    let node = NodeConfig::paper_testbed();
+    let mut base_rate = 0.0;
+    for &shards in &[1usize, 2, 4] {
+        let report = Experiment {
+            node: node.clone(),
+            config: ServerConfig::optimized_cpu_preproc()
+                .with_rpc(RpcPath::Tcp)
+                .with_shards(shards),
+            model: ModelProfile::vit_base(),
+            // Large images make CPU preprocessing the binding stage — the
+            // deployment sharding actually helps (each shard brings its
+            // own preproc pool, like the live router's per-shard stacks).
+            mix: ImageMix::fixed(ImageSpec::large()),
+            concurrency: sc.sim_clients,
+            warmup_s: if smoke { 0.1 } else { 0.5 },
+            measure_s: if smoke { 0.3 } else { 2.0 },
+            seed: 19,
+        }
+        .run();
+        if shards == 1 {
+            base_rate = report.throughput;
+        }
+        println!(
+            "{shards} shard(s): {:>10.1} img/s p50 {:>8.2} ms ({:.2}x of 1 shard)",
+            report.throughput,
+            report.latency.p50 * 1e3,
+            report.throughput / base_rate.max(1e-9),
+        );
+        records.push(Record {
+            bench: "net",
+            variant: "sim_shards",
+            shape: format!("{shards}shards"),
+            clients: sc.sim_clients,
+            mean_latency_s: report.latency.mean,
+            p50_latency_s: report.latency.p50,
+            rate: report.throughput,
+            rpc_time_s: report.rpc_time(),
+            rpc_share: report.rpc_share(),
+            completed: report.completed as usize,
+            shed: 0,
+            idle_conns: 0,
+            rss_mb: 0.0,
+        });
+    }
 }
 
 fn main() {
@@ -369,6 +643,8 @@ fn main() {
             model_side: 32,
             clients: 2,
             reqs_per_client: 4,
+            idle_levels: vec![1, 64, 256],
+            sim_clients: 256,
         }
     } else {
         Scale {
@@ -376,6 +652,8 @@ fn main() {
             model_side: 64,
             clients: 4,
             reqs_per_client: 40,
+            idle_levels: vec![1, 64, 1000, 10_000],
+            sim_clients: 10_000,
         }
     };
 
@@ -384,37 +662,45 @@ fn main() {
     for &src in &sc.sources {
         measured.push(bench_source(&mut records, src, &sc, smoke));
     }
+    bench_conn_scaling(&mut records, &sc, smoke);
     sim_replay(&mut records, &measured, smoke);
+    sim_shard_sweep(&mut records, &sc, smoke);
 
     let mut table = String::new();
     let _ = writeln!(
         table,
-        "\n{:<6} {:<9} {:<8} {:>7} {:>12} {:>10} {:>11} {:>9} {:>9} {:>6}",
+        "\n{:<6} {:<13} {:<10} {:>7} {:>12} {:>12} {:>10} {:>11} {:>9} {:>9} {:>6} {:>7} {:>7}",
         "bench",
         "variant",
         "shape",
         "clients",
         "mean_lat_s",
+        "p50_lat_s",
         "img/s",
         "rpc_time_s",
         "rpc_share",
         "completed",
-        "shed"
+        "shed",
+        "idle",
+        "rss_mb"
     );
     for r in &records {
         let _ = writeln!(
             table,
-            "{:<6} {:<9} {:<8} {:>7} {:>12.6} {:>10.1} {:>11.6} {:>8.1}% {:>9} {:>6}",
+            "{:<6} {:<13} {:<10} {:>7} {:>12.6} {:>12.6} {:>10.1} {:>11.6} {:>8.1}% {:>9} {:>6} {:>7} {:>7.2}",
             r.bench,
             r.variant,
             r.shape,
             r.clients,
             r.mean_latency_s,
+            r.p50_latency_s,
             r.rate,
             r.rpc_time_s,
             r.rpc_share * 100.0,
             r.completed,
-            r.shed
+            r.shed,
+            r.idle_conns,
+            r.rss_mb
         );
     }
     print!("{table}");

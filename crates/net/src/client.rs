@@ -16,8 +16,14 @@
 //! waiting for.
 //!
 //! A connection whose reader observes EOF or a transport error is marked
-//! dead: its in-flight callers fail with [`NetError::Disconnected`] and
-//! later submissions skip it. The client never panics on a lost server.
+//! dead: its in-flight callers fail with [`NetError::Disconnected`], and
+//! the next submission that lands on the slot transparently re-dials the
+//! server — so a server-side graceful drain
+//! ([`NetServer::drain_connections`](crate::NetServer::drain_connections))
+//! costs clients one reconnect, not an error. Only when re-dialing also
+//! fails (the server is really gone) does the slot stay dead and the
+//! submission fall through to the next one. The client never panics on a
+//! lost server.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -134,8 +140,12 @@ struct Conn {
 }
 
 /// A pooled, pipelining client for a [`NetServer`](crate::NetServer).
+///
+/// Each pool slot holds the slot's *current* connection; a slot whose
+/// connection died is re-dialed on the next submission that reaches it
+/// (reconnect-on-drain).
 pub struct NetClient {
-    conns: Vec<Arc<Conn>>,
+    conns: Vec<Mutex<Arc<Conn>>>,
     next_conn: AtomicUsize,
     next_id: AtomicU64,
     opts: ClientOptions,
@@ -178,7 +188,7 @@ impl NetClient {
     pub fn connect(addr: SocketAddr, opts: ClientOptions) -> std::io::Result<NetClient> {
         let mut conns = Vec::with_capacity(opts.pool.max(1));
         for _ in 0..opts.pool.max(1) {
-            conns.push(Arc::new(Conn::open(addr)?));
+            conns.push(Mutex::new(Arc::new(Conn::open(addr)?)));
         }
         Ok(NetClient {
             conns,
@@ -254,10 +264,22 @@ impl NetClient {
         );
         let serialize = t0.elapsed();
 
-        // Round-robin over live connections; a dead conn is skipped.
+        // Round-robin over the pool; a slot whose connection died (e.g.
+        // the server drained it) is transparently re-dialed, and only
+        // skipped when the re-dial also fails.
         let start = self.next_conn.fetch_add(1, Ordering::Relaxed);
         for i in 0..self.conns.len() {
-            let conn = &self.conns[(start + i) % self.conns.len()];
+            let slot = &self.conns[(start + i) % self.conns.len()];
+            let conn = {
+                let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.dead() {
+                    match Conn::open(self.addr) {
+                        Ok(fresh) => *slot = Arc::new(fresh),
+                        Err(_) => continue, // server really gone; next slot
+                    }
+                }
+                Arc::clone(&slot)
+            };
             let (tx, rx) = sync_channel(1);
             {
                 let mut pending = conn.pending.lock().unwrap_or_else(|e| e.into_inner());
@@ -292,11 +314,13 @@ impl NetClient {
         Err(NetError::Disconnected)
     }
 
-    /// Number of pooled connections still alive.
+    /// Number of pooled connections currently alive. Dead slots are
+    /// counted as dead until a submission re-dials them; this does not
+    /// reconnect.
     pub fn live_conns(&self) -> usize {
         self.conns
             .iter()
-            .filter(|c| c.pending.lock().map(|p| p.is_some()).unwrap_or(false))
+            .filter(|s| !s.lock().unwrap_or_else(|e| e.into_inner()).dead())
             .count()
     }
 }
@@ -334,16 +358,13 @@ pub fn scrape(addr: SocketAddr) -> Result<String, NetError> {
     }
 }
 
-impl Drop for NetClient {
+impl Drop for Conn {
+    // Runs when the last handle goes — client drop, or a replaced slot's
+    // old connection once in-flight borrowers finish with it.
     fn drop(&mut self) {
-        for conn in &self.conns {
-            let _ = conn.stream.shutdown(Shutdown::Both);
-        }
-        for conn in &self.conns {
-            let handle = conn.reader.lock().ok().and_then(|mut r| r.take());
-            if let Some(h) = handle {
-                let _ = h.join();
-            }
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(h) = self.reader.lock().ok().and_then(|mut r| r.take()) {
+            let _ = h.join();
         }
     }
 }
@@ -365,6 +386,11 @@ impl Conn {
             stream,
             reader: Mutex::new(Some(reader)),
         })
+    }
+
+    /// True once the reader saw EOF or a transport error.
+    fn dead(&self) -> bool {
+        self.pending.lock().map(|p| p.is_none()).unwrap_or(true)
     }
 }
 
@@ -564,5 +590,37 @@ mod tests {
             NetError::Disconnected | NetError::Io(_) => {}
             other => panic!("unexpected error {other}"),
         }
+    }
+
+    #[test]
+    fn reconnects_transparently_after_server_drain() {
+        let server = bind_tiny();
+        let client = NetClient::connect(
+            server.local_addr(),
+            ClientOptions {
+                pool: 1,
+                ..ClientOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(client.infer(&spec(48, 1)).unwrap().output.len(), 10);
+
+        // The server gracefully drains its current connections (e.g. a
+        // rolling restart) but keeps accepting new ones.
+        server.drain_connections();
+        for _ in 0..400 {
+            if client.live_conns() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(client.live_conns(), 0, "drain should close the pooled conn");
+
+        // The next request transparently re-dials: no error surfaces.
+        assert_eq!(client.infer(&spec(48, 2)).unwrap().output.len(), 10);
+        assert_eq!(client.live_conns(), 1);
+        let m = server.metrics();
+        assert!(m.accepted >= 2, "reconnect must open a fresh conn");
+        assert_eq!(m.live.completed, 2);
     }
 }

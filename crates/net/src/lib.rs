@@ -62,13 +62,22 @@
 //! round trip with the per-stage table.)
 
 pub mod client;
+#[cfg(unix)]
+pub mod conn;
+#[cfg(unix)]
+pub mod poller;
+pub mod router;
 pub mod server;
 pub mod wire;
 
 pub use client::{scrape, ClientOptions, NetClient, NetError, NetResult};
+#[cfg(unix)]
+pub use poller::fd_soft_limit;
+pub use router::{Router, RouterClient, RouterOptions, ShardPolicy};
 pub use server::{NetMetrics, NetOptions, NetServer};
 pub use wire::{
-    MetricsRequest, RequestFrame, ResponseFrame, StageMicros, Status, WireError, MAX_FRAME_LEN,
+    FrameAssembler, MetricsRequest, RequestFrame, ResponseFrame, StageMicros, Status, WireError,
+    MAX_FRAME_LEN,
 };
 
 /// Environment variable read by [`NetOptions::default`] for the listen
@@ -83,6 +92,20 @@ pub const NET_MAX_CONNS_ENV: &str = "VSERVE_NET_MAX_CONNS";
 /// client's connection-pool size.
 pub const NET_POOL_ENV: &str = "VSERVE_NET_POOL";
 
+/// Environment variable read by [`NetOptions::default`] selecting the
+/// server implementation: `1`/`true` for the evented readiness loop
+/// (default on Unix), `0`/`false` for the thread-per-connection
+/// baseline.
+pub const NET_EVENTED_ENV: &str = "VSERVE_NET_EVENTED";
+
+/// Environment variable read by [`NetOptions::default`] for the
+/// per-connection in-flight request cap (flow control).
+pub const NET_INFLIGHT_ENV: &str = "VSERVE_NET_INFLIGHT_PER_CONN";
+
+/// Environment variable read by [`RouterOptions::default`] for the
+/// number of server shards behind the router.
+pub const NET_SHARDS_ENV: &str = "VSERVE_NET_SHARDS";
+
 /// Default listen address: loopback, ephemeral port.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:0";
 
@@ -92,10 +115,27 @@ pub const DEFAULT_MAX_CONNS: usize = 64;
 /// Default pool size for [`ClientOptions`].
 pub const DEFAULT_POOL: usize = 2;
 
+/// Default per-connection in-flight request cap.
+pub const DEFAULT_INFLIGHT_PER_CONN: usize = 128;
+
+/// Default shard count for [`RouterOptions`].
+pub const DEFAULT_SHARDS: usize = 2;
+
 pub(crate) fn env_usize(var: &str, default: usize) -> usize {
     std::env::var(var)
         .ok()
         .and_then(|v| v.trim().parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or(default)
+}
+
+pub(crate) fn env_bool(var: &str, default: bool) -> bool {
+    match std::env::var(var) {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "yes" | "on" => true,
+            "0" | "false" | "no" | "off" => false,
+            _ => default,
+        },
+        Err(_) => default,
+    }
 }

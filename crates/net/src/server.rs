@@ -62,7 +62,10 @@ use vserve_trace::Tracer;
 use crate::wire::{
     self, encode_response, RequestFrame, ResponseFrame, StageMicros, Status, WireError,
 };
-use crate::{env_usize, DEFAULT_ADDR, DEFAULT_MAX_CONNS, NET_ADDR_ENV, NET_MAX_CONNS_ENV};
+use crate::{
+    env_bool, env_usize, DEFAULT_ADDR, DEFAULT_INFLIGHT_PER_CONN, DEFAULT_MAX_CONNS, NET_ADDR_ENV,
+    NET_EVENTED_ENV, NET_INFLIGHT_ENV, NET_MAX_CONNS_ENV,
+};
 
 /// Configuration for a [`NetServer`].
 #[derive(Debug, Clone)]
@@ -74,9 +77,22 @@ pub struct NetOptions {
     /// the kernel's accept backlog. Defaults to [`NET_MAX_CONNS_ENV`] or
     /// 64.
     pub max_conns: usize,
-    /// Maximum responses pending per connection before the reader stops
-    /// pulling new frames off that socket.
+    /// Maximum responses pending per connection before the server stops
+    /// pulling new frames off that socket (per-connection flow control).
+    /// Defaults to [`NET_INFLIGHT_ENV`] or 128.
     pub max_inflight_per_conn: usize,
+    /// Serve with the readiness-driven event loop (one thread multiplexing
+    /// every connection via epoll/poll) instead of thread-per-connection.
+    /// Defaults to [`NET_EVENTED_ENV`], or `true` on Unix. Forced off on
+    /// non-Unix targets, where no poller backend exists.
+    pub evented: bool,
+    /// Evented mode: a connection whose unflushed reply bytes exceed this
+    /// stops being read until the client drains its socket — a stalled
+    /// reader stalls its own sender instead of growing server memory.
+    pub write_hwm_bytes: usize,
+    /// Evented mode: how long graceful shutdown waits for in-flight
+    /// replies to flush before force-closing connections.
+    pub drain_timeout: Duration,
     /// Name the deployed model answers to; frames naming anything else
     /// get [`Status::UnknownModel`]. An empty model name in a frame
     /// always matches.
@@ -90,7 +106,10 @@ impl Default for NetOptions {
         NetOptions {
             addr: std::env::var(NET_ADDR_ENV).unwrap_or_else(|_| DEFAULT_ADDR.to_owned()),
             max_conns: env_usize(NET_MAX_CONNS_ENV, DEFAULT_MAX_CONNS),
-            max_inflight_per_conn: 128,
+            max_inflight_per_conn: env_usize(NET_INFLIGHT_ENV, DEFAULT_INFLIGHT_PER_CONN),
+            evented: env_bool(NET_EVENTED_ENV, cfg!(unix)),
+            write_hwm_bytes: 1 << 20,
+            drain_timeout: Duration::from_secs(5),
             model_name: "default".to_owned(),
             live: LiveOptions::default(),
         }
@@ -109,6 +128,13 @@ pub struct NetMetrics {
     pub frames: u64,
     /// Frames rejected as malformed (each closes its connection).
     pub bad_frames: u64,
+    /// Connections currently draining: no longer read, finishing
+    /// in-flight replies before close (evented mode).
+    pub draining: usize,
+    /// Largest unflushed reply buffer any connection has held, in bytes
+    /// (evented mode) — the observable face of the write-side flow
+    /// control.
+    pub write_buffer_hwm_bytes: u64,
     /// Network-layer stage times: one
     /// [`stages::NET_TRANSFER`]/[`stages::DESERIALIZE`] observation per
     /// *completed* request, so per-stage counts line up with the live
@@ -134,11 +160,11 @@ impl NetMetrics {
     }
 }
 
-struct NetMetricsInner {
+pub(crate) struct NetMetricsInner {
     accepted: u64,
-    frames: u64,
-    bad_frames: u64,
-    breakdown: StageBreakdown,
+    pub(crate) frames: u64,
+    pub(crate) bad_frames: u64,
+    pub(crate) breakdown: StageBreakdown,
 }
 
 /// A pending item the writer resolves in order.
@@ -158,25 +184,34 @@ enum Pending {
     },
 }
 
-struct NetShared {
+pub(crate) struct NetShared {
     shutdown: AtomicBool,
     /// Live connection count, guarded with [`Self::cv`] for the
-    /// accept-side backpressure wait.
+    /// accept-side backpressure wait (threaded mode; the evented loop
+    /// updates it for the `active` metric).
     slots: Mutex<usize>,
     cv: Condvar,
     max_conns: usize,
-    model_name: String,
+    pub(crate) model_name: String,
     next_conn: AtomicU64,
-    /// Read-half handles of live connections, for shutdown wakeup.
+    /// Read-half handles of live connections, for shutdown wakeup
+    /// (threaded mode only; the evented loop owns its streams).
     conns: Mutex<HashMap<u64, TcpStream>>,
     /// Join handles of connection threads (the acceptor pushes, drop
     /// drains).
     handles: Mutex<Vec<JoinHandle<()>>>,
     metrics: Mutex<NetMetricsInner>,
+    /// Bumped by [`NetServer::drain_connections`]; the evented loop
+    /// compares against its last-seen value.
+    drain_req: AtomicU64,
+    /// Connections currently draining (evented mode gauge).
+    draining: AtomicU64,
+    /// Lifetime write-buffer high-water mark in bytes (evented gauge).
+    write_hwm: AtomicU64,
 }
 
 impl NetShared {
-    fn lock_metrics(&self) -> MutexGuard<'_, NetMetricsInner> {
+    pub(crate) fn lock_metrics(&self) -> MutexGuard<'_, NetMetricsInner> {
         self.metrics.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -185,6 +220,28 @@ impl NetShared {
         *n = n.saturating_sub(1);
         self.cv.notify_all();
     }
+
+    fn set_active(&self, n: usize) {
+        *self.slots.lock().unwrap_or_else(|e| e.into_inner()) = n;
+    }
+
+    fn note_write_hwm(&self, bytes: u64) {
+        self.write_hwm.fetch_max(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Which serving engine is running behind [`NetServer`].
+enum Engine {
+    /// One acceptor thread + two threads per connection (the PR-4
+    /// baseline, kept as the comparison point and the non-Unix fallback).
+    Threaded { acceptor: Option<JoinHandle<()>> },
+    /// One event-loop thread multiplexing every connection through a
+    /// readiness poller.
+    #[cfg(unix)]
+    Evented {
+        driver: Option<JoinHandle<()>>,
+        wake: crate::poller::WakeHandle,
+    },
 }
 
 /// A running TCP front-end; dropping it drains in-flight requests,
@@ -193,7 +250,7 @@ pub struct NetServer {
     local_addr: SocketAddr,
     live: Arc<LiveServer>,
     shared: Arc<NetShared>,
-    acceptor: Option<JoinHandle<()>>,
+    engine: Engine,
 }
 
 impl std::fmt::Debug for NetServer {
@@ -230,8 +287,44 @@ impl NetServer {
                 bad_frames: 0,
                 breakdown: StageBreakdown::new(),
             }),
+            drain_req: AtomicU64::new(0),
+            draining: AtomicU64::new(0),
+            write_hwm: AtomicU64::new(0),
         });
         let max_inflight = opts.max_inflight_per_conn.max(1);
+        #[cfg(unix)]
+        if opts.evented {
+            let waker = crate::poller::Waker::new()?;
+            let wake = waker.handle()?;
+            let poller = crate::poller::Poller::new()?;
+            let driver = {
+                let shared = Arc::clone(&shared);
+                let live = Arc::clone(&live);
+                let write_hwm = opts.write_hwm_bytes.max(1);
+                let drain_timeout = opts.drain_timeout;
+                std::thread::spawn(move || {
+                    event_loop(
+                        listener,
+                        poller,
+                        waker,
+                        shared,
+                        live,
+                        max_inflight,
+                        write_hwm,
+                        drain_timeout,
+                    )
+                })
+            };
+            return Ok(NetServer {
+                local_addr,
+                live,
+                shared,
+                engine: Engine::Evented {
+                    driver: Some(driver),
+                    wake,
+                },
+            });
+        }
         let acceptor = {
             let shared = Arc::clone(&shared);
             let live = Arc::clone(&live);
@@ -241,7 +334,9 @@ impl NetServer {
             local_addr,
             live,
             shared,
-            acceptor: Some(acceptor),
+            engine: Engine::Threaded {
+                acceptor: Some(acceptor),
+            },
         })
     }
 
@@ -259,8 +354,34 @@ impl NetServer {
             active,
             frames: m.frames,
             bad_frames: m.bad_frames,
+            draining: self.shared.draining.load(Ordering::Relaxed) as usize,
+            write_buffer_hwm_bytes: self.shared.write_hwm.load(Ordering::Relaxed),
             net_breakdown: m.breakdown.clone(),
             live: self.live.metrics(),
+        }
+    }
+
+    /// Gracefully drains every *current* connection: stops reading from
+    /// them, finishes their in-flight replies, flushes, and closes — while
+    /// continuing to accept new connections. Clients observe all
+    /// outstanding responses followed by EOF; a pooled [`NetClient`]
+    /// transparently reconnects on its next submit.
+    ///
+    /// [`NetClient`]: crate::client::NetClient
+    pub fn drain_connections(&self) {
+        self.shared.drain_req.fetch_add(1, Ordering::SeqCst);
+        match &self.engine {
+            Engine::Threaded { .. } => {
+                // EOF every reader: in-flight replies drain through the
+                // writers, then the connection threads exit.
+                if let Ok(conns) = self.shared.conns.lock() {
+                    for stream in conns.values() {
+                        let _ = stream.shutdown(Shutdown::Read);
+                    }
+                }
+            }
+            #[cfg(unix)]
+            Engine::Evented { wake, .. } => wake.wake(),
         }
     }
 
@@ -280,7 +401,7 @@ impl NetServer {
 /// Renders the metrics exposition document from the network counters and
 /// the embedded live server's metrics. Stage rows merge the network-layer
 /// breakdown into the live one, mirroring [`NetMetrics::summary`].
-fn render_exposition(shared: &NetShared, live: &LiveServer) -> String {
+pub(crate) fn render_exposition(shared: &NetShared, live: &LiveServer) -> String {
     let (accepted, frames, bad_frames, net_breakdown) = {
         let m = shared.lock_metrics();
         (m.accepted, m.frames, m.bad_frames, m.breakdown.clone())
@@ -305,6 +426,30 @@ fn render_exposition(shared: &NetShared, live: &LiveServer) -> String {
         "Connections currently being served.",
     )
     .gauge("vserve_connections_active", active as f64);
+    e.header(
+        "vserve_conns_open",
+        "gauge",
+        "Connections currently open (registered with the event loop or served by threads).",
+    )
+    .gauge("vserve_conns_open", active as f64);
+    e.header(
+        "vserve_conns_draining",
+        "gauge",
+        "Connections finishing in-flight replies before close.",
+    )
+    .gauge(
+        "vserve_conns_draining",
+        shared.draining.load(Ordering::Relaxed) as f64,
+    );
+    e.header(
+        "vserve_write_buffer_hwm_bytes",
+        "gauge",
+        "Largest unflushed reply buffer any connection has held.",
+    )
+    .gauge(
+        "vserve_write_buffer_hwm_bytes",
+        shared.write_hwm.load(Ordering::Relaxed) as f64,
+    );
     e.header(
         "vserve_frames_total",
         "counter",
@@ -482,29 +627,338 @@ fn render_exposition(shared: &NetShared, live: &LiveServer) -> String {
 impl Drop for NetServer {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.cv.notify_all();
-        // Wake the acceptor out of its blocking accept.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        // EOF every reader; writers then drain their pending responses.
-        if let Ok(conns) = self.shared.conns.lock() {
-            for stream in conns.values() {
-                let _ = stream.shutdown(Shutdown::Read);
+        match &mut self.engine {
+            Engine::Threaded { acceptor } => {
+                self.shared.cv.notify_all();
+                // Wake the acceptor out of its blocking accept.
+                let _ = TcpStream::connect(self.local_addr);
+                if let Some(h) = acceptor.take() {
+                    let _ = h.join();
+                }
+                // EOF every reader; writers then drain their pending
+                // responses.
+                if let Ok(conns) = self.shared.conns.lock() {
+                    for stream in conns.values() {
+                        let _ = stream.shutdown(Shutdown::Read);
+                    }
+                }
+                let handles: Vec<_> = self
+                    .shared
+                    .handles
+                    .lock()
+                    .map(|mut h| h.drain(..).collect())
+                    .unwrap_or_default();
+                for h in handles {
+                    let _ = h.join();
+                }
             }
-        }
-        let handles: Vec<_> = self
-            .shared
-            .handles
-            .lock()
-            .map(|mut h| h.drain(..).collect())
-            .unwrap_or_default();
-        for h in handles {
-            let _ = h.join();
+            #[cfg(unix)]
+            Engine::Evented { driver, wake } => {
+                // The loop sees the shutdown flag, stops accepting, drains
+                // every connection (bounded by `drain_timeout`), and
+                // exits.
+                wake.wake();
+                if let Some(h) = driver.take() {
+                    let _ = h.join();
+                }
+            }
         }
         // The live server (still running until here so in-flight work can
         // finish) shuts down when its last Arc drops with `self.live`.
+    }
+}
+
+/// Slab tokens for the evented loop: 0 and 1 are reserved, connections
+/// start at [`TOKEN_BASE`]. The low 32 bits are `slab index + TOKEN_BASE`;
+/// the high 32 bits carry a generation so a completion hook firing after
+/// its connection closed (and the slab slot was reused) cannot be
+/// misdelivered.
+#[cfg(unix)]
+const TOKEN_LISTENER: u64 = 0;
+#[cfg(unix)]
+const TOKEN_WAKER: u64 = 1;
+#[cfg(unix)]
+const TOKEN_BASE: u64 = 2;
+
+#[cfg(unix)]
+fn conn_token(generation: u32, idx: usize) -> u64 {
+    ((generation as u64) << 32) | (idx as u64 + TOKEN_BASE)
+}
+
+#[cfg(unix)]
+fn token_index(token: u64) -> Option<usize> {
+    ((token & 0xFFFF_FFFF) as usize).checked_sub(TOKEN_BASE as usize)
+}
+
+/// The readiness-driven serving loop: one thread, every connection.
+///
+/// Invariants the loop maintains:
+/// * the listener is registered iff `open < max_conns` and the server is
+///   not shutting down (accept-side backpressure without a condvar);
+/// * each connection's poller interest always matches
+///   [`Conn::desired_interest`] — re-derived after every state change;
+/// * a completion token `(token, seq)` is delivered at most once and
+///   ignored unless the generation matches (stale hooks are harmless);
+/// * on shutdown, every connection drains (in-flight replies flush)
+///   before close, bounded by `drain_timeout`.
+#[cfg(unix)]
+#[allow(clippy::too_many_arguments)]
+fn event_loop(
+    listener: TcpListener,
+    mut poller: crate::poller::Poller,
+    waker: crate::poller::Waker,
+    shared: Arc<NetShared>,
+    live: Arc<LiveServer>,
+    max_inflight: usize,
+    write_hwm: usize,
+    drain_timeout: Duration,
+) {
+    use crate::conn::{Completions, Conn, ConnState, Ctx, Verdict};
+    use crate::poller::Interest;
+    use std::collections::HashSet;
+    use std::os::fd::AsRawFd;
+
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let lfd = listener.as_raw_fd();
+    if poller.add(lfd, TOKEN_LISTENER, Interest::READ).is_err() {
+        return;
+    }
+    if poller.add(waker.fd(), TOKEN_WAKER, Interest::READ).is_err() {
+        return;
+    }
+    let wake = match waker.handle() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let completions: Completions = Arc::new(Mutex::new(Vec::new()));
+    let tr = live.tracer().register("net-evented");
+
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut open = 0usize;
+    let mut generation: u32 = 1;
+    let mut accepting = true;
+    let mut drain_seen = 0u64;
+    let mut drain_deadline: Option<Instant> = None;
+    let mut events = Vec::new();
+    let mut touched: HashSet<usize> = HashSet::new();
+
+    loop {
+        let _ = poller.wait(&mut events, Some(Duration::from_millis(100)));
+        waker.drain();
+        touched.clear();
+
+        let ctx = Ctx {
+            shared: &shared,
+            live: &live,
+            tr: &tr,
+            completions: &completions,
+            wake: &wake,
+            max_inflight,
+            write_hwm,
+        };
+
+        // Server shutdown: stop accepting, drain everything, leave when
+        // the last connection closes or the timeout expires.
+        if shared.shutdown.load(Ordering::SeqCst) && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + drain_timeout);
+            if accepting {
+                let _ = poller.remove(lfd);
+                accepting = false;
+            }
+            for (i, c) in conns.iter_mut().enumerate() {
+                if let Some(c) = c {
+                    c.begin_drain();
+                    touched.insert(i);
+                }
+            }
+        }
+
+        // drain_connections(): drain current conns, keep accepting.
+        let dr = shared.drain_req.load(Ordering::SeqCst);
+        if dr != drain_seen && drain_deadline.is_none() {
+            drain_seen = dr;
+            for (i, c) in conns.iter_mut().enumerate() {
+                if let Some(c) = c {
+                    c.begin_drain();
+                    touched.insert(i);
+                }
+            }
+        }
+
+        // Reply completions pushed by live-server hooks.
+        let done: Vec<(u64, u64)> = {
+            let mut g = completions.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *g)
+        };
+        for (token, seq) in done {
+            if let Some(idx) = token_index(token) {
+                if let Some(Some(c)) = conns.get_mut(idx) {
+                    if c.token == token {
+                        c.on_completion(seq);
+                        touched.insert(idx);
+                    }
+                }
+            }
+        }
+
+        // Readiness events.
+        for ei in 0..events.len() {
+            let ev = events[ei];
+            match ev.token {
+                TOKEN_WAKER => {}
+                TOKEN_LISTENER => {
+                    while accepting && open < shared.max_conns {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                shared.lock_metrics().accepted += 1;
+                                let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                                let idx = free.pop().unwrap_or_else(|| {
+                                    conns.push(None);
+                                    conns.len() - 1
+                                });
+                                generation = generation.wrapping_add(1).max(1);
+                                let token = conn_token(generation, idx);
+                                match Conn::new(stream, conn_id, token) {
+                                    Ok(c) => {
+                                        if poller
+                                            .add(c.stream.as_raw_fd(), token, Interest::READ)
+                                            .is_ok()
+                                        {
+                                            conns[idx] = Some(c);
+                                            open += 1;
+                                            shared.set_active(open);
+                                            touched.insert(idx);
+                                        } else {
+                                            free.push(idx);
+                                        }
+                                    }
+                                    Err(_) => free.push(idx),
+                                }
+                            }
+                            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                            Err(_) => break,
+                        }
+                    }
+                    // At the cap: unregister so the backlog holds excess
+                    // connects (backpressure-before-accept, evented form).
+                    if accepting && open >= shared.max_conns {
+                        let _ = poller.remove(lfd);
+                        accepting = false;
+                    }
+                }
+                token => {
+                    if let Some(idx) = token_index(token) {
+                        let alive = matches!(
+                            conns.get(idx),
+                            Some(Some(c)) if c.token == token
+                        );
+                        if !alive {
+                            continue;
+                        }
+                        let c = conns[idx].as_mut().expect("checked above");
+                        let verdict = if ev.hangup && !ev.readable {
+                            // Hard error with nothing left to read.
+                            Verdict::Close
+                        } else if ev.readable {
+                            c.on_readable(&ctx)
+                        } else {
+                            Verdict::Keep
+                        };
+                        if verdict == Verdict::Close {
+                            close_conn(&mut poller, &mut conns, &mut free, &mut open, idx, &shared);
+                            touched.remove(&idx);
+                        } else {
+                            touched.insert(idx);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Flush + re-derive interest for every connection whose state
+        // moved this tick.
+        let idxs: Vec<usize> = touched.iter().copied().collect();
+        for idx in idxs {
+            let Some(Some(c)) = conns.get_mut(idx) else {
+                continue;
+            };
+            let verdict = c.flush(&ctx);
+            shared.note_write_hwm(c.out_hwm as u64);
+            if verdict == Verdict::Close {
+                close_conn(&mut poller, &mut conns, &mut free, &mut open, idx, &shared);
+                continue;
+            }
+            let want = c.desired_interest(&ctx);
+            if want != c.applied {
+                let interest = Interest {
+                    read: want.0,
+                    write: want.1,
+                };
+                if poller
+                    .modify(c.stream.as_raw_fd(), c.token, interest)
+                    .is_ok()
+                {
+                    c.applied = want;
+                }
+            }
+        }
+
+        // Publish the draining gauge from actual state (cheap: one pass
+        // over the slab, which is bounded by the connection cap).
+        let draining = conns
+            .iter()
+            .flatten()
+            .filter(|c| c.state == ConnState::Draining)
+            .count();
+        shared.draining.store(draining as u64, Ordering::Relaxed);
+
+        // Capacity freed while gated: resume accepting.
+        if !accepting && drain_deadline.is_none() && open < shared.max_conns {
+            if poller.add(lfd, TOKEN_LISTENER, Interest::READ).is_ok() {
+                accepting = true;
+            }
+        }
+
+        if let Some(deadline) = drain_deadline {
+            if open == 0 {
+                return;
+            }
+            if Instant::now() >= deadline {
+                // Drain timeout: force-close what remains.
+                for idx in 0..conns.len() {
+                    if conns[idx].is_some() {
+                        close_conn(&mut poller, &mut conns, &mut free, &mut open, idx, &shared);
+                    }
+                }
+                shared.draining.store(0, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+/// Unregisters and drops one connection, updating the open count, the
+/// active gauge, and the slab free list.
+#[cfg(unix)]
+fn close_conn(
+    poller: &mut crate::poller::Poller,
+    conns: &mut [Option<crate::conn::Conn>],
+    free: &mut Vec<usize>,
+    open: &mut usize,
+    idx: usize,
+    shared: &NetShared,
+) {
+    use std::os::fd::AsRawFd;
+    if let Some(c) = conns[idx].take() {
+        let _ = poller.remove(c.stream.as_raw_fd());
+        let _ = c.stream.shutdown(Shutdown::Both);
+        *open = open.saturating_sub(1);
+        shared.set_active(*open);
+        free.push(idx);
     }
 }
 
@@ -593,7 +1047,7 @@ fn serve_conn(
 /// Mask selecting the wire-id bits of a composed trace id; the upper 16
 /// bits carry `conn_id + 1` so ids from different connections (and the
 /// live server's own 1-based counter) cannot collide.
-const TRACE_WIRE_ID_MASK: u64 = 0x0000_FFFF_FFFF_FFFF;
+pub(crate) const TRACE_WIRE_ID_MASK: u64 = 0x0000_FFFF_FFFF_FFFF;
 
 fn read_loop(
     stream: &mut TcpStream,
@@ -712,7 +1166,7 @@ fn read_loop(
 
 /// Checks a parsed frame against the deployment; `Some` is an immediate
 /// typed rejection (`BadFrame` additionally closes the connection).
-fn validate(req: &RequestFrame<'_>, shared: &NetShared) -> Option<(Status, String)> {
+pub(crate) fn validate(req: &RequestFrame<'_>, shared: &NetShared) -> Option<(Status, String)> {
     if !req.model.is_empty() && req.model != shared.model_name {
         return Some((
             Status::UnknownModel,

@@ -537,6 +537,130 @@ pub fn read_frame_into<R: std::io::Read>(
     Ok(Some(start.elapsed()))
 }
 
+/// Resumable incremental frame assembly for nonblocking streams.
+///
+/// The evented server reads whatever bytes the kernel has — possibly a
+/// partial header, possibly several frames fused — and feeds them here.
+/// The assembler buffers across reads, validates each length prefix via
+/// [`check_frame_len`] the moment its four bytes are available (a hostile
+/// prefix poisons the stream *before* any body byte is buffered), and
+/// yields complete bodies in order via [`next_frame`](Self::next_frame).
+///
+/// Memory stays proportional to bytes actually received: the body
+/// allocation grows with arrival, never pre-reserved from the claimed
+/// length, so a slow-loris peer announcing a 32 MiB frame and sending one
+/// byte holds one byte of buffer, not 32 MiB.
+///
+/// The per-frame `transfer` duration mirrors [`read_frame_into`]: time
+/// from the header completing to the body completing — the measured
+/// data-transfer leg that feeds the `0-net-transfer` span.
+///
+/// Errors are sticky: after any [`WireError`] the stream cannot be
+/// re-synchronized and every later call fails.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    start: usize,
+    body_len: Option<usize>,
+    header_at: Option<Instant>,
+    poisoned: bool,
+}
+
+impl FrameAssembler {
+    /// An empty assembler at a frame boundary.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Bytes buffered and not yet yielded as frames (partial header +
+    /// partial body). Feeds the write-buffer/read-buffer gauges.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether the stream is mid-frame: a clean EOF here means the peer
+    /// died inside a frame rather than between frames.
+    pub fn mid_frame(&self) -> bool {
+        self.body_len.is_some() || self.buffered() > 0
+    }
+
+    /// Appends freshly read bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sticky [`WireError`] if the stream is already
+    /// poisoned, or poisons it now when these bytes complete an invalid
+    /// length prefix.
+    pub fn extend(&mut self, chunk: &[u8]) -> Result<(), WireError> {
+        if self.poisoned {
+            return Err(WireError("frame stream poisoned by earlier error"));
+        }
+        // Compact the consumed prefix before growing: the retained tail
+        // is at most one partial frame.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+        self.validate_header()
+    }
+
+    /// Yields the next complete frame body, or `Ok(None)` when the buffer
+    /// holds less than one frame. The returned slice borrows the internal
+    /// buffer: decode (and copy out what outlives the borrow) before the
+    /// next [`extend`](Self::extend).
+    ///
+    /// # Errors
+    ///
+    /// Returns the sticky [`WireError`] on a poisoned stream or when the
+    /// next length prefix is invalid.
+    pub fn next_frame(&mut self) -> Result<Option<(&[u8], Duration)>, WireError> {
+        self.validate_header()?;
+        let len = match self.body_len {
+            Some(len) => len,
+            None => return Ok(None),
+        };
+        if self.buffered() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let body_start = self.start + HEADER_LEN;
+        self.start = body_start + len;
+        self.body_len = None;
+        let transfer = self
+            .header_at
+            .take()
+            .map(|t| t.elapsed())
+            .unwrap_or_default();
+        Ok(Some((&self.buf[body_start..body_start + len], transfer)))
+    }
+
+    fn validate_header(&mut self) -> Result<(), WireError> {
+        if self.poisoned {
+            return Err(WireError("frame stream poisoned by earlier error"));
+        }
+        if self.body_len.is_none() && self.buffered() >= HEADER_LEN {
+            let s = self.start;
+            let header = [
+                self.buf[s],
+                self.buf[s + 1],
+                self.buf[s + 2],
+                self.buf[s + 3],
+            ];
+            match check_frame_len(header) {
+                Ok(len) => {
+                    self.body_len = Some(len);
+                    self.header_at = Some(Instant::now());
+                }
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -972,5 +1096,115 @@ mod metrics_frame_tests {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod assembler_tests {
+    use super::*;
+
+    fn frame(id: u64) -> Vec<u8> {
+        let jpeg = vec![0xffu8, 0xd8, 0xff, 0xe0, 9, 8, 7];
+        let mut buf = Vec::new();
+        encode_request(
+            &mut buf,
+            &RequestFrame {
+                id,
+                side: 224,
+                deadline_us: 0,
+                model: "micro-cnn",
+                jpeg: &jpeg,
+            },
+        );
+        buf
+    }
+
+    #[test]
+    fn byte_at_a_time_matches_whole_frame_decode() {
+        let buf = frame(42);
+        let mut asm = FrameAssembler::new();
+        let mut yielded = None;
+        for (i, b) in buf.iter().enumerate() {
+            asm.extend(std::slice::from_ref(b)).unwrap();
+            if let Some((body, transfer)) = asm.next_frame().unwrap() {
+                assert_eq!(i, buf.len() - 1, "must complete on the last byte only");
+                let f = decode_request(body).unwrap();
+                yielded = Some((f.id, transfer));
+            }
+        }
+        let (id, transfer) = yielded.expect("frame must assemble");
+        assert_eq!(id, 42);
+        // Header completed well before the last body byte arrived.
+        assert!(transfer > Duration::ZERO || cfg!(miri));
+        assert!(!asm.mid_frame());
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn fused_frames_in_one_chunk_come_out_in_order() {
+        let mut chunk = Vec::new();
+        for id in [1u64, 2, 3] {
+            chunk.extend_from_slice(&frame(id));
+        }
+        let mut asm = FrameAssembler::new();
+        asm.extend(&chunk).unwrap();
+        let mut ids = Vec::new();
+        while let Some((body, _)) = asm.next_frame().unwrap() {
+            ids.push(decode_request(body).unwrap().id);
+        }
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert!(!asm.mid_frame());
+    }
+
+    #[test]
+    fn split_across_arbitrary_chunk_boundaries() {
+        let mut stream = Vec::new();
+        for id in [10u64, 11] {
+            stream.extend_from_slice(&frame(id));
+        }
+        // Every split point of two fused frames yields exactly two frames.
+        for cut in 1..stream.len() {
+            let mut asm = FrameAssembler::new();
+            let mut ids = Vec::new();
+            for chunk in [&stream[..cut], &stream[cut..]] {
+                asm.extend(chunk).unwrap();
+                while let Some((body, _)) = asm.next_frame().unwrap() {
+                    ids.push(decode_request(body).unwrap().id);
+                }
+            }
+            assert_eq!(ids, vec![10, 11], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_length_poisons_before_body_buffers() {
+        let mut asm = FrameAssembler::new();
+        // Claims a body far beyond MAX_FRAME_LEN.
+        let hostile = (u32::MAX).to_le_bytes();
+        assert!(asm.extend(&hostile).is_err(), "oversized prefix must fail");
+        // Sticky: everything after the poison fails too.
+        assert!(asm.extend(b"more").is_err());
+        assert!(asm.next_frame().is_err());
+    }
+
+    #[test]
+    fn runt_length_poisons() {
+        let mut asm = FrameAssembler::new();
+        // Valid u32 but smaller than any legal body.
+        let runt = 1u32.to_le_bytes();
+        assert!(asm.extend(&runt).is_err(), "runt prefix must fail");
+    }
+
+    #[test]
+    fn mid_frame_reports_partial_state() {
+        let buf = frame(5);
+        let mut asm = FrameAssembler::new();
+        asm.extend(&buf[..6]).unwrap();
+        assert!(asm.next_frame().unwrap().is_none());
+        assert!(asm.mid_frame());
+        assert_eq!(asm.buffered(), 6);
+        asm.extend(&buf[6..]).unwrap();
+        assert!(asm.next_frame().unwrap().is_some());
+        assert!(!asm.mid_frame());
     }
 }

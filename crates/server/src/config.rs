@@ -178,6 +178,12 @@ pub struct ServerConfig {
     /// or the framed TCP front-end (per-request transfer + deserialize
     /// charges from the `CpuModel` rpc knobs).
     pub rpc: RpcPath,
+    /// Front-end server shards behind the router tier (`vserve-net`'s
+    /// `Router`). Scales dispatch and CPU-preprocessing capacity by the
+    /// shard count; when `> 1` under [`RpcPath::Tcp`], each request is
+    /// charged one extra `CpuModel::rpc_time()` router hop. `0` is
+    /// treated as `1`.
+    pub shards: usize,
 }
 
 impl ServerConfig {
@@ -198,6 +204,7 @@ impl ServerConfig {
             preproc_path: PreprocPath::Baseline,
             preproc_cache_hit_rate: 0.0,
             rpc: RpcPath::InProcess,
+            shards: 1,
         }
     }
 
@@ -227,6 +234,7 @@ impl ServerConfig {
             preproc_path: PreprocPath::Baseline,
             preproc_cache_hit_rate: 0.0,
             rpc: RpcPath::InProcess,
+            shards: 1,
         }
     }
 
@@ -255,6 +263,16 @@ impl ServerConfig {
     /// measures on a real socket.
     pub fn with_rpc(mut self, rpc: RpcPath) -> Self {
         self.rpc = rpc;
+        self
+    }
+
+    /// Splits the front-end into `shards` servers behind the router tier
+    /// (`vserve-net`'s `Router`): dispatch and CPU-preprocessing
+    /// capacity scale with the shard count, and requests arriving over
+    /// [`RpcPath::Tcp`] pay one extra `CpuModel::rpc_time()` router hop
+    /// when `shards > 1`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 

@@ -280,6 +280,54 @@ mod tests {
             fixed.latency.p99
         );
     }
+
+    #[test]
+    fn shards_scale_cpu_preproc_capacity() {
+        // A CPU-preprocessing-bound deployment gains front-end capacity
+        // from sharding: each shard brings its own preproc pool, exactly
+        // like the live router binding one NetServer stack per shard.
+        let one = experiment(
+            ImageSpec::large(),
+            ServerConfig::optimized_cpu_preproc(),
+            512,
+        )
+        .run();
+        let four = experiment(
+            ImageSpec::large(),
+            ServerConfig::optimized_cpu_preproc().with_shards(4),
+            512,
+        )
+        .run();
+        let scale = four.throughput / one.throughput;
+        assert!(scale > 1.5, "shard scaling {scale}");
+    }
+
+    #[test]
+    fn sharded_tcp_pays_one_extra_router_hop() {
+        let single = experiment(
+            ImageSpec::medium(),
+            ServerConfig::optimized().with_rpc(RpcPath::Tcp),
+            8,
+        )
+        .run();
+        let sharded = experiment(
+            ImageSpec::medium(),
+            ServerConfig::optimized()
+                .with_rpc(RpcPath::Tcp)
+                .with_shards(2),
+            8,
+        )
+        .run();
+        let hop = |r: &ServerReport| r.breakdown.mean(stages::DESERIALIZE);
+        let ratio = hop(&sharded) / hop(&single);
+        // Two frame parses instead of one; jitter keeps it off exactly 2.
+        assert!(
+            (1.6..=2.4).contains(&ratio),
+            "router hop ratio {ratio} (single {}, sharded {})",
+            hop(&single),
+            hop(&sharded)
+        );
+    }
 }
 
 #[cfg(test)]

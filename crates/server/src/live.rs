@@ -363,6 +363,45 @@ impl Shared {
     }
 }
 
+/// The receiver half of a request's reply channel, as returned by the
+/// `submit*` family. Named so downstream crates (the net front-end) can
+/// store it without depending on the channel crate directly.
+pub type ReplyReceiver = Receiver<Result<LiveResult, LiveError>>;
+
+/// A per-request reply channel plus an optional completion hook.
+///
+/// Blocking callers just `recv()` the channel. The evented net front-end
+/// cannot park a thread per request, so [`LiveServer::submit_hooked`]
+/// attaches a hook that fires **exactly once** after the reply value is
+/// in the channel — the hook enqueues a completion token and wakes the
+/// event loop, which then `try_recv`s the already-filled channel without
+/// blocking. If a slot is dropped unreplied (worker shutdown, a send
+/// path skipped), `Drop` fires the hook anyway so the front-end sees the
+/// request die as `Disconnected` instead of leaking the connection slot.
+struct ReplySlot {
+    tx: Sender<Result<LiveResult, LiveError>>,
+    hook: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl ReplySlot {
+    /// Delivers the reply, then fires the hook. Consumes the slot so the
+    /// hook cannot fire twice (Drop sees it already taken).
+    fn send(mut self, msg: Result<LiveResult, LiveError>) {
+        let _ = self.tx.send(msg);
+        if let Some(hook) = self.hook.take() {
+            hook();
+        }
+    }
+}
+
+impl Drop for ReplySlot {
+    fn drop(&mut self) {
+        if let Some(hook) = self.hook.take() {
+            hook();
+        }
+    }
+}
+
 struct Job {
     /// Trace identity: joins this request's spans across threads (and,
     /// for wire requests, to the front-end's transfer spans).
@@ -370,7 +409,7 @@ struct Job {
     jpeg: Vec<u8>,
     submitted: Instant,
     deadline: Option<Instant>,
-    reply: Sender<Result<LiveResult, LiveError>>,
+    reply: ReplySlot,
 }
 
 struct Ready {
@@ -382,7 +421,7 @@ struct Ready {
     preproc: Duration,
     preproc_done: Instant,
     deadline: Option<Instant>,
-    reply: Sender<Result<LiveResult, LiveError>>,
+    reply: ReplySlot,
 }
 
 /// A running live server; dropping it shuts down all worker threads.
@@ -617,7 +656,7 @@ impl LiveServer {
                 let mut dropped = Vec::new();
                 for r in batch {
                     if r.deadline.is_some_and(|d| now >= d) {
-                        dropped.push(r.reply.clone());
+                        dropped.push(r.reply);
                     } else {
                         live.push(r);
                     }
@@ -816,6 +855,37 @@ impl LiveServer {
         deadline: Option<Duration>,
         trace_id: Option<u64>,
     ) -> Receiver<Result<LiveResult, LiveError>> {
+        self.submit_inner(jpeg, deadline, trace_id, None)
+    }
+
+    /// Like [`submit_traced`](Self::submit_traced), but attaches a
+    /// completion hook that fires exactly once after the reply value is
+    /// placed in the returned channel (including the shed paths and, on
+    /// shutdown, a dropped-unreplied request — `try_recv` then yields
+    /// `Err`, which callers should treat as [`LiveError::Disconnected`]).
+    ///
+    /// This is the bridge for readiness-driven callers: the evented net
+    /// front-end passes a hook that pushes a completion token and wakes
+    /// its poller, so no thread ever blocks on the receiver. By the time
+    /// the hook runs, `try_recv` on the returned channel is guaranteed to
+    /// succeed for replied requests.
+    pub fn submit_hooked(
+        &self,
+        jpeg: Vec<u8>,
+        deadline: Option<Duration>,
+        trace_id: Option<u64>,
+        hook: Box<dyn FnOnce() + Send>,
+    ) -> Receiver<Result<LiveResult, LiveError>> {
+        self.submit_inner(jpeg, deadline, trace_id, Some(hook))
+    }
+
+    fn submit_inner(
+        &self,
+        jpeg: Vec<u8>,
+        deadline: Option<Duration>,
+        trace_id: Option<u64>,
+        hook: Option<Box<dyn FnOnce() + Send>>,
+    ) -> Receiver<Result<LiveResult, LiveError>> {
         let (tx, rx) = bounded(1);
         let now = Instant::now();
         let id = trace_id.unwrap_or_else(|| self.next_req.fetch_add(1, Ordering::Relaxed));
@@ -825,7 +895,7 @@ impl LiveServer {
             jpeg,
             submitted: now,
             deadline: deadline.or(self.deadline).map(|d| now + d),
-            reply: tx,
+            reply: ReplySlot { tx, hook },
         };
         let Some(ingress) = &self.ingress else {
             return rx;
@@ -972,6 +1042,85 @@ mod tests {
         let server = tiny_server(4);
         let err = server.infer(vec![1, 2, 3]).unwrap_err();
         assert!(matches!(err, LiveError::Decode(_)));
+    }
+
+    #[test]
+    fn hook_fires_after_reply_is_receivable() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let server = tiny_server(4);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let (notify_tx, notify_rx) = bounded::<()>(8);
+        // Success path: by the time the hook runs, try_recv must succeed.
+        let jpeg = synthetic_jpeg(&ImageSpec::new(48, 40, 0), 5);
+        let f = Arc::clone(&fired);
+        let n = notify_tx.clone();
+        let rx = server.submit_hooked(
+            jpeg,
+            None,
+            None,
+            Box::new(move || {
+                f.fetch_add(1, Ordering::SeqCst);
+                let _ = n.send(());
+            }),
+        );
+        notify_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("hook must fire");
+        let r = rx.try_recv().expect("reply must precede hook");
+        assert_eq!(r.unwrap().output.len(), 10);
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "hook fires exactly once");
+
+        // Error path (decode failure) fires the hook the same way.
+        let f = Arc::clone(&fired);
+        let n = notify_tx.clone();
+        let rx = server.submit_hooked(
+            vec![1, 2, 3],
+            None,
+            None,
+            Box::new(move || {
+                f.fetch_add(1, Ordering::SeqCst);
+                let _ = n.send(());
+            }),
+        );
+        notify_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("hook must fire on error path");
+        assert!(matches!(
+            rx.try_recv().expect("error reply must precede hook"),
+            Err(LiveError::Decode(_))
+        ));
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn hook_fires_on_shutdown_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Requests still queued when the server shuts down must fire
+        // their hooks (via ReplySlot::drop), so an evented front-end can
+        // fail them as Disconnected instead of leaking conn slots.
+        let fired = Arc::new(AtomicUsize::new(0));
+        let n_requests: usize = 12;
+        {
+            let server = tiny_server(4);
+            for i in 0..n_requests {
+                let f = Arc::clone(&fired);
+                let _ = server.submit_hooked(
+                    synthetic_jpeg(&ImageSpec::new(40, 40, 0), 100 + i as u64),
+                    None,
+                    None,
+                    Box::new(move || {
+                        f.fetch_add(1, Ordering::SeqCst);
+                    }),
+                );
+            }
+            // Dropping the server here: some requests complete, the rest
+            // are dropped by worker shutdown.
+        }
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            n_requests,
+            "every submitted request fires its hook exactly once"
+        );
     }
 
     #[test]

@@ -149,8 +149,11 @@ impl ServerSim {
             rng: RngStream::derive(seed, "server"),
             closed_loop,
             arrivals: None,
-            dispatch: MultiServer::new(4),
-            preproc_pool: MultiServer::new(config.preproc_workers.max(1)),
+            // Each front-end shard brings its own dispatch threads and
+            // CPU preprocessing pool (the live router binds one full
+            // `NetServer` stack per shard).
+            dispatch: MultiServer::new(4 * config.shards.max(1)),
+            preproc_pool: MultiServer::new(config.preproc_workers.max(1) * config.shards.max(1)),
             staging: SharedBandwidth::new(node.cpu.staging_bytes_per_s),
             staging_jobs: HashMap::new(),
             gpus,
@@ -210,7 +213,10 @@ fn inject(sim: &mut ServerSim, eng: &mut Eng) {
             // request bytes cross the wire, then the frame is parsed —
             // both before the request exists for the dispatcher.
             let transfer = sim.node.cpu.serialize_time(img.compressed_bytes) * sim.jitter(0.2);
-            let deserialize = sim.node.cpu.rpc_time() * sim.jitter(0.2);
+            // Sharded deployments pay one extra frame-parse hop at the
+            // router tier before the shard's own deserialize.
+            let hops = if sim.config.shards > 1 { 2.0 } else { 1.0 };
+            let deserialize = hops * sim.node.cpu.rpc_time() * sim.jitter(0.2);
             {
                 let rq = sim.req(id);
                 rq.net_transfer_s = transfer;

@@ -350,3 +350,454 @@ fn scrape_exposes_served_traffic_over_the_wire() {
     let again = vserve_net::scrape(addr).expect("scrape via free fn");
     assert!(again.contains("vserve_requests_completed_total 5"));
 }
+
+/// True when the servers in this process run the evented front-end
+/// (mirrors `NetOptions::evented`'s env default).
+fn evented_mode() -> bool {
+    match std::env::var(vserve_net::NET_EVENTED_ENV) {
+        Ok(v) => matches!(v.trim(), "1" | "true" | "yes" | "on"),
+        Err(_) => cfg!(unix),
+    }
+}
+
+/// Pulls the value of a single-sample gauge out of an exposition.
+fn gauge(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or_else(|| panic!("gauge {name} missing from exposition"))
+}
+
+/// The `VRM1` exposition carries the event loop's connection gauges:
+/// open connections, draining connections, and the per-connection write
+/// buffer's high-water mark.
+#[test]
+fn scrape_exposes_connection_gauges() {
+    let server = NetServer::bind(
+        model(),
+        NetOptions {
+            live: opts(),
+            ..NetOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let client = NetClient::connect(
+        addr,
+        ClientOptions {
+            pool: 2,
+            ..ClientOptions::default()
+        },
+    )
+    .expect("connect");
+    client.infer(&payload(1)).expect("infer");
+
+    let text = client.scrape().expect("scrape");
+    // The pooled data connections are open while the scrape runs (the
+    // scrape's own short-lived conn may or may not still be counted).
+    assert!(
+        gauge(&text, "vserve_conns_open ") >= 2.0,
+        "pool of 2 must show as open conns: {}",
+        gauge(&text, "vserve_conns_open ")
+    );
+    assert_eq!(gauge(&text, "vserve_conns_draining "), 0.0);
+    // Present and numeric; loopback replies usually flush straight into
+    // the socket buffer, so the high-water mark may legitimately be 0.
+    assert!(gauge(&text, "vserve_write_buffer_hwm_bytes ") >= 0.0);
+
+    // After a graceful drain with nothing in flight, every connection
+    // closes and nothing is stuck draining. Polled through the in-process
+    // metrics view so the poll itself keeps no connection open. The
+    // threaded acceptor pre-reserves one slot while blocked in accept(),
+    // so its idle floor is 1, not 0.
+    let floor = if evented_mode() { 0 } else { 1 };
+    server.drain_connections();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let m = server.metrics();
+        if m.active <= floor && m.draining == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "drained conns never left the gauges: {} open, {} draining",
+            m.active,
+            m.draining
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The exposition (same document a scrape frame gets) agrees.
+    let text = server.exposition();
+    assert!(gauge(&text, "vserve_conns_open ") <= floor as f64);
+    assert_eq!(gauge(&text, "vserve_conns_draining "), 0.0);
+}
+
+/// A slow-loris sender dribbling a valid request one byte at a time must
+/// neither block the loop (a concurrent fast client keeps being served
+/// mid-dribble) nor lose its own request: the dribbled frame completes.
+#[test]
+fn slow_loris_byte_at_a_time_sender_is_served_without_blocking_others() {
+    let server = NetServer::bind(
+        model(),
+        NetOptions {
+            live: opts(),
+            ..NetOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let jpeg = payload(11);
+    let mut frame = Vec::new();
+    vserve_net::wire::encode_request(
+        &mut frame,
+        &vserve_net::RequestFrame {
+            id: 1,
+            side: 0,
+            deadline_us: 0,
+            model: "",
+            jpeg: &jpeg,
+        },
+    );
+
+    let slow = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).expect("connect slow");
+        s.set_nodelay(true).ok();
+        s.set_read_timeout(Some(Duration::from_secs(30))).ok();
+        for (i, b) in frame.iter().enumerate() {
+            s.write_all(std::slice::from_ref(b)).expect("dribble byte");
+            // Stretch the dribble over real time without taking minutes.
+            if i % 64 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let mut body = Vec::new();
+        match vserve_net::wire::read_frame_into(&mut s, &mut body) {
+            Ok(Some(_)) => {}
+            other => panic!("slow sender got no reply: {other:?}"),
+        }
+        let resp = vserve_net::wire::decode_response(&body).expect("decode");
+        assert_eq!(resp.id, 1);
+        assert_eq!(resp.status, Status::Ok, "dribbled frame must complete");
+    });
+
+    // While the dribble is in progress, a normal client is unaffected.
+    let client = NetClient::connect(addr, ClientOptions::default()).expect("connect fast");
+    for i in 0..10 {
+        assert_eq!(
+            client
+                .infer(&payload(50 + i))
+                .expect("fast infer")
+                .output
+                .len(),
+            10
+        );
+    }
+    slow.join().expect("slow sender thread");
+}
+
+/// A client that pipelines far past the per-connection in-flight cap and
+/// then stalls (never reading) must be flow-controlled — not grow server
+/// memory, not block other connections — and still receive every reply
+/// once it finally reads.
+#[test]
+fn stalled_reader_is_flow_controlled_not_fatal() {
+    let server = NetServer::bind(
+        model(),
+        NetOptions {
+            max_inflight_per_conn: 2,
+            live: opts(),
+            ..NetOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    const BURST: u64 = 24;
+    let mut stalled = TcpStream::connect(addr).expect("connect stalled");
+    stalled.set_nodelay(true).ok();
+    stalled.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    let mut bytes = Vec::new();
+    for id in 0..BURST {
+        let jpeg = payload(200 + id);
+        vserve_net::wire::encode_request(
+            &mut bytes,
+            &vserve_net::RequestFrame {
+                id,
+                side: 0,
+                deadline_us: 0,
+                model: "",
+                jpeg: &jpeg,
+            },
+        );
+    }
+    // Fire the whole burst without reading a single reply.
+    stalled.write_all(&bytes).expect("burst write");
+
+    // The stall must not starve anyone else.
+    let client = NetClient::connect(addr, ClientOptions::default()).expect("connect healthy");
+    for i in 0..10 {
+        assert_eq!(
+            client
+                .infer(&payload(70 + i))
+                .expect("healthy infer")
+                .output
+                .len(),
+            10
+        );
+    }
+
+    // Now drain the stalled socket: every reply arrives exactly once.
+    let mut got = std::collections::HashSet::new();
+    let mut body = Vec::new();
+    for _ in 0..BURST {
+        match vserve_net::wire::read_frame_into(&mut stalled, &mut body) {
+            Ok(Some(_)) => {}
+            other => panic!("stalled reader missing replies: {other:?}"),
+        }
+        let resp = vserve_net::wire::decode_response(&body).expect("decode");
+        assert_eq!(resp.status, Status::Ok);
+        assert!(got.insert(resp.id), "duplicate reply id {}", resp.id);
+    }
+    assert_eq!(got.len(), BURST as usize);
+}
+
+/// Mid-frame disconnects — a client vanishing with half a header or half
+/// a body on the wire — must never wedge the loop or take other
+/// connections down.
+#[test]
+fn mid_frame_disconnects_leave_server_healthy() {
+    let server = NetServer::bind(
+        model(),
+        NetOptions {
+            live: opts(),
+            ..NetOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let jpeg = payload(31);
+    let mut frame = Vec::new();
+    vserve_net::wire::encode_request(
+        &mut frame,
+        &vserve_net::RequestFrame {
+            id: 3,
+            side: 0,
+            deadline_us: 0,
+            model: "",
+            jpeg: &jpeg,
+        },
+    );
+
+    // Cut points: inside the header, right after it, and mid-body.
+    for cut in [1usize, 3, 4, 7, frame.len() / 2, frame.len() - 1] {
+        for shutdown_first in [false, true] {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&frame[..cut]).expect("partial write");
+            if shutdown_first {
+                let _ = s.shutdown(std::net::Shutdown::Write);
+            }
+            drop(s); // vanish mid-frame
+        }
+    }
+
+    // Everyone else is fine, including a full request/response cycle.
+    let client = NetClient::connect(addr, ClientOptions::default()).expect("connect");
+    assert_eq!(
+        client
+            .infer(&jpeg)
+            .expect("post-gauntlet infer")
+            .output
+            .len(),
+        10
+    );
+    // The abandoned partial frames never became requests.
+    assert_eq!(server.metrics().live.completed, 1);
+}
+
+/// High-connection smoke: the evented front-end holds hundreds-to-
+/// thousands of idle connections (bounded only by the fd soft limit)
+/// while still serving. `VSERVE_NET_SMOKE_CONNS` scales it up to the
+/// 10k-connection CI run; threaded mode skips (thread-per-conn is the
+/// baseline this exists to beat).
+#[test]
+fn idle_connection_flood_smoke() {
+    if !evented_mode() {
+        return; // 2×N threads would be the old architecture's problem
+    }
+    let budget = vserve_net::fd_soft_limit()
+        .map(|l| (l.saturating_sub(512) / 2) as usize)
+        .unwrap_or(256);
+    let want: usize = std::env::var("VSERVE_NET_SMOKE_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512);
+    let n = want.min(budget);
+    if n < 64 {
+        return; // fd limit too tight to say anything useful
+    }
+
+    let server = NetServer::bind(
+        model(),
+        NetOptions {
+            max_conns: n + 16,
+            live: opts(),
+            ..NetOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut idle = Vec::with_capacity(n);
+    for i in 0..n {
+        match TcpStream::connect(addr) {
+            Ok(s) => idle.push(s),
+            Err(e) => panic!("connect {i}/{n} failed: {e}"),
+        }
+    }
+    // Wait for the acceptor to register the flood.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while server.metrics().active < n {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "only {}/{} conns registered",
+            server.metrics().active,
+            n
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Still serving under the flood — and the gauges see it.
+    let client = NetClient::connect(addr, ClientOptions::default()).expect("connect");
+    for i in 0..5 {
+        assert_eq!(
+            client.infer(&payload(90 + i)).expect("infer").output.len(),
+            10
+        );
+    }
+    let text = client.scrape().expect("scrape");
+    assert!(
+        gauge(&text, "vserve_conns_open ") >= n as f64,
+        "gauge below flood size: {}",
+        gauge(&text, "vserve_conns_open ")
+    );
+
+    drop(idle);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while server.metrics().active > 8 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle conns never closed: {} still open",
+            server.metrics().active
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The router tier changes *where* a request is served, never *what* it
+/// answers: outputs through N shards are bit-identical to the in-process
+/// server, under both placement policies.
+#[test]
+fn router_tier_bit_identical_to_in_process() {
+    use vserve_net::{Router, RouterOptions, ShardPolicy};
+
+    let payloads: Vec<Vec<u8>> = (0..8).map(payload).collect();
+    let reference: Vec<Vec<f32>> = {
+        let live = LiveServer::start(model(), opts());
+        payloads
+            .iter()
+            .map(|p| live.infer(p.clone()).expect("in-process infer").output)
+            .collect()
+    };
+
+    for policy in [ShardPolicy::LeastLoaded, ShardPolicy::ConsistentHash] {
+        let router = Router::bind(
+            model(),
+            RouterOptions {
+                shards: 3,
+                policy,
+                net: NetOptions {
+                    live: opts(),
+                    ..NetOptions::default()
+                },
+            },
+        )
+        .expect("bind router");
+        let client = router
+            .client(ClientOptions::default())
+            .expect("router client");
+        for (i, p) in payloads.iter().enumerate() {
+            let r = client.infer(p).expect("routed infer");
+            assert_eq!(
+                r.output, reference[i],
+                "payload {i} diverged through the {policy:?} router"
+            );
+        }
+        let served: u64 = router.metrics().iter().map(|m| m.live.completed).sum();
+        assert_eq!(served, payloads.len() as u64);
+    }
+}
+
+/// The wire's own spans (`0-net-transfer`, `0-deserialize`) must join the
+/// live pipeline's timeline under the same composed request id, so one
+/// trace shows a request from first byte to batched inference — through
+/// the event loop exactly as through the threaded path.
+#[test]
+fn wire_spans_join_live_timeline() {
+    use vserve_server::stages;
+    use vserve_trace::Tracer;
+
+    let tracer = Tracer::with_capacity(1 << 14);
+    let server = NetServer::bind(
+        model(),
+        NetOptions {
+            live: LiveOptions {
+                trace: tracer.clone(),
+                ..opts()
+            },
+            ..NetOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let client =
+        NetClient::connect(server.local_addr(), ClientOptions::default()).expect("connect");
+    for i in 0..6 {
+        client.infer(&payload(300 + i)).expect("traced infer");
+    }
+    drop(client);
+    drop(server); // join all recording threads before snapshotting
+
+    let snap = tracer.snapshot();
+    let traced: Vec<u64> = snap
+        .request_ids()
+        .into_iter()
+        .filter(|&id| {
+            snap.spans_for(id)
+                .iter()
+                .any(|s| s.stage == stages::NET_TRANSFER)
+        })
+        .collect();
+    assert_eq!(
+        traced.len(),
+        6,
+        "every wire request gets a composed trace id"
+    );
+    for id in traced {
+        let spans = snap.spans_for(id);
+        for stage in [
+            stages::NET_TRANSFER,
+            stages::DESERIALIZE,
+            stages::PREPROC,
+            stages::INFERENCE,
+        ] {
+            assert!(
+                spans.iter().any(|s| s.stage == stage),
+                "request {id:#x} missing {stage} from its joined timeline"
+            );
+        }
+    }
+}

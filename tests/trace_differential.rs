@@ -291,7 +291,9 @@ fn golden_trace_is_structurally_deterministic() {
 
 /// Tracing-overhead regression: with the ring enabled, pipelined
 /// throughput stays within 3% of the disabled baseline (best-of-five
-/// interleaved rounds to damp scheduler noise).
+/// interleaved rounds to damp scheduler noise; the whole comparison
+/// retries up to three times because single-core CI boxes still flake
+/// past best-of-five — a real overhead regression fails every attempt).
 #[test]
 fn tracing_overhead_within_three_percent() {
     let payloads: Vec<Vec<u8>> = (0..120u64).map(|i| payload(256, 192, i)).collect();
@@ -322,14 +324,26 @@ fn tracing_overhead_within_three_percent() {
         }
         payloads.len() as f64 / t0.elapsed().as_secs_f64()
     };
-    let mut best_off: f64 = 0.0;
-    let mut best_on: f64 = 0.0;
-    for _ in 0..5 {
-        best_off = best_off.max(run(Tracer::disabled()));
-        best_on = best_on.max(run(Tracer::with_capacity(1 << 16)));
+    let mut last = (0.0f64, 0.0f64);
+    for attempt in 0..3 {
+        // Fresh bests per attempt: one lucky spike in the disabled arm
+        // must not set a bar every later attempt has to clear.
+        let mut best_off: f64 = 0.0;
+        let mut best_on: f64 = 0.0;
+        for _ in 0..5 {
+            best_off = best_off.max(run(Tracer::disabled()));
+            best_on = best_on.max(run(Tracer::with_capacity(1 << 16)));
+        }
+        if best_on >= 0.97 * best_off {
+            return;
+        }
+        eprintln!(
+            "attempt {attempt}: enabled {best_on:.1} rps vs disabled {best_off:.1} rps, retrying"
+        );
+        last = (best_on, best_off);
     }
-    assert!(
-        best_on >= 0.97 * best_off,
-        "tracing overhead over budget: enabled {best_on:.1} rps vs disabled {best_off:.1} rps"
+    panic!(
+        "tracing overhead over budget: enabled {:.1} rps vs disabled {:.1} rps",
+        last.0, last.1
     );
 }
