@@ -1,6 +1,6 @@
 //! Scoped worker pool with deterministic work partitioning.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -53,9 +53,10 @@ impl BackendStats {
 /// A scoped worker pool: splits mutable slices into disjoint chunk bands
 /// and runs one band per worker via [`std::thread::scope`].
 ///
-/// Cloning a `Backend` yields a handle to the same statistics counters, so
-/// one backend can be shared across server stages and still report a
-/// single efficiency figure.
+/// Cloning a `Backend` yields a handle to the same statistics counters
+/// *and* the same thread-count cell, so one backend can be shared across
+/// server stages, report a single efficiency figure, and be repartitioned
+/// at runtime from any handle ([`Backend::set_threads`]).
 ///
 /// # Determinism
 ///
@@ -67,14 +68,14 @@ impl BackendStats {
 /// calibrated paper-shape tests rely on.
 #[derive(Clone)]
 pub struct Backend {
-    threads: usize,
+    threads: Arc<AtomicUsize>,
     stats: Arc<StatsCells>,
 }
 
 impl std::fmt::Debug for Backend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Backend")
-            .field("threads", &self.threads)
+            .field("threads", &self.threads())
             .finish()
     }
 }
@@ -89,7 +90,7 @@ impl Backend {
     /// A backend with exactly `threads` workers (clamped to ≥ 1).
     pub fn new(threads: usize) -> Self {
         Backend {
-            threads: threads.max(1),
+            threads: Arc::new(AtomicUsize::new(threads.max(1))),
             stats: Arc::new(StatsCells::default()),
         }
     }
@@ -116,13 +117,22 @@ impl Backend {
 
     /// Configured worker count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.threads.load(Ordering::Relaxed)
+    }
+
+    /// Repartitions the pool at runtime (clamped to ≥ 1). The new count
+    /// applies from the next parallel region on every handle sharing this
+    /// backend; in-flight regions finish with the count they loaded at
+    /// entry. Because partitioning is static in chunk units, results stay
+    /// bit-identical across any sequence of resizes.
+    pub fn set_threads(&self, threads: usize) {
+        self.threads.store(threads.max(1), Ordering::Relaxed);
     }
 
     /// Snapshot of cumulative region accounting.
     pub fn stats(&self) -> BackendStats {
         BackendStats {
-            threads: self.threads,
+            threads: self.threads(),
             regions: self.stats.regions.load(Ordering::Relaxed),
             wall: Duration::from_nanos(self.stats.wall_nanos.load(Ordering::Relaxed)),
             busy: Duration::from_nanos(self.stats.busy_nanos.load(Ordering::Relaxed)),
@@ -148,8 +158,11 @@ impl Backend {
     {
         assert!(chunk > 0, "chunk size must be non-zero");
         let n_chunks = data.len().div_ceil(chunk);
+        // One load per region: a concurrent resize never changes the
+        // partitioning of a region already in flight.
+        let threads = self.threads();
         let t0 = Instant::now();
-        if self.threads == 1 || n_chunks < 2 || data.len() < MIN_PAR_ELEMS {
+        if threads == 1 || n_chunks < 2 || data.len() < MIN_PAR_ELEMS {
             for (i, c) in data.chunks_mut(chunk).enumerate() {
                 f(i, c);
             }
@@ -159,7 +172,7 @@ impl Backend {
             self.stats.busy_nanos.fetch_add(dt, Ordering::Relaxed);
             return;
         }
-        let workers = self.threads.min(n_chunks);
+        let workers = threads.min(n_chunks);
         let stats = &self.stats;
         let f = &f;
         std::thread::scope(|s| {
@@ -283,6 +296,35 @@ mod tests {
         let other = bk.clone();
         other.par_chunks_mut(&mut data, 500, |_, _| {});
         assert_eq!(bk.stats().regions, 2);
+    }
+
+    /// Runtime repartitioning: clones share the thread cell, the clamp
+    /// holds, and outputs stay bit-identical across mid-run resizes.
+    #[test]
+    fn set_threads_shared_across_clones_and_deterministic() {
+        let bk = Backend::new(2);
+        let other = bk.clone();
+        other.set_threads(5);
+        assert_eq!(bk.threads(), 5);
+        other.set_threads(0);
+        assert_eq!(bk.threads(), 1, "resize clamps to >= 1");
+
+        let body = |ci: usize, chunk: &mut [f32]| {
+            let mut acc = ci as f32 * 0.25;
+            for (i, v) in chunk.iter_mut().enumerate() {
+                acc = acc * 0.998 + (i as f32).cos();
+                *v = acc;
+            }
+        };
+        let mut baseline = vec![0f32; 50_000];
+        Backend::new(1).par_chunks_mut(&mut baseline, 777, body);
+        let resized = Backend::new(1);
+        for t in [4, 2, 7, 1, 3] {
+            resized.set_threads(t);
+            let mut data = vec![0f32; 50_000];
+            resized.par_chunks_mut(&mut data, 777, body);
+            assert_eq!(baseline, data, "resize to {t} changed results");
+        }
     }
 
     #[test]

@@ -58,6 +58,7 @@ use vserve_server::live::{LiveError, LiveMetrics, LiveOptions, LiveResult, LiveS
 use vserve_server::{stages, ServingSummary};
 use vserve_trace::expose::Exposition;
 use vserve_trace::Tracer;
+use vserve_tune::{TuneOptions, Tuner};
 
 use crate::wire::{
     self, encode_response, RequestFrame, ResponseFrame, StageMicros, Status, WireError,
@@ -99,6 +100,11 @@ pub struct NetOptions {
     pub model_name: String,
     /// Options for the embedded [`LiveServer`].
     pub live: LiveOptions,
+    /// Run the self-tuning controller ([`vserve_tune::Tuner`]) against
+    /// the embedded live server. Defaults to [`TuneOptions::from_env`]
+    /// when `VSERVE_TUNE` is set ([`TuneOptions::enabled_from_env`]),
+    /// `None` — static knobs — otherwise.
+    pub tune: Option<TuneOptions>,
 }
 
 impl Default for NetOptions {
@@ -112,6 +118,7 @@ impl Default for NetOptions {
             drain_timeout: Duration::from_secs(5),
             model_name: "default".to_owned(),
             live: LiveOptions::default(),
+            tune: TuneOptions::enabled_from_env().then(TuneOptions::from_env),
         }
     }
 }
@@ -208,6 +215,10 @@ pub(crate) struct NetShared {
     draining: AtomicU64,
     /// Lifetime write-buffer high-water mark in bytes (evented gauge).
     write_hwm: AtomicU64,
+    /// Knob reconfigurations applied by the tuner; shared with the
+    /// controller thread, stays 0 when tuning is off. Scrapes read it
+    /// regardless so dashboards keep a stable schema.
+    tune_decisions: Arc<AtomicU64>,
 }
 
 impl NetShared {
@@ -251,6 +262,9 @@ pub struct NetServer {
     live: Arc<LiveServer>,
     shared: Arc<NetShared>,
     engine: Engine,
+    /// The self-tuning controller, when enabled; stopped first on drop so
+    /// knobs hold still while connections drain.
+    tuner: Option<Tuner>,
 }
 
 impl std::fmt::Debug for NetServer {
@@ -272,6 +286,13 @@ impl NetServer {
         let listener = TcpListener::bind(&opts.addr)?;
         let local_addr = listener.local_addr()?;
         let live = Arc::new(LiveServer::start(model, opts.live.clone()));
+        let tuner = opts
+            .tune
+            .map(|tune_opts| Tuner::start(Arc::clone(&live), tune_opts));
+        let tune_decisions = tuner
+            .as_ref()
+            .map(|t| t.decisions())
+            .unwrap_or_else(|| Arc::new(AtomicU64::new(0)));
         let shared = Arc::new(NetShared {
             shutdown: AtomicBool::new(false),
             slots: Mutex::new(0),
@@ -290,6 +311,7 @@ impl NetServer {
             drain_req: AtomicU64::new(0),
             draining: AtomicU64::new(0),
             write_hwm: AtomicU64::new(0),
+            tune_decisions,
         });
         let max_inflight = opts.max_inflight_per_conn.max(1);
         #[cfg(unix)]
@@ -323,6 +345,7 @@ impl NetServer {
                     driver: Some(driver),
                     wake,
                 },
+                tuner,
             });
         }
         let acceptor = {
@@ -337,6 +360,7 @@ impl NetServer {
             engine: Engine::Threaded {
                 acceptor: Some(acceptor),
             },
+            tuner,
         })
     }
 
@@ -612,6 +636,41 @@ pub(crate) fn render_exposition(shared: &NetShared, live: &LiveServer) -> String
         c.capacity_bytes as f64,
     );
 
+    // Current effective knob values — what the batcher and pools are
+    // actually running with right now, whether set at startup, via env,
+    // or retuned online by the controller.
+    let k = live.knobs();
+    e.header(
+        "vserve_tune_max_batch",
+        "gauge",
+        "Effective batcher size cap.",
+    )
+    .gauge("vserve_tune_max_batch", k.max_batch as f64);
+    e.header(
+        "vserve_tune_preproc_workers",
+        "gauge",
+        "Effective preprocessing worker target.",
+    )
+    .gauge("vserve_tune_preproc_workers", k.preproc_workers as f64);
+    e.header(
+        "vserve_tune_linger_us",
+        "gauge",
+        "Effective batch linger in microseconds.",
+    )
+    .gauge(
+        "vserve_tune_linger_us",
+        k.linger.as_micros().min(u64::MAX as u128) as f64,
+    );
+    e.header(
+        "vserve_tune_decisions_total",
+        "counter",
+        "Knob reconfigurations applied by the self-tuning controller.",
+    )
+    .counter(
+        "vserve_tune_decisions_total",
+        shared.tune_decisions.load(Ordering::Relaxed),
+    );
+
     e.header(
         "vserve_trace_enabled",
         "gauge",
@@ -626,6 +685,9 @@ pub(crate) fn render_exposition(shared: &NetShared, live: &LiveServer) -> String
 
 impl Drop for NetServer {
     fn drop(&mut self) {
+        // Stop the controller before tearing the front-end down: a knob
+        // move mid-drain would race the live server's own shutdown.
+        drop(self.tuner.take());
         self.shared.shutdown.store(true, Ordering::SeqCst);
         match &mut self.engine {
             Engine::Threaded { acceptor } => {
@@ -1327,6 +1389,22 @@ mod tests {
         assert!(doc.contains("vserve_stage_seconds_total{stage=\"4-inference\"}"));
         assert!(doc.contains("vserve_stage_seconds_total{stage=\"0-net-transfer\"}"));
         assert!(doc.contains("vserve_preproc_cache_events_total{kind=\"hit\"}"));
+        // Effective knob values are scrapeable even with tuning off, and
+        // the decision counter reads zero — no controller ran.
+        let live = LiveOptions::default();
+        assert!(
+            doc.contains(&format!("vserve_tune_max_batch {}", live.max_batch)),
+            "{doc}"
+        );
+        assert!(
+            doc.contains(&format!(
+                "vserve_tune_preproc_workers {}",
+                live.preproc_workers
+            )),
+            "{doc}"
+        );
+        assert!(doc.contains("vserve_tune_linger_us"), "{doc}");
+        assert!(doc.contains("vserve_tune_decisions_total 0"), "{doc}");
         // The in-process renderer serves the same document shape.
         assert!(server
             .exposition()

@@ -141,6 +141,34 @@ impl PreprocCache {
         self.capacity_bytes > 0
     }
 
+    /// Current byte budget (`0` = disabled).
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Retargets the byte budget at runtime, evicting least-recently-used
+    /// entries immediately until the resident set fits. Shrinking to `0`
+    /// disables the cache and evicts everything; growing takes effect on
+    /// the next insert with no churn.
+    pub fn set_capacity_bytes(&mut self, bytes: usize) {
+        self.capacity_bytes = bytes;
+        self.evict_to_budget();
+    }
+
+    /// Evicts LRU entries until `bytes <= capacity_bytes`.
+    fn evict_to_budget(&mut self) {
+        while self.bytes > self.capacity_bytes {
+            let (&oldest, &victim) = self.recency.iter().next().expect("over budget → non-empty");
+            self.recency.remove(&oldest);
+            let (evicted, _) = self
+                .entries
+                .remove(&victim)
+                .expect("recency/entries in sync");
+            self.bytes -= tensor_bytes(&evicted);
+            self.evictions += 1;
+        }
+    }
+
     /// Looks up a key, refreshing its recency. Counts a hit or miss;
     /// disabled caches return `None` without counting.
     pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Tensor>> {
@@ -179,16 +207,7 @@ impl PreprocCache {
         self.entries.insert(key, (tensor, self.seq));
         self.recency.insert(self.seq, key);
         self.bytes += size;
-        while self.bytes > self.capacity_bytes {
-            let (&oldest, &victim) = self.recency.iter().next().expect("over budget → non-empty");
-            self.recency.remove(&oldest);
-            let (evicted, _) = self
-                .entries
-                .remove(&victim)
-                .expect("recency/entries in sync");
-            self.bytes -= tensor_bytes(&evicted);
-            self.evictions += 1;
-        }
+        self.evict_to_budget();
     }
 
     /// Records one request attaching to an in-flight preprocessing
@@ -289,6 +308,51 @@ mod tests {
         c.insert(key(1), tensor(8));
         let s = c.stats();
         assert_eq!((s.entries, s.bytes), (1, one));
+    }
+
+    /// Satellite: the byte budget is a runtime knob, not a construction
+    /// constant — shrinking evicts LRU-first immediately.
+    #[test]
+    fn resize_shrink_evicts_lru_immediately() {
+        let one = 3 * 8 * 8 * 4;
+        let mut c = PreprocCache::new(4 * one);
+        for i in 1..=4 {
+            c.insert(key(i), tensor(8));
+        }
+        // Touch 1 and 2 so 3 and 4 are the LRU victims.
+        assert!(c.get(&key(1)).is_some() && c.get(&key(2)).is_some());
+        c.set_capacity_bytes(2 * one);
+        let s = c.stats();
+        assert_eq!((s.entries, s.bytes, s.evictions), (2, 2 * one, 2));
+        assert_eq!(c.capacity_bytes(), 2 * one);
+        assert!(c.get(&key(3)).is_none() && c.get(&key(4)).is_none());
+        assert!(c.get(&key(1)).is_some() && c.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn resize_to_zero_disables_and_drains() {
+        let mut c = PreprocCache::new(1 << 20);
+        c.insert(key(1), tensor(8));
+        c.set_capacity_bytes(0);
+        assert!(!c.enabled());
+        let s = c.stats();
+        assert_eq!((s.entries, s.bytes, s.evictions), (0, 0, 1));
+        // Disabled semantics now match a cache constructed with 0.
+        c.insert(key(2), tensor(8));
+        assert!(c.get(&key(2)).is_none());
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn resize_grow_keeps_entries_and_admits_more() {
+        let one = 3 * 8 * 8 * 4;
+        let mut c = PreprocCache::new(one);
+        c.insert(key(1), tensor(8));
+        c.set_capacity_bytes(3 * one);
+        c.insert(key(2), tensor(8));
+        c.insert(key(3), tensor(8));
+        let s = c.stats();
+        assert_eq!((s.entries, s.evictions), (3, 0));
     }
 
     #[test]

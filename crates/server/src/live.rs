@@ -60,7 +60,7 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -101,6 +101,22 @@ pub mod trace_events {
     pub const RESPOND: &str = "respond";
 }
 
+/// Environment variable read by [`LiveOptions::default`] for the batch
+/// linger (the batcher's maximum queueing delay) in **microseconds**.
+/// Unset or unparsable falls back to 2000 µs.
+pub const BATCH_LINGER_US_ENV: &str = "VSERVE_BATCH_LINGER_US";
+
+/// Default batch linger when [`BATCH_LINGER_US_ENV`] is unset.
+pub const DEFAULT_BATCH_LINGER: Duration = Duration::from_millis(2);
+
+fn default_batch_linger() -> Duration {
+    std::env::var(BATCH_LINGER_US_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_micros)
+        .unwrap_or(DEFAULT_BATCH_LINGER)
+}
+
 /// Configuration for a [`LiveServer`].
 #[derive(Debug, Clone)]
 pub struct LiveOptions {
@@ -108,9 +124,14 @@ pub struct LiveOptions {
     pub preproc_workers: usize,
     /// Inference worker threads.
     pub inference_workers: usize,
-    /// Maximum batch size assembled by the batcher.
+    /// Maximum batch size assembled by the batcher (initial value; a
+    /// controller may retune it at runtime via
+    /// [`LiveServer::set_max_batch`]).
     pub max_batch: usize,
-    /// Maximum time the batcher waits to fill a batch.
+    /// Maximum time the batcher waits to fill a batch (the batch
+    /// *linger*; initial value, retunable via
+    /// [`LiveServer::set_batch_linger`]). The default reads
+    /// [`BATCH_LINGER_US_ENV`].
     pub max_queue_delay: Duration,
     /// Side of the square model input.
     pub input_side: usize,
@@ -156,7 +177,7 @@ impl Default for LiveOptions {
             preproc_workers: 2,
             inference_workers: 1,
             max_batch: 8,
-            max_queue_delay: Duration::from_millis(2),
+            max_queue_delay: default_batch_linger(),
             input_side: 224,
             queue_cap: 256,
             deadline: None,
@@ -304,6 +325,11 @@ impl LiveMetrics {
 
 struct MetricsInner {
     latency: LatencyStats,
+    /// Resettable copy of `latency` drained by
+    /// [`LiveServer::take_latency_window`]: the controller's view of the
+    /// *recent* distribution, where the cumulative stats answer "since
+    /// start".
+    window: LatencyStats,
     breakdown: StageBreakdown,
     meter: RateMeter,
     batch_sizes: Welford,
@@ -330,6 +356,7 @@ impl Shared {
             epoch: Instant::now(),
             inner: Mutex::new(MetricsInner {
                 latency: LatencyStats::new(),
+                window: LatencyStats::new(),
                 breakdown: StageBreakdown::new(),
                 meter,
                 batch_sizes: Welford::new(),
@@ -424,6 +451,278 @@ struct Ready {
     reply: ReplySlot,
 }
 
+/// How long an idle preprocessing worker waits on the ingress queue
+/// before re-checking the pool target (the shrink latency bound).
+const PREPROC_POLL: Duration = Duration::from_millis(20);
+
+/// The live server's runtime-tunable knob block: one cache line of
+/// atomics shared by the batcher, the preprocessing pool, and the public
+/// setters. The batcher re-reads `max_batch`/`linger_us` at the start of
+/// every assembly round, and each preprocessing job re-reads
+/// `cache_bytes`, so a controller's store is visible within one flush —
+/// no locks, no channel round trips, no restart.
+struct Knobs {
+    /// Batch size cap read per assembly round.
+    max_batch: AtomicUsize,
+    /// Batch linger (max queueing delay) in microseconds.
+    linger_us: AtomicU64,
+    /// Mirror of the preproc cache's byte budget; `0` = disabled. Lets
+    /// workers skip hashing without taking the cache lock.
+    cache_bytes: AtomicUsize,
+    /// Desired preprocessing worker count.
+    preproc_target: AtomicUsize,
+    /// Workers currently alive (spawned and not yet retired).
+    preproc_live: AtomicUsize,
+}
+
+/// Current effective knob values, from [`LiveServer::knobs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnobSnapshot {
+    /// Batch size cap the batcher is assembling against.
+    pub max_batch: usize,
+    /// Batch linger the batcher waits to fill a batch.
+    pub linger: Duration,
+    /// Target preprocessing worker count.
+    pub preproc_workers: usize,
+    /// Preprocessing workers currently alive; trails the target briefly
+    /// after a shrink (workers retire between jobs, never mid-job).
+    pub preproc_workers_live: usize,
+    /// Threads in the shared compute backend.
+    pub backend_threads: usize,
+    /// Preproc cache byte budget (`0` = disabled).
+    pub preproc_cache_bytes: usize,
+}
+
+/// Everything a preprocessing worker needs, cloneable so the pool can
+/// spawn additional workers after startup. The embedded `tx`/`rx` clones
+/// keep the channels open while the pool can still grow; `Drop` takes the
+/// pool's copy before joining so the pipeline still drains on shutdown.
+#[derive(Clone)]
+struct PreprocEnv {
+    rx: Receiver<Job>,
+    tx: Sender<Ready>,
+    shared: Arc<Shared>,
+    backend: Backend,
+    cache: Arc<Mutex<PreprocCache>>,
+    inflight: Arc<Mutex<HashMap<CacheKey, Vec<Job>>>>,
+    knobs: Arc<Knobs>,
+    tracer: Tracer,
+    side: usize,
+    fast: bool,
+    coalesce: bool,
+}
+
+/// Spawn-side state of the growable preprocessing pool, behind a `Mutex`
+/// on the server so concurrent `set_preproc_workers` calls serialize.
+struct PreprocPool {
+    env: Option<PreprocEnv>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Monotonic id for trace track names (`preproc-{id}`): a pool that
+    /// shrinks and regrows never reuses a track.
+    next_worker_id: usize,
+}
+
+impl PreprocPool {
+    /// Spawns one worker. The caller has already accounted for it in
+    /// `preproc_live`.
+    fn spawn(&mut self) {
+        let env = match &self.env {
+            Some(e) => e.clone(),
+            None => return,
+        };
+        let id = self.next_worker_id;
+        self.next_worker_id += 1;
+        let tr = env.tracer.register(&format!("preproc-{id}"));
+        self.handles
+            .push(std::thread::spawn(move || preproc_worker_loop(env, tr)));
+    }
+}
+
+/// One worker retires iff the pool is over target (CAS on the live count,
+/// so exactly `live - target` workers exit no matter how many race).
+fn try_retire(knobs: &Knobs) -> bool {
+    knobs
+        .preproc_live
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |live| {
+            let target = knobs.preproc_target.load(Ordering::SeqCst);
+            (live > target && live > 1).then(|| live - 1)
+        })
+        .is_ok()
+}
+
+/// Body of a preprocessing worker. Jobs are taken from the shared ingress
+/// receiver with a short timeout so shrink requests are honored between
+/// jobs — queued requests stay in the channel for surviving workers, so a
+/// shrink can never drop work.
+fn preproc_worker_loop(env: PreprocEnv, tr: TraceHandle) {
+    // Each worker owns a scratch arena: after the first frame the decode
+    // path stops allocating its temporaries.
+    let mut scratch = Scratch::new();
+    loop {
+        let job = match env.rx.recv_timeout(PREPROC_POLL) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => {
+                if try_retire(&env.knobs) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                env.knobs.preproc_live.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+        };
+        if process_one(&env, &tr, &mut scratch, job).is_err() {
+            // Ready channel closed: the server is shutting down.
+            env.knobs.preproc_live.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        if try_retire(&env.knobs) {
+            return;
+        }
+    }
+}
+
+/// Decodes (or cache-serves) one job and forwards `Ready` work to the
+/// batcher. `Err(())` means the ready channel is closed and the worker
+/// must exit.
+fn process_one(
+    env: &PreprocEnv,
+    tr: &TraceHandle,
+    scratch: &mut Scratch,
+    job: Job,
+) -> Result<(), ()> {
+    let start = Instant::now();
+    let nbytes = job.jpeg.len() as u64;
+    if job.deadline.is_some_and(|d| start >= d) {
+        env.shared.drop_queued(start, true);
+        let _ = job.reply.send(Err(LiveError::DeadlineExceeded));
+        return Ok(());
+    }
+    // Re-read per job (not per worker lifetime) so a runtime cache resize
+    // takes effect on the very next request.
+    let cache_on = env.knobs.cache_bytes.load(Ordering::Relaxed) > 0;
+    let key = (cache_on || env.coalesce).then(|| CacheKey::for_payload(&job.jpeg, env.side));
+    if let Some(k) = key {
+        if let Some(tensor) = env.cache.lock().ok().and_then(|mut c| c.get(&k)) {
+            // Cache hit: the measured preprocessing time is just the
+            // hash + lookup above, ≈ 0.
+            let done = Instant::now();
+            tr.span(job.id, stages::QUEUE, job.submitted, start, 0, nbytes);
+            tr.span(job.id, stages::PREPROC, start, done, 0, nbytes);
+            tr.event(job.id, trace_events::CACHE_HIT, done, nbytes);
+            let ready = Ready {
+                id: job.id,
+                tensor,
+                submitted: job.submitted,
+                ingress_wait: start.saturating_duration_since(job.submitted),
+                preproc: done - start,
+                preproc_done: done,
+                deadline: job.deadline,
+                reply: job.reply,
+            };
+            return env.tx.send(ready).map_err(|_| ());
+        }
+        if env.coalesce {
+            if let Ok(mut infl) = env.inflight.lock() {
+                if let Some(waiters) = infl.get_mut(&k) {
+                    let wid = job.id;
+                    waiters.push(job);
+                    drop(infl);
+                    if let Ok(mut c) = env.cache.lock() {
+                        c.note_coalesced();
+                    }
+                    tr.event(wid, trace_events::COALESCE, start, nbytes);
+                    return Ok(());
+                }
+                infl.insert(k, Vec::new());
+            }
+        }
+        if cache_on {
+            tr.event(job.id, trace_events::CACHE_MISS, start, nbytes);
+        }
+    }
+    let result = if env.fast {
+        vserve_codec::preprocess_jpeg_with(&env.backend, scratch, &job.jpeg, env.side)
+    } else {
+        vserve_codec::decode_with(&env.backend, scratch, &job.jpeg)
+            .map(|img| ops::standard_preprocess_with(&env.backend, &img, env.side))
+    };
+    let done = Instant::now();
+    // Publish to the cache *before* detaching the waiter list so a
+    // duplicate arriving in between finds one or the other; then serve
+    // the leader and every waiter.
+    let tensor = result.map(Arc::new);
+    if let (Some(k), Ok(t)) = (key, &tensor) {
+        if cache_on {
+            if let Ok(mut c) = env.cache.lock() {
+                c.insert(k, Arc::clone(t));
+            }
+        }
+    }
+    let waiters = match (key, env.coalesce) {
+        (Some(k), true) => env
+            .inflight
+            .lock()
+            .ok()
+            .and_then(|mut infl| infl.remove(&k))
+            .unwrap_or_default(),
+        _ => Vec::new(),
+    };
+    match tensor {
+        Ok(tensor) => {
+            tr.span(job.id, stages::QUEUE, job.submitted, start, 0, nbytes);
+            tr.span(job.id, stages::PREPROC, start, done, 0, nbytes);
+            let ready = Ready {
+                id: job.id,
+                tensor: Arc::clone(&tensor),
+                submitted: job.submitted,
+                ingress_wait: start.saturating_duration_since(job.submitted),
+                preproc: done - start,
+                preproc_done: done,
+                deadline: job.deadline,
+                reply: job.reply,
+            };
+            env.tx.send(ready).map_err(|_| ())?;
+            for w in waiters {
+                if w.deadline.is_some_and(|d| done >= d) {
+                    env.shared.drop_queued(done, true);
+                    let _ = w.reply.send(Err(LiveError::DeadlineExceeded));
+                    continue;
+                }
+                // A waiter never preprocessed: the shared execution is
+                // charged once to the leader, and the waiter's wait
+                // counts as queueing. Mirror that in the trace: a
+                // full-wait queue span plus a zero-length preproc span
+                // (so span counts match breakdown counts per completed
+                // request).
+                tr.span(w.id, stages::QUEUE, w.submitted, done, 0, nbytes);
+                tr.span(w.id, stages::PREPROC, done, done, 0, 0);
+                let ready = Ready {
+                    id: w.id,
+                    tensor: Arc::clone(&tensor),
+                    submitted: w.submitted,
+                    ingress_wait: done.saturating_duration_since(w.submitted),
+                    preproc: Duration::ZERO,
+                    preproc_done: done,
+                    deadline: w.deadline,
+                    reply: w.reply,
+                };
+                env.tx.send(ready).map_err(|_| ())?;
+            }
+        }
+        Err(e) => {
+            env.shared.drop_queued(done, false);
+            let _ = job.reply.send(Err(LiveError::Decode(e)));
+            for w in waiters {
+                env.shared.drop_queued(done, false);
+                let _ = w.reply.send(Err(LiveError::Decode(e)));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// A running live server; dropping it shuts down all worker threads.
 pub struct LiveServer {
     ingress: Option<Sender<Job>>,
@@ -433,6 +732,8 @@ pub struct LiveServer {
     deadline: Option<Duration>,
     backend: Backend,
     cache: Arc<Mutex<PreprocCache>>,
+    knobs: Arc<Knobs>,
+    pool: Mutex<PreprocPool>,
     tracer: Tracer,
     /// Records ingress/shed events from submitter threads.
     ingress_trace: TraceHandle,
@@ -477,176 +778,52 @@ impl LiveServer {
         // worker currently preprocessing that payload; the completing
         // worker forwards one `Ready` per parked job, so N concurrent
         // duplicates cost exactly one decode.
-        let cache = Arc::new(Mutex::new(PreprocCache::with_capacity_mb(
-            resolve_capacity_mb(opts.preproc_cache_mb),
-        )));
+        let cache_bytes = resolve_capacity_mb(opts.preproc_cache_mb) * 1024 * 1024;
+        let cache = Arc::new(Mutex::new(PreprocCache::new(cache_bytes)));
         let inflight: Arc<Mutex<HashMap<CacheKey, Vec<Job>>>> =
             Arc::new(Mutex::new(HashMap::new()));
-        let side = opts.input_side;
-        let fast = opts.fast_preproc;
-        let coalesce = opts.coalesce;
+        let workers = opts.preproc_workers.max(1);
+        let knobs = Arc::new(Knobs {
+            max_batch: AtomicUsize::new(opts.max_batch.max(1)),
+            linger_us: AtomicU64::new(opts.max_queue_delay.as_micros().min(u64::MAX as u128) as u64),
+            cache_bytes: AtomicUsize::new(cache_bytes),
+            preproc_target: AtomicUsize::new(workers),
+            preproc_live: AtomicUsize::new(workers),
+        });
         let tracer = opts.trace.clone();
         // Registration order fixes trace thread ids: ingress, preproc
         // workers, batcher, inference workers.
         let ingress_trace = tracer.register("ingress");
-        for w in 0..opts.preproc_workers.max(1) {
-            let rx = ingress_rx.clone();
-            let tx = ready_tx.clone();
-            let shared = Arc::clone(&shared);
-            let bk = backend.clone();
-            let cache = Arc::clone(&cache);
-            let inflight = Arc::clone(&inflight);
-            let tr = tracer.register(&format!("preproc-{w}"));
-            handles.push(std::thread::spawn(move || {
-                // Each worker owns a scratch arena: after the first frame
-                // the decode path stops allocating its temporaries.
-                let mut scratch = Scratch::new();
-                let cache_on = cache.lock().map(|c| c.enabled()).unwrap_or(false);
-                while let Ok(job) = rx.recv() {
-                    let start = Instant::now();
-                    let nbytes = job.jpeg.len() as u64;
-                    if job.deadline.is_some_and(|d| start >= d) {
-                        shared.drop_queued(start, true);
-                        let _ = job.reply.send(Err(LiveError::DeadlineExceeded));
-                        continue;
-                    }
-                    let key =
-                        (cache_on || coalesce).then(|| CacheKey::for_payload(&job.jpeg, side));
-                    if let Some(k) = key {
-                        if let Some(tensor) = cache.lock().ok().and_then(|mut c| c.get(&k)) {
-                            // Cache hit: the measured preprocessing time
-                            // is just the hash + lookup above, ≈ 0.
-                            let done = Instant::now();
-                            tr.span(job.id, stages::QUEUE, job.submitted, start, 0, nbytes);
-                            tr.span(job.id, stages::PREPROC, start, done, 0, nbytes);
-                            tr.event(job.id, trace_events::CACHE_HIT, done, nbytes);
-                            let ready = Ready {
-                                id: job.id,
-                                tensor,
-                                submitted: job.submitted,
-                                ingress_wait: start.saturating_duration_since(job.submitted),
-                                preproc: done - start,
-                                preproc_done: done,
-                                deadline: job.deadline,
-                                reply: job.reply,
-                            };
-                            if tx.send(ready).is_err() {
-                                return;
-                            }
-                            continue;
-                        }
-                        if coalesce {
-                            if let Ok(mut infl) = inflight.lock() {
-                                if let Some(waiters) = infl.get_mut(&k) {
-                                    let wid = job.id;
-                                    waiters.push(job);
-                                    drop(infl);
-                                    if let Ok(mut c) = cache.lock() {
-                                        c.note_coalesced();
-                                    }
-                                    tr.event(wid, trace_events::COALESCE, start, nbytes);
-                                    continue;
-                                }
-                                infl.insert(k, Vec::new());
-                            }
-                        }
-                        if cache_on {
-                            tr.event(job.id, trace_events::CACHE_MISS, start, nbytes);
-                        }
-                    }
-                    let result = if fast {
-                        vserve_codec::preprocess_jpeg_with(&bk, &mut scratch, &job.jpeg, side)
-                    } else {
-                        vserve_codec::decode_with(&bk, &mut scratch, &job.jpeg)
-                            .map(|img| ops::standard_preprocess_with(&bk, &img, side))
-                    };
-                    let done = Instant::now();
-                    // Publish to the cache *before* detaching the waiter
-                    // list so a duplicate arriving in between finds one or
-                    // the other; then serve the leader and every waiter.
-                    let tensor = result.map(Arc::new);
-                    if let (Some(k), Ok(t)) = (key, &tensor) {
-                        if cache_on {
-                            if let Ok(mut c) = cache.lock() {
-                                c.insert(k, Arc::clone(t));
-                            }
-                        }
-                    }
-                    let waiters = match (key, coalesce) {
-                        (Some(k), true) => inflight
-                            .lock()
-                            .ok()
-                            .and_then(|mut infl| infl.remove(&k))
-                            .unwrap_or_default(),
-                        _ => Vec::new(),
-                    };
-                    match tensor {
-                        Ok(tensor) => {
-                            tr.span(job.id, stages::QUEUE, job.submitted, start, 0, nbytes);
-                            tr.span(job.id, stages::PREPROC, start, done, 0, nbytes);
-                            let ready = Ready {
-                                id: job.id,
-                                tensor: Arc::clone(&tensor),
-                                submitted: job.submitted,
-                                ingress_wait: start.saturating_duration_since(job.submitted),
-                                preproc: done - start,
-                                preproc_done: done,
-                                deadline: job.deadline,
-                                reply: job.reply,
-                            };
-                            if tx.send(ready).is_err() {
-                                return;
-                            }
-                            for w in waiters {
-                                if w.deadline.is_some_and(|d| done >= d) {
-                                    shared.drop_queued(done, true);
-                                    let _ = w.reply.send(Err(LiveError::DeadlineExceeded));
-                                    continue;
-                                }
-                                // A waiter never preprocessed: the shared
-                                // execution is charged once to the leader,
-                                // and the waiter's wait counts as queueing.
-                                // Mirror that in the trace: a full-wait
-                                // queue span plus a zero-length preproc
-                                // span (so span counts match breakdown
-                                // counts per completed request).
-                                tr.span(w.id, stages::QUEUE, w.submitted, done, 0, nbytes);
-                                tr.span(w.id, stages::PREPROC, done, done, 0, 0);
-                                let ready = Ready {
-                                    id: w.id,
-                                    tensor: Arc::clone(&tensor),
-                                    submitted: w.submitted,
-                                    ingress_wait: done.saturating_duration_since(w.submitted),
-                                    preproc: Duration::ZERO,
-                                    preproc_done: done,
-                                    deadline: w.deadline,
-                                    reply: w.reply,
-                                };
-                                if tx.send(ready).is_err() {
-                                    return;
-                                }
-                            }
-                        }
-                        Err(e) => {
-                            shared.drop_queued(done, false);
-                            let _ = job.reply.send(Err(LiveError::Decode(e)));
-                            for w in waiters {
-                                shared.drop_queued(done, false);
-                                let _ = w.reply.send(Err(LiveError::Decode(e)));
-                            }
-                        }
-                    }
-                }
-            }));
+        let env = PreprocEnv {
+            rx: ingress_rx,
+            tx: ready_tx,
+            shared: Arc::clone(&shared),
+            backend: backend.clone(),
+            cache: Arc::clone(&cache),
+            inflight,
+            knobs: Arc::clone(&knobs),
+            tracer: tracer.clone(),
+            side: opts.input_side,
+            fast: opts.fast_preproc,
+            coalesce: opts.coalesce,
+        };
+        let mut pool = PreprocPool {
+            env: Some(env),
+            handles: Vec::new(),
+            next_worker_id: 0,
+        };
+        for _ in 0..workers {
+            pool.spawn();
         }
-        drop(ready_tx);
 
-        // Dynamic batcher: fill up to max_batch or wait max_queue_delay.
-        let max_batch = opts.max_batch.max(1);
-        let max_delay = opts.max_queue_delay;
+        // Dynamic batcher: fill up to max_batch or wait out the linger.
+        // Both knobs are re-read from the shared knob block at the start
+        // of every assembly round, so a controller's store takes effect
+        // at the next flush.
         {
             let batch_tx = batch_tx.clone();
             let shared = Arc::clone(&shared);
+            let knobs = Arc::clone(&knobs);
             let tr = tracer.register("batcher");
             let mut seq = 0u64;
             let mut flush = move |batch: Vec<Ready>| -> Result<(), ()> {
@@ -683,6 +860,8 @@ impl LiveServer {
                     Ok(r) => r,
                     Err(_) => return,
                 };
+                let max_batch = knobs.max_batch.load(Ordering::Relaxed).max(1);
+                let max_delay = Duration::from_micros(knobs.linger_us.load(Ordering::Relaxed));
                 let deadline = Instant::now() + max_delay;
                 let mut batch = vec![first];
                 while batch.len() < max_batch {
@@ -758,6 +937,7 @@ impl LiveServer {
                                         0,
                                     );
                                     m.latency.push(total.as_secs_f64());
+                                    m.window.push(total.as_secs_f64());
                                     m.meter.record(t);
                                     m.breakdown.record(stages::QUEUE, queue.as_secs_f64());
                                     m.breakdown
@@ -808,6 +988,8 @@ impl LiveServer {
             deadline: opts.deadline,
             backend,
             cache,
+            knobs,
+            pool: Mutex::new(pool),
             tracer,
             ingress_trace,
             next_req: AtomicU64::new(1),
@@ -961,11 +1143,93 @@ impl LiveServer {
             scratch_fallbacks: self.model.scratch_fallbacks(),
         }
     }
+
+    /// Drains and resets the windowed latency distribution: everything
+    /// completed since the previous call (or since start). This is the
+    /// controller's observation channel — the cumulative
+    /// [`metrics`](Self::metrics) summary would smear a knob change's
+    /// effect across the whole run.
+    pub fn take_latency_window(&self) -> LatencySummary {
+        let mut m = self.shared.lock();
+        std::mem::replace(&mut m.window, LatencyStats::new()).summary()
+    }
+
+    /// Snapshot of the current effective knob values.
+    pub fn knobs(&self) -> KnobSnapshot {
+        KnobSnapshot {
+            max_batch: self.knobs.max_batch.load(Ordering::Relaxed),
+            linger: Duration::from_micros(self.knobs.linger_us.load(Ordering::Relaxed)),
+            preproc_workers: self.knobs.preproc_target.load(Ordering::SeqCst),
+            preproc_workers_live: self.knobs.preproc_live.load(Ordering::SeqCst),
+            backend_threads: self.backend.threads(),
+            preproc_cache_bytes: self.knobs.cache_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Retunes the batcher's batch size cap (clamped to ≥ 1); applies
+    /// from the next assembly round.
+    pub fn set_max_batch(&self, n: usize) {
+        self.knobs.max_batch.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// Retunes the batch linger; applies from the next assembly round.
+    pub fn set_batch_linger(&self, linger: Duration) {
+        self.knobs.linger_us.store(
+            linger.as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Repartitions the shared compute backend (JPEG decode, preproc
+    /// kernels, and model execution) to `n` threads, from the next
+    /// parallel region. Outputs are bit-identical for any value.
+    pub fn set_backend_threads(&self, n: usize) {
+        self.backend.set_threads(n);
+    }
+
+    /// Resizes the preproc cache byte budget immediately (LRU entries are
+    /// evicted down to the new budget; `0` disables the cache and drains
+    /// it). Workers observe the change on their next job.
+    pub fn set_preproc_cache_bytes(&self, bytes: usize) {
+        self.knobs.cache_bytes.store(bytes, Ordering::Relaxed);
+        let mut c = match self.cache.lock() {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+        c.set_capacity_bytes(bytes);
+    }
+
+    /// Grows or shrinks the preprocessing worker pool to `n` workers
+    /// (clamped to ≥ 1) without dropping queued requests: growth spawns
+    /// immediately; shrink lets surplus workers retire *between* jobs
+    /// (within [`PREPROC_POLL`] when idle), and pending jobs stay in the
+    /// shared ingress channel for the survivors.
+    pub fn set_preproc_workers(&self, n: usize) {
+        let n = n.max(1);
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        self.knobs.preproc_target.store(n, Ordering::SeqCst);
+        // Spawns are serialized by the pool lock, so the live count only
+        // moves down (worker retirement) while this loop runs.
+        while self.knobs.preproc_live.load(Ordering::SeqCst) < n {
+            self.knobs.preproc_live.fetch_add(1, Ordering::SeqCst);
+            pool.spawn();
+        }
+    }
 }
 
 impl Drop for LiveServer {
     fn drop(&mut self) {
         self.ingress.take(); // close ingress: workers drain and exit
+        let (env, preproc_handles) = {
+            let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+            (pool.env.take(), std::mem::take(&mut pool.handles))
+        };
+        // Dropping the pool's env releases its ready-channel sender, so
+        // the batcher disconnects once the workers are gone.
+        drop(env);
+        for h in preproc_handles {
+            let _ = h.join();
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -1474,6 +1738,231 @@ mod tests {
                 Err(_) => {}
             }
         }
+    }
+
+    /// Satellite: the batch linger default is env-overridable.
+    #[test]
+    fn batch_linger_env_override_applies_to_default() {
+        // Serial-safe (the harness runs --test-threads=1): set, assert,
+        // restore.
+        std::env::set_var(BATCH_LINGER_US_ENV, "750");
+        assert_eq!(
+            LiveOptions::default().max_queue_delay,
+            Duration::from_micros(750)
+        );
+        std::env::set_var(BATCH_LINGER_US_ENV, "not-a-number");
+        assert_eq!(LiveOptions::default().max_queue_delay, DEFAULT_BATCH_LINGER);
+        std::env::remove_var(BATCH_LINGER_US_ENV);
+        assert_eq!(LiveOptions::default().max_queue_delay, DEFAULT_BATCH_LINGER);
+    }
+
+    /// Every knob setter is visible in the next `knobs()` snapshot and in
+    /// the metrics the controller reads.
+    #[test]
+    fn knob_setters_take_effect_and_snapshot() {
+        let server = tiny_server(4);
+        let k = server.knobs();
+        assert_eq!(k.max_batch, 4);
+        assert_eq!(k.linger, Duration::from_millis(2));
+        assert_eq!(k.preproc_workers, 2);
+        assert_eq!(k.backend_threads, 1);
+
+        server.set_max_batch(0); // clamps
+        server.set_batch_linger(Duration::from_micros(300));
+        server.set_backend_threads(3);
+        server.set_preproc_cache_bytes(1 << 20);
+        let k = server.knobs();
+        assert_eq!(k.max_batch, 1);
+        assert_eq!(k.linger, Duration::from_micros(300));
+        assert_eq!(k.backend_threads, 3);
+        assert_eq!(k.preproc_cache_bytes, 1 << 20);
+        let m = server.metrics();
+        assert_eq!(m.backend_threads, 3);
+        assert_eq!(m.preproc_cache.capacity_bytes, 1 << 20);
+        // The retuned server still serves.
+        let r = server
+            .infer(synthetic_jpeg(&ImageSpec::new(48, 48, 0), 3))
+            .unwrap();
+        assert_eq!(r.output.len(), 10);
+    }
+
+    /// The windowed latency summary drains: each take sees only the
+    /// requests completed since the previous take.
+    #[test]
+    fn latency_window_drains_between_takes() {
+        let server = tiny_server(4);
+        for i in 0..3 {
+            let _ = server
+                .infer(synthetic_jpeg(&ImageSpec::new(40, 40, 0), i))
+                .unwrap();
+        }
+        assert_eq!(server.take_latency_window().count, 3);
+        assert_eq!(server.take_latency_window().count, 0);
+        let _ = server
+            .infer(synthetic_jpeg(&ImageSpec::new(40, 40, 0), 9))
+            .unwrap();
+        assert_eq!(server.take_latency_window().count, 1);
+        // Cumulative metrics are unaffected by draining the window.
+        assert_eq!(server.metrics().latency.count, 4);
+    }
+
+    /// Satellite: shrinking the cache budget under load evicts down to
+    /// the new budget immediately and serving continues; disabling and
+    /// re-enabling at runtime works because workers re-check the budget
+    /// per job (the old code snapshotted it once at startup).
+    #[test]
+    fn cache_resize_under_load_evicts_and_reenables() {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(
+            model,
+            LiveOptions {
+                preproc_cache_mb: Some(8),
+                ..tiny_opts(4)
+            },
+        );
+        let jpegs: Vec<Vec<u8>> = (0..6)
+            .map(|i| synthetic_jpeg(&ImageSpec::new(320, 240, 0), 70 + i))
+            .collect();
+        for j in &jpegs {
+            let _ = server.infer(j.clone()).unwrap();
+        }
+        let before = server.metrics().preproc_cache;
+        assert_eq!(before.entries, 6);
+        assert!(before.bytes > 0);
+
+        // Shrink to hold roughly one tensor: immediate LRU eviction.
+        let one_tensor = 3 * 32 * 32 * 4;
+        server.set_preproc_cache_bytes(one_tensor);
+        let shrunk = server.metrics().preproc_cache;
+        assert!(shrunk.bytes <= one_tensor, "stats {shrunk:?}");
+        assert!(shrunk.evictions >= 5, "stats {shrunk:?}");
+        // Serving continues mid-shrink.
+        let _ = server.infer(jpegs[0].clone()).unwrap();
+
+        // Disable entirely: drains, and new work stops inserting.
+        server.set_preproc_cache_bytes(0);
+        assert_eq!(server.metrics().preproc_cache.entries, 0);
+        let _ = server.infer(jpegs[1].clone()).unwrap();
+        assert_eq!(server.metrics().preproc_cache.entries, 0);
+
+        // Re-enable at runtime: the per-job budget check picks it up and
+        // a repeat becomes a hit again.
+        server.set_preproc_cache_bytes(8 << 20);
+        let miss = server.infer(jpegs[2].clone()).unwrap();
+        let hit = server.infer(jpegs[2].clone()).unwrap();
+        let after = server.metrics().preproc_cache;
+        assert!(after.entries >= 1, "stats {after:?}");
+        assert!(
+            hit.preproc.as_secs_f64() < miss.preproc.as_secs_f64() / 2.0,
+            "hit {:?} vs miss {:?}",
+            hit.preproc,
+            miss.preproc
+        );
+    }
+
+    /// Satellite: growing and shrinking the preproc pool mid-burst drops
+    /// no requests — queued jobs stay in the shared channel for the
+    /// survivors, and workers only retire between jobs.
+    #[test]
+    fn preproc_pool_grow_shrink_drops_no_requests() {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(
+            model,
+            LiveOptions {
+                preproc_workers: 1,
+                ..tiny_opts(4)
+            },
+        );
+        let n = 48;
+        let mut receivers = Vec::new();
+        for round in 0..4 {
+            for i in 0..n / 4 {
+                receivers.push(server.submit(synthetic_jpeg(
+                    &ImageSpec::new(160, 120, 0),
+                    (round * 100 + i) as u64,
+                )));
+            }
+            // Resize while the burst is in flight: 1 → 4 → 1 → 3.
+            server.set_preproc_workers([4, 1, 3, 1][round]);
+        }
+        let mut ok = 0;
+        for rx in receivers {
+            match rx.recv().unwrap() {
+                Ok(r) => {
+                    assert_eq!(r.output.len(), 10);
+                    ok += 1;
+                }
+                Err(e) => panic!("request dropped across pool resize: {e}"),
+            }
+        }
+        assert_eq!(ok, n);
+        assert_eq!(server.metrics().completed, n as u64);
+
+        // Surplus workers retire (no thread leak): live drains to the
+        // final target of 1 within a few poll intervals.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let k = server.knobs();
+            if k.preproc_workers_live == 1 {
+                assert_eq!(k.preproc_workers, 1);
+                break;
+            }
+            assert!(Instant::now() < deadline, "workers never retired: {k:?}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // And a grow after the shrink still works.
+        server.set_preproc_workers(2);
+        assert_eq!(server.knobs().preproc_workers_live, 2);
+        let r = server
+            .infer(synthetic_jpeg(&ImageSpec::new(48, 48, 0), 999))
+            .unwrap();
+        assert_eq!(r.output.len(), 10);
+    }
+
+    /// Satellite: outputs are bit-identical while a controller flaps
+    /// every knob mid-run (the thread-invariance harness extended to
+    /// runtime reconfiguration).
+    #[test]
+    fn outputs_bit_identical_while_knobs_flap() {
+        let jpegs: Vec<Vec<u8>> = (0..4)
+            .map(|i| synthetic_jpeg(&ImageSpec::new(96, 80, 0), 80 + i))
+            .collect();
+        let serve_all = |server: &LiveServer| -> Vec<Vec<f32>> {
+            let mut outs = Vec::new();
+            for _ in 0..3 {
+                for j in &jpegs {
+                    outs.push(server.infer(j.clone()).unwrap().output);
+                }
+            }
+            outs
+        };
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let baseline = serve_all(&LiveServer::start(model, tiny_opts(4)));
+
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = Arc::new(LiveServer::start(model, tiny_opts(4)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flapper = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    server.set_max_batch([1, 3, 8][i % 3]);
+                    server.set_batch_linger(Duration::from_micros([100, 2000, 500][i % 3]));
+                    server.set_backend_threads([1, 4, 2][i % 3]);
+                    server.set_preproc_workers([2, 4, 1][i % 3]);
+                    server.set_preproc_cache_bytes([0, 8 << 20, 1 << 16][i % 3]);
+                    i += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            })
+        };
+        let flapped = serve_all(&server);
+        stop.store(true, Ordering::Relaxed);
+        flapper.join().unwrap();
+        assert_eq!(baseline, flapped, "knob flapping must never change results");
+        assert_eq!(server.metrics().completed, 12);
     }
 
     #[test]

@@ -108,6 +108,10 @@ struct ServerSim {
 
     measuring: bool,
     window_open: f64,
+    /// Always-on windowed latency drained by the control tick — the sim
+    /// mirror of `LiveServer::take_latency_window` (it must observe the
+    /// warm-up too, or the controller would fly blind until measurement).
+    ctl_window: LatencyStats,
     latency: LatencyStats,
     breakdown: StageBreakdown,
     meter: RateMeter,
@@ -161,6 +165,7 @@ impl ServerSim {
             next_gpu: 0,
             measuring: false,
             window_open: 0.0,
+            ctl_window: LatencyStats::new(),
             latency: LatencyStats::new(),
             breakdown: StageBreakdown::new(),
             meter: RateMeter::new(),
@@ -663,6 +668,7 @@ fn infer_batch_done(
 fn complete(sim: &mut ServerSim, eng: &mut Eng, id: ReqId) {
     let now = eng.now();
     let rq = sim.requests[id].take().expect("live request");
+    sim.ctl_window.push((now - rq.arrived).as_secs_f64());
     if sim.measuring {
         let latency = (now - rq.arrived).as_secs_f64();
         sim.latency.push(latency);
@@ -683,6 +689,93 @@ fn complete(sim: &mut ServerSim, eng: &mut Eng, id: ReqId) {
     if sim.closed_loop {
         inject(sim, eng);
     }
+}
+
+// ---------------------------------------------------------------------------
+// controller replay hook
+// ---------------------------------------------------------------------------
+
+/// One control interval's observation, handed to the hook of
+/// [`Experiment::run_open_controlled`] — the sim mirror of what a live
+/// controller reads from `LiveMetrics` + `take_latency_window`.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlObs {
+    /// Virtual time of this tick, seconds.
+    pub now_s: f64,
+    /// Requests completed during the interval.
+    pub completed: u64,
+    /// Window throughput: `completed / interval`.
+    pub throughput: f64,
+    /// Mean round-trip latency over the window, seconds.
+    pub mean_latency_s: f64,
+    /// Median round-trip latency over the window, seconds.
+    pub p50_s: f64,
+    /// p99 round-trip latency over the window, seconds.
+    pub p99_s: f64,
+    /// Requests currently queued (preproc pool + batch queues).
+    pub queue_depth: usize,
+}
+
+/// The knobs a controller replay may retune between intervals — the sim
+/// counterparts of the live server's runtime setters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimKnobs {
+    /// Batcher size cap (`ServerConfig::max_batch`).
+    pub max_batch: usize,
+    /// Batch linger in **microseconds**, matching the live knob's unit.
+    pub linger_us: u64,
+    /// Per-shard CPU preprocessing worker count.
+    pub preproc_workers: usize,
+}
+
+fn control_tick<F>(sim: &mut ServerSim, eng: &mut Eng, interval_s: f64, mut hook: F)
+where
+    F: FnMut(ControlObs, &mut SimKnobs) + 'static,
+{
+    let now = eng.now();
+    let window = std::mem::replace(&mut sim.ctl_window, LatencyStats::new()).summary();
+    let queue_depth = sim.preproc_pool.depth()
+        + sim.dispatch.depth()
+        + sim.gpus.iter().map(|g| g.inf_queue.len()).sum::<usize>();
+    let obs = ControlObs {
+        now_s: now.as_secs_f64(),
+        completed: window.count,
+        throughput: window.count as f64 / interval_s,
+        mean_latency_s: window.mean,
+        p50_s: window.p50,
+        p99_s: window.p99,
+        queue_depth,
+    };
+    let mut knobs = SimKnobs {
+        max_batch: sim.config.max_batch,
+        linger_us: (sim.config.max_queue_delay_s * 1e6).round().max(0.0) as u64,
+        preproc_workers: sim.config.preproc_workers,
+    };
+    hook(obs, &mut knobs);
+    sim.config.max_batch = knobs.max_batch.max(1);
+    sim.config.max_queue_delay_s = knobs.linger_us as f64 * 1e-6;
+    if knobs.preproc_workers.max(1) != sim.config.preproc_workers {
+        sim.config.preproc_workers = knobs.preproc_workers.max(1);
+        let pool = sim.config.preproc_workers * sim.config.shards.max(1);
+        // Growing frees servers for queued work immediately; shrinking
+        // drains without preemption (see `MultiServer::set_servers`).
+        let started = sim.preproc_pool.set_servers(now, pool);
+        for (job, enq) in started {
+            start_cpu_preproc(sim, eng, job, enq);
+        }
+    }
+    // Re-evaluate batch timers under the new knobs: `try_form_batch`
+    // cancels a timer armed for a stale deadline and re-arms at the
+    // current head's.
+    for gpu in 0..sim.gpus.len() {
+        try_form_batch(sim, eng, gpu);
+    }
+    eng.schedule_in(
+        SimDuration::from_secs_f64(interval_s),
+        Box::new(move |sim: &mut ServerSim, eng: &mut Eng| {
+            control_tick(sim, eng, interval_s, hook)
+        }),
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -802,6 +895,53 @@ impl Experiment {
         eng.schedule_at(
             SimTime::ZERO,
             Box::new(|sim: &mut ServerSim, eng: &mut Eng| pump_arrivals(sim, eng)),
+        );
+        self.finish(sim, eng)
+    }
+
+    /// Like [`run_open`](Self::run_open), with a controller replay: every
+    /// `interval_s` of virtual time, `hook` receives a [`ControlObs`] of
+    /// the interval just ended and may retune the [`SimKnobs`], which are
+    /// applied to the running sim exactly as the live setters apply to
+    /// `LiveServer`. This validates a tuning policy against calibrated
+    /// step-load curves in milliseconds of wall time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time windows or `interval_s` are not positive.
+    pub fn run_open_controlled<F>(
+        &self,
+        arrivals: Arrivals,
+        interval_s: f64,
+        hook: F,
+    ) -> ServerReport
+    where
+        F: FnMut(ControlObs, &mut SimKnobs) + 'static,
+    {
+        assert!(
+            self.warmup_s >= 0.0 && self.measure_s > 0.0,
+            "time windows must be positive"
+        );
+        assert!(interval_s > 0.0, "control interval must be positive");
+        let mut sim = ServerSim::new(
+            self.node,
+            self.config.clone(),
+            self.model.clone(),
+            self.mix.clone(),
+            self.seed,
+            false,
+        );
+        sim.arrivals = Some(arrivals);
+        let mut eng: Eng = Engine::new();
+        eng.schedule_at(
+            SimTime::ZERO,
+            Box::new(|sim: &mut ServerSim, eng: &mut Eng| pump_arrivals(sim, eng)),
+        );
+        eng.schedule_in(
+            SimDuration::from_secs_f64(interval_s),
+            Box::new(move |sim: &mut ServerSim, eng: &mut Eng| {
+                control_tick(sim, eng, interval_s, hook)
+            }),
         );
         self.finish(sim, eng)
     }

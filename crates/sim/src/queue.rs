@@ -112,6 +112,34 @@ impl<J> MultiServer<J> {
         }
     }
 
+    /// Resizes the pool to `servers` at time `now` (clamped to ≥ 1),
+    /// mirroring the live server's runtime preproc-pool reconfiguration.
+    ///
+    /// Growing starts queued jobs on the new servers immediately; they are
+    /// returned so the caller can schedule their completions, exactly as
+    /// for [`offer`](Self::offer). Shrinking never preempts: jobs in
+    /// service run to completion, and [`release`](Self::release) retires
+    /// servers instead of starting new work until `busy` drains down to
+    /// the new count.
+    pub fn set_servers(&mut self, now: SimTime, servers: usize) -> Vec<(J, SimTime)> {
+        self.servers = servers.max(1);
+        let mut started = Vec::new();
+        while self.busy < self.servers {
+            match self.queue.pop_front() {
+                Some((job, enq)) => {
+                    self.busy += 1;
+                    self.busy_gauge.set(now.as_secs_f64(), self.busy as f64);
+                    self.depth.set(now.as_secs_f64(), self.queue.len() as f64);
+                    self.waits.push((now - enq).as_secs_f64());
+                    self.started += 1;
+                    started.push((job, enq));
+                }
+                None => break,
+            }
+        }
+        started
+    }
+
     /// Releases one server at time `now` (a job finished service).
     ///
     /// If a job was waiting, it starts service and is returned along with
@@ -122,6 +150,13 @@ impl<J> MultiServer<J> {
     /// Panics if no server was busy.
     pub fn release(&mut self, now: SimTime) -> Option<(J, SimTime)> {
         assert!(self.busy > 0, "release without a busy server");
+        if self.busy > self.servers {
+            // A shrink left more jobs in service than servers: retire the
+            // freed server instead of starting new work.
+            self.busy -= 1;
+            self.busy_gauge.set(now.as_secs_f64(), self.busy as f64);
+            return None;
+        }
         if let Some((job, enq)) = self.queue.pop_front() {
             self.depth.set(now.as_secs_f64(), self.queue.len() as f64);
             self.waits.push((now - enq).as_secs_f64());
@@ -223,6 +258,40 @@ mod tests {
             q.head_wait(SimTime::from_nanos(5)),
             Some(SimDuration::from_nanos(3))
         );
+    }
+
+    #[test]
+    fn grow_starts_queued_jobs_immediately() {
+        let mut q: MultiServer<u32> = MultiServer::new(1);
+        q.offer(SimTime::ZERO, 1);
+        q.offer(SimTime::ZERO, 2);
+        q.offer(SimTime::ZERO, 3);
+        q.offer(SimTime::ZERO, 4);
+        let started = q.set_servers(SimTime::from_nanos(10), 3);
+        assert_eq!(started.iter().map(|(j, _)| *j).collect::<Vec<_>>(), [2, 3]);
+        assert_eq!((q.servers(), q.busy(), q.depth()), (3, 3, 1));
+    }
+
+    #[test]
+    fn shrink_drains_without_preemption_or_lost_jobs() {
+        let mut q: MultiServer<u32> = MultiServer::new(3);
+        for j in 1..=5 {
+            q.offer(SimTime::ZERO, j);
+        }
+        assert_eq!((q.busy(), q.depth()), (3, 2));
+        assert!(q.set_servers(SimTime::from_nanos(1), 1).is_empty());
+        // First two releases retire servers; queued jobs are NOT lost.
+        assert!(q.release(SimTime::from_nanos(2)).is_none());
+        assert!(q.release(SimTime::from_nanos(3)).is_none());
+        assert_eq!((q.busy(), q.depth()), (1, 2));
+        // The single remaining server now works the queue FIFO.
+        assert_eq!(q.release(SimTime::from_nanos(4)).unwrap().0, 4);
+        assert_eq!(q.release(SimTime::from_nanos(5)).unwrap().0, 5);
+        assert!(q.release(SimTime::from_nanos(6)).is_none());
+        assert_eq!(q.busy(), 0);
+        // Resize clamps to one server, like the live pool.
+        q.set_servers(SimTime::from_nanos(7), 0);
+        assert_eq!(q.servers(), 1);
     }
 
     #[test]

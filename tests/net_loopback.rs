@@ -344,11 +344,59 @@ fn scrape_exposes_served_traffic_over_the_wire() {
     assert!(text.contains("vserve_latency_seconds{quantile=\"0.99\"}"));
     assert!(text.contains("vserve_stage_seconds_total{stage=\"0-net-transfer\"}"));
     assert!(text.contains("vserve_stage_seconds_total{stage=\"4-inference\"}"));
+    // Effective knob values ride along on every scrape; with no tuner
+    // they are the bind-time configuration and zero decisions.
+    assert!(text.contains("vserve_tune_max_batch 4"), "{text}");
+    assert!(text.contains("vserve_tune_preproc_workers 2"), "{text}");
+    assert!(text.contains("vserve_tune_linger_us 1000"), "{text}");
+    assert!(text.contains("vserve_tune_decisions_total 0"), "{text}");
     // Scraping is read-only: it must not disturb request accounting.
     assert_eq!(server.metrics().live.completed, 5);
     // And the free-function scrape on a dedicated connection agrees.
     let again = vserve_net::scrape(addr).expect("scrape via free fn");
     assert!(again.contains("vserve_requests_completed_total 5"));
+}
+
+/// With the controller enabled, sustained traffic makes it reconfigure
+/// the live knobs, and the scrape's decision counter proves it acted.
+#[test]
+fn scrape_shows_controller_decisions_when_tuning_enabled() {
+    let server = NetServer::bind(
+        model(),
+        NetOptions {
+            live: opts(),
+            tune: Some(vserve_tune::TuneOptions {
+                interval: Duration::from_millis(10),
+                hysteresis: 0.0,
+                warmup_ticks: 0,
+                ..vserve_tune::TuneOptions::default()
+            }),
+            ..NetOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let client =
+        NetClient::connect(server.local_addr(), ClientOptions::default()).expect("connect");
+    // Keep traffic flowing across several control intervals.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut seed = 0;
+    loop {
+        client.infer(&payload(seed)).expect("infer");
+        seed += 1;
+        let text = client.scrape().expect("scrape");
+        if !text.contains("vserve_tune_decisions_total 0") {
+            // Knob gauges still render, now reflecting live values.
+            assert!(text.contains("vserve_tune_max_batch"), "{text}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "controller made no decision under traffic: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // The server still answers after reconfigurations.
+    assert_eq!(client.infer(&payload(999)).expect("infer").output.len(), 10);
 }
 
 /// True when the servers in this process run the evented front-end
