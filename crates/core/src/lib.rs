@@ -68,7 +68,8 @@ pub mod prelude {
     pub use vserve_device::{EngineKind, ImageSpec, NodeConfig};
     pub use vserve_pipeline::PipelineExperiment;
     pub use vserve_server::{
-        Experiment, ModelProfile, PreprocWhere, ServerConfig, ServerReport, StageMode,
+        Experiment, LaneReport, ModelProfile, PreprocWhere, Priority, ServerConfig, ServerReport,
+        StageMode, TenantSpec,
     };
     pub use vserve_workload::{Arrivals, FacesPerFrame, ImageMix};
 }

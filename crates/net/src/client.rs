@@ -49,6 +49,10 @@ pub struct ClientOptions {
     /// Model name sent in every frame; empty matches the server's
     /// deployed model.
     pub model: String,
+    /// Tenant name sent in every frame. Empty (the default) keeps the
+    /// client on the v1 wire protocol; non-empty upgrades frames to
+    /// `VRQ2` and routes to that tenant's lane on multi-tenant servers.
+    pub tenant: String,
     /// Target input side sent in every frame; 0 defers to the server.
     pub side: u16,
 }
@@ -59,6 +63,7 @@ impl Default for ClientOptions {
             pool: env_usize(NET_POOL_ENV, DEFAULT_POOL),
             deadline: None,
             model: String::new(),
+            tenant: String::new(),
             side: 0,
         }
     }
@@ -259,6 +264,7 @@ impl NetClient {
                 side: self.opts.side,
                 deadline_us,
                 model: &self.opts.model,
+                tenant: &self.opts.tenant,
                 jpeg,
             },
         );

@@ -269,14 +269,17 @@ impl Conn {
             }
         };
         let id = req.id;
-        if let Some((status, msg)) = crate::server::validate(&req, ctx.shared) {
-            let close = status == Status::BadFrame;
-            self.push_ready(id, status, &msg);
-            if close {
-                self.begin_drain();
+        let lane = match crate::server::route(&req, ctx.shared, ctx.live) {
+            Ok(lane) => lane,
+            Err((status, msg)) => {
+                let close = status == Status::BadFrame;
+                self.push_ready(id, status, &msg);
+                if close {
+                    self.begin_drain();
+                }
+                return;
             }
-            return;
-        }
+        };
         let deadline = req.deadline();
         let jpeg = req.jpeg.to_vec();
         let deserialize = t0.elapsed();
@@ -298,7 +301,8 @@ impl Conn {
         let token = self.token;
         let completions = Arc::clone(ctx.completions);
         let wake = ctx.wake.clone();
-        let rx = ctx.live.submit_hooked(
+        let rx = ctx.live.submit_lane_hooked(
+            lane,
             jpeg,
             deadline,
             Some(trace_id),
@@ -441,6 +445,8 @@ fn encode_result(
             let status = match e {
                 LiveError::Overloaded => Status::Overloaded,
                 LiveError::DeadlineExceeded => Status::DeadlineExceeded,
+                LiveError::QuotaExceeded => Status::QuotaExceeded,
+                LiveError::SloInfeasible => Status::SloInfeasible,
                 LiveError::Decode(_) => Status::DecodeFailed,
                 LiveError::Model(_) => Status::ModelFailed,
                 LiveError::Disconnected => Status::ShuttingDown,

@@ -54,7 +54,7 @@ use std::time::{Duration, Instant};
 
 use vserve_dnn::Model;
 use vserve_metrics::StageBreakdown;
-use vserve_server::live::{LiveError, LiveMetrics, LiveOptions, LiveResult, LiveServer};
+use vserve_server::live::{LiveError, LiveMetrics, LiveOptions, LiveResult, LiveServer, ZooModel};
 use vserve_server::{stages, ServingSummary};
 use vserve_trace::expose::Exposition;
 use vserve_trace::Tracer;
@@ -283,9 +283,29 @@ impl NetServer {
     ///
     /// Returns the bind error if the address is unavailable.
     pub fn bind(model: Model, opts: NetOptions) -> std::io::Result<NetServer> {
+        let live = Arc::new(LiveServer::start(model, opts.live.clone()));
+        Self::bind_with(live, opts)
+    }
+
+    /// Binds a multi-model deployment: one lane per tenant in
+    /// `opts.live.tenants` (or one per zoo model when no tenants are
+    /// configured), with `VRQ2` tenant headers and model names routing
+    /// across the zoo.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` when the zoo/tenant configuration is
+    /// rejected by [`LiveServer::start_zoo`], or the bind error if the
+    /// address is unavailable.
+    pub fn bind_zoo(zoo: Vec<ZooModel>, opts: NetOptions) -> std::io::Result<NetServer> {
+        let live = LiveServer::start_zoo(zoo, opts.live.clone())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        Self::bind_with(Arc::new(live), opts)
+    }
+
+    fn bind_with(live: Arc<LiveServer>, opts: NetOptions) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(&opts.addr)?;
         let local_addr = listener.local_addr()?;
-        let live = Arc::new(LiveServer::start(model, opts.live.clone()));
         let tuner = opts
             .tune
             .map(|tune_opts| Tuner::start(Arc::clone(&live), tune_opts));
@@ -537,6 +557,57 @@ pub(crate) fn render_exposition(shared: &NetShared, live: &LiveServer) -> String
         &[("kind", "peak")],
         lm.queue_depth_peak,
     );
+
+    // Per-tenant lane rows: one sample per lane, labeled by tenant and
+    // model, so co-located tenants are separable on a dashboard.
+    e.header(
+        "vserve_lane_depth",
+        "gauge",
+        "Requests queued in each tenant lane.",
+    );
+    for l in &lm.lanes {
+        e.sample(
+            "vserve_lane_depth",
+            &[("lane", l.name.as_str()), ("model", l.model.as_str())],
+            l.depth as f64,
+        );
+    }
+    e.header(
+        "vserve_lane_completed",
+        "counter",
+        "Requests completed per tenant lane.",
+    );
+    for l in &lm.lanes {
+        e.sample(
+            "vserve_lane_completed",
+            &[("lane", l.name.as_str()), ("model", l.model.as_str())],
+            l.completed as f64,
+        );
+    }
+    e.header(
+        "vserve_lane_shed",
+        "counter",
+        "Requests shed at lane admission (quota or infeasible SLO).",
+    );
+    for l in &lm.lanes {
+        e.sample(
+            "vserve_lane_shed",
+            &[("lane", l.name.as_str()), ("model", l.model.as_str())],
+            l.shed as f64,
+        );
+    }
+    e.header(
+        "vserve_lane_p99_us",
+        "gauge",
+        "p99 round-trip latency per tenant lane, microseconds.",
+    );
+    for l in &lm.lanes {
+        e.sample(
+            "vserve_lane_p99_us",
+            &[("lane", l.name.as_str()), ("model", l.model.as_str())],
+            l.p99_us as f64,
+        );
+    }
 
     e.header(
         "vserve_latency_seconds",
@@ -1177,15 +1248,17 @@ fn read_loop(
             }
         };
         let id = req.id;
-        if let Some(reply) = validate(&req, shared) {
-            let close = matches!(reply, (Status::BadFrame, _));
-            let (status, msg) = reply;
-            let _ = ptx.send(Pending::Reply { id, status, msg });
-            if close {
-                return;
+        let lane = match route(&req, shared, live) {
+            Ok(lane) => lane,
+            Err((status, msg)) => {
+                let close = status == Status::BadFrame;
+                let _ = ptx.send(Pending::Reply { id, status, msg });
+                if close {
+                    return;
+                }
+                continue;
             }
-            continue;
-        }
+        };
         if shared.shutdown.load(Ordering::SeqCst) {
             let _ = ptx.send(Pending::Reply {
                 id,
@@ -1209,7 +1282,7 @@ fn read_loop(
             nbytes,
         );
         tr.span(trace_id, stages::DESERIALIZE, t0, Instant::now(), 0, nbytes);
-        let rx = live.submit_traced(jpeg, deadline, Some(trace_id));
+        let rx = live.submit_lane_traced(lane, jpeg, deadline, Some(trace_id));
         let wait: Box<dyn FnOnce() -> Result<LiveResult, LiveError> + Send> =
             Box::new(move || rx.recv().unwrap_or(Err(LiveError::Disconnected)));
         if ptx
@@ -1226,19 +1299,40 @@ fn read_loop(
     }
 }
 
-/// Checks a parsed frame against the deployment; `Some` is an immediate
-/// typed rejection (`BadFrame` additionally closes the connection).
-pub(crate) fn validate(req: &RequestFrame<'_>, shared: &NetShared) -> Option<(Status, String)> {
-    if !req.model.is_empty() && req.model != shared.model_name {
-        return Some((
-            Status::UnknownModel,
-            format!("no model named {:?} here", req.model),
-        ));
-    }
+/// Checks a parsed frame against the deployment and resolves the tenant
+/// lane it routes to; `Err` is an immediate typed rejection (`BadFrame`
+/// additionally closes the connection).
+///
+/// Routing order: an explicit tenant header (`VRQ2`) wins and must name
+/// a deployed tenant; otherwise the model name routes — the configured
+/// `model_name` alias and the empty name land on lane 0, any other name
+/// must match a zoo model (or tenant) the live server hosts.
+pub(crate) fn route(
+    req: &RequestFrame<'_>,
+    shared: &NetShared,
+    live: &LiveServer,
+) -> Result<usize, (Status, String)> {
+    let lane = if !req.tenant.is_empty() {
+        live.lane_of(req.tenant).ok_or_else(|| {
+            (
+                Status::UnknownModel,
+                format!("no tenant named {:?} here", req.tenant),
+            )
+        })?
+    } else if req.model.is_empty() || req.model == shared.model_name {
+        0
+    } else {
+        live.lane_of(req.model).ok_or_else(|| {
+            (
+                Status::UnknownModel,
+                format!("no model named {:?} here", req.model),
+            )
+        })?
+    };
     if req.jpeg.is_empty() {
-        return Some((Status::BadFrame, "empty payload".to_owned()));
+        return Err((Status::BadFrame, "empty payload".to_owned()));
     }
-    None
+    Ok(lane)
 }
 
 fn write_loop(mut stream: TcpStream, prx: MpscReceiver<Pending>, shared: Arc<NetShared>) {
@@ -1297,6 +1391,8 @@ fn write_loop(mut stream: TcpStream, prx: MpscReceiver<Pending>, shared: Arc<Net
                     let status = match e {
                         LiveError::Overloaded => Status::Overloaded,
                         LiveError::DeadlineExceeded => Status::DeadlineExceeded,
+                        LiveError::QuotaExceeded => Status::QuotaExceeded,
+                        LiveError::SloInfeasible => Status::SloInfeasible,
                         LiveError::Decode(_) => Status::DecodeFailed,
                         LiveError::Model(_) => Status::ModelFailed,
                         LiveError::Disconnected => Status::ShuttingDown,

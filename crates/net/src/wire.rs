@@ -29,6 +29,22 @@
 //! | payload len  | 4     | JPEG byte count                                |
 //! | payload      | var   | the JPEG bytes                                 |
 //!
+//! # Version-2 request body (`VRQ2`): the multi-tenant header
+//!
+//! Identical to `VRQ1` with one field pair inserted between the model
+//! name and the payload length:
+//!
+//! | field        | bytes | meaning                                        |
+//! |--------------|-------|------------------------------------------------|
+//! | tenant len   | 1     | length of the tenant-name string               |
+//! | tenant       | var   | UTF-8 tenant name; empty = route by model      |
+//!
+//! The gate is the magic itself: decoders accept both versions (a `VRQ1`
+//! body decodes with an empty tenant), and [`encode_request`] emits
+//! `VRQ1` whenever the tenant is empty, so single-tenant clients are
+//! byte-identical to the v1 protocol and old servers never see a frame
+//! they cannot parse unless a tenant was explicitly requested.
+//!
 //! # Response body layout
 //!
 //! | field        | bytes | meaning                                        |
@@ -66,6 +82,9 @@ pub const MAX_FRAME_LEN: usize = 32 << 20;
 
 /// Magic opening a version-1 request body.
 pub const REQUEST_MAGIC: [u8; 4] = *b"VRQ1";
+
+/// Magic opening a version-2 request body (adds the tenant header).
+pub const REQUEST_MAGIC_V2: [u8; 4] = *b"VRQ2";
 
 /// Magic opening a version-1 response body.
 pub const RESPONSE_MAGIC: [u8; 4] = *b"VRS1";
@@ -118,6 +137,12 @@ pub enum Status {
     ShuttingDown = 6,
     /// The frame named a model this server does not host.
     UnknownModel = 7,
+    /// The tenant's token-bucket quota rejected the request at
+    /// admission (before any queueing).
+    QuotaExceeded = 8,
+    /// Admission control judged the tenant's SLO infeasible given the
+    /// lane's current depth and learned per-item cost.
+    SloInfeasible = 9,
 }
 
 impl Status {
@@ -132,6 +157,8 @@ impl Status {
             5 => Some(Status::ModelFailed),
             6 => Some(Status::ShuttingDown),
             7 => Some(Status::UnknownModel),
+            8 => Some(Status::QuotaExceeded),
+            9 => Some(Status::SloInfeasible),
             _ => None,
         }
     }
@@ -148,6 +175,8 @@ impl std::fmt::Display for Status {
             Status::ModelFailed => "model failed",
             Status::ShuttingDown => "shutting down",
             Status::UnknownModel => "unknown model",
+            Status::QuotaExceeded => "quota exceeded",
+            Status::SloInfeasible => "slo infeasible",
         })
     }
 }
@@ -164,6 +193,9 @@ pub struct RequestFrame<'a> {
     pub deadline_us: u32,
     /// Model name; empty defers to the server's deployed model.
     pub model: &'a str,
+    /// Tenant name for lane routing; empty routes by model (or the
+    /// server default). Only `VRQ2` frames carry this on the wire.
+    pub tenant: &'a str,
     /// The JPEG payload.
     pub jpeg: &'a [u8],
 }
@@ -246,24 +278,43 @@ fn finish_frame(buf: &mut Vec<u8>, start: usize) {
     buf[start..start + HEADER_LEN].copy_from_slice(&body.to_le_bytes());
 }
 
-/// Appends a complete request frame (length prefix included) to `buf`.
-///
-/// The model name is truncated to 255 bytes (on a UTF-8 boundary) and the
-/// payload to [`MAX_FRAME_LEN`] — in practice callers never hit either.
-pub fn encode_request(buf: &mut Vec<u8>, f: &RequestFrame<'_>) {
-    let start = buf.len();
-    put_u32(buf, 0); // length back-patched below
-    buf.extend_from_slice(&REQUEST_MAGIC);
-    put_u64(buf, f.id);
-    put_u16(buf, f.side);
-    put_u32(buf, f.deadline_us);
-    let mut name = f.model;
+/// Truncates `name` to 255 bytes on a UTF-8 boundary for a 1-byte
+/// length-prefixed string field.
+fn clip_name(mut name: &str) -> &str {
     while name.len() > 255 {
         let cut = (0..=255).rev().find(|&i| name.is_char_boundary(i));
         name = &name[..cut.unwrap_or(0)];
     }
+    name
+}
+
+/// Appends a complete request frame (length prefix included) to `buf`.
+///
+/// Version gate: a frame with an empty tenant encodes as `VRQ1` —
+/// byte-identical to the v1 protocol — and only a non-empty tenant
+/// upgrades the frame to `VRQ2`. Model and tenant names are truncated to
+/// 255 bytes (on UTF-8 boundaries) and the payload to [`MAX_FRAME_LEN`]
+/// — in practice callers never hit either.
+pub fn encode_request(buf: &mut Vec<u8>, f: &RequestFrame<'_>) {
+    let start = buf.len();
+    put_u32(buf, 0); // length back-patched below
+    let v2 = !f.tenant.is_empty();
+    buf.extend_from_slice(if v2 {
+        &REQUEST_MAGIC_V2
+    } else {
+        &REQUEST_MAGIC
+    });
+    put_u64(buf, f.id);
+    put_u16(buf, f.side);
+    put_u32(buf, f.deadline_us);
+    let name = clip_name(f.model);
     buf.push(name.len() as u8);
     buf.extend_from_slice(name.as_bytes());
+    if v2 {
+        let tenant = clip_name(f.tenant);
+        buf.push(tenant.len() as u8);
+        buf.extend_from_slice(tenant.as_bytes());
+    }
     let jpeg = &f.jpeg[..f.jpeg.len().min(MAX_FRAME_LEN / 2)];
     put_u32(buf, jpeg.len() as u32);
     buf.extend_from_slice(jpeg);
@@ -378,17 +429,30 @@ pub fn check_frame_len(header: [u8; 4]) -> Result<usize, WireError> {
 }
 
 /// Decodes a request body (the bytes after the length prefix).
+///
+/// Accepts both protocol versions: `VRQ1` bodies decode with an empty
+/// tenant, `VRQ2` bodies carry the tenant header.
 pub fn decode_request(body: &[u8]) -> Result<RequestFrame<'_>, WireError> {
     let mut c = Cursor::new(body);
-    if c.take(4, "truncated request magic")? != REQUEST_MAGIC {
-        return Err(WireError("request magic mismatch"));
-    }
+    let magic = c.take(4, "truncated request magic")?;
+    let v2 = match () {
+        _ if magic == REQUEST_MAGIC => false,
+        _ if magic == REQUEST_MAGIC_V2 => true,
+        _ => return Err(WireError("request magic mismatch")),
+    };
     let id = c.u64("truncated request id")?;
     let side = c.u16("truncated target side")?;
     let deadline_us = c.u32("truncated deadline")?;
     let model_len = c.u8("truncated model length")? as usize;
     let model = std::str::from_utf8(c.take(model_len, "truncated model name")?)
         .map_err(|_| WireError("model name not UTF-8"))?;
+    let tenant = if v2 {
+        let tenant_len = c.u8("truncated tenant length")? as usize;
+        std::str::from_utf8(c.take(tenant_len, "truncated tenant name")?)
+            .map_err(|_| WireError("tenant name not UTF-8"))?
+    } else {
+        ""
+    };
     let jpeg_len = c.u32("truncated payload length")? as usize;
     let jpeg = c.take(jpeg_len, "payload length exceeds frame")?;
     c.finish()?;
@@ -397,6 +461,7 @@ pub fn decode_request(body: &[u8]) -> Result<RequestFrame<'_>, WireError> {
         side,
         deadline_us,
         model,
+        tenant,
         jpeg,
     })
 }
@@ -675,6 +740,24 @@ mod tests {
                 side: 224,
                 deadline_us: 1_500,
                 model: "micro-cnn",
+                tenant: "",
+                jpeg: &jpeg,
+            },
+        );
+        (buf, jpeg)
+    }
+
+    fn sample_request_v2() -> (Vec<u8>, Vec<u8>) {
+        let jpeg = vec![0xffu8, 0xd8, 0xff, 0xe0, 1, 2, 3];
+        let mut buf = Vec::new();
+        encode_request(
+            &mut buf,
+            &RequestFrame {
+                id: 43,
+                side: 224,
+                deadline_us: 1_500,
+                model: "micro-cnn",
+                tenant: "lc",
                 jpeg: &jpeg,
             },
         );
@@ -691,8 +774,48 @@ mod tests {
         assert_eq!(f.side, 224);
         assert_eq!(f.deadline_us, 1_500);
         assert_eq!(f.model, "micro-cnn");
+        assert_eq!(f.tenant, "", "VRQ1 decodes with an empty tenant");
         assert_eq!(f.jpeg, &jpeg[..]);
         assert_eq!(f.deadline(), Some(Duration::from_micros(1_500)));
+        // Version gate: an empty tenant must emit the v1 magic, keeping
+        // single-tenant clients byte-identical to the v1 protocol.
+        assert_eq!(&buf[HEADER_LEN..HEADER_LEN + 4], &REQUEST_MAGIC);
+    }
+
+    #[test]
+    fn v2_request_roundtrips_tenant_header() {
+        let (buf, jpeg) = sample_request_v2();
+        assert_eq!(&buf[HEADER_LEN..HEADER_LEN + 4], &REQUEST_MAGIC_V2);
+        let (body, consumed) = split_frame(&buf).unwrap().expect("complete");
+        assert_eq!(consumed, buf.len());
+        let f = decode_request(body).unwrap();
+        assert_eq!(f.id, 43);
+        assert_eq!(f.model, "micro-cnn");
+        assert_eq!(f.tenant, "lc");
+        assert_eq!(f.jpeg, &jpeg[..]);
+    }
+
+    #[test]
+    fn v2_truncated_bodies_are_bad_frames() {
+        // The hostile-input sweep, extended to the tenant header: every
+        // prefix of a v2 body fails typed, never panics.
+        let (buf, _) = sample_request_v2();
+        let (body, _) = split_frame(&buf).unwrap().expect("complete");
+        for cut in 0..body.len() {
+            assert!(decode_request(&body[..cut]).is_err(), "cut at {cut}");
+        }
+        // Inflated tenant length cannot escape the frame.
+        let mut bad = body.to_vec();
+        let tenant_len_at = 4 + 8 + 2 + 4 + 1 + "micro-cnn".len();
+        bad[tenant_len_at] = 0xFF;
+        assert!(decode_request(&bad).is_err());
+        // Non-UTF-8 tenant bytes fail typed.
+        let mut bad = body.to_vec();
+        bad[tenant_len_at + 1] = 0xFF;
+        assert_eq!(
+            decode_request(&bad),
+            Err(WireError("tenant name not UTF-8"))
+        );
     }
 
     #[test]
@@ -873,6 +996,8 @@ mod tests {
             Status::ModelFailed,
             Status::ShuttingDown,
             Status::UnknownModel,
+            Status::QuotaExceeded,
+            Status::SloInfeasible,
         ] {
             assert_eq!(Status::from_u8(s as u8), Some(s));
         }
@@ -894,19 +1019,24 @@ mod proptests {
             side in any::<u16>(),
             deadline_us in any::<u32>(),
             model in "[a-z0-9_-]{0,32}",
+            tenant in "[a-z0-9_-]{0,32}",
             jpeg in proptest::collection::vec(any::<u8>(), 0..2048),
         ) {
             let mut buf = Vec::new();
             encode_request(&mut buf, &RequestFrame {
-                id, side, deadline_us, model: &model, jpeg: &jpeg,
+                id, side, deadline_us, model: &model, tenant: &tenant, jpeg: &jpeg,
             });
             let (body, consumed) = split_frame(&buf).unwrap().expect("complete");
             prop_assert_eq!(consumed, buf.len());
+            // The version gate picks the magic from the tenant field.
+            let expect_magic = if tenant.is_empty() { REQUEST_MAGIC } else { REQUEST_MAGIC_V2 };
+            prop_assert_eq!(&body[..4], &expect_magic);
             let f = decode_request(body).unwrap();
             prop_assert_eq!(f.id, id);
             prop_assert_eq!(f.side, side);
             prop_assert_eq!(f.deadline_us, deadline_us);
             prop_assert_eq!(f.model, &model);
+            prop_assert_eq!(f.tenant, &tenant);
             prop_assert_eq!(f.jpeg, &jpeg[..]);
         }
 
@@ -914,7 +1044,7 @@ mod proptests {
         #[test]
         fn response_roundtrip(
             id in any::<u64>(),
-            status_code in 0u8..8,
+            status_code in 0u8..10,
             msg in "[ -~]{0,64}",
             batch in any::<u32>(),
             us in proptest::collection::vec(any::<u64>(), 6),
@@ -966,14 +1096,17 @@ mod proptests {
             val in any::<u8>(),
         ) {
             let jpeg = vec![1u8, 2, 3, 4, 5];
-            let mut buf = Vec::new();
-            encode_request(&mut buf, &RequestFrame {
-                id: 1, side: 64, deadline_us: 0, model: "m", jpeg: &jpeg,
-            });
-            let pos = pos % buf.len();
-            buf[pos] = val;
-            if let Ok(Some((body, _))) = split_frame(&buf) {
-                let _ = decode_request(body);
+            // Both protocol versions survive the corruption sweep.
+            for tenant in ["", "t0"] {
+                let mut buf = Vec::new();
+                encode_request(&mut buf, &RequestFrame {
+                    id: 1, side: 64, deadline_us: 0, model: "m", tenant, jpeg: &jpeg,
+                });
+                let pos = pos % buf.len();
+                buf[pos] = val;
+                if let Ok(Some((body, _))) = split_frame(&buf) {
+                    let _ = decode_request(body);
+                }
             }
         }
 
@@ -1031,6 +1164,7 @@ mod metrics_frame_tests {
                 side: 0,
                 deadline_us: 0,
                 model: "",
+                tenant: "",
                 jpeg: &[0xFF],
             },
         );
@@ -1113,6 +1247,7 @@ mod assembler_tests {
                 side: 224,
                 deadline_us: 0,
                 model: "micro-cnn",
+                tenant: "",
                 jpeg: &jpeg,
             },
         );

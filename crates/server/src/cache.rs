@@ -50,7 +50,14 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Content-addressed key: payload hash + length (a cheap second factor
-/// against hash collisions) + target input side.
+/// against hash collisions) + target input side + preprocessing spec.
+///
+/// The spec fingerprint exists because two co-resident models can share
+/// an input side while disagreeing on everything else about
+/// preprocessing (normalization constants, fast vs baseline decode). A
+/// side-only key would alias their tensors and silently serve one
+/// model's normalization to the other; folding the spec in makes such
+/// entries distinct by construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// FNV-1a hash of the payload bytes.
@@ -59,15 +66,43 @@ pub struct CacheKey {
     pub len: usize,
     /// Target model input side the tensor was preprocessed for.
     pub side: usize,
+    /// Fingerprint of the preprocessing spec that produced the tensor
+    /// (see [`preproc_spec_fingerprint`]); `0` is the legacy
+    /// default-pipeline spec.
+    pub spec: u64,
+}
+
+/// Fingerprints a preprocessing specification for [`CacheKey::spec`].
+///
+/// Inputs are the knobs that change the produced tensor for identical
+/// payload bytes and side: the decode path (`fast` vs baseline) and the
+/// per-channel normalization constants. Models using the default
+/// pipeline should key with spec `0` ([`CacheKey::for_payload`]);
+/// anything custom hashes its constants through here.
+pub fn preproc_spec_fingerprint(fast: bool, mean: &[f32; 3], std: &[f32; 3]) -> u64 {
+    let mut bytes = Vec::with_capacity(1 + 6 * 4);
+    bytes.push(u8::from(fast));
+    for v in mean.iter().chain(std.iter()) {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fnv1a(&bytes)
 }
 
 impl CacheKey {
-    /// Keys a payload for a given target side.
+    /// Keys a payload for a given target side under the default
+    /// preprocessing spec (`spec = 0`).
     pub fn for_payload(payload: &[u8], side: usize) -> CacheKey {
+        CacheKey::for_payload_spec(payload, side, 0)
+    }
+
+    /// Keys a payload for a given target side and preprocessing-spec
+    /// fingerprint.
+    pub fn for_payload_spec(payload: &[u8], side: usize, spec: u64) -> CacheKey {
         CacheKey {
             hash: fnv1a(payload),
             len: payload.len(),
             side,
+            spec,
         }
     }
 }
@@ -243,6 +278,7 @@ mod tests {
             hash: i,
             len: i as usize,
             side: 8,
+            spec: 0,
         }
     }
 
@@ -252,6 +288,38 @@ mod tests {
         assert_eq!(a, CacheKey::for_payload(b"abc", 224));
         assert_ne!(a, CacheKey::for_payload(b"abd", 224));
         assert_ne!(a, CacheKey::for_payload(b"abc", 160));
+    }
+
+    /// Satellite (ISSUE 9): two co-resident models with the same input
+    /// side but different preprocessing specs must not alias in the
+    /// cache. A side-only key would serve model A's normalization to
+    /// model B; the spec fingerprint keeps the entries distinct.
+    #[test]
+    fn same_side_different_spec_does_not_collide() {
+        let mean_a = [0.485, 0.456, 0.406];
+        let std_a = [0.229, 0.224, 0.225];
+        let mean_b = [0.5, 0.5, 0.5];
+        let std_b = [0.5, 0.5, 0.5];
+        let spec_a = preproc_spec_fingerprint(false, &mean_a, &std_a);
+        let spec_b = preproc_spec_fingerprint(false, &mean_b, &std_b);
+        assert_ne!(spec_a, spec_b, "distinct normalization → distinct spec");
+        // Same bytes, same side, different specs → different keys.
+        let ka = CacheKey::for_payload_spec(b"img", 224, spec_a);
+        let kb = CacheKey::for_payload_spec(b"img", 224, spec_b);
+        assert_ne!(ka, kb);
+        // And the cache keeps both tensors resident independently.
+        let mut c = PreprocCache::new(1 << 20);
+        let ta = tensor(8);
+        c.insert(ka, Arc::clone(&ta));
+        c.insert(kb, tensor(8));
+        assert_eq!(c.stats().entries, 2);
+        assert!(Arc::ptr_eq(&c.get(&ka).unwrap(), &ta));
+        // Decode path is part of the spec too: fast vs baseline decode
+        // of the same payload produce different tensors.
+        let spec_fast = preproc_spec_fingerprint(true, &mean_a, &std_a);
+        assert_ne!(spec_fast, spec_a);
+        // Legacy default-pipeline keys (spec 0) are unaffected.
+        assert_eq!(CacheKey::for_payload(b"img", 224).spec, 0);
     }
 
     #[test]

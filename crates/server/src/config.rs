@@ -184,6 +184,16 @@ pub struct ServerConfig {
     /// charged one extra `CpuModel::rpc_time()` router hop. `0` is
     /// treated as `1`.
     pub shards: usize,
+    /// Tenant lanes mirrored from the live server's multi-tenant mode:
+    /// with two or more entries, arrivals are assigned to lanes
+    /// round-robin (deterministic), each lane's batch queue is assembled
+    /// independently, and batches dispatch per-lane via the same
+    /// weighted-fair/strict-priority DRR picker the live scheduler uses
+    /// — the deterministic interference-replay twin. Empty (the
+    /// default) keeps the single-lane batcher. Per-tenant quota and
+    /// deadline admission are a live-server concern and are ignored
+    /// here: the sim replays scheduling interference, not shedding.
+    pub tenants: Vec<vserve_sched::TenantSpec>,
 }
 
 impl ServerConfig {
@@ -205,6 +215,7 @@ impl ServerConfig {
             preproc_cache_hit_rate: 0.0,
             rpc: RpcPath::InProcess,
             shards: 1,
+            tenants: Vec::new(),
         }
     }
 
@@ -235,6 +246,7 @@ impl ServerConfig {
             preproc_cache_hit_rate: 0.0,
             rpc: RpcPath::InProcess,
             shards: 1,
+            tenants: Vec::new(),
         }
     }
 

@@ -70,10 +70,13 @@ use vserve_dnn::Model;
 use vserve_metrics::{
     LatencyStats, LatencySummary, RateMeter, StageBreakdown, TimeWeightedGauge, Welford,
 };
+use vserve_sched::{SchedOptions, Scheduler, TenantSpec, TokenBucket};
 use vserve_tensor::{ops, Tensor};
 use vserve_trace::{TraceHandle, Tracer};
 
-use crate::cache::{resolve_capacity_mb, CacheKey, PreprocCache, PreprocCacheStats};
+use crate::cache::{
+    preproc_spec_fingerprint, resolve_capacity_mb, CacheKey, PreprocCache, PreprocCacheStats,
+};
 use crate::report::{stages, ServingSummary};
 
 /// Span/event names the live server records beyond the canonical
@@ -115,6 +118,16 @@ fn default_batch_linger() -> Duration {
         .and_then(|v| v.trim().parse::<u64>().ok())
         .map(Duration::from_micros)
         .unwrap_or(DEFAULT_BATCH_LINGER)
+}
+
+/// Tenant specs read from [`vserve_sched::TENANTS_ENV`]
+/// (`VSERVE_TENANTS`) by [`LiveOptions::default`]; unset or unparsable
+/// yields the empty (single-lane) configuration.
+fn tenants_from_env() -> Vec<TenantSpec> {
+    std::env::var(vserve_sched::TENANTS_ENV)
+        .ok()
+        .and_then(|v| vserve_sched::parse_tenants(&v).ok())
+        .unwrap_or_default()
 }
 
 /// Configuration for a [`LiveServer`].
@@ -169,6 +182,17 @@ pub struct LiveOptions {
     /// [`Tracer::with_capacity`] to trace programmatically and read the
     /// timeline back through [`LiveServer::tracer`].
     pub trace: Tracer,
+    /// Multi-tenant lane specs (`{model, weight, priority, deadline,
+    /// quota}` per tenant). Empty — the default — runs the classic
+    /// single-lane server; otherwise one [`ModelLane`-backed
+    /// lane](vserve_sched) is created per tenant, scheduled by weighted
+    /// deficit round-robin with strict priority classes, with per-tenant
+    /// token-bucket quotas and EDF-style admission shedding typed
+    /// [`LiveError::QuotaExceeded`] / [`LiveError::SloInfeasible`]
+    /// before work is queued. The default reads `VSERVE_TENANTS`
+    /// ([`vserve_sched::TENANTS_ENV`], parsed by
+    /// [`vserve_sched::parse_tenants`]).
+    pub tenants: Vec<TenantSpec>,
 }
 
 impl Default for LiveOptions {
@@ -186,6 +210,7 @@ impl Default for LiveOptions {
             preproc_cache_mb: None,
             coalesce: true,
             trace: Tracer::from_env(),
+            tenants: tenants_from_env(),
         }
     }
 }
@@ -227,6 +252,13 @@ pub enum LiveError {
     Overloaded,
     /// The request's deadline passed before it reached inference.
     DeadlineExceeded,
+    /// The tenant's token-bucket quota was empty at admission; the
+    /// request was shed before any work was queued.
+    QuotaExceeded,
+    /// EDF admission estimated the lane could not serve the request
+    /// within its tenant deadline (queued depth × learned per-item cost
+    /// + linger exceeds the SLO), so it was shed before queueing.
+    SloInfeasible,
     /// The server shut down before responding.
     Disconnected,
 }
@@ -238,6 +270,8 @@ impl std::fmt::Display for LiveError {
             LiveError::Model(e) => write!(f, "model failed: {e}"),
             LiveError::Overloaded => write!(f, "ingress queue full"),
             LiveError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            LiveError::QuotaExceeded => write!(f, "tenant quota exceeded"),
+            LiveError::SloInfeasible => write!(f, "tenant SLO infeasible at admission"),
             LiveError::Disconnected => write!(f, "server shut down"),
         }
     }
@@ -290,8 +324,43 @@ pub struct LiveMetrics {
     /// and allocated a throwaway local arena instead (see
     /// [`Model::scratch_fallbacks`]). Non-zero values mean concurrent
     /// inference workers are contending on one model instance and paying
-    /// per-call allocations.
+    /// per-call allocations. Summed over every zoo model.
     pub scratch_fallbacks: u64,
+    /// Per-lane counters, one entry per tenant lane in lane order.
+    /// Single-lane servers report exactly one entry (the default lane).
+    pub lanes: Vec<LaneMetrics>,
+}
+
+/// Per-lane snapshot inside [`LiveMetrics::lanes`] — the quantities the
+/// VRM1 exposition renders as `vserve_lane_{depth,completed,shed,p99_us}`.
+#[derive(Debug, Clone)]
+pub struct LaneMetrics {
+    /// Tenant name (the lane's identity for wire routing).
+    pub name: String,
+    /// Zoo model the lane executes on.
+    pub model: String,
+    /// Requests admitted and not yet dispatched to inference.
+    pub depth: usize,
+    /// Requests completed on this lane.
+    pub completed: u64,
+    /// Requests shed at admission with [`LiveError::QuotaExceeded`] or
+    /// [`LiveError::SloInfeasible`].
+    pub shed: u64,
+    /// 99th-percentile round-trip latency of this lane's completed
+    /// requests, microseconds (0 until the first completion).
+    pub p99_us: u64,
+}
+
+/// One model of a multi-model zoo passed to [`LiveServer::start_zoo`].
+#[derive(Debug)]
+pub struct ZooModel {
+    /// Name tenants reference via [`TenantSpec::model`] and clients
+    /// route to on the wire.
+    pub name: String,
+    /// The model itself; rebound to the server's shared backend.
+    pub model: Model,
+    /// Side of the square input this model expects.
+    pub input_side: usize,
 }
 
 impl LiveMetrics {
@@ -433,6 +502,8 @@ struct Job {
     /// Trace identity: joins this request's spans across threads (and,
     /// for wire requests, to the front-end's transfer spans).
     id: u64,
+    /// Tenant lane index the request was admitted to.
+    lane: u32,
     jpeg: Vec<u8>,
     submitted: Instant,
     deadline: Option<Instant>,
@@ -441,6 +512,8 @@ struct Job {
 
 struct Ready {
     id: u64,
+    /// Tenant lane index; routes the item to its lane's batch queue.
+    lane: u32,
     tensor: Arc<Tensor>,
     submitted: Instant,
     /// Wait in the bounded ingress queue before preprocessing started.
@@ -449,6 +522,76 @@ struct Ready {
     preproc_done: Instant,
     deadline: Option<Instant>,
     reply: ReplySlot,
+}
+
+/// Runtime state of one tenant lane, shared (inside an
+/// `Arc<Vec<LaneRt>>`) by the submitters, preproc workers, the lane
+/// scheduler, and the inference workers.
+///
+/// Admission control lives here rather than in the scheduler thread so
+/// typed sheds ([`LiveError::QuotaExceeded`] / [`LiveError::SloInfeasible`])
+/// happen on the submitter's thread *before* any work is queued — the
+/// scheduler only ever sees admitted work.
+struct LaneRt {
+    spec: TenantSpec,
+    /// Model this lane executes on (possibly shared with other lanes).
+    model: Arc<Model>,
+    /// Input side of the lane's model.
+    side: usize,
+    /// Preproc-spec fingerprint for [`CacheKey::spec`]: lanes with
+    /// identical pipelines share cache entries, differing ones cannot
+    /// alias.
+    spec_fp: u64,
+    /// Token-bucket quota, when the tenant configured one.
+    bucket: Option<Mutex<TokenBucket>>,
+    /// EWMA per-item inference cost in µs (f64 bits; 0.0 = no evidence
+    /// yet, in which case EDF admission stays optimistic).
+    unit_cost_bits: AtomicU64,
+    /// Requests admitted and not yet dispatched to inference.
+    depth: AtomicUsize,
+    completed: AtomicU64,
+    /// Admission sheds (quota + SLO).
+    shed: AtomicU64,
+    /// Per-lane batch assembly knobs, re-read by the lane scheduler
+    /// every round (the per-lane analogue of [`Knobs`]).
+    max_batch: AtomicUsize,
+    linger_us: AtomicU64,
+    /// Per-lane round-trip latency distribution (p99 for VRM1).
+    lat: Mutex<LatencyStats>,
+}
+
+impl LaneRt {
+    /// Trace tenant tag: lane `i` records as `i + 1` (0 = untagged).
+    fn tag(idx: usize) -> u32 {
+        idx as u32 + 1
+    }
+
+    fn unit_cost_us(&self) -> f64 {
+        f64::from_bits(self.unit_cost_bits.load(Ordering::Relaxed))
+    }
+
+    /// Folds one measured per-item cost into the EWMA (α = ¼). Races
+    /// between inference workers lose updates, never corrupt the value.
+    fn observe_unit_cost(&self, cost_us: f64) {
+        if !cost_us.is_finite() || cost_us <= 0.0 {
+            return;
+        }
+        let prev = self.unit_cost_us();
+        let next = if prev <= 0.0 {
+            cost_us
+        } else {
+            prev + (cost_us - prev) * 0.25
+        };
+        self.unit_cost_bits.store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    fn p99_us(&self) -> u64 {
+        let p99 = match self.lat.lock() {
+            Ok(l) => l.summary().p99,
+            Err(e) => e.into_inner().summary().p99,
+        };
+        (p99 * 1e6) as u64
+    }
 }
 
 /// How long an idle preprocessing worker waits on the ingress queue
@@ -507,7 +650,7 @@ struct PreprocEnv {
     inflight: Arc<Mutex<HashMap<CacheKey, Vec<Job>>>>,
     knobs: Arc<Knobs>,
     tracer: Tracer,
-    side: usize,
+    lanes: Arc<Vec<LaneRt>>,
     fast: bool,
     coalesce: bool,
 }
@@ -594,7 +737,11 @@ fn process_one(
 ) -> Result<(), ()> {
     let start = Instant::now();
     let nbytes = job.jpeg.len() as u64;
+    let lane = &env.lanes[job.lane as usize];
+    let side = lane.side;
+    let tag = LaneRt::tag(job.lane as usize);
     if job.deadline.is_some_and(|d| start >= d) {
+        lane.depth.fetch_sub(1, Ordering::Relaxed);
         env.shared.drop_queued(start, true);
         let _ = job.reply.send(Err(LiveError::DeadlineExceeded));
         return Ok(());
@@ -602,17 +749,19 @@ fn process_one(
     // Re-read per job (not per worker lifetime) so a runtime cache resize
     // takes effect on the very next request.
     let cache_on = env.knobs.cache_bytes.load(Ordering::Relaxed) > 0;
-    let key = (cache_on || env.coalesce).then(|| CacheKey::for_payload(&job.jpeg, env.side));
+    let key = (cache_on || env.coalesce)
+        .then(|| CacheKey::for_payload_spec(&job.jpeg, side, lane.spec_fp));
     if let Some(k) = key {
         if let Some(tensor) = env.cache.lock().ok().and_then(|mut c| c.get(&k)) {
             // Cache hit: the measured preprocessing time is just the
             // hash + lookup above, ≈ 0.
             let done = Instant::now();
-            tr.span(job.id, stages::QUEUE, job.submitted, start, 0, nbytes);
-            tr.span(job.id, stages::PREPROC, start, done, 0, nbytes);
-            tr.event(job.id, trace_events::CACHE_HIT, done, nbytes);
+            tr.span_tagged(tag, job.id, stages::QUEUE, job.submitted, start, 0, nbytes);
+            tr.span_tagged(tag, job.id, stages::PREPROC, start, done, 0, nbytes);
+            tr.event_tagged(tag, job.id, trace_events::CACHE_HIT, done, nbytes);
             let ready = Ready {
                 id: job.id,
+                lane: job.lane,
                 tensor,
                 submitted: job.submitted,
                 ingress_wait: start.saturating_duration_since(job.submitted),
@@ -632,21 +781,21 @@ fn process_one(
                     if let Ok(mut c) = env.cache.lock() {
                         c.note_coalesced();
                     }
-                    tr.event(wid, trace_events::COALESCE, start, nbytes);
+                    tr.event_tagged(tag, wid, trace_events::COALESCE, start, nbytes);
                     return Ok(());
                 }
                 infl.insert(k, Vec::new());
             }
         }
         if cache_on {
-            tr.event(job.id, trace_events::CACHE_MISS, start, nbytes);
+            tr.event_tagged(tag, job.id, trace_events::CACHE_MISS, start, nbytes);
         }
     }
     let result = if env.fast {
-        vserve_codec::preprocess_jpeg_with(&env.backend, scratch, &job.jpeg, env.side)
+        vserve_codec::preprocess_jpeg_with(&env.backend, scratch, &job.jpeg, side)
     } else {
         vserve_codec::decode_with(&env.backend, scratch, &job.jpeg)
-            .map(|img| ops::standard_preprocess_with(&env.backend, &img, env.side))
+            .map(|img| ops::standard_preprocess_with(&env.backend, &img, side))
     };
     let done = Instant::now();
     // Publish to the cache *before* detaching the waiter list so a
@@ -671,10 +820,11 @@ fn process_one(
     };
     match tensor {
         Ok(tensor) => {
-            tr.span(job.id, stages::QUEUE, job.submitted, start, 0, nbytes);
-            tr.span(job.id, stages::PREPROC, start, done, 0, nbytes);
+            tr.span_tagged(tag, job.id, stages::QUEUE, job.submitted, start, 0, nbytes);
+            tr.span_tagged(tag, job.id, stages::PREPROC, start, done, 0, nbytes);
             let ready = Ready {
                 id: job.id,
+                lane: job.lane,
                 tensor: Arc::clone(&tensor),
                 submitted: job.submitted,
                 ingress_wait: start.saturating_duration_since(job.submitted),
@@ -685,7 +835,11 @@ fn process_one(
             };
             env.tx.send(ready).map_err(|_| ())?;
             for w in waiters {
+                let wtag = LaneRt::tag(w.lane as usize);
                 if w.deadline.is_some_and(|d| done >= d) {
+                    env.lanes[w.lane as usize]
+                        .depth
+                        .fetch_sub(1, Ordering::Relaxed);
                     env.shared.drop_queued(done, true);
                     let _ = w.reply.send(Err(LiveError::DeadlineExceeded));
                     continue;
@@ -696,10 +850,11 @@ fn process_one(
                 // full-wait queue span plus a zero-length preproc span
                 // (so span counts match breakdown counts per completed
                 // request).
-                tr.span(w.id, stages::QUEUE, w.submitted, done, 0, nbytes);
-                tr.span(w.id, stages::PREPROC, done, done, 0, 0);
+                tr.span_tagged(wtag, w.id, stages::QUEUE, w.submitted, done, 0, nbytes);
+                tr.span_tagged(wtag, w.id, stages::PREPROC, done, done, 0, 0);
                 let ready = Ready {
                     id: w.id,
+                    lane: w.lane,
                     tensor: Arc::clone(&tensor),
                     submitted: w.submitted,
                     ingress_wait: done.saturating_duration_since(w.submitted),
@@ -712,9 +867,13 @@ fn process_one(
             }
         }
         Err(e) => {
+            lane.depth.fetch_sub(1, Ordering::Relaxed);
             env.shared.drop_queued(done, false);
             let _ = job.reply.send(Err(LiveError::Decode(e)));
             for w in waiters {
+                env.lanes[w.lane as usize]
+                    .depth
+                    .fetch_sub(1, Ordering::Relaxed);
                 env.shared.drop_queued(done, false);
                 let _ = w.reply.send(Err(LiveError::Decode(e)));
             }
@@ -723,10 +882,246 @@ fn process_one(
     Ok(())
 }
 
+/// Body of the lane scheduler thread (the multi-tenant successor of the
+/// single dynamic batcher). It owns a deterministic
+/// [`vserve_sched::Scheduler`] with one lane per tenant — quota and
+/// deadline admission are stripped because they already ran on the
+/// submitter's thread — and alternates between draining the shared ready
+/// channel into per-lane queues and dispatching batches picked by
+/// weighted deficit round-robin under strict priority classes. The
+/// blocking wait is bounded by the earliest lane linger expiry, so
+/// flushes happen on time without polling.
+fn lane_scheduler_loop(
+    ready_rx: Receiver<Ready>,
+    batch_tx: Sender<(u64, u32, Vec<Ready>)>,
+    shared: Arc<Shared>,
+    lanes: Arc<Vec<LaneRt>>,
+    tr: TraceHandle,
+) {
+    let epoch = Instant::now();
+    let mut sched: Scheduler<Ready> = Scheduler::new(SchedOptions::default());
+    for l in lanes.iter() {
+        let mut spec = l.spec.clone();
+        spec.quota = None;
+        spec.deadline_us = None;
+        sched.add_lane(spec);
+    }
+    // The bounded ingress channel is the real backpressure; lane queues
+    // must never shed admitted work.
+    for i in 0..sched.lane_count() {
+        sched.lane_mut(i).set_queue_cap(usize::MAX / 2);
+    }
+    let mut seq = 0u64;
+    let mut flush = |lane_idx: usize, items: Vec<(Ready, u64)>| -> Result<(), ()> {
+        let now = Instant::now();
+        let t = shared.secs(now);
+        let mut live = Vec::with_capacity(items.len());
+        let mut dropped = Vec::new();
+        for (r, _) in items {
+            if r.deadline.is_some_and(|d| now >= d) {
+                dropped.push(r.reply);
+            } else {
+                live.push(r);
+            }
+        }
+        lanes[lane_idx]
+            .depth
+            .fetch_sub(live.len() + dropped.len(), Ordering::Relaxed);
+        {
+            let mut m = shared.lock();
+            m.queue_depth.add(t, -((live.len() + dropped.len()) as f64));
+            m.expired += dropped.len() as u64;
+        }
+        for reply in dropped {
+            let _ = reply.send(Err(LiveError::DeadlineExceeded));
+        }
+        if live.is_empty() {
+            return Ok(());
+        }
+        seq += 1;
+        let tn = tr.secs(now);
+        tr.span_at_tagged(
+            LaneRt::tag(lane_idx),
+            0,
+            trace_events::BATCH,
+            tn,
+            tn,
+            seq,
+            live.len() as u64,
+        );
+        batch_tx.send((seq, lane_idx as u32, live)).map_err(|_| ())
+    };
+    loop {
+        let now0 = epoch.elapsed().as_micros() as u64;
+        let msg = match sched.next_flush_at() {
+            None => match ready_rx.recv() {
+                Ok(r) => Some(r),
+                Err(_) => break,
+            },
+            Some(at) => {
+                let wait = Duration::from_micros(at.saturating_sub(now0));
+                match ready_rx.recv_timeout(wait) {
+                    Ok(r) => Some(r),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
+        if let Some(first) = msg {
+            let mut pending = vec![first];
+            while let Ok(r) = ready_rx.try_recv() {
+                pending.push(r);
+            }
+            let now = epoch.elapsed().as_micros() as u64;
+            for r in pending {
+                let idx = (r.lane as usize).min(lanes.len().saturating_sub(1));
+                if let Err((_, r)) = sched.submit(idx, r, now) {
+                    // Unreachable with the uncapped lane queues above;
+                    // fail the request cleanly rather than dropping it.
+                    lanes[idx].depth.fetch_sub(1, Ordering::Relaxed);
+                    shared.drop_queued(Instant::now(), false);
+                    let _ = r.reply.send(Err(LiveError::Overloaded));
+                }
+            }
+        }
+        // Refresh per-lane assembly knobs: a controller's store is
+        // visible within one scheduling round.
+        for i in 0..sched.lane_count() {
+            let mb = lanes[i].max_batch.load(Ordering::Relaxed).max(1);
+            let lg = lanes[i].linger_us.load(Ordering::Relaxed);
+            sched.lane_mut(i).set_assembly(mb, lg);
+        }
+        let now = epoch.elapsed().as_micros() as u64;
+        while let Some(batch) = sched.next_batch(now) {
+            if flush(batch.lane, batch.items).is_err() {
+                return;
+            }
+        }
+    }
+    // Ready channel disconnected (shutdown): flush everything still
+    // queued so in-flight requests are answered, not leaked.
+    for i in 0..sched.lane_count() {
+        let items = sched.drain_lane(i);
+        if !items.is_empty() && flush(i, items).is_err() {
+            return;
+        }
+    }
+}
+
+/// Body of one inference worker: executes each lane batch as a single
+/// batched forward call on the lane's model, attributes per-item cost,
+/// feeds the lane's EDF cost estimate, and answers every request.
+fn inference_worker_loop(
+    rx: Receiver<(u64, u32, Vec<Ready>)>,
+    lanes: Arc<Vec<LaneRt>>,
+    shared: Arc<Shared>,
+    tr: TraceHandle,
+) {
+    while let Ok((batch_seq, lane_idx, batch)) = rx.recv() {
+        let lane = &lanes[lane_idx as usize];
+        let tag = LaneRt::tag(lane_idx as usize);
+        let n = batch.len();
+        let start = Instant::now();
+        let inputs: Vec<&Tensor> = batch.iter().map(|r| r.tensor.as_ref()).collect();
+        let result = lane.model.forward_batch(&inputs);
+        let finished = Instant::now();
+        let wall = finished.saturating_duration_since(start);
+        // Per-item attribution: each request is charged its share of the
+        // batch, matching the sim's per-image accounting, so stage sums
+        // do not over-count GPU time.
+        let per_item = wall / n as u32;
+        lane.observe_unit_cost(wall.as_secs_f64() * 1e6 / n as f64);
+        // Trace mirror of the same attribution: the batch wall is sliced
+        // into n contiguous per-item spans so the inference track shows
+        // batch composition and span sums equal the breakdown's charges.
+        let t0 = tr.secs(start);
+        let p = per_item.as_secs_f64();
+        let mut replies = Vec::with_capacity(n);
+        {
+            let mut m = shared.lock();
+            m.forward_calls += 1;
+            m.batch_sizes.push(n as f64);
+            m.inference_wall_s += wall.as_secs_f64();
+            match result {
+                Ok(outputs) => {
+                    let t = shared.secs(finished);
+                    let mut lat = lane.lat.lock().unwrap_or_else(|e| e.into_inner());
+                    for (i, (ready, out)) in batch.into_iter().zip(outputs).enumerate() {
+                        let queue = ready.ingress_wait
+                            + start.saturating_duration_since(ready.preproc_done);
+                        let total = finished.saturating_duration_since(ready.submitted);
+                        tr.span_tagged(
+                            tag,
+                            ready.id,
+                            stages::QUEUE,
+                            ready.preproc_done,
+                            start,
+                            batch_seq,
+                            0,
+                        );
+                        tr.span_at_tagged(
+                            tag,
+                            ready.id,
+                            stages::INFERENCE,
+                            t0 + i as f64 * p,
+                            t0 + (i + 1) as f64 * p,
+                            batch_seq,
+                            0,
+                        );
+                        lane.completed.fetch_add(1, Ordering::Relaxed);
+                        lat.push(total.as_secs_f64());
+                        m.latency.push(total.as_secs_f64());
+                        m.window.push(total.as_secs_f64());
+                        m.meter.record(t);
+                        m.breakdown.record(stages::QUEUE, queue.as_secs_f64());
+                        m.breakdown
+                            .record(stages::PREPROC, ready.preproc.as_secs_f64());
+                        m.breakdown
+                            .record(stages::INFERENCE, per_item.as_secs_f64());
+                        replies.push((
+                            ready.reply,
+                            Ok(LiveResult {
+                                output: out.into_vec(),
+                                preproc: ready.preproc,
+                                queue,
+                                inference: per_item,
+                                batch_size: n,
+                                total,
+                            }),
+                        ));
+                    }
+                }
+                Err(e) => {
+                    for ready in batch {
+                        replies.push((ready.reply, Err(LiveError::Model(e.clone()))));
+                    }
+                }
+            }
+        }
+        let respond_start = Instant::now();
+        for (reply, msg) in replies {
+            let _ = reply.send(msg);
+        }
+        tr.span_tagged(
+            tag,
+            0,
+            trace_events::RESPOND,
+            respond_start,
+            Instant::now(),
+            batch_seq,
+            n as u64,
+        );
+    }
+}
+
 /// A running live server; dropping it shuts down all worker threads.
 pub struct LiveServer {
     ingress: Option<Sender<Job>>,
-    model: Arc<Model>,
+    /// Distinct zoo models in zoo order (lane → model via
+    /// `LaneRt::model_idx`).
+    models: Vec<Arc<Model>>,
+    /// Tenant lanes in lane order; index is the stable lane id.
+    lanes: Arc<Vec<LaneRt>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     shared: Arc<Shared>,
     deadline: Option<Duration>,
@@ -757,19 +1152,97 @@ impl LiveServer {
     /// All stages share one compute [`Backend`] sized by
     /// [`LiveOptions::backend_threads`]; the model is rebound to it, so an
     /// explicit [`Model::with_backend`] before `start` is overridden.
+    ///
+    /// This is the single-model convenience wrapper over
+    /// [`start_zoo`](Self::start_zoo): the zoo holds one model named
+    /// `"default"`, and every entry of [`LiveOptions::tenants`] maps to
+    /// it regardless of its `model` field (so a tenant list written for
+    /// a zoo still works when pointed at a single-model server). Empty
+    /// `tenants` yields the classic single default lane.
     pub fn start(model: Model, opts: LiveOptions) -> Self {
+        let zoo = vec![ZooModel {
+            name: "default".to_string(),
+            model,
+            input_side: opts.input_side,
+        }];
+        Self::start_zoo(zoo, opts).expect("single-model start is infallible")
+    }
+
+    /// Starts a multi-model, multi-tenant server: one lane per entry of
+    /// [`LiveOptions::tenants`] (or one default lane per zoo model when
+    /// `tenants` is empty), all lanes sharing the compute backend, the
+    /// preproc pool, and the inference workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `zoo` is empty or a tenant references a
+    /// model name not in a multi-model zoo (single-model zoos resolve
+    /// every tenant to their one model).
+    pub fn start_zoo(zoo: Vec<ZooModel>, opts: LiveOptions) -> Result<Self, String> {
+        if zoo.is_empty() {
+            return Err("start_zoo requires at least one model".to_string());
+        }
         let backend = if opts.backend_threads == 0 {
             Backend::from_env()
         } else {
             Backend::new(opts.backend_threads)
         };
-        let model = Arc::new(model.with_backend(backend.clone()));
+        let mut models = Vec::with_capacity(zoo.len());
+        let mut names = Vec::with_capacity(zoo.len());
+        let mut sides = Vec::with_capacity(zoo.len());
+        for zm in zoo {
+            models.push(Arc::new(zm.model.with_backend(backend.clone())));
+            names.push(zm.name);
+            sides.push(zm.input_side);
+        }
+        let tenants: Vec<TenantSpec> = if opts.tenants.is_empty() {
+            names
+                .iter()
+                .map(|n| TenantSpec::new(n.clone(), n.clone()))
+                .collect()
+        } else {
+            opts.tenants.clone()
+        };
+        let spec_fp =
+            preproc_spec_fingerprint(opts.fast_preproc, &ops::IMAGENET_MEAN, &ops::IMAGENET_STD);
+        let linger_us = opts.max_queue_delay.as_micros().min(u64::MAX as u128) as u64;
+        let mut lanes = Vec::with_capacity(tenants.len());
+        for spec in tenants {
+            let model_idx = match names.iter().position(|n| *n == spec.model) {
+                Some(i) => i,
+                None if names.len() == 1 => 0,
+                None => {
+                    return Err(format!(
+                        "tenant '{}' references unknown model '{}'",
+                        spec.name, spec.model
+                    ))
+                }
+            };
+            lanes.push(LaneRt {
+                model: Arc::clone(&models[model_idx]),
+                side: sides[model_idx],
+                spec_fp,
+                bucket: spec
+                    .quota
+                    .clone()
+                    .map(|q| Mutex::new(TokenBucket::from_spec(q))),
+                unit_cost_bits: AtomicU64::new(0),
+                depth: AtomicUsize::new(0),
+                completed: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                max_batch: AtomicUsize::new(opts.max_batch.max(1)),
+                linger_us: AtomicU64::new(linger_us),
+                lat: Mutex::new(LatencyStats::new()),
+                spec,
+            });
+        }
+        let lanes = Arc::new(lanes);
         let shared = Arc::new(Shared::new());
         let (ingress_tx, ingress_rx) = bounded::<Job>(opts.queue_cap.max(1));
         let (ready_tx, ready_rx) = bounded::<Ready>(opts.queue_cap.max(1));
-        // Batches carry the batcher-assigned sequence number (from 1) that
-        // the trace uses as `batch_id`.
-        let (batch_tx, batch_rx) = bounded::<(u64, Vec<Ready>)>(4);
+        // Batches carry the scheduler-assigned sequence number (from 1)
+        // that the trace uses as `batch_id`, plus the lane they belong to.
+        let (batch_tx, batch_rx) = bounded::<(u64, u32, Vec<Ready>)>(4);
         let mut handles = Vec::new();
 
         // Preprocessing workers: decode → resize → normalize, with a
@@ -785,7 +1258,7 @@ impl LiveServer {
         let workers = opts.preproc_workers.max(1);
         let knobs = Arc::new(Knobs {
             max_batch: AtomicUsize::new(opts.max_batch.max(1)),
-            linger_us: AtomicU64::new(opts.max_queue_delay.as_micros().min(u64::MAX as u128) as u64),
+            linger_us: AtomicU64::new(linger_us),
             cache_bytes: AtomicUsize::new(cache_bytes),
             preproc_target: AtomicUsize::new(workers),
             preproc_live: AtomicUsize::new(workers),
@@ -803,7 +1276,7 @@ impl LiveServer {
             inflight,
             knobs: Arc::clone(&knobs),
             tracer: tracer.clone(),
-            side: opts.input_side,
+            lanes: Arc::clone(&lanes),
             fast: opts.fast_preproc,
             coalesce: opts.coalesce,
         };
@@ -816,173 +1289,37 @@ impl LiveServer {
             pool.spawn();
         }
 
-        // Dynamic batcher: fill up to max_batch or wait out the linger.
-        // Both knobs are re-read from the shared knob block at the start
-        // of every assembly round, so a controller's store takes effect
-        // at the next flush.
+        // Lane scheduler: per-lane batch assembly under weighted deficit
+        // round-robin with strict priority classes (replaces the single
+        // dynamic batcher; a one-lane server degenerates to exactly the
+        // old fill-or-linger behavior).
         {
             let batch_tx = batch_tx.clone();
             let shared = Arc::clone(&shared);
-            let knobs = Arc::clone(&knobs);
+            let lanes_rt = Arc::clone(&lanes);
             let tr = tracer.register("batcher");
-            let mut seq = 0u64;
-            let mut flush = move |batch: Vec<Ready>| -> Result<(), ()> {
-                let now = Instant::now();
-                let t = shared.secs(now);
-                let mut live = Vec::with_capacity(batch.len());
-                let mut dropped = Vec::new();
-                for r in batch {
-                    if r.deadline.is_some_and(|d| now >= d) {
-                        dropped.push(r.reply);
-                    } else {
-                        live.push(r);
-                    }
-                }
-                {
-                    let mut m = shared.lock();
-                    m.queue_depth.add(t, -((live.len() + dropped.len()) as f64));
-                    m.expired += dropped.len() as u64;
-                }
-                for reply in dropped {
-                    let _ = reply.send(Err(LiveError::DeadlineExceeded));
-                }
-                if live.is_empty() {
-                    Ok(())
-                } else {
-                    seq += 1;
-                    let tn = tr.secs(now);
-                    tr.span_at(0, trace_events::BATCH, tn, tn, seq, live.len() as u64);
-                    batch_tx.send((seq, live)).map_err(|_| ())
-                }
-            };
-            handles.push(std::thread::spawn(move || loop {
-                let first = match ready_rx.recv() {
-                    Ok(r) => r,
-                    Err(_) => return,
-                };
-                let max_batch = knobs.max_batch.load(Ordering::Relaxed).max(1);
-                let max_delay = Duration::from_micros(knobs.linger_us.load(Ordering::Relaxed));
-                let deadline = Instant::now() + max_delay;
-                let mut batch = vec![first];
-                while batch.len() < max_batch {
-                    let left = deadline.saturating_duration_since(Instant::now());
-                    match ready_rx.recv_timeout(left) {
-                        Ok(r) => batch.push(r),
-                        Err(RecvTimeoutError::Timeout) => break,
-                        Err(RecvTimeoutError::Disconnected) => {
-                            let _ = flush(batch);
-                            return;
-                        }
-                    }
-                }
-                if flush(batch).is_err() {
-                    return;
-                }
+            handles.push(std::thread::spawn(move || {
+                lane_scheduler_loop(ready_rx, batch_tx, shared, lanes_rt, tr)
             }));
         }
         drop(batch_tx);
 
-        // Inference workers: one batched forward call per assembled batch.
+        // Inference workers: one batched forward call per assembled batch,
+        // on the batch's lane model.
         for w in 0..opts.inference_workers.max(1) {
             let rx = batch_rx.clone();
-            let model = Arc::clone(&model);
+            let lanes_rt = Arc::clone(&lanes);
             let shared = Arc::clone(&shared);
             let tr = tracer.register(&format!("inference-{w}"));
             handles.push(std::thread::spawn(move || {
-                while let Ok((batch_seq, batch)) = rx.recv() {
-                    let n = batch.len();
-                    let start = Instant::now();
-                    let inputs: Vec<&Tensor> = batch.iter().map(|r| r.tensor.as_ref()).collect();
-                    let result = model.forward_batch(&inputs);
-                    let finished = Instant::now();
-                    let wall = finished.saturating_duration_since(start);
-                    // Per-item attribution: each request is charged its
-                    // share of the batch, matching the sim's per-image
-                    // accounting, so stage sums do not over-count GPU time.
-                    let per_item = wall / n as u32;
-                    // Trace mirror of the same attribution: the batch wall
-                    // is sliced into n contiguous per-item spans so the
-                    // inference track shows batch composition and span
-                    // sums equal the breakdown's per-item charges.
-                    let t0 = tr.secs(start);
-                    let p = per_item.as_secs_f64();
-                    let mut replies = Vec::with_capacity(n);
-                    {
-                        let mut m = shared.lock();
-                        m.forward_calls += 1;
-                        m.batch_sizes.push(n as f64);
-                        m.inference_wall_s += wall.as_secs_f64();
-                        match result {
-                            Ok(outputs) => {
-                                let t = shared.secs(finished);
-                                for (i, (ready, out)) in batch.into_iter().zip(outputs).enumerate()
-                                {
-                                    let queue = ready.ingress_wait
-                                        + start.saturating_duration_since(ready.preproc_done);
-                                    let total = finished.saturating_duration_since(ready.submitted);
-                                    tr.span(
-                                        ready.id,
-                                        stages::QUEUE,
-                                        ready.preproc_done,
-                                        start,
-                                        batch_seq,
-                                        0,
-                                    );
-                                    tr.span_at(
-                                        ready.id,
-                                        stages::INFERENCE,
-                                        t0 + i as f64 * p,
-                                        t0 + (i + 1) as f64 * p,
-                                        batch_seq,
-                                        0,
-                                    );
-                                    m.latency.push(total.as_secs_f64());
-                                    m.window.push(total.as_secs_f64());
-                                    m.meter.record(t);
-                                    m.breakdown.record(stages::QUEUE, queue.as_secs_f64());
-                                    m.breakdown
-                                        .record(stages::PREPROC, ready.preproc.as_secs_f64());
-                                    m.breakdown
-                                        .record(stages::INFERENCE, per_item.as_secs_f64());
-                                    replies.push((
-                                        ready.reply,
-                                        Ok(LiveResult {
-                                            output: out.into_vec(),
-                                            preproc: ready.preproc,
-                                            queue,
-                                            inference: per_item,
-                                            batch_size: n,
-                                            total,
-                                        }),
-                                    ));
-                                }
-                            }
-                            Err(e) => {
-                                for ready in batch {
-                                    replies.push((ready.reply, Err(LiveError::Model(e.clone()))));
-                                }
-                            }
-                        }
-                    }
-                    let respond_start = Instant::now();
-                    for (reply, msg) in replies {
-                        let _ = reply.send(msg);
-                    }
-                    tr.span(
-                        0,
-                        trace_events::RESPOND,
-                        respond_start,
-                        Instant::now(),
-                        batch_seq,
-                        n as u64,
-                    );
-                }
+                inference_worker_loop(rx, lanes_rt, shared, tr)
             }));
         }
 
-        LiveServer {
+        Ok(LiveServer {
             ingress: Some(ingress_tx),
-            model: Arc::clone(&model),
+            models,
+            lanes,
             handles,
             shared,
             deadline: opts.deadline,
@@ -993,7 +1330,7 @@ impl LiveServer {
             tracer,
             ingress_trace,
             next_req: AtomicU64::new(1),
-        }
+        })
     }
 
     /// The server's tracer: snapshot it for a span timeline
@@ -1037,7 +1374,7 @@ impl LiveServer {
         deadline: Option<Duration>,
         trace_id: Option<u64>,
     ) -> Receiver<Result<LiveResult, LiveError>> {
-        self.submit_inner(jpeg, deadline, trace_id, None)
+        self.submit_inner(0, jpeg, deadline, trace_id, None)
     }
 
     /// Like [`submit_traced`](Self::submit_traced), but attaches a
@@ -1058,11 +1395,60 @@ impl LiveServer {
         trace_id: Option<u64>,
         hook: Box<dyn FnOnce() + Send>,
     ) -> Receiver<Result<LiveResult, LiveError>> {
-        self.submit_inner(jpeg, deadline, trace_id, Some(hook))
+        self.submit_inner(0, jpeg, deadline, trace_id, Some(hook))
+    }
+
+    /// Number of tenant lanes (1 for single-lane servers).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Resolves a tenant name — or, failing that, a model name — to its
+    /// lane index (first match wins). The net front-end routes wire
+    /// requests with a tenant header through this.
+    pub fn lane_of(&self, name: &str) -> Option<usize> {
+        self.lanes
+            .iter()
+            .position(|l| l.spec.name == name)
+            .or_else(|| self.lanes.iter().position(|l| l.spec.model == name))
+    }
+
+    /// Tenant specs in lane order.
+    pub fn lane_specs(&self) -> Vec<TenantSpec> {
+        self.lanes.iter().map(|l| l.spec.clone()).collect()
+    }
+
+    /// Like [`submit`](Self::submit), addressed to a specific lane.
+    pub fn submit_lane(&self, lane: usize, jpeg: Vec<u8>) -> ReplyReceiver {
+        self.submit_inner(lane, jpeg, None, None, None)
+    }
+
+    /// Lane-addressed [`submit_traced`](Self::submit_traced).
+    pub fn submit_lane_traced(
+        &self,
+        lane: usize,
+        jpeg: Vec<u8>,
+        deadline: Option<Duration>,
+        trace_id: Option<u64>,
+    ) -> ReplyReceiver {
+        self.submit_inner(lane, jpeg, deadline, trace_id, None)
+    }
+
+    /// Lane-addressed [`submit_hooked`](Self::submit_hooked).
+    pub fn submit_lane_hooked(
+        &self,
+        lane: usize,
+        jpeg: Vec<u8>,
+        deadline: Option<Duration>,
+        trace_id: Option<u64>,
+        hook: Box<dyn FnOnce() + Send>,
+    ) -> ReplyReceiver {
+        self.submit_inner(lane, jpeg, deadline, trace_id, Some(hook))
     }
 
     fn submit_inner(
         &self,
+        lane: usize,
         jpeg: Vec<u8>,
         deadline: Option<Duration>,
         trace_id: Option<u64>,
@@ -1072,22 +1458,64 @@ impl LiveServer {
         let now = Instant::now();
         let id = trace_id.unwrap_or_else(|| self.next_req.fetch_add(1, Ordering::Relaxed));
         let nbytes = jpeg.len() as u64;
+        let slot = ReplySlot { tx, hook };
+        let Some(l) = self.lanes.get(lane) else {
+            slot.send(Err(LiveError::Disconnected));
+            return rx;
+        };
+        // Admission control, before any work is queued. Order: quota
+        // first (cheapest, and a tenant over quota should not consume an
+        // SLO estimate), then EDF feasibility against the *tenant* SLO.
+        // Per-request deadlines are a separate mechanism (they shed as
+        // DeadlineExceeded downstream) and never trigger SloInfeasible.
+        if let Some(bucket) = &l.bucket {
+            let now_us = (self.shared.secs(now) * 1e6) as u64;
+            let mut b = bucket.lock().unwrap_or_else(|e| e.into_inner());
+            let ok = b.try_take(now_us);
+            drop(b);
+            if !ok {
+                l.shed.fetch_add(1, Ordering::Relaxed);
+                slot.send(Err(LiveError::QuotaExceeded));
+                return rx;
+            }
+        }
+        if let Some(dl) = l.spec.deadline_us {
+            // Optimistic until the lane has cost evidence: a cold lane
+            // never sheds on a guess.
+            let unit = l.unit_cost_us();
+            if unit > 0.0 {
+                let est = (l.depth.load(Ordering::Relaxed) as f64 + 1.0) * unit
+                    + l.linger_us.load(Ordering::Relaxed) as f64;
+                if est > dl as f64 {
+                    l.shed.fetch_add(1, Ordering::Relaxed);
+                    slot.send(Err(LiveError::SloInfeasible));
+                    return rx;
+                }
+            }
+        }
         let job = Job {
             id,
+            lane: lane as u32,
             jpeg,
             submitted: now,
             deadline: deadline.or(self.deadline).map(|d| now + d),
-            reply: ReplySlot { tx, hook },
+            reply: slot,
         };
         let Some(ingress) = &self.ingress else {
             return rx;
         };
         match ingress.try_send(job) {
             Ok(()) => {
+                l.depth.fetch_add(1, Ordering::Relaxed);
                 let t = self.shared.secs(now);
                 self.shared.lock().queue_depth.add(t, 1.0);
-                self.ingress_trace
-                    .event(id, trace_events::INGRESS, now, nbytes);
+                self.ingress_trace.event_tagged(
+                    LaneRt::tag(lane),
+                    id,
+                    trace_events::INGRESS,
+                    now,
+                    nbytes,
+                );
             }
             Err(TrySendError::Full(job)) => {
                 self.shared.lock().rejected += 1;
@@ -1122,6 +1550,21 @@ impl LiveServer {
             .lock()
             .map(|c| c.stats())
             .unwrap_or_else(|e| e.into_inner().stats());
+        // Lane snapshots are collected before taking the shared metrics
+        // lock (inference workers acquire shared → lane.lat; acquiring
+        // in the reverse order here would risk deadlock).
+        let lanes: Vec<LaneMetrics> = self
+            .lanes
+            .iter()
+            .map(|l| LaneMetrics {
+                name: l.spec.name.clone(),
+                model: l.spec.model.clone(),
+                depth: l.depth.load(Ordering::Relaxed),
+                completed: l.completed.load(Ordering::Relaxed),
+                shed: l.shed.load(Ordering::Relaxed),
+                p99_us: l.p99_us(),
+            })
+            .collect();
         let m = self.shared.lock();
         let mut meter = m.meter;
         meter.close(t);
@@ -1140,7 +1583,8 @@ impl LiveServer {
             backend_threads: stats.threads,
             parallel_efficiency: stats.efficiency(),
             preproc_cache: cache_stats,
-            scratch_fallbacks: self.model.scratch_fallbacks(),
+            scratch_fallbacks: self.models.iter().map(|m| m.scratch_fallbacks()).sum(),
+            lanes,
         }
     }
 
@@ -1166,18 +1610,44 @@ impl LiveServer {
         }
     }
 
-    /// Retunes the batcher's batch size cap (clamped to ≥ 1); applies
-    /// from the next assembly round.
+    /// Retunes the batch size cap (clamped to ≥ 1) on **every** lane;
+    /// applies from the next assembly round. Multi-tenant servers should
+    /// prefer [`set_lane_max_batch`](Self::set_lane_max_batch).
     pub fn set_max_batch(&self, n: usize) {
         self.knobs.max_batch.store(n.max(1), Ordering::Relaxed);
+        for l in self.lanes.iter() {
+            l.max_batch.store(n.max(1), Ordering::Relaxed);
+        }
     }
 
-    /// Retunes the batch linger; applies from the next assembly round.
+    /// Retunes the batch linger on **every** lane; applies from the next
+    /// assembly round. Multi-tenant servers should prefer
+    /// [`set_lane_batch_linger`](Self::set_lane_batch_linger).
     pub fn set_batch_linger(&self, linger: Duration) {
-        self.knobs.linger_us.store(
-            linger.as_micros().min(u64::MAX as u128) as u64,
-            Ordering::Relaxed,
-        );
+        let us = linger.as_micros().min(u64::MAX as u128) as u64;
+        self.knobs.linger_us.store(us, Ordering::Relaxed);
+        for l in self.lanes.iter() {
+            l.linger_us.store(us, Ordering::Relaxed);
+        }
+    }
+
+    /// Retunes one lane's batch size cap (clamped to ≥ 1), leaving the
+    /// other lanes alone. Out-of-range lanes are ignored.
+    pub fn set_lane_max_batch(&self, lane: usize, n: usize) {
+        if let Some(l) = self.lanes.get(lane) {
+            l.max_batch.store(n.max(1), Ordering::Relaxed);
+        }
+    }
+
+    /// Retunes one lane's batch linger, leaving the other lanes alone.
+    /// Out-of-range lanes are ignored.
+    pub fn set_lane_batch_linger(&self, lane: usize, linger: Duration) {
+        if let Some(l) = self.lanes.get(lane) {
+            l.linger_us.store(
+                linger.as_micros().min(u64::MAX as u128) as u64,
+                Ordering::Relaxed,
+            );
+        }
     }
 
     /// Repartitions the shared compute backend (JPEG decode, preproc
@@ -1990,5 +2460,306 @@ mod tests {
         assert!(s.queue_share() >= 0.0 && s.preproc_share() >= 0.0);
         assert!(s.queue_share() + s.preproc_share() + s.inference_share() <= 1.0 + 1e-9);
         assert!(m.queue_depth_peak >= 1.0);
+        // Single-lane servers report exactly one (default) lane.
+        assert_eq!(m.lanes.len(), 1);
+        assert_eq!(m.lanes[0].completed, 10);
+        assert_eq!(m.lanes[0].shed, 0);
+        assert!(m.lanes[0].p99_us > 0);
+    }
+
+    // ------------------------------------------------ multi-tenant lanes
+
+    use vserve_sched::Priority;
+
+    fn two_model_zoo() -> Vec<ZooModel> {
+        vec![
+            ZooModel {
+                name: "small".to_string(),
+                model: Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3),
+                input_side: 32,
+            },
+            ZooModel {
+                name: "large".to_string(),
+                model: Model::from_graph(models::micro_cnn(48, 7).unwrap(), 5),
+                input_side: 48,
+            },
+        ]
+    }
+
+    /// Tentpole: two co-located models serve bit-identical outputs to
+    /// their solo runs, and no request is dropped under co-location —
+    /// lanes isolate scheduling, never numerics.
+    #[test]
+    fn zoo_two_lanes_serve_bit_identical_outputs() {
+        let jpegs: Vec<Vec<u8>> = (0..6)
+            .map(|i| synthetic_jpeg(&ImageSpec::new(64, 56, 0), 200 + i))
+            .collect();
+        // Solo baselines, one single-model server per zoo entry.
+        let solo_small: Vec<Vec<f32>> = {
+            let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+            let server = LiveServer::start(model, tiny_opts(4));
+            jpegs
+                .iter()
+                .map(|j| server.infer(j.clone()).unwrap().output)
+                .collect()
+        };
+        let solo_large: Vec<Vec<f32>> = {
+            let model = Model::from_graph(models::micro_cnn(48, 7).unwrap(), 5);
+            let server = LiveServer::start(
+                model,
+                LiveOptions {
+                    input_side: 48,
+                    ..tiny_opts(4)
+                },
+            );
+            jpegs
+                .iter()
+                .map(|j| server.infer(j.clone()).unwrap().output)
+                .collect()
+        };
+        // Co-located zoo with one tenant per model, interleaved load.
+        let server = LiveServer::start_zoo(
+            two_model_zoo(),
+            LiveOptions {
+                tenants: vec![
+                    TenantSpec::new("lc", "small")
+                        .priority(Priority::High)
+                        .weight(4.0),
+                    TenantSpec::new("be", "large").priority(Priority::Low),
+                ],
+                ..tiny_opts(4)
+            },
+        )
+        .unwrap();
+        assert_eq!(server.lane_count(), 2);
+        assert_eq!(server.lane_of("lc"), Some(0));
+        assert_eq!(server.lane_of("large"), Some(1), "model-name fallback");
+        let mut rx_small = Vec::new();
+        let mut rx_large = Vec::new();
+        for j in &jpegs {
+            rx_small.push(server.submit_lane(0, j.clone()));
+            rx_large.push(server.submit_lane(1, j.clone()));
+        }
+        for (i, rx) in rx_small.into_iter().enumerate() {
+            let out = rx.recv().unwrap().unwrap().output;
+            assert_eq!(out, solo_small[i], "lane small diverged on payload {i}");
+        }
+        for (i, rx) in rx_large.into_iter().enumerate() {
+            let out = rx.recv().unwrap().unwrap().output;
+            assert_eq!(out, solo_large[i], "lane large diverged on payload {i}");
+        }
+        let m = server.metrics();
+        assert_eq!(m.completed, 12, "no request dropped under co-location");
+        assert_eq!(m.lanes.len(), 2);
+        assert_eq!(m.lanes[0].completed, 6);
+        assert_eq!(m.lanes[1].completed, 6);
+        assert_eq!(m.lanes[0].name, "lc");
+        assert_eq!(m.lanes[1].model, "large");
+    }
+
+    /// Tentpole: an exhausted token bucket sheds typed `QuotaExceeded`
+    /// before any work is queued; the lane counts the shed.
+    #[test]
+    fn lane_quota_sheds_typed_quota_exceeded() {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(
+            model,
+            LiveOptions {
+                // Effectively zero refill, burst of 2: exactly two
+                // admissions, everything after sheds.
+                tenants: vec![TenantSpec::new("metered", "default").quota(1e-9, 2)],
+                ..tiny_opts(4)
+            },
+        );
+        let jpeg = synthetic_jpeg(&ImageSpec::new(40, 40, 0), 77);
+        for _ in 0..2 {
+            let r = server.infer(jpeg.clone()).unwrap();
+            assert_eq!(r.output.len(), 10);
+        }
+        for _ in 0..3 {
+            let err = server.infer(jpeg.clone()).unwrap_err();
+            assert!(matches!(err, LiveError::QuotaExceeded), "got {err}");
+        }
+        let m = server.metrics();
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.lanes[0].shed, 3);
+        // Quota sheds are admission sheds, not queue overloads.
+        assert_eq!(m.rejected, 0);
+    }
+
+    /// Tentpole: EDF admission is optimistic until the lane has cost
+    /// evidence (the first request on a 1 µs SLO still serves), then
+    /// sheds typed `SloInfeasible` once the learned unit cost proves the
+    /// deadline infeasible.
+    #[test]
+    fn lane_slo_sheds_typed_slo_infeasible_after_evidence() {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(
+            model,
+            LiveOptions {
+                tenants: vec![TenantSpec::new("strict", "default").deadline_us(1)],
+                ..tiny_opts(4)
+            },
+        );
+        let jpeg = synthetic_jpeg(&ImageSpec::new(40, 40, 0), 78);
+        // Cold lane: no evidence, optimistic admission, real serving.
+        let r = server.infer(jpeg.clone()).unwrap();
+        assert_eq!(r.output.len(), 10);
+        // Warm lane: measured unit cost (plus linger) >> 1 µs.
+        let err = server.infer(jpeg.clone()).unwrap_err();
+        assert!(matches!(err, LiveError::SloInfeasible), "got {err}");
+        let m = server.metrics();
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.lanes[0].shed, 1);
+        // A generous SLO admits: same server, fresh lane? No — the SLO
+        // is per-lane config; instead check the per-request deadline
+        // path still uses DeadlineExceeded, not SloInfeasible.
+        drop(server);
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(model, tiny_opts(4));
+        let err = server
+            .submit_with_deadline(jpeg, Some(Duration::ZERO))
+            .recv()
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(err, LiveError::DeadlineExceeded), "got {err}");
+    }
+
+    /// Satellite (interference attribution): a best-effort flood
+    /// provably inflates the latency-critical tenant's batch-wait
+    /// (queue) span, and the per-tenant trace tags attribute it — the
+    /// LC tenant's spans are separable from the co-tenant's.
+    #[test]
+    fn best_effort_flood_inflates_lc_batch_wait_span() {
+        // A side-96 model makes a batch forward cost hundreds of
+        // microseconds, so the flood provably occupies the single
+        // inference worker; at side 32 the BE batches drain faster
+        // than scheduling noise and the interference signal vanishes.
+        let opts = |tr: Tracer| LiveOptions {
+            tenants: vec![
+                TenantSpec::new("lc", "default")
+                    .priority(Priority::High)
+                    .weight(4.0),
+                TenantSpec::new("be", "default").priority(Priority::Low),
+            ],
+            trace: tr,
+            max_queue_delay: Duration::from_millis(1),
+            input_side: 96,
+            ..tiny_opts(4)
+        };
+        let lc_queue_mean = |server: &LiveServer, tag: u32| -> f64 {
+            let snap = server.tracer().snapshot();
+            let n = snap.stage_count_tenant(stages::QUEUE, tag).max(1);
+            snap.stage_total_tenant(stages::QUEUE, tag) / n as f64
+        };
+        let jpeg = synthetic_jpeg(&ImageSpec::new(48, 48, 0), 90);
+        // Solo: the LC tenant alone on an idle server. Submit the four
+        // requests back-to-back exactly as the flooded phase does, so
+        // batch formation (full batch at max_batch, no linger) is
+        // symmetric and the only variable is the co-tenant flood.
+        let model = Model::from_graph(models::micro_cnn(96, 10).unwrap(), 3);
+        let server = LiveServer::start(model, opts(Tracer::with_capacity(4096)));
+        let solo_rx: Vec<_> = (0..4)
+            .map(|_| server.submit_lane(0, jpeg.clone()))
+            .collect();
+        for rx in solo_rx {
+            let _ = rx.recv().unwrap().unwrap();
+        }
+        let solo = lc_queue_mean(&server, 1);
+        drop(server);
+        // Co-located: a BE flood lands first and occupies the shared
+        // inference worker; the same LC requests now wait behind
+        // co-tenant batches.
+        let model = Model::from_graph(models::micro_cnn(96, 10).unwrap(), 3);
+        let server = LiveServer::start(model, opts(Tracer::with_capacity(4096)));
+        let flood: Vec<_> = (0..24)
+            .map(|i| server.submit_lane(1, synthetic_jpeg(&ImageSpec::new(48, 48, 0), 300 + i)))
+            .collect();
+        let mut lc_rx = Vec::new();
+        for _ in 0..4 {
+            lc_rx.push(server.submit_lane(0, jpeg.clone()));
+        }
+        for rx in lc_rx {
+            let _ = rx.recv().unwrap().unwrap();
+        }
+        for rx in flood {
+            let _ = rx.recv().unwrap().unwrap();
+        }
+        let flooded = lc_queue_mean(&server, 1);
+        // Attribution: both tenants' spans are present and separable.
+        let snap = server.tracer().snapshot();
+        assert!(snap.stage_count_tenant(stages::QUEUE, 1) >= 4);
+        assert!(snap.stage_count_tenant(stages::QUEUE, 2) >= 24);
+        assert!(
+            snap.spans_for_tenant(1).iter().all(|s| s.tenant == 1),
+            "tenant filter must only return the LC tenant's spans"
+        );
+        assert!(
+            flooded > solo,
+            "BE flood must inflate LC batch wait: solo {solo:.6}s vs flooded {flooded:.6}s"
+        );
+        drop(server);
+    }
+
+    /// Lane-safety: interleaved load across two active lanes with
+    /// distinct priorities drops nothing, and per-lane knob setters
+    /// retune one lane without touching the other.
+    #[test]
+    fn per_lane_knobs_and_no_drop_across_active_lanes() {
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let server = LiveServer::start(
+            model,
+            LiveOptions {
+                tenants: vec![
+                    TenantSpec::new("a", "default").weight(3.0),
+                    TenantSpec::new("b", "default"),
+                ],
+                ..tiny_opts(4)
+            },
+        );
+        server.set_lane_max_batch(0, 2);
+        server.set_lane_batch_linger(1, Duration::from_micros(500));
+        let n = 20;
+        let receivers: Vec<_> = (0..n)
+            .map(|i| {
+                server.submit_lane(
+                    i % 2,
+                    synthetic_jpeg(&ImageSpec::new(40, 40, 0), 400 + i as u64),
+                )
+            })
+            .collect();
+        for rx in receivers {
+            let r = rx.recv().unwrap().unwrap();
+            assert_eq!(r.output.len(), 10);
+            // Lane 0's retuned cap bounds its batches.
+        }
+        let m = server.metrics();
+        assert_eq!(m.completed, n as u64);
+        assert_eq!(m.lanes[0].completed + m.lanes[1].completed, n as u64);
+        assert_eq!(m.lanes[0].completed, (n / 2) as u64);
+        // Global setter still reaches every lane.
+        server.set_max_batch(6);
+        assert_eq!(server.knobs().max_batch, 6);
+    }
+
+    /// `VSERVE_TENANTS` feeds `LiveOptions::default().tenants`
+    /// (serial-safe: the harness runs --test-threads=1).
+    #[test]
+    fn tenants_env_override_applies_to_default() {
+        std::env::set_var(
+            vserve_sched::TENANTS_ENV,
+            "lc=resnet18,weight=4,prio=high,deadline_ms=50,quota=100:10;be=vit_large",
+        );
+        let t = LiveOptions::default().tenants;
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].name, "lc");
+        assert_eq!(t[0].model, "resnet18");
+        assert_eq!(t[0].priority, Priority::High);
+        assert_eq!(t[0].deadline_us, Some(50_000));
+        assert_eq!(t[1].name, "be");
+        std::env::set_var(vserve_sched::TENANTS_ENV, "not=a,valid[spec");
+        assert!(LiveOptions::default().tenants.is_empty());
+        std::env::remove_var(vserve_sched::TENANTS_ENV);
+        assert!(LiveOptions::default().tenants.is_empty());
     }
 }

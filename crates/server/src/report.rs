@@ -122,9 +122,27 @@ impl ServingSummary {
     }
 }
 
+/// Per-tenant-lane outcome of a multi-tenant sim run — the sim mirror of
+/// the live server's `LaneMetrics`, for deterministic interference
+/// replay. Empty on single-lane runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneReport {
+    /// Tenant name from the `ServerConfig::tenants` entry.
+    pub name: String,
+    /// Requests this lane completed inside the measurement window.
+    pub completed: u64,
+    /// Mean seconds the lane's requests spent queued (dispatch + batch
+    /// wait) — the number a best-effort flood inflates for an LC tenant.
+    pub mean_queue_s: f64,
+    /// Mean round-trip seconds for the lane's requests.
+    pub mean_latency_s: f64,
+}
+
 /// Outcome of one serving experiment over its measurement window.
 #[derive(Debug, Clone)]
 pub struct ServerReport {
+    /// Per-tenant lane rows (multi-tenant sims only; empty otherwise).
+    pub lanes: Vec<LaneReport>,
     /// Completed requests per second.
     pub throughput: f64,
     /// Round-trip latency distribution.
@@ -220,6 +238,7 @@ mod tests {
         b.record(stages::PREPROC, pre);
         b.record(stages::INFERENCE, inf);
         ServerReport {
+            lanes: Vec::new(),
             gpu_mem_peak_bytes: vec![0.0],
             throughput: 100.0,
             latency: LatencySummary {

@@ -15,8 +15,10 @@ use vserve_sim::rng::RngStream;
 use vserve_sim::{Engine, EventId, MultiServer, SharedBandwidth, SimDuration, SimTime};
 use vserve_workload::{Arrivals, ImageMix};
 
+use vserve_sched::{DrrPicker, LaneView};
+
 use crate::config::{ModelProfile, PreprocPath, PreprocWhere, RpcPath, ServerConfig, StageMode};
-use crate::report::{stages, ServerReport};
+use crate::report::{stages, LaneReport, ServerReport};
 
 /// Per-request device-memory overhead while its state lives on the GPU
 /// (stream/context/pinned-buffer bookkeeping) — drives the Fig 5
@@ -49,6 +51,8 @@ struct Request {
     infer_s: f64,
     gpu: usize,
     mem_bytes: f64,
+    /// Tenant-lane index (always 0 on single-lane configurations).
+    tenant: u32,
 }
 
 #[derive(Debug)]
@@ -75,6 +79,10 @@ struct GpuState {
     /// `max_queue_delay` — never a stale deadline inherited from an
     /// already-served request.
     batch_timer: Option<(SimTime, EventId)>,
+    /// Weighted-fair/strict-priority lane picker — the same `DrrPicker`
+    /// the live scheduler runs, so sim replays reproduce its interleaving
+    /// exactly. Unused on single-lane configurations.
+    picker: DrrPicker,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -120,6 +128,14 @@ struct ServerSim {
     staging_bytes_at_open: f64,
     pcie_bytes_at_open: f64,
     extra_transfer_bytes: f64,
+
+    /// Per-lane round-trip latency (multi-tenant configs; empty otherwise).
+    lane_latency: Vec<LatencyStats>,
+    /// Per-lane mean queueing seconds — the interference signal a
+    /// best-effort flood inflates for a latency-critical lane.
+    lane_queue: Vec<Welford>,
+    /// Per-lane completions inside the measurement window.
+    lane_completed: Vec<u64>,
 }
 
 impl ServerSim {
@@ -145,8 +161,10 @@ impl ServerSim {
                 inflight_bytes: 0.0,
                 inflight_peak: 0.0,
                 batch_timer: None,
+                picker: DrrPicker::new(1.0),
             })
             .collect();
+        let n_lanes = config.tenants.len();
         ServerSim {
             node,
             mix,
@@ -174,6 +192,9 @@ impl ServerSim {
             staging_bytes_at_open: 0.0,
             pcie_bytes_at_open: 0.0,
             extra_transfer_bytes: 0.0,
+            lane_latency: (0..n_lanes).map(|_| LatencyStats::new()).collect(),
+            lane_queue: (0..n_lanes).map(|_| Welford::new()).collect(),
+            lane_completed: vec![0; n_lanes],
             config,
             model,
         }
@@ -210,6 +231,10 @@ fn inject(sim: &mut ServerSim, eng: &mut Eng) {
         infer_s: 0.0,
         gpu: 0,
         mem_bytes: 0.0,
+        // Deterministic round-robin lane assignment: request `id` belongs
+        // to tenant `id mod lanes`, so replays with the same seed hit the
+        // same lanes in the same order.
+        tenant: (id % sim.config.tenants.len().max(1)) as u32,
     }));
     match sim.config.rpc {
         RpcPath::InProcess => offer_dispatch(sim, eng, id),
@@ -557,6 +582,10 @@ fn batch_delay(sim: &ServerSim) -> f64 {
 }
 
 fn try_form_batch(sim: &mut ServerSim, eng: &mut Eng, gpu: usize) {
+    if sim.config.tenants.len() > 1 {
+        try_form_batch_lanes(sim, eng, gpu);
+        return;
+    }
     loop {
         if sim.gpus[gpu].free_instances == 0 || sim.gpus[gpu].inf_queue.is_empty() {
             return;
@@ -599,14 +628,123 @@ fn try_form_batch(sim: &mut ServerSim, eng: &mut Eng, gpu: usize) {
     }
 }
 
+/// Lane-aware batcher for multi-tenant configurations: per-lane batch
+/// queues assembled over the shared arrival order, dispatched by the same
+/// `DrrPicker` the live scheduler uses. The single-lane path above is
+/// untouched — its replays stay bit-identical to the pre-tenant sim.
+fn try_form_batch_lanes(sim: &mut ServerSim, eng: &mut Eng, gpu: usize) {
+    loop {
+        if sim.gpus[gpu].free_instances == 0 || sim.gpus[gpu].inf_queue.is_empty() {
+            return;
+        }
+        let now = eng.now();
+        let n_lanes = sim.config.tenants.len();
+        let delay = SimDuration::from_secs_f64(batch_delay(sim));
+        let nothing_incoming = sim.config.dynamic_batching && sim.gpus[gpu].incoming == 0;
+        // Per-lane occupancy of the shared FIFO batch queue: count and
+        // oldest enqueue time. The queue is scanned fresh on every pass —
+        // requests carry their lane, so no per-lane queues are maintained.
+        let mut count = vec![0usize; n_lanes];
+        let mut head: Vec<Option<SimTime>> = vec![None; n_lanes];
+        for k in 0..sim.gpus[gpu].inf_queue.len() {
+            let (id, enq) = sim.gpus[gpu].inf_queue[k];
+            let lane = sim.requests[id].as_ref().expect("live request").tenant as usize;
+            count[lane] += 1;
+            if head[lane].is_none() {
+                head[lane] = Some(enq);
+            }
+        }
+        // A lane is ready under the same conditions the single-lane
+        // batcher launches: full batch, expired head, or nothing incoming.
+        let views: Vec<LaneView> = sim
+            .config
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| LaneView {
+                priority: t.priority,
+                weight: t.weight,
+                cost: count[i].min(sim.config.max_batch).max(1) as f64,
+                ready: count[i] > 0
+                    && (count[i] >= sim.config.max_batch
+                        || head[i].is_some_and(|h| now >= h + delay)
+                        || nothing_incoming),
+            })
+            .collect();
+        if let Some(lane) = sim.gpus[gpu].picker.pick(&views) {
+            launch_lane_batch(sim, eng, gpu, lane);
+            continue;
+        }
+        // No lane ready yet: keep exactly one timer armed, at the earliest
+        // deadline any occupied lane's head will expire (same stale-timer
+        // cancellation discipline as the single-lane batcher).
+        let Some(deadline) = head.iter().flatten().map(|&h| h + delay).min() else {
+            return;
+        };
+        let stale = sim.gpus[gpu]
+            .batch_timer
+            .is_none_or(|(at, _)| at != deadline);
+        if stale {
+            if let Some((_, old)) = sim.gpus[gpu].batch_timer.take() {
+                eng.cancel(old);
+            }
+            let timer = eng.schedule_at(
+                deadline,
+                Box::new(move |sim: &mut ServerSim, eng: &mut Eng| {
+                    sim.gpus[gpu].batch_timer = None;
+                    try_form_batch(sim, eng, gpu);
+                }),
+            );
+            sim.gpus[gpu].batch_timer = Some((deadline, timer));
+        }
+        return;
+    }
+}
+
+/// Drains up to `max_batch` of `lane`'s requests from the shared batch
+/// queue (preserving their FIFO order) and launches them.
+fn launch_lane_batch(sim: &mut ServerSim, eng: &mut Eng, gpu: usize, lane: usize) {
+    if let Some((_, timer)) = sim.gpus[gpu].batch_timer.take() {
+        eng.cancel(timer);
+    }
+    let mut items: Vec<(ReqId, SimTime)> = Vec::new();
+    let mut k = 0;
+    let mut remaining = false;
+    while k < sim.gpus[gpu].inf_queue.len() {
+        let (id, _) = sim.gpus[gpu].inf_queue[k];
+        let owner = sim.requests[id].as_ref().expect("live request").tenant as usize;
+        if owner == lane {
+            if items.len() < sim.config.max_batch {
+                items.push(sim.gpus[gpu].inf_queue.remove(k));
+                continue;
+            }
+            remaining = true;
+        }
+        k += 1;
+    }
+    if !remaining {
+        // The lane's queue emptied: drop its deficit so credit cannot be
+        // hoarded across idle periods (mirrors the live scheduler).
+        sim.gpus[gpu].picker.reset(lane);
+    }
+    launch_items(sim, eng, gpu, items);
+}
+
 fn launch_batch(sim: &mut ServerSim, eng: &mut Eng, gpu: usize) {
-    let now = eng.now();
     // Whatever head the timer was armed for is leaving the queue now.
     if let Some((_, timer)) = sim.gpus[gpu].batch_timer.take() {
         eng.cancel(timer);
     }
     let n = sim.gpus[gpu].inf_queue.len().min(sim.config.max_batch);
     let items: Vec<(ReqId, SimTime)> = sim.gpus[gpu].inf_queue.drain(..n).collect();
+    launch_items(sim, eng, gpu, items);
+}
+
+/// Shared launch tail: charges batch-wait, computes the service time with
+/// jitter/interference/eviction/instance-sharing, and schedules completion.
+fn launch_items(sim: &mut ServerSim, eng: &mut Eng, gpu: usize, items: Vec<(ReqId, SimTime)>) {
+    let now = eng.now();
+    let n = items.len();
     for &(id, enq) in &items {
         sim.req(id).queue_s += (now - enq).as_secs_f64();
     }
@@ -685,6 +823,12 @@ fn complete(sim: &mut ServerSim, eng: &mut Eng, id: ReqId) {
         sim.breakdown.record(stages::PREPROC, rq.preproc_s);
         sim.breakdown.record(stages::TRANSFER, rq.transfer_s);
         sim.breakdown.record(stages::INFERENCE, rq.infer_s);
+        let lane = rq.tenant as usize;
+        if lane < sim.lane_latency.len() {
+            sim.lane_latency[lane].push(latency);
+            sim.lane_queue[lane].push(rq.queue_s);
+            sim.lane_completed[lane] += 1;
+        }
     }
     if sim.closed_loop {
         inject(sim, eng);
@@ -967,6 +1111,15 @@ impl Experiment {
                     g.pre_gauge.reset_window(t);
                     g.inf_gauge.reset_window(t);
                 }
+                for s in &mut sim.lane_latency {
+                    *s = LatencyStats::new();
+                }
+                for w in &mut sim.lane_queue {
+                    *w = Welford::new();
+                }
+                for c in &mut sim.lane_completed {
+                    *c = 0;
+                }
             }),
         );
 
@@ -1000,6 +1153,18 @@ impl Experiment {
         );
 
         ServerReport {
+            lanes: sim
+                .config
+                .tenants
+                .iter()
+                .enumerate()
+                .map(|(i, t)| LaneReport {
+                    name: t.name.clone(),
+                    completed: sim.lane_completed[i],
+                    mean_queue_s: sim.lane_queue[i].mean(),
+                    mean_latency_s: sim.lane_latency[i].summary().mean,
+                })
+                .collect(),
             gpu_mem_peak_bytes: sim.gpus.iter().map(|g| g.inflight_peak).collect(),
             throughput: sim.meter.count() as f64 / span,
             latency: sim.latency.summary(),
@@ -1157,6 +1322,7 @@ mod batcher_tests {
             infer_s: 0.0,
             gpu: 0,
             mem_bytes: 0.0,
+            tenant: (id % sim.config.tenants.len().max(1)) as u32,
         }));
         sim.gpus[0].inf_queue.push((id, eng.now()));
         try_form_batch(sim, eng, 0);

@@ -91,6 +91,11 @@ pub struct Span {
     pub batch_id: u64,
     /// Bytes associated with the span (payload sizes); 0 = n/a.
     pub bytes: u64,
+    /// Tenant lane this span serves on a multi-tenant server; 0 =
+    /// untagged (single-tenant servers and infrastructure spans). Lane
+    /// `i` records as `i + 1`, so per-request timelines can attribute
+    /// queueing delay to the co-tenant batch occupying the backend.
+    pub tenant: u32,
 }
 
 impl Span {
@@ -348,9 +353,25 @@ impl TraceHandle {
         }
     }
 
-    /// Record a span from two instants.
+    /// Record a span from two instants (untagged: tenant 0).
     pub fn span(
         &self,
+        request_id: u64,
+        stage: &'static str,
+        start: Instant,
+        end: Instant,
+        batch_id: u64,
+        bytes: u64,
+    ) {
+        self.span_tagged(0, request_id, stage, start, end, batch_id, bytes);
+    }
+
+    /// Record a span from two instants, tagged with a tenant lane
+    /// (lane `i` is conventionally recorded as `i + 1`; 0 = untagged).
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_tagged(
+        &self,
+        tenant: u32,
         request_id: u64,
         stage: &'static str,
         start: Instant,
@@ -361,14 +382,29 @@ impl TraceHandle {
         let Some(h) = &self.inner else { return };
         let t_start = start.saturating_duration_since(h.epoch).as_secs_f64();
         let t_end = end.saturating_duration_since(h.epoch).as_secs_f64();
-        self.push(request_id, stage, t_start, t_end, batch_id, bytes);
+        self.push(tenant, request_id, stage, t_start, t_end, batch_id, bytes);
     }
 
     /// Record a span from already-converted epoch seconds (see
     /// [`TraceHandle::secs`]). Non-finite timestamps are discarded;
-    /// `t_end` is floored at `t_start`.
+    /// `t_end` is floored at `t_start`. Untagged (tenant 0).
     pub fn span_at(
         &self,
+        request_id: u64,
+        stage: &'static str,
+        t_start: f64,
+        t_end: f64,
+        batch_id: u64,
+        bytes: u64,
+    ) {
+        self.span_at_tagged(0, request_id, stage, t_start, t_end, batch_id, bytes);
+    }
+
+    /// [`span_at`](Self::span_at) with a tenant tag.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_at_tagged(
+        &self,
+        tenant: u32,
         request_id: u64,
         stage: &'static str,
         t_start: f64,
@@ -379,16 +415,30 @@ impl TraceHandle {
         if self.inner.is_none() {
             return;
         }
-        self.push(request_id, stage, t_start, t_end, batch_id, bytes);
+        self.push(tenant, request_id, stage, t_start, t_end, batch_id, bytes);
     }
 
-    /// Record a zero-duration marker event.
+    /// Record a zero-duration marker event (untagged: tenant 0).
     pub fn event(&self, request_id: u64, stage: &'static str, at: Instant, bytes: u64) {
         self.span(request_id, stage, at, at, 0, bytes);
     }
 
+    /// Record a zero-duration marker event tagged with a tenant lane.
+    pub fn event_tagged(
+        &self,
+        tenant: u32,
+        request_id: u64,
+        stage: &'static str,
+        at: Instant,
+        bytes: u64,
+    ) {
+        self.span_tagged(tenant, request_id, stage, at, at, 0, bytes);
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn push(
         &self,
+        tenant: u32,
         request_id: u64,
         stage: &'static str,
         t_start: f64,
@@ -414,6 +464,7 @@ impl TraceHandle {
             thread: h.ring.id,
             batch_id,
             bytes,
+            tenant,
         });
     }
 
@@ -499,6 +550,30 @@ impl TraceSnapshot {
             .iter()
             .filter(|s| s.request_id == request_id)
             .collect()
+    }
+
+    /// All spans tagged with one tenant lane, in snapshot (time) order.
+    pub fn spans_for_tenant(&self, tenant: u32) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.tenant == tenant).collect()
+    }
+
+    /// Sum of span durations for one stage restricted to one tenant lane
+    /// — the per-tenant view of [`stage_total`](Self::stage_total) used
+    /// to attribute queueing delay to co-tenant interference.
+    pub fn stage_total_tenant(&self, stage: &str, tenant: u32) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.stage == stage && s.tenant == tenant)
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// Number of spans for one stage restricted to one tenant lane.
+    pub fn stage_count_tenant(&self, stage: &str, tenant: u32) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.stage == stage && s.tenant == tenant)
+            .count() as u64
     }
 
     /// Name of a recording thread, if registered.
@@ -631,6 +706,27 @@ mod tests {
         for off in ["", "0", "false", "yes"] {
             assert!(!matches!(off.trim(), "1" | "true" | "on"), "{off}");
         }
+    }
+
+    #[test]
+    fn tenant_tags_record_and_filter() {
+        let tr = Tracer::with_capacity(16);
+        let h = tr.register("w0");
+        // Untagged paths record tenant 0.
+        h.span_at(1, "queue", 0.0, 1.0, 0, 0);
+        // Tagged paths carry the lane tag through every record variant.
+        h.span_at_tagged(2, 2, "queue", 1.0, 3.0, 0, 0);
+        h.span_tagged(1, 3, "queue", Instant::now(), Instant::now(), 0, 0);
+        h.event_tagged(2, 4, "ingress", Instant::now(), 64);
+        let snap = tr.snapshot();
+        assert_eq!(snap.spans_for(1)[0].tenant, 0);
+        assert_eq!(snap.spans_for(2)[0].tenant, 2);
+        assert_eq!(snap.spans_for_tenant(2).len(), 2);
+        assert_eq!(snap.stage_count_tenant("queue", 2), 1);
+        assert!((snap.stage_total_tenant("queue", 2) - 2.0).abs() < 1e-9);
+        assert_eq!(snap.stage_count_tenant("ingress", 2), 1);
+        // The all-tenant aggregate still sees every span.
+        assert_eq!(snap.stage_count("queue"), 3);
     }
 
     #[test]

@@ -60,6 +60,16 @@ use vserve_workload::Arrivals;
 
 /// Enables the controller in binaries that consult the environment
 /// (`1`/`true`/`on`); see [`TuneOptions::enabled_from_env`].
+///
+/// Interaction with `VSERVE_TENANTS`: on a multi-tenant server (more
+/// than one lane) the tuner starts **frozen** — the thread is never
+/// spawned and no knob is ever written. The scheduler owns per-lane
+/// batch/linger on such servers, and a global hill-climber stomping
+/// every lane's assembly knobs each interval would oscillate against
+/// the fairness policy (tuner widens linger → LC lane tail grows →
+/// tuner narrows it back, forever). `VSERVE_TUNE=1` is therefore a
+/// no-op alongside a multi-tenant `VSERVE_TENANTS`; use the per-lane
+/// setters (`set_lane_max_batch` / `set_lane_batch_linger`) instead.
 pub const TUNE_ENV: &str = "VSERVE_TUNE";
 /// Overrides the control interval in milliseconds.
 pub const TUNE_INTERVAL_MS_ENV: &str = "VSERVE_TUNE_INTERVAL_MS";
@@ -612,13 +622,30 @@ pub struct Tuner {
     stop: Arc<AtomicBool>,
     decisions: Arc<AtomicU64>,
     handle: Option<JoinHandle<()>>,
+    frozen: bool,
 }
 
 impl Tuner {
     /// Starts the controller thread against `live`.
+    ///
+    /// Multi-tenant guard: if the server runs more than one lane the
+    /// tuner comes up **frozen** — no thread, no knob writes, and
+    /// [`Tuner::decisions`] stays at zero. The global setters this
+    /// controller drives (`set_max_batch`, `set_batch_linger`) fan out
+    /// to every lane, so on a multi-tenant server each accepted probe
+    /// would overwrite the scheduler's per-lane assembly state and the
+    /// two control loops would oscillate (see [`TUNE_ENV`]).
     pub fn start(live: Arc<LiveServer>, opts: TuneOptions) -> Tuner {
         let stop = Arc::new(AtomicBool::new(false));
         let decisions = Arc::new(AtomicU64::new(0));
+        if live.lane_count() > 1 {
+            return Tuner {
+                stop,
+                decisions,
+                handle: None,
+                frozen: true,
+            };
+        }
         let (stop_t, decisions_t) = (stop.clone(), decisions.clone());
         let handle = thread::Builder::new()
             .name("vserve-tune".into())
@@ -628,7 +655,13 @@ impl Tuner {
             stop,
             decisions,
             handle: Some(handle),
+            frozen: false,
         }
+    }
+
+    /// True when the multi-tenant guard suppressed the controller.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
     }
 
     /// Count of knob reconfigurations applied so far (probes, rollbacks
@@ -1095,6 +1128,82 @@ mod live_tests {
             .infer(synthetic_jpeg(&ImageSpec::new(40, 40, 0), 99))
             .unwrap();
         assert_eq!(r.output.len(), 10);
+    }
+
+    /// Satellite guard: on a multi-tenant (two-lane) server the tuner
+    /// freezes — zero decisions, zero knob writes — so the scheduler's
+    /// per-lane assembly state never oscillates under the controller.
+    #[test]
+    fn tuner_freezes_on_multi_tenant_server_no_oscillation() {
+        use vserve_server::TenantSpec;
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let live = Arc::new(LiveServer::start(
+            model,
+            LiveOptions {
+                preproc_workers: 2,
+                inference_workers: 1,
+                max_batch: 4,
+                input_side: 32,
+                backend_threads: 1,
+                tenants: vec![
+                    TenantSpec::new("lc", "default").weight(4.0),
+                    TenantSpec::new("be", "default"),
+                ],
+                ..LiveOptions::default()
+            },
+        ));
+        assert_eq!(live.lane_count(), 2);
+        let before = live.knobs();
+        let opts = TuneOptions {
+            interval: Duration::from_millis(5),
+            hysteresis: 0.0,
+            warmup_ticks: 0,
+            settle_ticks: 0,
+            ..TuneOptions::default()
+        };
+        let mut tuner = Tuner::start(live.clone(), opts);
+        assert!(tuner.is_frozen(), "two lanes must freeze the controller");
+        let decisions = tuner.decisions();
+        // Drive both lanes through several would-be control intervals.
+        for wave in 0..4 {
+            let rxs: Vec<_> = (0..8)
+                .map(|i| {
+                    live.submit_lane(
+                        (i % 2) as usize,
+                        synthetic_jpeg(&ImageSpec::new(40, 40, 0), 500 + wave * 8 + i),
+                    )
+                })
+                .collect();
+            for rx in rxs {
+                rx.recv().unwrap().unwrap();
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            decisions.load(Ordering::Relaxed),
+            0,
+            "frozen tuner must never reconfigure"
+        );
+        let after = live.knobs();
+        assert_eq!(after.max_batch, before.max_batch);
+        assert_eq!(after.linger, before.linger);
+        assert_eq!(after.preproc_workers, before.preproc_workers);
+        assert_eq!(after.backend_threads, before.backend_threads);
+        tuner.stop();
+        // Single-lane control is unaffected by the guard.
+        let model = Model::from_graph(models::micro_cnn(32, 10).unwrap(), 3);
+        let solo = Arc::new(LiveServer::start(
+            model,
+            LiveOptions {
+                preproc_workers: 1,
+                inference_workers: 1,
+                input_side: 32,
+                backend_threads: 1,
+                ..LiveOptions::default()
+            },
+        ));
+        let t = Tuner::start(solo, TuneOptions::default());
+        assert!(!t.is_frozen());
     }
 }
 

@@ -211,6 +211,7 @@ fn malformed_frames_never_kill_the_server() {
             side: 0,
             deadline_us: 0,
             model: "",
+            tenant: "",
             jpeg: &jpeg,
         },
     );
@@ -507,6 +508,7 @@ fn slow_loris_byte_at_a_time_sender_is_served_without_blocking_others() {
             side: 0,
             deadline_us: 0,
             model: "",
+            tenant: "",
             jpeg: &jpeg,
         },
     );
@@ -578,6 +580,7 @@ fn stalled_reader_is_flow_controlled_not_fatal() {
                 side: 0,
                 deadline_us: 0,
                 model: "",
+                tenant: "",
                 jpeg: &jpeg,
             },
         );
@@ -637,6 +640,7 @@ fn mid_frame_disconnects_leave_server_healthy() {
             side: 0,
             deadline_us: 0,
             model: "",
+            tenant: "",
             jpeg: &jpeg,
         },
     );
@@ -848,4 +852,181 @@ fn wire_spans_join_live_timeline() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// multi-tenant lanes over the wire
+// ---------------------------------------------------------------------------
+
+/// Tenant-tagged (`VRQ2`) frames route to the named lane, quota sheds
+/// come back as typed `QuotaExceeded` frames on a healthy connection,
+/// and an unknown tenant is a typed rejection — in whichever front-end
+/// mode (threaded or evented) this process runs.
+#[test]
+fn tenant_frames_route_and_shed_typed_over_the_wire() {
+    use vserve_server::TenantSpec;
+    let reference = {
+        let live = LiveServer::start(model(), opts());
+        live.infer(payload(0)).expect("in-process infer").output
+    };
+    let server = NetServer::bind(
+        model(),
+        NetOptions {
+            live: LiveOptions {
+                tenants: vec![
+                    TenantSpec::new("lc", "default").weight(4.0),
+                    TenantSpec::new("metered", "default").quota(1e-9, 1),
+                ],
+                ..opts()
+            },
+            ..NetOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Tenant routing: the lc lane serves bit-identically to a
+    // single-tenant in-process server.
+    let lc = NetClient::connect(
+        addr,
+        ClientOptions {
+            pool: 1,
+            tenant: "lc".to_owned(),
+            ..ClientOptions::default()
+        },
+    )
+    .expect("connect lc");
+    assert_eq!(lc.infer(&payload(0)).expect("lc infer").output, reference);
+
+    // Quota: burst 1 with ~zero refill admits exactly one request, then
+    // sheds typed QuotaExceeded without dropping the connection.
+    let metered = NetClient::connect(
+        addr,
+        ClientOptions {
+            pool: 1,
+            tenant: "metered".to_owned(),
+            ..ClientOptions::default()
+        },
+    )
+    .expect("connect metered");
+    assert_eq!(
+        metered
+            .infer(&payload(1))
+            .expect("first metered")
+            .output
+            .len(),
+        10
+    );
+    match metered.infer(&payload(2)) {
+        Err(NetError::Server { status, .. }) => assert_eq!(status, Status::QuotaExceeded),
+        other => panic!("expected typed quota shed, got {other:?}"),
+    }
+    assert_eq!(metered.live_conns(), 1, "shed must not drop the connection");
+
+    // Unknown tenant: typed rejection, connection stays up.
+    let ghost = NetClient::connect(
+        addr,
+        ClientOptions {
+            pool: 1,
+            tenant: "nobody".to_owned(),
+            ..ClientOptions::default()
+        },
+    )
+    .expect("connect ghost");
+    match ghost.infer(&payload(3)) {
+        Err(NetError::Server { status, .. }) => assert_eq!(status, Status::UnknownModel),
+        other => panic!("expected typed unknown-tenant rejection, got {other:?}"),
+    }
+
+    // The scrape exposes per-lane rows for both tenants.
+    let text = server.exposition();
+    for needle in [
+        "vserve_lane_depth{lane=\"lc\"",
+        "vserve_lane_completed{lane=\"lc\"",
+        "vserve_lane_shed{lane=\"metered\"",
+        "vserve_lane_p99_us{lane=\"lc\"",
+    ] {
+        assert!(text.contains(needle), "scrape missing {needle}\n{text}");
+    }
+    let m = server.metrics();
+    assert_eq!(m.live.lanes.len(), 2);
+    assert_eq!(m.live.lanes[0].completed, 1);
+    assert_eq!(m.live.lanes[1].completed, 1);
+    assert_eq!(m.live.lanes[1].shed, 1);
+}
+
+/// A two-model zoo behind one socket: model names route across the zoo
+/// and each lane's outputs stay bit-identical to that model's solo
+/// in-process run under co-location.
+#[test]
+fn zoo_models_route_by_name_over_the_wire() {
+    use vserve_server::live::ZooModel;
+    let small_ref = {
+        let live = LiveServer::start(model(), opts());
+        live.infer(payload(7)).expect("solo small").output
+    };
+    let large_model = || Model::from_graph(models::micro_cnn(48, 7).expect("graph"), 5);
+    let large_ref = {
+        let live = LiveServer::start(
+            large_model(),
+            LiveOptions {
+                input_side: 48,
+                ..opts()
+            },
+        );
+        live.infer(payload(7)).expect("solo large").output
+    };
+    let server = NetServer::bind_zoo(
+        vec![
+            ZooModel {
+                name: "small".to_owned(),
+                model: model(),
+                input_side: SIDE,
+            },
+            ZooModel {
+                name: "large".to_owned(),
+                model: large_model(),
+                input_side: 48,
+            },
+        ],
+        NetOptions {
+            live: opts(),
+            ..NetOptions::default()
+        },
+    )
+    .expect("bind zoo");
+    let addr = server.local_addr();
+    let client_for = |m: &str| {
+        NetClient::connect(
+            addr,
+            ClientOptions {
+                pool: 1,
+                model: m.to_owned(),
+                ..ClientOptions::default()
+            },
+        )
+        .expect("connect")
+    };
+    let small = client_for("small");
+    let large = client_for("large");
+    // Interleave the two models through the shared backend.
+    for _ in 0..3 {
+        assert_eq!(
+            small.infer(&payload(7)).expect("small rpc").output,
+            small_ref
+        );
+        assert_eq!(
+            large.infer(&payload(7)).expect("large rpc").output,
+            large_ref
+        );
+    }
+    match client_for("resnet999").infer(&payload(7)) {
+        Err(NetError::Server { status, .. }) => assert_eq!(status, Status::UnknownModel),
+        other => panic!("expected typed unknown-model rejection, got {other:?}"),
+    }
+    let m = server.metrics();
+    assert_eq!(m.live.completed, 6);
+    assert_eq!(m.live.lanes.len(), 2);
+    assert_eq!(m.live.lanes[0].completed, 3);
+    assert_eq!(m.live.lanes[1].completed, 3);
 }

@@ -201,3 +201,83 @@ fn determinism_and_seed_sensitivity() {
     .run();
     assert_ne!(a.latency, c.latency);
 }
+
+/// Multi-tenant lane config for the sim-mirror tests below.
+fn two_lane_config(lc_prio: Priority, lc_weight: f64) -> ServerConfig {
+    ServerConfig {
+        tenants: vec![
+            TenantSpec::new("lc", "vit-base")
+                .priority(lc_prio)
+                .weight(lc_weight),
+            TenantSpec::new("be", "vit-base").priority(Priority::Low),
+        ],
+        ..ServerConfig::optimized()
+    }
+}
+
+/// Multi-tenant sim replays are deterministic: identical config + seed
+/// reproduce identical per-lane rows, and single-lane reports keep an
+/// empty lane table.
+#[test]
+fn multi_tenant_replay_is_deterministic() {
+    let run = || base(two_lane_config(Priority::High, 1.0), ImageSpec::small(), 64).run();
+    let a = run();
+    let b = run();
+    assert_eq!(a.lanes, b.lanes, "lane rows diverged across replays");
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.lanes.len(), 2);
+    assert_eq!(a.lanes[0].name, "lc");
+    assert_eq!(a.lanes[1].name, "be");
+    assert!(a.lanes[0].completed > 0 && a.lanes[1].completed > 0);
+    assert!(
+        (a.lanes[0].completed + a.lanes[1].completed) <= a.completed + 2,
+        "lane completions exceed total"
+    );
+
+    let solo = base(ServerConfig::optimized(), ImageSpec::small(), 64).run();
+    assert!(solo.lanes.is_empty(), "single-lane report grew lane rows");
+}
+
+/// Co-locating a best-effort tenant inflates the latency-critical lane's
+/// queueing versus serving it alone — the sim twin of the live
+/// interference-attribution test.
+#[test]
+fn best_effort_lane_inflates_lc_queueing_in_sim() {
+    let solo = base(ServerConfig::optimized(), ImageSpec::small(), 32).run();
+    let co = base(two_lane_config(Priority::High, 1.0), ImageSpec::small(), 64).run();
+    let lc = &co.lanes[0];
+    assert!(lc.completed > 0);
+    assert!(
+        lc.mean_queue_s > solo.queue_time(),
+        "co-located LC queue {:.6}s not above solo {:.6}s",
+        lc.mean_queue_s,
+        solo.queue_time()
+    );
+    // Strict priority still shields the LC lane relative to the BE lane.
+    assert!(
+        lc.mean_queue_s < co.lanes[1].mean_queue_s,
+        "LC queue {:.6}s not below BE queue {:.6}s",
+        lc.mean_queue_s,
+        co.lanes[1].mean_queue_s
+    );
+}
+
+/// Within one priority class, the heavier-weighted lane sees less
+/// queueing at saturation: DRR credit is proportional to weight.
+#[test]
+fn heavier_weight_lane_queues_less_in_sim() {
+    let r = base(
+        two_lane_config(Priority::Normal, 4.0),
+        ImageSpec::small(),
+        128,
+    )
+    .run();
+    assert!(r.lanes[0].completed > 0 && r.lanes[1].completed > 0);
+    assert!(
+        r.lanes[0].mean_queue_s < r.lanes[1].mean_queue_s,
+        "weight-4 lane queue {:.6}s not below weight-1 lane {:.6}s",
+        r.lanes[0].mean_queue_s,
+        r.lanes[1].mean_queue_s
+    );
+}

@@ -85,9 +85,10 @@ lib crates/codec/src/lib.rs    vserve_codec    vserve_compute vserve_simd vserve
 lib crates/dnn/src/lib.rs      vserve_dnn      vserve_compute vserve_simd vserve_tensor rand
 lib crates/broker/src/lib.rs   vserve_broker   bytes parking_lot
 lib crates/workload/src/lib.rs vserve_workload vserve_codec vserve_device vserve_sim vserve_tensor
-lib crates/server/src/lib.rs   vserve_server   vserve_codec vserve_compute vserve_device vserve_dnn vserve_metrics vserve_sim vserve_tensor vserve_trace vserve_workload crossbeam
-lib crates/tune/src/lib.rs     vserve_tune     vserve_server vserve_workload
-lib crates/net/src/lib.rs      vserve_net      vserve_server vserve_dnn vserve_metrics vserve_trace vserve_device vserve_workload vserve_tune
+lib crates/sched/src/lib.rs    vserve_sched
+lib crates/server/src/lib.rs   vserve_server   vserve_sched vserve_codec vserve_compute vserve_device vserve_dnn vserve_metrics vserve_sim vserve_tensor vserve_trace vserve_workload crossbeam
+lib crates/tune/src/lib.rs     vserve_tune     vserve_server vserve_sched vserve_workload
+lib crates/net/src/lib.rs      vserve_net      vserve_server vserve_sched vserve_dnn vserve_metrics vserve_trace vserve_device vserve_workload vserve_tune
 lib crates/pipeline/src/lib.rs vserve_pipeline vserve_broker vserve_device vserve_metrics vserve_sim vserve_workload
 lib crates/core/src/lib.rs     vserve          vserve_broker vserve_codec vserve_device vserve_dnn vserve_metrics vserve_pipeline vserve_server vserve_sim vserve_tensor vserve_workload
 lib crates/bench/src/lib.rs    vserve_bench    vserve vserve_broker vserve_codec vserve_compute vserve_device vserve_dnn vserve_net vserve_pipeline vserve_server vserve_sim vserve_tensor vserve_trace vserve_workload
@@ -106,16 +107,17 @@ testbin crates/codec/src/lib.rs    ut_codec    vserve_compute vserve_simd vserve
 testbin crates/dnn/src/lib.rs      ut_dnn      vserve_compute vserve_simd vserve_tensor rand proptest
 testbin crates/broker/src/lib.rs   ut_broker   bytes parking_lot proptest
 testbin crates/workload/src/lib.rs ut_workload vserve_codec vserve_device vserve_sim vserve_tensor proptest
-testbin crates/server/src/lib.rs   ut_server   vserve_codec vserve_compute vserve_device vserve_dnn vserve_metrics vserve_sim vserve_tensor vserve_trace vserve_workload crossbeam proptest
-testbin crates/tune/src/lib.rs     ut_tune     vserve_server vserve_workload vserve_device vserve_dnn proptest
-testbin crates/net/src/lib.rs      ut_net      vserve_server vserve_dnn vserve_metrics vserve_trace vserve_device vserve_workload vserve_tune proptest
+testbin crates/sched/src/lib.rs    ut_sched    proptest
+testbin crates/server/src/lib.rs   ut_server   vserve_sched vserve_codec vserve_compute vserve_device vserve_dnn vserve_metrics vserve_sim vserve_tensor vserve_trace vserve_workload crossbeam proptest
+testbin crates/tune/src/lib.rs     ut_tune     vserve_server vserve_sched vserve_workload vserve_device vserve_dnn proptest
+testbin crates/net/src/lib.rs      ut_net      vserve_server vserve_sched vserve_dnn vserve_metrics vserve_trace vserve_device vserve_workload vserve_tune proptest
 testbin crates/pipeline/src/lib.rs ut_pipeline vserve_broker vserve_device vserve_metrics vserve_sim vserve_workload proptest
 testbin crates/core/src/lib.rs     ut_core     vserve_broker vserve_codec vserve_device vserve_dnn vserve_metrics vserve_pipeline vserve_server vserve_sim vserve_tensor vserve_workload proptest
 testbin crates/bench/src/lib.rs    ut_bench    vserve vserve_broker vserve_codec vserve_compute vserve_device vserve_dnn vserve_net vserve_pipeline vserve_server vserve_sim vserve_tensor vserve_trace vserve_workload proptest
 testbin src/lib.rs                 ut_suite    vserve vserve_compute vserve_codec vserve_dnn vserve_tensor vserve_broker vserve_pipeline vserve_server vserve_net vserve_trace vserve_device vserve_workload vserve_sim vserve_metrics rand proptest
 
 # ------------------------------------------------------- integration tests
-SUITE_DEPS=(vserve vserve_compute vserve_codec vserve_dnn vserve_tensor vserve_broker vserve_pipeline vserve_server vserve_net vserve_tune vserve_trace vserve_device vserve_workload vserve_sim vserve_metrics rand proptest vserve_suite)
+SUITE_DEPS=(vserve vserve_compute vserve_codec vserve_dnn vserve_tensor vserve_broker vserve_pipeline vserve_server vserve_sched vserve_net vserve_tune vserve_trace vserve_device vserve_workload vserve_sim vserve_metrics rand proptest vserve_suite)
 testbin crates/sim/tests/queueing_theory.rs it_queueing_theory vserve_sim vserve_metrics rand proptest
 for t in tests/*.rs; do
   name=$(basename "$t" .rs)
@@ -129,7 +131,7 @@ for ex in examples/*.rs; do
 done
 
 # -------------------------------------------------------------- bench bins
-BENCH_DEPS=(vserve_bench vserve vserve_broker vserve_codec vserve_compute vserve_device vserve_dnn vserve_net vserve_pipeline vserve_server vserve_sim vserve_simd vserve_tensor vserve_trace vserve_tune vserve_workload)
+BENCH_DEPS=(vserve_bench vserve vserve_broker vserve_codec vserve_compute vserve_device vserve_dnn vserve_net vserve_pipeline vserve_server vserve_sched vserve_sim vserve_simd vserve_tensor vserve_trace vserve_tune vserve_workload)
 for b in crates/bench/src/bin/*.rs; do
   name=$(basename "$b" .rs)
   binbuild "$b" "bench_${name}" "${BENCH_DEPS[@]}"
