@@ -269,8 +269,8 @@ impl Conn {
             }
         };
         let id = req.id;
-        let lane = match crate::server::route(&req, ctx.shared, ctx.live) {
-            Ok(lane) => lane,
+        let target = match crate::server::route(&req, ctx.shared, ctx.live) {
+            Ok(target) => target,
             Err((status, msg)) => {
                 let close = status == Status::BadFrame;
                 self.push_ready(id, status, &msg);
@@ -301,19 +301,23 @@ impl Conn {
         let token = self.token;
         let completions = Arc::clone(ctx.completions);
         let wake = ctx.wake.clone();
-        let rx = ctx.live.submit_lane_hooked(
-            lane,
-            jpeg,
-            deadline,
-            Some(trace_id),
-            Box::new(move || {
-                completions
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push((token, seq));
-                wake.wake();
-            }),
-        );
+        let hook: Box<dyn FnOnce() + Send> = Box::new(move || {
+            completions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((token, seq));
+            wake.wake();
+        });
+        let rx = match target {
+            crate::server::Route::Lane(lane) => {
+                ctx.live
+                    .submit_lane_hooked(lane, jpeg, deadline, Some(trace_id), hook)
+            }
+            crate::server::Route::Pipeline(name) => {
+                ctx.live
+                    .submit_pipeline_hooked(&name, jpeg, deadline, Some(trace_id), hook)
+            }
+        };
         self.slots.push_back(Slot::Waiting {
             seq,
             id,

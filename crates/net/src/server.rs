@@ -54,6 +54,7 @@ use std::time::{Duration, Instant};
 
 use vserve_dnn::Model;
 use vserve_metrics::StageBreakdown;
+use vserve_pipeline::{PipelineRunner, PipelineSpec};
 use vserve_server::live::{LiveError, LiveMetrics, LiveOptions, LiveResult, LiveServer, ZooModel};
 use vserve_server::{stages, ServingSummary};
 use vserve_trace::expose::Exposition;
@@ -105,6 +106,13 @@ pub struct NetOptions {
     /// when `VSERVE_TUNE` is set ([`TuneOptions::enabled_from_env`]),
     /// `None` — static knobs — otherwise.
     pub tune: Option<TuneOptions>,
+    /// Register a cascade pipeline executor over the embedded live
+    /// server's lanes at bind time; `VRQ2` frames naming it (in the
+    /// tenant or model field) dispatch whole cascades. Defaults to
+    /// [`PipelineSpec::from_env`] — the `VSERVE_PIPELINE` chain syntax,
+    /// with dynamic fan-out capped by `VSERVE_PIPELINE_FANOUT_CAP` —
+    /// `None` otherwise.
+    pub pipeline: Option<PipelineSpec>,
 }
 
 impl Default for NetOptions {
@@ -119,6 +127,7 @@ impl Default for NetOptions {
             model_name: "default".to_owned(),
             live: LiveOptions::default(),
             tune: TuneOptions::enabled_from_env().then(TuneOptions::from_env),
+            pipeline: PipelineSpec::from_env(),
         }
     }
 }
@@ -306,6 +315,14 @@ impl NetServer {
     fn bind_with(live: Arc<LiveServer>, opts: NetOptions) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(&opts.addr)?;
         let local_addr = listener.local_addr()?;
+        if let Some(spec) = opts.pipeline.clone() {
+            // A spec whose lanes don't resolve on this deployment is a
+            // configuration error, surfaced at bind like a bad zoo.
+            let name = spec.name.clone();
+            let runner = PipelineRunner::new(live.pipeline_handle(), spec)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+            live.register_pipeline(&name, Arc::new(runner));
+        }
         let tuner = opts
             .tune
             .map(|tune_opts| Tuner::start(Arc::clone(&live), tune_opts));
@@ -1248,8 +1265,8 @@ fn read_loop(
             }
         };
         let id = req.id;
-        let lane = match route(&req, shared, live) {
-            Ok(lane) => lane,
+        let target = match route(&req, shared, live) {
+            Ok(target) => target,
             Err((status, msg)) => {
                 let close = status == Status::BadFrame;
                 let _ = ptx.send(Pending::Reply { id, status, msg });
@@ -1282,7 +1299,12 @@ fn read_loop(
             nbytes,
         );
         tr.span(trace_id, stages::DESERIALIZE, t0, Instant::now(), 0, nbytes);
-        let rx = live.submit_lane_traced(lane, jpeg, deadline, Some(trace_id));
+        let rx = match target {
+            Route::Lane(lane) => live.submit_lane_traced(lane, jpeg, deadline, Some(trace_id)),
+            Route::Pipeline(name) => {
+                live.submit_pipeline_traced(&name, jpeg, deadline, Some(trace_id))
+            }
+        };
         let wait: Box<dyn FnOnce() -> Result<LiveResult, LiveError> + Send> =
             Box::new(move || rx.recv().unwrap_or(Err(LiveError::Disconnected)));
         if ptx
@@ -1299,40 +1321,58 @@ fn read_loop(
     }
 }
 
-/// Checks a parsed frame against the deployment and resolves the tenant
-/// lane it routes to; `Err` is an immediate typed rejection (`BadFrame`
+/// Where a parsed frame dispatches: a tenant lane of the live server, or
+/// a registered cascade pipeline (whose executor fans the frame out
+/// across lanes itself).
+pub(crate) enum Route {
+    Lane(usize),
+    Pipeline(String),
+}
+
+/// Checks a parsed frame against the deployment and resolves where it
+/// routes; `Err` is an immediate typed rejection (`BadFrame`
 /// additionally closes the connection).
 ///
-/// Routing order: an explicit tenant header (`VRQ2`) wins and must name
-/// a deployed tenant; otherwise the model name routes — the configured
-/// `model_name` alias and the empty name land on lane 0, any other name
-/// must match a zoo model (or tenant) the live server hosts.
+/// Routing order: an explicit tenant header (`VRQ2`) wins — a registered
+/// pipeline of that name dispatches to its executor, otherwise the name
+/// must match a deployed tenant. Without a tenant header the model name
+/// routes the same way: the configured `model_name` alias and the empty
+/// name land on lane 0, a pipeline name dispatches to its executor, and
+/// any other name must match a zoo model (or tenant) the live server
+/// hosts. Pipeline requests are ordinary `VRQ2` frames — no new wire
+/// version — so any v2 client can drive a cascade by naming it.
 pub(crate) fn route(
     req: &RequestFrame<'_>,
     shared: &NetShared,
     live: &LiveServer,
-) -> Result<usize, (Status, String)> {
-    let lane = if !req.tenant.is_empty() {
-        live.lane_of(req.tenant).ok_or_else(|| {
-            (
-                Status::UnknownModel,
-                format!("no tenant named {:?} here", req.tenant),
-            )
-        })?
+) -> Result<Route, (Status, String)> {
+    let route = if !req.tenant.is_empty() {
+        if live.has_pipeline(req.tenant) {
+            Route::Pipeline(req.tenant.to_owned())
+        } else {
+            Route::Lane(live.lane_of(req.tenant).ok_or_else(|| {
+                (
+                    Status::UnknownModel,
+                    format!("no tenant named {:?} here", req.tenant),
+                )
+            })?)
+        }
     } else if req.model.is_empty() || req.model == shared.model_name {
-        0
+        Route::Lane(0)
+    } else if live.has_pipeline(req.model) {
+        Route::Pipeline(req.model.to_owned())
     } else {
-        live.lane_of(req.model).ok_or_else(|| {
+        Route::Lane(live.lane_of(req.model).ok_or_else(|| {
             (
                 Status::UnknownModel,
                 format!("no model named {:?} here", req.model),
             )
-        })?
+        })?)
     };
     if req.jpeg.is_empty() {
         return Err((Status::BadFrame, "empty payload".to_owned()));
     }
-    Ok(lane)
+    Ok(route)
 }
 
 fn write_loop(mut stream: TcpStream, prx: MpscReceiver<Pending>, shared: Arc<NetShared>) {

@@ -7,6 +7,14 @@
 //! the real brokers live in `vserve-broker` and can be wired to the live
 //! server for functional validation (see the `face_pipeline` example).
 //!
+//! The *live* cascade executor is [`PipelineRunner`]: it walks a
+//! [`PipelineSpec`] DAG (stages reference zoo lanes, edges carry a
+//! crop/resize transform and a dynamic fan-out) over the live server's
+//! tenant lanes, with worst-case ingress reservation at admission so
+//! bounded queues cannot deadlock a half-finished parent (DESIGN §16).
+//! [`PipeCosts`] replays measured live stage costs through the
+//! discrete-event model for live↔sim differential checks.
+//!
 //! Key reproduced results:
 //!
 //! * in-memory coupling beats the disk-backed broker by ≈2.25× in
@@ -40,11 +48,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod exec;
 mod report;
 mod sim;
+mod spec;
 
+pub use exec::{exec_stages, PipelineRunner, PipelineRunnerStats, PIPELINE_SPAN};
 pub use report::{pipeline_stages, PipelineReport};
-pub use sim::PipelineExperiment;
+pub use sim::{PipeCosts, PipelineExperiment};
+pub use spec::{
+    fanout_cap_from_env, Edge, FanOut, PipelineSpec, StageSpec, Transform, DEFAULT_FANOUT_CAP,
+    FANOUT_CAP_ENV, PIPELINE_ENV,
+};
 
 #[cfg(test)]
 mod tests {

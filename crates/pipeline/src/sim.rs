@@ -8,6 +8,26 @@
 //! flow through a finite-rate broker station, but identification batches
 //! *across frames*; the fused path pays no broker cost but identifies
 //! each frame's faces as a lone small batch inside the detection process.
+//!
+//! # Per-frame accounting and time conservation
+//!
+//! Stage components are accumulated in **integer nanoseconds on the same
+//! grid the event engine schedules on** (every service time passes through
+//! [`SimDuration::from_secs_f64`] exactly once, and the quantized value is
+//! both scheduled and charged). On the serialized paths — the fused
+//! coupling, and brokered frames with zero faces — a frame's stage rows
+//! therefore sum to its end-to-end wall *exactly*, which
+//! [`PipelineExperiment::run_audited`] exposes as a residual of zero
+//! nanoseconds. Earlier revisions charged the unquantized `f64` service
+//! times while scheduling the quantized ones, so rows drifted from the
+//! wall by sub-nanosecond rounding per hop (the same bug class the ps.rs
+//! virtual-finish accounting fix addressed).
+//!
+//! Brokered frames with `k > 0` faces overlap their per-face broker paths
+//! and share cross-frame identification batches, so their breakdown is a
+//! *critical-path attribution* (`broker` carries the longest single face's
+//! wait + station + consume; `identify` carries per-face shares of shared
+//! batches) and is not claimed to conserve.
 
 use std::collections::VecDeque;
 
@@ -36,6 +56,43 @@ const ID_MAX_BATCH: usize = 32;
 /// per-batch launch cost across frames).
 const DET_BATCH: usize = 8;
 
+/// Measured per-stage costs for replaying a *live* cascade through the
+/// simulator, in place of the analytic hardware model.
+///
+/// The live executor's differential suite measures the realized mean
+/// detect service, per-face identify service, and fan-out hand-off cost
+/// on the host, plants them here, and replays the same fan-out level
+/// through [`PipelineExperiment::run_with_costs`] (fused coupling — the
+/// in-process executor has no broker): the sim's `detect` / `broker` /
+/// `identify` / `queue` shares must then agree with the live cascade's.
+///
+/// `exit_rate` models a low-confidence early-exit first stage: that
+/// fraction of frames completes after detection with no face children.
+#[derive(Debug, Clone, Copy)]
+pub struct PipeCosts {
+    /// Stage-1 (detect) service per frame, seconds.
+    pub det_s: f64,
+    /// Stage-2 (identify) service per face, seconds.
+    pub id_face_s: f64,
+    /// Per-frame hand-off cost between the stages (the live executor's
+    /// decode + crop + re-encode fan-out work), charged to the `broker`
+    /// row so live `fanout+join` maps onto it.
+    pub handoff_s: f64,
+    /// Probability a frame early-exits after detection (no children).
+    pub exit_rate: f64,
+}
+
+impl Default for PipeCosts {
+    fn default() -> Self {
+        PipeCosts {
+            det_s: 0.0,
+            id_face_s: 0.0,
+            handoff_s: 0.0,
+            exit_rate: 0.0,
+        }
+    }
+}
+
 type Eng = Engine<PipeSim>;
 type FrameId = usize;
 
@@ -44,13 +101,17 @@ struct Frame {
     arrived: SimTime,
     faces_total: u64,
     faces_done: u64,
-    det_s: f64,
-    broker_s: f64,
+    /// Grid-quantized stage components, nanoseconds (see module docs).
+    det_ns: u64,
+    broker_ns: u64,
+    id_ns: u64,
+    queue_ns: u64,
     /// Longest single face's broker path (wait + station + consume);
     /// faces overlap, so the critical path is a max, not a sum.
     broker_face_max: f64,
-    id_s: f64,
-    queue_s: f64,
+    /// Per-face shares of cross-frame identification batches (brokered
+    /// path only; inherently fractional on the nanosecond grid).
+    id_frac_s: f64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +126,8 @@ struct PipeSim {
     node: NodeConfig,
     broker: BrokerKind,
     faces: FacesPerFrame,
+    /// Measured live costs replayed in place of the hardware model.
+    costs: Option<PipeCosts>,
     det_flops: f64,
     id_flops: f64,
     engine: EngineKind,
@@ -83,7 +146,16 @@ struct PipeSim {
     frame_meter: RateMeter,
     face_meter: RateMeter,
     faces_per_frame: Welford,
+    /// Worst |wall − Σ stage rows| over serialized-path frames, nanosec.
+    max_residual_ns: u64,
 }
+
+/// Quantizes a service time to the engine's nanosecond grid.
+fn grid_ns(s: f64) -> u64 {
+    SimDuration::from_secs_f64(s).as_nanos()
+}
+
+const NS: f64 = 1e-9;
 
 impl PipeSim {
     fn frame(&mut self, id: FrameId) -> &mut Frame {
@@ -93,6 +165,11 @@ impl PipeSim {
     /// Per-frame detection service at an effective batch of `batch`
     /// frames (the dynamic batcher amortizes launches only under load).
     fn det_service(&self, batch: usize) -> f64 {
+        if let Some(c) = &self.costs {
+            // Replay: the live measurement already reflects the realized
+            // batching operating point.
+            return c.det_s;
+        }
         let frame_img = ImageSpec::new(640, 640, 180 * 1024);
         let pre = self.node.gpu.preproc_time_batched(&frame_img, batch);
         let inf = self
@@ -108,6 +185,8 @@ impl PipeSim {
             // and overlap with detection kernels (stream concurrency).
             let compute = self.id_flops / self.node.gpu.effective_flops(ID_MAX_BATCH, self.engine);
             self.node.gpu.launch_s + n as f64 * (compute / OVERLAP_BOOST + STAGE2_PREPROC_S)
+        } else if let Some(c) = &self.costs {
+            n as f64 * c.id_face_s
         } else {
             // Fused: this frame's faces alone, serialized with detection.
             self.node
@@ -119,16 +198,24 @@ impl PipeSim {
 
 fn inject_frame(sim: &mut PipeSim, eng: &mut Eng) {
     let id = sim.frames.len();
-    let k = sim.faces.sample(&mut sim.rng);
+    let mut k = sim.faces.sample(&mut sim.rng);
+    if let Some(c) = sim.costs {
+        // Early exit is sampled at arrival so warmup and measurement see
+        // the same per-frame stream regardless of completion order.
+        if c.exit_rate > 0.0 && sim.rng.uniform(0.0, 1.0) < c.exit_rate {
+            k = 0;
+        }
+    }
     sim.frames.push(Some(Frame {
         arrived: eng.now(),
         faces_total: k,
         faces_done: 0,
-        det_s: 0.0,
-        broker_s: 0.0,
+        det_ns: 0,
+        broker_ns: 0,
+        id_ns: 0,
+        queue_ns: 0,
         broker_face_max: 0.0,
-        id_s: 0.0,
-        queue_s: 0.0,
+        id_frac_s: 0.0,
     }));
     sim.det_queue.push_back((id, eng.now()));
     try_run_gpu(sim, eng);
@@ -156,25 +243,36 @@ fn try_run_gpu(sim: &mut PipeSim, eng: &mut Eng) {
     sim.gpu_busy = true;
     match job {
         GpuJob::Detect { frame, enq } => {
-            sim.frame(frame).queue_s += (now - enq).as_secs_f64();
+            sim.frame(frame).queue_ns += (now - enq).as_nanos();
             let fused = sim.broker == BrokerKind::Fused;
             // Under load the batcher amortizes across queued frames; a
             // lone frame pays batch-1 cost (zero-load path).
             let eff_batch = (1 + sim.det_queue.len()).min(DET_BATCH);
             let det = sim.det_service(eff_batch);
             let k = sim.frames[frame].as_ref().expect("live").faces_total;
-            let service = if fused && k > 0 {
-                det + sim.id_batch_service(k as usize, false)
-            } else if fused {
-                det
+            // Quantize each component once and schedule their exact sum,
+            // so what runs on the clock is what the frame is charged.
+            let det_ns = grid_ns(det);
+            let (handoff_ns, id_ns) = if fused {
+                let handoff = sim
+                    .costs
+                    .map(|c| if k > 0 { grid_ns(c.handoff_s) } else { 0 })
+                    .unwrap_or(0);
+                let idn = if k > 0 {
+                    grid_ns(sim.id_batch_service(k as usize, false))
+                } else {
+                    0
+                };
+                (handoff, idn)
             } else {
                 // Broker hand-off stalls the pipeline once per frame.
-                det + sim.broker.cost().pipeline_bubble_s
+                (grid_ns(sim.broker.cost().pipeline_bubble_s), 0)
             };
+            let service_ns = det_ns + handoff_ns + id_ns;
             eng.schedule_in(
-                SimDuration::from_secs_f64(service),
+                SimDuration::from_nanos(service_ns),
                 Box::new(move |sim: &mut PipeSim, eng: &mut Eng| {
-                    detect_done(sim, eng, frame, det, service - det)
+                    detect_done(sim, eng, frame, det_ns, handoff_ns, id_ns)
                 }),
             );
         }
@@ -182,28 +280,36 @@ fn try_run_gpu(sim: &mut PipeSim, eng: &mut Eng) {
             let n = sim.id_ready.len().min(ID_MAX_BATCH);
             let items: Vec<(FrameId, SimTime)> = sim.id_ready.drain(..n).collect();
             for &(f, enq) in &items {
-                sim.frame(f).queue_s += (now - enq).as_secs_f64();
+                sim.frame(f).queue_ns += (now - enq).as_nanos();
             }
-            let service = sim.id_batch_service(n, true);
+            let service_ns = grid_ns(sim.id_batch_service(n, true));
             eng.schedule_in(
-                SimDuration::from_secs_f64(service),
+                SimDuration::from_nanos(service_ns),
                 Box::new(move |sim: &mut PipeSim, eng: &mut Eng| {
-                    identify_done(sim, eng, items, service)
+                    identify_done(sim, eng, items, service_ns)
                 }),
             );
         }
     }
 }
 
-fn detect_done(sim: &mut PipeSim, eng: &mut Eng, frame: FrameId, det_s: f64, extra_s: f64) {
+fn detect_done(
+    sim: &mut PipeSim,
+    eng: &mut Eng,
+    frame: FrameId,
+    det_ns: u64,
+    handoff_ns: u64,
+    id_ns: u64,
+) {
     sim.gpu_busy = false;
     let fused = sim.broker == BrokerKind::Fused;
     let f = sim.frame(frame);
-    f.det_s += det_s;
+    f.det_ns += det_ns;
     if fused {
-        f.id_s += extra_s; // the frame's own identification batch
+        f.broker_ns += handoff_ns; // replayed fan-out hand-off (0 analytic)
+        f.id_ns += id_ns; // the frame's own identification batch
     } else {
-        f.broker_s += extra_s; // the per-frame hand-off bubble
+        f.broker_ns += handoff_ns; // the per-frame hand-off bubble
     }
     let k = f.faces_total;
     match sim.broker {
@@ -217,10 +323,10 @@ fn detect_done(sim: &mut PipeSim, eng: &mut Eng, frame: FrameId, det_s: f64, ext
             // Async producer: the frame pays one produce latency, then its
             // faces stream through the finite-rate broker station.
             let cost = kind.cost();
-            let produce = cost.produce_s + cost.per_byte_s * FACE_CROP_BYTES as f64;
-            sim.frame(frame).broker_s += produce;
+            let produce_ns = grid_ns(cost.produce_s + cost.per_byte_s * FACE_CROP_BYTES as f64);
+            sim.frame(frame).broker_ns += produce_ns;
             for _ in 0..k {
-                let at = eng.now() + SimDuration::from_secs_f64(produce);
+                let at = eng.now() + SimDuration::from_nanos(produce_ns);
                 eng.schedule_at(
                     at,
                     Box::new(move |sim: &mut PipeSim, eng: &mut Eng| {
@@ -247,21 +353,21 @@ fn try_run_broker(sim: &mut PipeSim, eng: &mut Eng) {
     let now = eng.now();
     let wait = (now - enq).as_secs_f64();
     let cost = sim.broker.cost();
-    let service = if cost.max_rate.is_finite() {
-        1.0 / cost.max_rate
+    let service_ns = if cost.max_rate.is_finite() {
+        grid_ns(1.0 / cost.max_rate)
     } else {
-        0.0
+        0
     };
     eng.schedule_in(
-        SimDuration::from_secs_f64(service),
+        SimDuration::from_nanos(service_ns),
         Box::new(move |sim: &mut PipeSim, eng: &mut Eng| {
             sim.broker_busy = false;
             // Consumer poll latency, then the face is ready for stage 2.
-            let consume = sim.broker.cost().consume_s;
-            let face_path = wait + service + consume;
+            let consume_ns = grid_ns(sim.broker.cost().consume_s);
+            let face_path = wait + (service_ns + consume_ns) as f64 * NS;
             let f = sim.frame(frame);
             f.broker_face_max = f.broker_face_max.max(face_path);
-            let at = eng.now() + SimDuration::from_secs_f64(consume);
+            let at = eng.now() + SimDuration::from_nanos(consume_ns);
             eng.schedule_at(
                 at,
                 Box::new(move |sim: &mut PipeSim, eng: &mut Eng| {
@@ -274,12 +380,17 @@ fn try_run_broker(sim: &mut PipeSim, eng: &mut Eng) {
     );
 }
 
-fn identify_done(sim: &mut PipeSim, eng: &mut Eng, items: Vec<(FrameId, SimTime)>, service: f64) {
+fn identify_done(
+    sim: &mut PipeSim,
+    eng: &mut Eng,
+    items: Vec<(FrameId, SimTime)>,
+    service_ns: u64,
+) {
     sim.gpu_busy = false;
-    let per_face = service / items.len() as f64;
+    let per_face = service_ns as f64 * NS / items.len() as f64;
     for (frame, _) in items {
         let f = sim.frame(frame);
-        f.id_s += per_face;
+        f.id_frac_s += per_face;
         f.faces_done += 1;
         if sim.measuring {
             sim.face_meter.record(eng.now().as_secs_f64());
@@ -295,8 +406,19 @@ fn identify_done(sim: &mut PipeSim, eng: &mut Eng, items: Vec<(FrameId, SimTime)
 
 fn complete_frame(sim: &mut PipeSim, eng: &mut Eng, frame: FrameId) {
     let now = eng.now();
-    let mut f = sim.frames[frame].take().expect("live frame");
-    f.broker_s += f.broker_face_max;
+    let f = sim.frames[frame].take().expect("live frame");
+    let det_s = f.det_ns as f64 * NS;
+    let broker_s = f.broker_ns as f64 * NS + f.broker_face_max;
+    let id_s = f.id_ns as f64 * NS + f.id_frac_s;
+    let queue_s = f.queue_ns as f64 * NS;
+    // Serialized paths (fused, or brokered with no faces) must conserve
+    // exactly on the integer grid: the wall is precisely the sum of the
+    // scheduled (= charged) components.
+    if sim.broker == BrokerKind::Fused || f.faces_total == 0 {
+        let wall_ns = (now - f.arrived).as_nanos();
+        let sum_ns = f.queue_ns + f.det_ns + f.broker_ns + f.id_ns;
+        sim.max_residual_ns = sim.max_residual_ns.max(wall_ns.abs_diff(sum_ns));
+    }
     if sim.measuring {
         let latency = (now - f.arrived).as_secs_f64();
         sim.latency.push(latency);
@@ -307,10 +429,10 @@ fn complete_frame(sim: &mut PipeSim, eng: &mut Eng, frame: FrameId) {
             }
         }
         sim.faces_per_frame.push(f.faces_total as f64);
-        sim.breakdown.record(pipeline_stages::DETECT, f.det_s);
-        sim.breakdown.record(pipeline_stages::BROKER, f.broker_s);
-        sim.breakdown.record(pipeline_stages::IDENTIFY, f.id_s);
-        sim.breakdown.record(pipeline_stages::QUEUE, f.queue_s);
+        sim.breakdown.record(pipeline_stages::DETECT, det_s);
+        sim.breakdown.record(pipeline_stages::BROKER, broker_s);
+        sim.breakdown.record(pipeline_stages::IDENTIFY, id_s);
+        sim.breakdown.record(pipeline_stages::QUEUE, queue_s);
     }
     inject_frame(sim, eng);
 }
@@ -362,6 +484,35 @@ impl PipelineExperiment {
     ///
     /// Panics if `concurrency == 0` or the time windows are not positive.
     pub fn run(&self) -> PipelineReport {
+        self.run_inner(None).0
+    }
+
+    /// Runs the pipeline with measured live costs replacing the analytic
+    /// hardware model — the sim half of the live-vs-sim differential
+    /// suite. See [`PipeCosts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrency == 0` or the time windows are not positive.
+    pub fn run_with_costs(&self, costs: PipeCosts) -> PipelineReport {
+        self.run_inner(Some(costs)).0
+    }
+
+    /// Runs the pipeline and also returns the worst per-frame conservation
+    /// residual in nanoseconds: `|wall − Σ stage rows|` over every frame
+    /// on a serialized path (fused coupling, or brokered frames with zero
+    /// faces). The accounting charges exactly what it schedules, so this
+    /// is `0` — pinned by a regression test before live numbers are
+    /// compared against the breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrency == 0` or the time windows are not positive.
+    pub fn run_audited(&self) -> (PipelineReport, u64) {
+        self.run_inner(None)
+    }
+
+    fn run_inner(&self, costs: Option<PipeCosts>) -> (PipelineReport, u64) {
         assert!(self.concurrency > 0, "concurrency must be positive");
         assert!(
             self.warmup_s >= 0.0 && self.measure_s > 0.0,
@@ -371,6 +522,7 @@ impl PipelineExperiment {
             node: self.node,
             broker: self.broker,
             faces: self.faces,
+            costs,
             det_flops: 37.0e9, // vserve_dnn::models::faster_rcnn(640)
             id_flops: 1.5e9,   // vserve_dnn::models::facenet(160)
             engine: EngineKind::TensorRt,
@@ -387,6 +539,7 @@ impl PipelineExperiment {
             frame_meter: RateMeter::new(),
             face_meter: RateMeter::new(),
             faces_per_frame: Welford::new(),
+            max_residual_ns: 0,
         };
         let mut eng: Eng = Engine::new();
         for i in 0..self.concurrency {
@@ -414,14 +567,15 @@ impl PipelineExperiment {
         sim.frame_meter.close(t_end);
         sim.face_meter.close(t_end);
 
-        PipelineReport {
+        let report = PipelineReport {
             broker: self.broker,
             frame_throughput: sim.frame_meter.count() as f64 / self.measure_s,
             face_throughput: sim.face_meter.count() as f64 / self.measure_s,
             latency: sim.latency.summary(),
             breakdown: sim.breakdown,
             mean_faces: sim.faces_per_frame.mean(),
-        }
+        };
+        (report, sim.max_residual_ns)
     }
 
     /// Zero-load latency: one outstanding frame.
@@ -431,5 +585,117 @@ impl PipelineExperiment {
             ..self.clone()
         }
         .run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(broker: BrokerKind, k: u64, concurrency: usize) -> PipelineExperiment {
+        PipelineExperiment {
+            node: NodeConfig::paper_testbed(),
+            broker,
+            faces: FacesPerFrame::fixed(k),
+            concurrency,
+            warmup_s: 0.2,
+            measure_s: 1.0,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn fused_stage_rows_conserve_exactly() {
+        // The satellite-3 regression: on the serialized fused path every
+        // frame's stage rows sum to its wall with zero residual on the
+        // engine's nanosecond grid, at zero load and under load.
+        for conc in [1usize, 16] {
+            let (_, residual) = PipelineExperiment {
+                concurrency: conc,
+                ..exp(BrokerKind::Fused, 5, 1)
+            }
+            .run_audited();
+            assert_eq!(residual, 0, "fused residual at concurrency {conc}");
+        }
+    }
+
+    #[test]
+    fn zero_face_brokered_frames_conserve_exactly() {
+        let (_, residual) = exp(BrokerKind::RedisLike, 0, 8).run_audited();
+        assert_eq!(residual, 0, "k=0 brokered residual");
+    }
+
+    #[test]
+    fn fused_mean_rows_sum_to_mean_latency() {
+        // Aggregate view of the same conservation: summed stage means
+        // equal mean latency to float rounding.
+        let r = exp(BrokerKind::Fused, 5, 16).run();
+        let rows: f64 = [
+            pipeline_stages::DETECT,
+            pipeline_stages::BROKER,
+            pipeline_stages::IDENTIFY,
+            pipeline_stages::QUEUE,
+        ]
+        .iter()
+        .map(|s| r.breakdown.mean(s))
+        .sum();
+        let rel = (rows - r.latency.mean).abs() / r.latency.mean;
+        assert!(rel < 1e-9, "rows {rows} vs latency {}", r.latency.mean);
+    }
+
+    #[test]
+    fn calibrated_replay_reproduces_planted_costs() {
+        // Plant exact per-stage costs; zero-load shares must match them.
+        let costs = PipeCosts {
+            det_s: 4e-3,
+            id_face_s: 1e-3,
+            handoff_s: 2e-3,
+            exit_rate: 0.0,
+        };
+        let r = PipelineExperiment {
+            concurrency: 1,
+            ..exp(BrokerKind::Fused, 4, 1)
+        }
+        .run_with_costs(costs);
+        let expect = 4e-3 + 2e-3 + 4.0 * 1e-3;
+        assert!(
+            (r.latency.mean - expect).abs() / expect < 1e-6,
+            "latency {} expected {expect}",
+            r.latency.mean
+        );
+        assert!((r.breakdown.mean(pipeline_stages::DETECT) - 4e-3).abs() < 1e-9);
+        assert!((r.breakdown.mean(pipeline_stages::BROKER) - 2e-3).abs() < 1e-9);
+        assert!((r.breakdown.mean(pipeline_stages::IDENTIFY) - 4e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exit_rate_shrinks_identify_share() {
+        let costs = |exit_rate| PipeCosts {
+            det_s: 2e-3,
+            id_face_s: 1e-3,
+            handoff_s: 5e-4,
+            exit_rate,
+        };
+        let share = |rate| {
+            let r = exp(BrokerKind::Fused, 6, 8).run_with_costs(costs(rate));
+            r.breakdown.mean(pipeline_stages::IDENTIFY) / r.latency.mean
+        };
+        let (s0, s5, s9) = (share(0.0), share(0.5), share(0.9));
+        assert!(s0 > s5 && s5 > s9, "shares {s0} {s5} {s9} not shrinking");
+        assert!(s9 < 0.5 * s0, "s9 {s9} vs s0 {s0}");
+    }
+
+    #[test]
+    fn replay_deterministic() {
+        let costs = PipeCosts {
+            det_s: 1e-3,
+            id_face_s: 2e-4,
+            handoff_s: 1e-4,
+            exit_rate: 0.3,
+        };
+        let a = exp(BrokerKind::Fused, 4, 8).run_with_costs(costs);
+        let b = exp(BrokerKind::Fused, 4, 8).run_with_costs(costs);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.frame_throughput, b.frame_throughput);
     }
 }

@@ -1,0 +1,437 @@
+//! Declarative cascade pipelines: a DAG of model stages over tenant
+//! lanes, with per-edge transforms and (possibly dynamic) fan-out.
+//!
+//! A [`PipelineSpec`] names its stages; stage 0 is the root. Every edge
+//! points *forward* (`to > parent index`), so a validated spec is a DAG
+//! by construction — no cycle check needed at execution time. Edges
+//! carry a [`Transform`] (how a parent's frame becomes a child's input)
+//! and a [`FanOut`] (how many children the edge spawns, fixed or derived
+//! from the parent's output). The live executor
+//! ([`crate::PipelineRunner`]) walks this structure; the simulator's
+//! detect→identify model is its fixed two-stage special case.
+//!
+//! The `VSERVE_PIPELINE` environment variable carries a compact chain
+//! syntax (see [`PipelineSpec::parse`]):
+//!
+//! ```text
+//! faces:det>4xid            # det, then 4 crops into id
+//! faces:det@t0?0.9>*xid@t1  # lanes t0/t1, early exit at 0.9,
+//!                           # fan-out from the detector's output
+//! ```
+
+/// Environment variable holding a [`PipelineSpec::parse`] chain; read by
+/// [`PipelineSpec::from_env`].
+pub const PIPELINE_ENV: &str = "VSERVE_PIPELINE";
+
+/// Environment variable capping dynamic fan-out ([`FanOut::FromOutput`])
+/// and, at validation, fixed fan-out. Defaults to
+/// [`DEFAULT_FANOUT_CAP`].
+pub const FANOUT_CAP_ENV: &str = "VSERVE_PIPELINE_FANOUT_CAP";
+
+/// Default fan-out cap when [`FANOUT_CAP_ENV`] is unset.
+pub const DEFAULT_FANOUT_CAP: u32 = 8;
+
+/// Resolves the global fan-out cap from [`FANOUT_CAP_ENV`].
+pub fn fanout_cap_from_env() -> u32 {
+    std::env::var(FANOUT_CAP_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(DEFAULT_FANOUT_CAP)
+}
+
+/// How a parent's frame becomes one child's input payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transform {
+    /// Child receives the parent's payload bytes unchanged (the child
+    /// lane's own preprocessing resizes to its model input).
+    Identity,
+    /// Decode, resize the full frame to `side × side`, re-encode — the
+    /// low-res early-exit front of a cascade.
+    Resize {
+        /// Output side in pixels.
+        side: usize,
+    },
+    /// Decode once, cut child `i` of `k` out of a near-square grid of
+    /// detection regions, re-encode each crop. This is the live stand-in
+    /// for detector boxes: deterministic, covers the frame, and gives
+    /// every child distinct bytes (so the preproc cache cannot collapse
+    /// siblings).
+    CropGrid,
+}
+
+/// How many children an edge spawns per parent completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FanOut {
+    /// Always exactly `k` children (0 = edge disabled).
+    Fixed(u32),
+    /// `1 + (argmax(parent output) mod cap)` children — a deterministic
+    /// stand-in for "K detections found", exercised by the dynamic
+    /// fan-out paths. `cap` bounds it.
+    FromOutput {
+        /// Upper bound on the derived fan-out.
+        cap: u32,
+    },
+}
+
+impl FanOut {
+    /// Largest number of children this edge can spawn.
+    pub fn max(&self) -> u32 {
+        match *self {
+            FanOut::Fixed(k) => k,
+            FanOut::FromOutput { cap } => cap,
+        }
+    }
+
+    /// Children to spawn given the parent's output vector.
+    pub fn eval(&self, output: &[f32]) -> u32 {
+        match *self {
+            FanOut::Fixed(k) => k,
+            FanOut::FromOutput { cap } => {
+                let argmax = output
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                1 + (argmax as u32) % cap.max(1)
+            }
+        }
+    }
+}
+
+/// One outgoing edge of a stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Index of the child stage; must be greater than the parent's index.
+    pub to: usize,
+    /// Payload transform applied per child.
+    pub transform: Transform,
+    /// Children spawned per parent completion.
+    pub fanout: FanOut,
+}
+
+/// One stage of the cascade: a model lane plus its outgoing edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpec {
+    /// Stage name (breakdown row + trace label); unique within the spec.
+    pub name: String,
+    /// Tenant or model name the stage's sub-requests are routed to
+    /// (resolved through `LiveServer::lane_of` semantics).
+    pub lane: String,
+    /// Outgoing edges; empty for leaf stages.
+    pub children: Vec<Edge>,
+    /// Early-exit confidence: when the stage's max output probability
+    /// reaches this, its children are skipped and the stage completes the
+    /// path (the low-confidence-only cascade of Kang et al.).
+    pub early_exit: Option<f32>,
+}
+
+impl StageSpec {
+    /// A leaf stage on `lane`.
+    pub fn leaf(name: &str, lane: &str) -> Self {
+        StageSpec {
+            name: name.to_string(),
+            lane: lane.to_string(),
+            children: Vec::new(),
+            early_exit: None,
+        }
+    }
+}
+
+/// A validated cascade DAG. Construct with [`PipelineSpec::new`] (which
+/// validates), [`PipelineSpec::parse`], or [`PipelineSpec::chain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSpec {
+    /// Pipeline name — the wire routing key and the cascade row prefix.
+    pub name: String,
+    /// Stages; index 0 is the root every frame enters through.
+    pub stages: Vec<StageSpec>,
+}
+
+impl PipelineSpec {
+    /// Validates and constructs a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the spec has no stages, a name is empty or
+    /// duplicated, an edge points backward/self/out of range (the DAG
+    /// guarantee), or an edge's fan-out exceeds `fanout_cap`.
+    pub fn new(name: &str, stages: Vec<StageSpec>, fanout_cap: u32) -> Result<Self, String> {
+        if name.is_empty() {
+            return Err("pipeline name must be non-empty".into());
+        }
+        if stages.is_empty() {
+            return Err(format!("pipeline '{name}' has no stages"));
+        }
+        for (i, s) in stages.iter().enumerate() {
+            if s.name.is_empty() {
+                return Err(format!("stage {i} of '{name}' has an empty name"));
+            }
+            if stages[..i].iter().any(|p| p.name == s.name) {
+                return Err(format!("duplicate stage name '{}' in '{name}'", s.name));
+            }
+            for e in &s.children {
+                if e.to <= i || e.to >= stages.len() {
+                    return Err(format!(
+                        "edge {i}→{} of '{name}' must point forward (DAG)",
+                        e.to
+                    ));
+                }
+                if e.fanout.max() > fanout_cap {
+                    return Err(format!(
+                        "edge {i}→{} fan-out {} exceeds cap {fanout_cap}",
+                        e.to,
+                        e.fanout.max()
+                    ));
+                }
+            }
+        }
+        Ok(PipelineSpec {
+            name: name.to_string(),
+            stages,
+        })
+    }
+
+    /// A linear detect→identify chain: root on `det_lane`, `k` crop
+    /// children on `id_lane` — the live counterpart of the simulator's
+    /// fixed two-stage pipeline.
+    pub fn chain(name: &str, det_lane: &str, id_lane: &str, k: u32) -> Self {
+        let det = StageSpec {
+            name: "det".to_string(),
+            lane: det_lane.to_string(),
+            children: vec![Edge {
+                to: 1,
+                transform: Transform::CropGrid,
+                fanout: FanOut::Fixed(k),
+            }],
+            early_exit: None,
+        };
+        let id = StageSpec::leaf("id", id_lane);
+        PipelineSpec::new(name, vec![det, id], k.max(DEFAULT_FANOUT_CAP))
+            .expect("chain spec is valid by construction")
+    }
+
+    /// Worst-case sub-requests one frame can spawn through this spec
+    /// (every edge at its maximum fan-out). The executor's admission
+    /// reserves this much ingress budget before accepting a frame, so a
+    /// half-finished parent can never deadlock on capacity its children
+    /// need (DESIGN §16).
+    pub fn worst_case_requests(&self) -> usize {
+        // Edges only point forward, so a right-to-left pass sees every
+        // child's weight before its parents.
+        let n = self.stages.len();
+        let mut weight = vec![1usize; n];
+        for i in (0..n).rev() {
+            for e in &self.stages[i].children {
+                weight[i] = weight[i].saturating_add(e.fanout.max() as usize * weight[e.to]);
+            }
+        }
+        weight[0]
+    }
+
+    /// Parses the compact chain syntax used by [`PIPELINE_ENV`]:
+    ///
+    /// ```text
+    /// <name>:<stage>[><stage>]...
+    /// <stage> := [<K>x | *x] <id> [@<lane>] [?<exit>]
+    /// ```
+    ///
+    /// `Kx` fixes the edge *into* that stage at `K` children per parent,
+    /// `*x` derives it from the parent's output (capped at `fanout_cap`),
+    /// and no prefix means 1. `@lane` routes the stage (default: the
+    /// stage id); `?0.9` sets the parent-side early exit... on the stage
+    /// itself. Edges use [`Transform::CropGrid`] when fan-out can exceed
+    /// 1 and [`Transform::Identity`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for syntax errors or an invalid resulting spec.
+    pub fn parse(s: &str, fanout_cap: u32) -> Result<Self, String> {
+        let (name, chain) = s
+            .split_once(':')
+            .ok_or_else(|| format!("'{s}': expected '<name>:<stages>'"))?;
+        let segs: Vec<&str> = chain.split('>').collect();
+        let mut stages = Vec::with_capacity(segs.len());
+        let mut incoming: Vec<FanOut> = Vec::with_capacity(segs.len());
+        for (i, seg) in segs.iter().enumerate() {
+            let seg = seg.trim();
+            let (fan, rest) = if let Some(r) = seg.strip_prefix("*x") {
+                (FanOut::FromOutput { cap: fanout_cap }, r)
+            } else if let Some((k, r)) = seg
+                .split_once('x')
+                .and_then(|(k, r)| k.parse::<u32>().ok().map(|k| (k, r)))
+            {
+                (FanOut::Fixed(k), r)
+            } else {
+                (FanOut::Fixed(1), seg)
+            };
+            if i == 0 && fan != FanOut::Fixed(1) {
+                return Err(format!("'{s}': the root stage cannot have fan-in"));
+            }
+            let (rest, exit) = match rest.split_once('?') {
+                Some((r, t)) => {
+                    let th: f32 = t
+                        .parse()
+                        .map_err(|_| format!("'{s}': bad early-exit '{t}'"))?;
+                    (r, Some(th))
+                }
+                None => (rest, None),
+            };
+            let (id, lane) = match rest.split_once('@') {
+                Some((id, lane)) => (id, lane),
+                None => (rest, rest),
+            };
+            stages.push(StageSpec {
+                name: id.to_string(),
+                lane: lane.to_string(),
+                children: Vec::new(),
+                early_exit: exit,
+            });
+            incoming.push(fan);
+        }
+        for i in 1..stages.len() {
+            let fan = incoming[i];
+            let transform = if fan.max() > 1 {
+                Transform::CropGrid
+            } else {
+                Transform::Identity
+            };
+            stages[i - 1].children.push(Edge {
+                to: i,
+                transform,
+                fanout: fan,
+            });
+        }
+        PipelineSpec::new(name.trim(), stages, fanout_cap)
+    }
+
+    /// Reads and parses [`PIPELINE_ENV`]; `None` when unset or invalid
+    /// (a serving process must not die on a bad knob).
+    pub fn from_env() -> Option<Self> {
+        let s = std::env::var(PIPELINE_ENV).ok()?;
+        PipelineSpec::parse(&s, fanout_cap_from_env()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_builds_and_counts_worst_case() {
+        let spec = PipelineSpec::chain("faces", "det", "id", 4);
+        assert_eq!(spec.stages.len(), 2);
+        // 1 root + 4 children.
+        assert_eq!(spec.worst_case_requests(), 5);
+    }
+
+    #[test]
+    fn worst_case_multiplies_through_depth() {
+        // 1 + 3×(1 + 2×1) = 10.
+        let s0 = StageSpec {
+            name: "a".into(),
+            lane: "a".into(),
+            children: vec![Edge {
+                to: 1,
+                transform: Transform::CropGrid,
+                fanout: FanOut::Fixed(3),
+            }],
+            early_exit: None,
+        };
+        let s1 = StageSpec {
+            name: "b".into(),
+            lane: "b".into(),
+            children: vec![Edge {
+                to: 2,
+                transform: Transform::Identity,
+                fanout: FanOut::FromOutput { cap: 2 },
+            }],
+            early_exit: None,
+        };
+        let spec = PipelineSpec::new("deep", vec![s0, s1, StageSpec::leaf("c", "c")], 8).unwrap();
+        assert_eq!(spec.worst_case_requests(), 10);
+    }
+
+    #[test]
+    fn validation_rejects_backward_edges_and_dups() {
+        let bad = vec![
+            StageSpec {
+                name: "a".into(),
+                lane: "a".into(),
+                children: vec![Edge {
+                    to: 0,
+                    transform: Transform::Identity,
+                    fanout: FanOut::Fixed(1),
+                }],
+                early_exit: None,
+            },
+            StageSpec::leaf("b", "b"),
+        ];
+        assert!(PipelineSpec::new("p", bad, 8).is_err());
+        let dup = vec![StageSpec::leaf("a", "x"), StageSpec::leaf("a", "y")];
+        assert!(PipelineSpec::new("p", dup, 8).is_err());
+        assert!(PipelineSpec::new("p", Vec::new(), 8).is_err());
+    }
+
+    #[test]
+    fn validation_enforces_fanout_cap() {
+        let s = vec![
+            StageSpec {
+                name: "a".into(),
+                lane: "a".into(),
+                children: vec![Edge {
+                    to: 1,
+                    transform: Transform::CropGrid,
+                    fanout: FanOut::Fixed(9),
+                }],
+                early_exit: None,
+            },
+            StageSpec::leaf("b", "b"),
+        ];
+        assert!(PipelineSpec::new("p", s.clone(), 8).is_err());
+        assert!(PipelineSpec::new("p", s, 9).is_ok());
+    }
+
+    #[test]
+    fn parse_round_trips_the_readme_examples() {
+        let p = PipelineSpec::parse("faces:det>4xid", 8).unwrap();
+        assert_eq!(p.name, "faces");
+        assert_eq!(p.stages[0].lane, "det");
+        assert_eq!(
+            p.stages[0].children,
+            vec![Edge {
+                to: 1,
+                transform: Transform::CropGrid,
+                fanout: FanOut::Fixed(4),
+            }]
+        );
+
+        let p = PipelineSpec::parse("faces:det@t0?0.9>*xid@t1", 6).unwrap();
+        assert_eq!(p.stages[0].lane, "t0");
+        assert_eq!(p.stages[0].early_exit, Some(0.9));
+        assert_eq!(p.stages[1].lane, "t1");
+        assert_eq!(
+            p.stages[0].children[0].fanout,
+            FanOut::FromOutput { cap: 6 }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(PipelineSpec::parse("no-colon", 8).is_err());
+        assert!(PipelineSpec::parse("p:4xroot>id", 8).is_err());
+        assert!(PipelineSpec::parse("p:a?notafloat>b", 8).is_err());
+        assert!(PipelineSpec::parse("p:a>9xb", 8).is_err());
+    }
+
+    #[test]
+    fn dynamic_fanout_derives_from_argmax() {
+        let f = FanOut::FromOutput { cap: 4 };
+        assert_eq!(f.eval(&[0.9, 0.1]), 1); // argmax 0 → 1
+        assert_eq!(f.eval(&[0.1, 0.9]), 2); // argmax 1 → 2
+        assert_eq!(f.eval(&[0.0, 0.0, 0.0, 0.0, 1.0]), 1); // 4 % 4 → 1
+        assert_eq!(f.eval(&[]), 1);
+        assert_eq!(FanOut::Fixed(3).eval(&[1.0]), 3);
+    }
+}

@@ -48,7 +48,7 @@ mod sim;
 
 pub use cache::{PreprocCache, PreprocCacheStats, PREPROC_CACHE_MB_ENV};
 pub use config::{ModelProfile, PreprocPath, PreprocWhere, RpcPath, ServerConfig, StageMode};
-pub use live::{LaneMetrics, ZooModel};
+pub use live::{LaneMetrics, PipelineDriver, PipelineHandle, ZooModel};
 pub use report::{stages, LaneReport, ServerReport, ServingSummary};
 pub use sim::{serial_loop_throughput, ControlObs, Experiment, SimKnobs};
 pub use vserve_sched::{parse_tenants, Priority, QuotaSpec, TenantSpec, TENANTS_ENV};

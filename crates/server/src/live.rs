@@ -594,6 +594,41 @@ impl LaneRt {
     }
 }
 
+/// Admission control against one lane, on the submitter's thread, before
+/// any work is queued. Order: quota first (cheapest, and a tenant over
+/// quota should not consume an SLO estimate), then EDF feasibility
+/// against the *tenant* SLO. Per-request deadlines are a separate
+/// mechanism (they shed as `DeadlineExceeded` downstream) and never
+/// trigger `SloInfeasible`. Shared by [`LiveServer::submit`]'s family and
+/// [`PipelineHandle::submit_reserved`] so cascade sub-requests face the
+/// same typed sheds as direct traffic.
+fn admit_lane(l: &LaneRt, shared: &Shared, now: Instant) -> Result<(), LiveError> {
+    if let Some(bucket) = &l.bucket {
+        let now_us = (shared.secs(now) * 1e6) as u64;
+        let mut b = bucket.lock().unwrap_or_else(|e| e.into_inner());
+        let ok = b.try_take(now_us);
+        drop(b);
+        if !ok {
+            l.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(LiveError::QuotaExceeded);
+        }
+    }
+    if let Some(dl) = l.spec.deadline_us {
+        // Optimistic until the lane has cost evidence: a cold lane
+        // never sheds on a guess.
+        let unit = l.unit_cost_us();
+        if unit > 0.0 {
+            let est = (l.depth.load(Ordering::Relaxed) as f64 + 1.0) * unit
+                + l.linger_us.load(Ordering::Relaxed) as f64;
+            if est > dl as f64 {
+                l.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(LiveError::SloInfeasible);
+            }
+        }
+    }
+    Ok(())
+}
+
 /// How long an idle preprocessing worker waits on the ingress queue
 /// before re-checking the pool target (the shrink latency bound).
 const PREPROC_POLL: Duration = Duration::from_millis(20);
@@ -1134,7 +1169,17 @@ pub struct LiveServer {
     ingress_trace: TraceHandle,
     /// Auto-assigned trace ids for in-process submissions (the net
     /// front-end supplies its own via [`LiveServer::submit_traced`]).
-    next_req: AtomicU64,
+    /// Shared with [`PipelineHandle`]s so cascade sub-requests draw from
+    /// the same id space.
+    next_req: Arc<AtomicU64>,
+    /// Ingress queue capacity, exposed to pipeline executors as the
+    /// fan-out reservation budget (see [`PipelineHandle::queue_cap`]).
+    queue_cap: usize,
+    /// Registered multi-stage pipeline executors by name
+    /// ([`LiveServer::register_pipeline`]). Cleared *first* on drop: a
+    /// driver's executor holds an ingress sender clone, so it must shut
+    /// down before the worker joins below can observe a closed channel.
+    pipelines: Mutex<HashMap<String, Arc<dyn PipelineDriver>>>,
 }
 
 impl std::fmt::Debug for LiveServer {
@@ -1329,7 +1374,9 @@ impl LiveServer {
             pool: Mutex::new(pool),
             tracer,
             ingress_trace,
-            next_req: AtomicU64::new(1),
+            next_req: Arc::new(AtomicU64::new(1)),
+            queue_cap: opts.queue_cap.max(1),
+            pipelines: Mutex::new(HashMap::new()),
         })
     }
 
@@ -1463,35 +1510,9 @@ impl LiveServer {
             slot.send(Err(LiveError::Disconnected));
             return rx;
         };
-        // Admission control, before any work is queued. Order: quota
-        // first (cheapest, and a tenant over quota should not consume an
-        // SLO estimate), then EDF feasibility against the *tenant* SLO.
-        // Per-request deadlines are a separate mechanism (they shed as
-        // DeadlineExceeded downstream) and never trigger SloInfeasible.
-        if let Some(bucket) = &l.bucket {
-            let now_us = (self.shared.secs(now) * 1e6) as u64;
-            let mut b = bucket.lock().unwrap_or_else(|e| e.into_inner());
-            let ok = b.try_take(now_us);
-            drop(b);
-            if !ok {
-                l.shed.fetch_add(1, Ordering::Relaxed);
-                slot.send(Err(LiveError::QuotaExceeded));
-                return rx;
-            }
-        }
-        if let Some(dl) = l.spec.deadline_us {
-            // Optimistic until the lane has cost evidence: a cold lane
-            // never sheds on a guess.
-            let unit = l.unit_cost_us();
-            if unit > 0.0 {
-                let est = (l.depth.load(Ordering::Relaxed) as f64 + 1.0) * unit
-                    + l.linger_us.load(Ordering::Relaxed) as f64;
-                if est > dl as f64 {
-                    l.shed.fetch_add(1, Ordering::Relaxed);
-                    slot.send(Err(LiveError::SloInfeasible));
-                    return rx;
-                }
-            }
+        if let Err(e) = admit_lane(l, &self.shared, now) {
+            slot.send(Err(e));
+            return rx;
         }
         let job = Job {
             id,
@@ -1685,10 +1706,281 @@ impl LiveServer {
             pool.spawn();
         }
     }
+
+    /// A capability handle for a pipeline executor: lane-addressed
+    /// reserved submission, stage accounting, and trace access, detached
+    /// from the server's lifetime handle so the executor can run on its
+    /// own thread. See [`PipelineHandle`].
+    pub fn pipeline_handle(&self) -> PipelineHandle {
+        let ingress = self
+            .ingress
+            .as_ref()
+            .expect("pipeline_handle on a live server")
+            .clone();
+        PipelineHandle {
+            ingress,
+            lanes: Arc::clone(&self.lanes),
+            shared: Arc::clone(&self.shared),
+            deadline: self.deadline,
+            trace: self.tracer.register("pipeline"),
+            next_req: Arc::clone(&self.next_req),
+            queue_cap: self.queue_cap,
+        }
+    }
+
+    /// Registers (or replaces) a named multi-stage pipeline executor.
+    /// [`submit_pipeline`](Self::submit_pipeline) and the net front-end
+    /// route to it by name. The server drops every registered driver
+    /// *before* shutting down its own workers.
+    pub fn register_pipeline(&self, name: &str, driver: Arc<dyn PipelineDriver>) {
+        self.pipelines
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), driver);
+    }
+
+    /// Whether a pipeline with this name is registered (wire routing
+    /// checks this before dispatching a tenant-addressed request to a
+    /// cascade instead of a lane).
+    pub fn has_pipeline(&self, name: &str) -> bool {
+        self.pipelines
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(name)
+    }
+
+    /// Submits a frame to a registered pipeline; the returned channel
+    /// yields the joined cascade result. Unknown names answer
+    /// [`LiveError::Disconnected`] immediately (route-time callers should
+    /// check [`has_pipeline`](Self::has_pipeline) first and reject with a
+    /// request error instead).
+    pub fn submit_pipeline(&self, name: &str, jpeg: Vec<u8>) -> ReplyReceiver {
+        self.submit_pipeline_traced(name, jpeg, None, None)
+    }
+
+    /// [`submit_pipeline`](Self::submit_pipeline) with a deadline and a
+    /// caller-supplied trace id (the id every stage's spans record
+    /// under, linking the parent and its fan-out children).
+    pub fn submit_pipeline_traced(
+        &self,
+        name: &str,
+        jpeg: Vec<u8>,
+        deadline: Option<Duration>,
+        trace_id: Option<u64>,
+    ) -> ReplyReceiver {
+        match self.pipeline_of(name) {
+            Some(driver) => driver.submit(jpeg, deadline, trace_id, None),
+            None => disconnected_reply(),
+        }
+    }
+
+    /// [`submit_pipeline_traced`](Self::submit_pipeline_traced) with a
+    /// completion hook for evented callers, firing exactly once after
+    /// the joined reply is in the channel (shed and shutdown included).
+    pub fn submit_pipeline_hooked(
+        &self,
+        name: &str,
+        jpeg: Vec<u8>,
+        deadline: Option<Duration>,
+        trace_id: Option<u64>,
+        hook: Box<dyn FnOnce() + Send>,
+    ) -> ReplyReceiver {
+        match self.pipeline_of(name) {
+            Some(driver) => driver.submit(jpeg, deadline, trace_id, Some(hook)),
+            None => {
+                let rx = disconnected_reply();
+                hook();
+                rx
+            }
+        }
+    }
+
+    fn pipeline_of(&self, name: &str) -> Option<Arc<dyn PipelineDriver>> {
+        self.pipelines
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+}
+
+/// A reply channel pre-filled with [`LiveError::Disconnected`].
+fn disconnected_reply() -> ReplyReceiver {
+    let (tx, rx) = bounded(1);
+    let _ = tx.send(Err(LiveError::Disconnected));
+    rx
+}
+
+/// A registered multi-stage pipeline executor, as seen by the server and
+/// the net front-end. `vserve-pipeline`'s `PipelineRunner` implements
+/// this; the trait lives here so the front-end can dispatch cascades
+/// without depending on the pipeline crate.
+///
+/// `submit` mirrors the shape of [`LiveServer::submit_hooked`]: it must
+/// never block the caller, every outcome (including sheds) flows through
+/// the returned channel, and a supplied hook fires exactly once after the
+/// reply value is in the channel.
+pub trait PipelineDriver: Send + Sync {
+    /// Submits one frame to the cascade's root stage; the channel yields
+    /// the joined final reply.
+    fn submit(
+        &self,
+        jpeg: Vec<u8>,
+        deadline: Option<Duration>,
+        trace_id: Option<u64>,
+        hook: Option<Box<dyn FnOnce() + Send>>,
+    ) -> ReplyReceiver;
+}
+
+/// What a pipeline executor needs from a [`LiveServer`], detached from
+/// the server's owning handle: lane-addressed **reserved** submission,
+/// cascade stage accounting into the shared breakdown, trace access, and
+/// the ingress capacity that bounds fan-out admission.
+///
+/// The handle holds an ingress sender clone, so a live handle keeps the
+/// server's worker pipeline open: drop executors (or register them with
+/// [`LiveServer::register_pipeline`], which drops them for you) before
+/// expecting server shutdown to complete.
+pub struct PipelineHandle {
+    ingress: Sender<Job>,
+    lanes: Arc<Vec<LaneRt>>,
+    shared: Arc<Shared>,
+    deadline: Option<Duration>,
+    trace: TraceHandle,
+    next_req: Arc<AtomicU64>,
+    queue_cap: usize,
+}
+
+impl std::fmt::Debug for PipelineHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineHandle")
+            .field("lanes", &self.lanes.len())
+            .field("queue_cap", &self.queue_cap)
+            .finish()
+    }
+}
+
+impl PipelineHandle {
+    /// Number of tenant lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Resolves a tenant or model name to its lane (see
+    /// [`LiveServer::lane_of`]).
+    pub fn lane_of(&self, name: &str) -> Option<usize> {
+        self.lanes
+            .iter()
+            .position(|l| l.spec.name == name)
+            .or_else(|| self.lanes.iter().position(|l| l.spec.model == name))
+    }
+
+    /// Input side of the lane's model (fan-out transforms target this).
+    pub fn lane_side(&self, lane: usize) -> Option<usize> {
+        self.lanes.get(lane).map(|l| l.side)
+    }
+
+    /// Trace tenant tag for a lane (lane `i` records as `i + 1`).
+    pub fn lane_tag(lane: usize) -> u32 {
+        LaneRt::tag(lane)
+    }
+
+    /// The server's ingress queue capacity — the budget the executor's
+    /// fan-out reservation rule admits against (a pipeline whose
+    /// worst-case sub-request count exceeds it can never be admitted).
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
+    }
+
+    /// Server-wide default deadline ([`LiveOptions::deadline`]).
+    pub fn default_deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Draws the next request id from the server's shared trace-id space.
+    pub fn next_trace_id(&self) -> u64 {
+        self.next_req.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The executor's trace track (registered as `pipeline`), for the
+    /// parent span and the fan-out/join bookkeeping spans.
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// Records one cascade stage observation into the server's shared
+    /// [`StageBreakdown`], so cascade rows appear in
+    /// [`LiveMetrics::breakdown`] / [`ServingSummary`](crate::report)
+    /// alongside the per-request stage rows.
+    pub fn record_stage(&self, stage: &str, secs: f64) {
+        self.shared.lock().breakdown.record(stage, secs);
+    }
+
+    /// Lane-addressed submission with **reserved** ingress capacity: the
+    /// quota/EDF admission gates still apply (typed
+    /// [`LiveError::QuotaExceeded`] / [`LiveError::SloInfeasible`] sheds),
+    /// but an admitted sub-request *blocks* on a full ingress queue
+    /// instead of shedding [`LiveError::Overloaded`]. The preprocessing
+    /// pool drains ingress independently of any pipeline executor, so the
+    /// blocking send always terminates — this is what makes a bounded
+    /// queue unable to deadlock a half-finished parent whose children the
+    /// executor already promised to submit (DESIGN §16).
+    pub fn submit_reserved(
+        &self,
+        lane: usize,
+        jpeg: Vec<u8>,
+        deadline: Option<Duration>,
+        trace_id: Option<u64>,
+        hook: Option<Box<dyn FnOnce() + Send>>,
+    ) -> ReplyReceiver {
+        let (tx, rx) = bounded(1);
+        let now = Instant::now();
+        let id = trace_id.unwrap_or_else(|| self.next_req.fetch_add(1, Ordering::Relaxed));
+        let nbytes = jpeg.len() as u64;
+        let slot = ReplySlot { tx, hook };
+        let Some(l) = self.lanes.get(lane) else {
+            slot.send(Err(LiveError::Disconnected));
+            return rx;
+        };
+        if let Err(e) = admit_lane(l, &self.shared, now) {
+            slot.send(Err(e));
+            return rx;
+        }
+        let job = Job {
+            id,
+            lane: lane as u32,
+            jpeg,
+            submitted: now,
+            deadline: deadline.or(self.deadline).map(|d| now + d),
+            reply: slot,
+        };
+        match self.ingress.send(job) {
+            Ok(()) => {
+                l.depth.fetch_add(1, Ordering::Relaxed);
+                let t = self.shared.secs(now);
+                self.shared.lock().queue_depth.add(t, 1.0);
+                self.trace
+                    .event_tagged(LaneRt::tag(lane), id, trace_events::INGRESS, now, nbytes);
+            }
+            Err(e) => {
+                let _ = e.0.reply.send(Err(LiveError::Disconnected));
+            }
+        }
+        rx
+    }
 }
 
 impl Drop for LiveServer {
     fn drop(&mut self) {
+        // Pipeline drivers first: their executors hold ingress sender
+        // clones (inside PipelineHandles) and rely on the still-running
+        // workers to retire in-flight sub-requests, so they must shut
+        // down while the server is fully alive. Only then can closing
+        // our ingress copy actually disconnect the channel.
+        self.pipelines
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
         self.ingress.take(); // close ingress: workers drain and exit
         let (env, preproc_handles) = {
             let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());

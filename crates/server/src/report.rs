@@ -23,6 +23,22 @@ pub mod stages {
     pub const TRANSFER: &str = "3-transfer";
     /// DNN inference on the GPU.
     pub const INFERENCE: &str = "4-inference";
+    /// Cascade fan-out: decoding a parent stage's frame, cutting the K
+    /// detection crops, and re-encoding them as child sub-requests.
+    /// Recorded by the pipeline executor, per parent request.
+    pub const FANOUT: &str = "5-fanout";
+    /// Cascade join: assembling the K child replies into the pipeline's
+    /// final result. Recorded by the pipeline executor, per pipeline.
+    pub const JOIN: &str = "6-join";
+    /// Prefix of per-stage cascade rows: a pipeline named `faces` with a
+    /// stage `det` records its per-stage wall as `7-cascade:faces/det`
+    /// (see [`cascade_stage`]).
+    pub const CASCADE_PREFIX: &str = "7-cascade:";
+
+    /// Breakdown row name for one cascade stage of one pipeline.
+    pub fn cascade_stage(pipeline: &str, stage: &str) -> String {
+        format!("{CASCADE_PREFIX}{pipeline}/{stage}")
+    }
 }
 
 /// The report shape shared by the simulated server and the live
@@ -97,6 +113,27 @@ impl ServingSummary {
     /// "preprocessing" component includes the transfer path).
     pub fn overhead_share(&self) -> f64 {
         (1.0 - self.inference_share()).max(0.0)
+    }
+
+    /// Summed mean seconds of every cascade row
+    /// ([`stages::CASCADE_PREFIX`]) — the per-pipeline stage walls the
+    /// pipeline executor records. Zero when no cascades ran.
+    pub fn cascade_time(&self) -> f64 {
+        self.breakdown
+            .stage_names()
+            .into_iter()
+            .filter(|s| s.starts_with(stages::CASCADE_PREFIX))
+            .map(|s| self.breakdown.mean(s))
+            .sum()
+    }
+
+    /// Fraction of mean latency attributed to cascade stage rows.
+    pub fn cascade_share(&self) -> f64 {
+        if self.latency.mean <= 0.0 {
+            0.0
+        } else {
+            self.cascade_time() / self.latency.mean
+        }
     }
 
     /// Fraction of mean latency attributed to `stage`.

@@ -179,6 +179,31 @@ pub fn center_crop(src: &Image, out_w: usize, out_h: usize) -> Image {
     dst
 }
 
+/// Crops the `w × h` window whose top-left corner is `(x0, y0)`.
+///
+/// The pipeline executor uses this to cut detection regions out of a
+/// decoded frame before re-encoding them as stage-2 sub-requests.
+///
+/// # Panics
+///
+/// Panics if the window is empty or extends past the source image.
+pub fn crop_rect(src: &Image, x0: usize, y0: usize, w: usize, h: usize) -> Image {
+    assert!(w > 0 && h > 0, "crop window must be non-empty");
+    assert!(
+        x0 + w <= src.width() && y0 + h <= src.height(),
+        "crop {w}x{h}+{x0}+{y0} exceeds source {}x{}",
+        src.width(),
+        src.height()
+    );
+    let mut dst = Image::zeros(w, h, src.format());
+    for y in 0..h {
+        for x in 0..w {
+            dst.put_pixel(x, y, src.pixel(x0 + x, y0 + y));
+        }
+    }
+    dst
+}
+
 /// Converts an image to an NCHW `f32` tensor scaled to `[0, 1]`, batch 1.
 ///
 /// Gray images produce a single channel; RGB produce three.
@@ -459,6 +484,22 @@ mod tests {
     fn center_crop_validates() {
         let img = Image::gradient(4, 4);
         let _ = center_crop(&img, 5, 4);
+    }
+
+    #[test]
+    fn crop_rect_takes_window() {
+        let img = Image::gradient(10, 8);
+        let c = crop_rect(&img, 2, 3, 4, 5);
+        assert_eq!((c.width(), c.height()), (4, 5));
+        assert_eq!(c.pixel(0, 0), img.pixel(2, 3));
+        assert_eq!(c.pixel(3, 4), img.pixel(5, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds source")]
+    fn crop_rect_validates() {
+        let img = Image::gradient(4, 4);
+        let _ = crop_rect(&img, 2, 0, 3, 4);
     }
 
     #[test]

@@ -308,6 +308,93 @@ pub fn synthetic_jpeg(spec: &ImageSpec, seed: u64) -> Vec<u8> {
     encode(&img, &EncodeOptions::default())
 }
 
+/// A synthetic video stream: consecutive frames arrive in *scenes*.
+/// Within a scene every frame is **bit-identical** (a static camera
+/// between cuts), so a content-addressed preprocessing cache hits on
+/// every frame after the scene's first; a cut starts a new scene with
+/// fresh content. Over `n` frames with scene length `hold`, the expected
+/// hit rate is `(n - ceil(n / hold)) / n` — e.g. 60 frames at `hold = 8`
+/// give 52/60 ≈ 0.87.
+///
+/// Frames are pure functions of `(seed, index)`: two streams with the
+/// same parameters produce the same bytes, and [`frame`](Self::frame)
+/// can be replayed at random offsets (the sim and the live server see
+/// identical payloads).
+///
+/// # Examples
+///
+/// ```
+/// use vserve_device::ImageSpec;
+/// use vserve_workload::VideoStream;
+///
+/// let mut v = VideoStream::new(ImageSpec::new(64, 48, 0), 7, 8);
+/// let a = v.next_frame();
+/// let b = v.next_frame();
+/// assert_eq!(a, b, "same scene: bit-identical frames");
+/// assert!(VideoStream::new(ImageSpec::new(64, 48, 0), 7, 8).expected_hit_rate(60) > 0.8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VideoStream {
+    spec: ImageSpec,
+    seed: u64,
+    hold: usize,
+    next: usize,
+}
+
+impl VideoStream {
+    /// A stream of `spec`-sized frames where each scene holds `hold`
+    /// identical frames (`hold` is clamped to at least 1).
+    pub fn new(spec: ImageSpec, seed: u64, hold: usize) -> VideoStream {
+        VideoStream {
+            spec,
+            seed,
+            hold: hold.max(1),
+            next: 0,
+        }
+    }
+
+    /// Frames per scene.
+    pub fn hold(&self) -> usize {
+        self.hold
+    }
+
+    /// The scene index frame `i` belongs to.
+    pub fn scene_of(&self, i: usize) -> usize {
+        i / self.hold
+    }
+
+    /// The JPEG bytes of frame `i` — bit-identical for every frame of
+    /// one scene, fresh content after each cut.
+    pub fn frame(&self, i: usize) -> Vec<u8> {
+        let scene = self.scene_of(i) as u64;
+        // Scene 0 of seed s must differ from scene 0 of seed s+1, and
+        // scenes within a stream must differ from each other: mix both
+        // through an odd multiplicative constant.
+        let frame_seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(scene.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        synthetic_jpeg(&self.spec, frame_seed)
+    }
+
+    /// The next frame in arrival order.
+    pub fn next_frame(&mut self) -> Vec<u8> {
+        let f = self.frame(self.next);
+        self.next += 1;
+        f
+    }
+
+    /// Expected content-cache hit rate over the first `n` frames: every
+    /// frame except each scene's first is a repeat.
+    pub fn expected_hit_rate(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let scenes = n.div_ceil(self.hold);
+        (n - scenes) as f64 / n as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,5 +482,44 @@ mod tests {
         let spec = ImageSpec::new(32, 32, 0);
         assert_eq!(synthetic_jpeg(&spec, 1), synthetic_jpeg(&spec, 1));
         assert_ne!(synthetic_jpeg(&spec, 1), synthetic_jpeg(&spec, 2));
+    }
+
+    #[test]
+    fn video_scenes_hold_bit_identical_frames() {
+        let v = VideoStream::new(ImageSpec::new(48, 48, 0), 5, 4);
+        for scene in 0..3 {
+            let first = v.frame(scene * 4);
+            for i in 1..4 {
+                assert_eq!(v.frame(scene * 4 + i), first, "scene {scene} frame {i}");
+            }
+        }
+        // Cuts change content, and scene indices line up with hold.
+        assert_ne!(v.frame(3), v.frame(4));
+        assert_eq!(v.scene_of(3), 0);
+        assert_eq!(v.scene_of(4), 1);
+    }
+
+    #[test]
+    fn video_streams_replay_and_differ_by_seed() {
+        let spec = ImageSpec::new(48, 48, 0);
+        let mut a = VideoStream::new(spec, 9, 8);
+        let mut b = VideoStream::new(spec, 9, 8);
+        for _ in 0..10 {
+            assert_eq!(a.next_frame(), b.next_frame());
+        }
+        let c = VideoStream::new(spec, 10, 8);
+        assert_ne!(a.frame(0), c.frame(0), "different seeds, different scenes");
+    }
+
+    #[test]
+    fn video_expected_hit_rate_matches_scene_count() {
+        let v = VideoStream::new(ImageSpec::new(48, 48, 0), 1, 8);
+        // 60 frames at hold 8 → 8 scenes → 52 repeats.
+        assert!((v.expected_hit_rate(60) - 52.0 / 60.0).abs() < 1e-12);
+        assert!(v.expected_hit_rate(60) >= 0.8);
+        assert_eq!(v.expected_hit_rate(0), 0.0);
+        // hold 1: every frame is a cut, nothing repeats.
+        let cutty = VideoStream::new(ImageSpec::new(48, 48, 0), 1, 1);
+        assert_eq!(cutty.expected_hit_rate(60), 0.0);
     }
 }

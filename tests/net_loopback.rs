@@ -1030,3 +1030,106 @@ fn zoo_models_route_by_name_over_the_wire() {
     assert_eq!(m.live.lanes[0].completed, 3);
     assert_eq!(m.live.lanes[1].completed, 3);
 }
+
+/// A cascade pipeline behind one socket: `NetOptions::pipeline` registers
+/// the executor at bind (the `VSERVE_PIPELINE` hook), `VRQ2` frames
+/// naming it — in the model *or* tenant field — dispatch whole cascades,
+/// and the joined output is bit-identical to the in-process runner on a
+/// twin zoo.
+#[test]
+fn pipeline_frames_dispatch_cascades_over_the_wire() {
+    use vserve_pipeline::{PipelineRunner, PipelineSpec};
+    use vserve_server::live::ZooModel;
+    use vserve_server::stages;
+    const K: u32 = 4;
+    let zoo = || {
+        vec![
+            ZooModel {
+                name: "det".to_owned(),
+                model: Model::from_graph(models::micro_cnn(SIDE, 10).expect("graph"), 11),
+                input_side: SIDE,
+            },
+            ZooModel {
+                name: "id".to_owned(),
+                model: Model::from_graph(models::micro_cnn(SIDE, 10).expect("graph"), 22),
+                input_side: SIDE,
+            },
+        ]
+    };
+    let reference = {
+        let live = LiveServer::start_zoo(zoo(), opts()).expect("twin zoo");
+        let runner = PipelineRunner::new(
+            live.pipeline_handle(),
+            PipelineSpec::chain("faces", "det", "id", K),
+        )
+        .expect("twin runner");
+        runner
+            .infer(payload(70))
+            .expect("in-process cascade")
+            .output
+    };
+    // The joined reply concatenates the *terminal* stages' outputs: the
+    // K identify children, not the non-terminal detect root.
+    assert_eq!(reference.len(), 10 * K as usize, "joined terminal outputs");
+
+    let server = NetServer::bind_zoo(
+        zoo(),
+        NetOptions {
+            live: opts(),
+            pipeline: Some(PipelineSpec::chain("faces", "det", "id", K)),
+            ..NetOptions::default()
+        },
+    )
+    .expect("bind zoo with pipeline");
+    let addr = server.local_addr();
+    let by_model = NetClient::connect(
+        addr,
+        ClientOptions {
+            pool: 1,
+            model: "faces".to_owned(),
+            ..ClientOptions::default()
+        },
+    )
+    .expect("connect by model");
+    assert_eq!(
+        by_model.infer(&payload(70)).expect("wire cascade").output,
+        reference,
+        "wire cascade must match the in-process runner bit for bit"
+    );
+    let by_tenant = NetClient::connect(
+        addr,
+        ClientOptions {
+            pool: 1,
+            tenant: "faces".to_owned(),
+            ..ClientOptions::default()
+        },
+    )
+    .expect("connect by tenant");
+    assert_eq!(
+        by_tenant
+            .infer(&payload(70))
+            .expect("tenant cascade")
+            .output,
+        reference,
+        "tenant-field addressing reaches the same executor"
+    );
+
+    let m = server.metrics();
+    assert_eq!(
+        m.live.completed,
+        2 * (1 + K as u64),
+        "each cascade completes root + K sub-requests"
+    );
+    let det_row = m
+        .live
+        .breakdown
+        .total(&stages::cascade_stage("faces", "det"));
+    let id_row = m
+        .live
+        .breakdown
+        .total(&stages::cascade_stage("faces", "id"));
+    assert!(
+        det_row > 0.0 && id_row > 0.0,
+        "cascade stage rows must appear in the served breakdown: det {det_row} id {id_row}"
+    );
+}

@@ -1,0 +1,220 @@
+//! Fan-out admission property suite (DESIGN §16).
+//!
+//! Random cascade DAGs — 1–8 stages, per-edge fan-out 0–8, random lane
+//! assignment, random transforms — run against a *live* zoo server whose
+//! ingress queue is severely bounded (depth 1–4). The pinned invariants:
+//!
+//! * every submitted frame completes or is shed with a *typed*
+//!   [`LiveError`] — no deadlock, no lost reply;
+//! * the spawned and retired sub-request counts reconcile exactly once
+//!   the last reply is delivered (no lost sub-request);
+//! * the admission budget returns to the full ingress capacity (no
+//!   reservation leak);
+//! * a spec whose worst-case sub-request count exceeds the ingress
+//!   capacity can never be admitted — it sheds before any work starts.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use vserve_device::ImageSpec;
+use vserve_dnn::{models, Model};
+use vserve_pipeline::{Edge, FanOut, PipelineRunner, PipelineSpec, StageSpec, Transform};
+use vserve_server::live::{LiveError, LiveOptions, LiveServer, ZooModel};
+use vserve_server::PipelineDriver;
+use vserve_workload::synthetic_jpeg;
+
+const SIDE: usize = 32;
+
+fn zoo_model(name: &str, seed: u64) -> ZooModel {
+    ZooModel {
+        name: name.to_owned(),
+        model: Model::from_graph(models::micro_cnn(SIDE, 4).expect("valid graph"), seed),
+        input_side: SIDE,
+    }
+}
+
+/// A two-lane zoo server with a bounded ingress queue of depth
+/// `queue_cap` — the adversarial configuration for fan-out admission.
+fn zoo(queue_cap: usize) -> LiveServer {
+    LiveServer::start_zoo(
+        vec![zoo_model("a", 3), zoo_model("b", 4)],
+        LiveOptions {
+            preproc_workers: 1,
+            inference_workers: 1,
+            max_batch: 4,
+            max_queue_delay: Duration::ZERO,
+            input_side: SIDE,
+            queue_cap,
+            backend_threads: 1,
+            preproc_cache_mb: Some(0),
+            coalesce: false,
+            ..LiveOptions::default()
+        },
+    )
+    .expect("zoo server")
+}
+
+/// Derives a valid random DAG from a word stream: every non-last stage
+/// gets one forward edge (sometimes two), fan-outs are biased small so
+/// bounded queues see both admissions and sheds, and a slice of stages
+/// carry an always-true early exit to exercise the child-skipping path.
+fn build_spec(raw: &[u64], n_stages: usize) -> PipelineSpec {
+    let word = |i: usize| raw[i % raw.len()];
+    let mut w = 0usize;
+    let mut next = move || {
+        w += 1;
+        word(w)
+    };
+    let mut stages = Vec::with_capacity(n_stages);
+    for i in 0..n_stages {
+        let lane = if next() & 1 == 0 { "a" } else { "b" };
+        let early_exit = if next() % 8 == 0 {
+            Some(f32::NEG_INFINITY) // always exits: children skipped
+        } else {
+            None
+        };
+        let mut children = Vec::new();
+        let n_edges = if i + 1 >= n_stages {
+            0 // leaf
+        } else if n_stages - i > 2 && next() % 4 == 0 {
+            2
+        } else {
+            1
+        };
+        for _ in 0..n_edges {
+            let to = i + 1 + (next() as usize) % (n_stages - i - 1).max(1);
+            let fanout = match next() % 8 {
+                0 => FanOut::Fixed(0), // disabled edge
+                r @ 1..=4 => FanOut::Fixed(r as u32),
+                5 => FanOut::Fixed(8),
+                _ => FanOut::FromOutput {
+                    cap: 1 + (next() % 8) as u32,
+                },
+            };
+            let transform = match next() % 3 {
+                0 => Transform::Identity,
+                1 => Transform::CropGrid,
+                _ => Transform::Resize {
+                    side: 8 + (next() as usize) % 25,
+                },
+            };
+            children.push(Edge {
+                to,
+                transform,
+                fanout,
+            });
+        }
+        stages.push(StageSpec {
+            name: format!("s{i}"),
+            lane: lane.to_owned(),
+            children,
+            early_exit,
+        });
+    }
+    PipelineSpec::new("prop", stages, 8).expect("generated spec is valid by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// The tentpole property: random DAG × bounded ingress × overlapping
+    /// submissions always resolves — typed replies for every frame and
+    /// exact spawn/retire reconciliation afterwards.
+    #[test]
+    fn random_dags_complete_or_shed_typed(
+        n_stages in 1usize..=8,
+        queue_cap in 1usize..=4,
+        frames in 1usize..=3,
+        raw in prop::collection::vec(any::<u64>(), 24usize..=24),
+    ) {
+        let spec = build_spec(&raw, n_stages);
+        let worst = spec.worst_case_requests();
+        let server = zoo(queue_cap);
+        let runner = Arc::new(
+            PipelineRunner::new(server.pipeline_handle(), spec).expect("lanes resolve"),
+        );
+        server.register_pipeline("prop", runner.clone());
+        let jpeg = synthetic_jpeg(&ImageSpec::new(48, 36, 0), raw[0]);
+        // Overlapping submissions through the driver interface: cascades
+        // in flight simultaneously compete for the shared budget.
+        let rxs: Vec<_> = (0..frames)
+            .map(|_| PipelineDriver::submit(&*runner, jpeg.clone(), None, None, None))
+            .collect();
+        let (mut completed, mut shed, mut failed) = (0u64, 0u64, 0u64);
+        for rx in rxs {
+            // recv() erroring would mean a reply slot was dropped without
+            // an answer — a lost frame.
+            match rx.recv().expect("no lost reply") {
+                Ok(r) => {
+                    prop_assert!(r.batch_size >= 1, "joined reply covers >= 1 sub-request");
+                    completed += 1;
+                }
+                Err(LiveError::Overloaded) => shed += 1,
+                Err(_) => failed += 1,
+            }
+        }
+        let s = runner.stats();
+        prop_assert_eq!(s.spawned, s.retired, "lost sub-request: {:?}", s);
+        prop_assert_eq!(s.budget, queue_cap, "reservation leak: {:?}", s);
+        prop_assert_eq!(s.completed + s.failed + s.shed, frames as u64);
+        prop_assert_eq!(s.completed, completed);
+        prop_assert_eq!(s.shed, shed);
+        prop_assert_eq!(s.failed, failed);
+        if worst > queue_cap {
+            // Over-capacity specs must shed at admission, before any
+            // sub-request is spawned.
+            prop_assert_eq!(s.completed + s.failed, 0, "inadmissible spec ran anyway");
+            prop_assert_eq!(s.spawned, 0);
+        }
+    }
+}
+
+/// Expired deadlines flow through the same typed-shed machinery as live
+/// sub-requests: the cascade fails typed, and the spawn/retire counts
+/// still reconcile (children of an expired parent are submitted with a
+/// zero budget, not silently dropped).
+#[test]
+fn zero_deadline_cascades_fail_typed_and_reconcile() {
+    let server = zoo(64);
+    let runner = PipelineRunner::new(
+        server.pipeline_handle(),
+        PipelineSpec::chain("c", "a", "b", 4),
+    )
+    .expect("runner");
+    let jpeg = synthetic_jpeg(&ImageSpec::new(48, 36, 0), 7);
+    for i in 0..4 {
+        let rx = PipelineDriver::submit(&runner, jpeg.clone(), Some(Duration::ZERO), None, None);
+        let res = rx.recv().expect("reply delivered");
+        assert!(res.is_err(), "zero-deadline cascade {i} must fail typed");
+    }
+    let s = runner.stats();
+    assert_eq!(s.spawned, s.retired, "expired cascade lost a sub-request");
+    assert_eq!(s.budget, 64, "expired cascade leaked its reservation");
+    assert_eq!(s.failed, 4);
+}
+
+/// A runner registered on the server answers `Disconnected` (not a hang)
+/// for submissions after its executor shuts down.
+#[test]
+fn shutdown_runner_answers_disconnected() {
+    let server = zoo(16);
+    let runner = PipelineRunner::new(
+        server.pipeline_handle(),
+        PipelineSpec::chain("c", "a", "b", 2),
+    )
+    .expect("runner");
+    let jpeg = synthetic_jpeg(&ImageSpec::new(48, 36, 0), 9);
+    runner.infer(jpeg.clone()).expect("live cascade");
+    drop(runner);
+    // A fresh runner on the same server still works: shutdown is
+    // per-runner, not per-server.
+    let second = PipelineRunner::new(
+        server.pipeline_handle(),
+        PipelineSpec::chain("c2", "a", "b", 2),
+    )
+    .expect("second runner");
+    second.infer(jpeg).expect("second cascade");
+    let s = second.stats();
+    assert_eq!(s.completed, 1);
+    assert_eq!(s.spawned, s.retired);
+}

@@ -1,0 +1,207 @@
+//! Video-stream serving: consecutive frames of a scene-held stream reuse
+//! the preprocessing cache, cached results stay bit-identical to cold
+//! decodes, and an early-exit first stage shrinks the cascade's identify
+//! share as the exit rate rises — in the discrete-event replay and on the
+//! live executor.
+
+use std::time::Duration;
+
+use vserve_broker::BrokerKind;
+use vserve_device::{ImageSpec, NodeConfig};
+use vserve_dnn::{models, Model};
+use vserve_pipeline::{
+    pipeline_stages, Edge, FanOut, PipeCosts, PipelineExperiment, PipelineRunner,
+    PipelineRunnerStats, PipelineSpec, StageSpec, Transform,
+};
+use vserve_server::live::{LiveOptions, LiveServer, ZooModel};
+use vserve_workload::{FacesPerFrame, VideoStream};
+
+const SIDE: usize = 32;
+/// Frames per held scene; 60 frames at hold 8 → 8 cold decodes,
+/// 52 cache hits (expected hit rate ≈ 0.867 ≥ the 0.8 bar).
+const HOLD: usize = 8;
+const FRAMES: usize = 60;
+
+fn model(seed: u64) -> Model {
+    Model::from_graph(models::micro_cnn(SIDE, 4).expect("valid graph"), seed)
+}
+
+fn opts(cache_mb: Option<usize>) -> LiveOptions {
+    LiveOptions {
+        preproc_workers: 2,
+        inference_workers: 1,
+        max_batch: 4,
+        max_queue_delay: Duration::ZERO,
+        input_side: SIDE,
+        backend_threads: 1,
+        preproc_cache_mb: cache_mb,
+        coalesce: false,
+        ..LiveOptions::default()
+    }
+}
+
+fn stream(seed: u64) -> VideoStream {
+    VideoStream::new(ImageSpec::new(96, 72, 0), seed, HOLD)
+}
+
+/// A 60-frame stream with scenes held for 8 frames yields a preproc
+/// cache hit rate of at least 0.8 on the live server: exactly one cold
+/// decode per scene, every repeat served from the cached tensor.
+#[test]
+fn video_stream_reuses_preproc_cache() {
+    let stream = stream(9);
+    assert!(
+        stream.expected_hit_rate(FRAMES) >= 0.8,
+        "workload model promises >= 0.8, got {}",
+        stream.expected_hit_rate(FRAMES)
+    );
+    let server = LiveServer::start(model(5), opts(Some(8)));
+    for i in 0..FRAMES {
+        server.infer(stream.frame(i)).expect("infer frame");
+    }
+    let c = server.metrics().preproc_cache;
+    assert_eq!(
+        (c.hits + c.misses) as usize,
+        FRAMES,
+        "every frame consults the cache exactly once: {c:?}"
+    );
+    let scenes = FRAMES.div_ceil(HOLD);
+    assert_eq!(
+        c.misses as usize, scenes,
+        "one cold decode per scene: {c:?}"
+    );
+    let rate = c.hits as f64 / (c.hits + c.misses) as f64;
+    assert!(rate >= 0.8, "hit rate {rate:.3} below the 0.8 bar: {c:?}");
+}
+
+/// Cache hits are bit-identical to cold decodes: the same stream through
+/// a cached server and a cache-disabled server produces exactly equal
+/// outputs frame by frame.
+#[test]
+fn cached_outputs_match_cold_decode_bit_for_bit() {
+    let stream = stream(21);
+    let cached = LiveServer::start(model(5), opts(Some(8)));
+    let cold = LiveServer::start(model(5), opts(Some(0)));
+    for i in 0..FRAMES {
+        let f = stream.frame(i);
+        let a = cached.infer(f.clone()).expect("cached infer").output;
+        let b = cold.infer(f).expect("cold infer").output;
+        assert_eq!(a, b, "frame {i} diverged between cached and cold decode");
+    }
+    let c = cached.metrics().preproc_cache;
+    assert!(c.hits > 0, "the cached arm must actually hit: {c:?}");
+    assert_eq!(cold.metrics().preproc_cache.hits, 0);
+}
+
+/// Sim half of the early-exit claim: replaying measured costs with a
+/// rising exit rate monotonically shrinks the identify stage's share of
+/// end-to-end latency.
+#[test]
+fn sim_early_exit_shrinks_identify_share() {
+    let exp = PipelineExperiment {
+        node: NodeConfig::paper_testbed(),
+        broker: BrokerKind::Fused,
+        faces: FacesPerFrame::fixed(4),
+        concurrency: 4,
+        warmup_s: 0.2,
+        measure_s: 1.0,
+        seed: 17,
+    };
+    let share = |rate: f64| {
+        let r = exp.clone().run_with_costs(PipeCosts {
+            det_s: 1e-3,
+            id_face_s: 5e-4,
+            handoff_s: 2e-4,
+            exit_rate: rate,
+        });
+        r.breakdown.mean(pipeline_stages::IDENTIFY) / r.latency.mean
+    };
+    let shares: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 0.9]
+        .iter()
+        .map(|&rate| share(rate))
+        .collect();
+    for w in shares.windows(2) {
+        assert!(
+            w[1] < w[0],
+            "identify share must shrink with exit rate: {shares:?}"
+        );
+    }
+}
+
+/// Live half: a cascade whose first stage always early-exits never
+/// spawns identify children — its identify share collapses to zero and
+/// its joined reply covers the root alone, while the no-exit cascade
+/// keeps a positive identify share and a full fan-out join.
+#[test]
+fn live_early_exit_shrinks_identify_share() {
+    const K: u32 = 4;
+    let server = LiveServer::start_zoo(
+        vec![
+            ZooModel {
+                name: "det".to_owned(),
+                model: model(5),
+                input_side: SIDE,
+            },
+            ZooModel {
+                name: "id".to_owned(),
+                model: model(6),
+                input_side: SIDE,
+            },
+        ],
+        opts(Some(0)),
+    )
+    .expect("zoo server");
+    let spec = |exit: Option<f32>| {
+        PipelineSpec::new(
+            "vid",
+            vec![
+                StageSpec {
+                    name: "det".to_owned(),
+                    lane: "det".to_owned(),
+                    children: vec![Edge {
+                        to: 1,
+                        transform: Transform::CropGrid,
+                        fanout: FanOut::Fixed(K),
+                    }],
+                    early_exit: exit,
+                },
+                StageSpec::leaf("id", "id"),
+            ],
+            8,
+        )
+        .expect("valid spec")
+    };
+    let stream = stream(33);
+    let id_share = |s: &PipelineRunnerStats| {
+        let id = s.breakdown.mean("id");
+        id / (s.breakdown.mean("det") + id)
+    };
+
+    let full = PipelineRunner::new(server.pipeline_handle(), spec(None)).expect("runner");
+    for i in 0..12 {
+        let r = full.infer(stream.frame(i)).expect("full cascade");
+        assert_eq!(r.batch_size, 1 + K as usize, "root + K children joined");
+    }
+    let fs = full.stats();
+    drop(full);
+
+    let exit = PipelineRunner::new(server.pipeline_handle(), spec(Some(f32::NEG_INFINITY)))
+        .expect("runner");
+    for i in 0..12 {
+        let r = exit.infer(stream.frame(i)).expect("early-exit cascade");
+        assert_eq!(r.batch_size, 1, "early exit joins the root alone");
+    }
+    let es = exit.stats();
+
+    assert_eq!(fs.spawned, fs.retired);
+    assert_eq!(es.spawned, es.retired);
+    assert_eq!(fs.spawned, 12 * (1 + K as u64));
+    assert_eq!(es.spawned, 12, "exited cascades must not spawn children");
+    assert!(
+        id_share(&es) < id_share(&fs),
+        "identify share must shrink when the first stage exits: exit {:.3} vs full {:.3}",
+        id_share(&es),
+        id_share(&fs)
+    );
+    assert_eq!(id_share(&es), 0.0);
+}

@@ -88,8 +88,8 @@ lib crates/workload/src/lib.rs vserve_workload vserve_codec vserve_device vserve
 lib crates/sched/src/lib.rs    vserve_sched
 lib crates/server/src/lib.rs   vserve_server   vserve_sched vserve_codec vserve_compute vserve_device vserve_dnn vserve_metrics vserve_sim vserve_tensor vserve_trace vserve_workload crossbeam
 lib crates/tune/src/lib.rs     vserve_tune     vserve_server vserve_sched vserve_workload
-lib crates/net/src/lib.rs      vserve_net      vserve_server vserve_sched vserve_dnn vserve_metrics vserve_trace vserve_device vserve_workload vserve_tune
-lib crates/pipeline/src/lib.rs vserve_pipeline vserve_broker vserve_device vserve_metrics vserve_sim vserve_workload
+lib crates/pipeline/src/lib.rs vserve_pipeline vserve_broker vserve_device vserve_metrics vserve_sim vserve_workload vserve_server vserve_codec vserve_tensor crossbeam
+lib crates/net/src/lib.rs      vserve_net      vserve_server vserve_sched vserve_dnn vserve_metrics vserve_trace vserve_device vserve_workload vserve_tune vserve_pipeline
 lib crates/core/src/lib.rs     vserve          vserve_broker vserve_codec vserve_device vserve_dnn vserve_metrics vserve_pipeline vserve_server vserve_sim vserve_tensor vserve_workload
 lib crates/bench/src/lib.rs    vserve_bench    vserve vserve_broker vserve_codec vserve_compute vserve_device vserve_dnn vserve_net vserve_pipeline vserve_server vserve_sim vserve_tensor vserve_trace vserve_workload
 lib src/lib.rs                 vserve_suite    vserve vserve_compute vserve_codec vserve_dnn vserve_tensor vserve_broker vserve_pipeline vserve_server vserve_net vserve_trace vserve_device vserve_workload vserve_sim vserve_metrics rand
@@ -110,8 +110,8 @@ testbin crates/workload/src/lib.rs ut_workload vserve_codec vserve_device vserve
 testbin crates/sched/src/lib.rs    ut_sched    proptest
 testbin crates/server/src/lib.rs   ut_server   vserve_sched vserve_codec vserve_compute vserve_device vserve_dnn vserve_metrics vserve_sim vserve_tensor vserve_trace vserve_workload crossbeam proptest
 testbin crates/tune/src/lib.rs     ut_tune     vserve_server vserve_sched vserve_workload vserve_device vserve_dnn proptest
-testbin crates/net/src/lib.rs      ut_net      vserve_server vserve_sched vserve_dnn vserve_metrics vserve_trace vserve_device vserve_workload vserve_tune proptest
-testbin crates/pipeline/src/lib.rs ut_pipeline vserve_broker vserve_device vserve_metrics vserve_sim vserve_workload proptest
+testbin crates/net/src/lib.rs      ut_net      vserve_server vserve_sched vserve_dnn vserve_metrics vserve_trace vserve_device vserve_workload vserve_tune vserve_pipeline proptest
+testbin crates/pipeline/src/lib.rs ut_pipeline vserve_broker vserve_device vserve_metrics vserve_sim vserve_workload vserve_server vserve_codec vserve_tensor crossbeam proptest
 testbin crates/core/src/lib.rs     ut_core     vserve_broker vserve_codec vserve_device vserve_dnn vserve_metrics vserve_pipeline vserve_server vserve_sim vserve_tensor vserve_workload proptest
 testbin crates/bench/src/lib.rs    ut_bench    vserve vserve_broker vserve_codec vserve_compute vserve_device vserve_dnn vserve_net vserve_pipeline vserve_server vserve_sim vserve_tensor vserve_trace vserve_workload proptest
 testbin src/lib.rs                 ut_suite    vserve vserve_compute vserve_codec vserve_dnn vserve_tensor vserve_broker vserve_pipeline vserve_server vserve_net vserve_trace vserve_device vserve_workload vserve_sim vserve_metrics rand proptest
